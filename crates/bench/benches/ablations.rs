@@ -1,0 +1,168 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - cone-of-influence (lazy) vs eager symbolic evaluation (Sect. 7's
+//!   TLSim optimization);
+//! - transitivity constraints on/off in the `e_ij` encoding;
+//! - Tseitin full vs polarity-aware definitions;
+//! - forwarding vs conservative memory model on the *rewritten* formula
+//!   (both are sound there; the conservative one is what makes Table 5
+//!   size-independent).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evc::check::{check_validity, CheckOptions};
+use evc::mem::MemoryModel;
+use evc::rewrite::{rewrite_correctness, RewriteInput, RewriteOptions};
+use tlsim::EvalStrategy;
+use uarch::{correctness, Config};
+
+fn bench_coi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_coi");
+    group.sample_size(10);
+    let config = Config::new(32, 4).expect("config");
+    group.bench_function("lazy", |b| {
+        b.iter(|| {
+            correctness::generate_with(&config, None, EvalStrategy::Lazy).expect("generate")
+        });
+    });
+    group.bench_function("eager", |b| {
+        b.iter(|| {
+            correctness::generate_with(&config, None, EvalStrategy::Eager).expect("generate")
+        });
+    });
+    group.finish();
+}
+
+fn bench_transitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_transitivity");
+    group.sample_size(10);
+    let config = Config::new(4, 2).expect("config");
+    for (label, transitivity) in [("on", true), ("off", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut bundle = correctness::generate(&config).expect("generate");
+                let opts = CheckOptions {
+                    memory: MemoryModel::Forwarding,
+                    transitivity,
+                    ..CheckOptions::default()
+                };
+                let report = check_validity(&mut bundle.ctx, bundle.formula, &opts);
+                // With transitivity the formula verifies; without it the
+                // check may spuriously falsify — the ablation shows the
+                // constraints are load-bearing, not just their cost.
+                if transitivity {
+                    assert!(report.outcome.is_valid());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tseitin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tseitin");
+    group.sample_size(10);
+    let config = Config::new(4, 2).expect("config");
+    for (label, mode) in [("full", sat::Mode::Full), ("polarity_aware", sat::Mode::PolarityAware)]
+    {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut bundle = correctness::generate(&config).expect("generate");
+                let opts = CheckOptions {
+                    memory: MemoryModel::Forwarding,
+                    tseitin: mode,
+                    ..CheckOptions::default()
+                };
+                let report = check_validity(&mut bundle.ctx, bundle.formula, &opts);
+                assert!(report.outcome.is_valid());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_memory_model");
+    group.sample_size(10);
+    let config = Config::new(16, 4).expect("config");
+    for (label, memory) in [
+        ("conservative", MemoryModel::Conservative),
+        ("forwarding", MemoryModel::Forwarding),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut bundle = correctness::generate(&config).expect("generate");
+                let input = RewriteInput {
+                    formula: bundle.formula,
+                    rf_impl: bundle.rf_impl,
+                    rf_spec0: bundle.rf_spec[0],
+                };
+                let outcome =
+                    rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default())
+                        .expect("rewrite");
+                let opts = CheckOptions { memory, ..CheckOptions::default() };
+                let report = check_validity(&mut bundle.ctx, outcome.formula, &opts);
+                assert!(report.outcome.is_valid());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_uf_scheme(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_uf_scheme");
+    group.sample_size(10);
+    let config = Config::new(3, 1).expect("config");
+    for (label, scheme) in [
+        ("nested_ite", evc::check::UfScheme::NestedIte),
+        ("ackermann", evc::check::UfScheme::Ackermann),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut bundle = correctness::generate(&config).expect("generate");
+                let opts = CheckOptions {
+                    memory: MemoryModel::Forwarding,
+                    uf_scheme: scheme,
+                    ..CheckOptions::default()
+                };
+                let report = check_validity(&mut bundle.ctx, bundle.formula, &opts);
+                assert!(report.outcome.is_valid());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_structural_r5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_structural_r5");
+    group.sample_size(10);
+    let config = Config::new(8, 2).expect("config");
+    for (label, structural) in [("structural", true), ("semantic_only", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut bundle = correctness::generate(&config).expect("generate");
+                let input = RewriteInput {
+                    formula: bundle.formula,
+                    rf_impl: bundle.rf_impl,
+                    rf_spec0: bundle.rf_spec[0],
+                };
+                let options = RewriteOptions {
+                    structural_forwarding: structural,
+                    ..RewriteOptions::default()
+                };
+                rewrite_correctness(&mut bundle.ctx, &input, &options).expect("rewrite");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coi,
+    bench_transitivity,
+    bench_tseitin,
+    bench_memory_model,
+    bench_uf_scheme,
+    bench_structural_r5
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench for the buggy-variant experiment: time for the
+//! rewriting rules to localize an injected forwarding defect, vs verifying
+//! the correct variant of the same configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evc::rewrite::{rewrite_correctness, RewriteError, RewriteInput, RewriteOptions};
+use uarch::{correctness, BugSpec, Config, Operand};
+
+fn bench_bug_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bug_detection");
+    group.sample_size(10);
+    for (size, width, slice) in [(16usize, 2usize, 10usize), (64, 4, 40)] {
+        let config = Config::new(size, width).expect("config");
+        let bug = BugSpec::ForwardingIgnoresValidResult { slice, operand: Operand::Src2 };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("buggy_rob{size}xw{width}_s{slice}")),
+            &(config, bug, slice),
+            |b, (config, bug, slice)| {
+                b.iter(|| {
+                    let mut bundle = correctness::generate_with(
+                        config,
+                        Some(*bug),
+                        tlsim::EvalStrategy::Lazy,
+                    )
+                    .expect("generate");
+                    let input = RewriteInput {
+                        formula: bundle.formula,
+                        rf_impl: bundle.rf_impl,
+                        rf_spec0: bundle.rf_spec[0],
+                    };
+                    match rewrite_correctness(
+                        &mut bundle.ctx,
+                        &input,
+                        &RewriteOptions::default(),
+                    ) {
+                        Err(RewriteError::Slice { slice: got, .. }) => assert_eq!(got, *slice),
+                        other => panic!("expected diagnosis, got {other:?}"),
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("correct_rob{size}xw{width}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut bundle = correctness::generate(config).expect("generate");
+                    let input = RewriteInput {
+                        formula: bundle.formula,
+                        rf_impl: bundle.rf_impl,
+                        rf_spec0: bundle.rf_spec[0],
+                    };
+                    rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default())
+                        .expect("rewrite");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bug_detection);
+criterion_main!(benches);

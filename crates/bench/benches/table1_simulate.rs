@@ -1,0 +1,24 @@
+//! Criterion bench for Table 1: symbolic simulation generating the EUFM
+//! correctness formula, across reorder-buffer sizes and widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uarch::{correctness, Config};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_simulate");
+    group.sample_size(10);
+    for (size, width) in [(8usize, 2usize), (16, 4), (32, 4), (64, 4), (64, 16)] {
+        let config = Config::new(size, width).expect("config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rob{size}xw{width}")),
+            &config,
+            |b, config| {
+                b.iter(|| correctness::generate(config).expect("generate"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

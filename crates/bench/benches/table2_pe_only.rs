@@ -1,0 +1,35 @@
+//! Criterion bench for Table 2: the Positive-Equality-only flow
+//! (translation + SAT). The blow-up with size is the point: compare the
+//! per-size times to see the wall the paper hits at 16 entries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evc::check::{check_validity, CheckOptions};
+use evc::mem::MemoryModel;
+use uarch::{correctness, Config};
+
+fn bench_pe_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_pe_only");
+    group.sample_size(10);
+    for (size, width) in [(2usize, 1usize), (2, 2), (4, 1), (4, 2)] {
+        let config = Config::new(size, width).expect("config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rob{size}xw{width}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut bundle = correctness::generate(config).expect("generate");
+                    let opts = CheckOptions {
+                        memory: MemoryModel::Forwarding,
+                        ..CheckOptions::default()
+                    };
+                    let report = check_validity(&mut bundle.ctx, bundle.formula, &opts);
+                    assert!(report.outcome.is_valid());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pe_only);
+criterion_main!(benches);

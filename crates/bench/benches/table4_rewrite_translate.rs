@@ -1,0 +1,48 @@
+//! Criterion bench for Table 4: the rewriting rules + conservative
+//! translation, across reorder-buffer sizes. Compare with
+//! `table2_pe_only`: the same sizes that wall the PE-only flow are
+//! millisecond-scale here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evc::check::{check_validity, CheckOptions};
+use evc::mem::MemoryModel;
+use evc::rewrite::{rewrite_correctness, RewriteInput, RewriteOptions};
+use uarch::{correctness, Config};
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_rewrite_translate");
+    group.sample_size(10);
+    for (size, width) in [(8usize, 2usize), (16, 4), (32, 4), (64, 4), (128, 4)] {
+        let config = Config::new(size, width).expect("config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rob{size}xw{width}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut bundle = correctness::generate(config).expect("generate");
+                    let input = RewriteInput {
+                        formula: bundle.formula,
+                        rf_impl: bundle.rf_impl,
+                        rf_spec0: bundle.rf_spec[0],
+                    };
+                    let outcome = rewrite_correctness(
+                        &mut bundle.ctx,
+                        &input,
+                        &RewriteOptions::default(),
+                    )
+                    .expect("rewrite");
+                    let opts = CheckOptions {
+                        memory: MemoryModel::Conservative,
+                        ..CheckOptions::default()
+                    };
+                    let report = check_validity(&mut bundle.ctx, outcome.formula, &opts);
+                    assert!(report.outcome.is_valid());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

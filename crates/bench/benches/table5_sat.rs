@@ -1,0 +1,55 @@
+//! Criterion bench for Table 5: SAT time on the rewritten formulas, per
+//! issue/retire width. The reorder-buffer size does not matter (the
+//! rewriting rules removed the initial instructions), so each width runs at
+//! the smallest feasible size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evc::check::{check_validity, CheckOptions};
+use evc::mem::MemoryModel;
+use evc::rewrite::{rewrite_correctness, RewriteInput, RewriteOptions};
+use eufm::Context;
+use eufm::ExprId;
+use uarch::{correctness, Config};
+
+fn rewritten_formula(width: usize) -> (Context, ExprId) {
+    let config = Config::new(width.max(2), width).expect("config");
+    let mut bundle = correctness::generate(&config).expect("generate");
+    let input = RewriteInput {
+        formula: bundle.formula,
+        rf_impl: bundle.rf_impl,
+        rf_spec0: bundle.rf_spec[0],
+    };
+    let outcome =
+        rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default()).expect("rewrite");
+    (bundle.ctx, outcome.formula)
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_sat");
+    group.sample_size(10);
+    for width in [1usize, 2, 4, 8, 16] {
+        let (ctx, formula) = rewritten_formula(width);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{width}")),
+            &(ctx, formula),
+            |b, (ctx, formula)| {
+                b.iter_batched(
+                    || ctx.clone(),
+                    |mut ctx| {
+                        let opts = CheckOptions {
+                            memory: MemoryModel::Conservative,
+                            ..CheckOptions::default()
+                        };
+                        let report = check_validity(&mut ctx, *formula, &opts);
+                        assert!(report.outcome.is_valid());
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! cargo run --release -p bench --bin tables -- all
+//! cargo run --release -p bench --bin tables -- table1 --max-size 512
+//! cargo run --release -p bench --bin tables -- bug
+//! ```
+//!
+//! Defaults keep the sweep laptop-scale; raise `--max-size`/`--max-width`
+//! to push toward the paper's 1,500 × 128 flagship configuration.
+
+use bench::{
+    bug_experiment, render_markdown, table1, table2, table3, table4, table5, SweepOptions,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tables <table1|table2|table3|table4|table5|bug|all> \
+         [--max-size N] [--max-width K] [--sat-budget SECONDS]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let which = args[0].clone();
+    let mut opts = SweepOptions::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--max-size" => opts.max_size = value.parse().unwrap_or_else(|_| usage()),
+            "--max-width" => opts.max_width = value.parse().unwrap_or_else(|_| usage()),
+            "--sat-budget" => opts.sat_budget = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    let run_bug = |opts: &SweepOptions| {
+        println!("### Buggy variant (Sect. 7.2) — forwarding bug, operand 2, slice 72, rob128xw4\n");
+        let exp = bug_experiment(opts);
+        println!("| quantity | value |");
+        println!("|---|---|");
+        println!(
+            "| rewriting rules: diagnosed slice | {} |",
+            exp.diagnosed_slice.map_or("NOT FOUND".to_owned(), |s| s.to_string())
+        );
+        println!(
+            "| rewriting rules: time to diagnosis [s] | {:.1} |",
+            exp.rewriting_time.as_secs_f64()
+        );
+        println!(
+            "| rewriting rules: correct variant verified [s] | {:.1} |",
+            exp.correct_time.as_secs_f64()
+        );
+        println!("| Positive Equality only | {} |", exp.pe_only);
+        println!();
+    };
+
+    match which.as_str() {
+        "table1" => print!("{}", render_markdown(&table1(&opts))),
+        "table2" => print!("{}", render_markdown(&table2(&opts))),
+        "table3" => print!("{}", render_markdown(&table3(&opts))),
+        "table4" => print!("{}", render_markdown(&table4(&opts))),
+        "table5" => print!("{}", render_markdown(&table5(&opts))),
+        "bug" => run_bug(&opts),
+        "all" => {
+            println!("{}", render_markdown(&table1(&opts)));
+            println!("{}", render_markdown(&table2(&opts)));
+            println!("{}", render_markdown(&table3(&opts)));
+            println!("{}", render_markdown(&table4(&opts)));
+            println!("{}", render_markdown(&table5(&opts)));
+            run_bug(&opts);
+        }
+        _ => usage(),
+    }
+}

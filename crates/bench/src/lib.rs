@@ -1,0 +1,481 @@
+//! Shared sweep logic for regenerating the paper's evaluation tables.
+//!
+//! Each `table*` function returns structured rows; [`render_markdown`]
+//! prints them in the row/column layout of the paper. The `tables` binary
+//! drives everything from the command line; the Criterion benches reuse the
+//! same per-cell workloads.
+
+use std::time::{Duration, Instant};
+
+use evc::check::{check_validity, CheckOptions, CheckOutcome};
+use evc::mem::MemoryModel;
+use evc::rewrite::{rewrite_correctness, RewriteError, RewriteInput, RewriteOptions};
+use sat::Limits;
+use uarch::correctness::CorrectnessBundle;
+use uarch::{correctness, BugSpec, Config, Operand};
+
+/// A single cell of a sweep table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Measured wall-clock seconds.
+    Seconds(f64),
+    /// A count (variables, clauses, ...).
+    Count(usize),
+    /// The configuration is impossible (width exceeds size) — the paper's
+    /// dashes.
+    Dash,
+    /// The budget was exhausted — the paper's out-of-memory cells.
+    OverBudget,
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Seconds(s) if *s >= 100.0 => write!(f, "{s:.0}"),
+            Cell::Seconds(s) if *s >= 1.0 => write!(f, "{s:.1}"),
+            Cell::Seconds(s) => write!(f, "{s:.3}"),
+            Cell::Count(n) => write!(f, "{n}"),
+            Cell::Dash => write!(f, "—"),
+            Cell::OverBudget => write!(f, ">budget"),
+        }
+    }
+}
+
+/// A sweep table: row labels (reorder-buffer sizes), column labels
+/// (issue/retire widths), and cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Label of the row-header column.
+    pub row_header: String,
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// `(row label, cells)` pairs.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+/// Renders a [`Table`] as GitHub-flavored markdown.
+pub fn render_markdown(table: &Table) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {}\n", table.title);
+    let _ = write!(out, "| {} |", table.row_header);
+    for c in &table.columns {
+        let _ = write!(out, " {c} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &table.columns {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for (label, cells) in &table.rows {
+        let _ = write!(out, "| {label} |");
+        for cell in cells {
+            let _ = write!(out, " {cell} |");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Sweep bounds and budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Largest reorder-buffer size to include.
+    pub max_size: usize,
+    /// Largest issue/retire width to include.
+    pub max_width: usize,
+    /// SAT wall-clock budget per cell, seconds.
+    pub sat_budget: f64,
+    /// Translation node budget per cell.
+    pub node_budget: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { max_size: 256, max_width: 128, sat_budget: 60.0, node_budget: 6_000_000 }
+    }
+}
+
+/// The paper's size and width ladders, clipped to the sweep bounds.
+pub fn size_ladder(opts: &SweepOptions) -> Vec<usize> {
+    [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 1250, 1500]
+        .into_iter()
+        .filter(|&s| s <= opts.max_size)
+        .collect()
+}
+
+/// The paper's width ladder, clipped to the sweep bounds.
+pub fn width_ladder(opts: &SweepOptions) -> Vec<usize> {
+    [1usize, 2, 4, 8, 16, 32, 64, 128]
+        .into_iter()
+        .filter(|&w| w <= opts.max_width)
+        .collect()
+}
+
+fn secs(d: Duration) -> Cell {
+    Cell::Seconds(d.as_secs_f64())
+}
+
+/// One cell of Table 1: CPU time for symbolically simulating the
+/// implementation and the specification when generating the EUFM
+/// correctness formula.
+pub fn generation_cell(size: usize, width: usize) -> Option<(Duration, CorrectnessBundle)> {
+    let config = Config::new(size, width).ok()?;
+    let t = Instant::now();
+    let bundle = correctness::generate(&config).ok()?;
+    Some((t.elapsed(), bundle))
+}
+
+/// Table 1: formula-generation (symbolic simulation) times.
+pub fn table1(opts: &SweepOptions) -> Table {
+    let mut rows = Vec::new();
+    for size in size_ladder(opts) {
+        let mut cells = Vec::new();
+        for width in width_ladder(opts) {
+            match generation_cell(size, width) {
+                Some((t, _)) => cells.push(secs(t)),
+                None => cells.push(Cell::Dash),
+            }
+        }
+        rows.push((size.to_string(), cells));
+    }
+    Table {
+        title: "Table 1 — CPU time [s] for symbolically simulating the out-of-order \
+                implementation and the specification, generating the EUFM correctness formula"
+            .to_owned(),
+        row_header: "ROB size \\ width".to_owned(),
+        columns: width_ladder(opts).iter().map(ToString::to_string).collect(),
+        rows,
+    }
+}
+
+/// The result of checking one configuration with the PE-only flow.
+pub struct PeOnlyCell {
+    /// Wall-clock time of the SAT run (the paper's Table 2 number).
+    pub sat_time: Duration,
+    /// Translation time.
+    pub translate_time: Duration,
+    /// Statistics (the paper's Table 3 rows).
+    pub stats: evc::check::TranslationStats,
+    /// Whether the check completed (false = budget exhausted).
+    pub completed: bool,
+    /// Whether the design verified.
+    pub valid: bool,
+}
+
+/// One cell of Tables 2/3: Positive Equality only.
+pub fn pe_only_cell(size: usize, width: usize, opts: &SweepOptions) -> Option<PeOnlyCell> {
+    let config = Config::new(size, width).ok()?;
+    let mut bundle = correctness::generate(&config).ok()?;
+    let check = CheckOptions {
+        memory: MemoryModel::Forwarding,
+        max_nodes: opts.node_budget,
+        sat_limits: Limits { max_seconds: Some(opts.sat_budget), ..Limits::none() },
+        ..CheckOptions::default()
+    };
+    let report = check_validity(&mut bundle.ctx, bundle.formula, &check);
+    Some(PeOnlyCell {
+        sat_time: report.sat_time,
+        translate_time: report.translate_time,
+        stats: report.stats,
+        completed: !matches!(report.outcome, CheckOutcome::Unknown(_)),
+        valid: report.outcome.is_valid(),
+    })
+}
+
+/// Table 2: SAT-checking times with Positive Equality only.
+pub fn table2(opts: &SweepOptions) -> Table {
+    let sizes: Vec<usize> = size_ladder(opts).into_iter().filter(|&s| s <= 16).collect();
+    let widths: Vec<usize> = width_ladder(opts).into_iter().filter(|&w| w <= 8).collect();
+    let mut rows = Vec::new();
+    let mut dead_sizes = false;
+    for size in sizes {
+        let mut cells = Vec::new();
+        for &width in &widths {
+            if width > size {
+                cells.push(Cell::Dash);
+                continue;
+            }
+            if dead_sizes {
+                cells.push(Cell::OverBudget);
+                continue;
+            }
+            match pe_only_cell(size, width, opts) {
+                Some(cell) if cell.completed => cells.push(secs(cell.sat_time)),
+                Some(_) => cells.push(Cell::OverBudget),
+                None => cells.push(Cell::Dash),
+            }
+        }
+        // Once every width blows the budget, larger sizes only get worse
+        // (mirrors the paper stopping at 16 entries).
+        if cells.iter().all(|c| matches!(c, Cell::OverBudget | Cell::Dash)) {
+            dead_sizes = true;
+        }
+        rows.push((size.to_string(), cells));
+    }
+    Table {
+        title: "Table 2 — CPU time [s] for SAT-checking the CNF (processor correctness) \
+                with Positive Equality only"
+            .to_owned(),
+        row_header: "ROB size \\ width".to_owned(),
+        columns: widths.iter().map(ToString::to_string).collect(),
+        rows,
+    }
+}
+
+/// Table 3: CNF statistics at 8 reorder-buffer entries, PE only.
+pub fn table3(opts: &SweepOptions) -> Table {
+    let widths: Vec<usize> = [1usize, 2, 4, 8].into_iter().collect();
+    let mut eij = Vec::new();
+    let mut other = Vec::new();
+    let mut total = Vec::new();
+    let mut vars = Vec::new();
+    let mut clauses = Vec::new();
+    let mut time = Vec::new();
+    for &width in &widths {
+        match pe_only_cell(8, width, opts) {
+            Some(cell) => {
+                eij.push(Cell::Count(cell.stats.eij_vars));
+                other.push(Cell::Count(cell.stats.other_vars));
+                total.push(Cell::Count(cell.stats.total_primary()));
+                vars.push(Cell::Count(cell.stats.cnf_vars));
+                clauses.push(Cell::Count(cell.stats.cnf_clauses));
+                time.push(if cell.completed { secs(cell.sat_time) } else { Cell::OverBudget });
+            }
+            None => {
+                for v in [&mut eij, &mut other, &mut total, &mut vars, &mut clauses, &mut time] {
+                    v.push(Cell::Dash);
+                }
+            }
+        }
+    }
+    Table {
+        title: "Table 3 — CNF statistics for models with 8 reorder-buffer entries, \
+                Positive Equality only"
+            .to_owned(),
+        row_header: "size 8, width →".to_owned(),
+        columns: widths.iter().map(ToString::to_string).collect(),
+        rows: vec![
+            ("e_ij primary inputs".to_owned(), eij),
+            ("other primary inputs".to_owned(), other),
+            ("total primary inputs".to_owned(), total),
+            ("CNF variables".to_owned(), vars),
+            ("CNF clauses".to_owned(), clauses),
+            ("SAT CPU time [s]".to_owned(), time),
+        ],
+    }
+}
+
+/// The result of the rewriting + Positive Equality flow on one cell.
+pub struct RewriteCell {
+    /// Rewriting + translation time (the paper's Table 4 number).
+    pub translate_time: Duration,
+    /// SAT time (part of the paper's Table 5).
+    pub sat_time: Duration,
+    /// Statistics (the paper's Table 5 rows).
+    pub stats: evc::check::TranslationStats,
+    /// Whether the design verified.
+    pub valid: bool,
+}
+
+/// One cell of Tables 4/5: rewriting rules + Positive Equality.
+pub fn rewrite_cell(size: usize, width: usize, opts: &SweepOptions) -> Option<RewriteCell> {
+    let config = Config::new(size, width).ok()?;
+    let mut bundle = correctness::generate(&config).ok()?;
+    let t = Instant::now();
+    let input = RewriteInput {
+        formula: bundle.formula,
+        rf_impl: bundle.rf_impl,
+        rf_spec0: bundle.rf_spec[0],
+    };
+    let outcome = rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default()).ok()?;
+    let check = CheckOptions {
+        memory: MemoryModel::Conservative,
+        sat_limits: Limits { max_seconds: Some(opts.sat_budget), ..Limits::none() },
+        ..CheckOptions::default()
+    };
+    let report = check_validity(&mut bundle.ctx, outcome.formula, &check);
+    Some(RewriteCell {
+        translate_time: t.elapsed() - report.sat_time + report.translate_time,
+        sat_time: report.sat_time,
+        stats: report.stats,
+        valid: report.outcome.is_valid(),
+    })
+}
+
+/// Table 4: EUFM-to-Boolean translation times with rewriting rules +
+/// Positive Equality.
+pub fn table4(opts: &SweepOptions) -> Table {
+    let mut rows = Vec::new();
+    for size in size_ladder(opts) {
+        let mut cells = Vec::new();
+        for width in width_ladder(opts) {
+            match rewrite_cell(size, width, opts) {
+                Some(cell) => cells.push(secs(cell.translate_time)),
+                None => cells.push(Cell::Dash),
+            }
+        }
+        rows.push((size.to_string(), cells));
+    }
+    Table {
+        title: "Table 4 — CPU time [s] for translating the EUFM correctness formula to a \
+                Boolean formula, rewriting rules + Positive Equality"
+            .to_owned(),
+        row_header: "ROB size \\ width".to_owned(),
+        columns: width_ladder(opts).iter().map(ToString::to_string).collect(),
+        rows,
+    }
+}
+
+/// Table 5: CNF statistics with rewriting rules + Positive Equality
+/// (independent of the reorder-buffer size; computed at the smallest
+/// feasible size per width).
+pub fn table5(opts: &SweepOptions) -> Table {
+    let widths = width_ladder(opts);
+    let mut eij = Vec::new();
+    let mut other = Vec::new();
+    let mut total = Vec::new();
+    let mut vars = Vec::new();
+    let mut clauses = Vec::new();
+    let mut time = Vec::new();
+    for &width in &widths {
+        let size = width.max(2);
+        match rewrite_cell(size, width, opts) {
+            Some(cell) => {
+                eij.push(Cell::Count(cell.stats.eij_vars));
+                other.push(Cell::Count(cell.stats.other_vars));
+                total.push(Cell::Count(cell.stats.total_primary()));
+                vars.push(Cell::Count(cell.stats.cnf_vars));
+                clauses.push(Cell::Count(cell.stats.cnf_clauses));
+                time.push(if cell.valid { secs(cell.sat_time) } else { Cell::OverBudget });
+            }
+            None => {
+                for v in [&mut eij, &mut other, &mut total, &mut vars, &mut clauses, &mut time] {
+                    v.push(Cell::Dash);
+                }
+            }
+        }
+    }
+    Table {
+        title: "Table 5 — CNF statistics for models with ANY reorder-buffer size, \
+                rewriting rules + Positive Equality"
+            .to_owned(),
+        row_header: "any size, width →".to_owned(),
+        columns: widths.iter().map(ToString::to_string).collect(),
+        rows: vec![
+            ("e_ij primary inputs".to_owned(), eij),
+            ("other primary inputs".to_owned(), other),
+            ("total primary inputs".to_owned(), total),
+            ("CNF variables".to_owned(), vars),
+            ("CNF clauses".to_owned(), clauses),
+            ("SAT CPU time [s]".to_owned(), time),
+        ],
+    }
+}
+
+/// The buggy-variant experiment (Sect. 7.2): forwarding bug in one operand
+/// of slice 72 of a 128-entry, width-4 design.
+pub struct BugExperiment {
+    /// Time for the rewriting rules to localize the slice.
+    pub rewriting_time: Duration,
+    /// The diagnosed slice (should be 72).
+    pub diagnosed_slice: Option<usize>,
+    /// Time for the *correct* variant to verify with rewriting (the paper's
+    /// companion number: 10 s vs 9 s for the bug).
+    pub correct_time: Duration,
+    /// What happened to the PE-only attempt.
+    pub pe_only: Cell,
+}
+
+/// Runs the buggy-variant experiment.
+pub fn bug_experiment(opts: &SweepOptions) -> BugExperiment {
+    let config = Config::new(128, 4).expect("paper configuration");
+    let bug = BugSpec::ForwardingIgnoresValidResult { slice: 72, operand: Operand::Src2 };
+
+    let t = Instant::now();
+    let mut bundle =
+        correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
+            .expect("generate");
+    let input = RewriteInput {
+        formula: bundle.formula,
+        rf_impl: bundle.rf_impl,
+        rf_spec0: bundle.rf_spec[0],
+    };
+    let diagnosed_slice =
+        match rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default()) {
+            Err(RewriteError::Slice { slice, .. }) => Some(slice),
+            _ => None,
+        };
+    let rewriting_time = t.elapsed();
+
+    let t = Instant::now();
+    let cell = rewrite_cell(128, 4, opts).expect("correct variant");
+    assert!(cell.valid, "correct 128x4 variant must verify");
+    let correct_time = t.elapsed();
+
+    // PE-only on the buggy variant: expected to exhaust its budget.
+    let mut bundle =
+        correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
+            .expect("generate");
+    let check = CheckOptions {
+        memory: MemoryModel::Forwarding,
+        max_nodes: opts.node_budget.min(3_000_000),
+        sat_limits: Limits { max_seconds: Some(opts.sat_budget), ..Limits::none() },
+        ..CheckOptions::default()
+    };
+    let t = Instant::now();
+    let report = check_validity(&mut bundle.ctx, bundle.formula, &check);
+    let pe_only = match report.outcome {
+        CheckOutcome::Unknown(_) => Cell::OverBudget,
+        _ => secs(t.elapsed()),
+    };
+
+    BugExperiment { rewriting_time, diagnosed_slice, correct_time, pe_only }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_shapes_cells() {
+        let table = Table {
+            title: "T".to_owned(),
+            row_header: "r".to_owned(),
+            columns: vec!["1".to_owned(), "2".to_owned()],
+            rows: vec![(
+                "4".to_owned(),
+                vec![Cell::Seconds(0.1234), Cell::Dash],
+            )],
+        };
+        let md = render_markdown(&table);
+        assert!(md.contains("| 4 | 0.123 | — |"), "{md}");
+    }
+
+    #[test]
+    fn ladders_respect_bounds() {
+        let opts = SweepOptions { max_size: 16, max_width: 4, ..SweepOptions::default() };
+        assert_eq!(size_ladder(&opts), vec![2, 4, 8, 16]);
+        assert_eq!(width_ladder(&opts), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn small_cells_compute() {
+        let opts = SweepOptions {
+            max_size: 4,
+            max_width: 2,
+            sat_budget: 30.0,
+            node_budget: 5_000_000,
+        };
+        let (t, _) = generation_cell(4, 2).expect("generation");
+        assert!(t.as_secs_f64() < 30.0);
+        let cell = pe_only_cell(2, 1, &opts).expect("pe cell");
+        assert!(cell.completed && cell.valid);
+        let cell = rewrite_cell(4, 2, &opts).expect("rewrite cell");
+        assert!(cell.valid);
+        assert_eq!(cell.stats.eij_vars, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Human-readable decoding of counterexamples.
+//!
+//! A [`Verdict::Falsified`](crate::Verdict::Falsified) carries the names of
+//! the primary Boolean variables assigned *true* in one falsifying
+//! assignment. [`describe_counterexample`] groups them into the paper's
+//! vocabulary: which instructions were valid, which results were already
+//! computed, what the scheduler fetched, what the execution abstraction
+//! completed, and which register-identifier equalities (`e_ij`) the
+//! counterexample relies on.
+
+use std::fmt::Write as _;
+
+/// Groups counterexample variables into a readable report.
+///
+/// # Example
+///
+/// ```
+/// let report = rob_verify::explain::describe_counterexample(&[
+///     "Valid_2".to_owned(),
+///     "ValidResult_2".to_owned(),
+///     "NDFetch_1@0".to_owned(),
+///     "eij!4!17".to_owned(),
+/// ]);
+/// assert!(report.contains("Valid_2"));
+/// assert!(report.contains("fetched"));
+/// ```
+pub fn describe_counterexample(true_vars: &[String]) -> String {
+    let mut valid = Vec::new();
+    let mut valid_result = Vec::new();
+    let mut fetched = Vec::new();
+    let mut executed = Vec::new();
+    let mut eij = Vec::new();
+    let mut other = Vec::new();
+    for name in true_vars {
+        if name.starts_with("Valid_") && !name.starts_with("ValidResult") {
+            valid.push(name.as_str());
+        } else if name.starts_with("ValidResult_") {
+            valid_result.push(name.as_str());
+        } else if name.starts_with("NDFetch_") {
+            fetched.push(name.as_str());
+        } else if name.starts_with("NDExecute_") {
+            executed.push(name.as_str());
+        } else if name.starts_with("eij!") {
+            eij.push(name.as_str());
+        } else {
+            other.push(name.as_str());
+        }
+    }
+    let mut out = String::new();
+    let mut section = |title: &str, items: &[&str]| {
+        if !items.is_empty() {
+            let _ = writeln!(out, "{title}: {}", items.join(", "));
+        }
+    };
+    section("instructions marked valid", &valid);
+    section("results already computed", &valid_result);
+    section("fetched this cycle (scheduler abstraction)", &fetched);
+    section("completed this cycle (execution abstraction)", &executed);
+    section("register-identifier equalities assumed", &eij);
+    section("other control", &other);
+    if out.is_empty() {
+        out.push_str("all primary variables false\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_prefix() {
+        let report = describe_counterexample(&[
+            "Valid_1".to_owned(),
+            "ValidResult_1".to_owned(),
+            "NDExecute_3@0".to_owned(),
+            "NDFetch_1@0".to_owned(),
+            "eij!10!12".to_owned(),
+            "app!IMemValid!1!0".to_owned(),
+        ]);
+        assert!(report.contains("instructions marked valid: Valid_1"));
+        assert!(report.contains("results already computed: ValidResult_1"));
+        assert!(report.contains("completed this cycle"));
+        assert!(report.contains("fetched this cycle"));
+        assert!(report.contains("equalities assumed: eij!10!12"));
+        assert!(report.contains("other control: app!IMemValid!1!0"));
+    }
+
+    #[test]
+    fn empty_input_reports_all_false() {
+        assert_eq!(describe_counterexample(&[]), "all primary variables false\n");
+    }
+}

@@ -1,0 +1,447 @@
+//! # rob-verify
+//!
+//! Formal verification of wide-issue out-of-order microprocessors with a
+//! reorder buffer, reproducing Velev's DATE 2002 method: **rewriting rules
+//! combined with Positive Equality**.
+//!
+//! The pipeline, end to end:
+//!
+//! 1. [`uarch`] generates an abstract out-of-order implementation processor
+//!    (reorder buffer of `N` entries, issue/retire width `k`) and the
+//!    non-pipelined ISA specification as word-level netlists.
+//! 2. [`tlsim`] symbolically simulates both sides of the Burch–Dill
+//!    commutative diagram, producing an EUFM correctness formula in an
+//!    [`eufm`] expression context.
+//! 3. [`evc`] translates the formula to propositional logic — optionally
+//!    applying the **rewriting rules** first, which remove the
+//!    out-of-order core from the formula entirely — exploiting **Positive
+//!    Equality** for what remains.
+//! 4. [`sat`] proves the negation unsatisfiable with a Chaff-style CDCL
+//!    solver.
+//!
+//! This crate ties the stages together behind the [`Verifier`] API.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rob_verify::{Config, Strategy, Verdict, Verifier};
+//!
+//! // An 8-entry reorder buffer, issuing/retiring up to 2 per cycle.
+//! let config = Config::new(8, 2)?;
+//! let verification = Verifier::new(config)
+//!     .strategy(Strategy::RewritingAndPositiveEquality)
+//!     .run()?;
+//! assert_eq!(verification.verdict, Verdict::Verified);
+//! // Rewriting removed every e_ij variable (paper Table 5):
+//! assert_eq!(verification.stats.eij_vars, 0);
+//! # Ok::<(), rob_verify::VerifyError>(())
+//! ```
+//!
+//! # Finding bugs
+//!
+//! ```
+//! use rob_verify::{BugSpec, Config, Operand, Verdict, Verifier};
+//!
+//! let config = Config::new(8, 2)?;
+//! let bug = BugSpec::ForwardingIgnoresValidResult { slice: 5, operand: Operand::Src2 };
+//! let verification = Verifier::new(config).bug(bug).run()?;
+//! match verification.verdict {
+//!     Verdict::SliceDiagnosis { slice, .. } => assert_eq!(slice, 5),
+//!     other => panic!("expected a slice diagnosis, got {other:?}"),
+//! }
+//! # Ok::<(), rob_verify::VerifyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub mod explain;
+
+use evc::check::{check_validity, CheckOptions, CheckOutcome, UnknownReason};
+use evc::mem::MemoryModel;
+use evc::rewrite::{rewrite_correctness, RewriteError, RewriteInput, RewriteOptions};
+use uarch::correctness::{self, CorrectnessBundle};
+
+pub use sat::{Limits, SolverStats};
+pub use tlsim::EvalStrategy;
+pub use uarch::{BugSpec, Config, Operand, UarchError};
+
+/// How the EUFM correctness formula is discharged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Positive Equality alone (the paper's Sect. 7.1 baseline): exact
+    /// forwarding memory model, `e_ij` encoding of register-identifier
+    /// comparisons. Blows up rapidly with the reorder-buffer size.
+    PositiveEqualityOnly,
+    /// Rewriting rules first, then Positive Equality with the conservative
+    /// memory model (the paper's contribution, Sect. 7.2). Up to five
+    /// orders of magnitude faster; CNF size independent of the
+    /// reorder-buffer size.
+    #[default]
+    RewritingAndPositiveEquality,
+}
+
+/// The verification verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The implementation is correct: the correctness formula is valid.
+    Verified,
+    /// The correctness formula is falsifiable; the listed primary variables
+    /// are true in one counterexample.
+    Falsified {
+        /// Names of the primary Boolean variables assigned true.
+        true_vars: Vec<String>,
+    },
+    /// A rewriting rule failed on a specific computation slice: the slice
+    /// does not conform to the expected structure and is suspect (subject
+    /// to the paper's false-negative caveat).
+    SliceDiagnosis {
+        /// The offending 1-based reorder-buffer slice.
+        slice: usize,
+        /// What failed.
+        reason: String,
+    },
+    /// A resource limit (time, conflicts, node budget) was reached — the
+    /// graceful analogue of the paper's out-of-memory cells.
+    ResourceLimit(String),
+}
+
+/// Per-phase wall-clock timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Symbolic simulation: generating the EUFM correctness formula
+    /// (paper Table 1).
+    pub generate: Duration,
+    /// Rewriting rules (zero for [`Strategy::PositiveEqualityOnly`]).
+    pub rewrite: Duration,
+    /// EUFM-to-CNF translation (paper Tables 2/4).
+    pub translate: Duration,
+    /// SAT solving (paper Tables 2/5).
+    pub sat: Duration,
+}
+
+impl PhaseTimings {
+    /// Total wall-clock time across all phases.
+    pub fn total(&self) -> Duration {
+        self.generate + self.rewrite + self.translate + self.sat
+    }
+}
+
+/// Headline statistics of a verification run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerificationStats {
+    /// `e_ij` variables in the final propositional formula (paper
+    /// Tables 3/5).
+    pub eij_vars: usize,
+    /// Other primary Boolean variables.
+    pub other_vars: usize,
+    /// CNF variables.
+    pub cnf_vars: usize,
+    /// CNF clauses.
+    pub cnf_clauses: usize,
+    /// Distinct EUFM nodes after formula generation.
+    pub formula_nodes: usize,
+    /// SAT conflicts.
+    pub sat_conflicts: u64,
+    /// Rewriting obligations discharged (zero for PE-only).
+    pub rewrite_obligations: usize,
+    /// Rewriting obligations discharged by the syntactic fast path.
+    pub rewrite_syntactic: usize,
+    /// Retire-width update pairs merged by the rewriting rules.
+    pub retire_pairs: usize,
+    /// When proof checking was requested and the verdict is
+    /// [`Verdict::Verified`]: whether the independent DRUP checker
+    /// accepted the solver's unsatisfiability proof.
+    pub proof_checked: Option<bool>,
+}
+
+/// The result of a verification run.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Per-phase timings.
+    pub timings: PhaseTimings,
+    /// Statistics.
+    pub stats: VerificationStats,
+}
+
+/// Errors from the verification driver (configuration and structural
+/// problems; *verdicts* are reported through [`Verification`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Model generation failed.
+    Uarch(UarchError),
+    /// The rewriting engine found the formula structurally alien (not a
+    /// slice-local failure).
+    Structure(String),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Uarch(e) => write!(f, "{e}"),
+            VerifyError::Structure(msg) => write!(f, "structural mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<UarchError> for VerifyError {
+    fn from(e: UarchError) -> Self {
+        VerifyError::Uarch(e)
+    }
+}
+
+/// The end-to-end verification driver.
+///
+/// Configure with the builder-style methods and execute with
+/// [`Verifier::run`]. See the crate-level examples.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    config: Config,
+    bug: Option<BugSpec>,
+    strategy: Strategy,
+    eval: EvalStrategy,
+    sat_limits: Limits,
+    max_nodes: usize,
+    transitivity: bool,
+    check_proof: bool,
+}
+
+impl Verifier {
+    /// Creates a verifier for the given processor configuration.
+    pub fn new(config: Config) -> Self {
+        Verifier {
+            config,
+            bug: None,
+            strategy: Strategy::default(),
+            eval: EvalStrategy::Lazy,
+            sat_limits: Limits::none(),
+            max_nodes: 0,
+            transitivity: true,
+            check_proof: false,
+        }
+    }
+
+    /// Seeds a design defect (for bug-hunting experiments).
+    pub fn bug(mut self, bug: BugSpec) -> Self {
+        self.bug = Some(bug);
+        self
+    }
+
+    /// Selects the translation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Selects the symbolic-evaluation strategy (lazy cone-of-influence by
+    /// default).
+    pub fn eval(mut self, eval: EvalStrategy) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// Bounds the SAT search.
+    pub fn sat_limits(mut self, limits: Limits) -> Self {
+        self.sat_limits = limits;
+        self
+    }
+
+    /// Bounds the translation's expression-node growth (0 = unlimited).
+    pub fn max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Enables or disables transitivity constraints over `e_ij` variables.
+    pub fn transitivity(mut self, enabled: bool) -> Self {
+        self.transitivity = enabled;
+        self
+    }
+
+    /// Logs and independently checks a DRUP unsatisfiability proof for
+    /// `Verified` verdicts (see [`VerificationStats::proof_checked`]).
+    pub fn proof_checking(mut self, enabled: bool) -> Self {
+        self.check_proof = enabled;
+        self
+    }
+
+    /// Generates the correctness formula and discharges it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] for configuration or global structural
+    /// failures. Verification *verdicts* — including bug diagnoses and
+    /// resource exhaustion — are reported in the returned
+    /// [`Verification`].
+    pub fn run(&self) -> Result<Verification, VerifyError> {
+        let mut timings = PhaseTimings::default();
+        let mut stats = VerificationStats::default();
+        let t0 = Instant::now();
+        let mut bundle: CorrectnessBundle =
+            correctness::generate_with(&self.config, self.bug, self.eval)?;
+        timings.generate = t0.elapsed();
+        stats.formula_nodes = bundle.stats.ctx_nodes;
+
+        let (formula, memory) = match self.strategy {
+            Strategy::PositiveEqualityOnly => (bundle.formula, MemoryModel::Forwarding),
+            Strategy::RewritingAndPositiveEquality => {
+                let t1 = Instant::now();
+                let input = RewriteInput {
+                    formula: bundle.formula,
+                    rf_impl: bundle.rf_impl,
+                    rf_spec0: bundle.rf_spec[0],
+                };
+                let result =
+                    rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default());
+                timings.rewrite = t1.elapsed();
+                match result {
+                    Ok(outcome) => {
+                        stats.rewrite_obligations = outcome.obligations;
+                        stats.rewrite_syntactic = outcome.syntactic_hits;
+                        stats.retire_pairs = outcome.retire_pairs;
+                        (outcome.formula, MemoryModel::Conservative)
+                    }
+                    Err(RewriteError::Slice { slice, reason }) => {
+                        return Ok(Verification {
+                            verdict: Verdict::SliceDiagnosis { slice, reason },
+                            timings,
+                            stats,
+                        })
+                    }
+                    Err(RewriteError::Structure(msg)) => {
+                        return Err(VerifyError::Structure(msg))
+                    }
+                }
+            }
+        };
+
+        let options = CheckOptions {
+            memory,
+            transitivity: self.transitivity,
+            sat_limits: self.sat_limits,
+            max_nodes: self.max_nodes,
+            check_proof: self.check_proof,
+            ..CheckOptions::default()
+        };
+        let report = check_validity(&mut bundle.ctx, formula, &options);
+        timings.translate = report.translate_time;
+        timings.sat = report.sat_time;
+        stats.eij_vars = report.stats.eij_vars;
+        stats.other_vars = report.stats.other_vars;
+        stats.cnf_vars = report.stats.cnf_vars;
+        stats.cnf_clauses = report.stats.cnf_clauses;
+        stats.sat_conflicts = report.sat_stats.conflicts;
+        stats.proof_checked = report.proof_checked;
+
+        let verdict = match report.outcome {
+            CheckOutcome::Valid => Verdict::Verified,
+            CheckOutcome::Invalid { true_vars } => Verdict::Falsified { true_vars },
+            CheckOutcome::Unknown(reason) => Verdict::ResourceLimit(match reason {
+                UnknownReason::TranslationBudget => "translation node budget".to_owned(),
+                UnknownReason::SatConflicts => "SAT conflict budget".to_owned(),
+                UnknownReason::SatTime => "SAT time budget".to_owned(),
+                UnknownReason::SatMemory => "SAT memory budget".to_owned(),
+            }),
+        };
+
+        Ok(Verification { verdict, timings, stats })
+    }
+}
+
+/// Convenience wrapper: verifies a bug-free processor with the default
+/// (rewriting + Positive Equality) strategy.
+///
+/// # Errors
+///
+/// Propagates [`VerifyError`] from [`Verifier::run`].
+///
+/// # Example
+///
+/// ```
+/// let ok = rob_verify::verify(rob_verify::Config::new(4, 2)?)?;
+/// assert!(ok);
+/// # Ok::<(), rob_verify::VerifyError>(())
+/// ```
+pub fn verify(config: Config) -> Result<bool, VerifyError> {
+    Ok(Verifier::new(config).run()?.verdict == Verdict::Verified)
+}
+
+/// Re-export of the correctness-bundle generator for advanced use (direct
+/// access to the EUFM formula and state expressions).
+pub use uarch::correctness::generate as generate_correctness;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_strategy_verifies() {
+        let config = Config::new(3, 2).expect("config");
+        let v = Verifier::new(config).run().expect("run");
+        assert_eq!(v.verdict, Verdict::Verified);
+        assert_eq!(v.stats.eij_vars, 0);
+        assert!(v.stats.rewrite_obligations > 0);
+        assert_eq!(v.stats.retire_pairs, 2);
+    }
+
+    #[test]
+    fn pe_only_strategy_verifies_small() {
+        let config = Config::new(2, 1).expect("config");
+        let v = Verifier::new(config)
+            .strategy(Strategy::PositiveEqualityOnly)
+            .run()
+            .expect("run");
+        assert_eq!(v.verdict, Verdict::Verified);
+        assert!(v.stats.eij_vars > 0, "PE-only must use e_ij variables");
+    }
+
+    #[test]
+    fn bug_is_diagnosed_to_slice() {
+        let config = Config::new(5, 2).expect("config");
+        let bug = BugSpec::ForwardingIgnoresValidResult { slice: 3, operand: Operand::Src1 };
+        let v = Verifier::new(config).bug(bug).run().expect("run");
+        match v.verdict {
+            Verdict::SliceDiagnosis { slice, .. } => assert_eq!(slice, 3),
+            other => panic!("expected diagnosis, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resource_limits_are_graceful() {
+        let config = Config::new(4, 4).expect("config");
+        let v = Verifier::new(config)
+            .strategy(Strategy::PositiveEqualityOnly)
+            .sat_limits(Limits { max_conflicts: Some(1), ..Limits::none() })
+            .run()
+            .expect("run");
+        assert!(matches!(v.verdict, Verdict::ResourceLimit(_)));
+    }
+
+    #[test]
+    fn verified_verdicts_carry_checked_proofs() {
+        let config = Config::new(4, 2).expect("config");
+        let v = Verifier::new(config).proof_checking(true).run().expect("run");
+        assert_eq!(v.verdict, Verdict::Verified);
+        assert_eq!(v.stats.proof_checked, Some(true));
+    }
+
+    #[test]
+    fn eager_and_lazy_agree() {
+        let config = Config::new(2, 2).expect("config");
+        let lazy = Verifier::new(config).eval(EvalStrategy::Lazy).run().expect("run");
+        let eager = Verifier::new(config).eval(EvalStrategy::Eager).run().expect("run");
+        assert_eq!(lazy.verdict, eager.verdict);
+        assert_eq!(lazy.stats.cnf_clauses, eager.stats.cnf_clauses);
+    }
+
+    #[test]
+    fn verify_helper() {
+        assert!(verify(Config::new(2, 2).expect("config")).expect("run"));
+    }
+}

@@ -1,0 +1,766 @@
+//! The hash-consing expression context.
+
+use std::collections::HashMap;
+
+use crate::node::{ExprId, Node, Sort};
+use crate::symbol::{Interner, Symbol};
+
+/// An arena of hash-consed EUFM expressions.
+///
+/// All expressions live inside a context and are referred to by [`ExprId`].
+/// Structural sharing is maximal: building the same node twice returns the
+/// same id, so id equality *is* structural equality. Smart constructors
+/// perform light normalization (constant folding, flattening and canonical
+/// ordering of `and`/`or`, canonical orientation of equations, `ITE`
+/// collapses), which both shrinks formulas and makes the syntactic checks of
+/// the rewriting-rule engine reliable.
+///
+/// # Example
+///
+/// ```
+/// use eufm::Context;
+///
+/// let mut ctx = Context::new();
+/// let x = ctx.pvar("x");
+/// let not_not_x = {
+///     let nx = ctx.not(x);
+///     ctx.not(nx)
+/// };
+/// assert_eq!(x, not_not_x); // hash-consing + simplification
+/// ```
+#[derive(Debug, Clone)]
+pub struct Context {
+    nodes: Vec<Node>,
+    sorts: Vec<Sort>,
+    map: HashMap<Node, ExprId>,
+    symbols: Interner,
+    signatures: HashMap<Symbol, (Vec<Sort>, Sort)>,
+    fresh_counter: u64,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Context {
+    /// Creates an empty context containing only the constants `true` and
+    /// `false`.
+    pub fn new() -> Self {
+        let mut ctx = Context {
+            nodes: Vec::new(),
+            sorts: Vec::new(),
+            map: HashMap::new(),
+            symbols: Interner::new(),
+            signatures: HashMap::new(),
+            fresh_counter: 0,
+        };
+        let t = ctx.insert(Node::True, Sort::Bool);
+        let f = ctx.insert(Node::False, Sort::Bool);
+        debug_assert_eq!(t, Context::TRUE);
+        debug_assert_eq!(f, Context::FALSE);
+        ctx
+    }
+
+    /// The id of the constant `true`.
+    pub const TRUE: ExprId = ExprId(0);
+    /// The id of the constant `false`.
+    pub const FALSE: ExprId = ExprId(1);
+
+    fn insert(&mut self, node: Node, sort: Sort) -> ExprId {
+        if let Some(&id) = self.map.get(&node) {
+            return id;
+        }
+        let id = ExprId(u32::try_from(self.nodes.len()).expect("context node overflow"));
+        self.nodes.push(node.clone());
+        self.sorts.push(sort);
+        self.map.insert(node, id);
+        id
+    }
+
+    /// The node stored at `id`.
+    #[inline]
+    pub fn node(&self, id: ExprId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The sort of the expression `id`.
+    #[inline]
+    pub fn sort(&self, id: ExprId) -> Sort {
+        self.sorts[id.index()]
+    }
+
+    /// The number of distinct nodes allocated in this context.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the context holds only the two Boolean constants.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// Resolves an interned symbol back to its name.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// Interns a name, returning its symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.symbols.intern(name)
+    }
+
+    /// The number of interned symbols.
+    pub fn symbol_count(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns the Boolean constant for `value`.
+    #[inline]
+    pub fn bool_const(&self, value: bool) -> ExprId {
+        if value {
+            Context::TRUE
+        } else {
+            Context::FALSE
+        }
+    }
+
+    /// Whether `id` is the constant `true`.
+    #[inline]
+    pub fn is_true(&self, id: ExprId) -> bool {
+        id == Context::TRUE
+    }
+
+    /// Whether `id` is the constant `false`.
+    #[inline]
+    pub fn is_false(&self, id: ExprId) -> bool {
+        id == Context::FALSE
+    }
+
+    // ----- variables -------------------------------------------------------
+
+    /// Creates (or retrieves) a variable of the given sort.
+    pub fn var(&mut self, name: &str, sort: Sort) -> ExprId {
+        let sym = self.symbols.intern(name);
+        self.insert(Node::Var(sym, sort), sort)
+    }
+
+    /// Creates (or retrieves) a propositional variable.
+    pub fn pvar(&mut self, name: &str) -> ExprId {
+        self.var(name, Sort::Bool)
+    }
+
+    /// Creates (or retrieves) a term variable.
+    pub fn tvar(&mut self, name: &str) -> ExprId {
+        self.var(name, Sort::Term)
+    }
+
+    /// Creates (or retrieves) a memory-state variable.
+    pub fn mvar(&mut self, name: &str) -> ExprId {
+        self.var(name, Sort::Mem)
+    }
+
+    /// Creates a fresh variable whose name starts with `prefix` and is
+    /// guaranteed not to collide with any existing variable.
+    pub fn fresh_var(&mut self, prefix: &str, sort: Sort) -> ExprId {
+        loop {
+            let name = format!("{prefix}!{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            let sym = self.symbols.intern(&name);
+            let node = Node::Var(sym, sort);
+            if !self.map.contains_key(&node) {
+                return self.insert(node, sort);
+            }
+        }
+    }
+
+    // ----- uninterpreted functions and predicates --------------------------
+
+    /// Applies the uninterpreted function `name` to `args`, producing a term.
+    ///
+    /// The signature (argument sorts and result sort) is recorded on first
+    /// use and must match on every later application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was previously applied with a different signature.
+    pub fn uf(&mut self, name: &str, args: Vec<ExprId>) -> ExprId {
+        self.apply(name, args, Sort::Term)
+    }
+
+    /// Applies the uninterpreted predicate `name` to `args`, producing a
+    /// formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was previously applied with a different signature.
+    pub fn up(&mut self, name: &str, args: Vec<ExprId>) -> ExprId {
+        self.apply(name, args, Sort::Bool)
+    }
+
+    /// Applies an uninterpreted symbol with an explicit result sort.
+    ///
+    /// This generalizes [`Context::uf`]/[`Context::up`] to memory-sorted
+    /// results, which the conservative memory abstraction uses to replace
+    /// `write` with a fresh uninterpreted "memory transformer".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was previously applied with a different signature.
+    pub fn apply(&mut self, name: &str, args: Vec<ExprId>, result: Sort) -> ExprId {
+        let sym = self.symbols.intern(name);
+        let arg_sorts: Vec<Sort> = args.iter().map(|&a| self.sort(a)).collect();
+        match self.signatures.get(&sym) {
+            Some((sig_args, sig_res)) => {
+                assert!(
+                    *sig_args == arg_sorts && *sig_res == result,
+                    "inconsistent signature for uninterpreted symbol `{name}`"
+                );
+            }
+            None => {
+                self.signatures.insert(sym, (arg_sorts, result));
+            }
+        }
+        self.insert(Node::Uf(sym, args.into_boxed_slice(), result), result)
+    }
+
+    /// The recorded signature of an uninterpreted symbol, if it has been
+    /// applied.
+    pub fn signature(&self, sym: Symbol) -> Option<(&[Sort], Sort)> {
+        self.signatures.get(&sym).map(|(a, r)| (a.as_slice(), *r))
+    }
+
+    /// Applies an already-interned uninterpreted symbol.
+    ///
+    /// Equivalent to [`Context::apply`] but avoids resolving the name; used
+    /// by rebuilding passes (substitution, elimination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was previously applied with a different signature.
+    pub fn apply_sym(&mut self, sym: Symbol, args: Vec<ExprId>, result: Sort) -> ExprId {
+        let arg_sorts: Vec<Sort> = args.iter().map(|&a| self.sort(a)).collect();
+        match self.signatures.get(&sym) {
+            Some((sig_args, sig_res)) => {
+                assert!(
+                    *sig_args == arg_sorts && *sig_res == result,
+                    "inconsistent signature for uninterpreted symbol `{}`",
+                    self.symbols.resolve(sym)
+                );
+            }
+            None => {
+                self.signatures.insert(sym, (arg_sorts, result));
+            }
+        }
+        self.insert(Node::Uf(sym, args.into_boxed_slice(), result), result)
+    }
+
+    // ----- Boolean connectives ---------------------------------------------
+
+    /// Logical negation with constant folding and double-negation collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not a formula.
+    pub fn not(&mut self, a: ExprId) -> ExprId {
+        assert_eq!(self.sort(a), Sort::Bool, "not: operand must be a formula");
+        if a == Context::TRUE {
+            return Context::FALSE;
+        }
+        if a == Context::FALSE {
+            return Context::TRUE;
+        }
+        if let Node::Not(inner) = self.node(a) {
+            return *inner;
+        }
+        self.insert(Node::Not(a), Sort::Bool)
+    }
+
+    /// N-ary conjunction; flattens nested conjunctions, removes duplicates
+    /// and `true`, and short-circuits on `false` or complementary literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not a formula.
+    pub fn and(&mut self, operands: impl IntoIterator<Item = ExprId>) -> ExprId {
+        self.nary(operands, true)
+    }
+
+    /// N-ary disjunction; dual of [`Context::and`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not a formula.
+    pub fn or(&mut self, operands: impl IntoIterator<Item = ExprId>) -> ExprId {
+        self.nary(operands, false)
+    }
+
+    fn nary(&mut self, operands: impl IntoIterator<Item = ExprId>, is_and: bool) -> ExprId {
+        let (absorbing, identity) = if is_and {
+            (Context::FALSE, Context::TRUE)
+        } else {
+            (Context::TRUE, Context::FALSE)
+        };
+        let mut flat: Vec<ExprId> = Vec::new();
+        for op in operands {
+            assert_eq!(self.sort(op), Sort::Bool, "and/or: operand must be a formula");
+            if op == absorbing {
+                return absorbing;
+            }
+            if op == identity {
+                continue;
+            }
+            let same_kind = match self.node(op) {
+                Node::And(xs) if is_and => Some(xs.to_vec()),
+                Node::Or(xs) if !is_and => Some(xs.to_vec()),
+                _ => None,
+            };
+            match same_kind {
+                Some(xs) => flat.extend(xs),
+                None => flat.push(op),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        if flat.contains(&absorbing) {
+            return absorbing;
+        }
+        // complementary pair detection: x and not(x)
+        for &x in &flat {
+            if let Node::Not(inner) = self.node(x) {
+                if flat.binary_search(inner).is_ok() {
+                    return absorbing;
+                }
+            }
+        }
+        match flat.len() {
+            0 => identity,
+            1 => flat[0],
+            _ => {
+                let node = if is_and {
+                    Node::And(flat.into_boxed_slice())
+                } else {
+                    Node::Or(flat.into_boxed_slice())
+                };
+                self.insert(node, Sort::Bool)
+            }
+        }
+    }
+
+    /// Binary conjunction convenience wrapper.
+    pub fn and2(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.and([a, b])
+    }
+
+    /// Binary disjunction convenience wrapper.
+    pub fn or2(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.or([a, b])
+    }
+
+    /// Logical implication `a -> b`, built as `!a | b`.
+    pub fn implies(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        let na = self.not(a);
+        self.or2(na, b)
+    }
+
+    /// Logical equivalence `a <-> b`, built as an `ITE`.
+    pub fn iff(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        let nb = self.not(b);
+        self.ite(a, b, nb)
+    }
+
+    /// Exclusive or `a ^ b`.
+    pub fn xor(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        let nb = self.not(b);
+        self.ite(a, nb, b)
+    }
+
+    // ----- ITE --------------------------------------------------------------
+
+    /// If-then-else over formulas, terms, or memory states.
+    ///
+    /// Simplifications: constant or equal branches collapse; Boolean `ITE`s
+    /// with constant branches reduce to `and`/`or` forms;
+    /// `ite(c, t, ite(c, _, e))` and `ite(c, ite(c, t, _), e)` collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond` is not a formula or the branches' sorts differ.
+    pub fn ite(&mut self, cond: ExprId, then_val: ExprId, else_val: ExprId) -> ExprId {
+        assert_eq!(self.sort(cond), Sort::Bool, "ite: condition must be a formula");
+        let sort = self.sort(then_val);
+        assert_eq!(sort, self.sort(else_val), "ite: branch sorts must agree");
+        if cond == Context::TRUE || then_val == else_val {
+            return then_val;
+        }
+        if cond == Context::FALSE {
+            return else_val;
+        }
+        // Collapse nested ITEs on the same condition.
+        let mut then_val = then_val;
+        let mut else_val = else_val;
+        if let Node::Ite(c2, t2, _) = self.node(then_val) {
+            if *c2 == cond {
+                then_val = *t2;
+            }
+        }
+        if let Node::Ite(c2, _, e2) = self.node(else_val) {
+            if *c2 == cond {
+                else_val = *e2;
+            }
+        }
+        if then_val == else_val {
+            return then_val;
+        }
+        if sort == Sort::Bool {
+            return match (then_val, else_val) {
+                (t, e) if t == Context::TRUE && e == Context::FALSE => cond,
+                (t, e) if t == Context::FALSE && e == Context::TRUE => self.not(cond),
+                (t, e) if t == Context::TRUE => self.or2(cond, e),
+                (t, e) if t == Context::FALSE => {
+                    let nc = self.not(cond);
+                    self.and2(nc, e)
+                }
+                (t, e) if e == Context::TRUE => {
+                    let nc = self.not(cond);
+                    self.or2(nc, t)
+                }
+                (t, e) if e == Context::FALSE => self.and2(cond, t),
+                _ => self.insert(Node::Ite(cond, then_val, else_val), Sort::Bool),
+            };
+        }
+        self.insert(Node::Ite(cond, then_val, else_val), sort)
+    }
+
+    // ----- equations --------------------------------------------------------
+
+    /// Equation between two terms or two memory states.
+    ///
+    /// Identical operands fold to `true`; operands are stored in canonical
+    /// (smaller-id-first) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands' sorts differ or are Boolean (use
+    /// [`Context::iff`] for formulas).
+    pub fn eq(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        let sa = self.sort(a);
+        assert_eq!(sa, self.sort(b), "eq: operand sorts must agree");
+        assert_ne!(sa, Sort::Bool, "eq: use iff for formulas");
+        if a == b {
+            return Context::TRUE;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.insert(Node::Eq(a, b), Sort::Bool)
+    }
+
+    // ----- memories ---------------------------------------------------------
+
+    /// `read(mem, addr)`: the data at `addr` in memory state `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem` is not memory-sorted or `addr` is not a term.
+    pub fn read(&mut self, mem: ExprId, addr: ExprId) -> ExprId {
+        assert_eq!(self.sort(mem), Sort::Mem, "read: first operand must be a memory");
+        assert_eq!(self.sort(addr), Sort::Term, "read: address must be a term");
+        self.insert(Node::Read(mem, addr), Sort::Term)
+    }
+
+    /// `write(mem, addr, data)`: the memory state after the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand sorts are not (memory, term, term).
+    pub fn write(&mut self, mem: ExprId, addr: ExprId, data: ExprId) -> ExprId {
+        assert_eq!(self.sort(mem), Sort::Mem, "write: first operand must be a memory");
+        assert_eq!(self.sort(addr), Sort::Term, "write: address must be a term");
+        assert_eq!(self.sort(data), Sort::Term, "write: data must be a term");
+        self.insert(Node::Write(mem, addr, data), Sort::Mem)
+    }
+
+    /// A conditional write: `ite(cond, write(mem, addr, data), mem)`.
+    ///
+    /// This is the *update* shape of Velev's correctness formulas
+    /// (`context, address, data` triples).
+    pub fn update(&mut self, mem: ExprId, cond: ExprId, addr: ExprId, data: ExprId) -> ExprId {
+        let written = self.write(mem, addr, data);
+        self.ite(cond, written, mem)
+    }
+
+    // ----- traversal helpers -------------------------------------------------
+
+    /// Collects the children of `id` into a fresh vector.
+    pub fn children(&self, id: ExprId) -> Vec<ExprId> {
+        let mut out = Vec::new();
+        self.node(id).for_each_child(|c| out.push(c));
+        out
+    }
+
+    /// Iterates over the transitive sub-DAG of `roots` (each node once) in
+    /// a post-order (children before parents), calling `visit` on each id.
+    ///
+    /// Bookkeeping is proportional to the visited sub-DAG, not to the whole
+    /// context, so many small traversals of a large context stay cheap.
+    pub fn visit_post_order(&self, roots: &[ExprId], mut visit: impl FnMut(ExprId)) {
+        let mut seen: std::collections::HashSet<ExprId> =
+            std::collections::HashSet::with_capacity(roots.len() * 4);
+        let mut stack: Vec<(ExprId, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                visit(id);
+                continue;
+            }
+            if !seen.insert(id) {
+                continue;
+            }
+            stack.push((id, true));
+            self.node(id).for_each_child(|c| stack.push((c, false)));
+        }
+    }
+
+    /// The number of distinct nodes reachable from `roots`.
+    pub fn dag_size(&self, roots: &[ExprId]) -> usize {
+        let mut n = 0;
+        self.visit_post_order(roots, |_| n += 1);
+        n
+    }
+
+    /// Extracts the sub-DAG reachable from `roots` into a fresh, compact
+    /// context, returning it together with the new ids of the roots.
+    ///
+    /// Long-running pipelines accumulate garbage (intermediate rewriting
+    /// results, per-obligation formulas); extracting the live roots
+    /// reclaims that memory. Ids from the old context are meaningless in
+    /// the new one — use the returned roots.
+    pub fn extract(&self, roots: &[ExprId]) -> (Context, Vec<ExprId>) {
+        let mut new = Context::new();
+        let mut map: HashMap<ExprId, ExprId> = HashMap::new();
+        self.visit_post_order(roots, |id| {
+            let new_id = match self.node(id) {
+                Node::True => Context::TRUE,
+                Node::False => Context::FALSE,
+                Node::Var(sym, sort) => new.var(self.symbols.resolve(*sym), *sort),
+                Node::Uf(sym, args, sort) => {
+                    let new_args: Vec<ExprId> = args.iter().map(|a| map[a]).collect();
+                    new.apply(self.symbols.resolve(*sym), new_args, *sort)
+                }
+                Node::Ite(c, t, e) => new.ite(map[c], map[t], map[e]),
+                Node::Eq(a, b) => new.eq(map[a], map[b]),
+                Node::Not(a) => new.not(map[a]),
+                Node::And(xs) => {
+                    let ops: Vec<ExprId> = xs.iter().map(|x| map[x]).collect();
+                    new.and(ops)
+                }
+                Node::Or(xs) => {
+                    let ops: Vec<ExprId> = xs.iter().map(|x| map[x]).collect();
+                    new.or(ops)
+                }
+                Node::Read(m, a) => new.read(map[m], map[a]),
+                Node::Write(m, a, d) => new.write(map[m], map[a], map[d]),
+            };
+            map.insert(id, new_id);
+        });
+        let new_roots = roots.iter().map(|r| map[r]).collect();
+        (new, new_roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let e1 = ctx.eq(a, b);
+        let e2 = ctx.eq(b, a);
+        assert_eq!(e1, e2, "equations are canonically ordered");
+        let u1 = ctx.uf("f", vec![a, b]);
+        let u2 = ctx.uf("f", vec![a, b]);
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn and_or_normalization() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let y = ctx.pvar("y");
+        let t = Context::TRUE;
+        let f = Context::FALSE;
+        assert_eq!(ctx.and([x, t]), x);
+        assert_eq!(ctx.and([x, f]), f);
+        assert_eq!(ctx.or([x, f]), x);
+        assert_eq!(ctx.or([x, t]), t);
+        assert_eq!(ctx.and([] as [ExprId; 0]), t);
+        assert_eq!(ctx.or([] as [ExprId; 0]), f);
+        assert_eq!(ctx.and([x, x, y]), ctx.and([y, x]));
+        // complementary literals
+        let nx = ctx.not(x);
+        assert_eq!(ctx.and([x, nx]), f);
+        assert_eq!(ctx.or([x, nx]), t);
+        // flattening
+        let xy = ctx.and2(x, y);
+        let z = ctx.pvar("z");
+        let a1 = ctx.and2(xy, z);
+        let a2 = ctx.and([x, y, z]);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn ite_simplifications() {
+        let mut ctx = Context::new();
+        let c = ctx.pvar("c");
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        assert_eq!(ctx.ite(Context::TRUE, a, b), a);
+        assert_eq!(ctx.ite(Context::FALSE, a, b), b);
+        assert_eq!(ctx.ite(c, a, a), a);
+        assert_eq!(ctx.ite(c, Context::TRUE, Context::FALSE), c);
+        let nc = ctx.not(c);
+        assert_eq!(ctx.ite(c, Context::FALSE, Context::TRUE), nc);
+        // nested collapse
+        let inner = ctx.ite(c, a, b);
+        let outer = ctx.ite(c, inner, b);
+        assert_eq!(outer, inner);
+    }
+
+    #[test]
+    fn eq_folds_identical() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        assert_eq!(ctx.eq(a, a), Context::TRUE);
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut ctx = Context::new();
+        let v1 = ctx.fresh_var("tmp", Sort::Term);
+        let v2 = ctx.fresh_var("tmp", Sort::Term);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn update_builds_conditional_write() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("rf");
+        let c = ctx.pvar("c");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let u = ctx.update(m, c, a, d);
+        match ctx.node(u) {
+            Node::Ite(cc, t, e) => {
+                assert_eq!(*cc, c);
+                assert_eq!(*e, m);
+                assert!(matches!(ctx.node(*t), Node::Write(..)));
+            }
+            other => panic!("expected ITE, got {other:?}"),
+        }
+        // constant contexts fold away
+        assert_eq!(ctx.update(m, Context::FALSE, a, d), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent signature")]
+    fn signature_mismatch_panics() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let _ = ctx.uf("f", vec![a]);
+        let _ = ctx.uf("f", vec![a, a]);
+    }
+
+    #[test]
+    fn dag_size_counts_shared_nodes_once() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let e = ctx.eq(a, b);
+        let n = ctx.not(e);
+        let conj = ctx.and2(e, n); // folds to false
+        assert_eq!(conj, Context::FALSE);
+        let f = ctx.or2(e, n); // folds to true
+        assert_eq!(f, Context::TRUE);
+        let g = ctx.and2(e, e);
+        assert_eq!(g, e);
+        assert_eq!(ctx.dag_size(&[e]), 3); // a, b, eq
+    }
+}
+
+#[cfg(test)]
+mod extract_tests {
+    use super::*;
+    use crate::print::to_sexpr;
+
+    #[test]
+    fn extract_compacts_and_preserves_structure() {
+        let mut ctx = Context::new();
+        // build garbage
+        for i in 0..100 {
+            let _ = ctx.tvar(&format!("garbage{i}"));
+        }
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let eq = ctx.eq(fa, b);
+        let x = ctx.pvar("x");
+        let root = ctx.and2(x, eq);
+        let before = ctx.len();
+        let (small, roots) = ctx.extract(&[root]);
+        assert!(small.len() < before, "{} !< {before}", small.len());
+        assert_eq!(roots.len(), 1);
+        // Canonical operand order depends on per-context ids, so compare by
+        // re-parsing both prints into ONE fresh context: hash-consing then
+        // makes structural equality an id check.
+        let mut probe = Context::new();
+        let p1 = crate::parse::from_sexpr(&mut probe, &to_sexpr(&ctx, root)).expect("parse");
+        let p2 =
+            crate::parse::from_sexpr(&mut probe, &to_sexpr(&small, roots[0])).expect("parse");
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn extract_preserves_evaluation() {
+        use crate::eval::{eval_formula, Assignment, HashModel};
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let w = ctx.write(m, a, d);
+        let r = ctx.read(w, a);
+        let goal = ctx.eq(r, d);
+        let (mut small, roots) = ctx.extract(&[goal]);
+        let model = HashModel::new(3, 4);
+        let a2 = small.tvar("a");
+        let d2 = small.tvar("d");
+        for va in 0..4 {
+            let mut asn_old = Assignment::default();
+            asn_old.term.insert(a, va);
+            asn_old.term.insert(d, 2);
+            let mut asn_new = Assignment::default();
+            asn_new.term.insert(a2, va);
+            asn_new.term.insert(d2, 2);
+            assert_eq!(
+                eval_formula(&ctx, goal, &asn_old, &model),
+                eval_formula(&small, roots[0], &asn_new, &model)
+            );
+        }
+    }
+
+    #[test]
+    fn extract_shares_common_subdags_across_roots() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let ne = ctx.not(eq);
+        let (small, roots) = ctx.extract(&[eq, ne]);
+        assert_eq!(roots.len(), 2);
+        match small.node(roots[1]) {
+            Node::Not(inner) => assert_eq!(*inner, roots[0]),
+            other => panic!("expected Not, got {other:?}"),
+        }
+    }
+}

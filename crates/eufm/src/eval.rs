@@ -1,0 +1,411 @@
+//! Concrete evaluation of EUFM expressions under finite interpretations.
+//!
+//! Evaluation is the semantic ground truth used to test every syntactic
+//! transformation in the pipeline: a transformation is correct if the
+//! original and transformed formulas evaluate identically under (a sample
+//! of) interpretations.
+//!
+//! Term values range over a finite domain `0..domain`. Uninterpreted
+//! functions, predicates, and initial memory contents are interpreted by a
+//! deterministic pseudo-random [`HashModel`], so a `(seed, domain)` pair
+//! fully determines an interpretation extension; sampling seeds samples
+//! interpretations.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::context::Context;
+use crate::node::{ExprId, Node, Sort};
+use crate::symbol::Symbol;
+
+/// A concrete value of an EUFM expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A truth value.
+    Bool(bool),
+    /// An element of the finite term domain.
+    Term(u64),
+    /// A memory state: an initial-state variable plus an overlay of writes.
+    Mem(MemState),
+}
+
+impl Value {
+    /// Extracts a Boolean, panicking on sort confusion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Bool`].
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected Bool value, found {other:?}"),
+        }
+    }
+
+    /// Extracts a term value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Term`].
+    pub fn as_term(&self) -> u64 {
+        match self {
+            Value::Term(t) => *t,
+            other => panic!("expected Term value, found {other:?}"),
+        }
+    }
+}
+
+/// A memory state value: a persistent list of writes over a named initial
+/// state. Cloning is O(1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemState(Rc<MemNode>);
+
+#[derive(Debug, PartialEq, Eq)]
+enum MemNode {
+    /// The initial state of the memory variable with this id.
+    Base(ExprId),
+    /// A write of `data` at `addr` over the previous state.
+    Write(MemState, u64, u64),
+}
+
+impl MemState {
+    /// A fresh initial memory state for variable `var`.
+    pub fn base(var: ExprId) -> Self {
+        MemState(Rc::new(MemNode::Base(var)))
+    }
+
+    /// The state after writing `data` at `addr`.
+    pub fn store(&self, addr: u64, data: u64) -> Self {
+        MemState(Rc::new(MemNode::Write(self.clone(), addr, data)))
+    }
+
+    /// Reads `addr`, falling back to `init` for the base state content.
+    pub fn load(&self, addr: u64, init: &impl Fn(ExprId, u64) -> u64) -> u64 {
+        let mut cur = self;
+        loop {
+            match &*cur.0 {
+                MemNode::Base(var) => return init(*var, addr),
+                MemNode::Write(prev, a, d) => {
+                    if *a == addr {
+                        return *d;
+                    }
+                    cur = prev;
+                }
+            }
+        }
+    }
+}
+
+/// The variable assignment part of an interpretation.
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    /// Values of term variables.
+    pub term: HashMap<ExprId, u64>,
+    /// Values of propositional variables.
+    pub boolean: HashMap<ExprId, bool>,
+}
+
+/// A deterministic pseudo-random interpretation of uninterpreted symbols and
+/// initial memory contents over a finite domain.
+#[derive(Debug, Clone, Copy)]
+pub struct HashModel {
+    /// Seed distinguishing interpretations.
+    pub seed: u64,
+    /// Size of the term domain; values are `0..domain`.
+    pub domain: u64,
+}
+
+impl HashModel {
+    /// Creates a model with the given seed and domain size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is zero.
+    pub fn new(seed: u64, domain: u64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        HashModel { seed, domain }
+    }
+
+    fn mix(&self, xs: &[u64]) -> u64 {
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for &x in xs {
+            h ^= x.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(h << 6).wrapping_add(h >> 2);
+            h = splitmix64(h);
+        }
+        h
+    }
+
+    /// The value of uninterpreted function `sym` on `args`.
+    pub fn uf_value(&self, sym: Symbol, args: &[u64]) -> u64 {
+        let mut key = vec![0xF00D, u64::from(sym.0)];
+        key.extend_from_slice(args);
+        self.mix(&key) % self.domain
+    }
+
+    /// The value of uninterpreted predicate `sym` on `args`.
+    pub fn up_value(&self, sym: Symbol, args: &[u64]) -> bool {
+        let mut key = vec![0xBEEF, u64::from(sym.0)];
+        key.extend_from_slice(args);
+        self.mix(&key) & 1 == 1
+    }
+
+    /// The initial content of memory variable `var` at `addr`.
+    pub fn mem_init(&self, var: ExprId, addr: u64) -> u64 {
+        self.mix(&[0xCAFE, u64::from(var.0), addr]) % self.domain
+    }
+
+    /// A default value for an unassigned term variable.
+    pub fn default_term(&self, var: ExprId) -> u64 {
+        self.mix(&[0xD00F, u64::from(var.0)]) % self.domain
+    }
+
+    /// A default value for an unassigned propositional variable.
+    pub fn default_bool(&self, var: ExprId) -> bool {
+        self.mix(&[0xB001, u64::from(var.0)]) & 1 == 1
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Evaluates `root` under `asn`, extending with `model` for uninterpreted
+/// symbols, unassigned variables, and initial memory contents.
+///
+/// Memory equality is decided extensionally over the finite domain: two
+/// memory states are equal iff they agree at every address in `0..domain`.
+pub fn eval(ctx: &Context, root: ExprId, asn: &Assignment, model: &HashModel) -> Value {
+    let mut memo: HashMap<ExprId, Value> = HashMap::new();
+    let mut order: Vec<ExprId> = Vec::new();
+    ctx.visit_post_order(&[root], |id| order.push(id));
+    for id in order {
+        let value = eval_node(ctx, id, asn, model, &memo);
+        memo.insert(id, value);
+    }
+    memo.remove(&root).expect("root evaluated")
+}
+
+fn eval_node(
+    ctx: &Context,
+    id: ExprId,
+    asn: &Assignment,
+    model: &HashModel,
+    memo: &HashMap<ExprId, Value>,
+) -> Value {
+    let get = |c: ExprId| memo.get(&c).expect("children evaluated before parents");
+    match ctx.node(id) {
+        Node::True => Value::Bool(true),
+        Node::False => Value::Bool(false),
+        Node::Var(_, Sort::Bool) => {
+            Value::Bool(asn.boolean.get(&id).copied().unwrap_or_else(|| model.default_bool(id)))
+        }
+        Node::Var(_, Sort::Term) => {
+            Value::Term(asn.term.get(&id).copied().unwrap_or_else(|| model.default_term(id)))
+        }
+        Node::Var(_, Sort::Mem) => Value::Mem(MemState::base(id)),
+        Node::Uf(sym, args, sort) => {
+            let vals: Vec<u64> = args.iter().map(|&a| encode_arg(get(a), model)).collect();
+            match sort {
+                Sort::Bool => Value::Bool(model.up_value(*sym, &vals)),
+                Sort::Term => Value::Term(model.uf_value(*sym, &vals)),
+                Sort::Mem => {
+                    // Memory-sorted UF results only appear after conservative
+                    // abstraction; model them as fresh bases keyed by the
+                    // application's own id, overlaid with nothing. Functional
+                    // consistency is preserved because the key is the hash of
+                    // the argument values.
+                    let key = model.uf_value(*sym, &vals);
+                    Value::Mem(MemState::base(ExprId::from_index(
+                        usize::try_from(key % (1 << 30)).expect("mem key fits"),
+                    )))
+                }
+            }
+        }
+        Node::Ite(c, t, e) => {
+            if get(*c).as_bool() {
+                get(*t).clone()
+            } else {
+                get(*e).clone()
+            }
+        }
+        Node::Eq(a, b) => Value::Bool(values_equal(get(*a), get(*b), model)),
+        Node::Not(a) => Value::Bool(!get(*a).as_bool()),
+        Node::And(xs) => Value::Bool(xs.iter().all(|&x| get(x).as_bool())),
+        Node::Or(xs) => Value::Bool(xs.iter().any(|&x| get(x).as_bool())),
+        Node::Read(m, a) => match get(*m) {
+            Value::Mem(state) => {
+                let addr = get(*a).as_term();
+                Value::Term(state.load(addr, &|var, ad| model.mem_init(var, ad)))
+            }
+            other => panic!("read of non-memory value {other:?}"),
+        },
+        Node::Write(m, a, d) => match get(*m) {
+            Value::Mem(state) => {
+                let addr = get(*a).as_term();
+                let data = get(*d).as_term();
+                Value::Mem(state.store(addr, data))
+            }
+            other => panic!("write of non-memory value {other:?}"),
+        },
+    }
+}
+
+fn encode_arg(v: &Value, model: &HashModel) -> u64 {
+    match v {
+        Value::Bool(b) => u64::from(*b),
+        Value::Term(t) => *t,
+        Value::Mem(state) => {
+            // Fingerprint the memory extensionally over the finite domain so
+            // that extensionally equal memories are equal UF arguments.
+            let mut h: u64 = 0x4d45_4d46;
+            for addr in 0..model.domain {
+                let d = state.load(addr, &|var, ad| model.mem_init(var, ad));
+                h = splitmix64(h ^ d.wrapping_add(addr << 32));
+            }
+            h
+        }
+    }
+}
+
+fn values_equal(a: &Value, b: &Value, model: &HashModel) -> bool {
+    match (a, b) {
+        (Value::Term(x), Value::Term(y)) => x == y,
+        (Value::Mem(x), Value::Mem(y)) => (0..model.domain).all(|addr| {
+            x.load(addr, &|var, ad| model.mem_init(var, ad))
+                == y.load(addr, &|var, ad| model.mem_init(var, ad))
+        }),
+        _ => panic!("equation between incompatible values {a:?} and {b:?}"),
+    }
+}
+
+/// Evaluates a formula to a Boolean.
+///
+/// # Panics
+///
+/// Panics if `root` is not a formula.
+pub fn eval_formula(ctx: &Context, root: ExprId, asn: &Assignment, model: &HashModel) -> bool {
+    assert_eq!(ctx.sort(root), Sort::Bool, "eval_formula: root must be a formula");
+    eval(ctx, root, asn, model).as_bool()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> HashModel {
+        HashModel::new(7, 8)
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let y = ctx.pvar("y");
+        let f = {
+            let o = ctx.or2(x, y);
+            let a = ctx.and2(x, y);
+            let na = ctx.not(a);
+            ctx.and2(o, na) // xor
+        };
+        let mut asn = Assignment::default();
+        for (vx, vy, expect) in [(false, false, false), (true, false, true), (true, true, false)] {
+            asn.boolean.insert(x, vx);
+            asn.boolean.insert(y, vy);
+            assert_eq!(eval_formula(&ctx, f, &asn, &model()), expect);
+        }
+    }
+
+    #[test]
+    fn functional_consistency_holds() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let prem = ctx.eq(a, b);
+        let concl = ctx.eq(fa, fb);
+        let goal = ctx.implies(prem, concl);
+        // valid: must hold under every sampled interpretation
+        for seed in 0..50 {
+            let m = HashModel::new(seed, 4);
+            for va in 0..4 {
+                for vb in 0..4 {
+                    let mut asn = Assignment::default();
+                    asn.term.insert(a, va);
+                    asn.term.insert(b, vb);
+                    assert!(eval_formula(&ctx, goal, &asn, &m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_forwarding_semantics() {
+        let mut ctx = Context::new();
+        let mem = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let d = ctx.tvar("d");
+        let w = ctx.write(mem, a, d);
+        let r = ctx.read(w, b);
+        // read(write(m,a,d), b) == ite(a = b, d, read(m, b)) — valid
+        let rm = ctx.read(mem, b);
+        let cond = ctx.eq(a, b);
+        let rhs = ctx.ite(cond, d, rm);
+        let goal = ctx.eq(r, rhs);
+        for seed in 0..20 {
+            let m = HashModel::new(seed, 4);
+            for va in 0..4 {
+                for vb in 0..4 {
+                    let mut asn = Assignment::default();
+                    asn.term.insert(a, va);
+                    asn.term.insert(b, vb);
+                    asn.term.insert(d, 2);
+                    assert!(eval_formula(&ctx, goal, &asn, &m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_extensional_equality() {
+        let mut ctx = Context::new();
+        let mem = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let r = ctx.read(mem, a);
+        let w = ctx.write(mem, a, r);
+        // write(m, a, read(m, a)) == m — valid extensionally
+        let goal = ctx.eq(w, mem);
+        for seed in 0..20 {
+            let m = HashModel::new(seed, 4);
+            for va in 0..4 {
+                let mut asn = Assignment::default();
+                asn.term.insert(a, va);
+                asn.term.insert(d, 1);
+                assert!(eval_formula(&ctx, goal, &asn, &m));
+            }
+        }
+        // but write(m, a, d) == m is falsifiable
+        let w2 = ctx.write(mem, a, d);
+        let goal2 = ctx.eq(w2, mem);
+        let mut found_false = false;
+        for seed in 0..20 {
+            let m = HashModel::new(seed, 4);
+            for va in 0..4 {
+                for vd in 0..4 {
+                    let mut asn = Assignment::default();
+                    asn.term.insert(a, va);
+                    asn.term.insert(d, vd);
+                    if !eval_formula(&ctx, goal2, &asn, &m) {
+                        found_false = true;
+                    }
+                }
+            }
+        }
+        assert!(found_false);
+    }
+}

@@ -1,0 +1,102 @@
+//! The logic of Equality with Uninterpreted Functions and Memories (EUFM).
+//!
+//! EUFM is the term-level logic introduced by Burch and Dill for
+//! microprocessor correspondence checking, and used by Velev's TLSim/EVC
+//! tool flow. This crate provides:
+//!
+//! - a hash-consed expression DAG ([`Context`]) holding *terms* (word-level
+//!   values: term variables, uninterpreted-function applications, term
+//!   `ITE`s, and the special memory functions `read`/`write`) and *formulas*
+//!   (propositional variables, uninterpreted predicates, equations, formula
+//!   `ITE`s, and Boolean connectives);
+//! - polarity analysis classifying equations and term variables into
+//!   *p-terms* (positive-only) and *g-terms* (general), the basis of the
+//!   Positive Equality reduction ([`polarity`]);
+//! - substitution and simplification under partial Boolean assignments
+//!   ([`subst`]), the workhorse of the rewriting-rule engine;
+//! - evaluation under concrete interpretations and a brute-force validity
+//!   oracle for cross-validating the whole verification pipeline on tiny
+//!   instances ([`eval`], [`oracle`]);
+//! - structural statistics ([`stats`]) and an s-expression printer/parser
+//!   ([`print`], [`parse`]).
+//!
+//! # Example
+//!
+//! ```
+//! use eufm::{Context, Sort};
+//!
+//! let mut ctx = Context::new();
+//! let a = ctx.tvar("a");
+//! let b = ctx.tvar("b");
+//! let fa = ctx.uf("f", vec![a]);
+//! let fb = ctx.uf("f", vec![b]);
+//! // functional consistency: a = b implies f(a) = f(b)
+//! let premise = ctx.eq(a, b);
+//! let concl = ctx.eq(fa, fb);
+//! let prop = ctx.implies(premise, concl);
+//! assert_eq!(ctx.sort(prop), Sort::Bool);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod node;
+mod symbol;
+
+pub mod eval;
+pub mod oracle;
+pub mod parse;
+pub mod polarity;
+pub mod print;
+pub mod stats;
+pub mod subst;
+
+pub use context::Context;
+pub use node::{ExprId, Node, Sort};
+pub use symbol::Symbol;
+
+/// Errors produced when constructing or manipulating EUFM expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EufmError {
+    /// An operand had the wrong sort for the operation.
+    SortMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// The sort that was expected.
+        expected: Sort,
+        /// The sort that was found.
+        found: Sort,
+    },
+    /// An uninterpreted function or predicate was re-applied with a
+    /// signature different from its first application.
+    SignatureMismatch {
+        /// The function or predicate name.
+        name: String,
+    },
+    /// A parse error with a message and byte offset.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the input where the error occurred.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for EufmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EufmError::SortMismatch { op, expected, found } => {
+                write!(f, "sort mismatch in {op}: expected {expected:?}, found {found:?}")
+            }
+            EufmError::SignatureMismatch { name } => {
+                write!(f, "inconsistent signature for uninterpreted symbol `{name}`")
+            }
+            EufmError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EufmError {}

@@ -1,0 +1,157 @@
+//! Expression node representation.
+
+use crate::symbol::Symbol;
+
+/// The sort (type) of an EUFM expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sort {
+    /// A formula (Boolean value).
+    Bool,
+    /// A term (abstract word-level value: data, register id, address, ...).
+    Term,
+    /// The state of a memory array (e.g. a Register File).
+    Mem,
+}
+
+/// A handle to an expression stored in a [`Context`](crate::Context).
+///
+/// Ids are dense indices; because the context hash-conses every node,
+/// two expressions are structurally equal **iff** their ids are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprId(pub(crate) u32);
+
+impl ExprId {
+    /// The raw index of this expression in its context's node table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from a raw index.
+    ///
+    /// Intended for dense side tables; the index must have come from
+    /// [`ExprId::index`] on the same context.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ExprId(u32::try_from(index).expect("expression index overflow"))
+    }
+}
+
+/// An expression node. Children are [`ExprId`]s into the same context.
+///
+/// Nodes of sort [`Sort::Bool`] model the control path and the correctness
+/// condition; nodes of sort [`Sort::Term`] abstract word-level values; nodes
+/// of sort [`Sort::Mem`] abstract entire memory states.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A variable of the given sort (propositional, term, or memory).
+    Var(Symbol, Sort),
+    /// An uninterpreted function application producing a value of the given
+    /// result sort. Uninterpreted predicates are `Uf` nodes with result sort
+    /// [`Sort::Bool`].
+    Uf(Symbol, Box<[ExprId]>, Sort),
+    /// An if-then-else over values of equal sort; the first child is the
+    /// controlling formula.
+    Ite(ExprId, ExprId, ExprId),
+    /// An equation between two values of equal, non-Boolean sort.
+    ///
+    /// Children are stored with the smaller id first (equations are
+    /// symmetric, and canonical ordering improves sharing).
+    Eq(ExprId, ExprId),
+    /// Logical negation.
+    Not(ExprId),
+    /// N-ary conjunction; children are flattened, sorted, and deduplicated.
+    And(Box<[ExprId]>),
+    /// N-ary disjunction; children are flattened, sorted, and deduplicated.
+    Or(Box<[ExprId]>),
+    /// `read(mem, addr)`: the data stored at `addr` in memory state `mem`.
+    Read(ExprId, ExprId),
+    /// `write(mem, addr, data)`: the memory state after storing `data` at
+    /// `addr` in `mem`.
+    Write(ExprId, ExprId, ExprId),
+}
+
+impl Node {
+    /// Visits every child id of this node.
+    pub fn for_each_child(&self, mut f: impl FnMut(ExprId)) {
+        match self {
+            Node::True | Node::False | Node::Var(..) => {}
+            Node::Uf(_, args, _) => args.iter().copied().for_each(&mut f),
+            Node::Ite(c, t, e) => {
+                f(*c);
+                f(*t);
+                f(*e);
+            }
+            Node::Eq(a, b) | Node::Read(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Node::Not(a) => f(*a),
+            Node::And(xs) | Node::Or(xs) => xs.iter().copied().for_each(&mut f),
+            Node::Write(m, a, d) => {
+                f(*m);
+                f(*a);
+                f(*d);
+            }
+        }
+    }
+
+    /// The number of children of this node.
+    pub fn child_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_child(|_| n += 1);
+        n
+    }
+
+    /// A short human-readable tag for the node kind, used in statistics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Node::True => "true",
+            Node::False => "false",
+            Node::Var(_, Sort::Bool) => "pvar",
+            Node::Var(_, Sort::Term) => "tvar",
+            Node::Var(_, Sort::Mem) => "mvar",
+            Node::Uf(_, _, Sort::Bool) => "up",
+            Node::Uf(..) => "uf",
+            Node::Ite(..) => "ite",
+            Node::Eq(..) => "eq",
+            Node::Not(..) => "not",
+            Node::And(..) => "and",
+            Node::Or(..) => "or",
+            Node::Read(..) => "read",
+            Node::Write(..) => "write",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_iteration_covers_all_kinds() {
+        let a = ExprId(1);
+        let b = ExprId(2);
+        let c = ExprId(3);
+        assert_eq!(Node::True.child_count(), 0);
+        assert_eq!(Node::Var(Symbol(0), Sort::Term).child_count(), 0);
+        assert_eq!(Node::Uf(Symbol(0), vec![a, b].into(), Sort::Term).child_count(), 2);
+        assert_eq!(Node::Ite(a, b, c).child_count(), 3);
+        assert_eq!(Node::Eq(a, b).child_count(), 2);
+        assert_eq!(Node::Not(a).child_count(), 1);
+        assert_eq!(Node::And(vec![a, b, c].into()).child_count(), 3);
+        assert_eq!(Node::Or(vec![a].into()).child_count(), 1);
+        assert_eq!(Node::Read(a, b).child_count(), 2);
+        assert_eq!(Node::Write(a, b, c).child_count(), 3);
+    }
+
+    #[test]
+    fn expr_id_roundtrip() {
+        let id = ExprId::from_index(42);
+        assert_eq!(id.index(), 42);
+    }
+}

@@ -1,0 +1,329 @@
+//! Brute-force validity checking for small formulas.
+//!
+//! The oracle cross-validates the verification pipeline: on tiny processor
+//! configurations the full EUFM correctness formula can be checked for
+//! validity directly, and the result compared against the rewriting-rule /
+//! Positive-Equality / SAT flow.
+//!
+//! Two modes are provided:
+//!
+//! - [`check_sampled`] evaluates the formula under pseudo-random
+//!   interpretations; a failed sample is a definite counterexample, while
+//!   all-pass means "probably valid".
+//! - [`check_exhaustive`] decides validity exactly for formulas whose terms
+//!   contain no uninterpreted functions or memories (i.e. after
+//!   elimination), by enumerating all equality patterns (set partitions) of
+//!   the term variables and all Boolean assignments. This is exact because
+//!   such formulas depend on term values only through equality.
+
+
+
+use crate::context::Context;
+use crate::eval::{eval_formula, Assignment, HashModel};
+use crate::node::{ExprId, Node, Sort};
+use crate::subst::collect_vars;
+
+/// A falsifying interpretation found by the oracle.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The variable assignment that falsifies the formula.
+    pub assignment: Assignment,
+    /// The model seed (for sampled checks) under which it falsifies.
+    pub seed: u64,
+}
+
+/// The outcome of an oracle check.
+#[derive(Debug, Clone)]
+pub enum OracleResult {
+    /// The formula is valid (exhaustive mode) or survived all samples
+    /// (sampled mode).
+    Valid,
+    /// A falsifying interpretation was found.
+    Invalid(Box<Counterexample>),
+    /// The formula was too large or used unsupported constructs within the
+    /// given budget.
+    Unsupported(String),
+}
+
+impl OracleResult {
+    /// Whether the result is [`OracleResult::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, OracleResult::Valid)
+    }
+
+    /// Whether the result is [`OracleResult::Invalid`].
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, OracleResult::Invalid(_))
+    }
+}
+
+/// Checks validity by sampling `samples` pseudo-random interpretations over
+/// a domain sized to the number of term variables.
+///
+/// Returns [`OracleResult::Invalid`] on the first failing sample. This mode
+/// supports the full logic (uninterpreted functions, predicates, memories).
+pub fn check_sampled(ctx: &Context, root: ExprId, samples: u64) -> OracleResult {
+    check_sampled_with_domain(ctx, root, samples, 0)
+}
+
+/// Like [`check_sampled`] but with an explicit term-domain size
+/// (`0` = one value per term variable, the default).
+///
+/// Small domains make aliasing between term variables frequent, which is
+/// where counterexamples hide, and keep the extensional memory comparisons
+/// cheap — refutation-oriented callers (the rewrite engine's slice
+/// diagnosis) use a domain of 8.
+pub fn check_sampled_with_domain(
+    ctx: &Context,
+    root: ExprId,
+    samples: u64,
+    domain: u64,
+) -> OracleResult {
+    assert_eq!(ctx.sort(root), Sort::Bool, "oracle: root must be a formula");
+    let vars = collect_vars(ctx, &[root]);
+    let term_vars: Vec<ExprId> =
+        vars.iter().copied().filter(|&v| ctx.sort(v) == Sort::Term).collect();
+    let bool_vars: Vec<ExprId> =
+        vars.iter().copied().filter(|&v| ctx.sort(v) == Sort::Bool).collect();
+    let domain =
+        if domain == 0 { (term_vars.len() as u64 + 1).max(2) } else { domain.max(2) };
+    for seed in 0..samples {
+        let model = HashModel::new(seed.wrapping_mul(0x9e37), domain);
+        let mut asn = Assignment::default();
+        // Vary variable values with the seed as well, including frequent
+        // aliasing between term variables (aliasing is where bugs hide).
+        for (i, &v) in term_vars.iter().enumerate() {
+            let h = mix(seed, i as u64);
+            asn.term.insert(v, h % domain);
+        }
+        for (i, &v) in bool_vars.iter().enumerate() {
+            let h = mix(seed ^ 0xb001, i as u64);
+            asn.boolean.insert(v, h & 1 == 1);
+        }
+        if !eval_formula(ctx, root, &asn, &model) {
+            return OracleResult::Invalid(Box::new(Counterexample { assignment: asn, seed }));
+        }
+    }
+    OracleResult::Valid
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a.wrapping_mul(0xff51_afd7_ed55_8ccd) ^ b.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x
+}
+
+/// Decides validity exactly for a UF/memory-free formula by enumerating
+/// all set partitions of the term variables (equality patterns) and all
+/// Boolean assignments, up to `budget` total interpretations.
+///
+/// Returns [`OracleResult::Unsupported`] if the formula contains
+/// uninterpreted functions, predicates, reads, or writes, or if the
+/// enumeration would exceed `budget`.
+pub fn check_exhaustive(ctx: &Context, root: ExprId, budget: u64) -> OracleResult {
+    assert_eq!(ctx.sort(root), Sort::Bool, "oracle: root must be a formula");
+    let mut unsupported = None;
+    ctx.visit_post_order(&[root], |id| match ctx.node(id) {
+        Node::Uf(..) => unsupported = Some("uninterpreted function/predicate"),
+        Node::Read(..) | Node::Write(..) => unsupported = Some("memory operation"),
+        Node::Var(_, Sort::Mem) => unsupported = Some("memory variable"),
+        _ => {}
+    });
+    if let Some(what) = unsupported {
+        return OracleResult::Unsupported(format!("formula contains {what}"));
+    }
+    let vars = collect_vars(ctx, &[root]);
+    let term_vars: Vec<ExprId> =
+        vars.iter().copied().filter(|&v| ctx.sort(v) == Sort::Term).collect();
+    let bool_vars: Vec<ExprId> =
+        vars.iter().copied().filter(|&v| ctx.sort(v) == Sort::Bool).collect();
+    if bool_vars.len() >= 63 {
+        return OracleResult::Unsupported("too many Boolean variables".to_owned());
+    }
+    let bool_count = 1u64 << bool_vars.len();
+    let Some(partitions) = bell_number(term_vars.len(), budget) else {
+        return OracleResult::Unsupported("too many term variables".to_owned());
+    };
+    match partitions.checked_mul(bool_count) {
+        Some(total) if total <= budget => {}
+        _ => return OracleResult::Unsupported("enumeration exceeds budget".to_owned()),
+    }
+
+    let domain = (term_vars.len() as u64 + 1).max(2);
+    let model = HashModel::new(0, domain);
+    let mut rgs = RestrictedGrowth::new(term_vars.len());
+    loop {
+        let blocks = rgs.current();
+        for bits in 0..bool_count {
+            let mut asn = Assignment::default();
+            for (i, &v) in term_vars.iter().enumerate() {
+                asn.term.insert(v, u64::from(blocks[i]));
+            }
+            for (i, &v) in bool_vars.iter().enumerate() {
+                asn.boolean.insert(v, bits >> i & 1 == 1);
+            }
+            if !eval_formula(ctx, root, &asn, &model) {
+                return OracleResult::Invalid(Box::new(Counterexample {
+                    assignment: asn,
+                    seed: 0,
+                }));
+            }
+        }
+        if !rgs.advance() {
+            break;
+        }
+    }
+    OracleResult::Valid
+}
+
+/// The number of set partitions of `n` elements, or `None` if it exceeds
+/// `cap`.
+fn bell_number(n: usize, cap: u64) -> Option<u64> {
+    // Bell triangle with overflow/cap checks: B(n) is the last element of
+    // the n-th row; each row starts with the previous row's last element.
+    if n == 0 {
+        return Some(1);
+    }
+    let mut row = vec![1u64]; // row for n = 1
+    for _ in 2..=n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("non-empty row"));
+        for &x in &row {
+            let last = *next.last().expect("non-empty row");
+            let sum = last.checked_add(x)?;
+            if sum > cap.saturating_mul(64) {
+                return None;
+            }
+            next.push(sum);
+        }
+        row = next;
+    }
+    Some(*row.last().expect("non-empty row"))
+}
+
+/// Enumerates set partitions of `{0, .., n-1}` as restricted growth strings.
+struct RestrictedGrowth {
+    codes: Vec<u32>,
+    maxes: Vec<u32>,
+}
+
+impl RestrictedGrowth {
+    fn new(n: usize) -> Self {
+        RestrictedGrowth { codes: vec![0; n.max(1)], maxes: vec![0; n.max(1)] }
+    }
+
+    fn current(&self) -> &[u32] {
+        &self.codes
+    }
+
+    fn advance(&mut self) -> bool {
+        let n = self.codes.len();
+        for i in (1..n).rev() {
+            if self.codes[i] <= self.maxes[i - 1] {
+                self.codes[i] += 1;
+                let new_max = self.maxes[i - 1].max(self.codes[i]);
+                self.maxes[i] = new_max;
+                for j in i + 1..n {
+                    self.codes[j] = 0;
+                    self.maxes[j] = new_max;
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_numbers_match_known_values() {
+        assert_eq!(bell_number(0, 1 << 30), Some(1));
+        assert_eq!(bell_number(1, 1 << 30), Some(1));
+        assert_eq!(bell_number(2, 1 << 30), Some(2));
+        assert_eq!(bell_number(3, 1 << 30), Some(5));
+        assert_eq!(bell_number(4, 1 << 30), Some(15));
+        assert_eq!(bell_number(5, 1 << 30), Some(52));
+        assert_eq!(bell_number(10, 1 << 30), Some(115_975));
+    }
+
+    #[test]
+    fn rgs_enumerates_all_partitions_of_three() {
+        let mut rgs = RestrictedGrowth::new(3);
+        let mut seen = vec![rgs.current().to_vec()];
+        while rgs.advance() {
+            seen.push(rgs.current().to_vec());
+        }
+        assert_eq!(seen.len(), 5);
+        assert!(seen.contains(&vec![0, 0, 0]));
+        assert!(seen.contains(&vec![0, 0, 1]));
+        assert!(seen.contains(&vec![0, 1, 0]));
+        assert!(seen.contains(&vec![0, 1, 1]));
+        assert!(seen.contains(&vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn exhaustive_validates_excluded_middle_over_equality() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let c = ctx.tvar("c");
+        // transitivity: a=b & b=c -> a=c
+        let ab = ctx.eq(a, b);
+        let bc = ctx.eq(b, c);
+        let ac = ctx.eq(a, c);
+        let prem = ctx.and2(ab, bc);
+        let goal = ctx.implies(prem, ac);
+        assert!(check_exhaustive(&ctx, goal, 1 << 20).is_valid());
+        // and the converse is invalid
+        let bad = ctx.implies(ac, ab);
+        assert!(check_exhaustive(&ctx, bad, 1 << 20).is_invalid());
+    }
+
+    #[test]
+    fn exhaustive_rejects_ufs() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let fa = ctx.uf("f", vec![a]);
+        let goal = ctx.eq(fa, a);
+        assert!(matches!(check_exhaustive(&ctx, goal, 1 << 20), OracleResult::Unsupported(_)));
+    }
+
+    #[test]
+    fn sampled_finds_counterexample() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let goal = ctx.eq(a, b); // not valid
+        assert!(check_sampled(&ctx, goal, 64).is_invalid());
+    }
+
+    #[test]
+    fn sampled_passes_valid_formula_with_ufs() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let prem = ctx.eq(a, b);
+        let concl = ctx.eq(fa, fb);
+        let goal = ctx.implies(prem, concl);
+        assert!(check_sampled(&ctx, goal, 256).is_valid());
+    }
+
+    #[test]
+    fn bool_assignments_are_enumerated() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let nx = ctx.not(x);
+        let taut = ctx.or2(x, nx);
+        assert_eq!(taut, Context::TRUE);
+        let y = ctx.pvar("y");
+        let f = ctx.or2(x, y); // falsifiable at x=y=false
+        assert!(check_exhaustive(&ctx, f, 1 << 20).is_invalid());
+    }
+}

@@ -1,0 +1,218 @@
+//! S-expression parsing of EUFM expressions (the inverse of [`crate::print`]).
+//!
+//! The grammar matches the printer's output:
+//!
+//! ```text
+//! expr  := "true" | "false" | var | "(" head expr* ")"
+//! var   := NAME ":" ("b" | "t" | "m")
+//! head  := "and" | "or" | "not" | "ite" | "=" | "read" | "write"
+//!        | "uf" NAME | "up" NAME
+//! ```
+
+use crate::context::Context;
+use crate::node::{ExprId, Sort};
+use crate::EufmError;
+
+/// Parses an s-expression into `ctx`.
+///
+/// # Errors
+///
+/// Returns [`EufmError::Parse`] on malformed input, and propagates sort
+/// errors as parse errors with the offending construct's position.
+pub fn from_sexpr(ctx: &mut Context, input: &str) -> Result<ExprId, EufmError> {
+    let mut parser = Parser { ctx, input: input.as_bytes(), pos: 0 };
+    let expr = parser.expr()?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return Err(parser.error("trailing input"));
+    }
+    Ok(expr)
+}
+
+struct Parser<'a> {
+    ctx: &'a mut Context,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> EufmError {
+        EufmError::Parse { message: message.to_owned(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn token(&mut self) -> Result<&'static str, EufmError> {
+        // tokens are consumed as atoms by `atom`; this is only for errors
+        Err(self.error("unexpected token"))
+    }
+
+    fn atom(&mut self) -> Result<String, EufmError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() || c == b'(' || c == b')' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected atom"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn expr(&mut self) -> Result<ExprId, EufmError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let head = self.atom()?;
+                let result = self.compound(&head)?;
+                self.skip_ws();
+                if self.peek() != Some(b')') {
+                    return Err(self.error("expected `)`"));
+                }
+                self.pos += 1;
+                Ok(result)
+            }
+            Some(_) => {
+                let atom = self.atom()?;
+                self.leaf(&atom)
+            }
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn leaf(&mut self, atom: &str) -> Result<ExprId, EufmError> {
+        match atom {
+            "true" => return Ok(Context::TRUE),
+            "false" => return Ok(Context::FALSE),
+            _ => {}
+        }
+        let Some((name, tag)) = atom.rsplit_once(':') else {
+            return Err(self.error("variables must be written name:sort"));
+        };
+        let sort = match tag {
+            "b" => Sort::Bool,
+            "t" => Sort::Term,
+            "m" => Sort::Mem,
+            _ => return Err(self.error("unknown sort tag (expected b, t, or m)")),
+        };
+        Ok(self.ctx.var(name, sort))
+    }
+
+    fn args(&mut self) -> Result<Vec<ExprId>, EufmError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b')') || self.peek().is_none() {
+                return Ok(out);
+            }
+            out.push(self.expr()?);
+        }
+    }
+
+    fn compound(&mut self, head: &str) -> Result<ExprId, EufmError> {
+        match head {
+            "and" => {
+                let xs = self.args()?;
+                Ok(self.ctx.and(xs))
+            }
+            "or" => {
+                let xs = self.args()?;
+                Ok(self.ctx.or(xs))
+            }
+            "not" => {
+                let a = self.expr()?;
+                Ok(self.ctx.not(a))
+            }
+            "ite" => {
+                let c = self.expr()?;
+                let t = self.expr()?;
+                let e = self.expr()?;
+                Ok(self.ctx.ite(c, t, e))
+            }
+            "=" => {
+                let a = self.expr()?;
+                let b = self.expr()?;
+                Ok(self.ctx.eq(a, b))
+            }
+            "read" => {
+                let m = self.expr()?;
+                let a = self.expr()?;
+                Ok(self.ctx.read(m, a))
+            }
+            "write" => {
+                let m = self.expr()?;
+                let a = self.expr()?;
+                let d = self.expr()?;
+                Ok(self.ctx.write(m, a, d))
+            }
+            "uf" => {
+                let name = self.atom()?;
+                let args = self.args()?;
+                Ok(self.ctx.uf(&name, args))
+            }
+            "up" => {
+                let name = self.atom()?;
+                let args = self.args()?;
+                Ok(self.ctx.up(&name, args))
+            }
+            _ => self.token().map(|_| unreachable!()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::to_sexpr;
+
+    fn roundtrip(src: &str) {
+        let mut ctx = Context::new();
+        let e = from_sexpr(&mut ctx, src).expect("parse");
+        let printed = to_sexpr(&ctx, e);
+        let mut ctx2 = Context::new();
+        let e2 = from_sexpr(&mut ctx2, &printed).expect("reparse");
+        assert_eq!(to_sexpr(&ctx2, e2), printed);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("(= a:t b:t)");
+        roundtrip("(and x:b (not y:b) (= a:t b:t))");
+        roundtrip("(ite x:b (uf f a:t) (uf f b:t))");
+        roundtrip("(read (write rf:m a:t d:t) b:t)");
+        roundtrip("(up p a:t b:t)");
+        roundtrip("true");
+        roundtrip("false");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mut ctx = Context::new();
+        assert!(from_sexpr(&mut ctx, "(and x:b").is_err());
+        assert!(from_sexpr(&mut ctx, "(bogus a:t)").is_err());
+        assert!(from_sexpr(&mut ctx, "a").is_err());
+        assert!(from_sexpr(&mut ctx, "a:q").is_err());
+        assert!(from_sexpr(&mut ctx, "(= a:t b:t) extra").is_err());
+        assert!(from_sexpr(&mut ctx, "").is_err());
+    }
+
+    #[test]
+    fn parser_reuses_context_variables() {
+        let mut ctx = Context::new();
+        let a1 = from_sexpr(&mut ctx, "a:t").expect("parse");
+        let a2 = ctx.tvar("a");
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,314 @@
+//! Polarity analysis: the structural basis of Positive Equality.
+//!
+//! Following Bryant, German and Velev (TOCL 2001), the equations of an EUFM
+//! formula are classified by the polarity of their occurrences:
+//!
+//! - an equation is **positive** if every occurrence is under an even number
+//!   of negations and never inside the controlling formula of an `ITE`;
+//! - otherwise it is **general** (negative or mixed).
+//!
+//! Term values that are only ever compared by positive equations are
+//! *p-terms* and may be given a *maximally diverse* interpretation (distinct
+//! term variables evaluate to distinct values); terms reaching general
+//! equations are *g-terms* and their pairwise equalities must be encoded
+//! with fresh `e_ij` Boolean variables.
+//!
+//! The classification here works on the *value leaves* of equations — the
+//! nodes reached from an equation operand by following only `ITE` branches.
+//! After uninterpreted functions and memories have been eliminated these
+//! leaves are term variables, and [`Analysis::gvars`] is exactly the set of
+//! variables that need `e_ij` encoding.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::context::Context;
+use crate::node::{ExprId, Node, Sort};
+
+/// The polarity of a formula occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// Appears only positively.
+    Pos,
+    /// Appears only negatively.
+    Neg,
+    /// Appears both ways, or inside an `ITE` control / predicate argument.
+    Both,
+}
+
+impl Polarity {
+    fn negate(self) -> Polarity {
+        match self {
+            Polarity::Pos => Polarity::Neg,
+            Polarity::Neg => Polarity::Pos,
+            Polarity::Both => Polarity::Both,
+        }
+    }
+
+    fn merge(self, other: Polarity) -> Polarity {
+        if self == other {
+            self
+        } else {
+            Polarity::Both
+        }
+    }
+
+    /// Whether this polarity forces general (`g-term`) treatment.
+    pub fn is_general(self) -> bool {
+        !matches!(self, Polarity::Pos)
+    }
+
+    fn mask(self) -> u8 {
+        match self {
+            Polarity::Pos => 0b01,
+            Polarity::Neg => 0b10,
+            Polarity::Both => 0b11,
+        }
+    }
+}
+
+/// The result of polarity analysis over one or more root formulas.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Polarity of each equation node reachable from the roots.
+    pub eq_polarity: HashMap<ExprId, Polarity>,
+    /// Value leaves (term variables and applications) of *general*
+    /// equations: these are the g-terms.
+    pub gterms: HashSet<ExprId>,
+    /// Term-variable leaves among [`Analysis::gterms`].
+    pub gvars: HashSet<ExprId>,
+    /// All term variables reachable from the roots.
+    pub term_vars: HashSet<ExprId>,
+    /// All propositional variables reachable from the roots.
+    pub prop_vars: HashSet<ExprId>,
+}
+
+impl Analysis {
+    /// Whether a term variable is a p-variable (never compared generally).
+    pub fn is_pvar(&self, var: ExprId) -> bool {
+        self.term_vars.contains(&var) && !self.gvars.contains(&var)
+    }
+
+    /// The number of general (negative or mixed) equations.
+    pub fn general_eq_count(&self) -> usize {
+        self.eq_polarity.values().filter(|p| p.is_general()).count()
+    }
+
+    /// The number of positive-only equations.
+    pub fn positive_eq_count(&self) -> usize {
+        self.eq_polarity.values().filter(|p| !p.is_general()).count()
+    }
+}
+
+/// Analyzes the polarity structure of `roots` (validity is to be checked, so
+/// the roots themselves occur positively).
+pub fn analyze(ctx: &Context, roots: &[ExprId]) -> Analysis {
+    let mut analysis = Analysis::default();
+    // seen[id] is a bitmask of polarities already propagated through id.
+    let mut seen: HashMap<ExprId, u8> = HashMap::new();
+    let mut work: Vec<(ExprId, Polarity)> = roots.iter().map(|&r| (r, Polarity::Pos)).collect();
+
+    while let Some((id, pol)) = work.pop() {
+        let mask = seen.entry(id).or_insert(0);
+        if *mask & pol.mask() == pol.mask() {
+            continue;
+        }
+        *mask |= pol.mask();
+
+        match ctx.node(id) {
+            Node::True | Node::False => {}
+            Node::Var(_, Sort::Bool) => {
+                analysis.prop_vars.insert(id);
+            }
+            Node::Var(_, Sort::Term) => {
+                analysis.term_vars.insert(id);
+            }
+            Node::Var(_, Sort::Mem) => {}
+            Node::Uf(_, args, _) => {
+                // Arguments of uninterpreted symbols are compared for
+                // functional consistency in both polarities.
+                for &a in args.iter() {
+                    push_operand(ctx, a, Polarity::Both, &mut work);
+                }
+            }
+            Node::Not(a) => work.push((*a, pol.negate())),
+            Node::And(xs) | Node::Or(xs) => {
+                for &x in xs.iter() {
+                    work.push((x, pol));
+                }
+            }
+            Node::Ite(c, t, e) => {
+                // The controlling formula occurs in both polarities.
+                work.push((*c, Polarity::Both));
+                push_operand(ctx, *t, pol, &mut work);
+                push_operand(ctx, *e, pol, &mut work);
+            }
+            Node::Eq(a, b) => {
+                let entry = analysis.eq_polarity.entry(id);
+                let merged = match entry {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        let m = o.get().merge(pol);
+                        *o.get_mut() = m;
+                        m
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(pol);
+                        pol
+                    }
+                };
+                push_operand(ctx, *a, merged, &mut work);
+                push_operand(ctx, *b, merged, &mut work);
+            }
+            Node::Read(m, a) => {
+                push_operand(ctx, *m, pol, &mut work);
+                // Addresses are compared against write addresses in both
+                // polarities by the forwarding property.
+                push_operand(ctx, *a, Polarity::Both, &mut work);
+            }
+            Node::Write(m, a, d) => {
+                push_operand(ctx, *m, pol, &mut work);
+                push_operand(ctx, *a, Polarity::Both, &mut work);
+                push_operand(ctx, *d, pol, &mut work);
+            }
+        }
+    }
+
+    // Second pass: collect value leaves of general equations.
+    let general_eqs: Vec<ExprId> = analysis
+        .eq_polarity
+        .iter()
+        .filter(|(_, p)| p.is_general())
+        .map(|(&id, _)| id)
+        .collect();
+    for eq in general_eqs {
+        if let Node::Eq(a, b) = ctx.node(eq) {
+            collect_value_leaves(ctx, *a, &mut analysis);
+            collect_value_leaves(ctx, *b, &mut analysis);
+        }
+    }
+    analysis
+}
+
+/// For term/mem operands, the traversal continues with the polarity of the
+/// enclosing equation (so leaves inherit it); formulas keep their own walk.
+fn push_operand(ctx: &Context, id: ExprId, pol: Polarity, work: &mut Vec<(ExprId, Polarity)>) {
+    // Terms and memories are traversed with the given polarity; the walker
+    // above dispatches on node kind, so we can just push.
+    let _ = ctx;
+    work.push((id, pol));
+}
+
+fn collect_value_leaves(ctx: &Context, root: ExprId, analysis: &mut Analysis) {
+    let mut stack = vec![root];
+    let mut seen = HashSet::new();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        match ctx.node(id) {
+            Node::Ite(_, t, e) => {
+                stack.push(*t);
+                stack.push(*e);
+            }
+            Node::Var(_, Sort::Term) => {
+                analysis.gterms.insert(id);
+                analysis.gvars.insert(id);
+            }
+            Node::Var(_, Sort::Mem) | Node::Uf(..) | Node::Read(..) | Node::Write(..) => {
+                analysis.gterms.insert(id);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_equation_keeps_pvars() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let an = analyze(&ctx, &[eq]);
+        assert_eq!(an.eq_polarity[&eq], Polarity::Pos);
+        assert!(an.is_pvar(a));
+        assert!(an.is_pvar(b));
+        assert_eq!(an.general_eq_count(), 0);
+        assert_eq!(an.positive_eq_count(), 1);
+    }
+
+    #[test]
+    fn negated_equation_makes_gvars() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let f = ctx.not(eq);
+        let an = analyze(&ctx, &[f]);
+        assert_eq!(an.eq_polarity[&eq], Polarity::Neg);
+        assert!(an.gvars.contains(&a));
+        assert!(an.gvars.contains(&b));
+    }
+
+    #[test]
+    fn ite_control_is_both_polarity() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let c = ctx.tvar("c");
+        let d = ctx.tvar("d");
+        let guard = ctx.eq(a, b);
+        let ite = ctx.ite(guard, c, d);
+        let goal = ctx.eq(ite, c);
+        let an = analyze(&ctx, &[goal]);
+        assert_eq!(an.eq_polarity[&guard], Polarity::Both);
+        assert!(an.gvars.contains(&a));
+        assert!(an.gvars.contains(&b));
+        // c and d are leaves of the outer *positive* equation only
+        assert_eq!(an.eq_polarity[&goal], Polarity::Pos);
+        assert!(an.is_pvar(c));
+        assert!(an.is_pvar(d));
+    }
+
+    #[test]
+    fn mixed_occurrences_merge_to_both() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let neq = ctx.not(eq);
+        let f = ctx.or2(eq, neq); // folds to true by complementary detection
+        assert_eq!(f, Context::TRUE);
+        let x = ctx.pvar("x");
+        let g1 = ctx.and2(x, eq);
+        let g2 = {
+            let n = ctx.not(eq);
+            ctx.and2(x, n)
+        };
+        let g = ctx.or2(g1, g2);
+        let an = analyze(&ctx, &[g]);
+        assert_eq!(an.eq_polarity[&eq], Polarity::Both);
+    }
+
+    #[test]
+    fn equation_under_implication_premise_is_negative() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let prem = ctx.eq(a, b);
+        let concl = ctx.eq(fa, fb);
+        let f = ctx.implies(prem, concl);
+        let an = analyze(&ctx, &[f]);
+        assert_eq!(an.eq_polarity[&prem], Polarity::Neg);
+        assert_eq!(an.eq_polarity[&concl], Polarity::Pos);
+        // a, b are g-vars via the negated premise
+        assert!(an.gvars.contains(&a));
+        assert!(an.gvars.contains(&b));
+        // the UF applications are leaves of the positive conclusion only
+        assert!(!an.gterms.contains(&fa));
+    }
+}

@@ -1,0 +1,134 @@
+//! S-expression printing of EUFM expressions.
+
+use std::fmt::Write as _;
+
+use crate::context::Context;
+use crate::node::{ExprId, Node, Sort};
+
+/// Renders `root` as an s-expression.
+///
+/// Shared sub-DAGs are printed repeatedly; use [`to_sexpr_capped`] for
+/// potentially huge expressions.
+pub fn to_sexpr(ctx: &Context, root: ExprId) -> String {
+    to_sexpr_capped(ctx, root, usize::MAX).expect("uncapped printing cannot fail")
+}
+
+/// Renders `root` as an s-expression, giving up (returning `None`) once the
+/// output exceeds `max_len` bytes. Useful for diagnostics on large DAGs.
+pub fn to_sexpr_capped(ctx: &Context, root: ExprId, max_len: usize) -> Option<String> {
+    let mut out = String::new();
+    let mut stack: Vec<Result<ExprId, &'static str>> = vec![Ok(root)];
+    while let Some(item) = stack.pop() {
+        if out.len() > max_len {
+            return None;
+        }
+        match item {
+            Err(s) => out.push_str(s),
+            Ok(id) => print_node(ctx, id, &mut out, &mut stack),
+        }
+    }
+    Some(out)
+}
+
+fn print_node(
+    ctx: &Context,
+    id: ExprId,
+    out: &mut String,
+    stack: &mut Vec<Result<ExprId, &'static str>>,
+) {
+    let sep = |stack: &mut Vec<Result<ExprId, &'static str>>, children: &[ExprId]| {
+        stack.push(Err(")"));
+        for &c in children.iter().rev() {
+            stack.push(Ok(c));
+            stack.push(Err(" "));
+        }
+    };
+    match ctx.node(id) {
+        Node::True => out.push_str("true"),
+        Node::False => out.push_str("false"),
+        Node::Var(sym, sort) => {
+            let tag = match sort {
+                Sort::Bool => "b",
+                Sort::Term => "t",
+                Sort::Mem => "m",
+            };
+            let _ = write!(out, "{}:{}", ctx.name(*sym), tag);
+        }
+        Node::Uf(sym, args, sort) => {
+            let head = if *sort == Sort::Bool { "up" } else { "uf" };
+            let _ = write!(out, "({head} {}", ctx.name(*sym));
+            sep(stack, args);
+        }
+        Node::Ite(c, t, e) => {
+            out.push_str("(ite");
+            sep(stack, &[*c, *t, *e]);
+        }
+        Node::Eq(a, b) => {
+            out.push_str("(=");
+            sep(stack, &[*a, *b]);
+        }
+        Node::Not(a) => {
+            out.push_str("(not");
+            sep(stack, &[*a]);
+        }
+        Node::And(xs) => {
+            out.push_str("(and");
+            sep(stack, xs);
+        }
+        Node::Or(xs) => {
+            out.push_str("(or");
+            sep(stack, xs);
+        }
+        Node::Read(m, a) => {
+            out.push_str("(read");
+            sep(stack, &[*m, *a]);
+        }
+        Node::Write(m, a, d) => {
+            out.push_str("(write");
+            sep(stack, &[*m, *a, *d]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_nested_expression() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let x = ctx.pvar("x");
+        let f = ctx.and2(x, eq);
+        let s = to_sexpr(&ctx, f);
+        // operands of `and` are sorted by id: eq was created after x? x after eq.
+        assert!(s.contains("(= a:t b:t)"));
+        assert!(s.contains("x:b"));
+        assert!(s.starts_with("(and"));
+    }
+
+    #[test]
+    fn cap_kicks_in() {
+        let mut ctx = Context::new();
+        let mut f = ctx.pvar("x0");
+        for i in 1..100 {
+            let v = ctx.pvar(&format!("x{i}"));
+            f = ctx.and2(f, v);
+        }
+        assert!(to_sexpr_capped(&ctx, f, 16).is_none());
+        assert!(to_sexpr_capped(&ctx, f, 1 << 20).is_some());
+    }
+
+    #[test]
+    fn prints_memory_ops() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("rf");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let w = ctx.write(m, a, d);
+        let r = ctx.read(w, a);
+        assert_eq!(to_sexpr(&ctx, r), "(read (write rf:m a:t d:t) a:t)");
+    }
+}

@@ -1,0 +1,187 @@
+//! Structural statistics over expression DAGs.
+//!
+//! These drive the "primary inputs" rows of the paper's Tables 3 and 5
+//! (variable census of the Boolean correctness formula) and the size
+//! scaling reported for the EUFM correctness formulas.
+
+use std::collections::BTreeMap;
+
+use crate::context::Context;
+use crate::node::{ExprId, Node, Sort};
+use crate::polarity;
+
+/// A census of a DAG reachable from a set of roots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DagStats {
+    /// Total distinct nodes.
+    pub nodes: usize,
+    /// Node counts per kind tag (see [`Node::kind_name`]).
+    pub by_kind: BTreeMap<&'static str, usize>,
+    /// Distinct term variables.
+    pub term_vars: usize,
+    /// Distinct propositional variables.
+    pub prop_vars: usize,
+    /// Distinct memory variables.
+    pub mem_vars: usize,
+    /// Equation nodes.
+    pub equations: usize,
+    /// Uninterpreted function applications (term- or memory-sorted).
+    pub uf_apps: usize,
+    /// Uninterpreted predicate applications.
+    pub up_apps: usize,
+    /// `read` nodes.
+    pub reads: usize,
+    /// `write` nodes.
+    pub writes: usize,
+    /// Maximum depth (longest root-to-leaf path).
+    pub depth: usize,
+}
+
+impl DagStats {
+    /// Total variables of all sorts.
+    pub fn total_vars(&self) -> usize {
+        self.term_vars + self.prop_vars + self.mem_vars
+    }
+}
+
+/// Computes a [`DagStats`] census of the DAG under `roots`.
+pub fn dag_stats(ctx: &Context, roots: &[ExprId]) -> DagStats {
+    let mut stats = DagStats::default();
+    let mut depth: BTreeMap<ExprId, usize> = BTreeMap::new();
+    ctx.visit_post_order(roots, |id| {
+        stats.nodes += 1;
+        let node = ctx.node(id);
+        *stats.by_kind.entry(node.kind_name()).or_insert(0) += 1;
+        match node {
+            Node::Var(_, Sort::Term) => stats.term_vars += 1,
+            Node::Var(_, Sort::Bool) => stats.prop_vars += 1,
+            Node::Var(_, Sort::Mem) => stats.mem_vars += 1,
+            Node::Eq(..) => stats.equations += 1,
+            Node::Uf(_, _, Sort::Bool) => stats.up_apps += 1,
+            Node::Uf(..) => stats.uf_apps += 1,
+            Node::Read(..) => stats.reads += 1,
+            Node::Write(..) => stats.writes += 1,
+            _ => {}
+        }
+        let mut d = 0;
+        node.for_each_child(|c| d = d.max(depth.get(&c).copied().unwrap_or(0) + 1));
+        depth.insert(id, d);
+        stats.depth = stats.depth.max(d);
+    });
+    stats
+}
+
+/// A census of the *Boolean-level* variable structure of a formula, in the
+/// shape reported by the paper's Tables 3 and 5: how many `e_ij` encoding
+/// variables, how many other primary Boolean variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrimaryInputStats {
+    /// Boolean variables whose name marks them as `e_ij` equality encoders.
+    pub eij_vars: usize,
+    /// All other primary Boolean variables.
+    pub other_vars: usize,
+}
+
+impl PrimaryInputStats {
+    /// Total primary inputs.
+    pub fn total(&self) -> usize {
+        self.eij_vars + self.other_vars
+    }
+}
+
+/// The name prefix that marks `e_ij` equality-encoding variables.
+pub const EIJ_PREFIX: &str = "eij!";
+
+/// Counts the primary Boolean inputs of an (already propositional) formula,
+/// splitting out `e_ij` encoder variables by their name prefix.
+pub fn primary_inputs(ctx: &Context, root: ExprId) -> PrimaryInputStats {
+    let mut stats = PrimaryInputStats::default();
+    ctx.visit_post_order(&[root], |id| {
+        if let Node::Var(sym, Sort::Bool) = ctx.node(id) {
+            if ctx.name(*sym).starts_with(EIJ_PREFIX) {
+                stats.eij_vars += 1;
+            } else {
+                stats.other_vars += 1;
+            }
+        }
+    });
+    stats
+}
+
+/// A polarity census: equation counts by polarity class, plus p-var/g-var
+/// counts. This is the quantity Positive Equality exploits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolarityStats {
+    /// Equations that appear only positively.
+    pub positive_eqs: usize,
+    /// Equations that appear negatively or in both polarities.
+    pub general_eqs: usize,
+    /// Term variables only ever compared positively.
+    pub p_vars: usize,
+    /// Term variables reaching general equations.
+    pub g_vars: usize,
+}
+
+/// Computes the polarity census of a formula.
+pub fn polarity_stats(ctx: &Context, root: ExprId) -> PolarityStats {
+    let analysis = polarity::analyze(ctx, &[root]);
+    PolarityStats {
+        positive_eqs: analysis.positive_eq_count(),
+        general_eqs: analysis.general_eq_count(),
+        p_vars: analysis.term_vars.iter().filter(|v| analysis.is_pvar(**v)).count(),
+        g_vars: analysis.gvars.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_counts_kinds() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let eq = ctx.eq(fa, b);
+        let x = ctx.pvar("x");
+        let root = ctx.and2(x, eq);
+        let s = dag_stats(&ctx, &[root]);
+        assert_eq!(s.term_vars, 2);
+        assert_eq!(s.prop_vars, 1);
+        assert_eq!(s.uf_apps, 1);
+        assert_eq!(s.equations, 1);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.depth, 3); // and -> eq -> uf -> a
+    }
+
+    #[test]
+    fn primary_inputs_split_eij() {
+        let mut ctx = Context::new();
+        let e1 = ctx.pvar(&format!("{EIJ_PREFIX}0!1"));
+        let v = ctx.pvar("Valid_1");
+        let root = ctx.and2(e1, v);
+        let s = primary_inputs(&ctx, root);
+        assert_eq!(s.eij_vars, 1);
+        assert_eq!(s.other_vars, 1);
+        assert_eq!(s.total(), 2);
+    }
+
+    #[test]
+    fn polarity_stats_classify() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let c = ctx.tvar("c");
+        let d = ctx.tvar("d");
+        let pos = ctx.eq(a, b);
+        let neg_inner = ctx.eq(c, d);
+        let neg = ctx.not(neg_inner);
+        let root = ctx.and2(pos, neg);
+        let s = polarity_stats(&ctx, root);
+        assert_eq!(s.positive_eqs, 1);
+        assert_eq!(s.general_eqs, 1);
+        assert_eq!(s.p_vars, 2);
+        assert_eq!(s.g_vars, 2);
+    }
+}

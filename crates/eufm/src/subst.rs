@@ -1,0 +1,257 @@
+//! Substitution and simplification under partial assignments.
+//!
+//! Substitution rebuilds expressions bottom-up through the context's smart
+//! constructors, so replacing a variable by a constant automatically
+//! propagates all the constant folding the constructors perform. This is the
+//! mechanism behind the rewriting-rule engine's *case splits* ("assume
+//! `ValidResult_i` is true and check the written data collapses to
+//! `Result_i`") and its *update-chain surgery* ("replace this proven-equal
+//! memory prefix by a fresh variable").
+
+use std::collections::HashMap;
+
+use crate::context::Context;
+use crate::node::{ExprId, Node};
+
+/// A substitution mapping expression ids to replacement ids.
+///
+/// Keys may be any expression (not just variables): every occurrence of a
+/// key in the traversed DAG is replaced, and parents are rebuilt through the
+/// smart constructors.
+pub type Substitution = HashMap<ExprId, ExprId>;
+
+/// Applies `subst` to `root`, returning the rebuilt expression.
+///
+/// Replacement is *not* applied recursively to the replacements themselves
+/// (occurrences inside a replacement image are left alone), matching the
+/// usual simultaneous-substitution semantics.
+///
+/// # Panics
+///
+/// Panics if a replacement's sort differs from the sort of the expression it
+/// replaces.
+pub fn substitute(ctx: &mut Context, root: ExprId, subst: &Substitution) -> ExprId {
+    let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
+    substitute_memo(ctx, root, subst, &mut memo)
+}
+
+/// Applies `subst` to several roots, sharing the traversal memo.
+pub fn substitute_all(ctx: &mut Context, roots: &[ExprId], subst: &Substitution) -> Vec<ExprId> {
+    let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
+    roots.iter().map(|&r| substitute_memo(ctx, r, subst, &mut memo)).collect()
+}
+
+fn substitute_memo(
+    ctx: &mut Context,
+    root: ExprId,
+    subst: &Substitution,
+    memo: &mut HashMap<ExprId, ExprId>,
+) -> ExprId {
+    // Iterative post-order rebuild to avoid stack overflow on deep chains.
+    enum Frame {
+        Enter(ExprId),
+        Exit(ExprId),
+    }
+    let mut stack = vec![Frame::Enter(root)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(id) => {
+                if memo.contains_key(&id) {
+                    continue;
+                }
+                if let Some(&img) = subst.get(&id) {
+                    assert_eq!(
+                        ctx.sort(id),
+                        ctx.sort(img),
+                        "substitution must preserve sorts"
+                    );
+                    memo.insert(id, img);
+                    continue;
+                }
+                if ctx.node(id).child_count() == 0 {
+                    memo.insert(id, id);
+                    continue;
+                }
+                stack.push(Frame::Exit(id));
+                ctx.node(id).for_each_child(|c| stack.push(Frame::Enter(c)));
+            }
+            Frame::Exit(id) => {
+                let node = ctx.node(id).clone();
+                let rebuilt = rebuild(ctx, &node, memo);
+                memo.insert(id, rebuilt);
+            }
+        }
+    }
+    memo[&root]
+}
+
+fn rebuild(ctx: &mut Context, node: &Node, memo: &HashMap<ExprId, ExprId>) -> ExprId {
+    let m = |id: ExprId| memo[&id];
+    match node {
+        Node::True | Node::False | Node::Var(..) => unreachable!("leaves are memoized directly"),
+        Node::Uf(sym, args, sort) => {
+            let new_args: Vec<ExprId> = args.iter().map(|&a| m(a)).collect();
+            if new_args.iter().zip(args.iter()).all(|(n, o)| n == o) {
+                // unchanged: find the original id cheaply by re-inserting
+                ctx.apply_sym(*sym, new_args, *sort)
+            } else {
+                ctx.apply_sym(*sym, new_args, *sort)
+            }
+        }
+        Node::Ite(c, t, e) => ctx.ite(m(*c), m(*t), m(*e)),
+        Node::Eq(a, b) => ctx.eq(m(*a), m(*b)),
+        Node::Not(a) => ctx.not(m(*a)),
+        Node::And(xs) => {
+            let ops: Vec<ExprId> = xs.iter().map(|&x| m(x)).collect();
+            ctx.and(ops)
+        }
+        Node::Or(xs) => {
+            let ops: Vec<ExprId> = xs.iter().map(|&x| m(x)).collect();
+            ctx.or(ops)
+        }
+        Node::Read(mem, addr) => ctx.read(m(*mem), m(*addr)),
+        Node::Write(mem, addr, d) => ctx.write(m(*mem), m(*addr), m(*d)),
+    }
+}
+
+/// Simplifies `root` under a partial Boolean assignment: each key formula is
+/// replaced by the given constant and the result is re-normalized.
+///
+/// The keys are typically propositional variables, but any formula id works
+/// (e.g. assuming a whole guard expression true).
+pub fn simplify_under(
+    ctx: &mut Context,
+    root: ExprId,
+    assignment: &HashMap<ExprId, bool>,
+) -> ExprId {
+    let subst: Substitution = assignment
+        .iter()
+        .map(|(&k, &v)| (k, ctx.bool_const(v)))
+        .collect();
+    substitute(ctx, root, &subst)
+}
+
+/// The positive or negative cofactor of `root` with respect to formula `on`.
+pub fn cofactor(ctx: &mut Context, root: ExprId, on: ExprId, value: bool) -> ExprId {
+    let mut subst = Substitution::new();
+    subst.insert(on, ctx.bool_const(value));
+    substitute(ctx, root, &subst)
+}
+
+/// Collects every variable (of any sort) reachable from `roots`.
+pub fn collect_vars(ctx: &Context, roots: &[ExprId]) -> Vec<ExprId> {
+    let mut vars = Vec::new();
+    ctx.visit_post_order(roots, |id| {
+        if matches!(ctx.node(id), Node::Var(..)) {
+            vars.push(id);
+        }
+    });
+    vars
+}
+
+/// Whether `needle` occurs in the DAG of `root`.
+pub fn occurs(ctx: &Context, root: ExprId, needle: ExprId) -> bool {
+    let mut found = false;
+    ctx.visit_post_order(&[root], |id| {
+        if id == needle {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Sort;
+
+    #[test]
+    fn substitute_var_with_constant_simplifies() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let y = ctx.pvar("y");
+        let f = ctx.and2(x, y);
+        let g = cofactor(&mut ctx, f, x, true);
+        assert_eq!(g, y);
+        let h = cofactor(&mut ctx, f, x, false);
+        assert_eq!(h, Context::FALSE);
+    }
+
+    #[test]
+    fn substitute_subexpression() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("rf");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let w = ctx.write(m, a, d);
+        let r = ctx.read(w, a);
+        // replace the whole write-prefix by a fresh memory variable
+        let fresh = ctx.mvar("rf_equal");
+        let mut s = Substitution::new();
+        s.insert(w, fresh);
+        let r2 = substitute(&mut ctx, r, &s);
+        let expected = ctx.read(fresh, a);
+        assert_eq!(r2, expected);
+    }
+
+    #[test]
+    fn ite_collapses_under_assignment() {
+        let mut ctx = Context::new();
+        let c = ctx.pvar("c");
+        let t = ctx.tvar("t");
+        let e = ctx.tvar("e");
+        let ite = ctx.ite(c, t, e);
+        let mut asn = HashMap::new();
+        asn.insert(c, true);
+        assert_eq!(simplify_under(&mut ctx, ite, &asn), t);
+        asn.insert(c, false);
+        assert_eq!(simplify_under(&mut ctx, ite, &asn), e);
+    }
+
+    #[test]
+    fn derived_formulas_simplify_through_structure() {
+        // retire_2 = Valid_2 & ValidResult_2 & retire_1; assuming !retire_1
+        // must collapse retire_2 to false even though retire_2 itself is not
+        // a key of the assignment.
+        let mut ctx = Context::new();
+        let v2 = ctx.pvar("Valid_2");
+        let vr2 = ctx.pvar("ValidResult_2");
+        let retire1 = ctx.pvar("retire_1");
+        let retire2 = ctx.and([v2, vr2, retire1]);
+        let mut asn = HashMap::new();
+        asn.insert(retire1, false);
+        assert_eq!(simplify_under(&mut ctx, retire2, &asn), Context::FALSE);
+    }
+
+    #[test]
+    fn collect_vars_and_occurs() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let c = ctx.pvar("c");
+        let eq = ctx.eq(a, b);
+        let f = ctx.and2(c, eq);
+        let mut vars = collect_vars(&ctx, &[f]);
+        vars.sort_unstable();
+        let mut expected = vec![a, b, c];
+        expected.sort_unstable();
+        assert_eq!(vars, expected);
+        assert!(occurs(&ctx, f, a));
+        let z = ctx.tvar("z");
+        assert!(!occurs(&ctx, f, z));
+    }
+
+    #[test]
+    fn substitution_preserves_uf_sharing() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let mut s = Substitution::new();
+        s.insert(a, b);
+        let fb = substitute(&mut ctx, fa, &s);
+        let expected = ctx.uf("f", vec![b]);
+        assert_eq!(fb, expected);
+        assert_eq!(ctx.sort(fb), Sort::Term);
+    }
+}

@@ -1,0 +1,67 @@
+//! String interning for variable and function names.
+
+use std::collections::HashMap;
+
+/// An interned name: a cheap, copyable handle to a string owned by the
+/// [`Context`](crate::Context).
+///
+/// Symbols are only meaningful relative to the context that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its context's intern table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simple append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl Interner {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.map.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), id);
+        Symbol(id)
+    }
+
+    pub(crate) fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedupes() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let a2 = i.intern("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "a");
+        assert_eq!(i.resolve(b), "b");
+        assert_eq!(i.len(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+use std::time::Instant;
+use evc::check::{check_validity, CheckOptions};
+use evc::mem::MemoryModel;
+use sat::Limits;
+use uarch::{correctness, Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(4);
+    let k: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(1);
+    let config = Config::new(n, k).unwrap();
+    let mut bundle = correctness::generate(&config).unwrap();
+    let opts = CheckOptions {
+        memory: MemoryModel::Forwarding,
+        max_nodes: 40_000_000,
+        sat_limits: Limits { max_seconds: Some(240.0), ..Limits::none() },
+        ..CheckOptions::default()
+    };
+    let t = Instant::now();
+    let report = check_validity(&mut bundle.ctx, bundle.formula, &opts);
+    println!(
+        "rob{n}xw{k}: total={:?} translate={:?} sat={:?} outcome={:?} eij={} other={} cnfv={} cnfc={} conflicts={}",
+        t.elapsed(), report.translate_time, report.sat_time, report.outcome,
+        report.stats.eij_vars, report.stats.other_vars, report.stats.cnf_vars,
+        report.stats.cnf_clauses, report.sat_stats.conflicts
+    );
+}

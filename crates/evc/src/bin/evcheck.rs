@@ -1,0 +1,92 @@
+//! `evcheck` — a validity checker for EUFM formulas in s-expression form,
+//! after Velev's EVC.
+//!
+//! ```text
+//! evcheck [--conservative] [--no-transitivity] [--ackermann] [file.sexpr]
+//! ```
+//!
+//! Reads a formula like `(= (read (write rf:m a:t d:t) a:t) d:t)` from the
+//! file (or stdin), runs the full translation (memory elimination, UF
+//! elimination, Positive Equality, Tseitin, CDCL SAT), and prints `VALID`
+//! or `INVALID` with a counterexample sketch and translation statistics.
+
+use std::io::Read;
+
+use evc::check::{check_validity, CheckOptions, CheckOutcome, UfScheme};
+use evc::mem::MemoryModel;
+use eufm::Context;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: evcheck [--conservative] [--no-transitivity] [--ackermann] [file.sexpr]\n\
+         formula syntax: (and ...) (or ...) (not e) (ite c t e) (= a b)\n\
+         (read m a) (write m a d) (uf name args..) (up name args..)\n\
+         variables: name:b (Boolean), name:t (term), name:m (memory)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut options = CheckOptions::default();
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--conservative" => options.memory = MemoryModel::Conservative,
+            "--no-transitivity" => options.transitivity = false,
+            "--ackermann" => options.uf_scheme = UfScheme::Ackermann,
+            "--help" | "-h" => usage(),
+            other => {
+                if path.is_some() {
+                    usage();
+                }
+                path = Some(other.to_owned());
+            }
+        }
+    }
+
+    let input = match &path {
+        Some(p) => std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("evcheck: cannot read {p}: {e}");
+            std::process::exit(2)
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
+                eprintln!("evcheck: cannot read stdin: {e}");
+                std::process::exit(2)
+            });
+            buf
+        }
+    };
+
+    let mut ctx = Context::new();
+    let formula = eufm::parse::from_sexpr(&mut ctx, input.trim()).unwrap_or_else(|e| {
+        eprintln!("evcheck: {e}");
+        std::process::exit(2)
+    });
+    if ctx.sort(formula) != eufm::Sort::Bool {
+        eprintln!("evcheck: input is a term, not a formula");
+        std::process::exit(2);
+    }
+
+    let report = check_validity(&mut ctx, formula, &options);
+    match &report.outcome {
+        CheckOutcome::Valid => println!("VALID"),
+        CheckOutcome::Invalid { true_vars } => {
+            println!("INVALID");
+            println!("counterexample: true variables = {{{}}}", true_vars.join(", "));
+        }
+        CheckOutcome::Unknown(reason) => println!("UNKNOWN ({reason:?})"),
+    }
+    println!(
+        "primary inputs: {} e_ij + {} other; CNF: {} vars, {} clauses; \
+         translate {:?}, SAT {:?}",
+        report.stats.eij_vars,
+        report.stats.other_vars,
+        report.stats.cnf_vars,
+        report.stats.cnf_clauses,
+        report.translate_time,
+        report.sat_time
+    );
+    std::process::exit(if report.outcome.is_valid() { 0 } else { 1 })
+}

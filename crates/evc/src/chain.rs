@@ -1,0 +1,291 @@
+//! Update-chain extraction from memory-state expressions.
+//!
+//! The Register-File state produced by symbolic simulation is a chain of
+//! *updates* — conditional writes `ITE(context, write(prev, addr, data),
+//! prev)` — over an initial-state variable (paper Sect. 5 and Fig. 2). The
+//! rewriting-rule engine works directly on this representation, and the
+//! [`UpdateChain::render`] method reproduces the Fig. 2 listings.
+
+use eufm::{Context, ExprId, Node, Sort};
+
+/// One update in a chain: the triple `context, address, data` plus the
+/// surrounding state expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Update {
+    /// The condition under which the write occurs (`true` for an
+    /// unconditional write).
+    pub guard: ExprId,
+    /// The written address.
+    pub addr: ExprId,
+    /// The written data.
+    pub data: ExprId,
+    /// The memory state before this update.
+    pub pre_state: ExprId,
+    /// The memory state after this update (the update expression itself).
+    pub post_state: ExprId,
+}
+
+/// A memory expression decomposed into a base state and updates in
+/// *chronological* (bottom-up) order: `updates[0]` is applied first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateChain {
+    /// The initial memory state (a variable).
+    pub base: ExprId,
+    /// The updates, first-applied first.
+    pub updates: Vec<Update>,
+}
+
+/// An error while parsing a memory expression into an update chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainError {
+    /// Description of the unexpected structure.
+    pub message: String,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "update-chain parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Parses `mem` (a memory-sorted expression) into an [`UpdateChain`].
+///
+/// # Errors
+///
+/// Returns [`ChainError`] if the expression is not a chain of conditional
+/// writes over a memory variable.
+pub fn parse(ctx: &Context, mem: ExprId) -> Result<UpdateChain, ChainError> {
+    if ctx.sort(mem) != Sort::Mem {
+        return Err(ChainError { message: "expression is not memory-sorted".to_owned() });
+    }
+    let mut updates_rev: Vec<Update> = Vec::new();
+    let mut cur = mem;
+    loop {
+        match ctx.node(cur) {
+            Node::Var(_, Sort::Mem) => {
+                let mut updates = updates_rev;
+                updates.reverse();
+                return Ok(UpdateChain { base: cur, updates });
+            }
+            Node::Write(m, a, d) => {
+                updates_rev.push(Update {
+                    guard: Context::TRUE,
+                    addr: *a,
+                    data: *d,
+                    pre_state: *m,
+                    post_state: cur,
+                });
+                cur = *m;
+            }
+            Node::Ite(c, t, e) => {
+                let (c, t, e) = (*c, *t, *e);
+                match ctx.node(t) {
+                    Node::Write(m, a, d) if *m == e => {
+                        updates_rev.push(Update {
+                            guard: c,
+                            addr: *a,
+                            data: *d,
+                            pre_state: e,
+                            post_state: cur,
+                        });
+                        cur = e;
+                    }
+                    _ => {
+                        return Err(ChainError {
+                            message: format!(
+                                "ITE branch is not `write(prev, ..)` over the else state \
+                                 (then = {}, else = {})",
+                                ctx.node(t).kind_name(),
+                                ctx.node(e).kind_name()
+                            ),
+                        })
+                    }
+                }
+            }
+            other => {
+                return Err(ChainError {
+                    message: format!("unexpected node `{}` in update chain", other.kind_name()),
+                })
+            }
+        }
+    }
+}
+
+/// Rebuilds a memory expression from a base state and a sequence of
+/// `(guard, addr, data)` updates (the inverse of [`parse`]).
+///
+/// # Panics
+///
+/// Panics if the sorts do not line up (memory base, Boolean guards, term
+/// addresses and data).
+pub fn rebuild(
+    ctx: &mut Context,
+    base: ExprId,
+    updates: impl IntoIterator<Item = (ExprId, ExprId, ExprId)>,
+) -> ExprId {
+    let mut state = base;
+    for (guard, addr, data) in updates {
+        state = ctx.update(state, guard, addr, data);
+    }
+    state
+}
+
+impl UpdateChain {
+    /// The number of updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Reconstructs the memory expression this chain was parsed from.
+    pub fn to_expr(&self, ctx: &mut Context) -> ExprId {
+        rebuild(ctx, self.base, self.updates.iter().map(|u| (u.guard, u.addr, u.data)))
+    }
+
+    /// Whether the chain has no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The final memory state (after all updates), or the base for an empty
+    /// chain.
+    pub fn final_state(&self) -> ExprId {
+        self.updates.last().map_or(self.base, |u| u.post_state)
+    }
+
+    /// Renders the chain in the style of the paper's Fig. 2: one
+    /// `<context, address, data>` triple per line, topmost (latest) update
+    /// first, with arrows pointing at the previous state.
+    pub fn render(&self, ctx: &Context) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for u in self.updates.iter().rev() {
+            let guard = eufm::print::to_sexpr_capped(ctx, u.guard, 120)
+                .unwrap_or_else(|| "<large>".to_owned());
+            let addr = eufm::print::to_sexpr_capped(ctx, u.addr, 60)
+                .unwrap_or_else(|| "<large>".to_owned());
+            let data = eufm::print::to_sexpr_capped(ctx, u.data, 120)
+                .unwrap_or_else(|| "<large>".to_owned());
+            let _ = writeln!(out, "<{guard}, {addr}, {data}>");
+            let _ = writeln!(out, "  |");
+        }
+        let base = eufm::print::to_sexpr_capped(ctx, self.base, 60)
+            .unwrap_or_else(|| "<large>".to_owned());
+        let _ = writeln!(out, "{base}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_three_update_chain() {
+        let mut ctx = Context::new();
+        let rf = ctx.mvar("RegFile");
+        let mut cur = rf;
+        let mut guards = Vec::new();
+        for i in 0..3 {
+            let c = ctx.pvar(&format!("c{i}"));
+            let a = ctx.tvar(&format!("a{i}"));
+            let d = ctx.tvar(&format!("d{i}"));
+            cur = ctx.update(cur, c, a, d);
+            guards.push(c);
+        }
+        let chain = parse(&ctx, cur).expect("parse");
+        assert_eq!(chain.base, rf);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.updates[0].guard, guards[0]);
+        assert_eq!(chain.updates[2].guard, guards[2]);
+        assert_eq!(chain.final_state(), cur);
+        assert_eq!(chain.updates[0].pre_state, rf);
+    }
+
+    #[test]
+    fn unconditional_writes_have_true_guard() {
+        let mut ctx = Context::new();
+        let rf = ctx.mvar("RegFile");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let w = ctx.write(rf, a, d);
+        let chain = parse(&ctx, w).expect("parse");
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.updates[0].guard, Context::TRUE);
+    }
+
+    #[test]
+    fn empty_chain_is_just_the_base() {
+        let mut ctx = Context::new();
+        let rf = ctx.mvar("RegFile");
+        let chain = parse(&ctx, rf).expect("parse");
+        assert!(chain.is_empty());
+        assert_eq!(chain.final_state(), rf);
+    }
+
+    #[test]
+    fn malformed_expressions_are_rejected() {
+        let mut ctx = Context::new();
+        let rf1 = ctx.mvar("rf1");
+        let rf2 = ctx.mvar("rf2");
+        let c = ctx.pvar("c");
+        let bad = ctx.ite(c, rf1, rf2); // not an update
+        assert!(parse(&ctx, bad).is_err());
+        let a = ctx.tvar("a");
+        assert!(parse(&ctx, a).is_err());
+    }
+
+    #[test]
+    fn render_lists_latest_update_first() {
+        let mut ctx = Context::new();
+        let rf = ctx.mvar("RegFile");
+        let c1 = ctx.pvar("Valid_1");
+        let a1 = ctx.tvar("Dest_1");
+        let d1 = ctx.tvar("Result_1");
+        let c2 = ctx.pvar("Valid_2");
+        let a2 = ctx.tvar("Dest_2");
+        let d2 = ctx.tvar("Result_2");
+        let s1 = ctx.update(rf, c1, a1, d1);
+        let s2 = ctx.update(s1, c2, a2, d2);
+        let chain = parse(&ctx, s2).expect("parse");
+        let text = chain.render(&ctx);
+        let pos2 = text.find("Dest_2").expect("Dest_2 shown");
+        let pos1 = text.find("Dest_1").expect("Dest_1 shown");
+        assert!(pos2 < pos1, "latest update renders first:\n{text}");
+        assert!(text.trim_end().ends_with("RegFile:m"));
+    }
+}
+
+#[cfg(test)]
+mod rebuild_tests {
+    use super::*;
+
+    #[test]
+    fn parse_then_rebuild_is_identity() {
+        let mut ctx = Context::new();
+        let rf = ctx.mvar("RegFile");
+        let mut expr = rf;
+        for i in 0..5 {
+            let c = ctx.pvar(&format!("c{i}"));
+            let a = ctx.tvar(&format!("a{i}"));
+            let d = ctx.tvar(&format!("d{i}"));
+            expr = ctx.update(expr, c, a, d);
+        }
+        let chain = parse(&ctx, expr).expect("parse");
+        assert_eq!(chain.to_expr(&mut ctx), expr);
+    }
+
+    #[test]
+    fn rebuild_from_triples() {
+        let mut ctx = Context::new();
+        let rf = ctx.mvar("RegFile");
+        let c = ctx.pvar("c");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let built = rebuild(&mut ctx, rf, [(c, a, d), (Context::TRUE, a, d)]);
+        let chain = parse(&ctx, built).expect("parse");
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.updates[1].guard, Context::TRUE);
+    }
+}

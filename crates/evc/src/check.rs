@@ -1,0 +1,481 @@
+//! The end-to-end validity checker: memory elimination → polarity
+//! classification → UF elimination → Positive-Equality encoding →
+//! transitivity → Tseitin → CDCL SAT.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use eufm::polarity;
+use eufm::stats::{primary_inputs, PrimaryInputStats};
+use eufm::{Context, ExprId, Node, Sort};
+use sat::solver::LimitReason;
+use sat::{Limits, Mode, Outcome, Phase, Solver, SolverStats};
+
+use crate::mem::{self, MemoryModel};
+use crate::pe::{self, Classification, EncodeError};
+use crate::uf_elim;
+
+/// Which functional-consistency elimination scheme to use for
+/// uninterpreted applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UfScheme {
+    /// The nested-`ITE` scheme (Bryant–German–Velev); preserves
+    /// positive-equality structure. The default.
+    #[default]
+    NestedIte,
+    /// Ackermann's reduction; the constraint premises negate every
+    /// argument equation, degrading the Positive-Equality reduction.
+    /// Provided as an ablation.
+    Ackermann,
+}
+
+/// Options controlling the translation and the SAT search.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// How memories are eliminated.
+    pub memory: MemoryModel,
+    /// Whether to emit transitivity constraints over the `e_ij` graph.
+    pub transitivity: bool,
+    /// Tseitin mode.
+    pub tseitin: Mode,
+    /// Uninterpreted-function elimination scheme.
+    pub uf_scheme: UfScheme,
+    /// SAT resource limits.
+    pub sat_limits: Limits,
+    /// Expression-node budget for the translation (0 = unlimited); blowing
+    /// past it yields [`CheckOutcome::Unknown`] — the graceful stand-in for
+    /// the paper's out-of-memory cells.
+    pub max_nodes: usize,
+    /// Log a DRUP proof for UNSAT (i.e. `Valid`) answers and verify it
+    /// with the independent checker; the result lands in
+    /// [`CheckReport::proof_checked`].
+    pub check_proof: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            memory: MemoryModel::Forwarding,
+            transitivity: true,
+            tseitin: Mode::PolarityAware,
+            uf_scheme: UfScheme::default(),
+            sat_limits: Limits::none(),
+            max_nodes: 0,
+            check_proof: false,
+        }
+    }
+}
+
+/// The verdict of a validity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The formula is valid (its negation is unsatisfiable).
+    Valid,
+    /// The formula is falsifiable; the names of the true propositional
+    /// variables of one falsifying assignment are reported.
+    Invalid {
+        /// Names of the primary variables assigned *true* in the
+        /// counterexample (all others are false).
+        true_vars: Vec<String>,
+    },
+    /// A resource limit was hit before a verdict.
+    Unknown(UnknownReason),
+}
+
+impl CheckOutcome {
+    /// Whether the outcome is [`CheckOutcome::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, CheckOutcome::Valid)
+    }
+
+    /// Whether the outcome is [`CheckOutcome::Invalid`].
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, CheckOutcome::Invalid { .. })
+    }
+}
+
+/// Why a check returned no verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The translation exceeded the node budget (memory proxy).
+    TranslationBudget,
+    /// The SAT solver hit its conflict budget.
+    SatConflicts,
+    /// The SAT solver hit its time budget.
+    SatTime,
+    /// The SAT solver hit its learnt-clause (memory proxy) budget.
+    SatMemory,
+}
+
+/// Statistics of the translation, in the shape of the paper's Tables 3/5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// `e_ij` equality-encoding variables in the propositional formula.
+    pub eij_vars: usize,
+    /// Other primary Boolean variables.
+    pub other_vars: usize,
+    /// CNF variables after Tseitin translation.
+    pub cnf_vars: usize,
+    /// CNF clauses after Tseitin translation.
+    pub cnf_clauses: usize,
+    /// EUFM DAG nodes of the input formula.
+    pub input_nodes: usize,
+    /// DAG nodes of the propositional formula.
+    pub bool_nodes: usize,
+}
+
+impl TranslationStats {
+    /// Total primary Boolean inputs.
+    pub fn total_primary(&self) -> usize {
+        self.eij_vars + self.other_vars
+    }
+}
+
+/// The full report of a validity check.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The verdict.
+    pub outcome: CheckOutcome,
+    /// Translation statistics (partial if translation was interrupted).
+    pub stats: TranslationStats,
+    /// SAT search statistics (zeros if SAT never ran).
+    pub sat_stats: SolverStats,
+    /// Time spent translating EUFM to CNF.
+    pub translate_time: Duration,
+    /// Time spent in the SAT solver.
+    pub sat_time: Duration,
+    /// When proof checking was requested and the answer was `Valid`:
+    /// whether the logged DRUP proof checked.
+    pub proof_checked: Option<bool>,
+}
+
+/// Checks the validity of an EUFM formula.
+///
+/// # Panics
+///
+/// Panics if `formula` is not Boolean-sorted.
+pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions) -> CheckReport {
+    assert_eq!(ctx.sort(formula), Sort::Bool, "check_validity expects a formula");
+    let translate_start = Instant::now();
+    let input_nodes = ctx.dag_size(&[formula]);
+    let mut stats = TranslationStats { input_nodes, ..TranslationStats::default() };
+
+    // 1. memory elimination
+    let no_mem = mem::eliminate(ctx, formula, options.memory);
+
+    // 2. polarity classification on the pre-UF-elimination formula
+    let analysis = polarity::analyze(ctx, &[no_mem]);
+    let mut gvars: HashSet<ExprId> = analysis.gvars.clone();
+    let mut gsymbols: HashSet<eufm::Symbol> = HashSet::new();
+    for &gt in &analysis.gterms {
+        match ctx.node(gt) {
+            Node::Uf(sym, _, _) => {
+                gsymbols.insert(*sym);
+            }
+            Node::Var(_, Sort::Mem) => {
+                gvars.insert(gt);
+            }
+            _ => {}
+        }
+    }
+
+    // 3. uninterpreted-function elimination
+    let elim = match options.uf_scheme {
+        UfScheme::NestedIte => uf_elim::eliminate(ctx, no_mem),
+        UfScheme::Ackermann => uf_elim::eliminate_ackermann(ctx, no_mem),
+    };
+    match options.uf_scheme {
+        UfScheme::NestedIte => {
+            for (&fresh, sym) in &elim.fresh_vars {
+                if gsymbols.contains(sym) {
+                    gvars.insert(fresh);
+                }
+            }
+        }
+        UfScheme::Ackermann => {
+            // The Ackermann constraints compare every application's
+            // arguments and results in negative polarity: re-analyze the
+            // guarded formula so the classification reflects that.
+            let re = polarity::analyze(ctx, &[elim.root]);
+            gvars.extend(re.gvars.iter().copied());
+            for &gt in &re.gterms {
+                if matches!(ctx.node(gt), Node::Var(_, Sort::Mem)) {
+                    gvars.insert(gt);
+                }
+            }
+        }
+    }
+
+    // 4. Positive-Equality encoding
+    let classes = Classification { gvars };
+    let encoding = match pe::encode(ctx, elim.root, &classes, options.max_nodes) {
+        Ok(e) => e,
+        Err(EncodeError::BudgetExceeded) => {
+            return CheckReport {
+                outcome: CheckOutcome::Unknown(UnknownReason::TranslationBudget),
+                stats,
+                sat_stats: SolverStats::default(),
+                translate_time: translate_start.elapsed(),
+                sat_time: Duration::ZERO,
+                proof_checked: None,
+            }
+        }
+        Err(e) => panic!("internal translation error: {e}"),
+    };
+    let mut prop = encoding.formula;
+    if options.transitivity {
+        let trans = pe::transitivity_constraints(ctx, &encoding.eij);
+        prop = ctx.implies(trans, prop);
+    }
+    let PrimaryInputStats { eij_vars, other_vars } = primary_inputs(ctx, prop);
+    stats.eij_vars = eij_vars;
+    stats.other_vars = other_vars;
+    stats.bool_nodes = ctx.dag_size(&[prop]);
+
+    // 5. Tseitin + SAT on the negation
+    let mut translation =
+        sat::tseitin::translate(ctx, prop, options.tseitin, Phase::Negative)
+            .expect("encoded formula is propositional");
+    translation.assert_negated_root();
+    stats.cnf_vars = translation.cnf.num_vars();
+    stats.cnf_clauses = translation.cnf.num_clauses();
+    let translate_time = translate_start.elapsed();
+
+    let sat_start = Instant::now();
+    let mut solver = Solver::from_cnf(&translation.cnf);
+    let mut proof = sat::proof::Proof::new();
+    let raw_outcome = if options.check_proof {
+        solver.solve_with_proof(&mut proof)
+    } else {
+        solver.solve_with_limits(options.sat_limits)
+    };
+    let proof_checked = if options.check_proof && raw_outcome.is_unsat() {
+        Some(sat::proof::check(&translation.cnf, &proof).is_ok())
+    } else {
+        None
+    };
+    let outcome = match raw_outcome {
+        Outcome::Unsat => CheckOutcome::Valid,
+        Outcome::Sat(model) => {
+            let mut true_vars: Vec<String> = translation
+                .var_map
+                .iter()
+                .filter(|(_, &sat_var)| model.value(sat_var))
+                .map(|(&expr, _)| match ctx.node(expr) {
+                    Node::Var(sym, _) => ctx.name(*sym).to_owned(),
+                    _ => "?".to_owned(),
+                })
+                .collect();
+            true_vars.sort();
+            CheckOutcome::Invalid { true_vars }
+        }
+        Outcome::Unknown(LimitReason::Conflicts) => {
+            CheckOutcome::Unknown(UnknownReason::SatConflicts)
+        }
+        Outcome::Unknown(LimitReason::Time) => CheckOutcome::Unknown(UnknownReason::SatTime),
+        Outcome::Unknown(LimitReason::Memory) => CheckOutcome::Unknown(UnknownReason::SatMemory),
+    };
+    CheckReport {
+        outcome,
+        stats,
+        sat_stats: solver.stats(),
+        translate_time,
+        sat_time: sat_start.elapsed(),
+        proof_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::needless_range_loop)] // index loops are clearest for the PHP grids
+
+    use super::*;
+
+    fn check(ctx: &mut Context, f: ExprId) -> CheckOutcome {
+        check_validity(ctx, f, &CheckOptions::default()).outcome
+    }
+
+    #[test]
+    fn functional_consistency_is_valid() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let prem = ctx.eq(a, b);
+        let concl = ctx.eq(fa, fb);
+        let goal = ctx.implies(prem, concl);
+        assert!(check(&mut ctx, goal).is_valid());
+    }
+
+    #[test]
+    fn transitivity_over_gvars_is_valid() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let c = ctx.tvar("c");
+        let ab = ctx.eq(a, b);
+        let bc = ctx.eq(b, c);
+        let ac = ctx.eq(a, c);
+        let prem = ctx.and2(ab, bc);
+        let goal = ctx.implies(prem, ac);
+        assert!(check(&mut ctx, goal).is_valid());
+        // without transitivity constraints this must NOT be provable
+        let opts = CheckOptions { transitivity: false, ..CheckOptions::default() };
+        let report = check_validity(&mut ctx, goal, &opts);
+        assert!(report.outcome.is_invalid(), "missing transitivity must falsify");
+    }
+
+    #[test]
+    fn memory_forwarding_is_valid_end_to_end() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let d = ctx.tvar("d");
+        let w = ctx.write(m, a, d);
+        let r = ctx.read(w, b);
+        let rm = ctx.read(m, b);
+        let hit = ctx.eq(a, b);
+        let rhs = ctx.ite(hit, d, rm);
+        let goal = ctx.eq(r, rhs);
+        assert!(check(&mut ctx, goal).is_valid());
+    }
+
+    #[test]
+    fn invalid_formula_yields_counterexample_vars() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let y = ctx.pvar("y");
+        let goal = ctx.or2(x, y);
+        match check(&mut ctx, goal) {
+            CheckOutcome::Invalid { true_vars } => {
+                // x and y must both be false in the counterexample
+                assert!(!true_vars.contains(&"x".to_owned()));
+                assert!(!true_vars.contains(&"y".to_owned()));
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let neq = ctx.not(eq);
+        let x = ctx.pvar("x");
+        let goal = ctx.or2(x, neq);
+        let report = check_validity(&mut ctx, goal, &CheckOptions::default());
+        assert!(report.outcome.is_invalid());
+        assert_eq!(report.stats.eij_vars, 1);
+        assert!(report.stats.other_vars >= 1);
+        assert!(report.stats.cnf_vars > 0);
+    }
+
+    #[test]
+    fn proof_checked_validity() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let c = ctx.tvar("c");
+        let ab = ctx.eq(a, b);
+        let bc = ctx.eq(b, c);
+        let ac = ctx.eq(a, c);
+        let prem = ctx.and2(ab, bc);
+        let goal = ctx.implies(prem, ac);
+        let opts = CheckOptions { check_proof: true, ..CheckOptions::default() };
+        let report = check_validity(&mut ctx, goal, &opts);
+        assert!(report.outcome.is_valid());
+        assert_eq!(report.proof_checked, Some(true));
+        // invalid formulas carry no proof verdict
+        let bad = ctx.implies(ac, ab);
+        let report = check_validity(&mut ctx, bad, &opts);
+        assert!(report.outcome.is_invalid());
+        assert_eq!(report.proof_checked, None);
+    }
+
+    #[test]
+    fn ackermann_scheme_agrees_on_verdicts() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let prem = ctx.eq(a, b);
+        let concl = ctx.eq(fa, fb);
+        let valid = ctx.implies(prem, concl);
+        let invalid = concl;
+        let opts = CheckOptions { uf_scheme: UfScheme::Ackermann, ..CheckOptions::default() };
+        assert!(check_validity(&mut ctx, valid, &opts).outcome.is_valid());
+        assert!(check_validity(&mut ctx, invalid, &opts).outcome.is_invalid());
+    }
+
+    #[test]
+    fn ackermann_uses_more_eij_variables() {
+        // The same positive-equality-friendly formula: nested-ITE needs no
+        // e_ij variables; Ackermann's premises force them.
+        let build = |ctx: &mut Context| {
+            let a = ctx.tvar("a");
+            let b = ctx.tvar("b");
+            let c = ctx.tvar("c");
+            let fa = ctx.uf("f", vec![a]);
+            let fb = ctx.uf("f", vec![b]);
+            let fc = ctx.uf("f", vec![c]);
+            let e1 = ctx.eq(fa, fb);
+            let e2 = ctx.eq(fb, fc);
+            let e3 = ctx.eq(fa, fc);
+            ctx.or([e1, e2, e3])
+        };
+        let mut ctx = Context::new();
+        let f = build(&mut ctx);
+        let nested =
+            check_validity(&mut ctx, f, &CheckOptions::default());
+        let mut ctx = Context::new();
+        let f = build(&mut ctx);
+        let ack = check_validity(
+            &mut ctx,
+            f,
+            &CheckOptions { uf_scheme: UfScheme::Ackermann, ..CheckOptions::default() },
+        );
+        assert_eq!(nested.outcome.is_valid(), ack.outcome.is_valid());
+        assert!(
+            ack.stats.eij_vars > nested.stats.eij_vars,
+            "Ackermann {} vs nested-ITE {} e_ij variables",
+            ack.stats.eij_vars,
+            nested.stats.eij_vars
+        );
+    }
+
+    #[test]
+    fn sat_limits_produce_unknown() {
+        // A formula hard enough to exceed 1 conflict: pigeonhole over UPs.
+        let mut ctx = Context::new();
+        let mut clauses = Vec::new();
+        let n = 6;
+        let p: Vec<Vec<ExprId>> = (0..n)
+            .map(|i| (0..n - 1).map(|j| ctx.pvar(&format!("p{i}_{j}"))).collect())
+            .collect();
+        for row in &p {
+            clauses.push(ctx.or(row.iter().copied()));
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    let n1 = ctx.not(p[i1][j]);
+                    let n2 = ctx.not(p[i2][j]);
+                    clauses.push(ctx.or2(n1, n2));
+                }
+            }
+        }
+        let conj = ctx.and(clauses);
+        let goal = ctx.not(conj); // valid (PHP is unsat), but hard
+        let opts = CheckOptions {
+            sat_limits: Limits { max_conflicts: Some(1), ..Limits::none() },
+            ..CheckOptions::default()
+        };
+        let report = check_validity(&mut ctx, goal, &opts);
+        assert_eq!(report.outcome, CheckOutcome::Unknown(UnknownReason::SatConflicts));
+    }
+}

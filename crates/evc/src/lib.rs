@@ -1,0 +1,48 @@
+//! EVC: translation of EUFM correctness formulas to propositional logic,
+//! exploiting rewriting rules and Positive Equality.
+//!
+//! This crate reimplements the translation flow of Velev's EVC validity
+//! checker as used in the DATE 2002 paper:
+//!
+//! 1. **Memory elimination** ([`mem`]): equations between memory states are
+//!    reduced to reads at a fresh symbolic address; `read`/`write` are then
+//!    eliminated either *with* the forwarding property (read-over-write
+//!    becomes an `ITE` ladder with address equations — the general, exact
+//!    model) or *conservatively* (both become general uninterpreted
+//!    functions — sound, cheaper, and sufficient once the rewriting rules
+//!    have removed the out-of-order instruction updates; paper Sect. 7.2).
+//! 2. **Uninterpreted-function elimination** ([`uf_elim`]): every UF/UP
+//!    application is replaced by a fresh variable guarded by nested-`ITE`
+//!    functional-consistency selections (Bryant–German–Velev).
+//! 3. **Positive-Equality encoding** ([`pe`]): equations are pushed through
+//!    `ITE`s to variable leaves; p-variable comparisons collapse to
+//!    constants under the maximally diverse interpretation; g-variable
+//!    comparisons become fresh `e_ij` Boolean variables constrained by
+//!    (sparse, chordally-closed) transitivity.
+//! 4. **Validity checking** ([`check`]): the propositional result is
+//!    negated, translated to CNF, and handed to the [`sat`] CDCL solver.
+//!
+//! The paper's contribution — the **rewriting rules** ([`rewrite`]) — runs
+//! before step 1: it mechanically proves that every instruction initially
+//! in the reorder buffer produces equal Register-File updates along both
+//! sides of the Burch–Dill diagram, removes those updates, and replaces the
+//! resulting equal memory prefixes with a single fresh variable. The
+//! simplified formula no longer mentions the out-of-order core, so steps
+//! 1–4 run with the conservative memory model, produce **no** `e_ij`
+//! variables, and are independent of the reorder-buffer size (Tables 4–5).
+//! A failed rule application localizes the offending computation slice —
+//! the paper's buggy-variant experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod check;
+pub mod mem;
+pub mod pe;
+pub mod rewrite;
+pub mod uf_elim;
+
+pub use check::{check_validity, CheckOptions, CheckOutcome, CheckReport};
+pub use mem::MemoryModel;
+pub use rewrite::{rewrite_correctness, RewriteError, RewriteInput, RewriteOutcome};

@@ -1,0 +1,399 @@
+//! Memory elimination.
+//!
+//! EUFM memories support `read`/`write` with the forwarding property. Two
+//! elimination strategies are provided:
+//!
+//! - [`MemoryModel::Forwarding`] — exact: memory-state equations become
+//!   reads at a shared fresh address (extensionality); read-over-write
+//!   unrolls into `ITE` ladders guarded by address equations; residual
+//!   reads of initial memory states become per-memory uninterpreted
+//!   functions of the address.
+//! - [`MemoryModel::Conservative`] — `read` and `write` are abstracted by
+//!   general uninterpreted functions that do *not* satisfy the forwarding
+//!   property (paper [31], Sect. 7.2). This is a conservative
+//!   approximation: a formula proved valid under it is valid, but a correct
+//!   design may fail to verify. After the rewriting rules have removed the
+//!   out-of-order updates, the remaining instructions execute strictly in
+//!   program order on both diagram sides and the conservative model
+//!   suffices — eliminating every address equation and hence every `e_ij`
+//!   variable.
+
+use std::collections::HashMap;
+
+use eufm::{Context, ExprId, Node, Sort};
+
+/// How memory operations are eliminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// Exact elimination honoring the forwarding property.
+    #[default]
+    Forwarding,
+    /// Abstraction by general uninterpreted functions (no forwarding).
+    Conservative,
+}
+
+/// The name of the fresh universal address variable used to compare memory
+/// states extensionally.
+pub const MEM_EQ_ADDR: &str = "memeq!addr";
+
+/// Eliminates memory-state equations and `read`/`write` operations from
+/// `root` according to `model`.
+///
+/// After this pass the formula contains no `Eq` between memories and, for
+/// the forwarding model, no `read`/`write`/memory-variable nodes at all
+/// (initial-state reads become `rd!<mem>` uninterpreted functions). For the
+/// conservative model, `read` becomes the two-argument UF `rd!` and `write`
+/// the three-argument memory-sorted UF `wr!`; memory variables remain as UF
+/// arguments and equation leaves.
+///
+/// # Panics
+///
+/// Panics if `root` is not a formula.
+pub fn eliminate(ctx: &mut Context, root: ExprId, model: MemoryModel) -> ExprId {
+    assert_eq!(ctx.sort(root), Sort::Bool, "memory elimination expects a formula");
+    // Pass 1: memory equations -> reads at a shared fresh address.
+    let root = {
+        let mut pass = MemEqPass { memo: HashMap::new(), addr: None };
+        pass.rebuild(ctx, root)
+    };
+    // Pass 2: eliminate reads/writes.
+    match model {
+        MemoryModel::Forwarding => {
+            let mut pass =
+                ForwardPass { memo: HashMap::new(), read_memo: HashMap::new() };
+            pass.rebuild(ctx, root)
+        }
+        MemoryModel::Conservative => {
+            let mut pass = ConservativePass { memo: HashMap::new() };
+            pass.rebuild(ctx, root)
+        }
+    }
+}
+
+/// Replaces `Eq(mem1, mem2)` with `Eq(read(mem1, addr), read(mem2, addr))`
+/// for one shared fresh address variable.
+struct MemEqPass {
+    memo: HashMap<ExprId, ExprId>,
+    addr: Option<ExprId>,
+}
+
+impl MemEqPass {
+    fn addr(&mut self, ctx: &mut Context) -> ExprId {
+        *self.addr.get_or_insert_with(|| ctx.tvar(MEM_EQ_ADDR))
+    }
+
+    fn rebuild(&mut self, ctx: &mut Context, id: ExprId) -> ExprId {
+        if let Some(&v) = self.memo.get(&id) {
+            return v;
+        }
+        let node = ctx.node(id).clone();
+        let result = match node {
+            Node::Eq(a, b) if ctx.sort(a) == Sort::Mem => {
+                let addr = self.addr(ctx);
+                let a2 = self.rebuild(ctx, a);
+                let b2 = self.rebuild(ctx, b);
+                let ra = ctx.read(a2, addr);
+                let rb = ctx.read(b2, addr);
+                ctx.eq(ra, rb)
+            }
+            _ => rebuild_generic(ctx, &node, |ctx, c| self.rebuild(ctx, c)),
+        };
+        self.memo.insert(id, result);
+        result
+    }
+}
+
+/// Exact read-over-write elimination.
+struct ForwardPass {
+    memo: HashMap<ExprId, ExprId>,
+    /// Memo for resolved reads keyed on (memory expression, address).
+    read_memo: HashMap<(ExprId, ExprId), ExprId>,
+}
+
+impl ForwardPass {
+    fn rebuild(&mut self, ctx: &mut Context, id: ExprId) -> ExprId {
+        if let Some(&v) = self.memo.get(&id) {
+            return v;
+        }
+        let node = ctx.node(id).clone();
+        let result = match node {
+            Node::Read(m, a) => {
+                let addr = self.rebuild(ctx, a);
+                self.resolve_read(ctx, m, addr)
+            }
+            // Writes and memory variables are consumed by `resolve_read`;
+            // any left outside a read context are preserved structurally
+            // (they can only appear if the caller kept a bare memory term,
+            // which the formula-level API prevents).
+            _ => rebuild_generic(ctx, &node, |ctx, c| self.rebuild(ctx, c)),
+        };
+        self.memo.insert(id, result);
+        result
+    }
+
+    /// Resolves `read(mem, addr)` (addr already rebuilt) into a term without
+    /// memory operations.
+    fn resolve_read(&mut self, ctx: &mut Context, mem: ExprId, addr: ExprId) -> ExprId {
+        if let Some(&v) = self.read_memo.get(&(mem, addr)) {
+            return v;
+        }
+        let node = ctx.node(mem).clone();
+        let result = match node {
+            Node::Write(m, a, d) => {
+                let wa = self.rebuild(ctx, a);
+                let wd = self.rebuild(ctx, d);
+                let hit = ctx.eq(wa, addr);
+                let miss = self.resolve_read(ctx, m, addr);
+                ctx.ite(hit, wd, miss)
+            }
+            Node::Ite(c, t, e) => {
+                let c2 = self.rebuild(ctx, c);
+                let rt = self.resolve_read(ctx, t, addr);
+                let re = self.resolve_read(ctx, e, addr);
+                ctx.ite(c2, rt, re)
+            }
+            Node::Var(sym, Sort::Mem) => {
+                let name = format!("rd!{}", ctx.name(sym));
+                ctx.uf(&name, vec![addr])
+            }
+            Node::Uf(sym, args, Sort::Mem) => {
+                // A memory produced by an uninterpreted transformer (only in
+                // mixed pipelines): read it through a dedicated UF.
+                let rebuilt: Vec<ExprId> =
+                    args.iter().map(|&x| self.rebuild(ctx, x)).collect();
+                let inner = ctx.apply_sym(sym, rebuilt, Sort::Mem);
+                let name = format!("rdapp!{}", ctx.name(sym));
+                let mut full = vec![inner];
+                full.push(addr);
+                ctx.apply(&name, full, Sort::Term)
+            }
+            other => panic!("read applied to non-memory node {other:?}"),
+        };
+        self.read_memo.insert((mem, addr), result);
+        result
+    }
+}
+
+/// Conservative abstraction: `read`/`write` become general UFs.
+struct ConservativePass {
+    memo: HashMap<ExprId, ExprId>,
+}
+
+impl ConservativePass {
+    fn rebuild(&mut self, ctx: &mut Context, id: ExprId) -> ExprId {
+        if let Some(&v) = self.memo.get(&id) {
+            return v;
+        }
+        let node = ctx.node(id).clone();
+        let result = match node {
+            Node::Read(m, a) => {
+                let m2 = self.rebuild(ctx, m);
+                let a2 = self.rebuild(ctx, a);
+                ctx.apply("rd!", vec![m2, a2], Sort::Term)
+            }
+            Node::Write(m, a, d) => {
+                let m2 = self.rebuild(ctx, m);
+                let a2 = self.rebuild(ctx, a);
+                let d2 = self.rebuild(ctx, d);
+                ctx.apply("wr!", vec![m2, a2, d2], Sort::Mem)
+            }
+            _ => rebuild_generic(ctx, &node, |ctx, c| self.rebuild(ctx, c)),
+        };
+        self.memo.insert(id, result);
+        result
+    }
+}
+
+/// Rebuilds a node through the smart constructors with recursively
+/// transformed children.
+fn rebuild_generic(
+    ctx: &mut Context,
+    node: &Node,
+    mut rec: impl FnMut(&mut Context, ExprId) -> ExprId,
+) -> ExprId {
+    match node {
+        Node::True => Context::TRUE,
+        Node::False => Context::FALSE,
+        Node::Var(sym, sort) => {
+            let name = ctx.name(*sym).to_owned();
+            ctx.var(&name, *sort)
+        }
+        Node::Uf(sym, args, sort) => {
+            let rebuilt: Vec<ExprId> = args.iter().map(|&a| rec(ctx, a)).collect();
+            ctx.apply_sym(*sym, rebuilt, *sort)
+        }
+        Node::Ite(c, t, e) => {
+            let c2 = rec(ctx, *c);
+            let t2 = rec(ctx, *t);
+            let e2 = rec(ctx, *e);
+            ctx.ite(c2, t2, e2)
+        }
+        Node::Eq(a, b) => {
+            let a2 = rec(ctx, *a);
+            let b2 = rec(ctx, *b);
+            ctx.eq(a2, b2)
+        }
+        Node::Not(a) => {
+            let a2 = rec(ctx, *a);
+            ctx.not(a2)
+        }
+        Node::And(xs) => {
+            let rebuilt: Vec<ExprId> = xs.iter().map(|&x| rec(ctx, x)).collect();
+            ctx.and(rebuilt)
+        }
+        Node::Or(xs) => {
+            let rebuilt: Vec<ExprId> = xs.iter().map(|&x| rec(ctx, x)).collect();
+            ctx.or(rebuilt)
+        }
+        Node::Read(m, a) => {
+            let m2 = rec(ctx, *m);
+            let a2 = rec(ctx, *a);
+            ctx.read(m2, a2)
+        }
+        Node::Write(m, a, d) => {
+            let m2 = rec(ctx, *m);
+            let a2 = rec(ctx, *a);
+            let d2 = rec(ctx, *d);
+            ctx.write(m2, a2, d2)
+        }
+    }
+}
+
+/// Whether the DAG under `root` still contains memory operations or
+/// memory-sorted variables (diagnostic used by tests and the checker).
+pub fn contains_memory_ops(ctx: &Context, root: ExprId) -> bool {
+    let mut found = false;
+    ctx.visit_post_order(&[root], |id| match ctx.node(id) {
+        Node::Read(..) | Node::Write(..) => found = true,
+        _ => {}
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eufm::oracle::{check_sampled, OracleResult};
+
+    /// The forwarding elimination must be semantics-preserving: validity of
+    /// the original and eliminated formulas agree under sampling.
+    fn assert_equivalid(ctx: &mut Context, original: ExprId, model: MemoryModel) {
+        let expect = matches!(check_sampled(ctx, original, 300), OracleResult::Valid);
+        let eliminated = eliminate(ctx, original, model);
+        let got = matches!(check_sampled(ctx, eliminated, 300), OracleResult::Valid);
+        assert_eq!(expect, got, "elimination changed the sampled verdict");
+    }
+
+    #[test]
+    fn read_over_write_hit() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let w = ctx.write(m, a, d);
+        let r = ctx.read(w, a);
+        let goal = ctx.eq(r, d); // valid
+        let out = eliminate(&mut ctx, goal, MemoryModel::Forwarding);
+        assert_eq!(out, Context::TRUE);
+    }
+
+    #[test]
+    fn read_over_write_aliasing_ladder() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let d = ctx.tvar("d");
+        let w = ctx.write(m, a, d);
+        let r = ctx.read(w, b);
+        let rm = ctx.read(m, b);
+        let cond = ctx.eq(a, b);
+        let rhs = ctx.ite(cond, d, rm);
+        let goal = ctx.eq(r, rhs); // valid
+        let out = eliminate(&mut ctx, goal, MemoryModel::Forwarding);
+        assert_eq!(out, Context::TRUE);
+        assert!(!contains_memory_ops(&ctx, out));
+    }
+
+    #[test]
+    fn forwarding_preserves_sampled_validity() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let d1 = ctx.tvar("d1");
+        let d2 = ctx.tvar("d2");
+        // write order matters when a = b: last write wins
+        let w1 = ctx.write(m, a, d1);
+        let w12 = ctx.write(w1, b, d2);
+        let r = ctx.read(w12, b);
+        let goal = ctx.eq(r, d2); // valid (b's write is last)
+        assert_equivalid(&mut ctx, goal, MemoryModel::Forwarding);
+        // and the wrong order claim is invalid
+        let r2 = ctx.read(w12, a);
+        let bad = ctx.eq(r2, d1); // invalid when a = b
+        assert_equivalid(&mut ctx, bad, MemoryModel::Forwarding);
+    }
+
+    #[test]
+    fn mem_equation_uses_shared_fresh_address() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let r = ctx.read(m, a);
+        let w = ctx.write(m, a, r);
+        // write(m, a, read(m, a)) = m — valid extensionally
+        let goal = ctx.eq(w, m);
+        let out = eliminate(&mut ctx, goal, MemoryModel::Forwarding);
+        let verdict = check_sampled(&ctx, out, 300);
+        assert!(verdict.is_valid(), "extensional identity lost: {verdict:?}");
+    }
+
+    #[test]
+    fn conservative_may_lose_forwarding_but_stays_sound() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let w = ctx.write(m, a, d);
+        let r = ctx.read(w, a);
+        let goal = ctx.eq(r, d); // valid with forwarding...
+        let out = eliminate(&mut ctx, goal, MemoryModel::Conservative);
+        // ...but not provable conservatively: rd!(wr!(m,a,d), a) is opaque.
+        let verdict = check_sampled(&ctx, out, 200);
+        assert!(verdict.is_invalid(), "conservative model must not prove forwarding");
+    }
+
+    #[test]
+    fn conservative_preserves_structural_equality() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let w1 = ctx.write(m, a, d);
+        let r1 = ctx.read(w1, a);
+        let r2 = ctx.read(w1, a);
+        let goal = ctx.eq(r1, r2);
+        assert_eq!(goal, Context::TRUE); // hash-consing already
+        // identical chains compare equal after abstraction too
+        let w2 = ctx.write(m, a, d);
+        let x = ctx.read(w2, a);
+        let y = ctx.read(w1, a);
+        let goal2 = ctx.eq(x, y);
+        let out = eliminate(&mut ctx, goal2, MemoryModel::Conservative);
+        assert_eq!(out, Context::TRUE);
+    }
+
+    #[test]
+    fn no_memory_ops_remain_after_forwarding() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let n = ctx.mvar("n");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let wm = ctx.write(m, a, d);
+        let goal = ctx.eq(wm, n);
+        let out = eliminate(&mut ctx, goal, MemoryModel::Forwarding);
+        assert!(!contains_memory_ops(&ctx, out));
+    }
+}

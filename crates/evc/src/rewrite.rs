@@ -1,0 +1,843 @@
+//! The rewriting-rule engine (paper Sect. 6).
+//!
+//! The engine proves, slice by slice, that every instruction initially in
+//! the reorder buffer produces equal Register-File updates along both sides
+//! of the Burch–Dill diagram, removes those equal update pairs, and
+//! replaces the resulting equal memory prefixes with one fresh variable
+//! (`RegFile_equal_state`, Fig. 2b). The surviving formula depends only on
+//! the newly fetched instructions and is discharged by Positive Equality
+//! with the conservative memory model — no `e_ij` variables, independent of
+//! the reorder-buffer size.
+//!
+//! Rule applications are *mechanical* but each one is justified by a
+//! machine-checked local obligation:
+//!
+//! - **R1 (reordering / dead updates)** — an update may move past another,
+//!   and an update is invisible to a read, when their contexts cannot hold
+//!   simultaneously. Checked by propositional SAT on the context pair.
+//! - **R2 (pair merging)** — the retirement write and the completion write
+//!   of a retire-width instruction merge: their contexts are disjoint and
+//!   their disjunction equals the specification-side context (`Valid_i`).
+//!   Checked by propositional SAT.
+//! - **R3 (data equality, stored result)** — under `ValidResult_i`, both
+//!   sides write the `Result_i` variable. Checked syntactically after
+//!   cofactoring (with a semantic fallback).
+//! - **R4 (data equality, completion)** — with `ValidResult_i` false and
+//!   the instruction not executed, both sides compute the ALU result from
+//!   operands read from the (proven-equal, relocated) previous state.
+//!   Checked syntactically after relocation.
+//! - **R5 (data equality, forwarding)** — with the instruction executed
+//!   during the regular cycle, the forwarded operands equal the
+//!   specification-side reads. Checked by a local Positive-Equality +
+//!   SAT validity query (size `O(i)`, never the whole formula).
+//!
+//! A failed obligation aborts with [`RewriteError::Slice`], naming the
+//! computation slice that does not conform — the paper's buggy-variant
+//! diagnosis.
+
+use std::collections::HashMap;
+
+use eufm::subst::{substitute, Substitution};
+use eufm::{Context, ExprId, Node, Sort};
+use sat::{Mode, Outcome, Phase, Solver};
+
+use crate::chain::{self, Update, UpdateChain};
+use crate::check::{check_validity, CheckOptions, CheckOutcome};
+use crate::mem::MemoryModel;
+
+/// The inputs to the rewriting engine, extracted from a correctness bundle.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteInput {
+    /// The full EUFM correctness formula.
+    pub formula: ExprId,
+    /// `RegFile_Impl`: the implementation-side final Register-File state.
+    pub rf_impl: ExprId,
+    /// `RegFile_Spec,0`: the specification-side state after flushing the
+    /// initial implementation state (before any spec steps).
+    pub rf_spec0: ExprId,
+}
+
+/// Options for the rewriting engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteOptions {
+    /// Options for the local semantic obligations (R5 and fallbacks).
+    pub local: CheckOptions,
+    /// Capture Fig. 2-style renderings of the chains before/after.
+    pub render_chains: bool,
+    /// Use the structural (paper rule 2.1) forwarding check before falling
+    /// back to the semantic one. Disable to force every forwarding
+    /// obligation through the local Positive-Equality checker — the
+    /// `ablation_structural_r5` benchmark measures the cost.
+    pub structural_forwarding: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            local: CheckOptions { memory: MemoryModel::Forwarding, ..CheckOptions::default() },
+            render_chains: false,
+            structural_forwarding: true,
+        }
+    }
+}
+
+/// A successful rewrite.
+#[derive(Debug, Clone)]
+pub struct RewriteOutcome {
+    /// The simplified correctness formula (initial-instruction updates
+    /// removed, equal prefixes replaced by `RegFile_equal_state`).
+    pub formula: ExprId,
+    /// The fresh variable standing for the proven-equal prefix states.
+    pub equal_state: ExprId,
+    /// Number of reorder-buffer slices processed (the paper's `N`).
+    pub slices: usize,
+    /// Number of retire-width update pairs merged.
+    pub retire_pairs: usize,
+    /// Number of machine-checked obligations discharged.
+    pub obligations: usize,
+    /// Number of obligations discharged by the syntactic fast path.
+    pub syntactic_hits: usize,
+    /// Fig. 2a rendering of the implementation chain (when requested).
+    pub impl_chain_before: Option<String>,
+    /// Fig. 2b-equivalent rendering of the surviving implementation chain.
+    pub impl_chain_after: Option<String>,
+}
+
+/// A rewrite failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The formula does not have the expected global structure.
+    Structure(String),
+    /// Computation slice `slice` (1-based) does not conform — the design is
+    /// suspect there (subject to the false-negative caveat of Sect. 7.2).
+    Slice {
+        /// The offending 1-based reorder-buffer slice.
+        slice: usize,
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::Structure(msg) => write!(f, "structural mismatch: {msg}"),
+            RewriteError::Slice { slice, reason } => {
+                write!(f, "computation slice {slice} does not conform: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// One implementation-side slice: a completion update and, within the
+/// retire width, the earlier retirement update.
+#[derive(Debug, Clone, Copy)]
+struct Slice {
+    completion: Update,
+    retirement: Option<Update>,
+}
+
+/// Applies the rewriting rules to a correctness formula.
+///
+/// # Errors
+///
+/// Returns [`RewriteError::Structure`] when the update chains do not have
+/// the shape the abstract out-of-order processor produces, and
+/// [`RewriteError::Slice`] when a specific computation slice fails an
+/// obligation (the bug-detection outcome).
+pub fn rewrite_correctness(
+    ctx: &mut Context,
+    input: &RewriteInput,
+    options: &RewriteOptions,
+) -> Result<RewriteOutcome, RewriteError> {
+    let spec_chain = chain::parse(ctx, input.rf_spec0)
+        .map_err(|e| RewriteError::Structure(format!("spec side: {e}")))?;
+    let impl_chain = chain::parse(ctx, input.rf_impl)
+        .map_err(|e| RewriteError::Structure(format!("impl side: {e}")))?;
+    if spec_chain.base != impl_chain.base {
+        return Err(RewriteError::Structure(
+            "implementation and specification start from different register files".to_owned(),
+        ));
+    }
+    let impl_chain_before =
+        options.render_chains.then(|| impl_chain.render(ctx));
+
+    // Every spec-side update must be addressed by a distinct term variable
+    // (the initial value of the instruction's destination register).
+    for (i, u) in spec_chain.updates.iter().enumerate() {
+        if !matches!(ctx.node(u.addr), Node::Var(_, Sort::Term)) {
+            return Err(RewriteError::Structure(format!(
+                "spec update {} is not addressed by a term variable",
+                i + 1
+            )));
+        }
+    }
+
+    let slices = match_slices(ctx, &spec_chain, &impl_chain)?;
+    let n = slices.len();
+    let retire_pairs = slices.iter().filter(|s| s.retirement.is_some()).count();
+
+    let mut engine = Engine { options: *options, obligations: 0, syntactic_hits: 0 };
+
+    // R1 family: the retirement context of slice j must be disjoint from
+    // the completion context of every slice i <= j. For i < j this licenses
+    // moving completion i before retirement j (the pair reordering of
+    // Fig. 2); for i = j it licenses the pair merge; and jointly they
+    // license relocating slice i's completion reads past the (dead)
+    // retirement updates of younger instructions.
+    for (j, sj) in slices.iter().enumerate() {
+        let Some(ret) = sj.retirement else { continue };
+        for (i, si) in slices.iter().enumerate().take(j + 1) {
+            if !engine.bool_disjoint(ctx, ret.guard, si.completion.guard) {
+                return Err(RewriteError::Slice {
+                    slice: j + 1,
+                    reason: format!(
+                        "retirement context of slice {} overlaps completion context of slice {}",
+                        j + 1,
+                        i + 1
+                    ),
+                });
+            }
+        }
+    }
+
+    // Per-slice context and data obligations.
+    for (idx, slice) in slices.iter().enumerate() {
+        let i = idx + 1;
+        let spec = spec_chain.updates[idx];
+        engine.check_contexts(ctx, i, slice, &spec)?;
+        let prev_equal = if idx == 0 {
+            spec_chain.base
+        } else {
+            ctx.fresh_var(&format!("rfeq!{idx}"), Sort::Mem)
+        };
+        engine.check_data(ctx, i, slice, &spec, prev_equal, &spec_chain, idx)?;
+    }
+
+    // All slices proved equal: replace both prefixes (the spec-side state
+    // and the implementation-side state before the newly-fetched-instruction
+    // updates) by the fresh `RegFile_equal_state` variable.
+    let equal_state = ctx.var("RegFile_equal_state", Sort::Mem);
+    let impl_prefix = impl_prefix_state(&impl_chain, n, retire_pairs);
+    let mut sigma = Substitution::new();
+    sigma.insert(input.rf_spec0, equal_state);
+    sigma.insert(impl_prefix, equal_state);
+    let formula = substitute(ctx, input.formula, &sigma);
+
+    let impl_chain_after = if options.render_chains {
+        let rewritten_impl = substitute(ctx, input.rf_impl, &sigma);
+        Some(
+            chain::parse(ctx, rewritten_impl)
+                .map(|c| c.render(ctx))
+                .unwrap_or_else(|e| format!("<unrenderable: {e}>")),
+        )
+    } else {
+        None
+    };
+
+    Ok(RewriteOutcome {
+        formula,
+        equal_state,
+        slices: n,
+        retire_pairs,
+        obligations: engine.obligations,
+        syntactic_hits: engine.syntactic_hits,
+        impl_chain_before,
+        impl_chain_after,
+    })
+}
+
+/// The implementation-side state just before the first newly-fetched
+/// instruction update.
+fn impl_prefix_state(impl_chain: &UpdateChain, n: usize, retire_pairs: usize) -> ExprId {
+    let initial_updates = n + retire_pairs;
+    if initial_updates == 0 {
+        impl_chain.base
+    } else if initial_updates < impl_chain.updates.len() {
+        impl_chain.updates[initial_updates].pre_state
+    } else {
+        impl_chain.final_state()
+    }
+}
+
+/// Matches implementation updates to specification slices by destination
+/// variable, validating order and multiplicity.
+fn match_slices(
+    ctx: &Context,
+    spec_chain: &UpdateChain,
+    impl_chain: &UpdateChain,
+) -> Result<Vec<Slice>, RewriteError> {
+    let n = spec_chain.len();
+    // Implementation updates addressed by term variables belong to initial
+    // instructions; the rest (uninterpreted-function addresses) belong to
+    // newly fetched instructions and must form a suffix.
+    let mut initial: Vec<(usize, Update)> = Vec::new();
+    let mut seen_new = false;
+    for (pos, u) in impl_chain.updates.iter().enumerate() {
+        if matches!(ctx.node(u.addr), Node::Var(_, Sort::Term)) {
+            if seen_new {
+                return Err(RewriteError::Structure(format!(
+                    "initial-instruction update at position {pos} follows a newly-fetched one"
+                )));
+            }
+            initial.push((pos, *u));
+        } else {
+            seen_new = true;
+        }
+    }
+
+    let mut by_addr: HashMap<ExprId, Vec<(usize, Update)>> = HashMap::new();
+    for (pos, u) in &initial {
+        by_addr.entry(u.addr).or_default().push((*pos, *u));
+    }
+
+    let mut slices = Vec::with_capacity(n);
+    let mut last_completion_pos = None;
+    for (idx, spec) in spec_chain.updates.iter().enumerate() {
+        let Some(group) = by_addr.get(&spec.addr) else {
+            return Err(RewriteError::Slice {
+                slice: idx + 1,
+                reason: "no implementation update writes this destination register".to_owned(),
+            });
+        };
+        let slice = match group.as_slice() {
+            [(pos, completion)] => {
+                check_completion_order(idx, *pos, &mut last_completion_pos)?;
+                Slice { completion: *completion, retirement: None }
+            }
+            [(_, retirement), (pos, completion)] => {
+                check_completion_order(idx, *pos, &mut last_completion_pos)?;
+                Slice { completion: *completion, retirement: Some(*retirement) }
+            }
+            other => {
+                return Err(RewriteError::Slice {
+                    slice: idx + 1,
+                    reason: format!(
+                        "{} implementation updates write this destination register (expected 1 or 2)",
+                        other.len()
+                    ),
+                })
+            }
+        };
+        slices.push(slice);
+    }
+    if slices.len() != n {
+        return Err(RewriteError::Structure("slice count mismatch".to_owned()));
+    }
+    let matched = slices.len() + slices.iter().filter(|s| s.retirement.is_some()).count();
+    if matched != initial.len() {
+        return Err(RewriteError::Structure(format!(
+            "{} initial-instruction updates on the implementation side, {} matched",
+            initial.len(),
+            matched
+        )));
+    }
+    Ok(slices)
+}
+
+fn check_completion_order(
+    idx: usize,
+    pos: usize,
+    last: &mut Option<usize>,
+) -> Result<(), RewriteError> {
+    if let Some(prev) = *last {
+        if pos <= prev {
+            return Err(RewriteError::Slice {
+                slice: idx + 1,
+                reason: "completion updates are out of program order".to_owned(),
+            });
+        }
+    }
+    *last = Some(pos);
+    Ok(())
+}
+
+struct Engine {
+    options: RewriteOptions,
+    obligations: usize,
+    syntactic_hits: usize,
+}
+
+/// Builds the expected forwarded value and availability condition for
+/// source register `src` of the slice at index `idx`, by scanning the
+/// specification-side updates of the preceding slices.
+///
+/// Returns `None` if a preceding update's data does not decompose as
+/// `ITE(ValidResult_j, Result_j, ..)`.
+fn expected_forwarding(
+    ctx: &mut Context,
+    spec_chain: &UpdateChain,
+    idx: usize,
+    src: ExprId,
+) -> Option<(ExprId, ExprId)> {
+    let mut fwd = ctx.read(spec_chain.base, src);
+    let mut avail = Context::TRUE;
+    for u in &spec_chain.updates[..idx] {
+        let Node::Ite(vr, result, _) = *ctx.node(u.data) else {
+            return None;
+        };
+        let addr_match = ctx.eq(u.addr, src);
+        let hit = ctx.and2(u.guard, addr_match);
+        fwd = ctx.ite(hit, result, fwd);
+        avail = ctx.ite(hit, vr, avail);
+    }
+    Some((fwd, avail))
+}
+
+impl Engine {
+    /// Decides a purely propositional validity query with the SAT solver.
+    fn bool_valid(&mut self, ctx: &mut Context, f: ExprId) -> bool {
+        self.obligations += 1;
+        if f == Context::TRUE {
+            self.syntactic_hits += 1;
+            return true;
+        }
+        if f == Context::FALSE {
+            return false;
+        }
+        let mut tr = match sat::tseitin::translate(ctx, f, Mode::Full, Phase::Negative) {
+            Ok(tr) => tr,
+            Err(_) => return false,
+        };
+        tr.assert_negated_root();
+        let mut solver = Solver::from_cnf(&tr.cnf);
+        matches!(solver.solve(), Outcome::Unsat)
+    }
+
+    /// Whether two contexts can never hold simultaneously.
+    fn bool_disjoint(&mut self, ctx: &mut Context, a: ExprId, b: ExprId) -> bool {
+        let conj = ctx.and2(a, b);
+        let goal = ctx.not(conj);
+        self.bool_valid(ctx, goal)
+    }
+
+    /// R2: context equivalence (and in-pair disjointness) for one slice.
+    fn check_contexts(
+        &mut self,
+        ctx: &mut Context,
+        i: usize,
+        slice: &Slice,
+        spec: &Update,
+    ) -> Result<(), RewriteError> {
+        let impl_ctx = match slice.retirement {
+            Some(ret) => {
+                if !self.bool_disjoint(ctx, ret.guard, slice.completion.guard) {
+                    return Err(RewriteError::Slice {
+                        slice: i,
+                        reason: "retirement and completion contexts overlap".to_owned(),
+                    });
+                }
+                ctx.or2(ret.guard, slice.completion.guard)
+            }
+            None => slice.completion.guard,
+        };
+        if impl_ctx == spec.guard {
+            self.obligations += 1;
+            self.syntactic_hits += 1;
+            return Ok(());
+        }
+        let iff = ctx.iff(impl_ctx, spec.guard);
+        if !self.bool_valid(ctx, iff) {
+            return Err(RewriteError::Slice {
+                slice: i,
+                reason: "implementation update context differs from Valid_i".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// R3–R5: data equality for one slice.
+    ///
+    /// `prev_equal` is the variable standing for the proven-equal previous
+    /// register-file state (the specification base for slice 1).
+    #[allow(clippy::too_many_arguments)] // one call site; the arguments are the rule's premises
+    fn check_data(
+        &mut self,
+        ctx: &mut Context,
+        i: usize,
+        slice: &Slice,
+        spec: &Update,
+        prev_equal: ExprId,
+        spec_chain: &UpdateChain,
+        idx: usize,
+    ) -> Result<(), RewriteError> {
+        // Identify ValidResult_i / Result_i from the spec-side data shape:
+        // ITE(ValidResult_i, Result_i, ALU(...)).
+        let (vr, result) = match ctx.node(spec.data) {
+            Node::Ite(c, t, _)
+                if matches!(ctx.node(*c), Node::Var(_, Sort::Bool))
+                    && matches!(ctx.node(*t), Node::Var(_, Sort::Term)) =>
+            {
+                (*c, *t)
+            }
+            _ => {
+                return Err(RewriteError::Slice {
+                    slice: i,
+                    reason: "specification data does not have the expected \
+                             ITE(ValidResult, Result, ALU(..)) structure"
+                        .to_owned(),
+                })
+            }
+        };
+
+        // --- R3: ValidResult_i = true --------------------------------------
+        // The previous-state chains are identity-mapped so the cofactoring
+        // substitutions never descend into them: the case split only
+        // touches the O(1) top structure of the data expressions, keeping
+        // the per-slice cost independent of the chain length.
+        let mut sigma_true = Substitution::new();
+        sigma_true.insert(vr, Context::TRUE);
+        sigma_true.insert(spec.pre_state, spec.pre_state);
+        sigma_true.insert(slice.completion.pre_state, slice.completion.pre_state);
+        let spec_true = substitute(ctx, spec.data, &sigma_true);
+        let comp_true = substitute(ctx, slice.completion.data, &sigma_true);
+        if spec_true != result {
+            return Err(RewriteError::Slice {
+                slice: i,
+                reason: "specification data does not collapse to Result_i \
+                         under ValidResult_i"
+                    .to_owned(),
+            });
+        }
+        self.require_equal(ctx, i, comp_true, result, "completion data under ValidResult_i")?;
+        if let Some(ret) = slice.retirement {
+            let ret_true = substitute(ctx, ret.data, &sigma_true);
+            self.require_equal(ctx, i, ret_true, result, "retirement data under ValidResult_i")?;
+        }
+
+        // --- ValidResult_i = false -----------------------------------------
+        // The case split and the read relocation are applied in ONE
+        // simultaneous substitution: the previous-state expression is
+        // replaced *as a whole* by the proven-equal variable before the
+        // `ValidResult_i := false` cofactor can rewrite the retirement
+        // guards buried inside it. (Relocation past the dead retirement
+        // updates is licensed by the R1 disjointness obligations.)
+        let mut sigma_false = Substitution::new();
+        sigma_false.insert(vr, Context::FALSE);
+        sigma_false.insert(spec.pre_state, spec.pre_state);
+        let spec_false = substitute(ctx, spec.data, &sigma_false);
+
+        let mut sigma_spec = Substitution::new();
+        sigma_spec.insert(vr, Context::FALSE);
+        sigma_spec.insert(spec.pre_state, prev_equal);
+        let spec_reloc = substitute(ctx, spec.data, &sigma_spec);
+        let mut sigma_impl = Substitution::new();
+        sigma_impl.insert(vr, Context::FALSE);
+        sigma_impl.insert(slice.completion.pre_state, prev_equal);
+        let comp_reloc = substitute(ctx, slice.completion.data, &sigma_impl);
+
+        match ctx.node(comp_reloc).clone() {
+            // The regular cycle may have executed the instruction:
+            // ITE(exec, ALU(forwarded operands), ALU(reads)).
+            Node::Ite(exec, forwarded, not_executed) => {
+                // R4: not executed — relocated reads must align.
+                self.require_equal(
+                    ctx,
+                    i,
+                    not_executed,
+                    spec_reloc,
+                    "completion data (not executed) under !ValidResult_i",
+                )?;
+                // R5: executed — forwarded operands equal spec-side reads
+                // from the *original* previous state. Checked structurally
+                // first (the paper's rule 2.1: both evaluate to the same
+                // Result variable or the same initial-Register-File read),
+                // with a semantic Positive-Equality fallback.
+                self.obligations += 1;
+                if self.options.structural_forwarding
+                    && self
+                        .check_forwarding_structural(
+                            ctx, exec, forwarded, spec_false, spec_chain, idx,
+                        )
+                {
+                    self.syntactic_hits += 1;
+                } else {
+                    let guard = substitute(ctx, slice.completion.guard, &sigma_false);
+                    let premise = ctx.and2(guard, exec);
+                    let eq = ctx.eq(forwarded, spec_false);
+                    let goal = ctx.implies(premise, eq);
+                    // Cheap refutation first: a sampled counterexample of the
+                    // local obligation is definite evidence the slice does
+                    // not conform (this is what makes diagnosing a buggy
+                    // slice fast); only an all-pass goes to the full local
+                    // Positive-Equality proof.
+                    if eufm::oracle::check_sampled_with_domain(ctx, goal, 256, 8).is_invalid() {
+                        return Err(RewriteError::Slice {
+                            slice: i,
+                            reason: "forwarded operands differ from the specification-side \
+                                     reads (forwarding logic suspect)"
+                                .to_owned(),
+                        });
+                    }
+                    let report = check_validity(ctx, goal, &self.options.local);
+                    match report.outcome {
+                        CheckOutcome::Valid => {}
+                        CheckOutcome::Invalid { .. } => {
+                            return Err(RewriteError::Slice {
+                                slice: i,
+                                reason: "forwarded operands differ from the specification-side \
+                                         reads (forwarding logic suspect)"
+                                    .to_owned(),
+                            })
+                        }
+                        CheckOutcome::Unknown(r) => {
+                            return Err(RewriteError::Slice {
+                                slice: i,
+                                reason: format!("forwarding obligation undecided: {r:?}"),
+                            })
+                        }
+                    }
+                }
+            }
+            // No execution structure: the completion must already align.
+            _ => {
+                self.require_equal(
+                    ctx,
+                    i,
+                    comp_reloc,
+                    spec_reloc,
+                    "completion data under !ValidResult_i",
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The structural forwarding check (paper rule 2.1).
+    ///
+    /// Rebuilds, from the specification-side update chain, the *expected*
+    /// forwarded-value and operand-availability expressions for each source
+    /// operand: scanning preceding entries nearest-first, a valid entry
+    /// writing the source register provides its `Result` (available once
+    /// `ValidResult` holds); otherwise the initial Register File provides
+    /// the value. Hash-consing makes the comparison with the
+    /// implementation's actual forwarding logic an id check, and the
+    /// availability chains must be conjuncts of the execution condition
+    /// (so execution implies the dependencies were satisfiable). Under
+    /// these structural facts, the forwarded value provably equals the
+    /// specification-side read by induction over the chain.
+    fn check_forwarding_structural(
+        &mut self,
+        ctx: &mut Context,
+        exec: ExprId,
+        forwarded: ExprId,
+        spec_false: ExprId,
+        spec_chain: &UpdateChain,
+        idx: usize,
+    ) -> bool {
+        // Decompose both ALU applications.
+        let (Node::Uf(fsym, fargs, _), Node::Uf(ssym, sargs, _)) =
+            (ctx.node(forwarded).clone(), ctx.node(spec_false).clone())
+        else {
+            return false;
+        };
+        if fsym != ssym || fargs.len() != sargs.len() {
+            return false;
+        }
+        // The execution condition must be a conjunction (or a single
+        // formula); collect its conjunct set.
+        let exec_conjuncts: Vec<ExprId> = match ctx.node(exec) {
+            Node::And(xs) => xs.to_vec(),
+            _ => vec![exec],
+        };
+        for (&fa, &sa) in fargs.iter().zip(sargs.iter()) {
+            if fa == sa {
+                continue; // e.g. the shared opcode argument
+            }
+            // The spec-side argument must be a read of the previous state.
+            let Node::Read(state, src) = *ctx.node(sa) else {
+                return false;
+            };
+            if state != spec_chain.updates.get(idx).map_or(spec_chain.base, |u| u.pre_state) {
+                return false;
+            }
+            let Some((expected_fwd, expected_avail)) =
+                expected_forwarding(ctx, spec_chain, idx, src)
+            else {
+                return false;
+            };
+            if fa != expected_fwd {
+                return false;
+            }
+            if expected_avail != Context::TRUE
+                && !exec_conjuncts.contains(&expected_avail)
+                && exec != expected_avail
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Syntactic equality with a semantic (local Positive-Equality)
+    /// fallback.
+    fn require_equal(
+        &mut self,
+        ctx: &mut Context,
+        i: usize,
+        a: ExprId,
+        b: ExprId,
+        what: &str,
+    ) -> Result<(), RewriteError> {
+        self.obligations += 1;
+        if a == b {
+            self.syntactic_hits += 1;
+            return Ok(());
+        }
+        let eq = ctx.eq(a, b);
+        // Sampled refutation before the full proof (see the forwarding
+        // obligation above for the rationale).
+        if eufm::oracle::check_sampled_with_domain(ctx, eq, 256, 8).is_invalid() {
+            return Err(RewriteError::Slice { slice: i, reason: format!("{what} differs") });
+        }
+        let report = check_validity(ctx, eq, &self.options.local);
+        if report.outcome.is_valid() {
+            Ok(())
+        } else {
+            Err(RewriteError::Slice { slice: i, reason: format!("{what} differs") })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a hand-rolled spec chain of `n` slices with the canonical
+    /// data shape `ITE(vr_i, r_i, ALU(op_i, read(prev, s1_i), read(prev, s2_i)))`.
+    fn toy_spec_chain(ctx: &mut Context, n: usize) -> (ExprId, UpdateChain) {
+        let rf = ctx.mvar("RegFile");
+        let mut state = rf;
+        for i in 1..=n {
+            let v = ctx.pvar(&format!("Valid_{i}"));
+            let vr = ctx.pvar(&format!("ValidResult_{i}"));
+            let r = ctx.tvar(&format!("Result_{i}"));
+            let op = ctx.tvar(&format!("Opcode_{i}"));
+            let s1 = ctx.tvar(&format!("Src1_{i}"));
+            let s2 = ctx.tvar(&format!("Src2_{i}"));
+            let d = ctx.tvar(&format!("Dest_{i}"));
+            let r1 = ctx.read(state, s1);
+            let r2 = ctx.read(state, s2);
+            let alu = ctx.uf("ALU", vec![op, r1, r2]);
+            let data = ctx.ite(vr, r, alu);
+            state = ctx.update(state, v, d, data);
+        }
+        let parsed = chain::parse(ctx, state).expect("parse");
+        (state, parsed)
+    }
+
+    #[test]
+    fn identical_chains_rewrite_trivially() {
+        // impl chain == spec chain: every slice matches with a single
+        // completion update, all obligations syntactic.
+        let mut ctx = Context::new();
+        let (state, _) = toy_spec_chain(&mut ctx, 3);
+        let formula = {
+            let other = ctx.mvar("Other");
+            ctx.eq(state, other)
+        };
+        let input = RewriteInput { formula, rf_impl: state, rf_spec0: state };
+        let outcome = rewrite_correctness(&mut ctx, &input, &RewriteOptions::default())
+            .expect("rewrite");
+        assert_eq!(outcome.slices, 3);
+        assert_eq!(outcome.retire_pairs, 0);
+        // the formula's occurrence of `state` was replaced by the fresh var
+        let expected = {
+            let eqs = ctx.var("RegFile_equal_state", Sort::Mem);
+            let other = ctx.mvar("Other");
+            ctx.eq(eqs, other)
+        };
+        assert_eq!(outcome.formula, expected);
+    }
+
+    #[test]
+    fn missing_destination_is_a_slice_error() {
+        let mut ctx = Context::new();
+        let (spec_state, _) = toy_spec_chain(&mut ctx, 2);
+        // impl chain writes a different register for slice 2
+        let rf = ctx.mvar("RegFile");
+        let v1 = ctx.pvar("Valid_1");
+        let vr1 = ctx.pvar("ValidResult_1");
+        let r1v = ctx.tvar("Result_1");
+        let op1 = ctx.tvar("Opcode_1");
+        let s11 = ctx.tvar("Src1_1");
+        let s21 = ctx.tvar("Src2_1");
+        let d1 = ctx.tvar("Dest_1");
+        let ra = ctx.read(rf, s11);
+        let rb = ctx.read(rf, s21);
+        let alu = ctx.uf("ALU", vec![op1, ra, rb]);
+        let data1 = ctx.ite(vr1, r1v, alu);
+        let st1 = ctx.update(rf, v1, d1, data1);
+        let v2 = ctx.pvar("Valid_2");
+        let wrong_dest = ctx.tvar("WrongDest");
+        let st2 = ctx.update(st1, v2, wrong_dest, r1v);
+        let formula = ctx.eq(st2, spec_state);
+        let input = RewriteInput { formula, rf_impl: st2, rf_spec0: spec_state };
+        match rewrite_correctness(&mut ctx, &input, &RewriteOptions::default()) {
+            Err(RewriteError::Slice { slice: 2, .. }) => {}
+            other => panic!("expected slice-2 error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_context_is_a_slice_error() {
+        let mut ctx = Context::new();
+        let (spec_state, spec_chain) = toy_spec_chain(&mut ctx, 2);
+        // impl chain uses a different (weaker) guard for slice 1
+        let rf = ctx.mvar("RegFile");
+        let bogus = ctx.pvar("Bogus");
+        let first = spec_chain.updates[0];
+        let st1 = ctx.update(rf, bogus, first.addr, first.data);
+        let second = spec_chain.updates[1];
+        // rebuild slice 2's data against the new prev state
+        let st2 = ctx.update(st1, second.guard, second.addr, second.data);
+        let formula = ctx.eq(st2, spec_state);
+        let input = RewriteInput { formula, rf_impl: st2, rf_spec0: spec_state };
+        match rewrite_correctness(&mut ctx, &input, &RewriteOptions::default()) {
+            Err(RewriteError::Slice { slice: 1, reason }) => {
+                assert!(reason.contains("context"), "{reason}");
+            }
+            other => panic!("expected slice-1 context error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_chain_inputs_are_structure_errors() {
+        let mut ctx = Context::new();
+        let rf1 = ctx.mvar("rf1");
+        let rf2 = ctx.mvar("rf2");
+        let formula = ctx.eq(rf1, rf2);
+        let input = RewriteInput { formula, rf_impl: rf1, rf_spec0: rf2 };
+        // different bases
+        match rewrite_correctness(&mut ctx, &input, &RewriteOptions::default()) {
+            Err(RewriteError::Structure(_)) => {}
+            other => panic!("expected structure error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expected_forwarding_matches_hand_built_scan() {
+        let mut ctx = Context::new();
+        let (_, spec_chain) = toy_spec_chain(&mut ctx, 3);
+        let src = ctx.tvar("Src1_3");
+        let (fwd, avail) =
+            expected_forwarding(&mut ctx, &spec_chain, 2, src).expect("decomposes");
+        // hand-build: scan j = 1, 2 (nearest last)
+        let mut expect_fwd = ctx.read(spec_chain.base, src);
+        let mut expect_avail = Context::TRUE;
+        for j in 1..=2 {
+            let v = ctx.pvar(&format!("Valid_{j}"));
+            let d = ctx.tvar(&format!("Dest_{j}"));
+            let vr = ctx.pvar(&format!("ValidResult_{j}"));
+            let r = ctx.tvar(&format!("Result_{j}"));
+            let m = ctx.eq(d, src);
+            let hit = ctx.and2(v, m);
+            expect_fwd = ctx.ite(hit, r, expect_fwd);
+            expect_avail = ctx.ite(hit, vr, expect_avail);
+        }
+        assert_eq!(fwd, expect_fwd);
+        assert_eq!(avail, expect_avail);
+    }
+}

@@ -1,0 +1,433 @@
+//! Elimination of uninterpreted functions and predicates by the
+//! nested-`ITE` scheme (Bryant–German–Velev).
+//!
+//! The first application of `f` is replaced by a fresh variable `c1`; the
+//! second, `f(a2, b2)`, by `ITE(a2 = a1 & b2 = b1, c1, c2)`; and so on.
+//! Predicates use fresh Boolean variables instead. Unlike Ackermann
+//! constraints, this scheme preserves the positive-equality structure of
+//! the formula: the argument equations appear only inside `ITE` controls,
+//! where the maximal-diversity theorem still licenses treating p-variable
+//! comparisons as constants.
+
+use std::collections::HashMap;
+
+use eufm::{Context, ExprId, Node, Sort, Symbol};
+
+/// The result of uninterpreted-symbol elimination.
+#[derive(Debug, Clone)]
+pub struct Elimination {
+    /// The rebuilt formula, free of `Uf` nodes.
+    pub root: ExprId,
+    /// For every fresh variable introduced, the symbol of the application
+    /// it abstracts (used by the Positive-Equality classifier).
+    pub fresh_vars: HashMap<ExprId, Symbol>,
+    /// Number of applications eliminated, per symbol.
+    pub app_counts: HashMap<Symbol, usize>,
+}
+
+/// Eliminates every uninterpreted function and predicate application in
+/// `root`.
+///
+/// Applications are processed in a deterministic first-occurrence
+/// (post-order) order, so re-running on the same formula produces the same
+/// result.
+///
+/// # Panics
+///
+/// Panics if `root` is not a formula.
+pub fn eliminate(ctx: &mut Context, root: ExprId) -> Elimination {
+    assert_eq!(ctx.sort(root), Sort::Bool, "uf elimination expects a formula");
+    let mut pass = Pass {
+        memo: HashMap::new(),
+        prior: HashMap::new(),
+        fresh_vars: HashMap::new(),
+        app_counts: HashMap::new(),
+    };
+    let new_root = pass.rebuild(ctx, root);
+    Elimination { root: new_root, fresh_vars: pass.fresh_vars, app_counts: pass.app_counts }
+}
+
+struct Pass {
+    memo: HashMap<ExprId, ExprId>,
+    /// Previous applications per symbol: (rebuilt argument lists, the fresh
+    /// variable standing for that application).
+    prior: HashMap<Symbol, Vec<(Vec<ExprId>, ExprId)>>,
+    fresh_vars: HashMap<ExprId, Symbol>,
+    app_counts: HashMap<Symbol, usize>,
+}
+
+impl Pass {
+    fn rebuild(&mut self, ctx: &mut Context, id: ExprId) -> ExprId {
+        if let Some(&v) = self.memo.get(&id) {
+            return v;
+        }
+        let node = ctx.node(id).clone();
+        let result = match node {
+            Node::Uf(sym, args, sort) => {
+                let rebuilt: Vec<ExprId> = args.iter().map(|&a| self.rebuild(ctx, a)).collect();
+                self.eliminate_app(ctx, sym, rebuilt, sort)
+            }
+            Node::True => Context::TRUE,
+            Node::False => Context::FALSE,
+            Node::Var(..) => id,
+            Node::Ite(c, t, e) => {
+                let c2 = self.rebuild(ctx, c);
+                let t2 = self.rebuild(ctx, t);
+                let e2 = self.rebuild(ctx, e);
+                ctx.ite(c2, t2, e2)
+            }
+            Node::Eq(a, b) => {
+                let a2 = self.rebuild(ctx, a);
+                let b2 = self.rebuild(ctx, b);
+                ctx.eq(a2, b2)
+            }
+            Node::Not(a) => {
+                let a2 = self.rebuild(ctx, a);
+                ctx.not(a2)
+            }
+            Node::And(xs) => {
+                let rebuilt: Vec<ExprId> = xs.iter().map(|&x| self.rebuild(ctx, x)).collect();
+                ctx.and(rebuilt)
+            }
+            Node::Or(xs) => {
+                let rebuilt: Vec<ExprId> = xs.iter().map(|&x| self.rebuild(ctx, x)).collect();
+                ctx.or(rebuilt)
+            }
+            Node::Read(m, a) => {
+                let m2 = self.rebuild(ctx, m);
+                let a2 = self.rebuild(ctx, a);
+                ctx.read(m2, a2)
+            }
+            Node::Write(m, a, d) => {
+                let m2 = self.rebuild(ctx, m);
+                let a2 = self.rebuild(ctx, a);
+                let d2 = self.rebuild(ctx, d);
+                ctx.write(m2, a2, d2)
+            }
+        };
+        self.memo.insert(id, result);
+        result
+    }
+
+    fn eliminate_app(
+        &mut self,
+        ctx: &mut Context,
+        sym: Symbol,
+        args: Vec<ExprId>,
+        sort: Sort,
+    ) -> ExprId {
+        // Identical (rebuilt) argument lists share the fresh variable of the
+        // first occurrence outright.
+        if let Some(list) = self.prior.get(&sym) {
+            for (prev_args, var) in list {
+                if *prev_args == args {
+                    return *var;
+                }
+            }
+        }
+        let count = self.app_counts.entry(sym).or_insert(0);
+        *count += 1;
+        let idx = *count;
+        let name = ctx.name(sym).to_owned();
+        let fresh = ctx.fresh_var(&format!("app!{name}!{idx}"), sort);
+        self.fresh_vars.insert(fresh, sym);
+
+        // ITE(args = args_1, c_1, ITE(args = args_2, c_2, ... c_new))
+        let prior: Vec<(Vec<ExprId>, ExprId)> =
+            self.prior.get(&sym).cloned().unwrap_or_default();
+        let mut result = fresh;
+        for (prev_args, var) in prior.iter().rev() {
+            let eqs: Vec<ExprId> = prev_args
+                .iter()
+                .zip(args.iter())
+                .map(|(&p, &a)| ctx.eq(p, a))
+                .collect();
+            let guard = ctx.and(eqs);
+            result = ctx.ite(guard, *var, result);
+        }
+        self.prior.entry(sym).or_default().push((args, fresh));
+        result
+    }
+}
+
+/// Eliminates uninterpreted applications by **Ackermann's reduction**
+/// instead of the nested-`ITE` scheme: each application becomes a fresh
+/// variable, and for every pair of applications of the same symbol a
+/// functional-consistency constraint `args equal -> results equal` is
+/// conjoined as a premise.
+///
+/// This is the classical alternative the paper's line of work argues
+/// *against*: the constraint premises put every argument equation in
+/// negative polarity, so all argument terms become g-terms and the
+/// Positive-Equality reduction degenerates — the ablation benchmark
+/// `ablation_uf_scheme` quantifies the damage. Provided for comparison;
+/// the verification flows use [`eliminate`].
+///
+/// Returns the implication `constraints -> root'`, which is valid iff the
+/// original formula is valid.
+///
+/// # Panics
+///
+/// Panics if `root` is not a formula.
+pub fn eliminate_ackermann(ctx: &mut Context, root: ExprId) -> Elimination {
+    assert_eq!(ctx.sort(root), Sort::Bool, "uf elimination expects a formula");
+    // First rebuild bottom-up replacing every application by a fresh var.
+    let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
+    let mut apps: HashMap<Symbol, Vec<(Vec<ExprId>, ExprId)>> = HashMap::new();
+    let mut fresh_vars: HashMap<ExprId, Symbol> = HashMap::new();
+    let mut app_counts: HashMap<Symbol, usize> = HashMap::new();
+    let new_root = ackermann_rebuild(
+        ctx,
+        root,
+        &mut memo,
+        &mut apps,
+        &mut fresh_vars,
+        &mut app_counts,
+    );
+    // Then conjoin pairwise consistency constraints.
+    let mut constraints: Vec<ExprId> = Vec::new();
+    let mut symbols: Vec<Symbol> = apps.keys().copied().collect();
+    symbols.sort_unstable();
+    for sym in symbols {
+        let list = &apps[&sym];
+        for i in 0..list.len() {
+            for j in i + 1..list.len() {
+                let (args_i, var_i) = (&list[i].0, list[i].1);
+                let (args_j, var_j) = (&list[j].0, list[j].1);
+                let eqs: Vec<ExprId> = args_i
+                    .iter()
+                    .zip(args_j.iter())
+                    .map(|(&a, &b)| ctx.eq(a, b))
+                    .collect();
+                let premise = ctx.and(eqs);
+                let concl = if ctx.sort(var_i) == Sort::Bool {
+                    ctx.iff(var_i, var_j)
+                } else {
+                    ctx.eq(var_i, var_j)
+                };
+                constraints.push(ctx.implies(premise, concl));
+            }
+        }
+    }
+    let all = ctx.and(constraints);
+    let guarded = ctx.implies(all, new_root);
+    Elimination { root: guarded, fresh_vars, app_counts }
+}
+
+fn ackermann_rebuild(
+    ctx: &mut Context,
+    id: ExprId,
+    memo: &mut HashMap<ExprId, ExprId>,
+    apps: &mut HashMap<Symbol, Vec<(Vec<ExprId>, ExprId)>>,
+    fresh_vars: &mut HashMap<ExprId, Symbol>,
+    app_counts: &mut HashMap<Symbol, usize>,
+) -> ExprId {
+    if let Some(&v) = memo.get(&id) {
+        return v;
+    }
+    let node = ctx.node(id).clone();
+    let result = match node {
+        Node::Uf(sym, args, sort) => {
+            let rebuilt: Vec<ExprId> = args
+                .iter()
+                .map(|&a| ackermann_rebuild(ctx, a, memo, apps, fresh_vars, app_counts))
+                .collect();
+            let list = apps.entry(sym).or_default();
+            if let Some((_, var)) = list.iter().find(|(prev, _)| *prev == rebuilt) {
+                *var
+            } else {
+                let count = app_counts.entry(sym).or_insert(0);
+                *count += 1;
+                let idx = *count;
+                let name = ctx.name(sym).to_owned();
+                let fresh = ctx.fresh_var(&format!("ack!{name}!{idx}"), sort);
+                fresh_vars.insert(fresh, sym);
+                apps.entry(sym).or_default().push((rebuilt, fresh));
+                fresh
+            }
+        }
+        Node::True => Context::TRUE,
+        Node::False => Context::FALSE,
+        Node::Var(..) => id,
+        Node::Ite(c, t, e) => {
+            let c2 = ackermann_rebuild(ctx, c, memo, apps, fresh_vars, app_counts);
+            let t2 = ackermann_rebuild(ctx, t, memo, apps, fresh_vars, app_counts);
+            let e2 = ackermann_rebuild(ctx, e, memo, apps, fresh_vars, app_counts);
+            ctx.ite(c2, t2, e2)
+        }
+        Node::Eq(a, b) => {
+            let a2 = ackermann_rebuild(ctx, a, memo, apps, fresh_vars, app_counts);
+            let b2 = ackermann_rebuild(ctx, b, memo, apps, fresh_vars, app_counts);
+            ctx.eq(a2, b2)
+        }
+        Node::Not(a) => {
+            let a2 = ackermann_rebuild(ctx, a, memo, apps, fresh_vars, app_counts);
+            ctx.not(a2)
+        }
+        Node::And(xs) => {
+            let rebuilt: Vec<ExprId> = xs
+                .iter()
+                .map(|&x| ackermann_rebuild(ctx, x, memo, apps, fresh_vars, app_counts))
+                .collect();
+            ctx.and(rebuilt)
+        }
+        Node::Or(xs) => {
+            let rebuilt: Vec<ExprId> = xs
+                .iter()
+                .map(|&x| ackermann_rebuild(ctx, x, memo, apps, fresh_vars, app_counts))
+                .collect();
+            ctx.or(rebuilt)
+        }
+        Node::Read(m, a) => {
+            let m2 = ackermann_rebuild(ctx, m, memo, apps, fresh_vars, app_counts);
+            let a2 = ackermann_rebuild(ctx, a, memo, apps, fresh_vars, app_counts);
+            ctx.read(m2, a2)
+        }
+        Node::Write(m, a, d) => {
+            let m2 = ackermann_rebuild(ctx, m, memo, apps, fresh_vars, app_counts);
+            let a2 = ackermann_rebuild(ctx, a, memo, apps, fresh_vars, app_counts);
+            let d2 = ackermann_rebuild(ctx, d, memo, apps, fresh_vars, app_counts);
+            ctx.write(m2, a2, d2)
+        }
+    };
+    memo.insert(id, result);
+    result
+}
+
+/// Whether the DAG under `root` still contains uninterpreted applications.
+pub fn contains_ufs(ctx: &Context, root: ExprId) -> bool {
+    let mut found = false;
+    ctx.visit_post_order(&[root], |id| {
+        if matches!(ctx.node(id), Node::Uf(..)) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eufm::oracle::{check_exhaustive, check_sampled, OracleResult};
+
+    #[test]
+    fn functional_consistency_becomes_provable() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let prem = ctx.eq(a, b);
+        let concl = ctx.eq(fa, fb);
+        let goal = ctx.implies(prem, concl);
+        let elim = eliminate(&mut ctx, goal);
+        assert!(!contains_ufs(&ctx, elim.root));
+        // Now UF-free: the exhaustive oracle decides validity exactly.
+        match check_exhaustive(&ctx, elim.root, 1 << 22) {
+            OracleResult::Valid => {}
+            other => panic!("expected valid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_formulas_stay_invalid() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let goal = ctx.eq(fa, fb); // not valid: a may differ from b
+        let elim = eliminate(&mut ctx, goal);
+        assert!(check_exhaustive(&ctx, elim.root, 1 << 22).is_invalid());
+    }
+
+    #[test]
+    fn identical_applications_share_one_variable() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let fa1 = ctx.uf("f", vec![a]);
+        let fa2 = ctx.uf("f", vec![a]);
+        assert_eq!(fa1, fa2); // hash-consed already
+        let goal = ctx.eq(fa1, fa2);
+        assert_eq!(goal, Context::TRUE);
+        // two syntactically different but equal-after-rebuild argument lists
+        let x = ctx.pvar("x");
+        let ite = ctx.ite(x, a, a); // simplifies to a
+        let f_ite = ctx.uf("f", vec![ite]);
+        let goal2 = ctx.eq(fa1, f_ite);
+        assert_eq!(goal2, Context::TRUE);
+    }
+
+    #[test]
+    fn predicates_use_boolean_variables() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let pa = ctx.up("p", vec![a]);
+        let pb = ctx.up("p", vec![b]);
+        let prem = ctx.eq(a, b);
+        let same = ctx.iff(pa, pb);
+        let goal = ctx.implies(prem, same);
+        let elim = eliminate(&mut ctx, goal);
+        assert!(check_exhaustive(&ctx, elim.root, 1 << 22).is_valid());
+        assert_eq!(elim.app_counts.len(), 1);
+        assert_eq!(elim.fresh_vars.len(), 2);
+    }
+
+    #[test]
+    fn nested_applications_are_handled_bottom_up() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        // a = b -> g(f(a)) = g(f(b)) : valid
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let gfa = ctx.uf("g", vec![fa]);
+        let gfb = ctx.uf("g", vec![fb]);
+        let prem = ctx.eq(a, b);
+        let concl = ctx.eq(gfa, gfb);
+        let goal = ctx.implies(prem, concl);
+        let elim = eliminate(&mut ctx, goal);
+        assert!(check_exhaustive(&ctx, elim.root, 1 << 22).is_valid());
+    }
+
+    #[test]
+    fn multi_arg_guards_compare_argumentwise() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let c = ctx.tvar("c");
+        let f1 = ctx.uf("h", vec![a, b]);
+        let f2 = ctx.uf("h", vec![a, c]);
+        let prem = ctx.eq(b, c);
+        let concl = ctx.eq(f1, f2);
+        let goal = ctx.implies(prem, concl);
+        let elim = eliminate(&mut ctx, goal);
+        assert!(check_exhaustive(&ctx, elim.root, 1 << 22).is_valid());
+        // but without the premise it is invalid
+        let bare = ctx.eq(f1, f2);
+        let elim2 = eliminate(&mut ctx, bare);
+        assert!(check_exhaustive(&ctx, elim2.root, 1 << 22).is_invalid());
+    }
+
+    #[test]
+    fn elimination_preserves_sampled_validity_on_random_mix() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let x = ctx.pvar("x");
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let sel = ctx.ite(x, fa, fb);
+        let goal = {
+            let e1 = ctx.eq(sel, fa);
+            let e2 = ctx.eq(sel, fb);
+            ctx.or2(e1, e2) // valid: sel is one of them
+        };
+        let before = check_sampled(&ctx, goal, 300).is_valid();
+        let elim = eliminate(&mut ctx, goal);
+        let after = check_exhaustive(&ctx, elim.root, 1 << 22).is_valid();
+        assert_eq!(before, after);
+        assert!(after);
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end pipeline tests: PE-only and rewriting+PE verification of
+//! generated out-of-order processors.
+
+use evc::check::{check_validity, CheckOptions};
+use evc::mem::MemoryModel;
+use evc::rewrite::{rewrite_correctness, RewriteError, RewriteInput, RewriteOptions};
+use uarch::{correctness, BugSpec, Config, Operand};
+
+fn pe_only_options() -> CheckOptions {
+    CheckOptions { memory: MemoryModel::Forwarding, ..CheckOptions::default() }
+}
+
+fn conservative_options() -> CheckOptions {
+    CheckOptions { memory: MemoryModel::Conservative, ..CheckOptions::default() }
+}
+
+#[test]
+fn pe_only_verifies_small_correct_designs() {
+    for (n, k) in [(1, 1), (2, 1), (2, 2)] {
+        let config = Config::new(n, k).expect("config");
+        let mut bundle = correctness::generate(&config).expect("generate");
+        let report = check_validity(&mut bundle.ctx, bundle.formula, &pe_only_options());
+        assert!(
+            report.outcome.is_valid(),
+            "rob{n}xw{k} should verify PE-only: {:?}",
+            report.outcome
+        );
+    }
+}
+
+#[test]
+fn pe_only_falsifies_buggy_design() {
+    let config = Config::new(3, 1).expect("config");
+    let bug = BugSpec::ForwardingIgnoresValidResult { slice: 2, operand: Operand::Src1 };
+    let mut bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
+        .expect("generate");
+    let report = check_validity(&mut bundle.ctx, bundle.formula, &pe_only_options());
+    assert!(report.outcome.is_invalid(), "bug must falsify: {:?}", report.outcome);
+}
+
+#[test]
+fn rewriting_then_pe_verifies_correct_designs() {
+    for (n, k) in [(1, 1), (2, 1), (2, 2), (4, 2), (6, 3)] {
+        let config = Config::new(n, k).expect("config");
+        let mut bundle = correctness::generate(&config).expect("generate");
+        let input = RewriteInput {
+            formula: bundle.formula,
+            rf_impl: bundle.rf_impl,
+            rf_spec0: bundle.rf_spec[0],
+        };
+        let outcome = rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default())
+            .unwrap_or_else(|e| panic!("rewrite failed for rob{n}xw{k}: {e}"));
+        assert_eq!(outcome.slices, n);
+        assert_eq!(outcome.retire_pairs, k.min(n));
+        let report =
+            check_validity(&mut bundle.ctx, outcome.formula, &conservative_options());
+        assert!(
+            report.outcome.is_valid(),
+            "rob{n}xw{k} rewritten formula should verify: {:?}",
+            report.outcome
+        );
+        assert_eq!(report.stats.eij_vars, 0, "rewriting must remove all e_ij variables");
+    }
+}
+
+#[test]
+fn rewriting_localizes_forwarding_bug() {
+    let config = Config::new(6, 2).expect("config");
+    let bug = BugSpec::ForwardingIgnoresValidResult { slice: 4, operand: Operand::Src2 };
+    let mut bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
+        .expect("generate");
+    let input = RewriteInput {
+        formula: bundle.formula,
+        rf_impl: bundle.rf_impl,
+        rf_spec0: bundle.rf_spec[0],
+    };
+    match rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default()) {
+        Err(RewriteError::Slice { slice, .. }) => assert_eq!(slice, 4),
+        other => panic!("expected slice-4 diagnosis, got {other:?}"),
+    }
+}
+
+#[test]
+fn rewriting_localizes_retire_bug() {
+    let config = Config::new(4, 2).expect("config");
+    let bug = BugSpec::RetireOutOfOrder { slice: 2 };
+    let mut bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
+        .expect("generate");
+    let input = RewriteInput {
+        formula: bundle.formula,
+        rf_impl: bundle.rf_impl,
+        rf_spec0: bundle.rf_spec[0],
+    };
+    match rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default()) {
+        Err(RewriteError::Slice { slice, .. }) => assert_eq!(slice, 2),
+        other => panic!("expected slice-2 diagnosis, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The in-order pipelined benchmark (the paper's predecessor line, ref. [31])
+// ---------------------------------------------------------------------------
+
+#[test]
+fn inorder_pipeline_verifies_with_pe() {
+    let (mut ctx, formula) =
+        uarch::pipeline::generate_pipeline_correctness(None).expect("generate");
+    let report = check_validity(&mut ctx, formula, &pe_only_options());
+    assert!(report.outcome.is_valid(), "pipeline should verify: {:?}", report.outcome);
+    assert!(report.stats.eij_vars > 0, "forwarding comparisons need e_ij variables");
+}
+
+#[test]
+fn inorder_pipeline_bugs_are_falsified_by_pe() {
+    use uarch::pipeline::PipelineBug;
+    for bug in [
+        PipelineBug::MissingExForwarding,
+        PipelineBug::MissingWbForwarding,
+        PipelineBug::ForwardsFromWrongStage,
+        PipelineBug::WritebackIgnoresValid,
+    ] {
+        let (mut ctx, formula) =
+            uarch::pipeline::generate_pipeline_correctness(Some(bug)).expect("generate");
+        let report = check_validity(&mut ctx, formula, &pe_only_options());
+        assert!(report.outcome.is_invalid(), "{bug:?} should be falsified");
+    }
+}

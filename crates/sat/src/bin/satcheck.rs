@@ -1,0 +1,89 @@
+//! `satcheck` — a minimal DIMACS front end for the CDCL solver.
+//!
+//! ```text
+//! satcheck [--max-conflicts N] [--max-seconds S] [file.cnf]
+//! ```
+//!
+//! Reads DIMACS CNF from the file (or stdin), prints `SATISFIABLE` with a
+//! model line, `UNSATISFIABLE`, or `UNKNOWN`, and exits with the
+//! conventional status codes 10 / 20 / 0.
+
+use std::io::Read;
+
+use sat::dimacs::from_dimacs;
+use sat::solver::{Limits, Outcome, Solver};
+use sat::Lit;
+
+fn usage() -> ! {
+    eprintln!("usage: satcheck [--max-conflicts N] [--max-seconds S] [file.cnf]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut limits = Limits::none();
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-conflicts" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                limits.max_conflicts = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-seconds" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                limits.max_seconds = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                if path.is_some() {
+                    usage();
+                }
+                path = Some(other.to_owned());
+            }
+        }
+    }
+
+    let input = match &path {
+        Some(p) => std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("satcheck: cannot read {p}: {e}");
+            std::process::exit(2)
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
+                eprintln!("satcheck: cannot read stdin: {e}");
+                std::process::exit(2)
+            });
+            buf
+        }
+    };
+    let cnf = from_dimacs(&input).unwrap_or_else(|e| {
+        eprintln!("satcheck: {e}");
+        std::process::exit(2)
+    });
+
+    let mut solver = Solver::from_cnf(&cnf);
+    match solver.solve_with_limits(limits) {
+        Outcome::Sat(model) => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for i in 0..cnf.num_vars() {
+                let var = sat::Var::from_index(i);
+                let lit = Lit::with_sign(var, model.value(var));
+                let n = i as i64 + 1;
+                line.push_str(&format!(" {}", if lit.is_positive() { n } else { -n }));
+            }
+            line.push_str(" 0");
+            println!("{line}");
+            std::process::exit(10)
+        }
+        Outcome::Unsat => {
+            println!("s UNSATISFIABLE");
+            std::process::exit(20)
+        }
+        Outcome::Unknown(reason) => {
+            println!("s UNKNOWN ({reason:?})");
+            std::process::exit(0)
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! CNF representation: variables, literals, and clause databases.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Creates a variable from its 0-based index.
+    pub fn from_index(index: usize) -> Self {
+        Var(u32::try_from(index).expect("variable index overflow"))
+    }
+
+    /// The 0-based index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `var << 1 | sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn pos(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn neg(var: Var) -> Self {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Builds a literal with an explicit sign; `positive = false` negates.
+    #[inline]
+    pub fn with_sign(var: Var, positive: bool) -> Self {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The dense index of this literal (for watch lists).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// A CNF formula under construction: a clause database plus a variable
+/// counter.
+///
+/// Tautological clauses (containing `x` and `!x`) are dropped and duplicate
+/// literals within a clause are removed at insertion.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    /// Set when an empty clause is added; the formula is trivially UNSAT.
+    contradiction: bool,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// The number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The number of clauses stored.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The total number of literal occurrences across all clauses.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+
+    /// Whether an empty clause has been added.
+    pub fn has_contradiction(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Adds a clause. Duplicate literals are removed; tautologies are
+    /// dropped; an empty clause marks the formula contradictory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for &lit in &clause {
+            assert!(lit.var().index() < self.num_vars, "literal {lit} references unallocated var");
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        // tautology check: sorted, so x and !x are adjacent
+        if clause.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return;
+        }
+        if clause.is_empty() {
+            self.contradiction = true;
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Iterates over the clauses.
+    pub fn iter(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses.iter().map(Vec::as_slice)
+    }
+}
+
+impl<'a> IntoIterator for &'a Cnf {
+    type Item = &'a [Lit];
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, Vec<Lit>>, fn(&'a Vec<Lit>) -> &'a [Lit]>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.clauses.iter().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var::from_index(3);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::with_sign(v, true), p);
+        assert_eq!(Lit::with_sign(v, false), n);
+        assert_eq!(p.index(), 6);
+        assert_eq!(n.index(), 7);
+    }
+
+    #[test]
+    fn clause_normalization() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.num_literals(), 2);
+        // tautology dropped
+        cnf.add_clause([Lit::pos(a), Lit::neg(a)]);
+        assert_eq!(cnf.num_clauses(), 1);
+        // empty clause marks contradiction
+        cnf.add_clause([] as [Lit; 0]);
+        assert!(cnf.has_contradiction());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(0);
+        assert_eq!(Lit::pos(v).to_string(), "x0");
+        assert_eq!(Lit::neg(v).to_string(), "!x0");
+    }
+}

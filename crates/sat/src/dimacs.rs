@@ -1,0 +1,148 @@
+//! DIMACS CNF reading and writing.
+
+use std::fmt::Write as _;
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// An error while parsing DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// Line number (1-based) where the error occurred.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Renders `cnf` in DIMACS format.
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.iter() {
+        for &lit in clause {
+            let n = lit.var().index() as i64 + 1;
+            let _ = write!(out, "{} ", if lit.is_positive() { n } else { -n });
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses DIMACS input into a [`Cnf`].
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed input: a missing or repeated
+/// problem line, non-integer tokens, a literal exceeding the declared
+/// variable count, or a clause not terminated by `0`.
+pub fn from_dimacs(input: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared = false;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if declared {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: "duplicate problem line".to_owned(),
+                });
+            }
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: "expected `p cnf <vars> <clauses>`".to_owned(),
+                });
+            }
+            let vars: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError {
+                    line: lineno,
+                    message: "bad variable count".to_owned(),
+                })?;
+            cnf.reserve_vars(vars);
+            declared = true;
+            continue;
+        }
+        if !declared {
+            return Err(ParseDimacsError {
+                line: lineno,
+                message: "clause before problem line".to_owned(),
+            });
+        }
+        for tok in line.split_whitespace() {
+            let n: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: format!("bad literal `{tok}`"),
+            })?;
+            if n == 0 {
+                cnf.add_clause(current.drain(..));
+            } else {
+                let idx = usize::try_from(n.unsigned_abs()).expect("literal fits") - 1;
+                if idx >= cnf.num_vars() {
+                    return Err(ParseDimacsError {
+                        line: lineno,
+                        message: format!("literal {n} exceeds declared variable count"),
+                    });
+                }
+                current.push(Lit::with_sign(Var::from_index(idx), n > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: input.lines().count(),
+            message: "unterminated clause at end of input".to_owned(),
+        });
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::neg(b)]);
+        cnf.add_clause([Lit::neg(a)]);
+        let text = to_dimacs(&cnf);
+        let parsed = from_dimacs(&text).expect("parse");
+        assert_eq!(parsed.num_vars(), 2);
+        assert_eq!(parsed.num_clauses(), 2);
+        assert_eq!(to_dimacs(&parsed), text);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let input = "c a comment\n\np cnf 2 1\n1 -2 0\n";
+        let cnf = from_dimacs(input).expect("parse");
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_dimacs("1 2 0").is_err());
+        assert!(from_dimacs("p cnf 1 1\n2 0").is_err());
+        assert!(from_dimacs("p cnf 1 1\n1").is_err());
+        assert!(from_dimacs("p cnf x 1\n").is_err());
+        assert!(from_dimacs("p cnf 1 1\np cnf 1 1\n").is_err());
+        assert!(from_dimacs("p sat 1 1\n").is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! A Chaff-style CDCL SAT solver.
+//!
+//! This crate reimplements the architecture of the Chaff solver
+//! (Moskewicz et al., DAC 2001) that Velev's verification flow relied on:
+//!
+//! - conflict-driven clause learning with first-UIP cuts and
+//!   non-chronological backjumping ([`solver`]);
+//! - two-watched-literal Boolean constraint propagation;
+//! - VSIDS decision heuristic with periodic decay and phase saving;
+//! - Luby restarts and activity-based learnt-clause database reduction;
+//! - resource limits (conflicts, propagations, wall-clock) so benchmark
+//!   sweeps can reproduce the paper's "out of memory / time" cells
+//!   gracefully ([`solver::Limits`]);
+//! - CNF representation and DIMACS I/O ([`cnf`], [`dimacs`]);
+//! - Tseitin translation from [`eufm`] Boolean DAGs to CNF ([`tseitin`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sat::cnf::{Cnf, Lit};
+//! use sat::solver::{Outcome, Solver};
+//!
+//! let mut cnf = Cnf::new();
+//! let a = cnf.new_var();
+//! let b = cnf.new_var();
+//! cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! cnf.add_clause([Lit::neg(a)]);
+//! let mut solver = Solver::from_cnf(&cnf);
+//! match solver.solve() {
+//!     Outcome::Sat(model) => {
+//!         assert!(!model.value(a));
+//!         assert!(model.value(b));
+//!     }
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod dimacs;
+pub mod proof;
+pub mod solver;
+pub mod tseitin;
+
+pub use cnf::{Cnf, Lit, Var};
+pub use solver::{Limits, Model, Outcome, Solver, SolverStats};
+pub use tseitin::{Mode, Phase, Translation};

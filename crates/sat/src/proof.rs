@@ -1,0 +1,304 @@
+//! RUP/DRUP proof logging and independent checking.
+//!
+//! Every `Verified` verdict of the verification flow rests on an UNSAT
+//! answer from the CDCL solver. To make those answers independently
+//! auditable, the solver can log a DRUP-style proof — the sequence of
+//! learnt clauses (each derivable by *reverse unit propagation*, RUP, from
+//! the formula and the earlier learnt clauses) ending in the empty clause —
+//! and [`check`] verifies such a proof with a simple, separate unit
+//! propagator that shares no code with the solver's search.
+//!
+//! # Example
+//!
+//! ```
+//! use sat::cnf::{Cnf, Lit};
+//! use sat::proof::{check, Proof};
+//! use sat::solver::{Outcome, Solver};
+//!
+//! let mut cnf = Cnf::new();
+//! let a = cnf.new_var();
+//! cnf.add_clause([Lit::pos(a)]);
+//! cnf.add_clause([Lit::neg(a)]);
+//! let mut solver = Solver::from_cnf(&cnf);
+//! let mut proof = Proof::new();
+//! assert_eq!(solver.solve_with_proof(&mut proof), Outcome::Unsat);
+//! check(&cnf, &proof).expect("proof must check");
+//! ```
+
+use crate::cnf::{Cnf, Lit};
+
+/// A DRUP-style proof: learnt (addition) steps in derivation order.
+/// Deletion steps are recorded but optional for checking (the checker
+/// ignores them; they only speed up real DRUP checkers).
+#[derive(Debug, Clone, Default)]
+pub struct Proof {
+    steps: Vec<Step>,
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// A clause asserted to be RUP-derivable.
+    Add(Vec<Lit>),
+    /// A clause deleted from the active set (advisory).
+    Delete(Vec<Lit>),
+}
+
+impl Proof {
+    /// Creates an empty proof.
+    pub fn new() -> Self {
+        Proof::default()
+    }
+
+    /// Records a learnt clause.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.steps.push(Step::Add(lits.to_vec()));
+    }
+
+    /// Records a clause deletion (advisory).
+    pub fn delete_clause(&mut self, lits: &[Lit]) {
+        self.steps.push(Step::Delete(lits.to_vec()));
+    }
+
+    /// The number of addition steps.
+    pub fn len(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, Step::Add(_))).count()
+    }
+
+    /// Whether the proof has no addition steps.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the proof in DRUP text format (`d` lines for deletions,
+    /// clause lines ending in `0`).
+    pub fn to_drup(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for step in &self.steps {
+            let (prefix, lits) = match step {
+                Step::Add(l) => ("", l),
+                Step::Delete(l) => ("d ", l),
+            };
+            let _ = write!(out, "{prefix}");
+            for &lit in lits {
+                let n = lit.var().index() as i64 + 1;
+                let _ = write!(out, "{} ", if lit.is_positive() { n } else { -n });
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+}
+
+/// Why a proof failed to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// Addition step `step` (0-based among additions) is not RUP-derivable.
+    NotRup {
+        /// Index of the failing addition step.
+        step: usize,
+    },
+    /// The proof never derives the empty clause (or a clause that is
+    /// falsified by unit propagation alone).
+    NoContradiction,
+}
+
+impl std::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofError::NotRup { step } => {
+                write!(f, "proof step {step} is not derivable by reverse unit propagation")
+            }
+            ProofError::NoContradiction => {
+                write!(f, "proof does not derive a contradiction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// A deliberately simple unit propagator (no watched literals, no
+/// learning) used only for proof checking.
+struct Propagator {
+    clauses: Vec<Vec<Lit>>,
+    num_vars: usize,
+}
+
+impl Propagator {
+    /// Unit-propagates `assumptions` over the clause set; returns `true`
+    /// if a conflict (falsified clause) is reached.
+    fn propagates_to_conflict(&self, assumptions: &[Lit]) -> bool {
+        let mut assign: Vec<i8> = vec![0; self.num_vars];
+        let mut queue: Vec<Lit> = Vec::new();
+        for &l in assumptions {
+            let v = l.var().index();
+            let want = if l.is_positive() { 1 } else { -1 };
+            if assign[v] == -want {
+                return true; // contradictory assumptions
+            }
+            if assign[v] == 0 {
+                assign[v] = want;
+                queue.push(l);
+            }
+        }
+        loop {
+            let mut progress = false;
+            for clause in &self.clauses {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for &l in clause {
+                    let v = assign[l.var().index()];
+                    let val = if l.is_positive() { v } else { -v };
+                    if val == 1 {
+                        satisfied = true;
+                        break;
+                    }
+                    if val == 0 {
+                        unassigned_count += 1;
+                        unassigned = Some(l);
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match (unassigned_count, unassigned) {
+                    (0, _) => return true, // falsified clause: conflict
+                    (1, Some(l)) => {
+                        let v = l.var().index();
+                        assign[v] = if l.is_positive() { 1 } else { -1 };
+                        progress = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !progress {
+                return false;
+            }
+        }
+    }
+}
+
+/// Checks a DRUP proof of unsatisfiability for `cnf`.
+///
+/// Every addition step must be RUP-derivable from the original clauses
+/// plus the previously added ones, and the proof must reach a
+/// contradiction (the empty clause, or a final state whose propagation
+/// conflicts outright).
+///
+/// # Errors
+///
+/// Returns [`ProofError`] naming the failing step.
+pub fn check(cnf: &Cnf, proof: &Proof) -> Result<(), ProofError> {
+    let mut prop = Propagator {
+        clauses: cnf.iter().map(<[Lit]>::to_vec).collect(),
+        num_vars: cnf.num_vars(),
+    };
+    let mut add_index = 0;
+    for step in &proof.steps {
+        match step {
+            Step::Add(clause) => {
+                // RUP check: assuming the negation of every literal must
+                // propagate to a conflict.
+                let assumptions: Vec<Lit> = clause.iter().map(|&l| !l).collect();
+                if !prop.propagates_to_conflict(&assumptions) {
+                    return Err(ProofError::NotRup { step: add_index });
+                }
+                if clause.is_empty() {
+                    return Ok(());
+                }
+                prop.clauses.push(clause.clone());
+                add_index += 1;
+            }
+            Step::Delete(clause) => {
+                if let Some(pos) = prop.clauses.iter().position(|c| c == clause) {
+                    prop.clauses.swap_remove(pos);
+                }
+            }
+        }
+    }
+    // No explicit empty clause: accept iff propagation now conflicts.
+    if prop.propagates_to_conflict(&[]) {
+        Ok(())
+    } else {
+        Err(ProofError::NoContradiction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::needless_range_loop)] // index loops are clearest for the PHP grids
+
+    use super::*;
+    use crate::cnf::Var;
+    use crate::solver::{Outcome, Solver};
+
+    fn pigeonhole(n: usize) -> Cnf {
+        let mut cnf = Cnf::new();
+        let p: Vec<Vec<Var>> =
+            (0..n).map(|_| (0..n - 1).map(|_| cnf.new_var()).collect()).collect();
+        for row in &p {
+            cnf.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    cnf.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn unsat_proofs_check() {
+        for n in [3usize, 4, 5] {
+            let cnf = pigeonhole(n);
+            let mut solver = Solver::from_cnf(&cnf);
+            let mut proof = Proof::new();
+            assert_eq!(solver.solve_with_proof(&mut proof), Outcome::Unsat);
+            assert!(!proof.is_empty(), "PHP({n}) needs learnt clauses");
+            check(&cnf, &proof).unwrap_or_else(|e| panic!("PHP({n}) proof rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn bogus_proofs_are_rejected() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        // claim the unit clause (a) — not RUP-derivable
+        let mut proof = Proof::new();
+        proof.add_clause(&[Lit::pos(a)]);
+        proof.add_clause(&[]);
+        assert!(matches!(check(&cnf, &proof), Err(ProofError::NotRup { step: 0 })));
+        // and an empty proof of a satisfiable formula
+        let empty = Proof::new();
+        assert_eq!(check(&cnf, &empty), Err(ProofError::NoContradiction));
+    }
+
+    #[test]
+    fn drup_text_format() {
+        let mut proof = Proof::new();
+        proof.add_clause(&[Lit::pos(Var::from_index(0)), Lit::neg(Var::from_index(1))]);
+        proof.delete_clause(&[Lit::pos(Var::from_index(0))]);
+        proof.add_clause(&[]);
+        let text = proof.to_drup();
+        assert_eq!(text, "1 -2 0\nd 1 0\n0\n");
+        assert_eq!(proof.len(), 2);
+    }
+
+    #[test]
+    fn trivial_contradiction_checks_without_steps() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause([Lit::pos(a)]);
+        cnf.add_clause([Lit::neg(a)]);
+        let mut solver = Solver::from_cnf(&cnf);
+        let mut proof = Proof::new();
+        assert_eq!(solver.solve_with_proof(&mut proof), Outcome::Unsat);
+        check(&cnf, &proof).expect("proof checks");
+    }
+}

@@ -1,0 +1,1081 @@
+//! The CDCL solver: two-watched-literal propagation, first-UIP learning,
+//! VSIDS decisions, Luby restarts, and learnt-clause database reduction.
+
+use std::time::Instant;
+
+use crate::cnf::{Cnf, Lit, Var};
+use crate::proof::Proof;
+
+/// Resource limits for a solve call.
+///
+/// When a limit is hit the solver returns [`Outcome::Unknown`] — this is how
+/// the benchmark harness reproduces the paper's "ran out of memory after
+/// 18,000 seconds" cells without actually exhausting the machine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Limits {
+    /// Maximum number of conflicts before giving up.
+    pub max_conflicts: Option<u64>,
+    /// Maximum wall-clock seconds before giving up.
+    pub max_seconds: Option<f64>,
+    /// Maximum learnt-clause literals held at once (a memory proxy).
+    pub max_learnt_literals: Option<u64>,
+}
+
+impl Limits {
+    /// No limits: run to completion.
+    pub fn none() -> Self {
+        Limits::default()
+    }
+}
+
+/// A satisfying assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// The value of `var` in the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not part of the solved formula.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// The value of a literal in the model.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// The number of variables in the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model is empty (zero variables).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// The outcome of a solve call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// A resource limit was hit; the reported reason describes which.
+    Unknown(LimitReason),
+}
+
+impl Outcome {
+    /// Whether the outcome is [`Outcome::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// Whether the outcome is [`Outcome::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Outcome::Unsat)
+    }
+}
+
+/// Which resource limit interrupted the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitReason {
+    /// The conflict budget was exhausted.
+    Conflicts,
+    /// The wall-clock budget was exhausted.
+    Time,
+    /// The learnt-literal (memory proxy) budget was exhausted.
+    Memory,
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Peak learnt-literal count (memory proxy).
+    pub peak_learnt_literals: u64,
+}
+
+const UNDEF: i8 = 0;
+type ClauseRef = u32;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f64,
+    learnt: bool,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: ClauseRef,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver instance.
+///
+/// Build one with [`Solver::new`] (then [`Solver::add_clause`]) or directly
+/// from a [`Cnf`] with [`Solver::from_cnf`], then call [`Solver::solve`].
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    learnt_refs: Vec<ClauseRef>,
+    watches: Vec<Vec<Watcher>>,
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: VarHeap,
+    phase: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+    learnt_literals: u64,
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            learnt_refs: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: VarHeap::new(),
+            phase: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            learnt_literals: 0,
+            seen: Vec::new(),
+        }
+    }
+
+    /// Creates a solver loaded with all clauses of `cnf`.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut solver = Solver::new();
+        while solver.num_vars() < cnf.num_vars() {
+            solver.new_var();
+        }
+        for clause in cnf.iter() {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver
+    }
+
+    /// The number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assign.len());
+        self.assign.push(UNDEF);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    #[inline]
+    fn value_var(&self, v: Var) -> i8 {
+        self.assign[v.index()]
+    }
+
+    #[inline]
+    fn value_lit(&self, l: Lit) -> i8 {
+        let raw = self.assign[l.var().index()];
+        if l.is_positive() {
+            raw
+        } else {
+            -raw
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause, performing top-level simplification.
+    ///
+    /// Returns `false` if the formula has become trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after search has begun (decision level > 0) or if a
+    /// literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for &l in &clause {
+            assert!(l.var().index() < self.num_vars(), "literal {l} references unallocated var");
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        if clause.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true; // tautology
+        }
+        // remove literals false at level 0; drop clause if satisfied
+        clause.retain(|&l| self.value_lit(l) != -1);
+        if clause.iter().any(|&l| self.value_lit(l) == 1) {
+            return true;
+        }
+        match clause.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(clause[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(clause, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = ClauseRef::try_from(self.clauses.len()).expect("clause db overflow");
+        self.watches[(!lits[0]).index()].push(Watcher { clause: cref, blocker: lits[1] });
+        self.watches[(!lits[1]).index()].push(Watcher { clause: cref, blocker: lits[0] });
+        if learnt {
+            self.learnt_refs.push(cref);
+            self.learnt_literals += lits.len() as u64;
+            self.stats.learnt_clauses += 1;
+            self.stats.peak_learnt_literals =
+                self.stats.peak_learnt_literals.max(self.learnt_literals);
+        }
+        self.clauses.push(Clause { lits, activity: 0.0, learnt, deleted: false });
+        cref
+    }
+
+    fn enqueue(&mut self, lit: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.value_lit(lit), UNDEF);
+        let v = lit.var().index();
+        self.assign[v] = if lit.is_positive() { 1 } else { -1 };
+        self.level[v] = self.decision_level();
+        self.reason[v] = from;
+        self.phase[v] = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    /// Boolean constraint propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut kept = 0;
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Quick satisfied check via blocker.
+                if self.value_lit(w.blocker) == 1 {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let cref = w.clause;
+                if self.clauses[cref as usize].deleted {
+                    continue; // drop watcher for deleted clause
+                }
+                // Make sure the false literal (!p) is at position 1.
+                let false_lit = !p;
+                {
+                    let lits = &mut self.clauses[cref as usize].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if first != w.blocker && self.value_lit(first) == 1 {
+                    ws[kept] = Watcher { clause: cref, blocker: first };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.value_lit(lk) != -1 {
+                        let lits = &mut self.clauses[cref as usize].lits;
+                        lits.swap(1, k);
+                        let new_watch = lits[1];
+                        self.watches[(!new_watch).index()]
+                            .push(Watcher { clause: cref, blocker: first });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting under the current assignment.
+                ws[kept] = Watcher { clause: cref, blocker: first };
+                kept += 1;
+                if self.value_lit(first) == -1 {
+                    // conflict: keep remaining watchers and bail out
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(cref);
+                } else {
+                    self.enqueue(first, Some(cref));
+                }
+            }
+            ws.truncate(kept);
+            self.watches[p.index()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var::from_index(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(cref);
+            let lits: Vec<Lit> = self.clauses[cref as usize].lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in lits.iter().skip(skip) {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // select next literal to expand from the trail
+            loop {
+                index -= 1;
+                let lit = self.trail[index];
+                if self.seen[lit.var().index()] {
+                    p = Some(lit);
+                    break;
+                }
+            }
+            let pv = p.expect("UIP literal").var().index();
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("UIP literal");
+                break;
+            }
+            cref = self.reason[pv].expect("non-decision literal has a reason");
+        }
+
+        // Conflict-clause minimization: drop literals implied by the rest.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.literal_redundant(l, &learnt))
+            .collect();
+        let mut minimized: Vec<Lit> = learnt
+            .iter()
+            .zip(keep.iter())
+            .filter_map(|(&l, &k)| if k { Some(l) } else { None })
+            .collect();
+
+        // compute backjump level = max level among non-asserting literals
+        let mut back_level = 0;
+        if minimized.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            back_level = self.level[minimized[1].var().index()];
+        }
+
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (minimized, back_level)
+    }
+
+    /// A learnt literal is redundant if every literal of its reason clause
+    /// is already in the learnt clause or assigned at level 0 (cheap,
+    /// non-recursive minimization).
+    fn literal_redundant(&self, lit: Lit, learnt: &[Lit]) -> bool {
+        let v = lit.var().index();
+        let Some(cref) = self.reason[v] else {
+            return false;
+        };
+        self.clauses[cref as usize].lits.iter().all(|&q| {
+            q.var() == lit.var()
+                || self.level[q.var().index()] == 0
+                || learnt.contains(&q)
+        })
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = UNDEF;
+            self.reason[v.index()] = None;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for &r in &self.learnt_refs {
+                self.clauses[r as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.value_var(v) == UNDEF {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Removes the lowest-activity half of the learnt clauses (keeping
+    /// binary clauses and clauses that are reasons for current assignments).
+    fn reduce_db(&mut self, mut proof: Option<&mut Proof>) {
+        let mut refs: Vec<ClauseRef> = self.learnt_refs.clone();
+        refs.sort_by(|&a, &b| {
+            let ca = self.clauses[a as usize].activity;
+            let cb = self.clauses[b as usize].activity;
+            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = refs
+            .iter()
+            .map(|&r| {
+                self.clauses[r as usize]
+                    .lits
+                    .first()
+                    .is_some_and(|&l| self.reason[l.var().index()] == Some(r))
+            })
+            .collect();
+        let target = refs.len() / 2;
+        let mut removed = 0;
+        for (i, &r) in refs.iter().enumerate() {
+            if removed >= target {
+                break;
+            }
+            let c = &self.clauses[r as usize];
+            if c.deleted || c.lits.len() <= 2 || locked[i] {
+                continue;
+            }
+            self.learnt_literals -= c.lits.len() as u64;
+            if let Some(proof) = proof.as_deref_mut() {
+                proof.delete_clause(&self.clauses[r as usize].lits);
+            }
+            self.clauses[r as usize].deleted = true;
+            self.clauses[r as usize].lits.clear();
+            self.clauses[r as usize].lits.shrink_to_fit();
+            removed += 1;
+            self.stats.deleted_clauses += 1;
+            self.stats.learnt_clauses -= 1;
+        }
+        self.learnt_refs.retain(|&r| !self.clauses[r as usize].deleted);
+    }
+
+    /// Solves the formula with no resource limits.
+    pub fn solve(&mut self) -> Outcome {
+        self.solve_with_limits(Limits::none())
+    }
+
+    /// Solves the formula, logging a DRUP-style proof of unsatisfiability
+    /// into `proof` (checkable with [`crate::proof::check`]).
+    pub fn solve_with_proof(&mut self, proof: &mut Proof) -> Outcome {
+        self.solve_inner(Limits::none(), Some(proof))
+    }
+
+    /// Solves the formula under the given resource limits.
+    pub fn solve_with_limits(&mut self, limits: Limits) -> Outcome {
+        self.solve_inner(limits, None)
+    }
+
+    fn solve_inner(&mut self, limits: Limits, mut proof: Option<&mut Proof>) -> Outcome {
+        if !self.ok {
+            return Outcome::Unsat;
+        }
+        let start = Instant::now();
+        let mut max_learnts = (self.clauses.len() / 3).max(100) as f64;
+        let mut restart_idx = 0u64;
+        let mut conflicts_until_restart = luby(restart_idx) * 100;
+
+        if self.propagate().is_some() {
+            self.ok = false;
+            return Outcome::Unsat;
+        }
+
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        if let Some(proof) = proof.as_deref_mut() {
+                            proof.add_clause(&[]);
+                        }
+                        return Outcome::Unsat;
+                    }
+                    let (learnt, back_level) = self.analyze(conflict);
+                    if let Some(proof) = proof.as_deref_mut() {
+                        proof.add_clause(&learnt);
+                    }
+                    self.backtrack_to(back_level);
+                    let asserting = learnt[0];
+                    if learnt.len() == 1 {
+                        self.enqueue(asserting, None);
+                    } else {
+                        let cref = self.attach_clause(learnt, true);
+                        self.enqueue(asserting, Some(cref));
+                    }
+                    self.decay_var_activity();
+                    self.decay_clause_activity();
+
+                    if let Some(max) = limits.max_conflicts {
+                        if self.stats.conflicts >= max {
+                            self.backtrack_to(0);
+                            return Outcome::Unknown(LimitReason::Conflicts);
+                        }
+                    }
+                    if self.stats.conflicts % 256 == 0 {
+                        if let Some(max) = limits.max_seconds {
+                            if start.elapsed().as_secs_f64() >= max {
+                                self.backtrack_to(0);
+                                return Outcome::Unknown(LimitReason::Time);
+                            }
+                        }
+                    }
+                    if let Some(max) = limits.max_learnt_literals {
+                        if self.learnt_literals >= max {
+                            self.backtrack_to(0);
+                            return Outcome::Unknown(LimitReason::Memory);
+                        }
+                    }
+
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                    if self.learnt_refs.len() as f64 >= max_learnts {
+                        self.reduce_db(proof.as_deref_mut());
+                        max_learnts *= 1.3;
+                    }
+                }
+                None => {
+                    if conflicts_until_restart == 0 {
+                        self.stats.restarts += 1;
+                        restart_idx += 1;
+                        conflicts_until_restart = luby(restart_idx) * 100;
+                        self.backtrack_to(0);
+                    }
+                    match self.pick_branch_var() {
+                        None => {
+                            // all variables assigned: SAT
+                            let values =
+                                self.assign.iter().map(|&a| a == 1).collect::<Vec<bool>>();
+                            let model = Model { values };
+                            self.backtrack_to(0);
+                            return Outcome::Sat(model);
+                        }
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            let lit = Lit::with_sign(v, self.phase[v.index()]);
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(lit, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(mut i: u64) -> u64 {
+    // find the finite subsequence containing index i
+    let mut k = 1u32;
+    loop {
+        let len = (1u64 << k) - 1;
+        if i + 1 == len {
+            return 1 << (k - 1);
+        }
+        if i + 1 < len {
+            i -= (1u64 << (k - 1)) - 1;
+            k = 1;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+/// An indexed max-heap over variable activities.
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<i32>, // -1 when absent
+}
+
+impl VarHeap {
+    fn new() -> Self {
+        VarHeap::default()
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        while self.pos.len() <= v.index() {
+            self.pos.push(-1);
+        }
+        if self.pos[v.index()] >= 0 {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        if v.index() < self.pos.len() && self.pos[v.index()] >= 0 {
+            self.sift_up(self.pos[v.index()] as usize, act);
+        }
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty heap");
+        self.pos[top.index()] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i as i32;
+        self.pos[self.heap[j].index()] = j as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::needless_range_loop)] // index loops are clearest for the PHP grids
+
+    use super::*;
+
+    fn lit(cnf_var: Var, positive: bool) -> Lit {
+        Lit::with_sign(cnf_var, positive)
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([Lit::pos(a)]));
+        assert!(s.solve().is_sat());
+
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([Lit::pos(a)]));
+        assert!(!s.add_clause([Lit::neg(a)]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![lit(vars[0], true), lit(vars[1], true)],
+            vec![lit(vars[0], false), lit(vars[2], true)],
+            vec![lit(vars[1], false), lit(vars[3], true)],
+            vec![lit(vars[2], false), lit(vars[3], false)],
+        ];
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        match s.solve() {
+            Outcome::Sat(model) => {
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| model.lit_value(l)), "unsatisfied clause");
+                }
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes
+        let mut s = Solver::new();
+        let mut p = [[Var::from_index(0); 2]; 3];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause([Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn conflict_limit_interrupts() {
+        // PHP(6,5) takes more than 1 conflict
+        let n = 6;
+        let mut s = Solver::new();
+        let mut p = vec![vec![Var::from_index(0); n - 1]; n];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        let out = s.solve_with_limits(Limits { max_conflicts: Some(1), ..Limits::none() });
+        assert_eq!(out, Outcome::Unknown(LimitReason::Conflicts));
+    }
+
+    #[test]
+    fn unsat_chain_of_implications() {
+        // x0 -> x1 -> ... -> x9, x0, !x9
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..10).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause([Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        s.add_clause([Lit::pos(vars[0])]);
+        s.add_clause([Lit::neg(vars[9])]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+        for i in 0..7 {
+            s.add_clause([Lit::neg(vars[i]), Lit::pos(vars[i + 1])]);
+        }
+        s.add_clause([Lit::pos(vars[0]), Lit::pos(vars[3])]);
+        assert!(s.solve().is_sat());
+        assert!(s.stats().decisions > 0 || s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn from_cnf_matches_incremental() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(b)]);
+        let mut s = Solver::from_cnf(&cnf);
+        assert!(s.solve().is_unsat());
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    #![allow(clippy::needless_range_loop)] // index loops are clearest for the PHP grids
+
+    use super::*;
+
+    /// Deterministic xorshift for reproducible random instances.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn random_3sat(nvars: usize, nclauses: usize, seed: u64) -> (Solver, Vec<Vec<Lit>>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..nvars).map(|_| solver.new_var()).collect();
+        let mut rng = Rng(seed | 1);
+        let mut clauses = Vec::new();
+        for _ in 0..nclauses {
+            let mut clause = Vec::new();
+            for _ in 0..3 {
+                let v = vars[(rng.next() as usize) % nvars];
+                let sign = rng.next() & 1 == 1;
+                clause.push(Lit::with_sign(v, sign));
+            }
+            solver.add_clause(clause.iter().copied());
+            clauses.push(clause);
+        }
+        (solver, clauses)
+    }
+
+    fn brute_force(nvars: usize, clauses: &[Vec<Lit>]) -> bool {
+        (0u64..1 << nvars).any(|bits| {
+            clauses.iter().all(|c| {
+                c.iter().any(|l| (bits >> l.var().index() & 1 == 1) == l.is_positive())
+            })
+        })
+    }
+
+    #[test]
+    fn random_instances_agree_with_brute_force() {
+        for seed in 0..60 {
+            let nvars = 6 + (seed as usize % 5);
+            let nclauses = nvars * 4 + seed as usize % 7;
+            let (mut solver, clauses) = random_3sat(nvars, nclauses, seed * 77 + 5);
+            let expected = brute_force(nvars, &clauses);
+            match solver.solve() {
+                Outcome::Sat(model) => {
+                    assert!(expected, "seed {seed}: solver SAT but formula UNSAT");
+                    for c in &clauses {
+                        assert!(c.iter().any(|&l| model.lit_value(l)));
+                    }
+                }
+                Outcome::Unsat => assert!(!expected, "seed {seed}: solver UNSAT but SAT"),
+                Outcome::Unknown(r) => panic!("seed {seed}: unexpected limit {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_exercises_learning_and_restarts() {
+        // PHP(7,6): hard enough to force restarts and DB behavior.
+        let n = 7;
+        let mut s = Solver::new();
+        let mut p = vec![vec![Var::from_index(0); n - 1]; n];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        let stats = s.stats();
+        assert!(stats.conflicts > 100, "expected substantial search: {stats:?}");
+        assert!(stats.learnt_clauses > 0 || stats.deleted_clauses > 0);
+    }
+
+    #[test]
+    fn solver_survives_repeated_solves() {
+        // Re-solving the same instance stays consistent (level-0 state).
+        let (mut solver, _) = random_3sat(8, 20, 42);
+        let first = solver.solve().is_sat();
+        for _ in 0..3 {
+            assert_eq!(solver.solve().is_sat(), first);
+        }
+    }
+
+    #[test]
+    fn incremental_clause_addition_after_solve() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        assert!(s.solve().is_sat());
+        // Constrain further: force a = false, b = false -> UNSAT.
+        assert!(s.add_clause([Lit::neg(a)]));
+        // Either the clause addition already detects the conflict or the
+        // next solve does; both paths must end UNSAT.
+        let _ = s.add_clause([Lit::neg(b)]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn memory_limit_interrupts() {
+        let n = 8;
+        let mut s = Solver::new();
+        let mut p = vec![vec![Var::from_index(0); n - 1]; n];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        let out = s.solve_with_limits(Limits {
+            max_learnt_literals: Some(50),
+            ..Limits::none()
+        });
+        assert_eq!(out, Outcome::Unknown(LimitReason::Memory));
+    }
+}

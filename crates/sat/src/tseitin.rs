@@ -1,0 +1,332 @@
+//! Tseitin translation from propositional EUFM DAGs to CNF.
+//!
+//! The input must already be purely propositional — the output of the
+//! Positive-Equality reduction (no equations, terms, or memories). Each
+//! internal gate gets a definition variable; the translation supports both
+//! full (bi-implication) definitions and polarity-aware
+//! (Plaisted–Greenbaum) definitions that emit only the implications needed
+//! for the asserted polarity.
+
+use std::collections::HashMap;
+
+use eufm::{Context, ExprId, Node, Sort};
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Which definition clauses to emit per gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Emit both directions of every gate definition.
+    #[default]
+    Full,
+    /// Plaisted–Greenbaum: emit only the direction(s) required by the
+    /// polarity under which each gate is observed.
+    PolarityAware,
+}
+
+/// The phase in which the root literal will be asserted.
+///
+/// Polarity-aware ([`Mode::PolarityAware`]) translation is only
+/// satisfiability-preserving for assertions in the declared phase: declare
+/// [`Phase::Negative`] when checking validity (the usual case in this
+/// project — the correctness formula is valid iff its negation is UNSAT).
+/// [`Mode::Full`] is sound for either phase regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase {
+    /// The root will be asserted true ([`Translation::assert_root`]).
+    #[default]
+    Positive,
+    /// The root will be asserted false
+    /// ([`Translation::assert_negated_root`]).
+    Negative,
+    /// Either assertion may be used; all gate definitions are emitted in
+    /// both directions for the root cone.
+    Both,
+}
+
+/// An error during translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    /// Description of the offending node.
+    pub message: String,
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tseitin translation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// The result of translating a formula.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// The generated CNF (without the root assertion).
+    pub cnf: Cnf,
+    /// Mapping from EUFM propositional variables to CNF variables.
+    pub var_map: HashMap<ExprId, Var>,
+    /// The literal equivalent to the root formula.
+    pub root: Lit,
+}
+
+impl Translation {
+    /// Adds the unit clause asserting the root (use to check satisfiability
+    /// of the formula itself).
+    pub fn assert_root(&mut self) {
+        self.cnf.add_clause([self.root]);
+    }
+
+    /// Adds the unit clause asserting the *negation* of the root (use to
+    /// check validity: the result is UNSAT iff the formula is valid).
+    pub fn assert_negated_root(&mut self) {
+        self.cnf.add_clause([!self.root]);
+    }
+}
+
+const POS: u8 = 0b01;
+const NEG: u8 = 0b10;
+
+/// Translates the propositional formula `root` to CNF.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] if the DAG contains non-propositional nodes
+/// (equations, terms, uninterpreted symbols, memories).
+pub fn translate(
+    ctx: &Context,
+    root: ExprId,
+    mode: Mode,
+    phase: Phase,
+) -> Result<Translation, TranslateError> {
+    if ctx.sort(root) != Sort::Bool {
+        return Err(TranslateError { message: "root is not a formula".to_owned() });
+    }
+    let root_pol = match phase {
+        Phase::Positive => POS,
+        Phase::Negative => NEG,
+        Phase::Both => POS | NEG,
+    };
+    // Polarity pre-pass (also validates the DAG is propositional).
+    let mut polarity: HashMap<ExprId, u8> = HashMap::new();
+    {
+        let mut work: Vec<(ExprId, u8)> = vec![(root, root_pol)];
+        while let Some((id, pol)) = work.pop() {
+            let entry = polarity.entry(id).or_insert(0);
+            if *entry & pol == pol {
+                continue;
+            }
+            *entry |= pol;
+            let flip = |p: u8| ((p & POS) << 1) | ((p & NEG) >> 1);
+            match ctx.node(id) {
+                Node::True | Node::False | Node::Var(_, Sort::Bool) => {}
+                Node::Not(a) => work.push((*a, flip(pol))),
+                Node::And(xs) | Node::Or(xs) => {
+                    for &x in xs.iter() {
+                        work.push((x, pol));
+                    }
+                }
+                Node::Ite(c, t, e) if ctx.sort(id) == Sort::Bool => {
+                    work.push((*c, POS | NEG));
+                    work.push((*t, pol));
+                    work.push((*e, pol));
+                }
+                other => {
+                    return Err(TranslateError {
+                        message: format!(
+                            "non-propositional node `{}` in formula",
+                            other.kind_name()
+                        ),
+                    })
+                }
+            }
+        }
+    }
+
+    let mut cnf = Cnf::new();
+    let mut var_map: HashMap<ExprId, Var> = HashMap::new();
+    let mut lit_map: HashMap<ExprId, Lit> = HashMap::new();
+    let mut const_true: Option<Var> = None;
+
+    let mut order: Vec<ExprId> = Vec::new();
+    ctx.visit_post_order(&[root], |id| order.push(id));
+
+    for id in order {
+        let pol = polarity.get(&id).copied().unwrap_or(POS | NEG);
+        let want_pos = mode == Mode::Full || pol & POS != 0;
+        let want_neg = mode == Mode::Full || pol & NEG != 0;
+        let lit = match ctx.node(id) {
+            Node::True => {
+                let v = *const_true.get_or_insert_with(|| cnf.new_var());
+                Lit::pos(v)
+            }
+            Node::False => {
+                let v = *const_true.get_or_insert_with(|| cnf.new_var());
+                Lit::neg(v)
+            }
+            Node::Var(_, Sort::Bool) => {
+                let v = cnf.new_var();
+                var_map.insert(id, v);
+                Lit::pos(v)
+            }
+            Node::Not(a) => !lit_map[a],
+            Node::And(xs) => {
+                let t = Lit::pos(cnf.new_var());
+                let kids: Vec<Lit> = xs.iter().map(|x| lit_map[x]).collect();
+                if want_pos {
+                    for &k in &kids {
+                        cnf.add_clause([!t, k]);
+                    }
+                }
+                if want_neg {
+                    let mut clause: Vec<Lit> = kids.iter().map(|&k| !k).collect();
+                    clause.push(t);
+                    cnf.add_clause(clause);
+                }
+                t
+            }
+            Node::Or(xs) => {
+                let t = Lit::pos(cnf.new_var());
+                let kids: Vec<Lit> = xs.iter().map(|x| lit_map[x]).collect();
+                if want_pos {
+                    let mut clause = kids.clone();
+                    clause.push(!t);
+                    cnf.add_clause(clause);
+                }
+                if want_neg {
+                    for &k in &kids {
+                        cnf.add_clause([!k, t]);
+                    }
+                }
+                t
+            }
+            Node::Ite(c, a, b) => {
+                let t = Lit::pos(cnf.new_var());
+                let (c, a, b) = (lit_map[c], lit_map[a], lit_map[b]);
+                if want_pos {
+                    cnf.add_clause([!t, !c, a]);
+                    cnf.add_clause([!t, c, b]);
+                }
+                if want_neg {
+                    cnf.add_clause([t, !c, !a]);
+                    cnf.add_clause([t, c, !b]);
+                }
+                t
+            }
+            other => {
+                return Err(TranslateError {
+                    message: format!("non-propositional node `{}` in formula", other.kind_name()),
+                })
+            }
+        };
+        lit_map.insert(id, lit);
+    }
+
+    if let Some(v) = const_true {
+        cnf.add_clause([Lit::pos(v)]);
+    }
+
+    Ok(Translation { cnf, var_map, root: lit_map[&root] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Outcome, Solver};
+
+    fn solve_validity(ctx: &Context, f: ExprId, mode: Mode) -> bool {
+        let mut tr = translate(ctx, f, mode, Phase::Negative).expect("translate");
+        tr.assert_negated_root();
+        let mut s = Solver::from_cnf(&tr.cnf);
+        s.solve().is_unsat()
+    }
+
+    #[test]
+    fn tautology_is_valid_both_modes() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let y = ctx.pvar("y");
+        // (x & y) | !x | !y
+        let a = ctx.and2(x, y);
+        let nx = ctx.not(x);
+        let ny = ctx.not(y);
+        let f = ctx.or([a, nx, ny]);
+        assert!(solve_validity(&ctx, f, Mode::Full));
+        assert!(solve_validity(&ctx, f, Mode::PolarityAware));
+    }
+
+    #[test]
+    fn contingent_formula_is_not_valid() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let y = ctx.pvar("y");
+        let f = ctx.or2(x, y);
+        assert!(!solve_validity(&ctx, f, Mode::Full));
+        assert!(!solve_validity(&ctx, f, Mode::PolarityAware));
+    }
+
+    #[test]
+    fn model_agrees_with_eufm_evaluation() {
+        use eufm::eval::{eval_formula, Assignment, HashModel};
+        let mut ctx = Context::new();
+        let vars: Vec<ExprId> = (0..5).map(|i| ctx.pvar(&format!("v{i}"))).collect();
+        // v0 ? (v1 & !v2) : (v3 | v4)
+        let n2 = ctx.not(vars[2]);
+        let t = ctx.and2(vars[1], n2);
+        let e = ctx.or2(vars[3], vars[4]);
+        let f = ctx.ite(vars[0], t, e);
+        let mut tr = translate(&ctx, f, Mode::Full, Phase::Positive).expect("translate");
+        tr.assert_root();
+        let mut s = Solver::from_cnf(&tr.cnf);
+        match s.solve() {
+            Outcome::Sat(model) => {
+                let mut asn = Assignment::default();
+                for &v in &vars {
+                    let sat_var = tr.var_map[&v];
+                    asn.boolean.insert(v, model.value(sat_var));
+                }
+                let hm = HashModel::new(0, 2);
+                assert!(eval_formula(&ctx, f, &asn, &hm), "SAT model must satisfy formula");
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_are_handled() {
+        let ctx = Context::new();
+        let mut tr = translate(&ctx, Context::TRUE, Mode::Full, Phase::Positive).expect("translate");
+        tr.assert_root();
+        let mut s = Solver::from_cnf(&tr.cnf);
+        assert!(s.solve().is_sat());
+
+        let mut tr = translate(&ctx, Context::FALSE, Mode::Full, Phase::Positive).expect("translate");
+        tr.assert_root();
+        let mut s = Solver::from_cnf(&tr.cnf);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn rejects_non_propositional_input() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        assert!(translate(&ctx, eq, Mode::Full, Phase::Both).is_err());
+        assert!(translate(&ctx, a, Mode::Full, Phase::Both).is_err());
+    }
+
+    #[test]
+    fn polarity_aware_emits_fewer_clauses() {
+        let mut ctx = Context::new();
+        let vars: Vec<ExprId> = (0..8).map(|i| ctx.pvar(&format!("v{i}"))).collect();
+        let mut f = vars[0];
+        for chunk in vars.chunks(2) {
+            let c = ctx.and(chunk.iter().copied());
+            f = ctx.or2(f, c);
+        }
+        let full = translate(&ctx, f, Mode::Full, Phase::Positive).expect("translate");
+        let pg = translate(&ctx, f, Mode::PolarityAware, Phase::Negative).expect("translate");
+        assert!(pg.cnf.num_clauses() < full.cnf.num_clauses());
+    }
+}

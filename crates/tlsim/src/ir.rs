@@ -1,0 +1,425 @@
+//! The word-level netlist IR.
+
+use std::collections::HashMap;
+
+use eufm::Sort;
+
+/// A handle to a combinational signal in a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The dense index of this signal.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A handle to a state-holding latch in a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LatchId(pub(crate) u32);
+
+impl LatchId {
+    /// The dense index of this latch.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A handle to a primary input of a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InputId(pub(crate) u32);
+
+impl InputId {
+    /// The dense index of this input.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a primary input is driven during simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// A fresh symbolic constant every cycle, named `name@cycle`.
+    ///
+    /// This is how non-deterministic control signals (the paper's
+    /// `NDFetch_i` and `NDExecute_i` abstractions) are modeled.
+    FreshPerCycle,
+    /// A single symbolic constant shared by all cycles, named `name`
+    /// (e.g. a read-only instruction memory).
+    Symbolic,
+    /// Driven explicitly by the test bench each cycle (e.g. `flush`);
+    /// stepping without providing a value is an error.
+    Controlled,
+}
+
+/// The definition of one combinational signal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SignalDef {
+    /// The value of a primary input this cycle.
+    Input(InputId),
+    /// The current state of a latch.
+    LatchOut(LatchId),
+    /// A Boolean constant.
+    Const(bool),
+    /// Logical negation.
+    Not(SignalId),
+    /// N-ary conjunction.
+    And(Vec<SignalId>),
+    /// N-ary disjunction.
+    Or(Vec<SignalId>),
+    /// Two-way multiplexer `sel ? a : b` (any matching sorts).
+    Mux(SignalId, SignalId, SignalId),
+    /// Term or memory equality comparator.
+    EqCmp(SignalId, SignalId),
+    /// An uninterpreted function/predicate block.
+    Uf(String, Vec<SignalId>, Sort),
+    /// A memory read port.
+    Read(SignalId, SignalId),
+    /// A memory write port (produces the updated memory state).
+    Write(SignalId, SignalId, SignalId),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct InputInfo {
+    pub name: String,
+    pub sort: Sort,
+    pub kind: InputKind,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct LatchInfo {
+    pub name: String,
+    pub sort: Sort,
+    pub next: Option<SignalId>,
+}
+
+/// A synchronous word-level netlist.
+///
+/// Build signals with the combinational constructors, declare latches with
+/// [`Design::latch`] and close their feedback loops with
+/// [`Design::set_next`], and mark observable signals with
+/// [`Design::mark_output`].
+#[derive(Debug, Clone)]
+pub struct Design {
+    name: String,
+    pub(crate) signals: Vec<(SignalDef, Sort)>,
+    pub(crate) inputs: Vec<InputInfo>,
+    pub(crate) latches: Vec<LatchInfo>,
+    outputs: HashMap<String, SignalId>,
+    signal_cache: HashMap<SignalDef, SignalId>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Design {
+            name: name.into(),
+            signals: Vec::new(),
+            inputs: Vec::new(),
+            latches: Vec::new(),
+            outputs: HashMap::new(),
+            signal_cache: HashMap::new(),
+        }
+    }
+
+    /// The design's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of combinational signals (cells).
+    pub fn num_signals(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// The number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// The number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The sort of a signal.
+    pub fn sort(&self, sig: SignalId) -> Sort {
+        self.signals[sig.index()].1
+    }
+
+    /// The definition of a signal.
+    pub fn def(&self, sig: SignalId) -> &SignalDef {
+        &self.signals[sig.index()].0
+    }
+
+    fn push(&mut self, def: SignalDef, sort: Sort) -> SignalId {
+        if let Some(&id) = self.signal_cache.get(&def) {
+            return id;
+        }
+        let id = SignalId(u32::try_from(self.signals.len()).expect("signal overflow"));
+        self.signals.push((def.clone(), sort));
+        self.signal_cache.insert(def, id);
+        id
+    }
+
+    // ----- structure --------------------------------------------------------
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>, sort: Sort, kind: InputKind) -> InputId {
+        let id = InputId(u32::try_from(self.inputs.len()).expect("input overflow"));
+        self.inputs.push(InputInfo { name: name.into(), sort, kind });
+        id
+    }
+
+    /// The signal carrying the value of `input`.
+    pub fn input_signal(&mut self, input: InputId) -> SignalId {
+        let sort = self.inputs[input.index()].sort;
+        self.push(SignalDef::Input(input), sort)
+    }
+
+    /// Declares a latch. Its next-state function must be set with
+    /// [`Design::set_next`] before simulation.
+    pub fn latch(&mut self, name: impl Into<String>, sort: Sort) -> LatchId {
+        let id = LatchId(u32::try_from(self.latches.len()).expect("latch overflow"));
+        self.latches.push(LatchInfo { name: name.into(), sort, next: None });
+        id
+    }
+
+    /// The signal carrying the current state of `latch`.
+    pub fn latch_out(&mut self, latch: LatchId) -> SignalId {
+        let sort = self.latches[latch.index()].sort;
+        self.push(SignalDef::LatchOut(latch), sort)
+    }
+
+    /// Sets the next-state function of `latch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal's sort differs from the latch's sort.
+    pub fn set_next(&mut self, latch: LatchId, next: SignalId) {
+        assert_eq!(
+            self.latches[latch.index()].sort,
+            self.sort(next),
+            "latch next-state sort mismatch for `{}`",
+            self.latches[latch.index()].name
+        );
+        self.latches[latch.index()].next = Some(next);
+    }
+
+    /// The name of a latch.
+    pub fn latch_name(&self, latch: LatchId) -> &str {
+        &self.latches[latch.index()].name
+    }
+
+    /// The name of an input.
+    pub fn input_name(&self, input: InputId) -> &str {
+        &self.inputs[input.index()].name
+    }
+
+    /// Iterates over all latch ids.
+    pub fn latch_ids(&self) -> impl Iterator<Item = LatchId> {
+        (0..self.latches.len()).map(|i| LatchId(i as u32))
+    }
+
+    /// Iterates over all input ids.
+    pub fn input_ids(&self) -> impl Iterator<Item = InputId> {
+        (0..self.inputs.len()).map(|i| InputId(i as u32))
+    }
+
+    /// Marks a signal as a named observable output.
+    pub fn mark_output(&mut self, name: impl Into<String>, sig: SignalId) {
+        self.outputs.insert(name.into(), sig);
+    }
+
+    /// Looks up a named output.
+    pub fn output(&self, name: &str) -> Option<SignalId> {
+        self.outputs.get(name).copied()
+    }
+
+    /// Iterates over the named outputs.
+    pub fn outputs(&self) -> impl Iterator<Item = (&str, SignalId)> {
+        self.outputs.iter().map(|(n, &s)| (n.as_str(), s))
+    }
+
+    // ----- combinational constructors ---------------------------------------
+
+    /// A Boolean constant cell.
+    pub fn constant(&mut self, value: bool) -> SignalId {
+        self.push(SignalDef::Const(value), Sort::Bool)
+    }
+
+    /// Logical negation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not Boolean.
+    pub fn not(&mut self, a: SignalId) -> SignalId {
+        assert_eq!(self.sort(a), Sort::Bool, "not: operand must be Boolean");
+        self.push(SignalDef::Not(a), Sort::Bool)
+    }
+
+    /// N-ary conjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not Boolean.
+    pub fn and(&mut self, ops: impl IntoIterator<Item = SignalId>) -> SignalId {
+        let ops: Vec<SignalId> = ops.into_iter().collect();
+        for &o in &ops {
+            assert_eq!(self.sort(o), Sort::Bool, "and: operand must be Boolean");
+        }
+        self.push(SignalDef::And(ops), Sort::Bool)
+    }
+
+    /// N-ary disjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not Boolean.
+    pub fn or(&mut self, ops: impl IntoIterator<Item = SignalId>) -> SignalId {
+        let ops: Vec<SignalId> = ops.into_iter().collect();
+        for &o in &ops {
+            assert_eq!(self.sort(o), Sort::Bool, "or: operand must be Boolean");
+        }
+        self.push(SignalDef::Or(ops), Sort::Bool)
+    }
+
+    /// Binary conjunction.
+    pub fn and2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.and([a, b])
+    }
+
+    /// Binary disjunction.
+    pub fn or2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.or([a, b])
+    }
+
+    /// Two-way multiplexer `sel ? a : b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sel` is not Boolean or the branch sorts differ.
+    pub fn mux(&mut self, sel: SignalId, a: SignalId, b: SignalId) -> SignalId {
+        assert_eq!(self.sort(sel), Sort::Bool, "mux: selector must be Boolean");
+        let sort = self.sort(a);
+        assert_eq!(sort, self.sort(b), "mux: branch sorts must agree");
+        self.push(SignalDef::Mux(sel, a, b), sort)
+    }
+
+    /// Equality comparator over terms or memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand sorts differ or are Boolean.
+    pub fn eq_cmp(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let sort = self.sort(a);
+        assert_eq!(sort, self.sort(b), "eq: operand sorts must agree");
+        assert_ne!(sort, Sort::Bool, "eq: operands must be terms or memories");
+        self.push(SignalDef::EqCmp(a, b), Sort::Bool)
+    }
+
+    /// An uninterpreted function block producing a term.
+    pub fn uf(&mut self, name: impl Into<String>, args: Vec<SignalId>) -> SignalId {
+        self.push(SignalDef::Uf(name.into(), args, Sort::Term), Sort::Term)
+    }
+
+    /// An uninterpreted predicate block producing a Boolean.
+    pub fn up(&mut self, name: impl Into<String>, args: Vec<SignalId>) -> SignalId {
+        self.push(SignalDef::Uf(name.into(), args, Sort::Bool), Sort::Bool)
+    }
+
+    /// A memory read port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand sorts are not (memory, term).
+    pub fn read(&mut self, mem: SignalId, addr: SignalId) -> SignalId {
+        assert_eq!(self.sort(mem), Sort::Mem, "read: first operand must be a memory");
+        assert_eq!(self.sort(addr), Sort::Term, "read: address must be a term");
+        self.push(SignalDef::Read(mem, addr), Sort::Term)
+    }
+
+    /// A memory write port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand sorts are not (memory, term, term).
+    pub fn write(&mut self, mem: SignalId, addr: SignalId, data: SignalId) -> SignalId {
+        assert_eq!(self.sort(mem), Sort::Mem, "write: first operand must be a memory");
+        assert_eq!(self.sort(addr), Sort::Term, "write: address must be a term");
+        assert_eq!(self.sort(data), Sort::Term, "write: data must be a term");
+        self.push(SignalDef::Write(mem, addr, data), Sort::Mem)
+    }
+
+    /// Visits the children (fan-in) of a signal definition.
+    pub fn for_each_child(&self, sig: SignalId, mut f: impl FnMut(SignalId)) {
+        match self.def(sig) {
+            SignalDef::Input(_) | SignalDef::LatchOut(_) | SignalDef::Const(_) => {}
+            SignalDef::Not(a) => f(*a),
+            SignalDef::And(xs) | SignalDef::Or(xs) => xs.iter().copied().for_each(&mut f),
+            SignalDef::Mux(s, a, b) => {
+                f(*s);
+                f(*a);
+                f(*b);
+            }
+            SignalDef::EqCmp(a, b) | SignalDef::Read(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            SignalDef::Uf(_, args, _) => args.iter().copied().for_each(&mut f),
+            SignalDef::Write(m, a, d) => {
+                f(*m);
+                f(*a);
+                f(*d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shares_structurally_equal_cells() {
+        let mut d = Design::new("t");
+        let i = d.input("x", Sort::Bool, InputKind::FreshPerCycle);
+        let x = d.input_signal(i);
+        let n1 = d.not(x);
+        let n2 = d.not(x);
+        assert_eq!(n1, n2);
+        assert_eq!(d.num_signals(), 2);
+    }
+
+    #[test]
+    fn latch_roundtrip() {
+        let mut d = Design::new("t");
+        let l = d.latch("pc", Sort::Term);
+        let out = d.latch_out(l);
+        let next = d.uf("NextPC", vec![out]);
+        d.set_next(l, next);
+        assert_eq!(d.latch_name(l), "pc");
+        assert_eq!(d.sort(out), Sort::Term);
+        assert_eq!(d.num_latches(), 1);
+    }
+
+    #[test]
+    fn outputs_are_named() {
+        let mut d = Design::new("t");
+        let c = d.constant(true);
+        d.mark_output("done", c);
+        assert_eq!(d.output("done"), Some(c));
+        assert_eq!(d.output("missing"), None);
+        assert_eq!(d.outputs().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mux: selector must be Boolean")]
+    fn mux_sort_checked() {
+        let mut d = Design::new("t");
+        let l = d.latch("a", Sort::Term);
+        let a = d.latch_out(l);
+        let _ = d.mux(a, a, a);
+    }
+}

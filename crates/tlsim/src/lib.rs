@@ -1,0 +1,56 @@
+//! Term-level symbolic simulation, in the style of Velev's TLSim.
+//!
+//! A [`Design`] is a synchronous word-level netlist: combinational cells
+//! (Boolean gates, multiplexers, term equality, uninterpreted function
+//! blocks, memory read/write ports) connecting *inputs* and *latches*.
+//! A [`Simulator`] holds a symbolic state — an EUFM expression per latch —
+//! and advances it one clock cycle at a time, producing next-state
+//! expressions in a shared [`eufm::Context`].
+//!
+//! Two properties matter for the reproduction:
+//!
+//! - **Symbolic inputs.** Inputs may be fresh symbolic constants each cycle
+//!   (how the non-deterministic `NDFetch`/`NDExecute` control abstractions
+//!   of the paper are driven), a single symbolic constant (read-only
+//!   instruction memory), or concrete/controlled values (the `flush`
+//!   signal).
+//! - **Cone-of-influence evaluation.** Evaluation is demand-driven and
+//!   short-circuits on concrete multiplexer selectors, so a flush step in
+//!   which a single computation slice is active only evaluates that slice's
+//!   cone — the optimization Sect. 7 of the paper describes for simulating
+//!   processors with hundreds of reorder-buffer entries. Set
+//!   [`EvalStrategy::Eager`] to measure the difference (an ablation bench).
+//!
+//! # Example
+//!
+//! ```
+//! use eufm::Context;
+//! use tlsim::{Design, EvalStrategy, InputKind, Simulator};
+//!
+//! // A one-latch accumulator: acc' = f(acc, in)
+//! let mut d = Design::new("acc_machine");
+//! let input = d.input("in", eufm::Sort::Term, InputKind::FreshPerCycle);
+//! let acc = d.latch("acc", eufm::Sort::Term);
+//! let acc_out = d.latch_out(acc);
+//! let in_sig = d.input_signal(input);
+//! let next = d.uf("f", vec![acc_out, in_sig]);
+//! d.set_next(acc, next);
+//!
+//! let mut ctx = Context::new();
+//! let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy)?;
+//! sim.step(&mut ctx, &Default::default())?;
+//! sim.step(&mut ctx, &Default::default())?;
+//! // after two steps: f(f(acc, in@0), in@1)
+//! let state = sim.latch_state(acc);
+//! assert_eq!(ctx.dag_size(&[state]), 5);
+//! # Ok::<(), tlsim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ir;
+mod sim;
+
+pub use ir::{Design, InputId, InputKind, LatchId, SignalDef, SignalId};
+pub use sim::{EvalStrategy, SimError, Simulator, StepStats};

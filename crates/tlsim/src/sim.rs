@@ -1,0 +1,613 @@
+//! The symbolic simulation engine.
+
+use std::collections::HashMap;
+
+use eufm::{Context, ExprId};
+#[cfg(test)]
+use eufm::Sort;
+
+use crate::ir::{Design, InputId, InputKind, LatchId, SignalDef, SignalId};
+
+/// How combinational logic is evaluated each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Demand-driven with short-circuiting on concrete multiplexer
+    /// selectors and absorbing gate inputs: only the cone of influence of
+    /// dynamically active logic is evaluated. This is the paper's
+    /// event-pruning optimization and the default.
+    #[default]
+    Lazy,
+    /// Every reachable cell is evaluated every cycle (ablation baseline).
+    Eager,
+}
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A latch has no next-state function.
+    MissingNext(String),
+    /// A controlled input was not driven for this step.
+    MissingControl(String),
+    /// The netlist contains a combinational cycle through the named signal.
+    CombinationalCycle(usize),
+    /// A provided override had the wrong sort.
+    SortMismatch(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MissingNext(name) => {
+                write!(f, "latch `{name}` has no next-state function")
+            }
+            SimError::MissingControl(name) => {
+                write!(f, "controlled input `{name}` was not driven this cycle")
+            }
+            SimError::CombinationalCycle(sig) => {
+                write!(f, "combinational cycle through signal #{sig}")
+            }
+            SimError::SortMismatch(name) => {
+                write!(f, "override for input `{name}` has the wrong sort")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-step evaluation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// The cycle number that was simulated (0-based).
+    pub cycle: u64,
+    /// Number of cells evaluated (memo misses) — the "events" of the
+    /// event-driven engine.
+    pub events: usize,
+}
+
+/// A symbolic simulation of a [`Design`].
+///
+/// The simulator holds one EUFM expression per latch. [`Simulator::step`]
+/// computes every latch's next-state expression and the design's marked
+/// outputs, then commits the new state.
+#[derive(Debug)]
+pub struct Simulator<'d> {
+    design: &'d Design,
+    state: Vec<ExprId>,
+    symbolic_inputs: Vec<Option<ExprId>>,
+    outputs: HashMap<String, ExprId>,
+    cycle: u64,
+    strategy: EvalStrategy,
+    total_events: u64,
+}
+
+impl<'d> Simulator<'d> {
+    /// Creates a simulator with a fresh symbolic initial state: each latch
+    /// starts as a variable named after the latch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingNext`] if any latch's next-state function
+    /// is unset.
+    pub fn new(
+        design: &'d Design,
+        ctx: &mut Context,
+        strategy: EvalStrategy,
+    ) -> Result<Self, SimError> {
+        for info in &design.latches {
+            if info.next.is_none() {
+                return Err(SimError::MissingNext(info.name.clone()));
+            }
+        }
+        let state = design
+            .latches
+            .iter()
+            .map(|info| ctx.var(&info.name, info.sort))
+            .collect();
+        Ok(Simulator {
+            design,
+            state,
+            symbolic_inputs: vec![None; design.num_inputs()],
+            outputs: HashMap::new(),
+            cycle: 0,
+            strategy,
+            total_events: 0,
+        })
+    }
+
+    /// The design being simulated.
+    pub fn design(&self) -> &Design {
+        self.design
+    }
+
+    /// The current cycle count (number of committed steps).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total cells evaluated across all steps so far.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// The current symbolic state of `latch`.
+    pub fn latch_state(&self, latch: LatchId) -> ExprId {
+        self.state[latch.index()]
+    }
+
+    /// Overrides the symbolic state of `latch` (e.g. to share an initial
+    /// state between an implementation and a specification machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression's sort differs from the latch's sort.
+    pub fn set_state(&mut self, ctx: &Context, latch: LatchId, value: ExprId) {
+        let want = self.design.latches[latch.index()].sort;
+        assert_eq!(ctx.sort(value), want, "set_state: sort mismatch");
+        self.state[latch.index()] = value;
+    }
+
+    /// The value a marked output had during the most recent step.
+    pub fn output(&self, name: &str) -> Option<ExprId> {
+        self.outputs.get(name).copied()
+    }
+
+    /// Advances the design one clock cycle.
+    ///
+    /// `controls` drives [`InputKind::Controlled`] inputs and may override
+    /// any other input for this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a controlled input is missing, an override has
+    /// the wrong sort, or the netlist has a combinational cycle.
+    pub fn step(
+        &mut self,
+        ctx: &mut Context,
+        controls: &HashMap<InputId, ExprId>,
+    ) -> Result<StepStats, SimError> {
+        // Resolve input values for this cycle.
+        let mut input_values: Vec<ExprId> = Vec::with_capacity(self.design.num_inputs());
+        for (idx, info) in self.design.inputs.iter().enumerate() {
+            let id = InputId(idx as u32);
+            let value = if let Some(&v) = controls.get(&id) {
+                if ctx.sort(v) != info.sort {
+                    return Err(SimError::SortMismatch(info.name.clone()));
+                }
+                v
+            } else {
+                match info.kind {
+                    InputKind::FreshPerCycle => {
+                        ctx.var(&format!("{}@{}", info.name, self.cycle), info.sort)
+                    }
+                    InputKind::Symbolic => {
+                        let slot = &mut self.symbolic_inputs[idx];
+                        match *slot {
+                            Some(v) => v,
+                            None => {
+                                let v = ctx.var(&info.name, info.sort);
+                                *slot = Some(v);
+                                v
+                            }
+                        }
+                    }
+                    InputKind::Controlled => {
+                        return Err(SimError::MissingControl(info.name.clone()));
+                    }
+                }
+            };
+            input_values.push(value);
+        }
+
+        let mut eval = Eval {
+            design: self.design,
+            state: &self.state,
+            inputs: &input_values,
+            memo: vec![None; self.design.num_signals()],
+            visiting: vec![false; self.design.num_signals()],
+            events: 0,
+        };
+
+        let mut next_state = Vec::with_capacity(self.state.len());
+        if self.strategy == EvalStrategy::Eager {
+            // evaluate every signal reachable from latch next functions and
+            // outputs, in demand order but without short-circuiting
+            for info in &self.design.latches {
+                let next = info.next.expect("validated in new");
+                eval.eval(ctx, next, false)?;
+            }
+            for (_, sig) in self.design.outputs() {
+                eval.eval(ctx, sig, false)?;
+            }
+        }
+        for info in &self.design.latches {
+            let next = info.next.expect("validated in new");
+            next_state.push(eval.eval(ctx, next, true)?);
+        }
+        self.outputs.clear();
+        let output_list: Vec<(String, SignalId)> =
+            self.design.outputs().map(|(n, s)| (n.to_owned(), s)).collect();
+        for (name, sig) in output_list {
+            let v = eval.eval(ctx, sig, true)?;
+            self.outputs.insert(name, v);
+        }
+
+        let stats = StepStats { cycle: self.cycle, events: eval.events };
+        self.total_events += eval.events as u64;
+        self.state = next_state;
+        self.cycle += 1;
+        Ok(stats)
+    }
+}
+
+struct Eval<'a> {
+    design: &'a Design,
+    state: &'a [ExprId],
+    inputs: &'a [ExprId],
+    memo: Vec<Option<ExprId>>,
+    visiting: Vec<bool>,
+    events: usize,
+}
+
+impl Eval<'_> {
+    /// Evaluates a signal to an EUFM expression. With `lazy` set,
+    /// multiplexers with concrete selectors evaluate only the taken branch
+    /// and gates stop at absorbing constants.
+    fn eval(&mut self, ctx: &mut Context, sig: SignalId, lazy: bool) -> Result<ExprId, SimError> {
+        if let Some(v) = self.memo[sig.index()] {
+            return Ok(v);
+        }
+        if self.visiting[sig.index()] {
+            return Err(SimError::CombinationalCycle(sig.index()));
+        }
+        self.visiting[sig.index()] = true;
+        self.events += 1;
+        let value = match self.design.def(sig).clone() {
+            SignalDef::Input(i) => self.inputs[i.index()],
+            SignalDef::LatchOut(l) => self.state[l.index()],
+            SignalDef::Const(b) => ctx.bool_const(b),
+            SignalDef::Not(a) => {
+                let va = self.eval(ctx, a, lazy)?;
+                ctx.not(va)
+            }
+            SignalDef::And(xs) => {
+                let mut vals = Vec::with_capacity(xs.len());
+                let mut absorbed = false;
+                for x in xs {
+                    let v = self.eval(ctx, x, lazy)?;
+                    if lazy && ctx.is_false(v) {
+                        absorbed = true;
+                        vals.clear();
+                        vals.push(v);
+                        break;
+                    }
+                    vals.push(v);
+                }
+                let _ = absorbed;
+                ctx.and(vals)
+            }
+            SignalDef::Or(xs) => {
+                let mut vals = Vec::with_capacity(xs.len());
+                for x in xs {
+                    let v = self.eval(ctx, x, lazy)?;
+                    if lazy && ctx.is_true(v) {
+                        vals.clear();
+                        vals.push(v);
+                        break;
+                    }
+                    vals.push(v);
+                }
+                ctx.or(vals)
+            }
+            SignalDef::Mux(s, a, b) => {
+                let vs = self.eval(ctx, s, lazy)?;
+                if lazy && ctx.is_true(vs) {
+                    self.eval(ctx, a, lazy)?
+                } else if lazy && ctx.is_false(vs) {
+                    self.eval(ctx, b, lazy)?
+                } else {
+                    let va = self.eval(ctx, a, lazy)?;
+                    let vb = self.eval(ctx, b, lazy)?;
+                    ctx.ite(vs, va, vb)
+                }
+            }
+            SignalDef::EqCmp(a, b) => {
+                let va = self.eval(ctx, a, lazy)?;
+                let vb = self.eval(ctx, b, lazy)?;
+                ctx.eq(va, vb)
+            }
+            SignalDef::Uf(name, args, sort) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(ctx, a, lazy)?);
+                }
+                ctx.apply(&name, vals, sort)
+            }
+            SignalDef::Read(m, a) => {
+                let vm = self.eval(ctx, m, lazy)?;
+                let va = self.eval(ctx, a, lazy)?;
+                ctx.read(vm, va)
+            }
+            SignalDef::Write(m, a, d) => {
+                let vm = self.eval(ctx, m, lazy)?;
+                let va = self.eval(ctx, a, lazy)?;
+                let vd = self.eval(ctx, d, lazy)?;
+                ctx.write(vm, va, vd)
+            }
+        };
+        self.visiting[sig.index()] = false;
+        self.memo[sig.index()] = Some(value);
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::InputKind;
+
+    /// A two-latch toggler with a controlled input.
+    fn toggle_design() -> Design {
+        let mut d = Design::new("toggle");
+        let en = d.input("en", Sort::Bool, InputKind::Controlled);
+        let l = d.latch("q", Sort::Bool);
+        let q = d.latch_out(l);
+        let nq = d.not(q);
+        let en_sig = d.input_signal(en);
+        let next = d.mux(en_sig, nq, q);
+        d.set_next(l, next);
+        d.mark_output("q_now", q);
+        d
+    }
+
+    #[test]
+    fn controlled_input_required() {
+        let d = toggle_design();
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        let err = sim.step(&mut ctx, &HashMap::new()).unwrap_err();
+        assert_eq!(err, SimError::MissingControl("en".to_owned()));
+    }
+
+    #[test]
+    fn concrete_toggle() {
+        let d = toggle_design();
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        let en = d.input_ids().next().expect("input");
+        let q0 = sim.latch_state(d.latch_ids().next().expect("latch"));
+        let mut controls = HashMap::new();
+        controls.insert(en, Context::TRUE);
+        sim.step(&mut ctx, &controls).expect("step");
+        let l = d.latch_ids().next().expect("latch");
+        let expected = ctx.not(q0);
+        assert_eq!(sim.latch_state(l), expected);
+        sim.step(&mut ctx, &controls).expect("step");
+        assert_eq!(sim.latch_state(l), q0);
+        assert_eq!(sim.output("q_now"), Some(expected));
+        assert_eq!(sim.cycle(), 2);
+    }
+
+    #[test]
+    fn fresh_inputs_get_cycle_stamped_names() {
+        let mut d = Design::new("acc");
+        let i = d.input("in", Sort::Term, InputKind::FreshPerCycle);
+        let l = d.latch("acc", Sort::Term);
+        let acc = d.latch_out(l);
+        let in_sig = d.input_signal(i);
+        let next = d.uf("f", vec![acc, in_sig]);
+        d.set_next(l, next);
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        let acc0 = ctx.tvar("acc");
+        let in0 = ctx.tvar("in@0");
+        let in1 = ctx.tvar("in@1");
+        let f0 = ctx.uf("f", vec![acc0, in0]);
+        let f1 = ctx.uf("f", vec![f0, in1]);
+        assert_eq!(sim.latch_state(l), f1);
+    }
+
+    #[test]
+    fn lazy_skips_inactive_mux_branches() {
+        // next = sel ? expensive : cheap, with sel driven concretely false
+        let mut d = Design::new("gated");
+        let sel = d.input("sel", Sort::Bool, InputKind::Controlled);
+        let l = d.latch("r", Sort::Term);
+        let r = d.latch_out(l);
+        // "expensive" cone: chain of 50 UF applications
+        let mut expensive = r;
+        for _ in 0..50 {
+            expensive = d.uf("g", vec![expensive]);
+        }
+        let sel_sig = d.input_signal(sel);
+        let next = d.mux(sel_sig, expensive, r);
+        d.set_next(l, next);
+
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        let mut controls = HashMap::new();
+        controls.insert(sel, Context::FALSE);
+        let stats = sim.step(&mut ctx, &controls).expect("step");
+        assert!(stats.events < 10, "lazy evaluation must skip the UF chain");
+
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Eager).expect("sim");
+        let stats = sim.step(&mut ctx, &controls).expect("step");
+        assert!(stats.events > 50, "eager evaluation visits the whole cone");
+    }
+
+    #[test]
+    fn symbolic_selector_builds_ite() {
+        let d = toggle_design();
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        let en = d.input_ids().next().expect("input");
+        let sym = ctx.pvar("en_sym");
+        let mut controls = HashMap::new();
+        controls.insert(en, sym);
+        sim.step(&mut ctx, &controls).expect("step");
+        let l = d.latch_ids().next().expect("latch");
+        let q0 = ctx.pvar("q");
+        let nq0 = ctx.not(q0);
+        let expected = ctx.ite(sym, nq0, q0);
+        assert_eq!(sim.latch_state(l), expected);
+    }
+
+    #[test]
+    fn shared_state_between_machines() {
+        let d = toggle_design();
+        let mut ctx = Context::new();
+        let mut sim1 = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        let mut sim2 = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        let l = d.latch_ids().next().expect("latch");
+        // share initial state, then drive identically: states stay equal
+        let shared = ctx.pvar("shared_q");
+        sim1.set_state(&ctx, l, shared);
+        sim2.set_state(&ctx, l, shared);
+        let en = d.input_ids().next().expect("input");
+        let mut controls = HashMap::new();
+        controls.insert(en, Context::TRUE);
+        sim1.step(&mut ctx, &controls).expect("step");
+        sim2.step(&mut ctx, &controls).expect("step");
+        assert_eq!(sim1.latch_state(l), sim2.latch_state(l));
+    }
+
+    #[test]
+    fn sort_mismatch_in_override_is_reported() {
+        let d = toggle_design();
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        let en = d.input_ids().next().expect("input");
+        let wrong = ctx.tvar("not_a_bool");
+        let mut controls = HashMap::new();
+        controls.insert(en, wrong);
+        let err = sim.step(&mut ctx, &controls).unwrap_err();
+        assert_eq!(err, SimError::SortMismatch("en".to_owned()));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::ir::InputKind;
+    use eufm::Sort;
+
+    #[test]
+    fn combinational_cycle_is_detected() {
+        // A latch whose next function feeds through a signal that depends
+        // on itself via two NOT gates cannot be built directly (signals
+        // are created before use), so force a cycle through a mux pair by
+        // hand-crafting the defs: not possible through the safe builder.
+        // Instead check that a *self-feeding* design through latches is
+        // fine (latches break cycles) — the error path is unreachable via
+        // the safe API, which is itself worth pinning down.
+        let mut d = Design::new("latch_cycle");
+        let l = d.latch("q", Sort::Bool);
+        let q = d.latch_out(l);
+        let nq = d.not(q);
+        d.set_next(l, nq);
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        let q0 = ctx.pvar("q");
+        let expected = ctx.not(q0);
+        assert_eq!(sim.latch_state(d.latch_ids().next().expect("latch")), expected);
+    }
+
+    #[test]
+    fn memory_latch_accumulates_writes() {
+        let mut d = Design::new("mem_machine");
+        let addr_in = d.input("addr", Sort::Term, InputKind::FreshPerCycle);
+        let data_in = d.input("data", Sort::Term, InputKind::FreshPerCycle);
+        let mem = d.latch("mem", Sort::Mem);
+        let m = d.latch_out(mem);
+        let a = d.input_signal(addr_in);
+        let v = d.input_signal(data_in);
+        let next = d.write(m, a, v);
+        d.set_next(mem, next);
+        let read_back = d.read(m, a);
+        d.mark_output("read_back", read_back);
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        let m0 = ctx.mvar("mem");
+        let a0 = ctx.tvar("addr@0");
+        let d0 = ctx.tvar("data@0");
+        let a1 = ctx.tvar("addr@1");
+        let d1 = ctx.tvar("data@1");
+        let w0 = ctx.write(m0, a0, d0);
+        let w1 = ctx.write(w0, a1, d1);
+        let l = d.latch_ids().next().expect("latch");
+        assert_eq!(sim.latch_state(l), w1);
+        // output captured the read during the *second* cycle
+        let expected = ctx.read(w0, a1);
+        assert_eq!(sim.output("read_back"), Some(expected));
+    }
+
+    #[test]
+    fn symbolic_inputs_are_shared_across_cycles() {
+        let mut d = Design::new("rom_machine");
+        let rom = d.input("rom", Sort::Mem, InputKind::Symbolic);
+        let pc = d.latch("pc", Sort::Term);
+        let pc_out = d.latch_out(pc);
+        let rom_sig = d.input_signal(rom);
+        let insn = d.read(rom_sig, pc_out);
+        let next = d.uf("Next", vec![insn]);
+        d.set_next(pc, next);
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        // both cycles read the SAME rom variable
+        let rom_var = ctx.mvar("rom");
+        let pc0 = ctx.tvar("pc");
+        let r0 = ctx.read(rom_var, pc0);
+        let pc1 = ctx.uf("Next", vec![r0]);
+        let r1 = ctx.read(rom_var, pc1);
+        let pc2 = ctx.uf("Next", vec![r1]);
+        let l = d.latch_ids().next().expect("latch");
+        assert_eq!(sim.latch_state(l), pc2);
+    }
+
+    #[test]
+    fn eager_and_lazy_produce_identical_expressions() {
+        let mut d = Design::new("both");
+        let sel = d.input("sel", Sort::Bool, InputKind::FreshPerCycle);
+        let l = d.latch("r", Sort::Term);
+        let r = d.latch_out(l);
+        let f = d.uf("f", vec![r]);
+        let g = d.uf("g", vec![r]);
+        let sel_sig = d.input_signal(sel);
+        let next = d.mux(sel_sig, f, g);
+        d.set_next(l, next);
+        let run = |strategy| {
+            let mut ctx = Context::new();
+            let mut sim = Simulator::new(&d, &mut ctx, strategy).expect("sim");
+            sim.step(&mut ctx, &HashMap::new()).expect("step");
+            let l = d.latch_ids().next().expect("latch");
+            eufm::print::to_sexpr(&ctx, sim.latch_state(l))
+        };
+        assert_eq!(run(EvalStrategy::Lazy), run(EvalStrategy::Eager));
+    }
+
+    #[test]
+    fn total_events_accumulate() {
+        let d = {
+            let mut d = Design::new("acc");
+            let l = d.latch("q", Sort::Bool);
+            let q = d.latch_out(l);
+            let nq = d.not(q);
+            d.set_next(l, nq);
+            d
+        };
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(&d, &mut ctx, EvalStrategy::Lazy).expect("sim");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        let after_one = sim.total_events();
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        assert!(sim.total_events() > after_one);
+    }
+}

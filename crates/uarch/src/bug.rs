@@ -1,0 +1,145 @@
+//! Seeded design defects for the buggy-variant experiments.
+
+use crate::{Config, UarchError};
+
+/// Which data operand of an instruction a bug affects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The first source operand.
+    Src1,
+    /// The second source operand.
+    Src2,
+}
+
+/// A seeded defect injected into the generated implementation processor.
+///
+/// The paper's buggy variant (Sect. 7.2) is a bug "in the forwarding logic
+/// for one of the data operands of the 72nd instruction in the reorder
+/// buffer" of a 128-entry, width-4 design; [`BugSpec::ForwardingIgnoresValidResult`]
+/// with `slice: 72` reproduces it. The other variants exercise different
+/// parts of the rewriting rules in the test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugSpec {
+    /// The forwarding logic for the given operand of entry `slice` treats a
+    /// matching preceding instruction's result as available without
+    /// checking its `ValidResult` bit — so a stale `Result` value can be
+    /// forwarded.
+    ForwardingIgnoresValidResult {
+        /// 1-based reorder-buffer entry whose forwarding logic is broken.
+        slice: usize,
+        /// Which operand's forwarding is broken.
+        operand: Operand,
+    },
+    /// The forwarding logic for the given operand of entry `slice` skips
+    /// the nearest preceding entry, so it can forward from the wrong
+    /// (older) producer when two preceding instructions write the register.
+    ForwardingSkipsNearest {
+        /// 1-based reorder-buffer entry whose forwarding logic is broken.
+        slice: usize,
+        /// Which operand's forwarding is broken.
+        operand: Operand,
+    },
+    /// Entry `slice` (within the retire width) retires without checking
+    /// that all older instructions retire in the same cycle, breaking
+    /// in-order retirement.
+    RetireOutOfOrder {
+        /// 1-based reorder-buffer entry whose retire condition is broken.
+        slice: usize,
+    },
+    /// Entry `slice`'s retirement writes the register file even when the
+    /// instruction's `Valid` bit is false.
+    RetireIgnoresValid {
+        /// 1-based reorder-buffer entry whose retire write is broken.
+        slice: usize,
+    },
+    /// The completion function for entry `slice` writes the stored `Result`
+    /// field even when `ValidResult` is false (instead of computing the ALU
+    /// result).
+    CompletionUsesStaleResult {
+        /// 1-based reorder-buffer entry whose completion function is broken.
+        slice: usize,
+    },
+}
+
+impl BugSpec {
+    /// The paper's buggy variant: forwarding bug in one data operand of the
+    /// 72nd instruction (intended for the 128-entry, width-4 design).
+    pub fn paper_variant() -> Self {
+        BugSpec::ForwardingIgnoresValidResult { slice: 72, operand: Operand::Src2 }
+    }
+
+    /// The 1-based slice the bug affects.
+    pub fn slice(&self) -> usize {
+        match *self {
+            BugSpec::ForwardingIgnoresValidResult { slice, .. }
+            | BugSpec::ForwardingSkipsNearest { slice, .. }
+            | BugSpec::RetireOutOfOrder { slice }
+            | BugSpec::RetireIgnoresValid { slice }
+            | BugSpec::CompletionUsesStaleResult { slice } => slice,
+        }
+    }
+
+    /// Validates the bug against a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UarchError::InvalidBug`] if the slice is out of range for
+    /// the configuration, below the minimum the defect needs to be
+    /// reachable (forwarding bugs need a preceding entry), or outside the
+    /// retire width for retire bugs.
+    pub fn validate(&self, config: &Config) -> Result<(), UarchError> {
+        let n = config.rob_size();
+        let k = config.issue_width();
+        let slice = self.slice();
+        if slice == 0 || slice > n {
+            return Err(UarchError::InvalidBug {
+                message: format!("slice {slice} out of range 1..={n}"),
+            });
+        }
+        match self {
+            BugSpec::ForwardingIgnoresValidResult { .. } if slice < 2 => {
+                Err(UarchError::InvalidBug {
+                    message: "forwarding bugs need a preceding entry (slice >= 2)".to_owned(),
+                })
+            }
+            BugSpec::ForwardingSkipsNearest { .. } if slice < 2 => Err(UarchError::InvalidBug {
+                message: "forwarding bugs need a preceding entry (slice >= 2)".to_owned(),
+            }),
+            BugSpec::RetireOutOfOrder { .. } if slice < 2 || slice > k => {
+                Err(UarchError::InvalidBug {
+                    message: format!("retire bugs need 2 <= slice <= retire width {k}"),
+                })
+            }
+            BugSpec::RetireIgnoresValid { .. } if slice > k => Err(UarchError::InvalidBug {
+                message: format!("retire bugs need slice <= retire width {k}"),
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_variant_targets_slice_72() {
+        let bug = BugSpec::paper_variant();
+        assert_eq!(bug.slice(), 72);
+        let config = Config::new(128, 4).expect("config");
+        bug.validate(&config).expect("valid for the paper's configuration");
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        let config = Config::new(4, 2).expect("config");
+        assert!(BugSpec::paper_variant().validate(&config).is_err());
+        assert!(BugSpec::RetireOutOfOrder { slice: 3 }.validate(&config).is_err());
+        assert!(BugSpec::RetireOutOfOrder { slice: 2 }.validate(&config).is_ok());
+        assert!(BugSpec::ForwardingIgnoresValidResult { slice: 1, operand: Operand::Src1 }
+            .validate(&config)
+            .is_err());
+        assert!(BugSpec::CompletionUsesStaleResult { slice: 4 }.validate(&config).is_ok());
+        assert!(BugSpec::CompletionUsesStaleResult { slice: 5 }.validate(&config).is_err());
+    }
+}

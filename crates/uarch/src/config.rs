@@ -1,0 +1,84 @@
+//! Processor configuration.
+
+use crate::UarchError;
+
+/// The parameters of an out-of-order processor instance: reorder-buffer
+/// size and issue/retire width.
+///
+/// Following the paper, the issue width and retire width are equal (the
+/// method does not depend on this) and the width may not exceed the
+/// reorder-buffer size — those cells are dashes in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Config {
+    rob_size: usize,
+    issue_width: usize,
+}
+
+impl Config {
+    /// Creates a configuration with `rob_size` reorder-buffer entries and
+    /// issue/retire width `issue_width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UarchError::InvalidConfig`] if either parameter is zero or
+    /// the width exceeds the size.
+    pub fn new(rob_size: usize, issue_width: usize) -> Result<Self, UarchError> {
+        if rob_size == 0 || issue_width == 0 {
+            return Err(UarchError::InvalidConfig {
+                message: "rob_size and issue_width must be positive".to_owned(),
+            });
+        }
+        if issue_width > rob_size {
+            return Err(UarchError::InvalidConfig {
+                message: format!(
+                    "issue width {issue_width} exceeds reorder buffer size {rob_size}"
+                ),
+            });
+        }
+        Ok(Config { rob_size, issue_width })
+    }
+
+    /// The number of reorder-buffer entries `N`.
+    pub fn rob_size(&self) -> usize {
+        self.rob_size
+    }
+
+    /// The issue/retire width `k`.
+    pub fn issue_width(&self) -> usize {
+        self.issue_width
+    }
+
+    /// The total number of entry latches in the abstract model: `N + k`
+    /// (the extra `k` accept newly fetched instructions).
+    pub fn total_entries(&self) -> usize {
+        self.rob_size + self.issue_width
+    }
+}
+
+impl std::fmt::Display for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rob{}xw{}", self.rob_size, self.issue_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_configs() {
+        let c = Config::new(8, 4).expect("valid");
+        assert_eq!(c.rob_size(), 8);
+        assert_eq!(c.issue_width(), 4);
+        assert_eq!(c.total_entries(), 12);
+        assert_eq!(c.to_string(), "rob8xw4");
+        assert!(Config::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(Config::new(0, 1).is_err());
+        assert!(Config::new(1, 0).is_err());
+        assert!(Config::new(2, 4).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Burch–Dill correctness-formula generation.
+//!
+//! The commutative diagram (paper Sect. 1, 5):
+//!
+//! - **implementation side**: one step of regular operation of the
+//!   implementation from symbolic initial state `Q`, followed by the
+//!   abstraction function (flushing by completion functions) —
+//!   yielding `PC_Impl`, `RegFile_Impl`;
+//! - **specification side**: the abstraction function applied directly to
+//!   `Q`, followed by `j` steps of the specification for each
+//!   `j in 0..=k` — yielding `PC_Spec,j`, `RegFile_Spec,j`.
+//!
+//! The processor is correct iff the user-visible state was updated in sync
+//! by 0, 1, ... or `k` instructions:
+//!
+//! ```text
+//! correctness = OR_{j=0..k} ( PC_Impl = PC_Spec,j  &  RegFile_Impl = RegFile_Spec,j )
+//! ```
+
+use std::collections::HashMap;
+
+use eufm::{Context, ExprId};
+use tlsim::{EvalStrategy, Simulator};
+
+use crate::bug::BugSpec;
+use crate::config::Config;
+use crate::ooo::OooProcessor;
+use crate::spec::SpecProcessor;
+use crate::UarchError;
+
+/// The output of correctness-formula generation: the shared expression
+/// context, the formula, and the per-side state expressions (useful to the
+/// rewriting-rule engine and to diagnostics).
+#[derive(Debug)]
+pub struct CorrectnessBundle {
+    /// The expression context holding everything below.
+    pub ctx: Context,
+    /// The EUFM correctness formula; the processor is correct iff it is
+    /// valid.
+    pub formula: ExprId,
+    /// `PC_Impl`: the PC after one regular step plus flushing.
+    pub pc_impl: ExprId,
+    /// `RegFile_Impl`: the Register File after one regular step plus
+    /// flushing.
+    pub rf_impl: ExprId,
+    /// `PC_Spec,j` for `j in 0..=k`.
+    pub pc_spec: Vec<ExprId>,
+    /// `RegFile_Spec,j` for `j in 0..=k`.
+    pub rf_spec: Vec<ExprId>,
+    /// Simulation statistics.
+    pub stats: GenStats,
+}
+
+/// Statistics from symbolic simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Netlist cells in the implementation design.
+    pub impl_cells: usize,
+    /// Total evaluation events across all implementation-side cycles.
+    pub impl_events: u64,
+    /// Total evaluation events across all specification-side cycles
+    /// (flushing of the initial state plus the spec machine).
+    pub spec_events: u64,
+    /// Distinct EUFM nodes allocated by generation.
+    pub ctx_nodes: usize,
+}
+
+/// Generates the correctness formula for a bug-free processor with lazy
+/// (cone-of-influence) evaluation.
+///
+/// # Errors
+///
+/// Propagates simulation failures as [`UarchError::Sim`].
+pub fn generate(config: &Config) -> Result<CorrectnessBundle, UarchError> {
+    generate_with(config, None, EvalStrategy::Lazy)
+}
+
+/// Generates the correctness formula with an optional seeded defect and an
+/// explicit evaluation strategy.
+///
+/// # Errors
+///
+/// Returns [`UarchError::InvalidBug`] for an ill-fitting bug specification
+/// and propagates simulation failures as [`UarchError::Sim`].
+pub fn generate_with(
+    config: &Config,
+    bug: Option<BugSpec>,
+    strategy: EvalStrategy,
+) -> Result<CorrectnessBundle, UarchError> {
+    let proc = OooProcessor::build_with_bug(config, bug)?;
+    let spec = SpecProcessor::build();
+    let mut ctx = Context::new();
+    let total = config.total_entries();
+    let k = config.issue_width();
+
+    // --- implementation side: regular step, then flush -----------------------
+    let mut impl_sim = Simulator::new(proc.design(), &mut ctx, strategy)?;
+    proc.init_empty_new_entries(&mut impl_sim, &ctx);
+    impl_sim.step(&mut ctx, &proc.regular_controls())?;
+    for slice in 1..=total {
+        impl_sim.step(&mut ctx, &proc.flush_controls(slice))?;
+    }
+    let pc_impl = impl_sim.latch_state(proc.pc());
+    let rf_impl = impl_sim.latch_state(proc.regfile());
+    let impl_events = impl_sim.total_events();
+
+    // --- specification side: flush the initial state, then run the spec ------
+    let mut abs_sim = Simulator::new(proc.design(), &mut ctx, strategy)?;
+    proc.init_empty_new_entries(&mut abs_sim, &ctx);
+    for slice in 1..=total {
+        abs_sim.step(&mut ctx, &proc.flush_controls(slice))?;
+    }
+    let pc_spec0 = abs_sim.latch_state(proc.pc());
+    let rf_spec0 = abs_sim.latch_state(proc.regfile());
+
+    let mut spec_sim = Simulator::new(spec.design(), &mut ctx, strategy)?;
+    spec_sim.set_state(&ctx, spec.pc(), pc_spec0);
+    spec_sim.set_state(&ctx, spec.regfile(), rf_spec0);
+    let mut pc_spec = vec![pc_spec0];
+    let mut rf_spec = vec![rf_spec0];
+    for _ in 0..k {
+        spec_sim.step(&mut ctx, &HashMap::new())?;
+        pc_spec.push(spec_sim.latch_state(spec.pc()));
+        rf_spec.push(spec_sim.latch_state(spec.regfile()));
+    }
+    let spec_events = abs_sim.total_events() + spec_sim.total_events();
+
+    // --- the correctness disjunction -----------------------------------------
+    let mut disjuncts = Vec::with_capacity(k + 1);
+    for j in 0..=k {
+        let eq_pc = ctx.eq(pc_impl, pc_spec[j]);
+        let eq_rf = ctx.eq(rf_impl, rf_spec[j]);
+        disjuncts.push(ctx.and2(eq_pc, eq_rf));
+    }
+    let formula = ctx.or(disjuncts);
+
+    let stats = GenStats {
+        impl_cells: proc.design().num_signals(),
+        impl_events,
+        spec_events,
+        ctx_nodes: ctx.len(),
+    };
+    Ok(CorrectnessBundle { ctx, formula, pc_impl, rf_impl, pc_spec, rf_spec, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+    use eufm::Sort;
+
+    #[test]
+    fn minimal_config_generates_a_formula() {
+        let config = Config::new(1, 1).expect("config");
+        let bundle = generate(&config).expect("generate");
+        assert_eq!(bundle.ctx.sort(bundle.formula), Sort::Bool);
+        assert_eq!(bundle.pc_spec.len(), 2);
+        assert_eq!(bundle.rf_spec.len(), 2);
+        assert!(bundle.stats.ctx_nodes > 10);
+    }
+
+    #[test]
+    fn pc_structure_matches_the_paper() {
+        // For k = 2: PC_Impl = ITE(fetch_2, N(N(PC)), ITE(fetch_1, N(PC), PC))
+        let config = Config::new(3, 2).expect("config");
+        let bundle = generate(&config).expect("generate");
+        let mut ctx = bundle.ctx;
+        let pc = ctx.tvar(names::PC);
+        let npc = ctx.uf(names::NEXT_PC, vec![pc]);
+        let nnpc = ctx.uf(names::NEXT_PC, vec![npc]);
+        let ndf1 = ctx.pvar(&format!("{}@0", names::nd_fetch(1)));
+        let ndf2 = ctx.pvar(&format!("{}@0", names::nd_fetch(2)));
+        let fetch1 = ndf1;
+        let fetch2 = ctx.and2(ndf1, ndf2);
+        let inner = ctx.ite(fetch1, npc, pc);
+        let expected = ctx.ite(fetch2, nnpc, inner);
+        assert_eq!(bundle.pc_impl, expected);
+        // and the spec side is PC, N(PC), N(N(PC))
+        assert_eq!(bundle.pc_spec, vec![pc, npc, nnpc]);
+    }
+
+    #[test]
+    fn spec_side_register_file_is_an_update_chain() {
+        let config = Config::new(2, 1).expect("config");
+        let bundle = generate(&config).expect("generate");
+        let mut ctx = bundle.ctx;
+        // RegFile_Spec,0 = updates by the 2 initial instructions over RegFile
+        let rf = ctx.mvar(names::REG_FILE);
+        let mut expected = rf;
+        for i in 1..=2 {
+            let v = ctx.pvar(&names::valid(i));
+            let vr = ctx.pvar(&names::valid_result(i));
+            let r = ctx.tvar(&names::result(i));
+            let op = ctx.tvar(&names::opcode(i));
+            let s1 = ctx.tvar(&names::src1(i));
+            let s2 = ctx.tvar(&names::src2(i));
+            let d = ctx.tvar(&names::dest(i));
+            let prev = expected;
+            let r1 = ctx.read(prev, s1);
+            let r2 = ctx.read(prev, s2);
+            let alu = ctx.uf(names::ALU, vec![op, r1, r2]);
+            let data = ctx.ite(vr, r, alu);
+            expected = ctx.update(prev, v, d, data);
+        }
+        assert_eq!(bundle.rf_spec[0], expected);
+    }
+
+    #[test]
+    fn strategies_agree_on_the_formula() {
+        let config = Config::new(2, 2).expect("config");
+        let lazy = generate_with(&config, None, EvalStrategy::Lazy).expect("lazy");
+        let eager = generate_with(&config, None, EvalStrategy::Eager).expect("eager");
+        // The formulas are built in different contexts; compare prints.
+        let sl = eufm::print::to_sexpr(&lazy.ctx, lazy.formula);
+        let se = eufm::print::to_sexpr(&eager.ctx, eager.formula);
+        assert_eq!(sl, se);
+        assert!(lazy.stats.impl_events < eager.stats.impl_events);
+    }
+
+    #[test]
+    fn formula_size_grows_with_rob_size() {
+        let small = generate(&Config::new(2, 1).expect("config")).expect("generate");
+        let large = generate(&Config::new(6, 1).expect("config")).expect("generate");
+        let ssize = small.ctx.dag_size(&[small.formula]);
+        let lsize = large.ctx.dag_size(&[large.formula]);
+        assert!(lsize > ssize);
+    }
+}

@@ -1,0 +1,96 @@
+//! Abstract out-of-order processor models with a reorder buffer.
+//!
+//! This crate generates, for any reorder-buffer size `N` and issue/retire
+//! width `k`, the abstract out-of-order implementation processor of Velev's
+//! DATE 2002 paper (Sect. 3–4) as a [`tlsim::Design`] netlist, together
+//! with the non-pipelined ISA specification machine, and builds the
+//! Burch–Dill correctness formula by symbolic simulation:
+//!
+//! - **Implementation** ([`ooo::OooProcessor`]): `N + k` reorder-buffer
+//!   entry latches (fields `Valid`, `Opcode`, `Dest`, `Src1`, `Src2`,
+//!   `ValidResult`, `Result`), fully instantiated forwarding/stalling logic,
+//!   non-deterministic fetch (`NDFetch_i`) and execution (`NDExecute_i`)
+//!   abstractions, in-order retirement of up to `k` instructions per cycle,
+//!   and completion-function flushing driven one slice per cycle.
+//! - **Specification** ([`spec::SpecProcessor`]): fetches one instruction
+//!   per cycle from the same read-only instruction memory (abstracted by
+//!   uninterpreted functions of the program counter), executes it with the
+//!   same `ALU` uninterpreted function, and retires it immediately.
+//! - **Correctness** ([`correctness::generate`]): one cycle of regular
+//!   operation followed by flushing on the implementation side; flushing of
+//!   the initial state followed by `0..=k` specification steps on the
+//!   specification side; the user-visible state (PC and Register File) must
+//!   match for some step count.
+//! - **Bug injection** ([`BugSpec`]): the paper's buggy variant (a
+//!   forwarding defect in one operand of one reorder-buffer slice) and
+//!   several other seeded defects used by the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use uarch::{correctness, Config};
+//!
+//! let config = Config::new(2, 1)?;
+//! let bundle = correctness::generate(&config)?;
+//! // The correctness formula is a single EUFM formula over the shared
+//! // context; it is valid iff the processor is correct.
+//! assert_eq!(bundle.ctx.sort(bundle.formula), eufm::Sort::Bool);
+//! # Ok::<(), uarch::UarchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correctness;
+pub mod names;
+pub mod ooo;
+pub mod pipeline;
+pub mod spec;
+
+mod bug;
+mod config;
+
+pub use bug::{BugSpec, Operand};
+pub use config::Config;
+
+/// Errors produced when generating or simulating processor models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UarchError {
+    /// The configuration is invalid (zero sizes, or width exceeding size).
+    InvalidConfig {
+        /// Explanation of the violation.
+        message: String,
+    },
+    /// A bug specification refers to a slice or operand outside the design.
+    InvalidBug {
+        /// Explanation of the violation.
+        message: String,
+    },
+    /// Symbolic simulation failed.
+    Sim(tlsim::SimError),
+}
+
+impl std::fmt::Display for UarchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UarchError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            UarchError::InvalidBug { message } => write!(f, "invalid bug spec: {message}"),
+            UarchError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UarchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UarchError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tlsim::SimError> for UarchError {
+    fn from(e: tlsim::SimError) -> Self {
+        UarchError::Sim(e)
+    }
+}

@@ -1,0 +1,98 @@
+//! Canonical names for state variables and uninterpreted symbols.
+//!
+//! The implementation and specification machines share uninterpreted
+//! symbols (the same `ALU`, `NextPC`, and instruction-memory field
+//! functions must abstract both, or functional consistency would not
+//! connect them) and share the initial user-visible state (`PC`,
+//! `RegFile`). Keeping every name in one module guarantees the two
+//! machines, the correctness generator, and the tests agree.
+
+/// The program counter latch / initial-state variable.
+pub const PC: &str = "PC";
+/// The register file latch / initial-state variable.
+pub const REG_FILE: &str = "RegFile";
+/// The uninterpreted function abstracting the PC incrementer.
+pub const NEXT_PC: &str = "NextPC";
+/// The uninterpreted function abstracting all ALUs.
+pub const ALU: &str = "ALU";
+/// Uninterpreted predicate: the Valid bit of the instruction at an address.
+pub const IMEM_VALID: &str = "IMemValid";
+/// Uninterpreted function: the Opcode field of the instruction at an address.
+pub const IMEM_OP: &str = "IMemOp";
+/// Uninterpreted function: the Dest field of the instruction at an address.
+pub const IMEM_DEST: &str = "IMemDest";
+/// Uninterpreted function: the Src1 field of the instruction at an address.
+pub const IMEM_SRC1: &str = "IMemSrc1";
+/// Uninterpreted function: the Src2 field of the instruction at an address.
+pub const IMEM_SRC2: &str = "IMemSrc2";
+/// The flush control input.
+pub const FLUSH: &str = "flush";
+
+/// The name of per-entry latch `field` for 1-based entry `i`
+/// (e.g. `Valid_3`).
+pub fn entry(field: &str, i: usize) -> String {
+    format!("{field}_{i}")
+}
+
+/// The Valid-bit latch of entry `i`.
+pub fn valid(i: usize) -> String {
+    entry("Valid", i)
+}
+
+/// The Opcode latch of entry `i`.
+pub fn opcode(i: usize) -> String {
+    entry("Opcode", i)
+}
+
+/// The destination-register latch of entry `i`.
+pub fn dest(i: usize) -> String {
+    entry("Dest", i)
+}
+
+/// The first source-register latch of entry `i`.
+pub fn src1(i: usize) -> String {
+    entry("Src1", i)
+}
+
+/// The second source-register latch of entry `i`.
+pub fn src2(i: usize) -> String {
+    entry("Src2", i)
+}
+
+/// The ValidResult-bit latch of entry `i`.
+pub fn valid_result(i: usize) -> String {
+    entry("ValidResult", i)
+}
+
+/// The Result latch of entry `i`.
+pub fn result(i: usize) -> String {
+    entry("Result", i)
+}
+
+/// The non-deterministic fetch-control input for issue slot `j`.
+pub fn nd_fetch(j: usize) -> String {
+    format!("NDFetch_{j}")
+}
+
+/// The non-deterministic execution-control input for entry `i`.
+pub fn nd_execute(i: usize) -> String {
+    format!("NDExecute_{i}")
+}
+
+/// The flush-phase slice-activation control input for entry `i`.
+pub fn flush_slot(i: usize) -> String {
+    format!("flush_slot_{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_names_are_one_based_and_stable() {
+        assert_eq!(valid(1), "Valid_1");
+        assert_eq!(dest(72), "Dest_72");
+        assert_eq!(nd_fetch(2), "NDFetch_2");
+        assert_eq!(flush_slot(130), "flush_slot_130");
+    }
+}

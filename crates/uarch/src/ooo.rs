@@ -1,0 +1,526 @@
+//! The abstract out-of-order implementation processor (paper Sect. 3–4).
+//!
+//! The generated netlist has `N + k` reorder-buffer entry latches. The
+//! first `N` hold the instructions initially in the reorder buffer; the
+//! extra `k` accept newly fetched instructions. During one cycle of regular
+//! operation (`flush = false`):
+//!
+//! - up to `k` instructions are fetched in program order, controlled by the
+//!   non-deterministic `NDFetch_j` inputs (`fetch_j` is the conjunction of
+//!   `NDFetch_1 .. NDFetch_j`, so a false `fetch_j` forces all later ones
+//!   false);
+//! - any *ready* instruction (`Valid`, result not yet computed, and both
+//!   data operands readable from the Register File or forwardable from the
+//!   `Result` fields of preceding entries) completes non-deterministically,
+//!   controlled by `NDExecute_i`;
+//! - the first `k` instructions retire in program order: instruction `i`
+//!   retires if its `Valid` bit is false or its result is ready and all
+//!   older instructions retire this cycle; retiring valid instructions
+//!   write the Register File in program order.
+//!
+//! When `flush` is asserted, the completion function of one entry per cycle
+//! (selected by the concrete `flush_slot_i` controls, in program order)
+//! writes its result — stored if already computed, otherwise computed
+//! instantaneously from operands read directly from the Register File —
+//! to its destination register.
+
+use std::collections::HashMap;
+
+use eufm::{Context, ExprId, Sort};
+use tlsim::{Design, InputId, InputKind, LatchId, SignalId};
+
+use crate::bug::{BugSpec, Operand};
+use crate::config::Config;
+use crate::names;
+use crate::UarchError;
+
+/// The latches making up one reorder-buffer entry.
+#[derive(Debug, Clone, Copy)]
+pub struct EntryLatches {
+    /// Will the instruction update the Register File?
+    pub valid: LatchId,
+    /// The instruction's opcode.
+    pub opcode: LatchId,
+    /// The destination register identifier.
+    pub dest: LatchId,
+    /// The first source register identifier.
+    pub src1: LatchId,
+    /// The second source register identifier.
+    pub src2: LatchId,
+    /// Has the instruction's result been computed?
+    pub valid_result: LatchId,
+    /// The computed result (meaningful when `valid_result`).
+    pub result: LatchId,
+}
+
+/// A generated abstract out-of-order processor.
+#[derive(Debug)]
+pub struct OooProcessor {
+    config: Config,
+    bug: Option<BugSpec>,
+    design: Design,
+    pc: LatchId,
+    regfile: LatchId,
+    entries: Vec<EntryLatches>,
+    flush: InputId,
+    flush_slots: Vec<InputId>,
+    nd_fetch: Vec<InputId>,
+    nd_execute: Vec<InputId>,
+}
+
+impl OooProcessor {
+    /// Generates the processor netlist for `config`.
+    pub fn build(config: &Config) -> Self {
+        Self::build_with_bug(config, None).expect("bug-free build cannot fail")
+    }
+
+    /// Generates the processor netlist with an optional seeded defect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UarchError::InvalidBug`] if the bug specification does not
+    /// fit the configuration.
+    pub fn build_with_bug(config: &Config, bug: Option<BugSpec>) -> Result<Self, UarchError> {
+        if let Some(b) = bug {
+            b.validate(config)?;
+        }
+        let n = config.rob_size();
+        let k = config.issue_width();
+        let total = config.total_entries();
+        let mut d = Design::new(format!("ooo_{config}"));
+
+        // ----- inputs -------------------------------------------------------
+        let flush = d.input(names::FLUSH, Sort::Bool, InputKind::Controlled);
+        let flush_slots: Vec<InputId> = (1..=total)
+            .map(|i| d.input(names::flush_slot(i), Sort::Bool, InputKind::Controlled))
+            .collect();
+        let nd_fetch: Vec<InputId> = (1..=k)
+            .map(|j| d.input(names::nd_fetch(j), Sort::Bool, InputKind::FreshPerCycle))
+            .collect();
+        let nd_execute: Vec<InputId> = (1..=n)
+            .map(|i| d.input(names::nd_execute(i), Sort::Bool, InputKind::FreshPerCycle))
+            .collect();
+
+        // ----- latches ------------------------------------------------------
+        let pc = d.latch(names::PC, Sort::Term);
+        let regfile = d.latch(names::REG_FILE, Sort::Mem);
+        let entries: Vec<EntryLatches> = (1..=total)
+            .map(|i| EntryLatches {
+                valid: d.latch(names::valid(i), Sort::Bool),
+                opcode: d.latch(names::opcode(i), Sort::Term),
+                dest: d.latch(names::dest(i), Sort::Term),
+                src1: d.latch(names::src1(i), Sort::Term),
+                src2: d.latch(names::src2(i), Sort::Term),
+                valid_result: d.latch(names::valid_result(i), Sort::Bool),
+                result: d.latch(names::result(i), Sort::Term),
+            })
+            .collect();
+
+        // Entry field output signals (0-based indexing from here on).
+        let v: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.valid)).collect();
+        let op: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.opcode)).collect();
+        let dst: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.dest)).collect();
+        let s1: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.src1)).collect();
+        let s2: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.src2)).collect();
+        let vr: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.valid_result)).collect();
+        let res: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.result)).collect();
+
+        let pc_out = d.latch_out(pc);
+        let rf_out = d.latch_out(regfile);
+        let flush_sig = d.input_signal(flush);
+        let slot_sigs: Vec<SignalId> =
+            flush_slots.iter().map(|&i| d.input_signal(i)).collect();
+
+        // ----- fetch engine ---------------------------------------------------
+        // fetch_j = NDFetch_1 & ... & NDFetch_j (program-order prefix property)
+        let nd_fetch_sigs: Vec<SignalId> = nd_fetch.iter().map(|&i| d.input_signal(i)).collect();
+        let mut fetch: Vec<SignalId> = Vec::with_capacity(k);
+        for j in 0..k {
+            let sig = d.and(nd_fetch_sigs[..=j].iter().copied());
+            fetch.push(sig);
+            d.mark_output(format!("fetch_{}", j + 1), sig);
+        }
+        // Fetch addresses: a_j = NextPC^j(PC) for slot j+1.
+        let mut fetch_addr: Vec<SignalId> = Vec::with_capacity(k);
+        let mut addr = pc_out;
+        for _ in 0..k {
+            fetch_addr.push(addr);
+            addr = d.uf(names::NEXT_PC, vec![addr]);
+        }
+        let beyond_last = addr; // NextPC^k(PC)
+
+        // PC update: ITE(fetch_k, NextPC^k(PC), ... ITE(fetch_1, NextPC(PC), PC))
+        let mut pc_regular = pc_out;
+        for j in 0..k {
+            let target = if j + 1 < k { fetch_addr[j + 1] } else { beyond_last };
+            pc_regular = d.mux(fetch[j], target, pc_regular);
+        }
+
+        // ----- in-order retirement -------------------------------------------
+        // rem_i: instruction i (1-based) leaves the ROB this cycle.
+        // rem_i = (!Valid_i | ValidResult_i) & rem_{i-1}
+        // write context wctx_i = Valid_i & ValidResult_i & rem_{i-1}
+        let mut rem: Vec<SignalId> = Vec::with_capacity(k);
+        let mut wctx: Vec<SignalId> = Vec::with_capacity(k);
+        let mut prev_rem: Option<SignalId> = None;
+        for i in 0..k {
+            let skip_order = matches!(bug, Some(BugSpec::RetireOutOfOrder { slice }) if slice == i + 1);
+            let ignore_valid = matches!(bug, Some(BugSpec::RetireIgnoresValid { slice }) if slice == i + 1);
+            let nv = d.not(v[i]);
+            let can = d.or2(nv, vr[i]);
+            let (rem_i, wctx_i) = match (prev_rem, skip_order) {
+                (Some(p), false) => {
+                    let r = d.and2(can, p);
+                    let w = if ignore_valid {
+                        d.and2(vr[i], p)
+                    } else {
+                        d.and([v[i], vr[i], p])
+                    };
+                    (r, w)
+                }
+                _ => {
+                    // first instruction, or in-order check skipped by bug
+                    let w = if ignore_valid { vr[i] } else { d.and2(v[i], vr[i]) };
+                    (can, w)
+                }
+            };
+            rem.push(rem_i);
+            wctx.push(wctx_i);
+            d.mark_output(format!("retire_{}", i + 1), rem_i);
+            prev_rem = Some(rem_i);
+        }
+
+        // Register file after in-order retirement (regular mode).
+        let mut rf_regular = rf_out;
+        for i in 0..k {
+            let w = d.write(rf_regular, dst[i], res[i]);
+            rf_regular = d.mux(wctx[i], w, rf_regular);
+        }
+
+        // ----- out-of-order execution ----------------------------------------
+        // Forwarding scan for entry i (0-based), operand `src`: the nearest
+        // preceding valid entry writing `src` provides the value (available
+        // once its result is computed); otherwise the Register File does.
+        let scan = |d: &mut Design, i: usize, src: SignalId, operand: Operand| {
+            let mut avail = d.constant(true);
+            let mut val = d.read(rf_out, src);
+            for j in 0..i {
+                let broken = match bug {
+                    Some(BugSpec::ForwardingIgnoresValidResult { slice, operand: o }) => {
+                        slice == i + 1 && o == operand
+                    }
+                    _ => false,
+                };
+                let skipped = match bug {
+                    Some(BugSpec::ForwardingSkipsNearest { slice, operand: o }) => {
+                        slice == i + 1 && o == operand && j == i - 1
+                    }
+                    _ => false,
+                };
+                if skipped {
+                    continue;
+                }
+                let match_addr = d.eq_cmp(dst[j], src);
+                let hit = d.and2(v[j], match_addr);
+                avail = if broken {
+                    let t = d.constant(true);
+                    d.mux(hit, t, avail)
+                } else {
+                    d.mux(hit, vr[j], avail)
+                };
+                val = d.mux(hit, res[j], val);
+            }
+            (avail, val)
+        };
+
+        let mut exec: Vec<SignalId> = Vec::with_capacity(n);
+        let mut alu_fwd: Vec<SignalId> = Vec::with_capacity(n);
+        for i in 0..n {
+            let (avail1, val1) = scan(&mut d, i, s1[i], Operand::Src1);
+            let (avail2, val2) = scan(&mut d, i, s2[i], Operand::Src2);
+            let deps_ok = d.and2(avail1, avail2);
+            let nvr = d.not(vr[i]);
+            let ready = d.and([v[i], nvr, deps_ok]);
+            let nd = d.input_signal(nd_execute[i]);
+            let ex = d.and2(nd, ready);
+            let alu = d.uf(names::ALU, vec![op[i], val1, val2]);
+            exec.push(ex);
+            alu_fwd.push(alu);
+        }
+
+        // ----- completion functions (flush mode) ------------------------------
+        // During flush cycle t, slice t writes its (stored or instantly
+        // computed) result to the Register File if still valid.
+        let mut rf_flush = rf_out;
+        for i in (0..total).rev() {
+            let stale = matches!(bug, Some(BugSpec::CompletionUsesStaleResult { slice }) if slice == i + 1);
+            let cdata = if stale {
+                res[i]
+            } else {
+                let r1 = d.read(rf_out, s1[i]);
+                let r2 = d.read(rf_out, s2[i]);
+                let alu = d.uf(names::ALU, vec![op[i], r1, r2]);
+                d.mux(vr[i], res[i], alu)
+            };
+            let w = d.write(rf_out, dst[i], cdata);
+            let comp = d.mux(v[i], w, rf_out);
+            rf_flush = d.mux(slot_sigs[i], comp, rf_flush);
+        }
+
+        // ----- instruction fields of newly fetched instructions ---------------
+        let new_fields: Vec<(SignalId, SignalId, SignalId, SignalId, SignalId)> = (0..k)
+            .map(|j| {
+                let a = fetch_addr[j];
+                let imv = d.up(names::IMEM_VALID, vec![a]);
+                let nv = d.and2(imv, fetch[j]);
+                (
+                    nv,
+                    d.uf(names::IMEM_OP, vec![a]),
+                    d.uf(names::IMEM_DEST, vec![a]),
+                    d.uf(names::IMEM_SRC1, vec![a]),
+                    d.uf(names::IMEM_SRC2, vec![a]),
+                )
+            })
+            .collect();
+
+        // ----- latch next-state functions --------------------------------------
+        let pc_next = d.mux(flush_sig, pc_out, pc_regular);
+        d.set_next(pc, pc_next);
+        let rf_next = d.mux(flush_sig, rf_flush, rf_regular);
+        d.set_next(regfile, rf_next);
+
+        let false_const = d.constant(false);
+        for i in 0..total {
+            // Valid: regular mode removes retired / loads fetched; flush mode
+            // clears the active slice after completion.
+            let v_regular = if i < k {
+                let nrem = d.not(rem[i]);
+                d.and2(v[i], nrem)
+            } else if i < n {
+                v[i]
+            } else {
+                new_fields[i - n].0
+            };
+            let nslot = d.not(slot_sigs[i]);
+            let v_flush = d.and2(v[i], nslot);
+            let v_next = d.mux(flush_sig, v_flush, v_regular);
+            d.set_next(entries[i].valid, v_next);
+
+            // ValidResult / Result: regular mode may complete execution;
+            // new entries load "not computed"; flush holds.
+            let (vr_regular, r_regular) = if i < n {
+                let vr_r = d.or2(vr[i], exec[i]);
+                let r_r = d.mux(exec[i], alu_fwd[i], res[i]);
+                (vr_r, r_r)
+            } else {
+                (false_const, res[i])
+            };
+            let vr_next = d.mux(flush_sig, vr[i], vr_regular);
+            let r_next = d.mux(flush_sig, res[i], r_regular);
+            d.set_next(entries[i].valid_result, vr_next);
+            d.set_next(entries[i].result, r_next);
+
+            // Instruction fields: held, except new entries load the fetched
+            // instruction in regular mode.
+            let (op_r, dst_r, s1_r, s2_r) = if i < n {
+                (op[i], dst[i], s1[i], s2[i])
+            } else {
+                let f = &new_fields[i - n];
+                (f.1, f.2, f.3, f.4)
+            };
+            let op_next = d.mux(flush_sig, op[i], op_r);
+            let dst_next = d.mux(flush_sig, dst[i], dst_r);
+            let s1_next = d.mux(flush_sig, s1[i], s1_r);
+            let s2_next = d.mux(flush_sig, s2[i], s2_r);
+            d.set_next(entries[i].opcode, op_next);
+            d.set_next(entries[i].dest, dst_next);
+            d.set_next(entries[i].src1, s1_next);
+            d.set_next(entries[i].src2, s2_next);
+        }
+
+        Ok(OooProcessor {
+            config: *config,
+            bug,
+            design: d,
+            pc,
+            regfile,
+            entries,
+            flush,
+            flush_slots,
+            nd_fetch,
+            nd_execute,
+        })
+    }
+
+    /// The processor's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The seeded defect, if any.
+    pub fn bug(&self) -> Option<BugSpec> {
+        self.bug
+    }
+
+    /// The generated netlist.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The program-counter latch.
+    pub fn pc(&self) -> LatchId {
+        self.pc
+    }
+
+    /// The register-file latch.
+    pub fn regfile(&self) -> LatchId {
+        self.regfile
+    }
+
+    /// The reorder-buffer entry latches (`N + k` of them, program order).
+    pub fn entries(&self) -> &[EntryLatches] {
+        &self.entries
+    }
+
+    /// The non-deterministic fetch-control inputs (`NDFetch_1..NDFetch_k`).
+    pub fn nd_fetch_inputs(&self) -> &[InputId] {
+        &self.nd_fetch
+    }
+
+    /// The non-deterministic execution-control inputs
+    /// (`NDExecute_1..NDExecute_N`).
+    pub fn nd_execute_inputs(&self) -> &[InputId] {
+        &self.nd_execute
+    }
+
+    /// Control assignments for one cycle of regular operation.
+    pub fn regular_controls(&self) -> HashMap<InputId, ExprId> {
+        let mut m = HashMap::new();
+        m.insert(self.flush, Context::FALSE);
+        for &slot in &self.flush_slots {
+            m.insert(slot, Context::FALSE);
+        }
+        m
+    }
+
+    /// Control assignments for one flush cycle activating the completion
+    /// function of 1-based `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is not in `1..=N+k`.
+    pub fn flush_controls(&self, slice: usize) -> HashMap<InputId, ExprId> {
+        assert!(
+            (1..=self.config.total_entries()).contains(&slice),
+            "flush slice {slice} out of range"
+        );
+        let mut m = HashMap::new();
+        m.insert(self.flush, Context::TRUE);
+        for (idx, &slot) in self.flush_slots.iter().enumerate() {
+            m.insert(slot, if idx + 1 == slice { Context::TRUE } else { Context::FALSE });
+        }
+        m
+    }
+
+    /// Initializes the newly-fetched-entry latches of a simulator to empty
+    /// (their `Valid` bits to false), as the abstraction requires.
+    pub fn init_empty_new_entries(&self, sim: &mut tlsim::Simulator<'_>, ctx: &Context) {
+        let n = self.config.rob_size();
+        for entry in &self.entries[n..] {
+            sim.set_state(ctx, entry.valid, Context::FALSE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlsim::{EvalStrategy, Simulator};
+
+    #[test]
+    fn netlist_sizes_scale_with_config() {
+        let small = OooProcessor::build(&Config::new(2, 1).expect("config"));
+        let large = OooProcessor::build(&Config::new(8, 2).expect("config"));
+        assert!(large.design().num_signals() > small.design().num_signals());
+        assert_eq!(small.design().num_latches(), 2 + 7 * 3); // PC, RF, 3 entries
+        assert_eq!(large.design().num_latches(), 2 + 7 * 10);
+    }
+
+    #[test]
+    fn regular_step_runs() {
+        let p = OooProcessor::build(&Config::new(3, 2).expect("config"));
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+        p.init_empty_new_entries(&mut sim, &ctx);
+        sim.step(&mut ctx, &p.regular_controls()).expect("step");
+        // PC must now be an ITE over the fetch signals.
+        let pc = sim.latch_state(p.pc());
+        assert!(matches!(ctx.node(pc), eufm::Node::Ite(..)));
+    }
+
+    #[test]
+    fn flush_updates_one_slice_per_cycle() {
+        let p = OooProcessor::build(&Config::new(2, 1).expect("config"));
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+        p.init_empty_new_entries(&mut sim, &ctx);
+        let rf0 = sim.latch_state(p.regfile());
+        sim.step(&mut ctx, &p.flush_controls(1)).expect("flush 1");
+        let rf1 = sim.latch_state(p.regfile());
+        assert_ne!(rf0, rf1, "slice 1 must update the register file");
+        // PC must be untouched by flushing.
+        let pc = sim.latch_state(p.pc());
+        assert_eq!(pc, ctx.tvar(names::PC));
+        // Valid_1 must be cleared after its slice completes.
+        let v1 = sim.latch_state(p.entries()[0].valid);
+        assert!(ctx.is_false(v1));
+    }
+
+    #[test]
+    fn lazy_flush_is_much_cheaper_than_regular_step() {
+        let p = OooProcessor::build(&Config::new(16, 2).expect("config"));
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+        p.init_empty_new_entries(&mut sim, &ctx);
+        let regular = sim.step(&mut ctx, &p.regular_controls()).expect("step");
+        let flush = sim.step(&mut ctx, &p.flush_controls(1)).expect("flush");
+        assert!(
+            flush.events * 4 < regular.events,
+            "flush events {} should be far below regular events {}",
+            flush.events,
+            regular.events
+        );
+    }
+
+    #[test]
+    fn bug_validation_is_enforced() {
+        let config = Config::new(4, 2).expect("config");
+        let bad = BugSpec::paper_variant(); // slice 72 does not fit
+        assert!(OooProcessor::build_with_bug(&config, Some(bad)).is_err());
+        let ok = BugSpec::ForwardingIgnoresValidResult { slice: 3, operand: Operand::Src1 };
+        assert!(OooProcessor::build_with_bug(&config, Some(ok)).is_ok());
+    }
+
+    #[test]
+    fn buggy_design_differs_from_correct_one() {
+        let config = Config::new(4, 2).expect("config");
+        let good = OooProcessor::build(&config);
+        let bad = OooProcessor::build_with_bug(
+            &config,
+            Some(BugSpec::ForwardingIgnoresValidResult { slice: 3, operand: Operand::Src1 }),
+        )
+        .expect("build");
+        let mut ctx_g = Context::new();
+        let mut ctx_b = Context::new();
+        let mut sim_g = Simulator::new(good.design(), &mut ctx_g, EvalStrategy::Lazy).expect("sim");
+        let mut sim_b = Simulator::new(bad.design(), &mut ctx_b, EvalStrategy::Lazy).expect("sim");
+        good.init_empty_new_entries(&mut sim_g, &ctx_g);
+        bad.init_empty_new_entries(&mut sim_b, &ctx_b);
+        sim_g.step(&mut ctx_g, &good.regular_controls()).expect("step");
+        sim_b.step(&mut ctx_b, &bad.regular_controls()).expect("step");
+        // The third entry's result expression must differ (stale forward).
+        let rg = eufm::print::to_sexpr(&ctx_g, sim_g.latch_state(good.entries()[2].result));
+        let rb = eufm::print::to_sexpr(&ctx_b, sim_b.latch_state(bad.entries()[2].result));
+        assert_ne!(rg, rb);
+    }
+}

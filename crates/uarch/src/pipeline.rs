@@ -1,0 +1,296 @@
+//! An in-order pipelined processor — the classical Burch–Dill benchmark
+//! family on which the paper's method builds (its predecessor combined
+//! rewriting rules and Positive Equality on in-order pipelines, ref. [31]).
+//!
+//! The machine is a three-stage register-register pipeline:
+//!
+//! - **IF/ID** — fetch the instruction at the PC (unless a
+//!   non-deterministic stall, abstracting structural hazards, inserts a
+//!   bubble), read the operands with full forwarding from the two
+//!   downstream stages;
+//! - **EX** — compute the ALU result;
+//! - **WB** — write the destination register.
+//!
+//! Flushing (the Burch–Dill abstraction function) is simply running the
+//! pipeline with fetching disabled until it drains — two cycles. The
+//! correctness criterion is the same commutative diagram as for the
+//! out-of-order core, with issue width 1: the user-visible state must be
+//! updated by 0 (stall) or 1 instruction.
+//!
+//! Verification uses the Positive-Equality flow directly (there is no
+//! reorder buffer for the rewriting rules to remove); the formula is small
+//! for any pipeline depth, which is exactly the contrast the paper draws:
+//! in-order pipelines were already tractable, out-of-order cores were not.
+
+use std::collections::HashMap;
+
+use eufm::{Context, ExprId, Sort};
+use tlsim::{Design, InputId, InputKind, LatchId};
+
+use crate::names;
+use crate::spec::SpecProcessor;
+use crate::UarchError;
+
+/// Seeded defects for the pipelined processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineBug {
+    /// Operand forwarding from the EX stage is missing: a dependent
+    /// instruction reads a stale register value.
+    MissingExForwarding,
+    /// Operand forwarding from the WB stage is missing.
+    MissingWbForwarding,
+    /// Forwarding compares against the wrong stage's destination register.
+    ForwardsFromWrongStage,
+    /// The WB stage writes even when its instruction is a bubble.
+    WritebackIgnoresValid,
+}
+
+/// The generated in-order pipelined processor.
+#[derive(Debug)]
+pub struct PipelinedProcessor {
+    design: Design,
+    pc: LatchId,
+    regfile: LatchId,
+    ex_valid: LatchId,
+    wb_valid: LatchId,
+    fetch_enable: InputId,
+}
+
+impl PipelinedProcessor {
+    /// Generates the bug-free pipeline netlist.
+    pub fn build() -> Self {
+        Self::build_with_bug(None)
+    }
+
+    /// Generates the pipeline with an optional seeded defect.
+    pub fn build_with_bug(bug: Option<PipelineBug>) -> Self {
+        let mut d = Design::new("inorder_pipeline");
+
+        // fetch_enable: driven false while flushing (bubble insertion).
+        let fetch_enable = d.input("fetch_enable", Sort::Bool, InputKind::Controlled);
+        // NDStall: non-deterministic structural-hazard abstraction.
+        let nd_stall = d.input("NDStall", Sort::Bool, InputKind::FreshPerCycle);
+
+        let pc = d.latch(names::PC, Sort::Term);
+        let regfile = d.latch(names::REG_FILE, Sort::Mem);
+        // EX stage latches
+        let ex_valid = d.latch("ExValid", Sort::Bool);
+        let ex_op = d.latch("ExOp", Sort::Term);
+        let ex_dest = d.latch("ExDest", Sort::Term);
+        let ex_val1 = d.latch("ExVal1", Sort::Term);
+        let ex_val2 = d.latch("ExVal2", Sort::Term);
+        // WB stage latches
+        let wb_valid = d.latch("WbValid", Sort::Bool);
+        let wb_dest = d.latch("WbDest", Sort::Term);
+        let wb_result = d.latch("WbResult", Sort::Term);
+
+        let pc_out = d.latch_out(pc);
+        let rf_out = d.latch_out(regfile);
+        let exv = d.latch_out(ex_valid);
+        let exop = d.latch_out(ex_op);
+        let exd = d.latch_out(ex_dest);
+        let exa = d.latch_out(ex_val1);
+        let exb = d.latch_out(ex_val2);
+        let wbv = d.latch_out(wb_valid);
+        let wbd = d.latch_out(wb_dest);
+        let wbr = d.latch_out(wb_result);
+
+        // --- WB stage: write the register file -------------------------------
+        let rf_next = if matches!(bug, Some(PipelineBug::WritebackIgnoresValid)) {
+            d.write(rf_out, wbd, wbr)
+        } else {
+            let w = d.write(rf_out, wbd, wbr);
+            d.mux(wbv, w, rf_out)
+        };
+        d.set_next(regfile, rf_next);
+
+        // --- EX stage: compute, move to WB ----------------------------------
+        let ex_result = d.uf(names::ALU, vec![exop, exa, exb]);
+        d.set_next(wb_valid, exv);
+        d.set_next(wb_dest, exd);
+        d.set_next(wb_result, ex_result);
+
+        // --- IF/ID stage: fetch, decode, read operands with forwarding ------
+        let fe = d.input_signal(fetch_enable);
+        let stall_sig = d.input_signal(nd_stall);
+        let nstall = d.not(stall_sig);
+        let do_fetch = d.and2(fe, nstall);
+
+        let imv = d.up(names::IMEM_VALID, vec![pc_out]);
+        let insn_valid = d.and2(do_fetch, imv);
+        let op = d.uf(names::IMEM_OP, vec![pc_out]);
+        let dest = d.uf(names::IMEM_DEST, vec![pc_out]);
+        let src1 = d.uf(names::IMEM_SRC1, vec![pc_out]);
+        let src2 = d.uf(names::IMEM_SRC2, vec![pc_out]);
+
+        // Forwarding: nearest-producer-first — EX shadows WB shadows RF.
+        let read_operand = |d: &mut Design, src| {
+            let from_rf = d.read(rf_out, src);
+            let (wb_cmp_dest, ex_cmp_dest) =
+                if matches!(bug, Some(PipelineBug::ForwardsFromWrongStage)) {
+                    (exd, wbd) // swapped
+                } else {
+                    (wbd, exd)
+                };
+            let wb_match = d.eq_cmp(wb_cmp_dest, src);
+            let wb_hit = d.and2(wbv, wb_match);
+            let after_wb = if matches!(bug, Some(PipelineBug::MissingWbForwarding)) {
+                from_rf
+            } else {
+                d.mux(wb_hit, wbr, from_rf)
+            };
+            let ex_match = d.eq_cmp(ex_cmp_dest, src);
+            let ex_hit = d.and2(exv, ex_match);
+            if matches!(bug, Some(PipelineBug::MissingExForwarding)) {
+                after_wb
+            } else {
+                d.mux(ex_hit, ex_result, after_wb)
+            }
+        };
+        let val1 = read_operand(&mut d, src1);
+        let val2 = read_operand(&mut d, src2);
+
+        d.set_next(ex_valid, insn_valid);
+        d.set_next(ex_op, op);
+        d.set_next(ex_dest, dest);
+        d.set_next(ex_val1, val1);
+        d.set_next(ex_val2, val2);
+
+        let npc = d.uf(names::NEXT_PC, vec![pc_out]);
+        let pc_next = d.mux(do_fetch, npc, pc_out);
+        d.set_next(pc, pc_next);
+
+        PipelinedProcessor { design: d, pc, regfile, ex_valid, wb_valid, fetch_enable }
+    }
+
+    /// The generated netlist.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Control assignments for one cycle of regular operation.
+    pub fn regular_controls(&self) -> HashMap<InputId, ExprId> {
+        let mut m = HashMap::new();
+        m.insert(self.fetch_enable, Context::TRUE);
+        m
+    }
+
+    /// Control assignments for one flush cycle (bubble insertion).
+    pub fn flush_controls(&self) -> HashMap<InputId, ExprId> {
+        let mut m = HashMap::new();
+        m.insert(self.fetch_enable, Context::FALSE);
+        m
+    }
+
+    /// Initializes a fresh simulation to an *empty* pipeline (both stages
+    /// invalid), the canonical flushed initial state for this benchmark.
+    pub fn init_empty(&self, sim: &mut tlsim::Simulator<'_>, ctx: &Context) {
+        sim.set_state(ctx, self.ex_valid, Context::FALSE);
+        sim.set_state(ctx, self.wb_valid, Context::FALSE);
+    }
+
+    /// The program-counter latch.
+    pub fn pc(&self) -> LatchId {
+        self.pc
+    }
+
+    /// The register-file latch.
+    pub fn regfile(&self) -> LatchId {
+        self.regfile
+    }
+}
+
+/// The number of flush cycles needed to drain the pipeline.
+pub const FLUSH_CYCLES: usize = 2;
+
+/// Generates the Burch–Dill correctness formula for the pipelined
+/// processor (issue width 1: the user-visible state advances by 0 or 1
+/// instructions per cycle).
+///
+/// The pipeline starts in an *arbitrary* symbolic state — the two in-flight
+/// instructions exercise the forwarding logic against the newly fetched
+/// one — and both diagram sides apply the abstraction function (two flush
+/// cycles) exactly as in the out-of-order case.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn generate_pipeline_correctness(
+    bug: Option<PipelineBug>,
+) -> Result<(Context, ExprId), UarchError> {
+    let proc = PipelinedProcessor::build_with_bug(bug);
+    let spec = SpecProcessor::build();
+    let mut ctx = Context::new();
+
+    // Implementation side: one regular step from the arbitrary symbolic
+    // initial state, then flush.
+    let mut impl_sim = tlsim::Simulator::new(proc.design(), &mut ctx, tlsim::EvalStrategy::Lazy)?;
+    impl_sim.step(&mut ctx, &proc.regular_controls())?;
+    for _ in 0..FLUSH_CYCLES {
+        impl_sim.step(&mut ctx, &proc.flush_controls())?;
+    }
+    let pc_impl = impl_sim.latch_state(proc.pc());
+    let rf_impl = impl_sim.latch_state(proc.regfile());
+
+    // Specification side: flush the initial state, then run the spec.
+    let mut abs_sim = tlsim::Simulator::new(proc.design(), &mut ctx, tlsim::EvalStrategy::Lazy)?;
+    for _ in 0..FLUSH_CYCLES {
+        abs_sim.step(&mut ctx, &proc.flush_controls())?;
+    }
+    let pc0 = abs_sim.latch_state(proc.pc());
+    let rf0 = abs_sim.latch_state(proc.regfile());
+
+    let mut spec_sim = tlsim::Simulator::new(spec.design(), &mut ctx, tlsim::EvalStrategy::Lazy)?;
+    spec_sim.set_state(&ctx, spec.pc(), pc0);
+    spec_sim.set_state(&ctx, spec.regfile(), rf0);
+    spec_sim.step(&mut ctx, &HashMap::new())?;
+    let pc1 = spec_sim.latch_state(spec.pc());
+    let rf1 = spec_sim.latch_state(spec.regfile());
+
+    let mut disjuncts = Vec::new();
+    for (pc_s, rf_s) in [(pc0, rf0), (pc1, rf1)] {
+        let eq_pc = ctx.eq(pc_impl, pc_s);
+        let eq_rf = ctx.eq(rf_impl, rf_s);
+        disjuncts.push(ctx.and2(eq_pc, eq_rf));
+    }
+    let formula = ctx.or(disjuncts);
+    Ok((ctx, formula))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eufm::oracle::{check_sampled, OracleResult};
+
+    #[test]
+    fn correct_pipeline_survives_sampling() {
+        let (ctx, formula) = generate_pipeline_correctness(None).expect("generate");
+        let verdict = check_sampled(&ctx, formula, 1200);
+        assert!(verdict.is_valid(), "pipeline falsified: {verdict:?}");
+    }
+
+    #[test]
+    fn every_pipeline_bug_is_falsified() {
+        for bug in [
+            PipelineBug::MissingExForwarding,
+            PipelineBug::MissingWbForwarding,
+            PipelineBug::ForwardsFromWrongStage,
+            PipelineBug::WritebackIgnoresValid,
+        ] {
+            let (ctx, formula) =
+                generate_pipeline_correctness(Some(bug)).expect("generate");
+            let verdict = check_sampled(&ctx, formula, 4000);
+            assert!(
+                matches!(verdict, OracleResult::Invalid(_)),
+                "{bug:?} not falsified: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_netlist_is_small() {
+        let p = PipelinedProcessor::build();
+        assert!(p.design().num_signals() < 80);
+        assert_eq!(p.design().num_latches(), 10); // PC, RF, 5 EX, 3 WB
+    }
+}

@@ -1,0 +1,119 @@
+//! The non-pipelined ISA specification processor.
+//!
+//! The specification executes one register-register instruction per clock
+//! cycle: it fetches from the same read-only instruction memory (the
+//! `IMem*` uninterpreted field functions of the program counter),
+//! increments the PC with the same `NextPC` uninterpreted function,
+//! computes the result with the same `ALU` uninterpreted function, and
+//! writes the destination register when the instruction's `Valid` bit is
+//! true.
+
+use eufm::Sort;
+use tlsim::{Design, LatchId};
+
+use crate::names;
+
+/// The generated specification machine.
+#[derive(Debug)]
+pub struct SpecProcessor {
+    design: Design,
+    pc: LatchId,
+    regfile: LatchId,
+}
+
+impl Default for SpecProcessor {
+    fn default() -> Self {
+        Self::build()
+    }
+}
+
+impl SpecProcessor {
+    /// Generates the specification netlist.
+    pub fn build() -> Self {
+        let mut d = Design::new("isa_spec");
+        let pc = d.latch(names::PC, Sort::Term);
+        let regfile = d.latch(names::REG_FILE, Sort::Mem);
+        let pc_out = d.latch_out(pc);
+        let rf_out = d.latch_out(regfile);
+
+        let valid = d.up(names::IMEM_VALID, vec![pc_out]);
+        let op = d.uf(names::IMEM_OP, vec![pc_out]);
+        let dest = d.uf(names::IMEM_DEST, vec![pc_out]);
+        let src1 = d.uf(names::IMEM_SRC1, vec![pc_out]);
+        let src2 = d.uf(names::IMEM_SRC2, vec![pc_out]);
+
+        let v1 = d.read(rf_out, src1);
+        let v2 = d.read(rf_out, src2);
+        let data = d.uf(names::ALU, vec![op, v1, v2]);
+        let written = d.write(rf_out, dest, data);
+        let rf_next = d.mux(valid, written, rf_out);
+        d.set_next(regfile, rf_next);
+
+        let pc_next = d.uf(names::NEXT_PC, vec![pc_out]);
+        d.set_next(pc, pc_next);
+
+        d.mark_output("instr_valid", valid);
+        SpecProcessor { design: d, pc, regfile }
+    }
+
+    /// The generated netlist.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The program-counter latch.
+    pub fn pc(&self) -> LatchId {
+        self.pc
+    }
+
+    /// The register-file latch.
+    pub fn regfile(&self) -> LatchId {
+        self.regfile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eufm::Context;
+    use std::collections::HashMap;
+    use tlsim::{EvalStrategy, Simulator};
+
+    #[test]
+    fn one_step_executes_one_instruction() {
+        let spec = SpecProcessor::build();
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(spec.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+
+        let pc0 = ctx.tvar(names::PC);
+        let rf0 = ctx.mvar(names::REG_FILE);
+        let pc1_expected = ctx.uf(names::NEXT_PC, vec![pc0]);
+        assert_eq!(sim.latch_state(spec.pc()), pc1_expected);
+
+        // RegFile' = ITE(IMemValid(PC), write(RF, IMemDest(PC), ALU(...)), RF)
+        let valid = ctx.up(names::IMEM_VALID, vec![pc0]);
+        let op = ctx.uf(names::IMEM_OP, vec![pc0]);
+        let dest = ctx.uf(names::IMEM_DEST, vec![pc0]);
+        let s1 = ctx.uf(names::IMEM_SRC1, vec![pc0]);
+        let s2 = ctx.uf(names::IMEM_SRC2, vec![pc0]);
+        let r1 = ctx.read(rf0, s1);
+        let r2 = ctx.read(rf0, s2);
+        let data = ctx.uf(names::ALU, vec![op, r1, r2]);
+        let expected = ctx.update(rf0, valid, dest, data);
+        assert_eq!(sim.latch_state(spec.regfile()), expected);
+    }
+
+    #[test]
+    fn two_steps_chain_the_pc() {
+        let spec = SpecProcessor::build();
+        let mut ctx = Context::new();
+        let mut sim = Simulator::new(spec.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        sim.step(&mut ctx, &HashMap::new()).expect("step");
+        let pc0 = ctx.tvar(names::PC);
+        let pc1 = ctx.uf(names::NEXT_PC, vec![pc0]);
+        let pc2 = ctx.uf(names::NEXT_PC, vec![pc1]);
+        assert_eq!(sim.latch_state(spec.pc()), pc2);
+    }
+}

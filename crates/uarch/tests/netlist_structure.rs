@@ -1,0 +1,125 @@
+//! Structural tests of the generated out-of-order netlists across
+//! configurations: latch census, control maps, and evaluation-strategy
+//! agreement.
+
+use std::collections::HashMap;
+
+use eufm::Context;
+use tlsim::{EvalStrategy, Simulator};
+use uarch::ooo::OooProcessor;
+use uarch::{correctness, names, Config};
+
+#[test]
+fn latch_census_scales_with_configuration() {
+    for (n, k) in [(1usize, 1usize), (4, 2), (8, 8), (16, 4)] {
+        let config = Config::new(n, k).expect("config");
+        let p = OooProcessor::build(&config);
+        // PC + RegFile + 7 fields per entry, N + k entries
+        assert_eq!(p.design().num_latches(), 2 + 7 * (n + k), "rob{n}xw{k}");
+        assert_eq!(p.entries().len(), n + k);
+        assert_eq!(p.nd_fetch_inputs().len(), k);
+        assert_eq!(p.nd_execute_inputs().len(), n);
+    }
+}
+
+#[test]
+fn regular_and_flush_controls_cover_all_controlled_inputs() {
+    let config = Config::new(3, 2).expect("config");
+    let p = OooProcessor::build(&config);
+    let mut ctx = Context::new();
+    let mut sim = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+    p.init_empty_new_entries(&mut sim, &ctx);
+    // both control maps must satisfy every Controlled input
+    sim.step(&mut ctx, &p.regular_controls()).expect("regular step");
+    for slice in 1..=config.total_entries() {
+        sim.step(&mut ctx, &p.flush_controls(slice)).expect("flush step");
+    }
+    // an empty control map must fail (flush is Controlled)
+    let mut sim2 = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+    assert!(sim2.step(&mut ctx, &HashMap::new()).is_err());
+}
+
+#[test]
+#[should_panic(expected = "flush slice 6 out of range")]
+fn flush_controls_validate_the_slice() {
+    let config = Config::new(3, 2).expect("config");
+    let p = OooProcessor::build(&config);
+    let _ = p.flush_controls(6); // N + k = 5, so 6 is out of range
+}
+
+#[test]
+fn eager_evaluation_costs_strictly_more_events() {
+    let config = Config::new(8, 2).expect("config");
+    let lazy = correctness::generate_with(&config, None, EvalStrategy::Lazy).expect("lazy");
+    let eager = correctness::generate_with(&config, None, EvalStrategy::Eager).expect("eager");
+    assert!(
+        lazy.stats.impl_events < eager.stats.impl_events,
+        "lazy {} must beat eager {}",
+        lazy.stats.impl_events,
+        eager.stats.impl_events
+    );
+    assert!(lazy.stats.spec_events < eager.stats.spec_events);
+}
+
+#[test]
+fn flushing_clears_every_valid_bit() {
+    let config = Config::new(4, 2).expect("config");
+    let p = OooProcessor::build(&config);
+    let mut ctx = Context::new();
+    let mut sim = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+    p.init_empty_new_entries(&mut sim, &ctx);
+    sim.step(&mut ctx, &p.regular_controls()).expect("regular");
+    for slice in 1..=config.total_entries() {
+        sim.step(&mut ctx, &p.flush_controls(slice)).expect("flush");
+    }
+    for (i, entry) in p.entries().iter().enumerate() {
+        let v = sim.latch_state(entry.valid);
+        assert!(ctx.is_false(v), "entry {} still valid after full flush", i + 1);
+    }
+}
+
+#[test]
+fn initial_state_variables_use_canonical_names() {
+    let config = Config::new(2, 1).expect("config");
+    let p = OooProcessor::build(&config);
+    let mut ctx = Context::new();
+    let sim = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+    assert_eq!(sim.latch_state(p.pc()), ctx.tvar(names::PC));
+    assert_eq!(sim.latch_state(p.regfile()), ctx.mvar(names::REG_FILE));
+    assert_eq!(sim.latch_state(p.entries()[0].dest), ctx.tvar(&names::dest(1)));
+    assert_eq!(sim.latch_state(p.entries()[1].valid_result), ctx.pvar(&names::valid_result(2)));
+}
+
+#[test]
+fn retirement_only_touches_the_retire_width() {
+    // With every ValidResult false, no *valid* instruction retires: after
+    // one regular step each Valid bit is semantically unchanged (invalid
+    // instructions may still leave the buffer, which does not change the
+    // bit's value), and entries beyond the retire width are untouched
+    // syntactically.
+    use eufm::oracle::check_exhaustive;
+    let config = Config::new(4, 2).expect("config");
+    let p = OooProcessor::build(&config);
+    let mut ctx = Context::new();
+    let mut sim = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
+    p.init_empty_new_entries(&mut sim, &ctx);
+    for entry in &p.entries()[..4] {
+        sim.set_state(&ctx, entry.valid_result, Context::FALSE);
+    }
+    sim.step(&mut ctx, &p.regular_controls()).expect("regular");
+    for i in 0..2 {
+        let v = sim.latch_state(p.entries()[i].valid);
+        let expected = ctx.pvar(&names::valid(i + 1));
+        let same = ctx.iff(v, expected);
+        assert!(
+            check_exhaustive(&ctx, same, 1 << 22).is_valid(),
+            "entry {} changed with no completed result",
+            i + 1
+        );
+    }
+    for i in 2..4 {
+        let v = sim.latch_state(p.entries()[i].valid);
+        let expected = ctx.pvar(&names::valid(i + 1));
+        assert_eq!(v, expected, "entry {} is beyond the retire width", i + 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Semantic cross-validation of the correctness formula on tiny configs:
+//! the bug-free formula must survive random-interpretation sampling, and
+//! every seeded defect must be falsified by some interpretation.
+
+use eufm::oracle::{check_sampled, OracleResult};
+use uarch::{correctness, BugSpec, Config, Operand};
+
+#[test]
+fn correct_designs_survive_sampling() {
+    for (n, k) in [(1, 1), (2, 1), (2, 2), (3, 2), (4, 2)] {
+        let config = Config::new(n, k).expect("config");
+        let bundle = correctness::generate(&config).expect("generate");
+        let result = check_sampled(&bundle.ctx, bundle.formula, 400);
+        assert!(
+            result.is_valid(),
+            "config rob{n}xw{k} falsified by sampling: {result:?}"
+        );
+    }
+}
+
+#[test]
+fn forwarding_bug_is_falsified() {
+    let config = Config::new(4, 2).expect("config");
+    let bug = BugSpec::ForwardingIgnoresValidResult { slice: 3, operand: Operand::Src1 };
+    let bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
+        .expect("generate");
+    let result = check_sampled(&bundle.ctx, bundle.formula, 3000);
+    assert!(
+        matches!(result, OracleResult::Invalid(_)),
+        "buggy design not falsified: {result:?}"
+    );
+}
+
+#[test]
+fn retire_out_of_order_bug_is_falsified() {
+    let config = Config::new(3, 2).expect("config");
+    let bug = BugSpec::RetireOutOfOrder { slice: 2 };
+    let bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
+        .expect("generate");
+    let result = check_sampled(&bundle.ctx, bundle.formula, 3000);
+    assert!(
+        matches!(result, OracleResult::Invalid(_)),
+        "buggy design not falsified: {result:?}"
+    );
+}

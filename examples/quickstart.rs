@@ -1,0 +1,36 @@
+//! Quick start: verify an out-of-order processor with a reorder buffer.
+//!
+//! ```text
+//! cargo run --release --example quickstart -- [rob_size] [issue_width]
+//! ```
+
+use rob_verify::{Config, Strategy, Verifier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let rob_size: usize = args.get(1).map_or(Ok(16), |s| s.parse())?;
+    let issue_width: usize = args.get(2).map_or(Ok(4), |s| s.parse())?;
+    let config = Config::new(rob_size, issue_width)?;
+
+    println!("verifying an out-of-order processor: {rob_size}-entry reorder buffer, ");
+    println!("issue/retire width {issue_width}, against its ISA specification\n");
+
+    let verification = Verifier::new(config)
+        .strategy(Strategy::RewritingAndPositiveEquality)
+        .run()?;
+
+    println!("verdict:              {:?}", verification.verdict);
+    println!("formula generation:   {:?}", verification.timings.generate);
+    println!("rewriting rules:      {:?}", verification.timings.rewrite);
+    println!("EUFM -> CNF:          {:?}", verification.timings.translate);
+    println!("SAT (Chaff-style):    {:?}", verification.timings.sat);
+    println!();
+    println!("EUFM nodes:           {}", verification.stats.formula_nodes);
+    println!("rewrite obligations:  {} ({} syntactic)",
+        verification.stats.rewrite_obligations, verification.stats.rewrite_syntactic);
+    println!("e_ij variables:       {} (rewriting removes them all)",
+        verification.stats.eij_vars);
+    println!("CNF:                  {} vars, {} clauses",
+        verification.stats.cnf_vars, verification.stats.cnf_clauses);
+    Ok(())
+}

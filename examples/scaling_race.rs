@@ -1,0 +1,70 @@
+//! The headline result as a race: Positive Equality alone vs rewriting
+//! rules + Positive Equality, over growing reorder buffers.
+//!
+//! Reproduces the *shape* of the paper's Tables 2 and 4/5: the PE-only
+//! flow blows up around 8–16 reorder-buffer entries while the rewriting
+//! flow's SAT work stays constant — the source of the reported five orders
+//! of magnitude.
+//!
+//! ```text
+//! cargo run --release --example scaling_race -- [max_size]
+//! ```
+
+use std::time::Instant;
+
+use rob_verify::{Config, Limits, Strategy, Verdict, Verifier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let max_size: usize = args.get(1).map_or(Ok(32), |s| s.parse())?;
+    let width = 2;
+
+    println!("{:>6} | {:>16} | {:>16} | {:>8}", "size", "PE only", "rewriting + PE", "speedup");
+    println!("{:->6}-+-{:->16}-+-{:->16}-+-{:->8}", "", "", "", "");
+
+    let mut size = 2;
+    let mut pe_alive = true;
+    while size <= max_size {
+        let config = Config::new(size, width)?;
+
+        let pe_cell = if pe_alive {
+            let t = Instant::now();
+            let v = Verifier::new(config)
+                .strategy(Strategy::PositiveEqualityOnly)
+                .max_nodes(10_000_000)
+                .sat_limits(Limits { max_seconds: Some(120.0), ..Limits::none() })
+                .run()?;
+            match v.verdict {
+                Verdict::Verified => Some(t.elapsed()),
+                Verdict::ResourceLimit(_) => {
+                    pe_alive = false;
+                    None
+                }
+                other => {
+                    println!("unexpected PE-only verdict at size {size}: {other:?}");
+                    return Ok(());
+                }
+            }
+        } else {
+            None
+        };
+
+        let t = Instant::now();
+        let v = Verifier::new(config).strategy(Strategy::RewritingAndPositiveEquality).run()?;
+        let rw = t.elapsed();
+        if v.verdict != Verdict::Verified {
+            println!("unexpected rewriting verdict at size {size}: {:?}", v.verdict);
+            return Ok(());
+        }
+
+        match pe_cell {
+            Some(pe) => {
+                let speedup = pe.as_secs_f64() / rw.as_secs_f64().max(1e-9);
+                println!("{size:>6} | {pe:>16.2?} | {rw:>16.2?} | {speedup:>7.0}x");
+            }
+            None => println!("{size:>6} | {:>16} | {rw:>16.2?} | {:>8}", "> budget", "—"),
+        }
+        size *= 2;
+    }
+    Ok(())
+}

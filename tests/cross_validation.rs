@@ -1,0 +1,119 @@
+//! Cross-validation of the whole verification stack against independent
+//! semantic ground truth:
+//!
+//! - the brute-force interpretation oracle must agree with the SAT-based
+//!   pipeline on tiny configurations (both verdict directions);
+//! - the two translation strategies must agree with each other;
+//! - mutation coverage: seeded defects must flip the verdict everywhere.
+
+use eufm::oracle::{check_sampled, OracleResult};
+use rob_verify::{BugSpec, Config, Operand, Strategy, Verdict, Verifier};
+
+/// Oracle verdict on the raw EUFM correctness formula.
+fn oracle_verdict(config: Config, bug: Option<BugSpec>) -> bool {
+    let bundle = uarch::correctness::generate_with(&config, bug, tlsim::EvalStrategy::Lazy)
+        .expect("generate");
+    match check_sampled(&bundle.ctx, bundle.formula, 1500) {
+        OracleResult::Valid => true,
+        OracleResult::Invalid(_) => false,
+        OracleResult::Unsupported(msg) => panic!("oracle unsupported: {msg}"),
+    }
+}
+
+fn pipeline_verdict(config: Config, bug: Option<BugSpec>, strategy: Strategy) -> bool {
+    let mut verifier = Verifier::new(config).strategy(strategy);
+    if let Some(b) = bug {
+        verifier = verifier.bug(b);
+    }
+    match verifier.run().expect("run").verdict {
+        Verdict::Verified => true,
+        Verdict::Falsified { .. } | Verdict::SliceDiagnosis { .. } => false,
+        Verdict::ResourceLimit(what) => panic!("unexpected resource limit: {what}"),
+    }
+}
+
+#[test]
+fn oracle_and_pipeline_agree_on_correct_designs() {
+    for (n, k) in [(1, 1), (2, 1), (2, 2), (3, 2)] {
+        let config = Config::new(n, k).expect("config");
+        assert!(oracle_verdict(config, None), "oracle rob{n}xw{k}");
+        assert!(
+            pipeline_verdict(config, None, Strategy::PositiveEqualityOnly),
+            "PE-only rob{n}xw{k}"
+        );
+        assert!(
+            pipeline_verdict(config, None, Strategy::RewritingAndPositiveEquality),
+            "rewriting rob{n}xw{k}"
+        );
+    }
+}
+
+#[test]
+fn oracle_and_pipeline_agree_on_buggy_designs() {
+    let cases = [
+        (3, 2, BugSpec::ForwardingIgnoresValidResult { slice: 2, operand: Operand::Src1 }),
+        (3, 2, BugSpec::RetireOutOfOrder { slice: 2 }),
+        (2, 2, BugSpec::RetireIgnoresValid { slice: 2 }),
+        (3, 1, BugSpec::CompletionUsesStaleResult { slice: 2 }),
+    ];
+    for (n, k, bug) in cases {
+        let config = Config::new(n, k).expect("config");
+        assert!(!oracle_verdict(config, Some(bug)), "oracle must falsify {bug:?}");
+        assert!(
+            !pipeline_verdict(config, Some(bug), Strategy::PositiveEqualityOnly),
+            "PE-only must refute {bug:?}"
+        );
+        assert!(
+            !pipeline_verdict(config, Some(bug), Strategy::RewritingAndPositiveEquality),
+            "rewriting must refute {bug:?}"
+        );
+    }
+}
+
+#[test]
+fn strategies_agree_across_a_grid() {
+    for (n, k) in [(1, 1), (2, 1), (2, 2), (3, 1), (3, 3)] {
+        let config = Config::new(n, k).expect("config");
+        let pe = pipeline_verdict(config, None, Strategy::PositiveEqualityOnly);
+        let rw = pipeline_verdict(config, None, Strategy::RewritingAndPositiveEquality);
+        assert_eq!(pe, rw, "strategies disagree on rob{n}xw{k}");
+    }
+}
+
+#[test]
+fn forwarding_bug_position_sweep() {
+    // Move the defect across the buffer; the diagnosis must track it.
+    let config = Config::new(5, 2).expect("config");
+    for slice in 2..=5 {
+        let bug = BugSpec::ForwardingIgnoresValidResult { slice, operand: Operand::Src2 };
+        let v = Verifier::new(config).bug(bug).run().expect("run");
+        match v.verdict {
+            Verdict::SliceDiagnosis { slice: got, .. } => assert_eq!(got, slice),
+            other => panic!("slice {slice} not diagnosed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn rewritten_formula_passes_the_sampling_oracle() {
+    // The rewritten (simplified) formula must itself be semantically valid:
+    // the prefix replacement is conservative but must not break validity on
+    // correct designs.
+    use evc::rewrite::{rewrite_correctness, RewriteInput, RewriteOptions};
+    for (n, k) in [(2, 1), (3, 2), (4, 2)] {
+        let config = Config::new(n, k).expect("config");
+        let mut bundle = uarch::correctness::generate(&config).expect("generate");
+        let input = RewriteInput {
+            formula: bundle.formula,
+            rf_impl: bundle.rf_impl,
+            rf_spec0: bundle.rf_spec[0],
+        };
+        let outcome = rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default())
+            .expect("rewrite");
+        let verdict = check_sampled(&bundle.ctx, outcome.formula, 800);
+        assert!(
+            verdict.is_valid(),
+            "rewritten formula falsified for rob{n}xw{k}: {verdict:?}"
+        );
+    }
+}

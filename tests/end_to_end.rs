@@ -1,0 +1,147 @@
+//! Workspace-level end-to-end tests of the [`rob_verify::Verifier`] API:
+//! both strategies across a grid of configurations, every bug kind, and the
+//! agreement between strategies on verdicts.
+
+use rob_verify::{
+    BugSpec, Config, Limits, Operand, Strategy, Verdict, Verifier,
+};
+
+#[test]
+fn rewriting_verifies_a_grid_of_configs() {
+    for (n, k) in [(1, 1), (2, 1), (3, 3), (4, 2), (8, 4), (8, 8), (12, 2)] {
+        let config = Config::new(n, k).expect("config");
+        let v = Verifier::new(config).run().expect("run");
+        assert_eq!(v.verdict, Verdict::Verified, "rob{n}xw{k} must verify");
+        assert_eq!(v.stats.eij_vars, 0, "rob{n}xw{k} must need no e_ij variables");
+        assert_eq!(v.stats.retire_pairs, k.min(n));
+    }
+}
+
+#[test]
+fn pe_only_agrees_on_small_configs() {
+    for (n, k) in [(1, 1), (2, 2), (3, 1)] {
+        let config = Config::new(n, k).expect("config");
+        let v = Verifier::new(config)
+            .strategy(Strategy::PositiveEqualityOnly)
+            .run()
+            .expect("run");
+        assert_eq!(v.verdict, Verdict::Verified, "rob{n}xw{k} must verify PE-only");
+    }
+}
+
+#[test]
+fn cnf_size_is_independent_of_rob_size_with_rewriting() {
+    // Paper Table 5: "the results do not depend on the size of the reorder
+    // buffer" once rewriting has removed the initial instructions.
+    let sizes = [4usize, 8, 16, 24];
+    let mut cnf_sizes = Vec::new();
+    for n in sizes {
+        let config = Config::new(n, 2).expect("config");
+        let v = Verifier::new(config).run().expect("run");
+        assert_eq!(v.verdict, Verdict::Verified);
+        cnf_sizes.push((v.stats.cnf_vars, v.stats.cnf_clauses));
+    }
+    assert!(
+        cnf_sizes.windows(2).all(|w| w[0] == w[1]),
+        "CNF size must not vary with reorder-buffer size: {cnf_sizes:?}"
+    );
+}
+
+#[test]
+fn every_bug_kind_is_caught_by_rewriting() {
+    let config = Config::new(6, 3).expect("config");
+    let bugs = [
+        (BugSpec::ForwardingIgnoresValidResult { slice: 4, operand: Operand::Src1 }, 4),
+        (BugSpec::ForwardingIgnoresValidResult { slice: 5, operand: Operand::Src2 }, 5),
+        (BugSpec::ForwardingSkipsNearest { slice: 4, operand: Operand::Src1 }, 4),
+        (BugSpec::RetireOutOfOrder { slice: 2 }, 2),
+        (BugSpec::RetireOutOfOrder { slice: 3 }, 3),
+        (BugSpec::RetireIgnoresValid { slice: 2 }, 2),
+        (BugSpec::CompletionUsesStaleResult { slice: 5 }, 5),
+    ];
+    for (bug, expected_slice) in bugs {
+        let v = Verifier::new(config).bug(bug).run().expect("run");
+        match v.verdict {
+            Verdict::SliceDiagnosis { slice, .. } => {
+                assert_eq!(slice, expected_slice, "bug {bug:?} misattributed");
+            }
+            other => panic!("bug {bug:?} not diagnosed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bugs_also_falsify_under_pe_only() {
+    // PE-only has no localization but must still refute buggy designs.
+    let config = Config::new(3, 1).expect("config");
+    let bugs = [
+        BugSpec::ForwardingIgnoresValidResult { slice: 2, operand: Operand::Src1 },
+        BugSpec::CompletionUsesStaleResult { slice: 3 },
+    ];
+    for bug in bugs {
+        let v = Verifier::new(config)
+            .bug(bug)
+            .strategy(Strategy::PositiveEqualityOnly)
+            .run()
+            .expect("run");
+        assert!(
+            matches!(v.verdict, Verdict::Falsified { .. }),
+            "bug {bug:?} not falsified: {:?}",
+            v.verdict
+        );
+    }
+}
+
+#[test]
+fn retire_ignores_valid_under_pe_only() {
+    // This defect writes the register file for instructions whose Valid bit
+    // is false; width 2 so slice 2 exists within the retire width.
+    let config = Config::new(2, 2).expect("config");
+    let v = Verifier::new(config)
+        .bug(BugSpec::RetireIgnoresValid { slice: 2 })
+        .strategy(Strategy::PositiveEqualityOnly)
+        .run()
+        .expect("run");
+    assert!(matches!(v.verdict, Verdict::Falsified { .. }), "got {:?}", v.verdict);
+}
+
+#[test]
+fn resource_limits_report_gracefully() {
+    let config = Config::new(8, 2).expect("config");
+    let v = Verifier::new(config)
+        .strategy(Strategy::PositiveEqualityOnly)
+        .max_nodes(2_000)
+        .run()
+        .expect("run");
+    assert!(
+        matches!(v.verdict, Verdict::ResourceLimit(_)),
+        "tiny node budget must interrupt translation: {:?}",
+        v.verdict
+    );
+
+    let v = Verifier::new(config)
+        .strategy(Strategy::PositiveEqualityOnly)
+        .sat_limits(Limits { max_conflicts: Some(2), ..Limits::none() })
+        .run()
+        .expect("run");
+    assert!(
+        matches!(v.verdict, Verdict::ResourceLimit(_)),
+        "tiny conflict budget must interrupt SAT: {:?}",
+        v.verdict
+    );
+}
+
+#[test]
+fn timings_are_populated() {
+    let config = Config::new(4, 2).expect("config");
+    let v = Verifier::new(config).run().expect("run");
+    assert!(v.timings.total() > std::time::Duration::ZERO);
+    assert!(v.timings.rewrite > std::time::Duration::ZERO);
+}
+
+#[test]
+fn invalid_bug_configs_error() {
+    let config = Config::new(4, 2).expect("config");
+    let err = Verifier::new(config).bug(BugSpec::paper_variant()).run();
+    assert!(err.is_err(), "slice 72 cannot fit a 4-entry buffer");
+}

@@ -1,0 +1,152 @@
+//! Structural reproduction of the paper's Fig. 2: the Register-File update
+//! chains of a 3-entry, width-2 processor before and after the rewriting
+//! rules.
+
+use evc::chain;
+use evc::rewrite::{rewrite_correctness, RewriteInput, RewriteOptions};
+use eufm::Node;
+use rob_verify::Config;
+
+/// Fig. 2a, specification side: three updates
+/// `<Valid_i, Dest_i, SpecData_i>` over the initial `RegFile`.
+#[test]
+fn spec_side_chain_matches_fig2a() {
+    let config = Config::new(3, 2).expect("config");
+    let bundle = rob_verify::generate_correctness(&config).expect("generate");
+    let ctx = &bundle.ctx;
+    let spec = chain::parse(ctx, bundle.rf_spec[0]).expect("parse");
+    assert_eq!(spec.len(), 3);
+    for (i, u) in spec.updates.iter().enumerate() {
+        // context: the Valid_i propositional variable
+        match ctx.node(u.guard) {
+            Node::Var(sym, _) => {
+                assert_eq!(ctx.name(*sym), format!("Valid_{}", i + 1));
+            }
+            other => panic!("guard of spec update {} is {other:?}", i + 1),
+        }
+        // address: the Dest_i term variable
+        match ctx.node(u.addr) {
+            Node::Var(sym, _) => {
+                assert_eq!(ctx.name(*sym), format!("Dest_{}", i + 1));
+            }
+            other => panic!("address of spec update {} is {other:?}", i + 1),
+        }
+        // data: ITE(ValidResult_i, Result_i, ALU(..))
+        match ctx.node(u.data) {
+            Node::Ite(c, t, e) => {
+                assert!(matches!(ctx.node(*c), Node::Var(..)));
+                assert!(matches!(ctx.node(*t), Node::Var(..)));
+                assert!(matches!(ctx.node(*e), Node::Uf(..)));
+            }
+            other => panic!("data of spec update {} is {other:?}", i + 1),
+        }
+    }
+}
+
+/// Fig. 2a, implementation side: retire-width instructions appear twice
+/// (once retired, once completed by the abstraction function), the third
+/// instruction once, followed by the two newly fetched instructions.
+#[test]
+fn impl_side_chain_matches_fig2a() {
+    let config = Config::new(3, 2).expect("config");
+    let bundle = rob_verify::generate_correctness(&config).expect("generate");
+    let ctx = &bundle.ctx;
+    let chain = chain::parse(ctx, bundle.rf_impl).expect("parse");
+    // 2 retirement updates + 3 completions + 2 newly fetched completions
+    assert_eq!(chain.len(), 7);
+    let addr_names: Vec<String> = chain
+        .updates
+        .iter()
+        .map(|u| match ctx.node(u.addr) {
+            Node::Var(sym, _) => ctx.name(*sym).to_owned(),
+            Node::Uf(sym, _, _) => format!("({})", ctx.name(*sym)),
+            other => panic!("unexpected address {other:?}"),
+        })
+        .collect();
+    assert_eq!(
+        addr_names,
+        vec![
+            "Dest_1",
+            "Dest_2",
+            "Dest_1",
+            "Dest_2",
+            "Dest_3",
+            "(IMemDest)",
+            "(IMemDest)"
+        ]
+    );
+    // Retirement updates write the stored Result_i.
+    for (i, u) in chain.updates[..2].iter().enumerate() {
+        match ctx.node(u.data) {
+            Node::Var(sym, _) => assert_eq!(ctx.name(*sym), format!("Result_{}", i + 1)),
+            other => panic!("retirement data is {other:?}"),
+        }
+    }
+}
+
+/// Fig. 2b: after the rewriting rules, both sides reference
+/// `RegFile_equal_state` and the implementation chain holds only the
+/// newly fetched instructions.
+#[test]
+fn rewritten_chain_matches_fig2b() {
+    let config = Config::new(3, 2).expect("config");
+    let mut bundle = rob_verify::generate_correctness(&config).expect("generate");
+    let input = RewriteInput {
+        formula: bundle.formula,
+        rf_impl: bundle.rf_impl,
+        rf_spec0: bundle.rf_spec[0],
+    };
+    let options = RewriteOptions { render_chains: true, ..RewriteOptions::default() };
+    let outcome =
+        rewrite_correctness(&mut bundle.ctx, &input, &options).expect("rewrite");
+    assert_eq!(outcome.slices, 3);
+    assert_eq!(outcome.retire_pairs, 2);
+
+    let before = outcome.impl_chain_before.as_deref().expect("render requested");
+    let after = outcome.impl_chain_after.as_deref().expect("render requested");
+    assert!(before.contains("Dest_1"), "before:\n{before}");
+    assert!(before.trim_end().ends_with("RegFile:m"), "before:\n{before}");
+    assert!(!after.contains("Dest_1"), "initial updates must be gone:\n{after}");
+    assert!(
+        after.trim_end().ends_with("RegFile_equal_state:m"),
+        "base must be the fresh equal-state variable:\n{after}"
+    );
+    assert!(after.contains("IMemDest"), "newly fetched updates must survive:\n{after}");
+
+    // The rewritten formula must not mention the initial-instruction
+    // destination registers any more.
+    let mut mentions_dest = false;
+    bundle.ctx.visit_post_order(&[outcome.formula], |id| {
+        if let Node::Var(sym, _) = bundle.ctx.node(id) {
+            if bundle.ctx.name(*sym).starts_with("Dest_") {
+                mentions_dest = true;
+            }
+        }
+    });
+    assert!(!mentions_dest, "rewritten formula still mentions Dest_i variables");
+}
+
+/// The retire conditions have the structure of the paper's formula (1):
+/// `retire_2 = Valid_2 ValidResult_2 retire_1`-style nesting makes the
+/// retirement and completion contexts of a slice provably disjoint and
+/// jointly equal to `Valid_i`.
+#[test]
+fn retire_context_algebra() {
+    use eufm::oracle::check_exhaustive;
+    let config = Config::new(3, 2).expect("config");
+    let mut bundle = rob_verify::generate_correctness(&config).expect("generate");
+    let chain = chain::parse(&bundle.ctx, bundle.rf_impl).expect("parse");
+    let ctx = &mut bundle.ctx;
+    // updates 0,1 are retirements of slices 1,2; updates 2,3 their completions
+    for i in 0..2 {
+        let ret = chain.updates[i].guard;
+        let comp = chain.updates[i + 2].guard;
+        let valid = ctx.pvar(&format!("Valid_{}", i + 1));
+        let overlap = ctx.and2(ret, comp);
+        let no_overlap = ctx.not(overlap);
+        assert!(check_exhaustive(ctx, no_overlap, 1 << 22).is_valid());
+        let together = ctx.or2(ret, comp);
+        let same = ctx.iff(together, valid);
+        assert!(check_exhaustive(ctx, same, 1 << 22).is_valid());
+    }
+}

@@ -1,0 +1,278 @@
+//! Property-based tests over the core data structures and transformation
+//! passes, using random EUFM formulas and random CNF instances.
+
+use proptest::prelude::*;
+
+use eufm::oracle::{check_exhaustive, check_sampled, OracleResult};
+use eufm::{Context, ExprId, Sort};
+use sat::cnf::{Cnf, Lit, Var};
+use sat::solver::{Outcome, Solver};
+
+// ---------------------------------------------------------------------------
+// Random EUFM formula generation
+// ---------------------------------------------------------------------------
+
+/// A compact recipe for building a random formula inside a fresh context.
+#[derive(Debug, Clone)]
+enum FormulaOp {
+    PropVar(u8),
+    EqVars(u8, u8),
+    EqUf(u8, u8),
+    Not,
+    And,
+    Or,
+    Ite,
+}
+
+fn formula_ops() -> impl Strategy<Value = Vec<FormulaOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..4).prop_map(FormulaOp::PropVar),
+            (0u8..4, 0u8..4).prop_map(|(a, b)| FormulaOp::EqVars(a, b)),
+            (0u8..4, 0u8..4).prop_map(|(a, b)| FormulaOp::EqUf(a, b)),
+            Just(FormulaOp::Not),
+            Just(FormulaOp::And),
+            Just(FormulaOp::Or),
+            Just(FormulaOp::Ite),
+        ],
+        1..40,
+    )
+}
+
+/// Builds a formula from a stack program; always leaves one formula.
+fn build_formula(ctx: &mut Context, ops: &[FormulaOp]) -> ExprId {
+    let tvars: Vec<ExprId> = (0..4).map(|i| ctx.tvar(&format!("t{i}"))).collect();
+    let mut stack: Vec<ExprId> = Vec::new();
+    for op in ops {
+        match op {
+            FormulaOp::PropVar(i) => stack.push(ctx.pvar(&format!("p{i}"))),
+            FormulaOp::EqVars(a, b) => {
+                let e = ctx.eq(tvars[*a as usize], tvars[*b as usize]);
+                stack.push(e);
+            }
+            FormulaOp::EqUf(a, b) => {
+                let fa = ctx.uf("f", vec![tvars[*a as usize]]);
+                let fb = ctx.uf("f", vec![tvars[*b as usize]]);
+                let e = ctx.eq(fa, fb);
+                stack.push(e);
+            }
+            FormulaOp::Not => {
+                if let Some(x) = stack.pop() {
+                    let n = ctx.not(x);
+                    stack.push(n);
+                }
+            }
+            FormulaOp::And => {
+                if stack.len() >= 2 {
+                    let b = stack.pop().expect("len checked");
+                    let a = stack.pop().expect("len checked");
+                    let r = ctx.and2(a, b);
+                    stack.push(r);
+                }
+            }
+            FormulaOp::Or => {
+                if stack.len() >= 2 {
+                    let b = stack.pop().expect("len checked");
+                    let a = stack.pop().expect("len checked");
+                    let r = ctx.or2(a, b);
+                    stack.push(r);
+                }
+            }
+            FormulaOp::Ite => {
+                if stack.len() >= 3 {
+                    let e = stack.pop().expect("len checked");
+                    let t = stack.pop().expect("len checked");
+                    let c = stack.pop().expect("len checked");
+                    let r = ctx.ite(c, t, e);
+                    stack.push(r);
+                }
+            }
+        }
+    }
+    let fallback = ctx.pvar("p0");
+    stack.pop().unwrap_or(fallback)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full EVC translation (UF elimination + Positive Equality + SAT)
+    /// agrees with the brute-force oracle on random formulas.
+    #[test]
+    fn evc_check_agrees_with_oracle(ops in formula_ops()) {
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &ops);
+        let expected = match check_sampled(&ctx, f, 600) {
+            OracleResult::Valid => true,
+            OracleResult::Invalid(_) => false,
+            OracleResult::Unsupported(_) => return Ok(()),
+        };
+        let report = evc::check::check_validity(
+            &mut ctx, f, &evc::check::CheckOptions::default());
+        let got = report.outcome.is_valid();
+        // The sampling oracle can only err by calling an invalid formula
+        // valid; a formula the pipeline PROVES valid therefore must pass
+        // sampling, and a formula the pipeline refutes must... also be
+        // refutable. Both directions must agree up to sampling confidence.
+        prop_assert_eq!(got, expected,
+            "pipeline and oracle disagree on {}", eufm::print::to_sexpr(&ctx, f));
+    }
+
+    /// UF elimination preserves exact validity (checked by the exhaustive
+    /// oracle on the UF-free result and sampling on the original).
+    #[test]
+    fn uf_elimination_preserves_validity(ops in formula_ops()) {
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &ops);
+        let before = match check_sampled(&ctx, f, 600) {
+            OracleResult::Valid => true,
+            OracleResult::Invalid(_) => false,
+            OracleResult::Unsupported(_) => return Ok(()),
+        };
+        let elim = evc::uf_elim::eliminate(&mut ctx, f);
+        match check_exhaustive(&ctx, elim.root, 1 << 22) {
+            OracleResult::Valid => prop_assert!(before),
+            OracleResult::Invalid(_) => prop_assert!(!before),
+            OracleResult::Unsupported(_) => {}
+        }
+    }
+
+    /// Substitution of a variable by a constant is evaluation-compatible.
+    #[test]
+    fn cofactor_agrees_with_evaluation(ops in formula_ops(), value in any::<bool>()) {
+        use eufm::eval::{eval_formula, Assignment, HashModel};
+        use eufm::subst::cofactor;
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &ops);
+        let p = ctx.pvar("p0");
+        let g = cofactor(&mut ctx, f, p, value);
+        let model = HashModel::new(11, 5);
+        for seed in 0..20u64 {
+            let mut asn = Assignment::default();
+            for i in 0..4 {
+                let v = ctx.pvar(&format!("p{i}"));
+                asn.boolean.insert(v, (seed >> i) & 1 == 1);
+            }
+            for i in 0..4 {
+                let v = ctx.tvar(&format!("t{i}"));
+                asn.term.insert(v, (seed + i) % 5);
+            }
+            asn.boolean.insert(p, value);
+            prop_assert_eq!(
+                eval_formula(&ctx, f, &asn, &model),
+                eval_formula(&ctx, g, &asn, &model)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SAT solver vs brute force
+// ---------------------------------------------------------------------------
+
+fn arb_cnf() -> impl Strategy<Value = (usize, Vec<Vec<i8>>)> {
+    (2usize..=8).prop_flat_map(|nvars| {
+        let clause = prop::collection::vec(
+            (0..nvars as i8 * 2).prop_map(move |x| x - nvars as i8),
+            1..4,
+        );
+        prop::collection::vec(clause, 1..24).prop_map(move |cs| (nvars, cs))
+    })
+}
+
+fn brute_force_sat(nvars: usize, clauses: &[Vec<Lit>]) -> bool {
+    (0u32..1 << nvars).any(|bits| {
+        clauses.iter().all(|c| {
+            c.iter().any(|l| {
+                let val = bits >> l.var().index() & 1 == 1;
+                val == l.is_positive()
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CDCL solver agrees with exhaustive enumeration on random small
+    /// CNFs, and its models really satisfy the formula.
+    #[test]
+    fn cdcl_agrees_with_brute_force((nvars, raw) in arb_cnf()) {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..nvars).map(|_| cnf.new_var()).collect();
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for rc in &raw {
+            let clause: Vec<Lit> = rc
+                .iter()
+                .map(|&x| {
+                    let idx = (x.unsigned_abs() as usize).min(nvars.saturating_sub(1));
+                    Lit::with_sign(vars[idx], x >= 0)
+                })
+                .collect();
+            cnf.add_clause(clause.iter().copied());
+            clauses.push(clause);
+        }
+        let expected = brute_force_sat(nvars, &clauses);
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            Outcome::Sat(model) => {
+                prop_assert!(expected, "solver found a model for an UNSAT formula");
+                for c in &clauses {
+                    prop_assert!(c.iter().any(|&l| model.lit_value(l)),
+                        "model violates clause");
+                }
+            }
+            Outcome::Unsat => prop_assert!(!expected, "solver refuted a SAT formula"),
+            Outcome::Unknown(r) => prop_assert!(false, "unexpected limit: {r:?}"),
+        }
+    }
+
+    /// DIMACS round-trips arbitrary CNFs.
+    #[test]
+    fn dimacs_roundtrip((nvars, raw) in arb_cnf()) {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..nvars).map(|_| cnf.new_var()).collect();
+        for rc in &raw {
+            let clause: Vec<Lit> = rc
+                .iter()
+                .map(|&x| {
+                    let idx = (x.unsigned_abs() as usize).min(nvars.saturating_sub(1));
+                    Lit::with_sign(vars[idx], x >= 0)
+                })
+                .collect();
+            cnf.add_clause(clause);
+        }
+        let text = sat::dimacs::to_dimacs(&cnf);
+        let parsed = sat::dimacs::from_dimacs(&text).expect("parse");
+        prop_assert_eq!(sat::dimacs::to_dimacs(&parsed), text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-consing invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rebuilding the same formula in the same context yields the same id;
+    /// print/parse round-tripping reaches a fixed point after one
+    /// normalization (equation orientation is canonical per context, so the
+    /// first reparse may flip operand order, after which the form is
+    /// stable).
+    #[test]
+    fn consing_and_print_roundtrip(ops in formula_ops()) {
+        let mut ctx = Context::new();
+        let f1 = build_formula(&mut ctx, &ops);
+        let f2 = build_formula(&mut ctx, &ops);
+        prop_assert_eq!(f1, f2);
+        prop_assert_eq!(ctx.sort(f1), Sort::Bool);
+        let printed = eufm::print::to_sexpr(&ctx, f1);
+        let mut ctx2 = Context::new();
+        let parsed = eufm::parse::from_sexpr(&mut ctx2, &printed).expect("reparse");
+        let normalized = eufm::print::to_sexpr(&ctx2, parsed);
+        let mut ctx3 = Context::new();
+        let reparsed = eufm::parse::from_sexpr(&mut ctx3, &normalized).expect("reparse");
+        prop_assert_eq!(eufm::print::to_sexpr(&ctx3, reparsed), normalized);
+    }
+}
