@@ -20,9 +20,7 @@ fn bench_coi(c: &mut Criterion) {
     group.sample_size(10);
     let config = Config::new(32, 4).expect("config");
     group.bench_function("lazy", |b| {
-        b.iter(|| {
-            correctness::generate_with(&config, None, EvalStrategy::Lazy).expect("generate")
-        });
+        b.iter(|| correctness::generate_with(&config, None, EvalStrategy::Lazy).expect("generate"));
     });
     group.bench_function("eager", |b| {
         b.iter(|| {
@@ -62,8 +60,10 @@ fn bench_tseitin(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_tseitin");
     group.sample_size(10);
     let config = Config::new(4, 2).expect("config");
-    for (label, mode) in [("full", sat::Mode::Full), ("polarity_aware", sat::Mode::PolarityAware)]
-    {
+    for (label, mode) in [
+        ("full", sat::Mode::Full),
+        ("polarity_aware", sat::Mode::PolarityAware),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut bundle = correctness::generate(&config).expect("generate");
@@ -99,7 +99,10 @@ fn bench_memory_model(c: &mut Criterion) {
                 let outcome =
                     rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default())
                         .expect("rewrite");
-                let opts = CheckOptions { memory, ..CheckOptions::default() };
+                let opts = CheckOptions {
+                    memory,
+                    ..CheckOptions::default()
+                };
                 let report = check_validity(&mut bundle.ctx, outcome.formula, &opts);
                 assert!(report.outcome.is_valid());
             });

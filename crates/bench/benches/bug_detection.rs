@@ -11,28 +11,24 @@ fn bench_bug_detection(c: &mut Criterion) {
     group.sample_size(10);
     for (size, width, slice) in [(16usize, 2usize, 10usize), (64, 4, 40)] {
         let config = Config::new(size, width).expect("config");
-        let bug = BugSpec::ForwardingIgnoresValidResult { slice, operand: Operand::Src2 };
+        let bug = BugSpec::ForwardingIgnoresValidResult {
+            slice,
+            operand: Operand::Src2,
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("buggy_rob{size}xw{width}_s{slice}")),
             &(config, bug, slice),
             |b, (config, bug, slice)| {
                 b.iter(|| {
-                    let mut bundle = correctness::generate_with(
-                        config,
-                        Some(*bug),
-                        tlsim::EvalStrategy::Lazy,
-                    )
-                    .expect("generate");
+                    let mut bundle =
+                        correctness::generate_with(config, Some(*bug), tlsim::EvalStrategy::Lazy)
+                            .expect("generate");
                     let input = RewriteInput {
                         formula: bundle.formula,
                         rf_impl: bundle.rf_impl,
                         rf_spec0: bundle.rf_spec[0],
                     };
-                    match rewrite_correctness(
-                        &mut bundle.ctx,
-                        &input,
-                        &RewriteOptions::default(),
-                    ) {
+                    match rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default()) {
                         Err(RewriteError::Slice { slice: got, .. }) => assert_eq!(got, *slice),
                         other => panic!("expected diagnosis, got {other:?}"),
                     }

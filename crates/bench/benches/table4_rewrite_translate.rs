@@ -25,12 +25,9 @@ fn bench_rewrite(c: &mut Criterion) {
                         rf_impl: bundle.rf_impl,
                         rf_spec0: bundle.rf_spec[0],
                     };
-                    let outcome = rewrite_correctness(
-                        &mut bundle.ctx,
-                        &input,
-                        &RewriteOptions::default(),
-                    )
-                    .expect("rewrite");
+                    let outcome =
+                        rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default())
+                            .expect("rewrite");
                     let opts = CheckOptions {
                         memory: MemoryModel::Conservative,
                         ..CheckOptions::default()

@@ -4,11 +4,11 @@
 //! the smallest feasible size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eufm::Context;
+use eufm::ExprId;
 use evc::check::{check_validity, CheckOptions};
 use evc::mem::MemoryModel;
 use evc::rewrite::{rewrite_correctness, RewriteInput, RewriteOptions};
-use eufm::Context;
-use eufm::ExprId;
 use uarch::{correctness, Config};
 
 fn rewritten_formula(width: usize) -> (Context, ExprId) {

@@ -91,12 +91,55 @@ pub struct SweepOptions {
     pub sat_budget: f64,
     /// Translation node budget per cell.
     pub node_budget: usize,
+    /// Worker threads for computing independent cells. Defaults to 1 so
+    /// per-cell CPU times stay comparable to the paper's serial runs;
+    /// raise it when only the table *values* (counts, verdicts) matter
+    /// or wall-clock turnaround is the priority.
+    pub workers: usize,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { max_size: 256, max_width: 128, sat_budget: 60.0, node_budget: 6_000_000 }
+        SweepOptions {
+            max_size: 256,
+            max_width: 128,
+            sat_budget: 60.0,
+            node_budget: 6_000_000,
+            workers: 1,
+        }
     }
+}
+
+/// Computes independent table cells on the campaign crate's
+/// work-stealing pool.
+///
+/// Returns one entry per input pair, in input order. Cells run with
+/// panic isolation: a crashing cell becomes `None` (rendered as a dash)
+/// instead of tearing down the whole sweep.
+pub fn parallel_cells<C, F>(pairs: Vec<(usize, usize)>, workers: usize, cell: F) -> Vec<Option<C>>
+where
+    C: Send + 'static,
+    F: Fn(usize, usize) -> Option<C> + Send + Sync + 'static,
+{
+    use campaign::pool::{self, CancelToken, ExecOutcome, PoolOptions};
+    let options = PoolOptions {
+        workers: workers.max(1),
+        timeout: None,
+        retries: 0,
+    };
+    pool::execute(
+        pairs,
+        &options,
+        &CancelToken::new(),
+        std::sync::Arc::new(move |&(size, width): &(usize, usize)| cell(size, width)),
+        &(),
+    )
+    .into_iter()
+    .map(|result| match result.outcome {
+        ExecOutcome::Done(value) => value,
+        _ => None,
+    })
+    .collect()
 }
 
 /// The paper's size and width ladders, clipped to the sweep bounds.
@@ -131,15 +174,25 @@ pub fn generation_cell(size: usize, width: usize) -> Option<(Duration, Correctne
 
 /// Table 1: formula-generation (symbolic simulation) times.
 pub fn table1(opts: &SweepOptions) -> Table {
+    let sizes = size_ladder(opts);
+    let widths = width_ladder(opts);
+    let pairs: Vec<(usize, usize)> = sizes
+        .iter()
+        .flat_map(|&s| widths.iter().map(move |&w| (s, w)))
+        .collect();
+    let computed = parallel_cells(pairs, opts.workers, |size, width| {
+        generation_cell(size, width).map(|(t, _)| t)
+    });
     let mut rows = Vec::new();
-    for size in size_ladder(opts) {
-        let mut cells = Vec::new();
-        for width in width_ladder(opts) {
-            match generation_cell(size, width) {
-                Some((t, _)) => cells.push(secs(t)),
-                None => cells.push(Cell::Dash),
-            }
-        }
+    let mut iter = computed.into_iter();
+    for size in &sizes {
+        let cells = widths
+            .iter()
+            .map(|_| match iter.next().expect("cell per pair") {
+                Some(t) => secs(t),
+                None => Cell::Dash,
+            })
+            .collect();
         rows.push((size.to_string(), cells));
     }
     Table {
@@ -173,7 +226,10 @@ pub fn pe_only_cell(size: usize, width: usize, opts: &SweepOptions) -> Option<Pe
     let check = CheckOptions {
         memory: MemoryModel::Forwarding,
         max_nodes: opts.node_budget,
-        sat_limits: Limits { max_seconds: Some(opts.sat_budget), ..Limits::none() },
+        sat_limits: Limits {
+            max_seconds: Some(opts.sat_budget),
+            ..Limits::none()
+        },
         ..CheckOptions::default()
     };
     let report = check_validity(&mut bundle.ctx, bundle.formula, &check);
@@ -192,26 +248,44 @@ pub fn table2(opts: &SweepOptions) -> Table {
     let widths: Vec<usize> = width_ladder(opts).into_iter().filter(|&w| w <= 8).collect();
     let mut rows = Vec::new();
     let mut dead_sizes = false;
+    // Rows stay sequential so the over-budget cascade can skip larger
+    // sizes entirely; the widths within a row are independent and run
+    // on the pool.
     for size in sizes {
-        let mut cells = Vec::new();
-        for &width in &widths {
-            if width > size {
-                cells.push(Cell::Dash);
-                continue;
-            }
-            if dead_sizes {
-                cells.push(Cell::OverBudget);
-                continue;
-            }
-            match pe_only_cell(size, width, opts) {
-                Some(cell) if cell.completed => cells.push(secs(cell.sat_time)),
-                Some(_) => cells.push(Cell::OverBudget),
-                None => cells.push(Cell::Dash),
-            }
-        }
+        let cells: Vec<Cell> = if dead_sizes {
+            widths
+                .iter()
+                .map(|&w| {
+                    if w > size {
+                        Cell::Dash
+                    } else {
+                        Cell::OverBudget
+                    }
+                })
+                .collect()
+        } else {
+            let sweep = *opts;
+            let pairs: Vec<(usize, usize)> = widths.iter().map(|&w| (size, w)).collect();
+            parallel_cells(pairs, opts.workers, move |size, width| {
+                if width > size {
+                    return None;
+                }
+                pe_only_cell(size, width, &sweep)
+            })
+            .into_iter()
+            .map(|computed| match computed {
+                Some(cell) if cell.completed => secs(cell.sat_time),
+                Some(_) => Cell::OverBudget,
+                None => Cell::Dash,
+            })
+            .collect()
+        };
         // Once every width blows the budget, larger sizes only get worse
         // (mirrors the paper stopping at 16 entries).
-        if cells.iter().all(|c| matches!(c, Cell::OverBudget | Cell::Dash)) {
+        if cells
+            .iter()
+            .all(|c| matches!(c, Cell::OverBudget | Cell::Dash))
+        {
             dead_sizes = true;
         }
         rows.push((size.to_string(), cells));
@@ -229,24 +303,41 @@ pub fn table2(opts: &SweepOptions) -> Table {
 /// Table 3: CNF statistics at 8 reorder-buffer entries, PE only.
 pub fn table3(opts: &SweepOptions) -> Table {
     let widths: Vec<usize> = [1usize, 2, 4, 8].into_iter().collect();
+    let sweep = *opts;
+    let computed = parallel_cells(
+        widths.iter().map(|&w| (8usize, w)).collect(),
+        opts.workers,
+        move |size, width| pe_only_cell(size, width, &sweep),
+    );
     let mut eij = Vec::new();
     let mut other = Vec::new();
     let mut total = Vec::new();
     let mut vars = Vec::new();
     let mut clauses = Vec::new();
     let mut time = Vec::new();
-    for &width in &widths {
-        match pe_only_cell(8, width, opts) {
+    for cell in computed {
+        match cell {
             Some(cell) => {
                 eij.push(Cell::Count(cell.stats.eij_vars));
                 other.push(Cell::Count(cell.stats.other_vars));
                 total.push(Cell::Count(cell.stats.total_primary()));
                 vars.push(Cell::Count(cell.stats.cnf_vars));
                 clauses.push(Cell::Count(cell.stats.cnf_clauses));
-                time.push(if cell.completed { secs(cell.sat_time) } else { Cell::OverBudget });
+                time.push(if cell.completed {
+                    secs(cell.sat_time)
+                } else {
+                    Cell::OverBudget
+                });
             }
             None => {
-                for v in [&mut eij, &mut other, &mut total, &mut vars, &mut clauses, &mut time] {
+                for v in [
+                    &mut eij,
+                    &mut other,
+                    &mut total,
+                    &mut vars,
+                    &mut clauses,
+                    &mut time,
+                ] {
                     v.push(Cell::Dash);
                 }
             }
@@ -294,7 +385,10 @@ pub fn rewrite_cell(size: usize, width: usize, opts: &SweepOptions) -> Option<Re
     let outcome = rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default()).ok()?;
     let check = CheckOptions {
         memory: MemoryModel::Conservative,
-        sat_limits: Limits { max_seconds: Some(opts.sat_budget), ..Limits::none() },
+        sat_limits: Limits {
+            max_seconds: Some(opts.sat_budget),
+            ..Limits::none()
+        },
         ..CheckOptions::default()
     };
     let report = check_validity(&mut bundle.ctx, outcome.formula, &check);
@@ -309,15 +403,26 @@ pub fn rewrite_cell(size: usize, width: usize, opts: &SweepOptions) -> Option<Re
 /// Table 4: EUFM-to-Boolean translation times with rewriting rules +
 /// Positive Equality.
 pub fn table4(opts: &SweepOptions) -> Table {
+    let sizes = size_ladder(opts);
+    let widths = width_ladder(opts);
+    let pairs: Vec<(usize, usize)> = sizes
+        .iter()
+        .flat_map(|&s| widths.iter().map(move |&w| (s, w)))
+        .collect();
+    let sweep = *opts;
+    let computed = parallel_cells(pairs, opts.workers, move |size, width| {
+        rewrite_cell(size, width, &sweep)
+    });
     let mut rows = Vec::new();
-    for size in size_ladder(opts) {
-        let mut cells = Vec::new();
-        for width in width_ladder(opts) {
-            match rewrite_cell(size, width, opts) {
-                Some(cell) => cells.push(secs(cell.translate_time)),
-                None => cells.push(Cell::Dash),
-            }
-        }
+    let mut iter = computed.into_iter();
+    for size in &sizes {
+        let cells = widths
+            .iter()
+            .map(|_| match iter.next().expect("cell per pair") {
+                Some(cell) => secs(cell.translate_time),
+                None => Cell::Dash,
+            })
+            .collect();
         rows.push((size.to_string(), cells));
     }
     Table {
@@ -335,25 +440,41 @@ pub fn table4(opts: &SweepOptions) -> Table {
 /// feasible size per width).
 pub fn table5(opts: &SweepOptions) -> Table {
     let widths = width_ladder(opts);
+    let sweep = *opts;
+    let computed = parallel_cells(
+        widths.iter().map(|&w| (w.max(2), w)).collect(),
+        opts.workers,
+        move |size, width| rewrite_cell(size, width, &sweep),
+    );
     let mut eij = Vec::new();
     let mut other = Vec::new();
     let mut total = Vec::new();
     let mut vars = Vec::new();
     let mut clauses = Vec::new();
     let mut time = Vec::new();
-    for &width in &widths {
-        let size = width.max(2);
-        match rewrite_cell(size, width, opts) {
+    for cell in computed {
+        match cell {
             Some(cell) => {
                 eij.push(Cell::Count(cell.stats.eij_vars));
                 other.push(Cell::Count(cell.stats.other_vars));
                 total.push(Cell::Count(cell.stats.total_primary()));
                 vars.push(Cell::Count(cell.stats.cnf_vars));
                 clauses.push(Cell::Count(cell.stats.cnf_clauses));
-                time.push(if cell.valid { secs(cell.sat_time) } else { Cell::OverBudget });
+                time.push(if cell.valid {
+                    secs(cell.sat_time)
+                } else {
+                    Cell::OverBudget
+                });
             }
             None => {
-                for v in [&mut eij, &mut other, &mut total, &mut vars, &mut clauses, &mut time] {
+                for v in [
+                    &mut eij,
+                    &mut other,
+                    &mut total,
+                    &mut vars,
+                    &mut clauses,
+                    &mut time,
+                ] {
                     v.push(Cell::Dash);
                 }
             }
@@ -393,12 +514,14 @@ pub struct BugExperiment {
 /// Runs the buggy-variant experiment.
 pub fn bug_experiment(opts: &SweepOptions) -> BugExperiment {
     let config = Config::new(128, 4).expect("paper configuration");
-    let bug = BugSpec::ForwardingIgnoresValidResult { slice: 72, operand: Operand::Src2 };
+    let bug = BugSpec::ForwardingIgnoresValidResult {
+        slice: 72,
+        operand: Operand::Src2,
+    };
 
     let t = Instant::now();
-    let mut bundle =
-        correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
-            .expect("generate");
+    let mut bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
+        .expect("generate");
     let input = RewriteInput {
         formula: bundle.formula,
         rf_impl: bundle.rf_impl,
@@ -417,13 +540,15 @@ pub fn bug_experiment(opts: &SweepOptions) -> BugExperiment {
     let correct_time = t.elapsed();
 
     // PE-only on the buggy variant: expected to exhaust its budget.
-    let mut bundle =
-        correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
-            .expect("generate");
+    let mut bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
+        .expect("generate");
     let check = CheckOptions {
         memory: MemoryModel::Forwarding,
         max_nodes: opts.node_budget.min(3_000_000),
-        sat_limits: Limits { max_seconds: Some(opts.sat_budget), ..Limits::none() },
+        sat_limits: Limits {
+            max_seconds: Some(opts.sat_budget),
+            ..Limits::none()
+        },
         ..CheckOptions::default()
     };
     let t = Instant::now();
@@ -433,7 +558,12 @@ pub fn bug_experiment(opts: &SweepOptions) -> BugExperiment {
         _ => secs(t.elapsed()),
     };
 
-    BugExperiment { rewriting_time, diagnosed_slice, correct_time, pe_only }
+    BugExperiment {
+        rewriting_time,
+        diagnosed_slice,
+        correct_time,
+        pe_only,
+    }
 }
 
 #[cfg(test)]
@@ -446,10 +576,7 @@ mod tests {
             title: "T".to_owned(),
             row_header: "r".to_owned(),
             columns: vec!["1".to_owned(), "2".to_owned()],
-            rows: vec![(
-                "4".to_owned(),
-                vec![Cell::Seconds(0.1234), Cell::Dash],
-            )],
+            rows: vec![("4".to_owned(), vec![Cell::Seconds(0.1234), Cell::Dash])],
         };
         let md = render_markdown(&table);
         assert!(md.contains("| 4 | 0.123 | — |"), "{md}");
@@ -457,7 +584,11 @@ mod tests {
 
     #[test]
     fn ladders_respect_bounds() {
-        let opts = SweepOptions { max_size: 16, max_width: 4, ..SweepOptions::default() };
+        let opts = SweepOptions {
+            max_size: 16,
+            max_width: 4,
+            ..SweepOptions::default()
+        };
         assert_eq!(size_ladder(&opts), vec![2, 4, 8, 16]);
         assert_eq!(width_ladder(&opts), vec![1, 2, 4]);
     }
@@ -469,6 +600,7 @@ mod tests {
             max_width: 2,
             sat_budget: 30.0,
             node_budget: 5_000_000,
+            workers: 1,
         };
         let (t, _) = generation_cell(4, 2).expect("generation");
         assert!(t.as_secs_f64() < 30.0);
@@ -477,5 +609,34 @@ mod tests {
         let cell = rewrite_cell(4, 2, &opts).expect("rewrite cell");
         assert!(cell.valid);
         assert_eq!(cell.stats.eij_vars, 0);
+    }
+
+    #[test]
+    fn parallel_cells_match_serial() {
+        let pairs = vec![(4usize, 1usize), (4, 2), (2, 8), (8, 2)];
+        let serial = parallel_cells(pairs.clone(), 1, |s, w| (w <= s).then(|| s * 10 + w));
+        let parallel = parallel_cells(pairs, 4, |s, w| (w <= s).then(|| s * 10 + w));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, vec![Some(41), Some(42), None, Some(82)]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_table_counts() {
+        let serial = SweepOptions {
+            max_size: 4,
+            max_width: 2,
+            ..SweepOptions::default()
+        };
+        let parallel = SweepOptions {
+            workers: 4,
+            ..serial
+        };
+        let a = table5(&serial);
+        let b = table5(&parallel);
+        // All count rows (everything except the SAT-time row) are
+        // functions of the configuration alone.
+        for (ra, rb) in a.rows.iter().zip(&b.rows).take(5) {
+            assert_eq!(ra, rb, "row {} must be scheduling-independent", ra.0);
+        }
     }
 }

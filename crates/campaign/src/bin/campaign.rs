@@ -1,0 +1,277 @@
+//! `campaign` — run a verification sweep from flags or a sweep file.
+//!
+//! ```text
+//! campaign --sizes 8,16 --widths 2,4 --strategies rewrite+pe,pe-only \
+//!          --workers 8 --events events.jsonl
+//! campaign table2.toml --events events.jsonl
+//! ```
+//!
+//! Exit status: 0 if every job produced its expected outcome, 1 if any
+//! job was unexpected (wrong verdict, crash, timeout, error), 2 for
+//! usage errors.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use campaign::{Event, EventSink, JsonlSink, NullSink, Outcome, Sweep, SweepFile, Tee};
+use rob_verify::{BugSpec, Strategy};
+
+const USAGE: &str = "\
+usage: campaign [SWEEP_FILE] [options]
+
+Runs a verification campaign described by a sweep file (TOML subset)
+and/or command-line flags. Flags override file settings.
+
+options:
+  --sizes N,N,...        reorder-buffer sizes to sweep
+  --widths K,K,...       issue/retire widths to sweep
+  --strategies S,S,...   rewrite+pe (default) and/or pe-only
+  --bugs B,B,...         bug specs (kind:slice[:operand]) or `none`
+  --max-conflicts N      SAT conflict limit per job
+  --max-sat-secs S       SAT time limit per job (seconds)
+  --workers N            worker threads (default: available parallelism)
+  --timeout-secs S       per-job wall-clock deadline
+  --retries N            extra attempts for timed-out jobs
+  --fail-fast            abort on first unexpected falsification
+  --events PATH          write the JSONL event stream to PATH
+  --quiet                suppress per-job progress lines
+  --help                 show this message
+";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("campaign: {message}");
+            eprintln!("run `campaign --help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Args {
+    sweep_file: Option<String>,
+    sizes: Option<Vec<usize>>,
+    widths: Option<Vec<usize>>,
+    strategies: Option<Vec<Strategy>>,
+    bugs: Option<Vec<Option<BugSpec>>>,
+    max_conflicts: Option<u64>,
+    max_sat_secs: Option<f64>,
+    workers: Option<usize>,
+    timeout_secs: Option<f64>,
+    retries: Option<u32>,
+    fail_fast: bool,
+    events: Option<String>,
+    quiet: bool,
+}
+
+fn parse_list<T, E: std::fmt::Display>(
+    flag: &str,
+    value: &str,
+    parse: impl Fn(&str) -> Result<T, E>,
+) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| parse(part.trim()).map_err(|e| format!("{flag}: {e}")))
+        .collect()
+}
+
+fn parse_args(argv: Vec<String>) -> Result<Args, String> {
+    let mut args = Args {
+        sweep_file: None,
+        sizes: None,
+        widths: None,
+        strategies: None,
+        bugs: None,
+        max_conflicts: None,
+        max_sat_secs: None,
+        workers: None,
+        timeout_secs: None,
+        retries: None,
+        fail_fast: false,
+        events: None,
+        quiet: false,
+    };
+    let mut iter = argv.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--sizes" => {
+                let v = value("--sizes")?;
+                args.sizes = Some(parse_list("--sizes", &v, str::parse::<usize>)?);
+            }
+            "--widths" => {
+                let v = value("--widths")?;
+                args.widths = Some(parse_list("--widths", &v, str::parse::<usize>)?);
+            }
+            "--strategies" => {
+                let v = value("--strategies")?;
+                args.strategies = Some(parse_list("--strategies", &v, str::parse::<Strategy>)?);
+            }
+            "--bugs" => {
+                let v = value("--bugs")?;
+                args.bugs = Some(parse_list("--bugs", &v, |part| {
+                    if part == "none" {
+                        Ok(None)
+                    } else {
+                        part.parse::<BugSpec>().map(Some)
+                    }
+                })?);
+            }
+            "--max-conflicts" => {
+                let v = value("--max-conflicts")?;
+                args.max_conflicts = Some(v.parse().map_err(|e| format!("--max-conflicts: {e}"))?);
+            }
+            "--max-sat-secs" => {
+                let v = value("--max-sat-secs")?;
+                args.max_sat_secs = Some(v.parse().map_err(|e| format!("--max-sat-secs: {e}"))?);
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                args.workers = Some(v.parse().map_err(|e| format!("--workers: {e}"))?);
+            }
+            "--timeout-secs" => {
+                let v = value("--timeout-secs")?;
+                args.timeout_secs = Some(v.parse().map_err(|e| format!("--timeout-secs: {e}"))?);
+            }
+            "--retries" => {
+                let v = value("--retries")?;
+                args.retries = Some(v.parse().map_err(|e| format!("--retries: {e}"))?);
+            }
+            "--fail-fast" => args.fail_fast = true,
+            "--events" => args.events = Some(value("--events")?),
+            "--quiet" => args.quiet = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            path => {
+                if args.sweep_file.replace(path.to_string()).is_some() {
+                    return Err("at most one sweep file may be given".into());
+                }
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Prints one line per resolved job plus the summary table.
+struct ProgressSink {
+    quiet: bool,
+}
+
+impl EventSink for ProgressSink {
+    fn emit(&self, event: &Event) {
+        match event {
+            Event::CampaignStarted {
+                total_jobs,
+                workers,
+                ..
+            } => {
+                eprintln!("campaign: {total_jobs} jobs on {workers} workers");
+            }
+            Event::JobFinished(result) if !self.quiet => {
+                let marker = if result.is_expected() { "ok " } else { "FAIL" };
+                let detail = match &result.outcome {
+                    Outcome::Completed(v) => v.verdict.label(),
+                    other => other.label(),
+                };
+                eprintln!(
+                    "  [{marker}] {:<40} {:>8.2}s  {detail}",
+                    result.job.label(),
+                    result.duration.as_secs_f64(),
+                );
+            }
+            Event::CampaignSummary(report) => {
+                eprint!("{}", report.render());
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<bool, String> {
+    let args = parse_args(argv)?;
+
+    // Start from the sweep file (if any), then let flags override.
+    let mut file = match &args.sweep_file {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            SweepFile::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => SweepFile {
+            sweep: Sweep::new([], []),
+            ..SweepFile::default()
+        },
+    };
+    if let Some(sizes) = args.sizes {
+        file.sweep.sizes = sizes;
+    }
+    if let Some(widths) = args.widths {
+        file.sweep.widths = widths;
+    }
+    if let Some(strategies) = args.strategies {
+        file.sweep.strategies = strategies;
+    }
+    if let Some(bugs) = args.bugs {
+        file.sweep.bugs = bugs;
+    }
+    let mut limits = file.sweep.sat_limits;
+    if let Some(conflicts) = args.max_conflicts {
+        limits.max_conflicts = Some(conflicts);
+    }
+    if let Some(secs) = args.max_sat_secs {
+        limits.max_seconds = Some(secs);
+    }
+    file.sweep.sat_limits = limits;
+    if args.workers.is_some() {
+        file.workers = args.workers;
+    }
+    if let Some(secs) = args.timeout_secs {
+        file.timeout = Some(Duration::from_secs_f64(secs));
+    }
+    if args.retries.is_some() {
+        file.retries = args.retries;
+    }
+    if args.fail_fast {
+        file.fail_fast = Some(true);
+    }
+    if file.sweep.sizes.is_empty() || file.sweep.widths.is_empty() {
+        return Err("no jobs: set --sizes and --widths (or pass a sweep file)".into());
+    }
+
+    let campaign = file.campaign();
+    if campaign.jobs().is_empty() {
+        return Err("the sweep expands to zero valid jobs".into());
+    }
+
+    let progress = ProgressSink { quiet: args.quiet };
+    let all_expected = match &args.events {
+        Some(path) => {
+            let writer = BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            );
+            let sink = Tee(JsonlSink::new(writer), progress);
+            let outcome = campaign.run(&sink);
+            let mut writer = sink.0.into_inner();
+            writer
+                .flush()
+                .map_err(|e| format!("cannot flush {path}: {e}"))?;
+            eprintln!("campaign: events written to {path}");
+            outcome.all_expected()
+        }
+        None => campaign.run(&Tee(NullSink, progress)).all_expected(),
+    };
+    Ok(all_expected)
+}

@@ -1,0 +1,349 @@
+//! Structured campaign telemetry: typed events, a pluggable sink trait,
+//! and a JSONL serializer.
+//!
+//! Every event serializes to one JSON object per line with a stable
+//! `event` discriminator — `campaign-started`, `job-started`,
+//! `job-retried`, `job-finished`, `campaign-summary` — so downstream
+//! tooling can stream-parse the file without buffering. The schema is
+//! documented in `DESIGN.md`.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rob_verify::{PhaseTimings, Verdict, VerifyStats};
+
+use crate::job::{JobResult, JobSpec, Outcome};
+use crate::json::Json;
+use crate::report::CampaignReport;
+
+/// A telemetry event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// The campaign began.
+    CampaignStarted {
+        /// Number of jobs queued.
+        total_jobs: usize,
+        /// Worker threads.
+        workers: usize,
+        /// Per-job deadline in seconds, if any.
+        timeout_secs: Option<f64>,
+        /// Retry budget for timed-out jobs.
+        retries: u32,
+        /// Whether fail-fast is armed.
+        fail_fast: bool,
+    },
+    /// A job attempt began.
+    JobStarted {
+        /// Job index in the campaign.
+        index: usize,
+        /// The job.
+        job: JobSpec,
+        /// Worker running the attempt.
+        worker: usize,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// A job attempt timed out and will be retried.
+    JobRetried {
+        /// Job index in the campaign.
+        index: usize,
+        /// The job.
+        job: JobSpec,
+        /// Worker whose attempt timed out.
+        worker: usize,
+        /// The attempt that timed out.
+        attempt: u32,
+    },
+    /// A job resolved.
+    JobFinished(JobResult),
+    /// The campaign finished; aggregate report.
+    CampaignSummary(CampaignReport),
+}
+
+fn secs(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64())
+}
+
+fn job_fields(job: &JobSpec) -> Vec<(&'static str, Json)> {
+    vec![
+        ("label", Json::str(job.label())),
+        ("rob_size", Json::from(job.config.rob_size())),
+        ("issue_width", Json::from(job.config.issue_width())),
+        ("strategy", Json::str(job.strategy.to_string())),
+        ("bug", job.bug.map(|b| b.to_string()).into()),
+    ]
+}
+
+fn timings_json(t: &PhaseTimings) -> Json {
+    Json::obj([
+        ("generate_secs", secs(t.generate)),
+        ("rewrite_secs", secs(t.rewrite)),
+        ("translate_secs", secs(t.translate)),
+        ("sat_secs", secs(t.sat)),
+        ("total_secs", secs(t.total())),
+    ])
+}
+
+fn stats_json(s: &VerifyStats) -> Json {
+    Json::obj([
+        ("eij_vars", Json::from(s.eij_vars)),
+        ("other_vars", Json::from(s.other_vars)),
+        ("cnf_vars", Json::from(s.cnf_vars)),
+        ("cnf_clauses", Json::from(s.cnf_clauses)),
+        ("formula_nodes", Json::from(s.formula_nodes)),
+        ("sat_conflicts", Json::from(s.sat_conflicts)),
+        ("rewrite_obligations", Json::from(s.rewrite_obligations)),
+        ("rewrite_syntactic", Json::from(s.rewrite_syntactic)),
+        ("retire_pairs", Json::from(s.retire_pairs)),
+        ("proof_checked", s.proof_checked.into()),
+    ])
+}
+
+fn verdict_detail(verdict: &Verdict) -> Json {
+    match verdict {
+        Verdict::Verified => Json::Null,
+        Verdict::Falsified { true_vars } => Json::obj([(
+            "true_vars",
+            Json::Arr(true_vars.iter().map(|v| Json::str(v.clone())).collect()),
+        )]),
+        Verdict::SliceDiagnosis { slice, reason } => Json::obj([
+            ("slice", Json::from(*slice)),
+            ("reason", Json::str(reason.clone())),
+        ]),
+        Verdict::ResourceLimit(which) => Json::obj([("limit", Json::str(which.clone()))]),
+    }
+}
+
+impl Event {
+    /// Serializes the event to a single-line JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::CampaignStarted {
+                total_jobs,
+                workers,
+                timeout_secs,
+                retries,
+                fail_fast,
+            } => Json::obj([
+                ("event", Json::str("campaign-started")),
+                ("total_jobs", Json::from(*total_jobs)),
+                ("workers", Json::from(*workers)),
+                ("timeout_secs", (*timeout_secs).into()),
+                ("retries", Json::from(*retries)),
+                ("fail_fast", Json::from(*fail_fast)),
+            ]),
+            Event::JobStarted {
+                index,
+                job,
+                worker,
+                attempt,
+            } => {
+                let mut fields = vec![
+                    ("event", Json::str("job-started")),
+                    ("index", Json::from(*index)),
+                    ("worker", Json::from(*worker)),
+                    ("attempt", Json::from(*attempt)),
+                ];
+                fields.extend(job_fields(job));
+                Json::obj(fields)
+            }
+            Event::JobRetried {
+                index,
+                job,
+                worker,
+                attempt,
+            } => {
+                let mut fields = vec![
+                    ("event", Json::str("job-retried")),
+                    ("index", Json::from(*index)),
+                    ("worker", Json::from(*worker)),
+                    ("attempt", Json::from(*attempt)),
+                ];
+                fields.extend(job_fields(job));
+                Json::obj(fields)
+            }
+            Event::JobFinished(result) => {
+                let mut fields = vec![
+                    ("event", Json::str("job-finished")),
+                    ("index", Json::from(result.index)),
+                    ("worker", Json::from(result.worker)),
+                    ("attempts", Json::from(result.attempts)),
+                    ("outcome", Json::str(result.outcome.label())),
+                    ("duration_secs", secs(result.duration)),
+                    ("expected", Json::from(result.is_expected())),
+                ];
+                fields.extend(job_fields(&result.job));
+                match &result.outcome {
+                    Outcome::Completed(v) => {
+                        fields.push(("detail", verdict_detail(&v.verdict)));
+                        fields.push(("timings", timings_json(&v.timings)));
+                        fields.push(("stats", stats_json(&v.stats)));
+                    }
+                    Outcome::Error(e) => fields.push(("detail", Json::str(e.to_string()))),
+                    Outcome::Crashed { message } => {
+                        fields.push(("detail", Json::str(message.clone())));
+                    }
+                    Outcome::TimedOut { .. } | Outcome::Cancelled => {}
+                }
+                Json::obj(fields)
+            }
+            Event::CampaignSummary(report) => {
+                let mut fields = vec![("event", Json::str("campaign-summary"))];
+                fields.extend(report.json_fields());
+                Json::obj(fields)
+            }
+        }
+    }
+}
+
+/// Receives campaign events; implementations must be thread-safe, as
+/// workers emit from their own threads.
+pub trait EventSink: Send + Sync {
+    /// Handles one event.
+    fn emit(&self, event: &Event);
+}
+
+/// Discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Writes one JSON object per line to the wrapped writer.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Unwraps, flushing first.
+    pub fn into_inner(self) -> W {
+        let mut writer = self.writer.into_inner().expect("sink poisoned");
+        let _ = writer.flush();
+        writer
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json().to_string();
+        let mut writer = self.writer.lock().expect("sink poisoned");
+        let _ = writeln!(writer, "{line}");
+        // Summaries end a campaign; make sure they hit the disk even if
+        // the process is about to exit.
+        if matches!(event, Event::CampaignSummary(_)) {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// Collects events in memory (tests, programmatic consumers).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots the events received so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("sink poisoned").clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Fans events out to two sinks (e.g. a JSONL file plus live progress).
+pub struct Tee<A: EventSink, B: EventSink>(pub A, pub B);
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
+    fn emit(&self, event: &Event) {
+        self.0.emit(event);
+        self.1.emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use rob_verify::{Config, Strategy};
+
+    #[test]
+    fn events_serialize_to_single_parsable_lines() {
+        let job = JobSpec::new(Config::new(4, 2).unwrap(), Strategy::default());
+        let events = [
+            Event::CampaignStarted {
+                total_jobs: 3,
+                workers: 2,
+                timeout_secs: Some(1.5),
+                retries: 1,
+                fail_fast: true,
+            },
+            Event::JobStarted {
+                index: 0,
+                job,
+                worker: 1,
+                attempt: 1,
+            },
+            Event::JobRetried {
+                index: 0,
+                job,
+                worker: 1,
+                attempt: 1,
+            },
+            Event::JobFinished(JobResult {
+                index: 0,
+                job,
+                outcome: Outcome::Crashed {
+                    message: "a \"panic\"\nwith newline".into(),
+                },
+                duration: Duration::from_millis(12),
+                worker: 1,
+                attempts: 2,
+            }),
+        ];
+        for event in &events {
+            let line = event.to_json().to_string();
+            assert!(!line.contains('\n'), "line breaks must be escaped: {line}");
+            let parsed = json::parse(&line).expect("line must parse");
+            assert!(parsed.get("event").and_then(Json::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&Event::CampaignStarted {
+            total_jobs: 1,
+            workers: 1,
+            timeout_secs: None,
+            retries: 0,
+            fail_fast: false,
+        });
+        let buffer = sink.into_inner();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(json::parse(text.trim()).is_ok());
+    }
+}

@@ -1,0 +1,307 @@
+//! Jobs, sweeps, and per-job outcomes.
+
+use std::time::Duration;
+
+use rob_verify::{BugSpec, Config, Limits, Strategy, Verdict, Verification, Verifier, VerifyError};
+
+/// One verification job: a processor configuration, the translation
+/// strategy, and an optional seeded defect.
+///
+/// Everything is `Copy`, so jobs move freely across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec {
+    /// Processor configuration (reorder-buffer size, issue width).
+    pub config: Config,
+    /// Translation strategy.
+    pub strategy: Strategy,
+    /// Optional seeded defect (bug-hunting jobs).
+    pub bug: Option<BugSpec>,
+    /// SAT resource limits applied to the job.
+    pub sat_limits: Limits,
+}
+
+impl JobSpec {
+    /// A job with no bug and no SAT limits.
+    pub fn new(config: Config, strategy: Strategy) -> Self {
+        JobSpec {
+            config,
+            strategy,
+            bug: None,
+            sat_limits: Limits::none(),
+        }
+    }
+
+    /// Human/telemetry label, e.g. `rob8xw2/rewrite+pe` or
+    /// `rob128xw4/rewrite+pe/forwarding-ignores-valid:72:src2`.
+    pub fn label(&self) -> String {
+        match &self.bug {
+            Some(bug) => format!("{}/{}/{}", self.config, self.strategy, bug),
+            None => format!("{}/{}", self.config, self.strategy),
+        }
+    }
+
+    /// Runs the job to completion on the current thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VerifyError`] for configuration or structural
+    /// failures; verification verdicts are inside the `Ok` value.
+    pub fn run(&self) -> Result<Verification, VerifyError> {
+        let mut verifier = Verifier::new(self.config)
+            .strategy(self.strategy)
+            .sat_limits(self.sat_limits);
+        if let Some(bug) = self.bug {
+            verifier = verifier.bug(bug);
+        }
+        verifier.run()
+    }
+
+    /// Whether a verdict is the one this job is expected to produce:
+    /// bug-free jobs must verify, seeded-bug jobs must be falsified or
+    /// slice-diagnosed.
+    pub fn is_expected(&self, verdict: &Verdict) -> bool {
+        match self.bug {
+            None => *verdict == Verdict::Verified,
+            Some(_) => verdict.is_falsification(),
+        }
+    }
+
+    /// Whether a verdict is an *unexpected falsification* — a bug-free
+    /// job reporting a counterexample or slice diagnosis. This is the
+    /// fail-fast trigger: it means the design (or the verifier) is broken
+    /// and the rest of the sweep is moot.
+    pub fn is_unexpected_falsification(&self, verdict: &Verdict) -> bool {
+        self.bug.is_none() && verdict.is_falsification()
+    }
+}
+
+/// A declarative cartesian sweep: every valid combination of size ×
+/// width × strategy × bug becomes one [`JobSpec`].
+///
+/// Width/size combinations where the width exceeds the size (the paper's
+/// dash cells) and bugs that fail
+/// [`BugSpec::validate`] for a configuration are skipped silently, so a
+/// single sweep can span heterogeneous configurations.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Reorder-buffer sizes `N`.
+    pub sizes: Vec<usize>,
+    /// Issue/retire widths `k`.
+    pub widths: Vec<usize>,
+    /// Strategies to run each configuration under.
+    pub strategies: Vec<Strategy>,
+    /// Bug axis; `None` entries are bug-free runs. Defaults to
+    /// `vec![None]` (bug-free only).
+    pub bugs: Vec<Option<BugSpec>>,
+    /// SAT limits applied to every job.
+    pub sat_limits: Limits,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep {
+            sizes: Vec::new(),
+            widths: Vec::new(),
+            strategies: vec![Strategy::default()],
+            bugs: vec![None],
+            sat_limits: Limits::none(),
+        }
+    }
+}
+
+impl Sweep {
+    /// A sweep over the given sizes and widths with the default strategy.
+    pub fn new(sizes: impl Into<Vec<usize>>, widths: impl Into<Vec<usize>>) -> Self {
+        Sweep {
+            sizes: sizes.into(),
+            widths: widths.into(),
+            ..Sweep::default()
+        }
+    }
+
+    /// Replaces the strategy axis.
+    pub fn strategies(mut self, strategies: impl Into<Vec<Strategy>>) -> Self {
+        self.strategies = strategies.into();
+        self
+    }
+
+    /// Replaces the bug axis.
+    pub fn bugs(mut self, bugs: impl Into<Vec<Option<BugSpec>>>) -> Self {
+        self.bugs = bugs.into();
+        self
+    }
+
+    /// Applies SAT limits to every job.
+    pub fn sat_limits(mut self, limits: Limits) -> Self {
+        self.sat_limits = limits;
+        self
+    }
+
+    /// Expands the sweep into concrete jobs, in deterministic
+    /// size-major order.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::new();
+        for &size in &self.sizes {
+            for &width in &self.widths {
+                let Ok(config) = Config::new(size, width) else {
+                    continue;
+                };
+                for &strategy in &self.strategies {
+                    for &bug in &self.bugs {
+                        if let Some(b) = bug {
+                            if b.validate(&config).is_err() {
+                                continue;
+                            }
+                        }
+                        jobs.push(JobSpec {
+                            config,
+                            strategy,
+                            bug,
+                            sat_limits: self.sat_limits,
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// What happened to one job.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The verifier ran to completion (the verdict may still be a
+    /// falsification or a resource limit — see [`Verification::verdict`]).
+    Completed(Verification),
+    /// The verifier returned a driver error (bad configuration,
+    /// structural mismatch).
+    Error(VerifyError),
+    /// The job panicked; the campaign continued. Carries the panic
+    /// payload message.
+    Crashed {
+        /// Panic payload, if it was a string.
+        message: String,
+    },
+    /// The job exceeded its wall-clock deadline on every attempt.
+    TimedOut {
+        /// Total attempts made (1 + retries granted).
+        attempts: u32,
+    },
+    /// The job was cancelled before it started (fail-fast abort).
+    Cancelled,
+}
+
+impl Outcome {
+    /// Stable machine-readable label for telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Completed(v) => v.verdict.label(),
+            Outcome::Error(_) => "error",
+            Outcome::Crashed { .. } => "crashed",
+            Outcome::TimedOut { .. } => "timed-out",
+            Outcome::Cancelled => "cancelled",
+        }
+    }
+
+    /// The verification result, when the job completed.
+    pub fn verification(&self) -> Option<&Verification> {
+        match self {
+            Outcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The verdict, when the job completed.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        self.verification().map(|v| &v.verdict)
+    }
+}
+
+/// A finished job with its outcome and scheduling metadata.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Index of the job in the campaign's job list.
+    pub index: usize,
+    /// The job that ran.
+    pub job: JobSpec,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Wall-clock duration of the final attempt (zero for cancelled
+    /// jobs).
+    pub duration: Duration,
+    /// Worker that ran the final attempt.
+    pub worker: usize,
+    /// Number of attempts made.
+    pub attempts: u32,
+}
+
+impl JobResult {
+    /// Whether the outcome is the one the job expects (see
+    /// [`JobSpec::is_expected`]). Crashes, timeouts, cancellations, and
+    /// driver errors are never expected.
+    pub fn is_expected(&self) -> bool {
+        match &self.outcome {
+            Outcome::Completed(v) => self.job.is_expected(&v.verdict),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_expands_cartesian_and_skips_invalid() {
+        let sweep = Sweep::new([2usize, 4], [1usize, 2, 8])
+            .strategies([Strategy::PositiveEqualityOnly, Strategy::default()]);
+        let jobs = sweep.jobs();
+        // width 8 exceeds both sizes; remaining grid is 2 sizes x 2
+        // widths x 2 strategies.
+        assert_eq!(jobs.len(), 8);
+        assert!(jobs
+            .iter()
+            .all(|j| j.config.issue_width() <= j.config.rob_size()));
+    }
+
+    #[test]
+    fn sweep_drops_bugs_invalid_for_config() {
+        let bug = Some(BugSpec::paper_variant()); // slice 72 needs size >= 72
+        let sweep = Sweep::new([4usize, 128], [4usize]).bugs([None, bug]);
+        let jobs = sweep.jobs();
+        let with_bug: Vec<_> = jobs.iter().filter(|j| j.bug.is_some()).collect();
+        assert_eq!(with_bug.len(), 1);
+        assert_eq!(with_bug[0].config.rob_size(), 128);
+        assert_eq!(jobs.iter().filter(|j| j.bug.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn expectations() {
+        let ok = JobSpec::new(Config::new(4, 2).unwrap(), Strategy::default());
+        assert!(ok.is_expected(&Verdict::Verified));
+        assert!(!ok.is_expected(&Verdict::ResourceLimit("x".into())));
+        let falsified = Verdict::Falsified { true_vars: vec![] };
+        assert!(ok.is_unexpected_falsification(&falsified));
+        let buggy = JobSpec {
+            bug: Some(BugSpec::RetireOutOfOrder { slice: 2 }),
+            ..ok
+        };
+        assert!(buggy.is_expected(&falsified));
+        assert!(!buggy.is_unexpected_falsification(&falsified));
+        assert!(!buggy.is_expected(&Verdict::Verified));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let job = JobSpec::new(Config::new(8, 2).unwrap(), Strategy::default());
+        assert_eq!(job.label(), "rob8xw2/rewrite+pe");
+        let buggy = JobSpec {
+            bug: Some(BugSpec::paper_variant()),
+            ..job
+        };
+        assert_eq!(
+            buggy.label(),
+            "rob8xw2/rewrite+pe/forwarding-ignores-valid:72:src2"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Parallel verification-campaign orchestration.
+//!
+//! The paper's experimental tables are sweeps: dozens of processor
+//! configurations, each verified under several translation strategies,
+//! some with seeded defects. This crate runs such sweeps as *campaigns*:
+//!
+//! - [`Sweep`] declares the cartesian job grid (ROB sizes × issue
+//!   widths × strategies × optional bugs); [`JobSpec`] is one cell.
+//! - [`Campaign`] schedules jobs onto a bounded work-stealing pool of
+//!   OS threads, with per-job wall-clock deadlines, bounded retries for
+//!   timeouts, panic isolation (a crashing job becomes
+//!   [`Outcome::Crashed`]; the campaign survives), and cooperative
+//!   fail-fast cancellation on the first unexpected falsification.
+//! - Every scheduling transition is emitted to an [`EventSink`]; the
+//!   bundled [`JsonlSink`] writes one JSON object per line for
+//!   downstream tooling, and [`CampaignReport`] aggregates throughput,
+//!   latency percentiles, and the CPU-vs-wall speedup at the end.
+//!
+//! ```
+//! use campaign::{Campaign, MemorySink, Sweep};
+//!
+//! let sweep = Sweep::new([2usize, 3], [1usize]);
+//! let sink = MemorySink::new();
+//! let outcome = Campaign::from_sweep(&sweep).workers(2).run(&sink);
+//! assert!(outcome.all_expected());
+//! assert_eq!(outcome.report.verified, 2);
+//! ```
+
+pub mod events;
+pub mod job;
+pub mod json;
+pub mod pool;
+pub mod report;
+pub mod run;
+pub mod sweepfile;
+
+pub use events::{Event, EventSink, JsonlSink, MemorySink, NullSink, Tee};
+pub use job::{JobResult, JobSpec, Outcome, Sweep};
+pub use pool::{default_workers, CancelToken, PoolOptions};
+pub use report::CampaignReport;
+pub use run::{Campaign, CampaignOutcome, JobRunner};
+pub use sweepfile::SweepFile;

@@ -1,0 +1,454 @@
+//! A bounded work-stealing worker pool with panic isolation, per-job
+//! watchdog timeouts, bounded retry, and cooperative cancellation.
+//!
+//! The pool is generic over the job and result types so it can schedule
+//! anything — the campaign layer feeds it verification jobs, the bench
+//! harness feeds it table cells. Scheduling:
+//!
+//! - Jobs are distributed round-robin across per-worker deques up front.
+//! - A worker pops from the **front** of its own deque and, when empty,
+//!   steals from the **back** of a sibling's — the classic split that
+//!   keeps owner and thief off the same end.
+//! - With a timeout configured, the worker doubles as a watchdog: the job
+//!   runs on a dedicated thread and the worker waits on a channel with a
+//!   deadline. A timed-out job thread is abandoned (it cannot be killed
+//!   safely); callers bound the damage by also passing SAT time limits to
+//!   the job itself so the orphan exits on its own.
+//! - Panics are contained with [`std::panic::catch_unwind`]; a panicking
+//!   job becomes [`ExecOutcome::Panicked`] and the campaign continues.
+//! - Cancellation is cooperative: a tripped [`CancelToken`] makes every
+//!   not-yet-started job resolve to [`ExecOutcome::Cancelled`].
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduling parameters for [`execute`].
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Worker count; clamped to at least 1.
+    pub workers: usize,
+    /// Per-attempt wall-clock deadline. `None` disables the watchdog and
+    /// runs jobs inline on the workers.
+    pub timeout: Option<Duration>,
+    /// Extra attempts granted to a job whose attempt timed out. Panics
+    /// are not retried — they are deterministic.
+    pub retries: u32,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            workers: default_workers(),
+            timeout: None,
+            retries: 0,
+        }
+    }
+}
+
+/// The machine's available parallelism (1 when unknown).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// A shared flag that aborts all not-yet-started jobs when tripped.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token. Running jobs finish; queued jobs are cancelled.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Scheduling-level outcome of one job.
+#[derive(Debug, Clone)]
+pub enum ExecOutcome<R> {
+    /// The job ran to completion.
+    Done(R),
+    /// The job panicked. Carries the payload message.
+    Panicked {
+        /// Panic payload, if it was a string.
+        message: String,
+    },
+    /// Every attempt exceeded the deadline.
+    TimedOut,
+    /// The job was cancelled before starting.
+    Cancelled,
+}
+
+/// A job's final outcome plus scheduling metadata.
+#[derive(Debug, Clone)]
+pub struct ExecResult<R> {
+    /// The outcome.
+    pub outcome: ExecOutcome<R>,
+    /// Wall time of the final attempt (zero for cancelled jobs).
+    pub duration: Duration,
+    /// Worker that resolved the job.
+    pub worker: usize,
+    /// Attempts made (0 for cancelled jobs).
+    pub attempts: u32,
+}
+
+/// Scheduling callbacks, invoked from worker threads.
+pub trait Observer<T, R>: Sync {
+    /// A job attempt is about to run.
+    fn on_start(&self, _index: usize, _job: &T, _worker: usize, _attempt: u32) {}
+    /// A job attempt timed out and will be retried.
+    fn on_retry(&self, _index: usize, _job: &T, _worker: usize, _attempt: u32) {}
+    /// A job resolved (this is the final attempt).
+    fn on_finish(&self, _index: usize, _job: &T, _result: &ExecResult<R>) {}
+}
+
+/// The no-op observer.
+impl<T, R> Observer<T, R> for () {}
+
+struct Task<T> {
+    index: usize,
+    job: T,
+    attempt: u32,
+}
+
+/// Runs `jobs` through the pool and returns one [`ExecResult`] per job,
+/// in input order.
+///
+/// `run` executes on worker (or watchdogged job) threads, so it must be
+/// `Send + Sync + 'static`; it receives each job by reference. Jobs must
+/// be `Clone` because a timed-out attempt may be retried from a fresh
+/// copy.
+pub fn execute<T, R, F, O>(
+    jobs: Vec<T>,
+    options: &PoolOptions,
+    cancel: &CancelToken,
+    run: Arc<F>,
+    observer: &O,
+) -> Vec<ExecResult<R>>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(&T) -> R + Send + Sync + 'static,
+    O: Observer<T, R>,
+{
+    let total = jobs.len();
+    let workers = options.workers.max(1).min(total.max(1));
+    let queues: Vec<Mutex<VecDeque<Task<T>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (index, job) in jobs.into_iter().enumerate() {
+        queues[index % workers]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(Task {
+                index,
+                job,
+                attempt: 1,
+            });
+    }
+    let pending = AtomicUsize::new(total);
+    let results: Vec<Mutex<Option<ExecResult<R>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let pending = &pending;
+            let run = Arc::clone(&run);
+            let cancel = cancel.clone();
+            scope.spawn(move || {
+                worker_loop(
+                    me, queues, results, pending, options, &cancel, run, observer,
+                );
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result poisoned")
+                .expect("job unresolved")
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<T, R, F, O>(
+    me: usize,
+    queues: &[Mutex<VecDeque<Task<T>>>],
+    results: &[Mutex<Option<ExecResult<R>>>],
+    pending: &AtomicUsize,
+    options: &PoolOptions,
+    cancel: &CancelToken,
+    run: Arc<F>,
+    observer: &O,
+) where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(&T) -> R + Send + Sync + 'static,
+    O: Observer<T, R>,
+{
+    while pending.load(Ordering::SeqCst) > 0 {
+        let Some(mut task) = next_task(me, queues) else {
+            // All queues look empty but jobs are still pending (another
+            // worker is running one, or a retry is about to be queued).
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        };
+
+        if cancel.is_cancelled() {
+            let result = ExecResult {
+                outcome: ExecOutcome::Cancelled,
+                duration: Duration::ZERO,
+                worker: me,
+                attempts: 0,
+            };
+            observer.on_finish(task.index, &task.job, &result);
+            resolve(results, pending, task.index, result);
+            continue;
+        }
+
+        observer.on_start(task.index, &task.job, me, task.attempt);
+        let started = Instant::now();
+        let outcome = run_attempt(&task.job, options.timeout, &run);
+        let duration = started.elapsed();
+
+        if matches!(outcome, ExecOutcome::TimedOut) && task.attempt <= options.retries {
+            observer.on_retry(task.index, &task.job, me, task.attempt);
+            task.attempt += 1;
+            queues[me].lock().expect("queue poisoned").push_back(task);
+            continue;
+        }
+
+        let result = ExecResult {
+            outcome,
+            duration,
+            worker: me,
+            attempts: task.attempt,
+        };
+        observer.on_finish(task.index, &task.job, &result);
+        resolve(results, pending, task.index, result);
+    }
+}
+
+/// Pops from the worker's own queue front, else steals from a sibling's
+/// back.
+fn next_task<T>(me: usize, queues: &[Mutex<VecDeque<Task<T>>>]) -> Option<Task<T>> {
+    if let Some(task) = queues[me].lock().expect("queue poisoned").pop_front() {
+        return Some(task);
+    }
+    let n = queues.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        if let Some(task) = queues[victim].lock().expect("queue poisoned").pop_back() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+fn resolve<R>(
+    results: &[Mutex<Option<ExecResult<R>>>],
+    pending: &AtomicUsize,
+    index: usize,
+    result: ExecResult<R>,
+) {
+    *results[index].lock().expect("result poisoned") = Some(result);
+    pending.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn run_attempt<T, R, F>(job: &T, timeout: Option<Duration>, run: &Arc<F>) -> ExecOutcome<R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(&T) -> R + Send + Sync + 'static,
+{
+    match timeout {
+        None => match catch_unwind(AssertUnwindSafe(|| run(job))) {
+            Ok(value) => ExecOutcome::Done(value),
+            Err(payload) => ExecOutcome::Panicked {
+                message: panic_message(payload.as_ref()),
+            },
+        },
+        Some(deadline) => {
+            let (tx, rx) = mpsc::channel();
+            let job = job.clone();
+            let run = Arc::clone(run);
+            // The job thread is deliberately detached: if it outlives the
+            // deadline there is no safe way to kill it, so the watchdog
+            // abandons it and reports a timeout. `tx.send` failing just
+            // means the watchdog already gave up listening.
+            std::thread::Builder::new()
+                .name("campaign-job".to_owned())
+                .spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| run(&job)));
+                    let _ = tx.send(result);
+                })
+                .expect("spawn job thread");
+            match rx.recv_timeout(deadline) {
+                Ok(Ok(value)) => ExecOutcome::Done(value),
+                Ok(Err(payload)) => ExecOutcome::Panicked {
+                    message: panic_message(payload.as_ref()),
+                },
+                Err(RecvTimeoutError::Timeout) => ExecOutcome::TimedOut,
+                Err(RecvTimeoutError::Disconnected) => ExecOutcome::Panicked {
+                    message: "job thread vanished without reporting".to_owned(),
+                },
+            }
+        }
+    }
+}
+
+/// Extracts the conventional `&str` / `String` payload from a panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_square(jobs: Vec<u64>, options: &PoolOptions) -> Vec<ExecResult<u64>> {
+        execute(
+            jobs,
+            options,
+            &CancelToken::new(),
+            Arc::new(|n: &u64| n * n),
+            &(),
+        )
+    }
+
+    #[test]
+    fn preserves_input_order_across_workers() {
+        let jobs: Vec<u64> = (0..50).collect();
+        for workers in [1, 3, 8] {
+            let results = run_square(
+                jobs.clone(),
+                &PoolOptions {
+                    workers,
+                    ..PoolOptions::default()
+                },
+            );
+            let values: Vec<u64> = results
+                .iter()
+                .map(|r| match r.outcome {
+                    ExecOutcome::Done(v) => v,
+                    ref other => panic!("unexpected outcome {other:?}"),
+                })
+                .collect();
+            assert_eq!(values, jobs.iter().map(|n| n * n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated() {
+        let jobs: Vec<u64> = (0..10).collect();
+        let results = execute(
+            jobs,
+            &PoolOptions {
+                workers: 4,
+                ..PoolOptions::default()
+            },
+            &CancelToken::new(),
+            Arc::new(|n: &u64| {
+                if *n == 3 {
+                    panic!("boom on {n}");
+                }
+                *n
+            }),
+            &(),
+        );
+        assert_eq!(results.len(), 10);
+        for (i, r) in results.iter().enumerate() {
+            match (&r.outcome, i) {
+                (ExecOutcome::Panicked { message }, 3) => {
+                    assert!(message.contains("boom on 3"), "{message}");
+                }
+                (ExecOutcome::Done(v), _) => assert_eq!(*v, i as u64),
+                (other, _) => panic!("job {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn timeouts_are_reported_and_retried() {
+        struct CountRetries(AtomicUsize);
+        impl Observer<u64, u64> for CountRetries {
+            fn on_retry(&self, _i: usize, _j: &u64, _w: usize, _a: u32) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let observer = CountRetries(AtomicUsize::new(0));
+        let results = execute(
+            vec![1u64, 0, 2],
+            &PoolOptions {
+                workers: 2,
+                timeout: Some(Duration::from_millis(40)),
+                retries: 1,
+            },
+            &CancelToken::new(),
+            Arc::new(|n: &u64| {
+                if *n == 0 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                *n
+            }),
+            &observer,
+        );
+        assert!(matches!(results[0].outcome, ExecOutcome::Done(1)));
+        assert!(
+            matches!(results[1].outcome, ExecOutcome::TimedOut),
+            "{:?}",
+            results[1]
+        );
+        assert_eq!(results[1].attempts, 2, "retry must be honored");
+        assert!(matches!(results[2].outcome, ExecOutcome::Done(2)));
+        assert_eq!(observer.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cancellation_skips_queued_jobs() {
+        let cancel = CancelToken::new();
+        let trip = cancel.clone();
+        let results = execute(
+            (0..40).collect::<Vec<u64>>(),
+            &PoolOptions {
+                workers: 1,
+                ..PoolOptions::default()
+            },
+            &cancel,
+            Arc::new(move |n: &u64| {
+                if *n == 0 {
+                    trip.cancel();
+                }
+                *n
+            }),
+            &(),
+        );
+        assert!(matches!(results[0].outcome, ExecOutcome::Done(0)));
+        let cancelled = results
+            .iter()
+            .filter(|r| matches!(r.outcome, ExecOutcome::Cancelled))
+            .count();
+        assert_eq!(cancelled, 39, "all queued jobs must be cancelled");
+    }
+}

@@ -1,0 +1,248 @@
+//! End-of-campaign aggregation: outcome counts, latency percentiles,
+//! throughput, and the CPU-vs-wall speedup.
+
+use std::time::Duration;
+
+use rob_verify::Verdict;
+
+use crate::job::{JobResult, Outcome};
+use crate::json::Json;
+
+/// Aggregate statistics over a finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Jobs in the campaign.
+    pub total_jobs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs whose verdict was `Verified`.
+    pub verified: usize,
+    /// Jobs falsified with a counterexample.
+    pub falsified: usize,
+    /// Jobs diagnosed to a slice by the rewriting rules.
+    pub diagnosed: usize,
+    /// Jobs that hit a verifier resource limit.
+    pub resource_limited: usize,
+    /// Jobs that returned a driver error.
+    pub errored: usize,
+    /// Jobs that panicked.
+    pub crashed: usize,
+    /// Jobs that exceeded their deadline on every attempt.
+    pub timed_out: usize,
+    /// Jobs cancelled by fail-fast.
+    pub cancelled: usize,
+    /// Jobs whose outcome was *not* the expected one.
+    pub unexpected: usize,
+    /// Campaign wall-clock time.
+    pub wall: Duration,
+    /// Summed per-job wall time (the serial-equivalent cost).
+    pub cpu: Duration,
+    /// Resolved jobs per second of wall time.
+    pub throughput: f64,
+    /// Median job latency (executed jobs only).
+    pub p50: Duration,
+    /// 95th-percentile job latency (executed jobs only).
+    pub p95: Duration,
+    /// Worst job latency.
+    pub max_latency: Duration,
+    /// `cpu / wall` — the effective parallel speedup.
+    pub speedup: f64,
+}
+
+impl CampaignReport {
+    /// Builds the report from per-job results and the measured wall time.
+    pub fn summarize(results: &[JobResult], wall: Duration, workers: usize) -> Self {
+        let mut report = CampaignReport {
+            total_jobs: results.len(),
+            workers,
+            verified: 0,
+            falsified: 0,
+            diagnosed: 0,
+            resource_limited: 0,
+            errored: 0,
+            crashed: 0,
+            timed_out: 0,
+            cancelled: 0,
+            unexpected: 0,
+            wall,
+            cpu: Duration::ZERO,
+            throughput: 0.0,
+            p50: Duration::ZERO,
+            p95: Duration::ZERO,
+            max_latency: Duration::ZERO,
+            speedup: 0.0,
+        };
+        let mut latencies: Vec<Duration> = Vec::new();
+        for result in results {
+            match &result.outcome {
+                Outcome::Completed(v) => match &v.verdict {
+                    Verdict::Verified => report.verified += 1,
+                    Verdict::Falsified { .. } => report.falsified += 1,
+                    Verdict::SliceDiagnosis { .. } => report.diagnosed += 1,
+                    Verdict::ResourceLimit(_) => report.resource_limited += 1,
+                },
+                Outcome::Error(_) => report.errored += 1,
+                Outcome::Crashed { .. } => report.crashed += 1,
+                Outcome::TimedOut { .. } => report.timed_out += 1,
+                Outcome::Cancelled => report.cancelled += 1,
+            }
+            if !matches!(result.outcome, Outcome::Cancelled) {
+                latencies.push(result.duration);
+                report.cpu += result.duration;
+            }
+            if !result.is_expected() {
+                report.unexpected += 1;
+            }
+        }
+        latencies.sort_unstable();
+        report.p50 = percentile(&latencies, 0.50);
+        report.p95 = percentile(&latencies, 0.95);
+        report.max_latency = latencies.last().copied().unwrap_or(Duration::ZERO);
+        let wall_secs = wall.as_secs_f64();
+        if wall_secs > 0.0 {
+            report.throughput = (report.total_jobs - report.cancelled) as f64 / wall_secs;
+            report.speedup = report.cpu.as_secs_f64() / wall_secs;
+        }
+        report
+    }
+
+    /// Key/value pairs for the JSONL `campaign-summary` line.
+    pub fn json_fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("total_jobs", Json::from(self.total_jobs)),
+            ("workers", Json::from(self.workers)),
+            ("verified", Json::from(self.verified)),
+            ("falsified", Json::from(self.falsified)),
+            ("diagnosed", Json::from(self.diagnosed)),
+            ("resource_limited", Json::from(self.resource_limited)),
+            ("errored", Json::from(self.errored)),
+            ("crashed", Json::from(self.crashed)),
+            ("timed_out", Json::from(self.timed_out)),
+            ("cancelled", Json::from(self.cancelled)),
+            ("unexpected", Json::from(self.unexpected)),
+            ("wall_secs", Json::Num(self.wall.as_secs_f64())),
+            ("cpu_secs", Json::Num(self.cpu.as_secs_f64())),
+            ("throughput_jobs_per_sec", Json::Num(self.throughput)),
+            ("p50_secs", Json::Num(self.p50.as_secs_f64())),
+            ("p95_secs", Json::Num(self.p95.as_secs_f64())),
+            (
+                "max_latency_secs",
+                Json::Num(self.max_latency.as_secs_f64()),
+            ),
+            ("speedup", Json::Num(self.speedup)),
+        ]
+    }
+
+    /// Renders the human-readable summary table printed by the CLI.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "campaign summary");
+        let _ = writeln!(out, "  jobs        {:>8}", self.total_jobs);
+        let _ = writeln!(out, "  workers     {:>8}", self.workers);
+        let _ = writeln!(out, "  verified    {:>8}", self.verified);
+        if self.falsified > 0 {
+            let _ = writeln!(out, "  falsified   {:>8}", self.falsified);
+        }
+        if self.diagnosed > 0 {
+            let _ = writeln!(out, "  diagnosed   {:>8}", self.diagnosed);
+        }
+        if self.resource_limited > 0 {
+            let _ = writeln!(out, "  over budget {:>8}", self.resource_limited);
+        }
+        if self.errored > 0 {
+            let _ = writeln!(out, "  errored     {:>8}", self.errored);
+        }
+        if self.crashed > 0 {
+            let _ = writeln!(out, "  crashed     {:>8}", self.crashed);
+        }
+        if self.timed_out > 0 {
+            let _ = writeln!(out, "  timed out   {:>8}", self.timed_out);
+        }
+        if self.cancelled > 0 {
+            let _ = writeln!(out, "  cancelled   {:>8}", self.cancelled);
+        }
+        let _ = writeln!(out, "  unexpected  {:>8}", self.unexpected);
+        let _ = writeln!(out, "  wall        {:>11.2}s", self.wall.as_secs_f64());
+        let _ = writeln!(out, "  cpu         {:>11.2}s", self.cpu.as_secs_f64());
+        let _ = writeln!(out, "  throughput  {:>11.2} jobs/s", self.throughput);
+        let _ = writeln!(out, "  p50 latency {:>11.3}s", self.p50.as_secs_f64());
+        let _ = writeln!(out, "  p95 latency {:>11.3}s", self.p95.as_secs_f64());
+        let _ = writeln!(out, "  speedup     {:>10.2}x", self.speedup);
+        out
+    }
+
+    /// Whether every job produced its expected outcome.
+    pub fn all_expected(&self) -> bool {
+        self.unexpected == 0
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use rob_verify::{Config, Strategy, Verdict, Verification};
+
+    fn verified_result(index: usize, millis: u64) -> JobResult {
+        JobResult {
+            index,
+            job: JobSpec::new(Config::new(4, 2).unwrap(), Strategy::default()),
+            outcome: Outcome::Completed(Verification {
+                verdict: Verdict::Verified,
+                timings: Default::default(),
+                stats: Default::default(),
+            }),
+            duration: Duration::from_millis(millis),
+            worker: 0,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&sorted, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&sorted, 0.95), Duration::from_millis(95));
+        assert_eq!(percentile(&sorted[..1], 0.95), Duration::from_millis(1));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn summarize_counts_and_speedup() {
+        let results = vec![
+            verified_result(0, 100),
+            verified_result(1, 300),
+            JobResult {
+                outcome: Outcome::Cancelled,
+                ..verified_result(2, 0)
+            },
+            JobResult {
+                outcome: Outcome::Crashed {
+                    message: "x".into(),
+                },
+                ..verified_result(3, 50)
+            },
+        ];
+        let report = CampaignReport::summarize(&results, Duration::from_millis(225), 2);
+        assert_eq!(report.verified, 2);
+        assert_eq!(report.cancelled, 1);
+        assert_eq!(report.crashed, 1);
+        assert_eq!(report.unexpected, 2, "cancelled + crashed are unexpected");
+        assert_eq!(report.cpu, Duration::from_millis(450));
+        assert!((report.speedup - 2.0).abs() < 1e-9);
+        assert!(!report.all_expected());
+        let rendered = report.render();
+        assert!(rendered.contains("crashed"));
+        assert!(rendered.contains("speedup"));
+    }
+}

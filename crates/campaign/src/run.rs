@@ -1,0 +1,260 @@
+//! The campaign driver: schedules a job list onto the worker pool, wires
+//! scheduling callbacks to the event sink, and aggregates the report.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rob_verify::{Verification, VerifyError};
+
+use crate::events::{Event, EventSink};
+use crate::job::{JobResult, JobSpec, Outcome, Sweep};
+use crate::pool::{self, CancelToken, ExecOutcome, ExecResult, Observer, PoolOptions};
+use crate::report::CampaignReport;
+
+/// A pluggable job runner: maps a [`JobSpec`] to a verification result.
+///
+/// The default runner is [`JobSpec::run`]; tests inject panicking or
+/// sleeping runners, and future remote backends can proxy jobs elsewhere.
+pub type JobRunner = Arc<dyn Fn(&JobSpec) -> Result<Verification, VerifyError> + Send + Sync>;
+
+/// A configured campaign, ready to run.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    jobs: Vec<JobSpec>,
+    workers: usize,
+    timeout: Option<Duration>,
+    retries: u32,
+    fail_fast: bool,
+}
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Per-job results, in job order.
+    pub results: Vec<JobResult>,
+    /// The aggregate report (also emitted as the `campaign-summary`
+    /// event).
+    pub report: CampaignReport,
+}
+
+impl CampaignOutcome {
+    /// Whether every job produced its expected outcome.
+    pub fn all_expected(&self) -> bool {
+        self.report.all_expected()
+    }
+}
+
+impl Campaign {
+    /// A campaign over an explicit job list.
+    pub fn new(jobs: Vec<JobSpec>) -> Self {
+        Campaign {
+            jobs,
+            workers: pool::default_workers(),
+            timeout: None,
+            retries: 0,
+            fail_fast: false,
+        }
+    }
+
+    /// A campaign over a declarative sweep.
+    pub fn from_sweep(sweep: &Sweep) -> Self {
+        Campaign::new(sweep.jobs())
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-job wall-clock deadline. The deadline is also pushed
+    /// into each job's SAT time limit (when tighter) so abandoned job
+    /// threads terminate on their own instead of spinning forever.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Grants timed-out jobs up to `retries` extra attempts.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Aborts all queued jobs after the first unexpected falsification.
+    pub fn fail_fast(mut self, enabled: bool) -> Self {
+        self.fail_fast = enabled;
+        self
+    }
+
+    /// The job list.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Runs the campaign with the default in-process runner.
+    pub fn run(&self, sink: &dyn EventSink) -> CampaignOutcome {
+        self.run_with(sink, Arc::new(|job: &JobSpec| job.run()))
+    }
+
+    /// Runs the campaign with a custom job runner (tests, remote
+    /// backends).
+    pub fn run_with(&self, sink: &dyn EventSink, runner: JobRunner) -> CampaignOutcome {
+        sink.emit(&Event::CampaignStarted {
+            total_jobs: self.jobs.len(),
+            workers: self.workers,
+            timeout_secs: self.timeout.map(|t| t.as_secs_f64()),
+            retries: self.retries,
+            fail_fast: self.fail_fast,
+        });
+
+        let jobs: Vec<JobSpec> = match self.timeout {
+            // Give orphaned (timed-out, abandoned) job threads a SAT
+            // budget no looser than the deadline so they wind down.
+            Some(deadline) => self
+                .jobs
+                .iter()
+                .map(|job| {
+                    let mut job = *job;
+                    let budget = deadline.as_secs_f64();
+                    job.sat_limits.max_seconds =
+                        Some(job.sat_limits.max_seconds.map_or(budget, |s| s.min(budget)));
+                    job
+                })
+                .collect(),
+            None => self.jobs.clone(),
+        };
+
+        let cancel = CancelToken::new();
+        let observer = CampaignObserver {
+            sink,
+            cancel: cancel.clone(),
+            fail_fast: self.fail_fast,
+        };
+        let options = PoolOptions {
+            workers: self.workers,
+            timeout: self.timeout,
+            retries: self.retries,
+        };
+        let started = Instant::now();
+        let exec_results = pool::execute(
+            jobs.clone(),
+            &options,
+            &cancel,
+            Arc::new(move |job: &JobSpec| runner(job)),
+            &observer,
+        );
+        let wall = started.elapsed();
+
+        let results: Vec<JobResult> = exec_results
+            .into_iter()
+            .enumerate()
+            .map(|(index, exec)| job_result(index, jobs[index], exec))
+            .collect();
+        let report = CampaignReport::summarize(&results, wall, self.workers);
+        sink.emit(&Event::CampaignSummary(report.clone()));
+        CampaignOutcome { results, report }
+    }
+}
+
+fn outcome_from_exec(
+    exec: &ExecOutcome<Result<Verification, VerifyError>>,
+    attempts: u32,
+) -> Outcome {
+    match exec {
+        ExecOutcome::Done(Ok(verification)) => Outcome::Completed(verification.clone()),
+        ExecOutcome::Done(Err(error)) => Outcome::Error(error.clone()),
+        ExecOutcome::Panicked { message } => Outcome::Crashed {
+            message: message.clone(),
+        },
+        ExecOutcome::TimedOut => Outcome::TimedOut { attempts },
+        ExecOutcome::Cancelled => Outcome::Cancelled,
+    }
+}
+
+fn job_result(
+    index: usize,
+    job: JobSpec,
+    exec: ExecResult<Result<Verification, VerifyError>>,
+) -> JobResult {
+    JobResult {
+        index,
+        job,
+        outcome: outcome_from_exec(&exec.outcome, exec.attempts),
+        duration: exec.duration,
+        worker: exec.worker,
+        attempts: exec.attempts,
+    }
+}
+
+struct CampaignObserver<'a> {
+    sink: &'a dyn EventSink,
+    cancel: CancelToken,
+    fail_fast: bool,
+}
+
+impl Observer<JobSpec, Result<Verification, VerifyError>> for CampaignObserver<'_> {
+    fn on_start(&self, index: usize, job: &JobSpec, worker: usize, attempt: u32) {
+        self.sink.emit(&Event::JobStarted {
+            index,
+            job: *job,
+            worker,
+            attempt,
+        });
+    }
+
+    fn on_retry(&self, index: usize, job: &JobSpec, worker: usize, attempt: u32) {
+        self.sink.emit(&Event::JobRetried {
+            index,
+            job: *job,
+            worker,
+            attempt,
+        });
+    }
+
+    fn on_finish(
+        &self,
+        index: usize,
+        job: &JobSpec,
+        result: &ExecResult<Result<Verification, VerifyError>>,
+    ) {
+        let job_result = job_result(index, *job, result.clone());
+        if self.fail_fast {
+            if let Outcome::Completed(v) = &job_result.outcome {
+                if job.is_unexpected_falsification(&v.verdict) {
+                    self.cancel.cancel();
+                }
+            }
+        }
+        self.sink.emit(&Event::JobFinished(job_result));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NullSink;
+    use rob_verify::{Config, Strategy};
+
+    #[test]
+    fn small_campaign_verifies_everything() {
+        let sweep = Sweep::new([2usize, 3], [1usize, 2]);
+        let outcome = Campaign::from_sweep(&sweep).workers(2).run(&NullSink);
+        assert_eq!(outcome.results.len(), 4);
+        assert!(outcome.all_expected(), "{:?}", outcome.report);
+        assert_eq!(outcome.report.verified, 4);
+        assert!(outcome.report.throughput > 0.0);
+    }
+
+    #[test]
+    fn explicit_job_list_runs() {
+        let job = JobSpec::new(Config::new(2, 1).unwrap(), Strategy::PositiveEqualityOnly);
+        let outcome = Campaign::new(vec![job]).workers(1).run(&NullSink);
+        assert_eq!(outcome.report.verified, 1);
+        let v = outcome.results[0]
+            .outcome
+            .verification()
+            .expect("completed");
+        assert!(v.stats.eij_vars > 0, "PE-only keeps e_ij variables");
+    }
+}

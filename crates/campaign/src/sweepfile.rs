@@ -1,0 +1,356 @@
+//! A minimal TOML-subset parser for campaign sweep descriptions.
+//!
+//! The CLI reads sweep files like:
+//!
+//! ```toml
+//! # DATE-2002 Table 2 sweep
+//! sizes = [8, 16, 32]
+//! widths = [2, 4]
+//! strategies = ["rewrite+pe", "pe-only"]
+//! bugs = ["forwarding-ignores-valid:4:src2"]
+//! workers = 8
+//! timeout-secs = 120.0
+//! retries = 1
+//! fail-fast = true
+//! ```
+//!
+//! Only the subset needed for sweeps is supported: top-level
+//! `key = value` lines with integer, float, boolean, string, and
+//! flat-array values, plus `#` comments. Nested tables are rejected
+//! with a clear error rather than misparsed.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use rob_verify::{BugSpec, Strategy};
+
+use crate::job::Sweep;
+use crate::run::Campaign;
+
+/// A parsed sweep file: the sweep axes plus scheduling options.
+#[derive(Debug, Clone, Default)]
+pub struct SweepFile {
+    /// The sweep axes.
+    pub sweep: Sweep,
+    /// Worker override, if the file sets one.
+    pub workers: Option<usize>,
+    /// Per-job deadline, if the file sets one.
+    pub timeout: Option<Duration>,
+    /// Retry budget for timed-out jobs.
+    pub retries: Option<u32>,
+    /// Fail-fast flag.
+    pub fail_fast: Option<bool>,
+}
+
+impl SweepFile {
+    /// Parses a sweep description.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for syntax errors,
+    /// unknown keys, and type mismatches.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let raw = parse_toml_subset(text)?;
+        let mut file = SweepFile::default();
+        for (key, value) in raw {
+            match key.as_str() {
+                "sizes" => file.sweep.sizes = value.usize_list(&key)?,
+                "widths" => file.sweep.widths = value.usize_list(&key)?,
+                "strategies" => {
+                    let names = value.string_list(&key)?;
+                    let mut strategies = Vec::new();
+                    for name in names {
+                        strategies.push(
+                            name.parse::<Strategy>()
+                                .map_err(|e| format!("strategies: {e}"))?,
+                        );
+                    }
+                    file.sweep.strategies = strategies;
+                }
+                "bugs" => {
+                    let names = value.string_list(&key)?;
+                    // A listed bug axis replaces the default bug-free
+                    // run; add "none" to the list to keep it.
+                    let mut bugs = Vec::new();
+                    for name in names {
+                        if name == "none" {
+                            bugs.push(None);
+                        } else {
+                            bugs.push(Some(
+                                name.parse::<BugSpec>().map_err(|e| format!("bugs: {e}"))?,
+                            ));
+                        }
+                    }
+                    file.sweep.bugs = bugs;
+                }
+                "max-conflicts" => {
+                    let mut limits = file.sweep.sat_limits;
+                    limits.max_conflicts = Some(value.usize_scalar(&key)? as u64);
+                    file.sweep.sat_limits = limits;
+                }
+                "max-sat-secs" => {
+                    let mut limits = file.sweep.sat_limits;
+                    limits.max_seconds = Some(value.float_scalar(&key)?);
+                    file.sweep.sat_limits = limits;
+                }
+                "workers" => file.workers = Some(value.usize_scalar(&key)?),
+                "timeout-secs" => {
+                    file.timeout = Some(Duration::from_secs_f64(value.float_scalar(&key)?));
+                }
+                "retries" => file.retries = Some(value.usize_scalar(&key)? as u32),
+                "fail-fast" => file.fail_fast = Some(value.bool_scalar(&key)?),
+                other => return Err(format!("unknown key `{other}`")),
+            }
+        }
+        if file.sweep.sizes.is_empty() || file.sweep.widths.is_empty() {
+            return Err("sweep file must set non-empty `sizes` and `widths`".into());
+        }
+        Ok(file)
+    }
+
+    /// Builds a campaign from the parsed file, applying its scheduling
+    /// options on top of the defaults.
+    pub fn campaign(&self) -> Campaign {
+        let mut campaign = Campaign::from_sweep(&self.sweep);
+        if let Some(workers) = self.workers {
+            campaign = campaign.workers(workers);
+        }
+        if let Some(timeout) = self.timeout {
+            campaign = campaign.timeout(timeout);
+        }
+        if let Some(retries) = self.retries {
+            campaign = campaign.retries(retries);
+        }
+        if let Some(fail_fast) = self.fail_fast {
+            campaign = campaign.fail_fast(fail_fast);
+        }
+        campaign
+    }
+}
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+    List(Vec<Value>),
+}
+
+impl Value {
+    fn usize_scalar(&self, key: &str) -> Result<usize, String> {
+        match self {
+            Value::Int(n) if *n >= 0 => Ok(*n as usize),
+            _ => Err(format!("{key}: expected a non-negative integer")),
+        }
+    }
+
+    fn float_scalar(&self, key: &str) -> Result<f64, String> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(n) => Ok(*n as f64),
+            _ => Err(format!("{key}: expected a number")),
+        }
+    }
+
+    fn bool_scalar(&self, key: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("{key}: expected true or false")),
+        }
+    }
+
+    fn usize_list(&self, key: &str) -> Result<Vec<usize>, String> {
+        match self {
+            Value::List(items) => items.iter().map(|v| v.usize_scalar(key)).collect(),
+            _ => Err(format!("{key}: expected an array of integers")),
+        }
+    }
+
+    fn string_list(&self, key: &str) -> Result<Vec<String>, String> {
+        match self {
+            Value::List(items) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => Ok(s.clone()),
+                    _ => Err(format!("{key}: expected an array of strings")),
+                })
+                .collect(),
+            _ => Err(format!("{key}: expected an array of strings")),
+        }
+    }
+}
+
+fn parse_toml_subset(text: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut map = BTreeMap::new();
+    for (number, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {}: tables are not supported", number + 1));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`", number + 1));
+        };
+        let key = key.trim().to_string();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!("line {}: bad key `{key}`", number + 1));
+        }
+        let value = parse_value(value.trim()).map_err(|e| format!("line {}: {e}", number + 1))?;
+        if map.insert(key.clone(), value).is_some() {
+            return Err(format!("line {}: duplicate key `{key}`", number + 1));
+        }
+    }
+    Ok(map)
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err("missing value".into());
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(format!("unterminated array `{text}`"));
+        };
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part)?);
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return Err(format!("unterminated string `{text}`"));
+        };
+        if inner.contains('"') {
+            return Err(format!("embedded quote in `{text}`"));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(n) = text.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(format!("unrecognised value `{text}`"))
+}
+
+/// Splits array contents on commas outside quotes (arrays don't nest in
+/// this subset).
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_sweep_file() {
+        let text = r#"
+# table sweep
+sizes = [8, 16]   # N axis
+widths = [2, 4]
+strategies = ["rewrite+pe", "pe-only"]
+bugs = ["none", "retire-out-of-order:2"]
+workers = 4
+timeout-secs = 1.5
+retries = 2
+fail-fast = true
+max-conflicts = 100000
+"#;
+        let file = SweepFile::parse(text).expect("parse");
+        assert_eq!(file.sweep.sizes, vec![8, 16]);
+        assert_eq!(file.sweep.widths, vec![2, 4]);
+        assert_eq!(file.sweep.strategies.len(), 2);
+        assert_eq!(file.sweep.bugs.len(), 2);
+        assert_eq!(file.sweep.bugs[0], None);
+        assert_eq!(file.workers, Some(4));
+        assert_eq!(file.timeout, Some(Duration::from_secs_f64(1.5)));
+        assert_eq!(file.retries, Some(2));
+        assert_eq!(file.fail_fast, Some(true));
+        assert_eq!(file.sweep.sat_limits.max_conflicts, Some(100_000));
+        // 2 sizes x 2 widths x 2 strategies x 2 bug-axis entries.
+        assert_eq!(file.campaign().jobs().len(), 16);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_syntax() {
+        assert!(SweepFile::parse("sizes = [4]\nwidths = [2]\nbogus = 1")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(SweepFile::parse("sizes [4]")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(SweepFile::parse("[table]").unwrap_err().contains("tables"));
+        assert!(SweepFile::parse("sizes = [4]")
+            .unwrap_err()
+            .contains("widths"));
+        assert!(SweepFile::parse("sizes = [4]\nwidths = [2]\nsizes = [8]")
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        assert_eq!(strip_comment(r#"a = "x # y" # real"#), r#"a = "x # y" "#);
+    }
+
+    #[test]
+    fn value_grammar() {
+        assert_eq!(parse_value("3").unwrap(), Value::Int(3));
+        assert_eq!(parse_value("3.5").unwrap(), Value::Float(3.5));
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("\"x\"").unwrap(), Value::Str("x".into()));
+        assert_eq!(
+            parse_value("[1, 2]").unwrap(),
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert!(parse_value("[1, 2").is_err());
+        assert!(parse_value("nope").is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Orchestrator behaviour tests: determinism across worker counts,
+//! panic isolation, watchdog timeouts with retry, fail-fast
+//! cancellation, and JSONL stream validity.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use campaign::json::{self, Json};
+use campaign::{
+    Campaign, Event, JobRunner, JobSpec, JsonlSink, MemorySink, NullSink, Outcome, Sweep,
+};
+use rob_verify::{Config, Strategy, Verdict, Verification};
+
+fn verified() -> Verification {
+    Verification {
+        verdict: Verdict::Verified,
+        timings: Default::default(),
+        stats: Default::default(),
+    }
+}
+
+fn test_sweep() -> Sweep {
+    Sweep::new([2usize, 3, 4], [1usize, 2]).strategies([
+        Strategy::RewritingAndPositiveEquality,
+        Strategy::PositiveEqualityOnly,
+    ])
+}
+
+#[test]
+fn outcomes_are_deterministic_across_worker_counts() {
+    let sweep = test_sweep();
+    let serial = Campaign::from_sweep(&sweep).workers(1).run(&NullSink);
+    let parallel = Campaign::from_sweep(&sweep).workers(8).run(&NullSink);
+
+    assert_eq!(serial.results.len(), parallel.results.len());
+    assert!(!serial.results.is_empty());
+    for (a, b) in serial.results.iter().zip(&parallel.results) {
+        assert_eq!(a.index, b.index, "results must come back in job order");
+        assert_eq!(a.job.label(), b.job.label());
+        // The verdict and the formula-level statistics are functions of
+        // the job alone; scheduling must not change them.
+        let (va, vb) = (
+            a.outcome.verification().expect("completed"),
+            b.outcome.verification().expect("completed"),
+        );
+        assert_eq!(va.verdict, vb.verdict, "{}", a.job.label());
+        assert_eq!(
+            va.stats.cnf_clauses,
+            vb.stats.cnf_clauses,
+            "{}",
+            a.job.label()
+        );
+        assert_eq!(va.stats.eij_vars, vb.stats.eij_vars, "{}", a.job.label());
+        assert_eq!(
+            va.stats.formula_nodes,
+            vb.stats.formula_nodes,
+            "{}",
+            a.job.label()
+        );
+    }
+    assert!(serial.all_expected() && parallel.all_expected());
+}
+
+#[test]
+fn panics_become_crashed_outcomes_and_the_campaign_survives() {
+    let sweep = Sweep::new([2usize, 3, 4, 5], [1usize]);
+    let runner: JobRunner = Arc::new(|job: &JobSpec| {
+        if job.config.rob_size() == 4 {
+            panic!("injected fault in {}", job.label());
+        }
+        Ok(verified())
+    });
+    let sink = MemorySink::new();
+    let outcome = Campaign::from_sweep(&sweep)
+        .workers(2)
+        .run_with(&sink, runner);
+
+    assert_eq!(outcome.results.len(), 4, "campaign must run every job");
+    assert_eq!(outcome.report.crashed, 1);
+    assert_eq!(outcome.report.verified, 3);
+    let crashed = &outcome.results[2];
+    match &crashed.outcome {
+        Outcome::Crashed { message } => {
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        other => panic!("expected a crash, got {other:?}"),
+    }
+    assert!(!outcome.all_expected());
+    // The crash still produced a job-finished event.
+    let finished = sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::JobFinished(_)))
+        .count();
+    assert_eq!(finished, 4);
+}
+
+#[test]
+fn timeouts_are_reported_and_retried() {
+    let job = JobSpec::new(Config::new(2, 1).unwrap(), Strategy::default());
+    let runner: JobRunner = Arc::new(|_: &JobSpec| {
+        std::thread::sleep(Duration::from_millis(300));
+        Ok(verified())
+    });
+    let outcome = Campaign::new(vec![job])
+        .workers(1)
+        .timeout(Duration::from_millis(30))
+        .retries(1)
+        .run_with(&NullSink, runner);
+
+    match outcome.results[0].outcome {
+        Outcome::TimedOut { attempts } => assert_eq!(attempts, 2, "retry must be used"),
+        ref other => panic!("expected a timeout, got {other:?}"),
+    }
+    assert_eq!(outcome.report.timed_out, 1);
+    assert!(!outcome.all_expected());
+}
+
+#[test]
+fn fail_fast_cancels_the_rest_of_the_campaign() {
+    let sweep = Sweep::new([2usize, 3, 4, 5, 6, 7, 8, 9], [1usize]);
+    let runner: JobRunner = Arc::new(|job: &JobSpec| {
+        Ok(Verification {
+            // The first job "falsifies" a bug-free design — the
+            // fail-fast trigger.
+            verdict: if job.config.rob_size() == 2 {
+                Verdict::Falsified { true_vars: vec![] }
+            } else {
+                Verdict::Verified
+            },
+            timings: Default::default(),
+            stats: Default::default(),
+        })
+    });
+    let outcome = Campaign::from_sweep(&sweep)
+        .workers(1)
+        .fail_fast(true)
+        .run_with(&NullSink, runner);
+
+    assert_eq!(outcome.report.falsified, 1);
+    assert_eq!(
+        outcome.report.cancelled,
+        outcome.results.len() - 1,
+        "everything after the falsification must be cancelled: {:?}",
+        outcome.report
+    );
+}
+
+#[test]
+fn workers_overlap_independent_jobs() {
+    // Jobs that wait rather than compute, so the wall-clock gain from
+    // overlap is observable even on a single-CPU host.
+    let sweep = Sweep::new([2usize, 3, 4, 5], [1usize, 2]);
+    let runner: JobRunner = Arc::new(|_: &JobSpec| {
+        std::thread::sleep(Duration::from_millis(120));
+        Ok(verified())
+    });
+    let outcome = Campaign::from_sweep(&sweep)
+        .workers(4)
+        .run_with(&NullSink, runner.clone());
+    let serial = Campaign::from_sweep(&sweep)
+        .workers(1)
+        .run_with(&NullSink, runner);
+
+    assert_eq!(outcome.results.len(), 8);
+    let speedup = serial.report.wall.as_secs_f64() / outcome.report.wall.as_secs_f64();
+    assert!(
+        speedup > 1.5,
+        "4 workers must beat 1 by >1.5x on overlappable jobs: {speedup:.2}x \
+         ({:?} vs {:?})",
+        serial.report.wall,
+        outcome.report.wall
+    );
+    // The report's own cpu-vs-wall metric must agree that jobs overlapped.
+    assert!(outcome.report.speedup > 1.5, "{:?}", outcome.report);
+}
+
+#[test]
+fn jsonl_stream_is_valid_and_complete() {
+    let sweep = Sweep::new([2usize, 3], [1usize, 2]);
+    let sink = JsonlSink::new(Vec::new());
+    let outcome = Campaign::from_sweep(&sweep).workers(4).run(&sink);
+    assert!(outcome.all_expected());
+
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // campaign-started + per-job (started + finished) + summary.
+    assert_eq!(lines.len(), 1 + 2 * outcome.results.len() + 1);
+
+    let mut finished = 0;
+    for line in &lines {
+        let parsed = json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+        let kind = parsed
+            .get("event")
+            .and_then(Json::as_str)
+            .expect("event field");
+        if kind == "job-finished" {
+            finished += 1;
+            assert_eq!(
+                parsed.get("outcome").and_then(Json::as_str),
+                Some("verified")
+            );
+            let stats = parsed.get("stats").expect("stats object");
+            assert!(stats.get("cnf_clauses").is_some());
+            assert!(stats.get("eij_vars").is_some());
+            assert!(stats.get("sat_conflicts").is_some());
+            let timings = parsed.get("timings").expect("timings object");
+            assert!(timings.get("total_secs").is_some());
+        }
+    }
+    assert_eq!(finished, outcome.results.len());
+
+    let summary = json::parse(lines.last().unwrap()).unwrap();
+    assert_eq!(
+        summary.get("event").and_then(Json::as_str),
+        Some("campaign-summary")
+    );
+    assert!(summary.get("throughput_jobs_per_sec").is_some());
+    assert!(summary.get("p95_secs").is_some());
+    assert!(summary.get("speedup").is_some());
+}

@@ -88,6 +88,9 @@ mod tests {
 
     #[test]
     fn empty_input_reports_all_false() {
-        assert_eq!(describe_counterexample(&[]), "all primary variables false\n");
+        assert_eq!(
+            describe_counterexample(&[]),
+            "all primary variables false\n"
+        );
     }
 }

@@ -83,6 +83,35 @@ pub enum Strategy {
     RewritingAndPositiveEquality,
 }
 
+/// The stable labels used by sweep files, the campaign CLI, and JSONL
+/// telemetry: `pe-only` and `rewrite+pe`.
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::PositiveEqualityOnly => f.write_str("pe-only"),
+            Strategy::RewritingAndPositiveEquality => f.write_str("rewrite+pe"),
+        }
+    }
+}
+
+/// Accepts the [`Display`](std::fmt::Display) labels plus common aliases
+/// (`pe`, `positive-equality`, `rewrite`, `rewriting`).
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pe-only" | "pe" | "positive-equality" => Ok(Strategy::PositiveEqualityOnly),
+            "rewrite+pe" | "rewrite" | "rewriting" | "rewriting+pe" => {
+                Ok(Strategy::RewritingAndPositiveEquality)
+            }
+            other => Err(format!(
+                "unknown strategy {other:?} (expected pe-only or rewrite+pe)"
+            )),
+        }
+    }
+}
+
 /// The verification verdict.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
@@ -106,6 +135,28 @@ pub enum Verdict {
     /// A resource limit (time, conflicts, node budget) was reached — the
     /// graceful analogue of the paper's out-of-memory cells.
     ResourceLimit(String),
+}
+
+impl Verdict {
+    /// A stable, machine-readable label for telemetry (`verified`,
+    /// `falsified`, `slice-diagnosis`, `resource-limit`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Verified => "verified",
+            Verdict::Falsified { .. } => "falsified",
+            Verdict::SliceDiagnosis { .. } => "slice-diagnosis",
+            Verdict::ResourceLimit(_) => "resource-limit",
+        }
+    }
+
+    /// Whether the verdict reports a falsification — an explicit
+    /// counterexample or a slice diagnosis.
+    pub fn is_falsification(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Falsified { .. } | Verdict::SliceDiagnosis { .. }
+        )
+    }
 }
 
 /// Per-phase wall-clock timings.
@@ -157,6 +208,10 @@ pub struct VerificationStats {
     pub proof_checked: Option<bool>,
 }
 
+/// Short alias for [`VerificationStats`], used by the campaign
+/// orchestrator's telemetry.
+pub type VerifyStats = VerificationStats;
+
 /// The result of a verification run.
 #[derive(Debug, Clone)]
 pub struct Verification {
@@ -166,6 +221,13 @@ pub struct Verification {
     pub timings: PhaseTimings,
     /// Statistics.
     pub stats: VerificationStats,
+}
+
+impl Verification {
+    /// Whether the verdict is [`Verdict::Verified`].
+    pub fn is_verified(&self) -> bool {
+        self.verdict == Verdict::Verified
+    }
 }
 
 /// Errors from the verification driver (configuration and structural
@@ -314,9 +376,7 @@ impl Verifier {
                             stats,
                         })
                     }
-                    Err(RewriteError::Structure(msg)) => {
-                        return Err(VerifyError::Structure(msg))
-                    }
+                    Err(RewriteError::Structure(msg)) => return Err(VerifyError::Structure(msg)),
                 }
             }
         };
@@ -350,7 +410,11 @@ impl Verifier {
             }),
         };
 
-        Ok(Verification { verdict, timings, stats })
+        Ok(Verification {
+            verdict,
+            timings,
+            stats,
+        })
     }
 }
 
@@ -404,7 +468,10 @@ mod tests {
     #[test]
     fn bug_is_diagnosed_to_slice() {
         let config = Config::new(5, 2).expect("config");
-        let bug = BugSpec::ForwardingIgnoresValidResult { slice: 3, operand: Operand::Src1 };
+        let bug = BugSpec::ForwardingIgnoresValidResult {
+            slice: 3,
+            operand: Operand::Src1,
+        };
         let v = Verifier::new(config).bug(bug).run().expect("run");
         match v.verdict {
             Verdict::SliceDiagnosis { slice, .. } => assert_eq!(slice, 3),
@@ -417,7 +484,10 @@ mod tests {
         let config = Config::new(4, 4).expect("config");
         let v = Verifier::new(config)
             .strategy(Strategy::PositiveEqualityOnly)
-            .sat_limits(Limits { max_conflicts: Some(1), ..Limits::none() })
+            .sat_limits(Limits {
+                max_conflicts: Some(1),
+                ..Limits::none()
+            })
             .run()
             .expect("run");
         assert!(matches!(v.verdict, Verdict::ResourceLimit(_)));
@@ -426,7 +496,10 @@ mod tests {
     #[test]
     fn verified_verdicts_carry_checked_proofs() {
         let config = Config::new(4, 2).expect("config");
-        let v = Verifier::new(config).proof_checking(true).run().expect("run");
+        let v = Verifier::new(config)
+            .proof_checking(true)
+            .run()
+            .expect("run");
         assert_eq!(v.verdict, Verdict::Verified);
         assert_eq!(v.stats.proof_checked, Some(true));
     }
@@ -434,8 +507,14 @@ mod tests {
     #[test]
     fn eager_and_lazy_agree() {
         let config = Config::new(2, 2).expect("config");
-        let lazy = Verifier::new(config).eval(EvalStrategy::Lazy).run().expect("run");
-        let eager = Verifier::new(config).eval(EvalStrategy::Eager).run().expect("run");
+        let lazy = Verifier::new(config)
+            .eval(EvalStrategy::Lazy)
+            .run()
+            .expect("run");
+        let eager = Verifier::new(config)
+            .eval(EvalStrategy::Eager)
+            .run()
+            .expect("run");
         assert_eq!(lazy.verdict, eager.verdict);
         assert_eq!(lazy.stats.cnf_clauses, eager.stats.cnf_clauses);
     }

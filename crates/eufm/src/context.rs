@@ -304,7 +304,11 @@ impl Context {
         };
         let mut flat: Vec<ExprId> = Vec::new();
         for op in operands {
-            assert_eq!(self.sort(op), Sort::Bool, "and/or: operand must be a formula");
+            assert_eq!(
+                self.sort(op),
+                Sort::Bool,
+                "and/or: operand must be a formula"
+            );
             if op == absorbing {
                 return absorbing;
             }
@@ -388,7 +392,11 @@ impl Context {
     ///
     /// Panics if `cond` is not a formula or the branches' sorts differ.
     pub fn ite(&mut self, cond: ExprId, then_val: ExprId, else_val: ExprId) -> ExprId {
-        assert_eq!(self.sort(cond), Sort::Bool, "ite: condition must be a formula");
+        assert_eq!(
+            self.sort(cond),
+            Sort::Bool,
+            "ite: condition must be a formula"
+        );
         let sort = self.sort(then_val);
         assert_eq!(sort, self.sort(else_val), "ite: branch sorts must agree");
         if cond == Context::TRUE || then_val == else_val {
@@ -463,7 +471,11 @@ impl Context {
     ///
     /// Panics if `mem` is not memory-sorted or `addr` is not a term.
     pub fn read(&mut self, mem: ExprId, addr: ExprId) -> ExprId {
-        assert_eq!(self.sort(mem), Sort::Mem, "read: first operand must be a memory");
+        assert_eq!(
+            self.sort(mem),
+            Sort::Mem,
+            "read: first operand must be a memory"
+        );
         assert_eq!(self.sort(addr), Sort::Term, "read: address must be a term");
         self.insert(Node::Read(mem, addr), Sort::Term)
     }
@@ -474,7 +486,11 @@ impl Context {
     ///
     /// Panics if the operand sorts are not (memory, term, term).
     pub fn write(&mut self, mem: ExprId, addr: ExprId, data: ExprId) -> ExprId {
-        assert_eq!(self.sort(mem), Sort::Mem, "write: first operand must be a memory");
+        assert_eq!(
+            self.sort(mem),
+            Sort::Mem,
+            "write: first operand must be a memory"
+        );
         assert_eq!(self.sort(addr), Sort::Term, "write: address must be a term");
         assert_eq!(self.sort(data), Sort::Term, "write: data must be a term");
         self.insert(Node::Write(mem, addr, data), Sort::Mem)
@@ -716,8 +732,7 @@ mod extract_tests {
         // makes structural equality an id check.
         let mut probe = Context::new();
         let p1 = crate::parse::from_sexpr(&mut probe, &to_sexpr(&ctx, root)).expect("parse");
-        let p2 =
-            crate::parse::from_sexpr(&mut probe, &to_sexpr(&small, roots[0])).expect("parse");
+        let p2 = crate::parse::from_sexpr(&mut probe, &to_sexpr(&small, roots[0])).expect("parse");
         assert_eq!(p1, p2);
     }
 

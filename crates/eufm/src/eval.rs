@@ -129,7 +129,10 @@ impl HashModel {
     fn mix(&self, xs: &[u64]) -> u64 {
         let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
         for &x in xs {
-            h ^= x.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(h << 6).wrapping_add(h >> 2);
+            h ^= x
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(h << 6)
+                .wrapping_add(h >> 2);
             h = splitmix64(h);
         }
         h
@@ -199,12 +202,18 @@ fn eval_node(
     match ctx.node(id) {
         Node::True => Value::Bool(true),
         Node::False => Value::Bool(false),
-        Node::Var(_, Sort::Bool) => {
-            Value::Bool(asn.boolean.get(&id).copied().unwrap_or_else(|| model.default_bool(id)))
-        }
-        Node::Var(_, Sort::Term) => {
-            Value::Term(asn.term.get(&id).copied().unwrap_or_else(|| model.default_term(id)))
-        }
+        Node::Var(_, Sort::Bool) => Value::Bool(
+            asn.boolean
+                .get(&id)
+                .copied()
+                .unwrap_or_else(|| model.default_bool(id)),
+        ),
+        Node::Var(_, Sort::Term) => Value::Term(
+            asn.term
+                .get(&id)
+                .copied()
+                .unwrap_or_else(|| model.default_term(id)),
+        ),
         Node::Var(_, Sort::Mem) => Value::Mem(MemState::base(id)),
         Node::Uf(sym, args, sort) => {
             let vals: Vec<u64> = args.iter().map(|&a| encode_arg(get(a), model)).collect();
@@ -287,7 +296,11 @@ fn values_equal(a: &Value, b: &Value, model: &HashModel) -> bool {
 ///
 /// Panics if `root` is not a formula.
 pub fn eval_formula(ctx: &Context, root: ExprId, asn: &Assignment, model: &HashModel) -> bool {
-    assert_eq!(ctx.sort(root), Sort::Bool, "eval_formula: root must be a formula");
+    assert_eq!(
+        ctx.sort(root),
+        Sort::Bool,
+        "eval_formula: root must be a formula"
+    );
     eval(ctx, root, asn, model).as_bool()
 }
 
@@ -311,7 +324,11 @@ mod tests {
             ctx.and2(o, na) // xor
         };
         let mut asn = Assignment::default();
-        for (vx, vy, expect) in [(false, false, false), (true, false, true), (true, true, false)] {
+        for (vx, vy, expect) in [
+            (false, false, false),
+            (true, false, true),
+            (true, true, false),
+        ] {
             asn.boolean.insert(x, vx);
             asn.boolean.insert(y, vy);
             assert_eq!(eval_formula(&ctx, f, &asn, &model()), expect);

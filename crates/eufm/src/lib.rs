@@ -86,11 +86,21 @@ pub enum EufmError {
 impl std::fmt::Display for EufmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EufmError::SortMismatch { op, expected, found } => {
-                write!(f, "sort mismatch in {op}: expected {expected:?}, found {found:?}")
+            EufmError::SortMismatch {
+                op,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "sort mismatch in {op}: expected {expected:?}, found {found:?}"
+                )
             }
             EufmError::SignatureMismatch { name } => {
-                write!(f, "inconsistent signature for uninterpreted symbol `{name}`")
+                write!(
+                    f,
+                    "inconsistent signature for uninterpreted symbol `{name}`"
+                )
             }
             EufmError::Parse { message, offset } => {
                 write!(f, "parse error at byte {offset}: {message}")

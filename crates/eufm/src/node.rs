@@ -139,7 +139,10 @@ mod tests {
         let c = ExprId(3);
         assert_eq!(Node::True.child_count(), 0);
         assert_eq!(Node::Var(Symbol(0), Sort::Term).child_count(), 0);
-        assert_eq!(Node::Uf(Symbol(0), vec![a, b].into(), Sort::Term).child_count(), 2);
+        assert_eq!(
+            Node::Uf(Symbol(0), vec![a, b].into(), Sort::Term).child_count(),
+            2
+        );
         assert_eq!(Node::Ite(a, b, c).child_count(), 3);
         assert_eq!(Node::Eq(a, b).child_count(), 2);
         assert_eq!(Node::Not(a).child_count(), 1);

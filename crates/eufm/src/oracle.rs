@@ -16,8 +16,6 @@
 //!   the term variables and all Boolean assignments. This is exact because
 //!   such formulas depend on term values only through equality.
 
-
-
 use crate::context::Context;
 use crate::eval::{eval_formula, Assignment, HashModel};
 use crate::node::{ExprId, Node, Sort};
@@ -81,12 +79,21 @@ pub fn check_sampled_with_domain(
 ) -> OracleResult {
     assert_eq!(ctx.sort(root), Sort::Bool, "oracle: root must be a formula");
     let vars = collect_vars(ctx, &[root]);
-    let term_vars: Vec<ExprId> =
-        vars.iter().copied().filter(|&v| ctx.sort(v) == Sort::Term).collect();
-    let bool_vars: Vec<ExprId> =
-        vars.iter().copied().filter(|&v| ctx.sort(v) == Sort::Bool).collect();
-    let domain =
-        if domain == 0 { (term_vars.len() as u64 + 1).max(2) } else { domain.max(2) };
+    let term_vars: Vec<ExprId> = vars
+        .iter()
+        .copied()
+        .filter(|&v| ctx.sort(v) == Sort::Term)
+        .collect();
+    let bool_vars: Vec<ExprId> = vars
+        .iter()
+        .copied()
+        .filter(|&v| ctx.sort(v) == Sort::Bool)
+        .collect();
+    let domain = if domain == 0 {
+        (term_vars.len() as u64 + 1).max(2)
+    } else {
+        domain.max(2)
+    };
     for seed in 0..samples {
         let model = HashModel::new(seed.wrapping_mul(0x9e37), domain);
         let mut asn = Assignment::default();
@@ -101,7 +108,10 @@ pub fn check_sampled_with_domain(
             asn.boolean.insert(v, h & 1 == 1);
         }
         if !eval_formula(ctx, root, &asn, &model) {
-            return OracleResult::Invalid(Box::new(Counterexample { assignment: asn, seed }));
+            return OracleResult::Invalid(Box::new(Counterexample {
+                assignment: asn,
+                seed,
+            }));
         }
     }
     OracleResult::Valid
@@ -135,10 +145,16 @@ pub fn check_exhaustive(ctx: &Context, root: ExprId, budget: u64) -> OracleResul
         return OracleResult::Unsupported(format!("formula contains {what}"));
     }
     let vars = collect_vars(ctx, &[root]);
-    let term_vars: Vec<ExprId> =
-        vars.iter().copied().filter(|&v| ctx.sort(v) == Sort::Term).collect();
-    let bool_vars: Vec<ExprId> =
-        vars.iter().copied().filter(|&v| ctx.sort(v) == Sort::Bool).collect();
+    let term_vars: Vec<ExprId> = vars
+        .iter()
+        .copied()
+        .filter(|&v| ctx.sort(v) == Sort::Term)
+        .collect();
+    let bool_vars: Vec<ExprId> = vars
+        .iter()
+        .copied()
+        .filter(|&v| ctx.sort(v) == Sort::Bool)
+        .collect();
     if bool_vars.len() >= 63 {
         return OracleResult::Unsupported("too many Boolean variables".to_owned());
     }
@@ -211,7 +227,10 @@ struct RestrictedGrowth {
 
 impl RestrictedGrowth {
     fn new(n: usize) -> Self {
-        RestrictedGrowth { codes: vec![0; n.max(1)], maxes: vec![0; n.max(1)] }
+        RestrictedGrowth {
+            codes: vec![0; n.max(1)],
+            maxes: vec![0; n.max(1)],
+        }
     }
 
     fn current(&self) -> &[u32] {
@@ -290,7 +309,10 @@ mod tests {
         let a = ctx.tvar("a");
         let fa = ctx.uf("f", vec![a]);
         let goal = ctx.eq(fa, a);
-        assert!(matches!(check_exhaustive(&ctx, goal, 1 << 20), OracleResult::Unsupported(_)));
+        assert!(matches!(
+            check_exhaustive(&ctx, goal, 1 << 20),
+            OracleResult::Unsupported(_)
+        ));
     }
 
     #[test]

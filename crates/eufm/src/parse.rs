@@ -20,7 +20,11 @@ use crate::EufmError;
 /// Returns [`EufmError::Parse`] on malformed input, and propagates sort
 /// errors as parse errors with the offending construct's position.
 pub fn from_sexpr(ctx: &mut Context, input: &str) -> Result<ExprId, EufmError> {
-    let mut parser = Parser { ctx, input: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        ctx,
+        input: input.as_bytes(),
+        pos: 0,
+    };
     let expr = parser.expr()?;
     parser.skip_ws();
     if parser.pos != parser.input.len() {
@@ -37,7 +41,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn error(&self, message: &str) -> EufmError {
-        EufmError::Parse { message: message.to_owned(), offset: self.pos }
+        EufmError::Parse {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {

@@ -95,7 +95,10 @@ impl Analysis {
 
     /// The number of positive-only equations.
     pub fn positive_eq_count(&self) -> usize {
-        self.eq_polarity.values().filter(|p| !p.is_general()).count()
+        self.eq_polarity
+            .values()
+            .filter(|p| !p.is_general())
+            .count()
     }
 }
 

@@ -128,7 +128,11 @@ pub fn polarity_stats(ctx: &Context, root: ExprId) -> PolarityStats {
     PolarityStats {
         positive_eqs: analysis.positive_eq_count(),
         general_eqs: analysis.general_eq_count(),
-        p_vars: analysis.term_vars.iter().filter(|v| analysis.is_pvar(**v)).count(),
+        p_vars: analysis
+            .term_vars
+            .iter()
+            .filter(|v| analysis.is_pvar(**v))
+            .count(),
         g_vars: analysis.gvars.len(),
     }
 }

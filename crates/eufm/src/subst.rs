@@ -38,7 +38,10 @@ pub fn substitute(ctx: &mut Context, root: ExprId, subst: &Substitution) -> Expr
 /// Applies `subst` to several roots, sharing the traversal memo.
 pub fn substitute_all(ctx: &mut Context, roots: &[ExprId], subst: &Substitution) -> Vec<ExprId> {
     let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
-    roots.iter().map(|&r| substitute_memo(ctx, r, subst, &mut memo)).collect()
+    roots
+        .iter()
+        .map(|&r| substitute_memo(ctx, r, subst, &mut memo))
+        .collect()
 }
 
 fn substitute_memo(

@@ -1,7 +1,7 @@
-use std::time::Instant;
 use evc::check::{check_validity, CheckOptions};
 use evc::mem::MemoryModel;
 use sat::Limits;
+use std::time::Instant;
 use uarch::{correctness, Config};
 
 fn main() {
@@ -13,7 +13,10 @@ fn main() {
     let opts = CheckOptions {
         memory: MemoryModel::Forwarding,
         max_nodes: 40_000_000,
-        sat_limits: Limits { max_seconds: Some(240.0), ..Limits::none() },
+        sat_limits: Limits {
+            max_seconds: Some(240.0),
+            ..Limits::none()
+        },
         ..CheckOptions::default()
     };
     let t = Instant::now();

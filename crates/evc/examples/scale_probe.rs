@@ -1,8 +1,8 @@
-use std::io::Write;
-use std::time::Instant;
 use evc::check::{check_validity, CheckOptions};
 use evc::mem::MemoryModel;
 use evc::rewrite::{rewrite_correctness, RewriteInput, RewriteOptions};
+use std::io::Write;
+use std::time::Instant;
 use uarch::{correctness, Config};
 
 fn main() {
@@ -12,18 +12,45 @@ fn main() {
     let config = Config::new(n, k).unwrap();
     let t0 = Instant::now();
     let mut bundle = correctness::generate(&config).unwrap();
-    println!("gen={:?} nodes={} cells={}", t0.elapsed(), bundle.stats.ctx_nodes, bundle.stats.impl_cells);
+    println!(
+        "gen={:?} nodes={} cells={}",
+        t0.elapsed(),
+        bundle.stats.ctx_nodes,
+        bundle.stats.impl_cells
+    );
     std::io::stdout().flush().unwrap();
     let t1 = Instant::now();
-    let input = RewriteInput { formula: bundle.formula, rf_impl: bundle.rf_impl, rf_spec0: bundle.rf_spec[0] };
+    let input = RewriteInput {
+        formula: bundle.formula,
+        rf_impl: bundle.rf_impl,
+        rf_spec0: bundle.rf_spec[0],
+    };
     let outcome = match rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default()) {
         Ok(o) => o,
-        Err(e) => { println!("REWRITE ERR {e}"); return; }
+        Err(e) => {
+            println!("REWRITE ERR {e}");
+            return;
+        }
     };
-    println!("rewrite={:?} obligations={} syntactic={}", t1.elapsed(), outcome.obligations, outcome.syntactic_hits);
+    println!(
+        "rewrite={:?} obligations={} syntactic={}",
+        t1.elapsed(),
+        outcome.obligations,
+        outcome.syntactic_hits
+    );
     std::io::stdout().flush().unwrap();
     let t2 = Instant::now();
-    let opts = CheckOptions { memory: MemoryModel::Conservative, ..CheckOptions::default() };
+    let opts = CheckOptions {
+        memory: MemoryModel::Conservative,
+        ..CheckOptions::default()
+    };
     let report = check_validity(&mut bundle.ctx, outcome.formula, &opts);
-    println!("check={:?} valid={:?} eij={} cnfv={} cnfc={}", t2.elapsed(), report.outcome.is_valid(), report.stats.eij_vars, report.stats.cnf_vars, report.stats.cnf_clauses);
+    println!(
+        "check={:?} valid={:?} eij={} cnfv={} cnfc={}",
+        t2.elapsed(),
+        report.outcome.is_valid(),
+        report.stats.eij_vars,
+        report.stats.cnf_vars,
+        report.stats.cnf_clauses
+    );
 }

@@ -12,9 +12,9 @@
 
 use std::io::Read;
 
+use eufm::Context;
 use evc::check::{check_validity, CheckOptions, CheckOutcome, UfScheme};
 use evc::mem::MemoryModel;
-use eufm::Context;
 
 fn usage() -> ! {
     eprintln!(
@@ -51,10 +51,12 @@ fn main() {
         }),
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
-                eprintln!("evcheck: cannot read stdin: {e}");
-                std::process::exit(2)
-            });
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| {
+                    eprintln!("evcheck: cannot read stdin: {e}");
+                    std::process::exit(2)
+                });
             buf
         }
     };
@@ -74,7 +76,10 @@ fn main() {
         CheckOutcome::Valid => println!("VALID"),
         CheckOutcome::Invalid { true_vars } => {
             println!("INVALID");
-            println!("counterexample: true variables = {{{}}}", true_vars.join(", "));
+            println!(
+                "counterexample: true variables = {{{}}}",
+                true_vars.join(", ")
+            );
         }
         CheckOutcome::Unknown(reason) => println!("UNKNOWN ({reason:?})"),
     }

@@ -58,7 +58,9 @@ impl std::error::Error for ChainError {}
 /// writes over a memory variable.
 pub fn parse(ctx: &Context, mem: ExprId) -> Result<UpdateChain, ChainError> {
     if ctx.sort(mem) != Sort::Mem {
-        return Err(ChainError { message: "expression is not memory-sorted".to_owned() });
+        return Err(ChainError {
+            message: "expression is not memory-sorted".to_owned(),
+        });
     }
     let mut updates_rev: Vec<Update> = Vec::new();
     let mut cur = mem;
@@ -140,7 +142,11 @@ impl UpdateChain {
 
     /// Reconstructs the memory expression this chain was parsed from.
     pub fn to_expr(&self, ctx: &mut Context) -> ExprId {
-        rebuild(ctx, self.base, self.updates.iter().map(|u| (u.guard, u.addr, u.data)))
+        rebuild(
+            ctx,
+            self.base,
+            self.updates.iter().map(|u| (u.guard, u.addr, u.data)),
+        )
     }
 
     /// Whether the chain has no updates.

@@ -155,10 +155,17 @@ pub struct CheckReport {
 ///
 /// Panics if `formula` is not Boolean-sorted.
 pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions) -> CheckReport {
-    assert_eq!(ctx.sort(formula), Sort::Bool, "check_validity expects a formula");
+    assert_eq!(
+        ctx.sort(formula),
+        Sort::Bool,
+        "check_validity expects a formula"
+    );
     let translate_start = Instant::now();
     let input_nodes = ctx.dag_size(&[formula]);
-    let mut stats = TranslationStats { input_nodes, ..TranslationStats::default() };
+    let mut stats = TranslationStats {
+        input_nodes,
+        ..TranslationStats::default()
+    };
 
     // 1. memory elimination
     let no_mem = mem::eliminate(ctx, formula, options.memory);
@@ -227,15 +234,17 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
         let trans = pe::transitivity_constraints(ctx, &encoding.eij);
         prop = ctx.implies(trans, prop);
     }
-    let PrimaryInputStats { eij_vars, other_vars } = primary_inputs(ctx, prop);
+    let PrimaryInputStats {
+        eij_vars,
+        other_vars,
+    } = primary_inputs(ctx, prop);
     stats.eij_vars = eij_vars;
     stats.other_vars = other_vars;
     stats.bool_nodes = ctx.dag_size(&[prop]);
 
     // 5. Tseitin + SAT on the negation
-    let mut translation =
-        sat::tseitin::translate(ctx, prop, options.tseitin, Phase::Negative)
-            .expect("encoded formula is propositional");
+    let mut translation = sat::tseitin::translate(ctx, prop, options.tseitin, Phase::Negative)
+        .expect("encoded formula is propositional");
     translation.assert_negated_root();
     stats.cnf_vars = translation.cnf.num_vars();
     stats.cnf_clauses = translation.cnf.num_clauses();
@@ -321,9 +330,15 @@ mod tests {
         let goal = ctx.implies(prem, ac);
         assert!(check(&mut ctx, goal).is_valid());
         // without transitivity constraints this must NOT be provable
-        let opts = CheckOptions { transitivity: false, ..CheckOptions::default() };
+        let opts = CheckOptions {
+            transitivity: false,
+            ..CheckOptions::default()
+        };
         let report = check_validity(&mut ctx, goal, &opts);
-        assert!(report.outcome.is_invalid(), "missing transitivity must falsify");
+        assert!(
+            report.outcome.is_invalid(),
+            "missing transitivity must falsify"
+        );
     }
 
     #[test]
@@ -385,7 +400,10 @@ mod tests {
         let ac = ctx.eq(a, c);
         let prem = ctx.and2(ab, bc);
         let goal = ctx.implies(prem, ac);
-        let opts = CheckOptions { check_proof: true, ..CheckOptions::default() };
+        let opts = CheckOptions {
+            check_proof: true,
+            ..CheckOptions::default()
+        };
         let report = check_validity(&mut ctx, goal, &opts);
         assert!(report.outcome.is_valid());
         assert_eq!(report.proof_checked, Some(true));
@@ -407,9 +425,14 @@ mod tests {
         let concl = ctx.eq(fa, fb);
         let valid = ctx.implies(prem, concl);
         let invalid = concl;
-        let opts = CheckOptions { uf_scheme: UfScheme::Ackermann, ..CheckOptions::default() };
+        let opts = CheckOptions {
+            uf_scheme: UfScheme::Ackermann,
+            ..CheckOptions::default()
+        };
         assert!(check_validity(&mut ctx, valid, &opts).outcome.is_valid());
-        assert!(check_validity(&mut ctx, invalid, &opts).outcome.is_invalid());
+        assert!(check_validity(&mut ctx, invalid, &opts)
+            .outcome
+            .is_invalid());
     }
 
     #[test]
@@ -430,14 +453,16 @@ mod tests {
         };
         let mut ctx = Context::new();
         let f = build(&mut ctx);
-        let nested =
-            check_validity(&mut ctx, f, &CheckOptions::default());
+        let nested = check_validity(&mut ctx, f, &CheckOptions::default());
         let mut ctx = Context::new();
         let f = build(&mut ctx);
         let ack = check_validity(
             &mut ctx,
             f,
-            &CheckOptions { uf_scheme: UfScheme::Ackermann, ..CheckOptions::default() },
+            &CheckOptions {
+                uf_scheme: UfScheme::Ackermann,
+                ..CheckOptions::default()
+            },
         );
         assert_eq!(nested.outcome.is_valid(), ack.outcome.is_valid());
         assert!(
@@ -472,10 +497,16 @@ mod tests {
         let conj = ctx.and(clauses);
         let goal = ctx.not(conj); // valid (PHP is unsat), but hard
         let opts = CheckOptions {
-            sat_limits: Limits { max_conflicts: Some(1), ..Limits::none() },
+            sat_limits: Limits {
+                max_conflicts: Some(1),
+                ..Limits::none()
+            },
             ..CheckOptions::default()
         };
         let report = check_validity(&mut ctx, goal, &opts);
-        assert_eq!(report.outcome, CheckOutcome::Unknown(UnknownReason::SatConflicts));
+        assert_eq!(
+            report.outcome,
+            CheckOutcome::Unknown(UnknownReason::SatConflicts)
+        );
     }
 }

@@ -50,21 +50,32 @@ pub const MEM_EQ_ADDR: &str = "memeq!addr";
 ///
 /// Panics if `root` is not a formula.
 pub fn eliminate(ctx: &mut Context, root: ExprId, model: MemoryModel) -> ExprId {
-    assert_eq!(ctx.sort(root), Sort::Bool, "memory elimination expects a formula");
+    assert_eq!(
+        ctx.sort(root),
+        Sort::Bool,
+        "memory elimination expects a formula"
+    );
     // Pass 1: memory equations -> reads at a shared fresh address.
     let root = {
-        let mut pass = MemEqPass { memo: HashMap::new(), addr: None };
+        let mut pass = MemEqPass {
+            memo: HashMap::new(),
+            addr: None,
+        };
         pass.rebuild(ctx, root)
     };
     // Pass 2: eliminate reads/writes.
     match model {
         MemoryModel::Forwarding => {
-            let mut pass =
-                ForwardPass { memo: HashMap::new(), read_memo: HashMap::new() };
+            let mut pass = ForwardPass {
+                memo: HashMap::new(),
+                read_memo: HashMap::new(),
+            };
             pass.rebuild(ctx, root)
         }
         MemoryModel::Conservative => {
-            let mut pass = ConservativePass { memo: HashMap::new() };
+            let mut pass = ConservativePass {
+                memo: HashMap::new(),
+            };
             pass.rebuild(ctx, root)
         }
     }
@@ -159,8 +170,7 @@ impl ForwardPass {
             Node::Uf(sym, args, Sort::Mem) => {
                 // A memory produced by an uninterpreted transformer (only in
                 // mixed pipelines): read it through a dedicated UF.
-                let rebuilt: Vec<ExprId> =
-                    args.iter().map(|&x| self.rebuild(ctx, x)).collect();
+                let rebuilt: Vec<ExprId> = args.iter().map(|&x| self.rebuild(ctx, x)).collect();
                 let inner = ctx.apply_sym(sym, rebuilt, Sort::Mem);
                 let name = format!("rdapp!{}", ctx.name(sym));
                 let mut full = vec![inner];
@@ -361,7 +371,10 @@ mod tests {
         let out = eliminate(&mut ctx, goal, MemoryModel::Conservative);
         // ...but not provable conservatively: rd!(wr!(m,a,d), a) is opaque.
         let verdict = check_sampled(&ctx, out, 200);
-        assert!(verdict.is_invalid(), "conservative model must not prove forwarding");
+        assert!(
+            verdict.is_invalid(),
+            "conservative model must not prove forwarding"
+        );
     }
 
     #[test]
@@ -375,7 +388,7 @@ mod tests {
         let r2 = ctx.read(w1, a);
         let goal = ctx.eq(r1, r2);
         assert_eq!(goal, Context::TRUE); // hash-consing already
-        // identical chains compare equal after abstraction too
+                                         // identical chains compare equal after abstraction too
         let w2 = ctx.write(m, a, d);
         let x = ctx.read(w2, a);
         let y = ctx.read(w1, a);

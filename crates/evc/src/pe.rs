@@ -90,7 +90,11 @@ pub fn encode(
         formula_memo: HashMap::new(),
         eq_memo: HashMap::new(),
         eij_vars: HashMap::new(),
-        max_nodes: if max_nodes == 0 { usize::MAX } else { max_nodes },
+        max_nodes: if max_nodes == 0 {
+            usize::MAX
+        } else {
+            max_nodes
+        },
     };
     let formula = enc.formula(ctx, root)?;
     let mut eij: Vec<(ExprId, ExprId, ExprId)> =
@@ -223,10 +227,7 @@ impl Encoder<'_> {
 /// discovered during elimination. Returns the conjunction, which is `true`
 /// when the graph is triangle-free after fill (e.g. star-shaped comparison
 /// graphs).
-pub fn transitivity_constraints(
-    ctx: &mut Context,
-    eij: &[(ExprId, ExprId, ExprId)],
-) -> ExprId {
+pub fn transitivity_constraints(ctx: &mut Context, eij: &[(ExprId, ExprId, ExprId)]) -> ExprId {
     // adjacency over variables
     let mut adj: HashMap<ExprId, HashSet<ExprId>> = HashMap::new();
     let mut edge_var: HashMap<(ExprId, ExprId), ExprId> = HashMap::new();
@@ -255,8 +256,11 @@ pub fn transitivity_constraints(
             .iter()
             .min_by_key(|&&v| (adj[&v].iter().filter(|n| remaining.contains(n)).count(), v))
             .expect("non-empty");
-        let neighbors: Vec<ExprId> =
-            adj[&v].iter().copied().filter(|n| remaining.contains(n)).collect();
+        let neighbors: Vec<ExprId> = adj[&v]
+            .iter()
+            .copied()
+            .filter(|n| remaining.contains(n))
+            .collect();
         // clique-ify the neighborhood (fill edges) and emit triangles
         for i in 0..neighbors.len() {
             for j in i + 1..neighbors.len() {
@@ -289,7 +293,9 @@ mod tests {
     use super::*;
 
     fn gclasses(vars: &[ExprId]) -> Classification {
-        Classification { gvars: vars.iter().copied().collect() }
+        Classification {
+            gvars: vars.iter().copied().collect(),
+        }
     }
 
     #[test]
@@ -406,7 +412,11 @@ mod tests {
                 let eq = ctx.eq(hub, leaf);
                 let v = ctx.pvar(&format!("{EIJ_PREFIX}star{i}"));
                 let _ = eq;
-                if hub <= leaf { (hub, leaf, v) } else { (leaf, hub, v) }
+                if hub <= leaf {
+                    (hub, leaf, v)
+                } else {
+                    (leaf, hub, v)
+                }
             })
             .collect();
         let trans = transitivity_constraints(&mut ctx, &eij);

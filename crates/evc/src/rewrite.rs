@@ -74,7 +74,10 @@ pub struct RewriteOptions {
 impl Default for RewriteOptions {
     fn default() -> Self {
         RewriteOptions {
-            local: CheckOptions { memory: MemoryModel::Forwarding, ..CheckOptions::default() },
+            local: CheckOptions {
+                memory: MemoryModel::Forwarding,
+                ..CheckOptions::default()
+            },
             render_chains: false,
             structural_forwarding: true,
         }
@@ -161,8 +164,7 @@ pub fn rewrite_correctness(
             "implementation and specification start from different register files".to_owned(),
         ));
     }
-    let impl_chain_before =
-        options.render_chains.then(|| impl_chain.render(ctx));
+    let impl_chain_before = options.render_chains.then(|| impl_chain.render(ctx));
 
     // Every spec-side update must be addressed by a distinct term variable
     // (the initial value of the instruction's destination register).
@@ -179,7 +181,11 @@ pub fn rewrite_correctness(
     let n = slices.len();
     let retire_pairs = slices.iter().filter(|s| s.retirement.is_some()).count();
 
-    let mut engine = Engine { options: *options, obligations: 0, syntactic_hits: 0 };
+    let mut engine = Engine {
+        options: *options,
+        obligations: 0,
+        syntactic_hits: 0,
+    };
 
     // R1 family: the retirement context of slice j must be disjoint from
     // the completion context of every slice i <= j. For i < j this licenses
@@ -305,19 +311,25 @@ fn match_slices(
         let slice = match group.as_slice() {
             [(pos, completion)] => {
                 check_completion_order(idx, *pos, &mut last_completion_pos)?;
-                Slice { completion: *completion, retirement: None }
+                Slice {
+                    completion: *completion,
+                    retirement: None,
+                }
             }
             [(_, retirement), (pos, completion)] => {
                 check_completion_order(idx, *pos, &mut last_completion_pos)?;
-                Slice { completion: *completion, retirement: Some(*retirement) }
+                Slice {
+                    completion: *completion,
+                    retirement: Some(*retirement),
+                }
             }
             other => {
                 return Err(RewriteError::Slice {
                     slice: idx + 1,
                     reason: format!(
-                        "{} implementation updates write this destination register (expected 1 or 2)",
-                        other.len()
-                    ),
+                    "{} implementation updates write this destination register (expected 1 or 2)",
+                    other.len()
+                ),
                 })
             }
         };
@@ -501,10 +513,22 @@ impl Engine {
                     .to_owned(),
             });
         }
-        self.require_equal(ctx, i, comp_true, result, "completion data under ValidResult_i")?;
+        self.require_equal(
+            ctx,
+            i,
+            comp_true,
+            result,
+            "completion data under ValidResult_i",
+        )?;
         if let Some(ret) = slice.retirement {
             let ret_true = substitute(ctx, ret.data, &sigma_true);
-            self.require_equal(ctx, i, ret_true, result, "retirement data under ValidResult_i")?;
+            self.require_equal(
+                ctx,
+                i,
+                ret_true,
+                result,
+                "retirement data under ValidResult_i",
+            )?;
         }
 
         // --- ValidResult_i = false -----------------------------------------
@@ -547,10 +571,9 @@ impl Engine {
                 // with a semantic Positive-Equality fallback.
                 self.obligations += 1;
                 if self.options.structural_forwarding
-                    && self
-                        .check_forwarding_structural(
-                            ctx, exec, forwarded, spec_false, spec_chain, idx,
-                        )
+                    && self.check_forwarding_structural(
+                        ctx, exec, forwarded, spec_false, spec_chain, idx,
+                    )
                 {
                     self.syntactic_hits += 1;
                 } else {
@@ -650,7 +673,12 @@ impl Engine {
             let Node::Read(state, src) = *ctx.node(sa) else {
                 return false;
             };
-            if state != spec_chain.updates.get(idx).map_or(spec_chain.base, |u| u.pre_state) {
+            if state
+                != spec_chain
+                    .updates
+                    .get(idx)
+                    .map_or(spec_chain.base, |u| u.pre_state)
+            {
                 return false;
             }
             let Some((expected_fwd, expected_avail)) =
@@ -690,13 +718,19 @@ impl Engine {
         // Sampled refutation before the full proof (see the forwarding
         // obligation above for the rationale).
         if eufm::oracle::check_sampled_with_domain(ctx, eq, 256, 8).is_invalid() {
-            return Err(RewriteError::Slice { slice: i, reason: format!("{what} differs") });
+            return Err(RewriteError::Slice {
+                slice: i,
+                reason: format!("{what} differs"),
+            });
         }
         let report = check_validity(ctx, eq, &self.options.local);
         if report.outcome.is_valid() {
             Ok(())
         } else {
-            Err(RewriteError::Slice { slice: i, reason: format!("{what} differs") })
+            Err(RewriteError::Slice {
+                slice: i,
+                reason: format!("{what} differs"),
+            })
         }
     }
 }
@@ -738,9 +772,13 @@ mod tests {
             let other = ctx.mvar("Other");
             ctx.eq(state, other)
         };
-        let input = RewriteInput { formula, rf_impl: state, rf_spec0: state };
-        let outcome = rewrite_correctness(&mut ctx, &input, &RewriteOptions::default())
-            .expect("rewrite");
+        let input = RewriteInput {
+            formula,
+            rf_impl: state,
+            rf_spec0: state,
+        };
+        let outcome =
+            rewrite_correctness(&mut ctx, &input, &RewriteOptions::default()).expect("rewrite");
         assert_eq!(outcome.slices, 3);
         assert_eq!(outcome.retire_pairs, 0);
         // the formula's occurrence of `state` was replaced by the fresh var
@@ -774,7 +812,11 @@ mod tests {
         let wrong_dest = ctx.tvar("WrongDest");
         let st2 = ctx.update(st1, v2, wrong_dest, r1v);
         let formula = ctx.eq(st2, spec_state);
-        let input = RewriteInput { formula, rf_impl: st2, rf_spec0: spec_state };
+        let input = RewriteInput {
+            formula,
+            rf_impl: st2,
+            rf_spec0: spec_state,
+        };
         match rewrite_correctness(&mut ctx, &input, &RewriteOptions::default()) {
             Err(RewriteError::Slice { slice: 2, .. }) => {}
             other => panic!("expected slice-2 error, got {other:?}"),
@@ -794,7 +836,11 @@ mod tests {
         // rebuild slice 2's data against the new prev state
         let st2 = ctx.update(st1, second.guard, second.addr, second.data);
         let formula = ctx.eq(st2, spec_state);
-        let input = RewriteInput { formula, rf_impl: st2, rf_spec0: spec_state };
+        let input = RewriteInput {
+            formula,
+            rf_impl: st2,
+            rf_spec0: spec_state,
+        };
         match rewrite_correctness(&mut ctx, &input, &RewriteOptions::default()) {
             Err(RewriteError::Slice { slice: 1, reason }) => {
                 assert!(reason.contains("context"), "{reason}");
@@ -809,7 +855,11 @@ mod tests {
         let rf1 = ctx.mvar("rf1");
         let rf2 = ctx.mvar("rf2");
         let formula = ctx.eq(rf1, rf2);
-        let input = RewriteInput { formula, rf_impl: rf1, rf_spec0: rf2 };
+        let input = RewriteInput {
+            formula,
+            rf_impl: rf1,
+            rf_spec0: rf2,
+        };
         // different bases
         match rewrite_correctness(&mut ctx, &input, &RewriteOptions::default()) {
             Err(RewriteError::Structure(_)) => {}
@@ -822,8 +872,7 @@ mod tests {
         let mut ctx = Context::new();
         let (_, spec_chain) = toy_spec_chain(&mut ctx, 3);
         let src = ctx.tvar("Src1_3");
-        let (fwd, avail) =
-            expected_forwarding(&mut ctx, &spec_chain, 2, src).expect("decomposes");
+        let (fwd, avail) = expected_forwarding(&mut ctx, &spec_chain, 2, src).expect("decomposes");
         // hand-build: scan j = 1, 2 (nearest last)
         let mut expect_fwd = ctx.read(spec_chain.base, src);
         let mut expect_avail = Context::TRUE;

@@ -36,7 +36,11 @@ pub struct Elimination {
 ///
 /// Panics if `root` is not a formula.
 pub fn eliminate(ctx: &mut Context, root: ExprId) -> Elimination {
-    assert_eq!(ctx.sort(root), Sort::Bool, "uf elimination expects a formula");
+    assert_eq!(
+        ctx.sort(root),
+        Sort::Bool,
+        "uf elimination expects a formula"
+    );
     let mut pass = Pass {
         memo: HashMap::new(),
         prior: HashMap::new(),
@@ -44,7 +48,11 @@ pub fn eliminate(ctx: &mut Context, root: ExprId) -> Elimination {
         app_counts: HashMap::new(),
     };
     let new_root = pass.rebuild(ctx, root);
-    Elimination { root: new_root, fresh_vars: pass.fresh_vars, app_counts: pass.app_counts }
+    Elimination {
+        root: new_root,
+        fresh_vars: pass.fresh_vars,
+        app_counts: pass.app_counts,
+    }
 }
 
 struct Pass {
@@ -133,8 +141,7 @@ impl Pass {
         self.fresh_vars.insert(fresh, sym);
 
         // ITE(args = args_1, c_1, ITE(args = args_2, c_2, ... c_new))
-        let prior: Vec<(Vec<ExprId>, ExprId)> =
-            self.prior.get(&sym).cloned().unwrap_or_default();
+        let prior: Vec<(Vec<ExprId>, ExprId)> = self.prior.get(&sym).cloned().unwrap_or_default();
         let mut result = fresh;
         for (prev_args, var) in prior.iter().rev() {
             let eqs: Vec<ExprId> = prev_args
@@ -170,7 +177,11 @@ impl Pass {
 ///
 /// Panics if `root` is not a formula.
 pub fn eliminate_ackermann(ctx: &mut Context, root: ExprId) -> Elimination {
-    assert_eq!(ctx.sort(root), Sort::Bool, "uf elimination expects a formula");
+    assert_eq!(
+        ctx.sort(root),
+        Sort::Bool,
+        "uf elimination expects a formula"
+    );
     // First rebuild bottom-up replacing every application by a fresh var.
     let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
     let mut apps: HashMap<Symbol, Vec<(Vec<ExprId>, ExprId)>> = HashMap::new();
@@ -211,7 +222,11 @@ pub fn eliminate_ackermann(ctx: &mut Context, root: ExprId) -> Elimination {
     }
     let all = ctx.and(constraints);
     let guarded = ctx.implies(all, new_root);
-    Elimination { root: guarded, fresh_vars, app_counts }
+    Elimination {
+        root: guarded,
+        fresh_vars,
+        app_counts,
+    }
 }
 
 fn ackermann_rebuild(

@@ -7,11 +7,17 @@ use evc::rewrite::{rewrite_correctness, RewriteError, RewriteInput, RewriteOptio
 use uarch::{correctness, BugSpec, Config, Operand};
 
 fn pe_only_options() -> CheckOptions {
-    CheckOptions { memory: MemoryModel::Forwarding, ..CheckOptions::default() }
+    CheckOptions {
+        memory: MemoryModel::Forwarding,
+        ..CheckOptions::default()
+    }
 }
 
 fn conservative_options() -> CheckOptions {
-    CheckOptions { memory: MemoryModel::Conservative, ..CheckOptions::default() }
+    CheckOptions {
+        memory: MemoryModel::Conservative,
+        ..CheckOptions::default()
+    }
 }
 
 #[test]
@@ -31,11 +37,18 @@ fn pe_only_verifies_small_correct_designs() {
 #[test]
 fn pe_only_falsifies_buggy_design() {
     let config = Config::new(3, 1).expect("config");
-    let bug = BugSpec::ForwardingIgnoresValidResult { slice: 2, operand: Operand::Src1 };
+    let bug = BugSpec::ForwardingIgnoresValidResult {
+        slice: 2,
+        operand: Operand::Src1,
+    };
     let mut bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
         .expect("generate");
     let report = check_validity(&mut bundle.ctx, bundle.formula, &pe_only_options());
-    assert!(report.outcome.is_invalid(), "bug must falsify: {:?}", report.outcome);
+    assert!(
+        report.outcome.is_invalid(),
+        "bug must falsify: {:?}",
+        report.outcome
+    );
 }
 
 #[test]
@@ -52,21 +65,26 @@ fn rewriting_then_pe_verifies_correct_designs() {
             .unwrap_or_else(|e| panic!("rewrite failed for rob{n}xw{k}: {e}"));
         assert_eq!(outcome.slices, n);
         assert_eq!(outcome.retire_pairs, k.min(n));
-        let report =
-            check_validity(&mut bundle.ctx, outcome.formula, &conservative_options());
+        let report = check_validity(&mut bundle.ctx, outcome.formula, &conservative_options());
         assert!(
             report.outcome.is_valid(),
             "rob{n}xw{k} rewritten formula should verify: {:?}",
             report.outcome
         );
-        assert_eq!(report.stats.eij_vars, 0, "rewriting must remove all e_ij variables");
+        assert_eq!(
+            report.stats.eij_vars, 0,
+            "rewriting must remove all e_ij variables"
+        );
     }
 }
 
 #[test]
 fn rewriting_localizes_forwarding_bug() {
     let config = Config::new(6, 2).expect("config");
-    let bug = BugSpec::ForwardingIgnoresValidResult { slice: 4, operand: Operand::Src2 };
+    let bug = BugSpec::ForwardingIgnoresValidResult {
+        slice: 4,
+        operand: Operand::Src2,
+    };
     let mut bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
         .expect("generate");
     let input = RewriteInput {
@@ -106,8 +124,15 @@ fn inorder_pipeline_verifies_with_pe() {
     let (mut ctx, formula) =
         uarch::pipeline::generate_pipeline_correctness(None).expect("generate");
     let report = check_validity(&mut ctx, formula, &pe_only_options());
-    assert!(report.outcome.is_valid(), "pipeline should verify: {:?}", report.outcome);
-    assert!(report.stats.eij_vars > 0, "forwarding comparisons need e_ij variables");
+    assert!(
+        report.outcome.is_valid(),
+        "pipeline should verify: {:?}",
+        report.outcome
+    );
+    assert!(
+        report.stats.eij_vars > 0,
+        "forwarding comparisons need e_ij variables"
+    );
 }
 
 #[test]

@@ -50,10 +50,12 @@ fn main() {
         }),
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
-                eprintln!("satcheck: cannot read stdin: {e}");
-                std::process::exit(2)
-            });
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| {
+                    eprintln!("satcheck: cannot read stdin: {e}");
+                    std::process::exit(2)
+                });
             buf
         }
     };

@@ -150,7 +150,10 @@ impl Cnf {
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
         let mut clause: Vec<Lit> = lits.into_iter().collect();
         for &lit in &clause {
-            assert!(lit.var().index() < self.num_vars, "literal {lit} references unallocated var");
+            assert!(
+                lit.var().index() < self.num_vars,
+                "literal {lit} references unallocated var"
+            );
         }
         clause.sort_unstable();
         clause.dedup();

@@ -15,7 +15,11 @@ pub struct ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -66,13 +70,14 @@ pub fn from_dimacs(input: &str) -> Result<Cnf, ParseDimacsError> {
                     message: "expected `p cnf <vars> <clauses>`".to_owned(),
                 });
             }
-            let vars: usize = parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseDimacsError {
-                    line: lineno,
-                    message: "bad variable count".to_owned(),
-                })?;
+            let vars: usize =
+                parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError {
+                        line: lineno,
+                        message: "bad variable count".to_owned(),
+                    })?;
             cnf.reserve_vars(vars);
             declared = true;
             continue;

@@ -61,7 +61,10 @@ impl Proof {
 
     /// The number of addition steps.
     pub fn len(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s, Step::Add(_))).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Add(_)))
+            .count()
     }
 
     /// Whether the proof has no addition steps.
@@ -107,7 +110,10 @@ impl std::fmt::Display for ProofError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProofError::NotRup { step } => {
-                write!(f, "proof step {step} is not derivable by reverse unit propagation")
+                write!(
+                    f,
+                    "proof step {step} is not derivable by reverse unit propagation"
+                )
             }
             ProofError::NoContradiction => {
                 write!(f, "proof does not derive a contradiction")
@@ -236,8 +242,9 @@ mod tests {
 
     fn pigeonhole(n: usize) -> Cnf {
         let mut cnf = Cnf::new();
-        let p: Vec<Vec<Var>> =
-            (0..n).map(|_| (0..n - 1).map(|_| cnf.new_var()).collect()).collect();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| cnf.new_var()).collect())
+            .collect();
         for row in &p {
             cnf.add_clause(row.iter().map(|&v| Lit::pos(v)));
         }
@@ -273,7 +280,10 @@ mod tests {
         let mut proof = Proof::new();
         proof.add_clause(&[Lit::pos(a)]);
         proof.add_clause(&[]);
-        assert!(matches!(check(&cnf, &proof), Err(ProofError::NotRup { step: 0 })));
+        assert!(matches!(
+            check(&cnf, &proof),
+            Err(ProofError::NotRup { step: 0 })
+        ));
         // and an empty proof of a satisfiable formula
         let empty = Proof::new();
         assert_eq!(check(&cnf, &empty), Err(ProofError::NoContradiction));

@@ -259,7 +259,10 @@ impl Solver {
         }
         let mut clause: Vec<Lit> = lits.into_iter().collect();
         for &l in &clause {
-            assert!(l.var().index() < self.num_vars(), "literal {l} references unallocated var");
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} references unallocated var"
+            );
         }
         clause.sort_unstable();
         clause.dedup();
@@ -291,8 +294,14 @@ impl Solver {
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = ClauseRef::try_from(self.clauses.len()).expect("clause db overflow");
-        self.watches[(!lits[0]).index()].push(Watcher { clause: cref, blocker: lits[1] });
-        self.watches[(!lits[1]).index()].push(Watcher { clause: cref, blocker: lits[0] });
+        self.watches[(!lits[0]).index()].push(Watcher {
+            clause: cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).index()].push(Watcher {
+            clause: cref,
+            blocker: lits[0],
+        });
         if learnt {
             self.learnt_refs.push(cref);
             self.learnt_literals += lits.len() as u64;
@@ -300,7 +309,12 @@ impl Solver {
             self.stats.peak_learnt_literals =
                 self.stats.peak_learnt_literals.max(self.learnt_literals);
         }
-        self.clauses.push(Clause { lits, activity: 0.0, learnt, deleted: false });
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            learnt,
+            deleted: false,
+        });
         cref
     }
 
@@ -349,7 +363,10 @@ impl Solver {
                 }
                 let first = self.clauses[cref as usize].lits[0];
                 if first != w.blocker && self.value_lit(first) == 1 {
-                    ws[kept] = Watcher { clause: cref, blocker: first };
+                    ws[kept] = Watcher {
+                        clause: cref,
+                        blocker: first,
+                    };
                     kept += 1;
                     continue;
                 }
@@ -361,13 +378,18 @@ impl Solver {
                         let lits = &mut self.clauses[cref as usize].lits;
                         lits.swap(1, k);
                         let new_watch = lits[1];
-                        self.watches[(!new_watch).index()]
-                            .push(Watcher { clause: cref, blocker: first });
+                        self.watches[(!new_watch).index()].push(Watcher {
+                            clause: cref,
+                            blocker: first,
+                        });
                         continue 'watchers;
                     }
                 }
                 // Clause is unit or conflicting under the current assignment.
-                ws[kept] = Watcher { clause: cref, blocker: first };
+                ws[kept] = Watcher {
+                    clause: cref,
+                    blocker: first,
+                };
                 kept += 1;
                 if self.value_lit(first) == -1 {
                     // conflict: keep remaining watchers and bail out
@@ -477,9 +499,7 @@ impl Solver {
             return false;
         };
         self.clauses[cref as usize].lits.iter().all(|&q| {
-            q.var() == lit.var()
-                || self.level[q.var().index()] == 0
-                || learnt.contains(&q)
+            q.var() == lit.var() || self.level[q.var().index()] == 0 || learnt.contains(&q)
         })
     }
 
@@ -580,7 +600,8 @@ impl Solver {
             self.stats.deleted_clauses += 1;
             self.stats.learnt_clauses -= 1;
         }
-        self.learnt_refs.retain(|&r| !self.clauses[r as usize].deleted);
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
     }
 
     /// Solves the formula with no resource limits.
@@ -676,8 +697,7 @@ impl Solver {
                     match self.pick_branch_var() {
                         None => {
                             // all variables assigned: SAT
-                            let values =
-                                self.assign.iter().map(|&a| a == 1).collect::<Vec<bool>>();
+                            let values = self.assign.iter().map(|&a| a == 1).collect::<Vec<bool>>();
                             let model = Model { values };
                             self.backtrack_to(0);
                             return Outcome::Sat(model);
@@ -893,7 +913,10 @@ mod tests {
                 }
             }
         }
-        let out = s.solve_with_limits(Limits { max_conflicts: Some(1), ..Limits::none() });
+        let out = s.solve_with_limits(Limits {
+            max_conflicts: Some(1),
+            ..Limits::none()
+        });
         assert_eq!(out, Outcome::Unknown(LimitReason::Conflicts));
     }
 
@@ -975,7 +998,8 @@ mod stress_tests {
     fn brute_force(nvars: usize, clauses: &[Vec<Lit>]) -> bool {
         (0u64..1 << nvars).any(|bits| {
             clauses.iter().all(|c| {
-                c.iter().any(|l| (bits >> l.var().index() & 1 == 1) == l.is_positive())
+                c.iter()
+                    .any(|l| (bits >> l.var().index() & 1 == 1) == l.is_positive())
             })
         })
     }
@@ -1023,7 +1047,10 @@ mod stress_tests {
         }
         assert!(s.solve().is_unsat());
         let stats = s.stats();
-        assert!(stats.conflicts > 100, "expected substantial search: {stats:?}");
+        assert!(
+            stats.conflicts > 100,
+            "expected substantial search: {stats:?}"
+        );
         assert!(stats.learnt_clauses > 0 || stats.deleted_clauses > 0);
     }
 

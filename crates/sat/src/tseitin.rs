@@ -100,7 +100,9 @@ pub fn translate(
     phase: Phase,
 ) -> Result<Translation, TranslateError> {
     if ctx.sort(root) != Sort::Bool {
-        return Err(TranslateError { message: "root is not a formula".to_owned() });
+        return Err(TranslateError {
+            message: "root is not a formula".to_owned(),
+        });
     }
     let root_pol = match phase {
         Phase::Positive => POS,
@@ -226,7 +228,11 @@ pub fn translate(
         cnf.add_clause([Lit::pos(v)]);
     }
 
-    Ok(Translation { cnf, var_map, root: lit_map[&root] })
+    Ok(Translation {
+        cnf,
+        var_map,
+        root: lit_map[&root],
+    })
 }
 
 #[cfg(test)]
@@ -286,7 +292,10 @@ mod tests {
                     asn.boolean.insert(v, model.value(sat_var));
                 }
                 let hm = HashModel::new(0, 2);
-                assert!(eval_formula(&ctx, f, &asn, &hm), "SAT model must satisfy formula");
+                assert!(
+                    eval_formula(&ctx, f, &asn, &hm),
+                    "SAT model must satisfy formula"
+                );
             }
             other => panic!("expected SAT, got {other:?}"),
         }
@@ -295,12 +304,14 @@ mod tests {
     #[test]
     fn constants_are_handled() {
         let ctx = Context::new();
-        let mut tr = translate(&ctx, Context::TRUE, Mode::Full, Phase::Positive).expect("translate");
+        let mut tr =
+            translate(&ctx, Context::TRUE, Mode::Full, Phase::Positive).expect("translate");
         tr.assert_root();
         let mut s = Solver::from_cnf(&tr.cnf);
         assert!(s.solve().is_sat());
 
-        let mut tr = translate(&ctx, Context::FALSE, Mode::Full, Phase::Positive).expect("translate");
+        let mut tr =
+            translate(&ctx, Context::FALSE, Mode::Full, Phase::Positive).expect("translate");
         tr.assert_root();
         let mut s = Solver::from_cnf(&tr.cnf);
         assert!(s.solve().is_unsat());

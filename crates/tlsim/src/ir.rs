@@ -168,7 +168,11 @@ impl Design {
     /// Declares a primary input.
     pub fn input(&mut self, name: impl Into<String>, sort: Sort, kind: InputKind) -> InputId {
         let id = InputId(u32::try_from(self.inputs.len()).expect("input overflow"));
-        self.inputs.push(InputInfo { name: name.into(), sort, kind });
+        self.inputs.push(InputInfo {
+            name: name.into(),
+            sort,
+            kind,
+        });
         id
     }
 
@@ -182,7 +186,11 @@ impl Design {
     /// [`Design::set_next`] before simulation.
     pub fn latch(&mut self, name: impl Into<String>, sort: Sort) -> LatchId {
         let id = LatchId(u32::try_from(self.latches.len()).expect("latch overflow"));
-        self.latches.push(LatchInfo { name: name.into(), sort, next: None });
+        self.latches.push(LatchInfo {
+            name: name.into(),
+            sort,
+            next: None,
+        });
         id
     }
 
@@ -335,7 +343,11 @@ impl Design {
     ///
     /// Panics if the operand sorts are not (memory, term).
     pub fn read(&mut self, mem: SignalId, addr: SignalId) -> SignalId {
-        assert_eq!(self.sort(mem), Sort::Mem, "read: first operand must be a memory");
+        assert_eq!(
+            self.sort(mem),
+            Sort::Mem,
+            "read: first operand must be a memory"
+        );
         assert_eq!(self.sort(addr), Sort::Term, "read: address must be a term");
         self.push(SignalDef::Read(mem, addr), Sort::Term)
     }
@@ -346,7 +358,11 @@ impl Design {
     ///
     /// Panics if the operand sorts are not (memory, term, term).
     pub fn write(&mut self, mem: SignalId, addr: SignalId, data: SignalId) -> SignalId {
-        assert_eq!(self.sort(mem), Sort::Mem, "write: first operand must be a memory");
+        assert_eq!(
+            self.sort(mem),
+            Sort::Mem,
+            "write: first operand must be a memory"
+        );
         assert_eq!(self.sort(addr), Sort::Term, "write: address must be a term");
         assert_eq!(self.sort(data), Sort::Term, "write: data must be a term");
         self.push(SignalDef::Write(mem, addr, data), Sort::Mem)

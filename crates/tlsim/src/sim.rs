@@ -2,9 +2,9 @@
 
 use std::collections::HashMap;
 
-use eufm::{Context, ExprId};
 #[cfg(test)]
 use eufm::Sort;
+use eufm::{Context, ExprId};
 
 use crate::ir::{Design, InputId, InputKind, LatchId, SignalDef, SignalId};
 
@@ -225,14 +225,20 @@ impl<'d> Simulator<'d> {
             next_state.push(eval.eval(ctx, next, true)?);
         }
         self.outputs.clear();
-        let output_list: Vec<(String, SignalId)> =
-            self.design.outputs().map(|(n, s)| (n.to_owned(), s)).collect();
+        let output_list: Vec<(String, SignalId)> = self
+            .design
+            .outputs()
+            .map(|(n, s)| (n.to_owned(), s))
+            .collect();
         for (name, sig) in output_list {
             let v = eval.eval(ctx, sig, true)?;
             self.outputs.insert(name, v);
         }
 
-        let stats = StepStats { cycle: self.cycle, events: eval.events };
+        let stats = StepStats {
+            cycle: self.cycle,
+            events: eval.events,
+        };
         self.total_events += eval.events as u64;
         self.state = next_state;
         self.cycle += 1;
@@ -513,7 +519,10 @@ mod more_tests {
         sim.step(&mut ctx, &HashMap::new()).expect("step");
         let q0 = ctx.pvar("q");
         let expected = ctx.not(q0);
-        assert_eq!(sim.latch_state(d.latch_ids().next().expect("latch")), expected);
+        assert_eq!(
+            sim.latch_state(d.latch_ids().next().expect("latch")),
+            expected
+        );
     }
 
     #[test]

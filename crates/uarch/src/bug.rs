@@ -65,7 +65,10 @@ impl BugSpec {
     /// The paper's buggy variant: forwarding bug in one data operand of the
     /// 72nd instruction (intended for the 128-entry, width-4 design).
     pub fn paper_variant() -> Self {
-        BugSpec::ForwardingIgnoresValidResult { slice: 72, operand: Operand::Src2 }
+        BugSpec::ForwardingIgnoresValidResult {
+            slice: 72,
+            operand: Operand::Src2,
+        }
     }
 
     /// The 1-based slice the bug affects.
@@ -118,28 +121,151 @@ impl BugSpec {
     }
 }
 
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Src1 => f.write_str("src1"),
+            Operand::Src2 => f.write_str("src2"),
+        }
+    }
+}
+
+impl std::str::FromStr for Operand {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "src1" | "1" => Ok(Operand::Src1),
+            "src2" | "2" => Ok(Operand::Src2),
+            other => Err(format!("unknown operand {other:?} (expected src1 or src2)")),
+        }
+    }
+}
+
+/// The compact `kind:slice[:operand]` notation used by sweep files and the
+/// campaign CLI, e.g. `forwarding-ignores-valid:72:src2`.
+impl std::fmt::Display for BugSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BugSpec::ForwardingIgnoresValidResult { slice, operand } => {
+                write!(f, "forwarding-ignores-valid:{slice}:{operand}")
+            }
+            BugSpec::ForwardingSkipsNearest { slice, operand } => {
+                write!(f, "forwarding-skips-nearest:{slice}:{operand}")
+            }
+            BugSpec::RetireOutOfOrder { slice } => write!(f, "retire-out-of-order:{slice}"),
+            BugSpec::RetireIgnoresValid { slice } => write!(f, "retire-ignores-valid:{slice}"),
+            BugSpec::CompletionUsesStaleResult { slice } => {
+                write!(f, "completion-stale-result:{slice}")
+            }
+        }
+    }
+}
+
+/// Parses the notation emitted by the [`Display`](std::fmt::Display) impl.
+impl std::str::FromStr for BugSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let slice: usize = parts
+            .next()
+            .ok_or_else(|| format!("bug spec {s:?} is missing its slice"))?
+            .parse()
+            .map_err(|e| format!("bad slice in bug spec {s:?}: {e}"))?;
+        let operand = parts.next();
+        if parts.next().is_some() {
+            return Err(format!("trailing fields in bug spec {s:?}"));
+        }
+        let need_operand = || -> Result<Operand, String> {
+            operand
+                .ok_or_else(|| format!("bug spec {s:?} needs an operand (src1 or src2)"))?
+                .parse()
+        };
+        let no_operand = |bug: BugSpec| -> Result<BugSpec, String> {
+            match operand {
+                Some(op) => Err(format!("bug kind {kind:?} takes no operand, got {op:?}")),
+                None => Ok(bug),
+            }
+        };
+        match kind {
+            "forwarding-ignores-valid" => Ok(BugSpec::ForwardingIgnoresValidResult {
+                slice,
+                operand: need_operand()?,
+            }),
+            "forwarding-skips-nearest" => Ok(BugSpec::ForwardingSkipsNearest {
+                slice,
+                operand: need_operand()?,
+            }),
+            "retire-out-of-order" => no_operand(BugSpec::RetireOutOfOrder { slice }),
+            "retire-ignores-valid" => no_operand(BugSpec::RetireIgnoresValid { slice }),
+            "completion-stale-result" => no_operand(BugSpec::CompletionUsesStaleResult { slice }),
+            other => Err(format!(
+                "unknown bug kind {other:?} (expected forwarding-ignores-valid, \
+                 forwarding-skips-nearest, retire-out-of-order, retire-ignores-valid, \
+                 or completion-stale-result)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let bugs = [
+            BugSpec::paper_variant(),
+            BugSpec::ForwardingSkipsNearest {
+                slice: 4,
+                operand: Operand::Src1,
+            },
+            BugSpec::RetireOutOfOrder { slice: 2 },
+            BugSpec::RetireIgnoresValid { slice: 3 },
+            BugSpec::CompletionUsesStaleResult { slice: 7 },
+        ];
+        for bug in bugs {
+            let text = bug.to_string();
+            assert_eq!(text.parse::<BugSpec>().unwrap(), bug, "{text}");
+        }
+        assert!("forwarding-ignores-valid:2".parse::<BugSpec>().is_err());
+        assert!("retire-out-of-order:2:src1".parse::<BugSpec>().is_err());
+        assert!("retire-out-of-order".parse::<BugSpec>().is_err());
+        assert!("nonsense:1".parse::<BugSpec>().is_err());
+    }
 
     #[test]
     fn paper_variant_targets_slice_72() {
         let bug = BugSpec::paper_variant();
         assert_eq!(bug.slice(), 72);
         let config = Config::new(128, 4).expect("config");
-        bug.validate(&config).expect("valid for the paper's configuration");
+        bug.validate(&config)
+            .expect("valid for the paper's configuration");
     }
 
     #[test]
     fn validation_rejects_out_of_range() {
         let config = Config::new(4, 2).expect("config");
         assert!(BugSpec::paper_variant().validate(&config).is_err());
-        assert!(BugSpec::RetireOutOfOrder { slice: 3 }.validate(&config).is_err());
-        assert!(BugSpec::RetireOutOfOrder { slice: 2 }.validate(&config).is_ok());
-        assert!(BugSpec::ForwardingIgnoresValidResult { slice: 1, operand: Operand::Src1 }
+        assert!(BugSpec::RetireOutOfOrder { slice: 3 }
             .validate(&config)
             .is_err());
-        assert!(BugSpec::CompletionUsesStaleResult { slice: 4 }.validate(&config).is_ok());
-        assert!(BugSpec::CompletionUsesStaleResult { slice: 5 }.validate(&config).is_err());
+        assert!(BugSpec::RetireOutOfOrder { slice: 2 }
+            .validate(&config)
+            .is_ok());
+        assert!(BugSpec::ForwardingIgnoresValidResult {
+            slice: 1,
+            operand: Operand::Src1
+        }
+        .validate(&config)
+        .is_err());
+        assert!(BugSpec::CompletionUsesStaleResult { slice: 4 }
+            .validate(&config)
+            .is_ok());
+        assert!(BugSpec::CompletionUsesStaleResult { slice: 5 }
+            .validate(&config)
+            .is_err());
     }
 }

@@ -35,7 +35,10 @@ impl Config {
                 ),
             });
         }
-        Ok(Config { rob_size, issue_width })
+        Ok(Config {
+            rob_size,
+            issue_width,
+        })
     }
 
     /// The number of reorder-buffer entries `N`.

@@ -140,7 +140,15 @@ pub fn generate_with(
         spec_events,
         ctx_nodes: ctx.len(),
     };
-    Ok(CorrectnessBundle { ctx, formula, pc_impl, rf_impl, pc_spec, rf_spec, stats })
+    Ok(CorrectnessBundle {
+        ctx,
+        formula,
+        pc_impl,
+        rf_impl,
+        pc_spec,
+        rf_spec,
+        stats,
+    })
 }
 
 #[cfg(test)]

@@ -122,14 +122,16 @@ impl OooProcessor {
         let dst: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.dest)).collect();
         let s1: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.src1)).collect();
         let s2: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.src2)).collect();
-        let vr: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.valid_result)).collect();
+        let vr: Vec<SignalId> = entries
+            .iter()
+            .map(|e| d.latch_out(e.valid_result))
+            .collect();
         let res: Vec<SignalId> = entries.iter().map(|e| d.latch_out(e.result)).collect();
 
         let pc_out = d.latch_out(pc);
         let rf_out = d.latch_out(regfile);
         let flush_sig = d.input_signal(flush);
-        let slot_sigs: Vec<SignalId> =
-            flush_slots.iter().map(|&i| d.input_signal(i)).collect();
+        let slot_sigs: Vec<SignalId> = flush_slots.iter().map(|&i| d.input_signal(i)).collect();
 
         // ----- fetch engine ---------------------------------------------------
         // fetch_j = NDFetch_1 & ... & NDFetch_j (program-order prefix property)
@@ -152,7 +154,11 @@ impl OooProcessor {
         // PC update: ITE(fetch_k, NextPC^k(PC), ... ITE(fetch_1, NextPC(PC), PC))
         let mut pc_regular = pc_out;
         for j in 0..k {
-            let target = if j + 1 < k { fetch_addr[j + 1] } else { beyond_last };
+            let target = if j + 1 < k {
+                fetch_addr[j + 1]
+            } else {
+                beyond_last
+            };
             pc_regular = d.mux(fetch[j], target, pc_regular);
         }
 
@@ -164,8 +170,10 @@ impl OooProcessor {
         let mut wctx: Vec<SignalId> = Vec::with_capacity(k);
         let mut prev_rem: Option<SignalId> = None;
         for i in 0..k {
-            let skip_order = matches!(bug, Some(BugSpec::RetireOutOfOrder { slice }) if slice == i + 1);
-            let ignore_valid = matches!(bug, Some(BugSpec::RetireIgnoresValid { slice }) if slice == i + 1);
+            let skip_order =
+                matches!(bug, Some(BugSpec::RetireOutOfOrder { slice }) if slice == i + 1);
+            let ignore_valid =
+                matches!(bug, Some(BugSpec::RetireIgnoresValid { slice }) if slice == i + 1);
             let nv = d.not(v[i]);
             let can = d.or2(nv, vr[i]);
             let (rem_i, wctx_i) = match (prev_rem, skip_order) {
@@ -180,7 +188,11 @@ impl OooProcessor {
                 }
                 _ => {
                     // first instruction, or in-order check skipped by bug
-                    let w = if ignore_valid { vr[i] } else { d.and2(v[i], vr[i]) };
+                    let w = if ignore_valid {
+                        vr[i]
+                    } else {
+                        d.and2(v[i], vr[i])
+                    };
                     (can, w)
                 }
             };
@@ -253,7 +265,8 @@ impl OooProcessor {
         // computed) result to the Register File if still valid.
         let mut rf_flush = rf_out;
         for i in (0..total).rev() {
-            let stale = matches!(bug, Some(BugSpec::CompletionUsesStaleResult { slice }) if slice == i + 1);
+            let stale =
+                matches!(bug, Some(BugSpec::CompletionUsesStaleResult { slice }) if slice == i + 1);
             let cdata = if stale {
                 res[i]
             } else {
@@ -417,7 +430,14 @@ impl OooProcessor {
         let mut m = HashMap::new();
         m.insert(self.flush, Context::TRUE);
         for (idx, &slot) in self.flush_slots.iter().enumerate() {
-            m.insert(slot, if idx + 1 == slice { Context::TRUE } else { Context::FALSE });
+            m.insert(
+                slot,
+                if idx + 1 == slice {
+                    Context::TRUE
+                } else {
+                    Context::FALSE
+                },
+            );
         }
         m
     }
@@ -497,7 +517,10 @@ mod tests {
         let config = Config::new(4, 2).expect("config");
         let bad = BugSpec::paper_variant(); // slice 72 does not fit
         assert!(OooProcessor::build_with_bug(&config, Some(bad)).is_err());
-        let ok = BugSpec::ForwardingIgnoresValidResult { slice: 3, operand: Operand::Src1 };
+        let ok = BugSpec::ForwardingIgnoresValidResult {
+            slice: 3,
+            operand: Operand::Src1,
+        };
         assert!(OooProcessor::build_with_bug(&config, Some(ok)).is_ok());
     }
 
@@ -507,7 +530,10 @@ mod tests {
         let good = OooProcessor::build(&config);
         let bad = OooProcessor::build_with_bug(
             &config,
-            Some(BugSpec::ForwardingIgnoresValidResult { slice: 3, operand: Operand::Src1 }),
+            Some(BugSpec::ForwardingIgnoresValidResult {
+                slice: 3,
+                operand: Operand::Src1,
+            }),
         )
         .expect("build");
         let mut ctx_g = Context::new();
@@ -516,8 +542,12 @@ mod tests {
         let mut sim_b = Simulator::new(bad.design(), &mut ctx_b, EvalStrategy::Lazy).expect("sim");
         good.init_empty_new_entries(&mut sim_g, &ctx_g);
         bad.init_empty_new_entries(&mut sim_b, &ctx_b);
-        sim_g.step(&mut ctx_g, &good.regular_controls()).expect("step");
-        sim_b.step(&mut ctx_b, &bad.regular_controls()).expect("step");
+        sim_g
+            .step(&mut ctx_g, &good.regular_controls())
+            .expect("step");
+        sim_b
+            .step(&mut ctx_b, &bad.regular_controls())
+            .expect("step");
         // The third entry's result expression must differ (stale forward).
         let rg = eufm::print::to_sexpr(&ctx_g, sim_g.latch_state(good.entries()[2].result));
         let rb = eufm::print::to_sexpr(&ctx_b, sim_b.latch_state(bad.entries()[2].result));

@@ -160,7 +160,14 @@ impl PipelinedProcessor {
         let pc_next = d.mux(do_fetch, npc, pc_out);
         d.set_next(pc, pc_next);
 
-        PipelinedProcessor { design: d, pc, regfile, ex_valid, wb_valid, fetch_enable }
+        PipelinedProcessor {
+            design: d,
+            pc,
+            regfile,
+            ex_valid,
+            wb_valid,
+            fetch_enable,
+        }
     }
 
     /// The generated netlist.
@@ -277,8 +284,7 @@ mod tests {
             PipelineBug::ForwardsFromWrongStage,
             PipelineBug::WritebackIgnoresValid,
         ] {
-            let (ctx, formula) =
-                generate_pipeline_correctness(Some(bug)).expect("generate");
+            let (ctx, formula) = generate_pipeline_correctness(Some(bug)).expect("generate");
             let verdict = check_sampled(&ctx, formula, 4000);
             assert!(
                 matches!(verdict, OracleResult::Invalid(_)),

@@ -53,7 +53,11 @@ impl SpecProcessor {
         d.set_next(pc, pc_next);
 
         d.mark_output("instr_valid", valid);
-        SpecProcessor { design: d, pc, regfile }
+        SpecProcessor {
+            design: d,
+            pc,
+            regfile,
+        }
     }
 
     /// The generated netlist.

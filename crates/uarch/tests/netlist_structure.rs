@@ -30,9 +30,11 @@ fn regular_and_flush_controls_cover_all_controlled_inputs() {
     let mut sim = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
     p.init_empty_new_entries(&mut sim, &ctx);
     // both control maps must satisfy every Controlled input
-    sim.step(&mut ctx, &p.regular_controls()).expect("regular step");
+    sim.step(&mut ctx, &p.regular_controls())
+        .expect("regular step");
     for slice in 1..=config.total_entries() {
-        sim.step(&mut ctx, &p.flush_controls(slice)).expect("flush step");
+        sim.step(&mut ctx, &p.flush_controls(slice))
+            .expect("flush step");
     }
     // an empty control map must fail (flush is Controlled)
     let mut sim2 = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
@@ -74,7 +76,11 @@ fn flushing_clears_every_valid_bit() {
     }
     for (i, entry) in p.entries().iter().enumerate() {
         let v = sim.latch_state(entry.valid);
-        assert!(ctx.is_false(v), "entry {} still valid after full flush", i + 1);
+        assert!(
+            ctx.is_false(v),
+            "entry {} still valid after full flush",
+            i + 1
+        );
     }
 }
 
@@ -86,8 +92,14 @@ fn initial_state_variables_use_canonical_names() {
     let sim = Simulator::new(p.design(), &mut ctx, EvalStrategy::Lazy).expect("sim");
     assert_eq!(sim.latch_state(p.pc()), ctx.tvar(names::PC));
     assert_eq!(sim.latch_state(p.regfile()), ctx.mvar(names::REG_FILE));
-    assert_eq!(sim.latch_state(p.entries()[0].dest), ctx.tvar(&names::dest(1)));
-    assert_eq!(sim.latch_state(p.entries()[1].valid_result), ctx.pvar(&names::valid_result(2)));
+    assert_eq!(
+        sim.latch_state(p.entries()[0].dest),
+        ctx.tvar(&names::dest(1))
+    );
+    assert_eq!(
+        sim.latch_state(p.entries()[1].valid_result),
+        ctx.pvar(&names::valid_result(2))
+    );
 }
 
 #[test]

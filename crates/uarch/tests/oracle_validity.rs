@@ -21,7 +21,10 @@ fn correct_designs_survive_sampling() {
 #[test]
 fn forwarding_bug_is_falsified() {
     let config = Config::new(4, 2).expect("config");
-    let bug = BugSpec::ForwardingIgnoresValidResult { slice: 3, operand: Operand::Src1 };
+    let bug = BugSpec::ForwardingIgnoresValidResult {
+        slice: 3,
+        operand: Operand::Src1,
+    };
     let bundle = correctness::generate_with(&config, Some(bug), tlsim::EvalStrategy::Lazy)
         .expect("generate");
     let result = check_sampled(&bundle.ctx, bundle.formula, 3000);

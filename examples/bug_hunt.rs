@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .bug(bug)
         .strategy(Strategy::PositiveEqualityOnly)
         .max_nodes(3_000_000)
-        .sat_limits(Limits { max_seconds: Some(60.0), ..Limits::none() })
+        .sat_limits(Limits {
+            max_seconds: Some(60.0),
+            ..Limits::none()
+        })
         .run()?;
     match &verification.verdict {
         Verdict::ResourceLimit(what) => {
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("                 — the paper's EVC ran out of 4 GB after 6,100 s here");
         }
         Verdict::Falsified { .. } => {
-            println!("                 falsified after {:?} (no localization)", t.elapsed());
+            println!(
+                "                 falsified after {:?} (no localization)",
+                t.elapsed()
+            );
         }
         other => println!("                 unexpected verdict {other:?}"),
     }

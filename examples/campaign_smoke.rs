@@ -1,0 +1,39 @@
+//! Campaign smoke test: a 2×2 sweep (ROB sizes {2, 4} × widths {1, 2})
+//! under both translation strategies, run on the parallel orchestrator
+//! with JSONL telemetry going to stdout.
+//!
+//! ```text
+//! cargo run --release --example campaign_smoke
+//! ```
+//!
+//! Exits nonzero if any configuration fails to verify.
+
+use std::io::stdout;
+
+use campaign::{Campaign, JsonlSink, Sweep};
+use rob_verify::Strategy;
+
+fn main() {
+    let sweep = Sweep::new([2usize, 4], [1usize, 2]).strategies([
+        Strategy::RewritingAndPositiveEquality,
+        Strategy::PositiveEqualityOnly,
+    ]);
+    let sink = JsonlSink::new(stdout());
+    let outcome = Campaign::from_sweep(&sweep).workers(4).run(&sink);
+
+    eprint!("{}", outcome.report.render());
+    assert_eq!(
+        outcome.results.len(),
+        8,
+        "2 sizes x 2 widths x 2 strategies"
+    );
+    assert!(
+        outcome.all_expected() && outcome.report.verified == 8,
+        "every configuration must verify: {:?}",
+        outcome.report
+    );
+    eprintln!(
+        "campaign smoke: all {} jobs verified",
+        outcome.report.verified
+    );
+}

@@ -11,7 +11,10 @@ use evc::mem::MemoryModel;
 use uarch::pipeline::{generate_pipeline_correctness, PipelineBug};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = CheckOptions { memory: MemoryModel::Forwarding, ..CheckOptions::default() };
+    let options = CheckOptions {
+        memory: MemoryModel::Forwarding,
+        ..CheckOptions::default()
+    };
 
     println!("three-stage in-order pipeline with full forwarding, verified by");
     println!("Positive Equality alone (no rewriting rules needed):\n");
@@ -34,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let (mut ctx, formula) = generate_pipeline_correctness(Some(bug))?;
         let report = check_validity(&mut ctx, formula, &options);
-        let verdict = if report.outcome.is_invalid() { "falsified ✓" } else { "MISSED ✗" };
+        let verdict = if report.outcome.is_invalid() {
+            "falsified ✓"
+        } else {
+            "MISSED ✗"
+        };
         println!("{bug:?}: {verdict}");
     }
     Ok(())

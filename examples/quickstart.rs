@@ -26,11 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SAT (Chaff-style):    {:?}", verification.timings.sat);
     println!();
     println!("EUFM nodes:           {}", verification.stats.formula_nodes);
-    println!("rewrite obligations:  {} ({} syntactic)",
-        verification.stats.rewrite_obligations, verification.stats.rewrite_syntactic);
-    println!("e_ij variables:       {} (rewriting removes them all)",
-        verification.stats.eij_vars);
-    println!("CNF:                  {} vars, {} clauses",
-        verification.stats.cnf_vars, verification.stats.cnf_clauses);
+    println!(
+        "rewrite obligations:  {} ({} syntactic)",
+        verification.stats.rewrite_obligations, verification.stats.rewrite_syntactic
+    );
+    println!(
+        "e_ij variables:       {} (rewriting removes them all)",
+        verification.stats.eij_vars
+    );
+    println!(
+        "CNF:                  {} vars, {} clauses",
+        verification.stats.cnf_vars, verification.stats.cnf_clauses
+    );
     Ok(())
 }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_size: usize = args.get(1).map_or(Ok(32), |s| s.parse())?;
     let width = 2;
 
-    println!("{:>6} | {:>16} | {:>16} | {:>8}", "size", "PE only", "rewriting + PE", "speedup");
+    println!(
+        "{:>6} | {:>16} | {:>16} | {:>8}",
+        "size", "PE only", "rewriting + PE", "speedup"
+    );
     println!("{:->6}-+-{:->16}-+-{:->16}-+-{:->8}", "", "", "", "");
 
     let mut size = 2;
@@ -32,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let v = Verifier::new(config)
                 .strategy(Strategy::PositiveEqualityOnly)
                 .max_nodes(10_000_000)
-                .sat_limits(Limits { max_seconds: Some(120.0), ..Limits::none() })
+                .sat_limits(Limits {
+                    max_seconds: Some(120.0),
+                    ..Limits::none()
+                })
                 .run()?;
             match v.verdict {
                 Verdict::Verified => Some(t.elapsed()),
@@ -50,10 +56,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
 
         let t = Instant::now();
-        let v = Verifier::new(config).strategy(Strategy::RewritingAndPositiveEquality).run()?;
+        let v = Verifier::new(config)
+            .strategy(Strategy::RewritingAndPositiveEquality)
+            .run()?;
         let rw = t.elapsed();
         if v.verdict != Verdict::Verified {
-            println!("unexpected rewriting verdict at size {size}: {:?}", v.verdict);
+            println!(
+                "unexpected rewriting verdict at size {size}: {:?}",
+                v.verdict
+            );
             return Ok(());
         }
 

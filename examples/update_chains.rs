@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rf_impl: bundle.rf_impl,
         rf_spec0: bundle.rf_spec[0],
     };
-    let options = RewriteOptions { render_chains: true, ..RewriteOptions::default() };
+    let options = RewriteOptions {
+        render_chains: true,
+        ..RewriteOptions::default()
+    };
     let outcome = rewrite_correctness(&mut bundle.ctx, &input, &options)?;
     if let Some(before) = &outcome.impl_chain_before {
         println!("{before}");

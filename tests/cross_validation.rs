@@ -51,14 +51,24 @@ fn oracle_and_pipeline_agree_on_correct_designs() {
 #[test]
 fn oracle_and_pipeline_agree_on_buggy_designs() {
     let cases = [
-        (3, 2, BugSpec::ForwardingIgnoresValidResult { slice: 2, operand: Operand::Src1 }),
+        (
+            3,
+            2,
+            BugSpec::ForwardingIgnoresValidResult {
+                slice: 2,
+                operand: Operand::Src1,
+            },
+        ),
         (3, 2, BugSpec::RetireOutOfOrder { slice: 2 }),
         (2, 2, BugSpec::RetireIgnoresValid { slice: 2 }),
         (3, 1, BugSpec::CompletionUsesStaleResult { slice: 2 }),
     ];
     for (n, k, bug) in cases {
         let config = Config::new(n, k).expect("config");
-        assert!(!oracle_verdict(config, Some(bug)), "oracle must falsify {bug:?}");
+        assert!(
+            !oracle_verdict(config, Some(bug)),
+            "oracle must falsify {bug:?}"
+        );
         assert!(
             !pipeline_verdict(config, Some(bug), Strategy::PositiveEqualityOnly),
             "PE-only must refute {bug:?}"
@@ -85,7 +95,10 @@ fn forwarding_bug_position_sweep() {
     // Move the defect across the buffer; the diagnosis must track it.
     let config = Config::new(5, 2).expect("config");
     for slice in 2..=5 {
-        let bug = BugSpec::ForwardingIgnoresValidResult { slice, operand: Operand::Src2 };
+        let bug = BugSpec::ForwardingIgnoresValidResult {
+            slice,
+            operand: Operand::Src2,
+        };
         let v = Verifier::new(config).bug(bug).run().expect("run");
         match v.verdict {
             Verdict::SliceDiagnosis { slice: got, .. } => assert_eq!(got, slice),

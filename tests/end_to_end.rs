@@ -2,9 +2,7 @@
 //! both strategies across a grid of configurations, every bug kind, and the
 //! agreement between strategies on verdicts.
 
-use rob_verify::{
-    BugSpec, Config, Limits, Operand, Strategy, Verdict, Verifier,
-};
+use rob_verify::{BugSpec, Config, Limits, Operand, Strategy, Verdict, Verifier};
 
 #[test]
 fn rewriting_verifies_a_grid_of_configs() {
@@ -12,7 +10,10 @@ fn rewriting_verifies_a_grid_of_configs() {
         let config = Config::new(n, k).expect("config");
         let v = Verifier::new(config).run().expect("run");
         assert_eq!(v.verdict, Verdict::Verified, "rob{n}xw{k} must verify");
-        assert_eq!(v.stats.eij_vars, 0, "rob{n}xw{k} must need no e_ij variables");
+        assert_eq!(
+            v.stats.eij_vars, 0,
+            "rob{n}xw{k} must need no e_ij variables"
+        );
         assert_eq!(v.stats.retire_pairs, k.min(n));
     }
 }
@@ -25,7 +26,11 @@ fn pe_only_agrees_on_small_configs() {
             .strategy(Strategy::PositiveEqualityOnly)
             .run()
             .expect("run");
-        assert_eq!(v.verdict, Verdict::Verified, "rob{n}xw{k} must verify PE-only");
+        assert_eq!(
+            v.verdict,
+            Verdict::Verified,
+            "rob{n}xw{k} must verify PE-only"
+        );
     }
 }
 
@@ -51,9 +56,27 @@ fn cnf_size_is_independent_of_rob_size_with_rewriting() {
 fn every_bug_kind_is_caught_by_rewriting() {
     let config = Config::new(6, 3).expect("config");
     let bugs = [
-        (BugSpec::ForwardingIgnoresValidResult { slice: 4, operand: Operand::Src1 }, 4),
-        (BugSpec::ForwardingIgnoresValidResult { slice: 5, operand: Operand::Src2 }, 5),
-        (BugSpec::ForwardingSkipsNearest { slice: 4, operand: Operand::Src1 }, 4),
+        (
+            BugSpec::ForwardingIgnoresValidResult {
+                slice: 4,
+                operand: Operand::Src1,
+            },
+            4,
+        ),
+        (
+            BugSpec::ForwardingIgnoresValidResult {
+                slice: 5,
+                operand: Operand::Src2,
+            },
+            5,
+        ),
+        (
+            BugSpec::ForwardingSkipsNearest {
+                slice: 4,
+                operand: Operand::Src1,
+            },
+            4,
+        ),
         (BugSpec::RetireOutOfOrder { slice: 2 }, 2),
         (BugSpec::RetireOutOfOrder { slice: 3 }, 3),
         (BugSpec::RetireIgnoresValid { slice: 2 }, 2),
@@ -75,7 +98,10 @@ fn bugs_also_falsify_under_pe_only() {
     // PE-only has no localization but must still refute buggy designs.
     let config = Config::new(3, 1).expect("config");
     let bugs = [
-        BugSpec::ForwardingIgnoresValidResult { slice: 2, operand: Operand::Src1 },
+        BugSpec::ForwardingIgnoresValidResult {
+            slice: 2,
+            operand: Operand::Src1,
+        },
         BugSpec::CompletionUsesStaleResult { slice: 3 },
     ];
     for bug in bugs {
@@ -102,7 +128,11 @@ fn retire_ignores_valid_under_pe_only() {
         .strategy(Strategy::PositiveEqualityOnly)
         .run()
         .expect("run");
-    assert!(matches!(v.verdict, Verdict::Falsified { .. }), "got {:?}", v.verdict);
+    assert!(
+        matches!(v.verdict, Verdict::Falsified { .. }),
+        "got {:?}",
+        v.verdict
+    );
 }
 
 #[test]
@@ -121,7 +151,10 @@ fn resource_limits_report_gracefully() {
 
     let v = Verifier::new(config)
         .strategy(Strategy::PositiveEqualityOnly)
-        .sat_limits(Limits { max_conflicts: Some(2), ..Limits::none() })
+        .sat_limits(Limits {
+            max_conflicts: Some(2),
+            ..Limits::none()
+        })
         .run()
         .expect("run");
     assert!(

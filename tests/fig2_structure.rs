@@ -2,9 +2,9 @@
 //! chains of a 3-entry, width-2 processor before and after the rewriting
 //! rules.
 
+use eufm::Node;
 use evc::chain;
 use evc::rewrite::{rewrite_correctness, RewriteInput, RewriteOptions};
-use eufm::Node;
 use rob_verify::Config;
 
 /// Fig. 2a, specification side: three updates
@@ -96,22 +96,39 @@ fn rewritten_chain_matches_fig2b() {
         rf_impl: bundle.rf_impl,
         rf_spec0: bundle.rf_spec[0],
     };
-    let options = RewriteOptions { render_chains: true, ..RewriteOptions::default() };
-    let outcome =
-        rewrite_correctness(&mut bundle.ctx, &input, &options).expect("rewrite");
+    let options = RewriteOptions {
+        render_chains: true,
+        ..RewriteOptions::default()
+    };
+    let outcome = rewrite_correctness(&mut bundle.ctx, &input, &options).expect("rewrite");
     assert_eq!(outcome.slices, 3);
     assert_eq!(outcome.retire_pairs, 2);
 
-    let before = outcome.impl_chain_before.as_deref().expect("render requested");
-    let after = outcome.impl_chain_after.as_deref().expect("render requested");
+    let before = outcome
+        .impl_chain_before
+        .as_deref()
+        .expect("render requested");
+    let after = outcome
+        .impl_chain_after
+        .as_deref()
+        .expect("render requested");
     assert!(before.contains("Dest_1"), "before:\n{before}");
-    assert!(before.trim_end().ends_with("RegFile:m"), "before:\n{before}");
-    assert!(!after.contains("Dest_1"), "initial updates must be gone:\n{after}");
+    assert!(
+        before.trim_end().ends_with("RegFile:m"),
+        "before:\n{before}"
+    );
+    assert!(
+        !after.contains("Dest_1"),
+        "initial updates must be gone:\n{after}"
+    );
     assert!(
         after.trim_end().ends_with("RegFile_equal_state:m"),
         "base must be the fresh equal-state variable:\n{after}"
     );
-    assert!(after.contains("IMemDest"), "newly fetched updates must survive:\n{after}");
+    assert!(
+        after.contains("IMemDest"),
+        "newly fetched updates must survive:\n{after}"
+    );
 
     // The rewritten formula must not mention the initial-instruction
     // destination registers any more.
@@ -123,7 +140,10 @@ fn rewritten_chain_matches_fig2b() {
             }
         }
     });
-    assert!(!mentions_dest, "rewritten formula still mentions Dest_i variables");
+    assert!(
+        !mentions_dest,
+        "rewritten formula still mentions Dest_i variables"
+    );
 }
 
 /// The retire conditions have the structure of the paper's formula (1):
