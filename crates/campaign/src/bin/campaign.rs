@@ -35,6 +35,9 @@ options:
   --timeout-secs S       per-job wall-clock deadline
   --retries N            extra attempts for timed-out jobs
   --fail-fast            abort on first unexpected falsification
+  --check-proofs         log + independently check DRUP proofs per job
+  --audit                run the rob-lint audit battery per job and
+                         stream diagnostics into the event log
   --events PATH          write the JSONL event stream to PATH
   --quiet                suppress per-job progress lines
   --help                 show this message
@@ -64,6 +67,8 @@ struct Args {
     timeout_secs: Option<f64>,
     retries: Option<u32>,
     fail_fast: bool,
+    check_proofs: bool,
+    audit: bool,
     events: Option<String>,
     quiet: bool,
 }
@@ -93,6 +98,8 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         timeout_secs: None,
         retries: None,
         fail_fast: false,
+        check_proofs: false,
+        audit: false,
         events: None,
         quiet: false,
     };
@@ -150,6 +157,8 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
                 args.retries = Some(v.parse().map_err(|e| format!("--retries: {e}"))?);
             }
             "--fail-fast" => args.fail_fast = true,
+            "--check-proofs" => args.check_proofs = true,
+            "--audit" => args.audit = true,
             "--events" => args.events = Some(value("--events")?),
             "--quiet" => args.quiet = true,
             other if other.starts_with('-') => {
@@ -246,6 +255,12 @@ fn run(argv: Vec<String>) -> Result<bool, String> {
     }
     if args.fail_fast {
         file.fail_fast = Some(true);
+    }
+    if args.check_proofs {
+        file.sweep.check_proofs = true;
+    }
+    if args.audit {
+        file.sweep.audit = true;
     }
     if file.sweep.sizes.is_empty() || file.sweep.widths.is_empty() {
         return Err("no jobs: set --sizes and --widths (or pass a sweep file)".into());

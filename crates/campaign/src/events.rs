@@ -81,8 +81,24 @@ fn timings_json(t: &PhaseTimings) -> Json {
         ("rewrite_secs", secs(t.rewrite)),
         ("translate_secs", secs(t.translate)),
         ("sat_secs", secs(t.sat)),
+        ("proof_check_secs", secs(t.proof_check)),
         ("total_secs", secs(t.total())),
     ])
+}
+
+fn diagnostics_json(diagnostics: &[rob_verify::lint::Diagnostic]) -> Json {
+    Json::Arr(
+        diagnostics
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("code", Json::str(d.code.as_str())),
+                    ("severity", Json::str(d.severity.as_str())),
+                    ("message", Json::str(d.message.clone())),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn stats_json(s: &VerifyStats) -> Json {
@@ -179,6 +195,17 @@ impl Event {
                         fields.push(("detail", verdict_detail(&v.verdict)));
                         fields.push(("timings", timings_json(&v.timings)));
                         fields.push(("stats", stats_json(&v.stats)));
+                        if !v.diagnostics.is_empty() {
+                            let errors = rob_verify::lint::error_count(&v.diagnostics);
+                            let warnings = v
+                                .diagnostics
+                                .iter()
+                                .filter(|d| d.severity == rob_verify::lint::Severity::Warning)
+                                .count();
+                            fields.push(("lint_errors", Json::from(errors)));
+                            fields.push(("lint_warnings", Json::from(warnings)));
+                            fields.push(("diagnostics", diagnostics_json(&v.diagnostics)));
+                        }
                     }
                     Outcome::Error(e) => fields.push(("detail", Json::str(e.to_string()))),
                     Outcome::Crashed { message } => {

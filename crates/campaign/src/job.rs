@@ -18,16 +18,24 @@ pub struct JobSpec {
     pub bug: Option<BugSpec>,
     /// SAT resource limits applied to the job.
     pub sat_limits: Limits,
+    /// Log and independently check DRUP proofs for `Verified` verdicts.
+    pub check_proofs: bool,
+    /// Run the rob-lint audit battery and stream its diagnostics through
+    /// the event sink.
+    pub audit: bool,
 }
 
 impl JobSpec {
-    /// A job with no bug and no SAT limits.
+    /// A job with no bug, no SAT limits, and no proof checking or
+    /// auditing.
     pub fn new(config: Config, strategy: Strategy) -> Self {
         JobSpec {
             config,
             strategy,
             bug: None,
             sat_limits: Limits::none(),
+            check_proofs: false,
+            audit: false,
         }
     }
 
@@ -49,7 +57,9 @@ impl JobSpec {
     pub fn run(&self) -> Result<Verification, VerifyError> {
         let mut verifier = Verifier::new(self.config)
             .strategy(self.strategy)
-            .sat_limits(self.sat_limits);
+            .sat_limits(self.sat_limits)
+            .proof_checking(self.check_proofs)
+            .audit(self.audit);
         if let Some(bug) = self.bug {
             verifier = verifier.bug(bug);
         }
@@ -95,6 +105,10 @@ pub struct Sweep {
     pub bugs: Vec<Option<BugSpec>>,
     /// SAT limits applied to every job.
     pub sat_limits: Limits,
+    /// DRUP proof checking for every job.
+    pub check_proofs: bool,
+    /// rob-lint auditing for every job.
+    pub audit: bool,
 }
 
 impl Default for Sweep {
@@ -105,6 +119,8 @@ impl Default for Sweep {
             strategies: vec![Strategy::default()],
             bugs: vec![None],
             sat_limits: Limits::none(),
+            check_proofs: false,
+            audit: false,
         }
     }
 }
@@ -137,6 +153,18 @@ impl Sweep {
         self
     }
 
+    /// Enables DRUP proof checking for every job.
+    pub fn check_proofs(mut self, enabled: bool) -> Self {
+        self.check_proofs = enabled;
+        self
+    }
+
+    /// Enables rob-lint auditing for every job.
+    pub fn audit(mut self, enabled: bool) -> Self {
+        self.audit = enabled;
+        self
+    }
+
     /// Expands the sweep into concrete jobs, in deterministic
     /// size-major order.
     pub fn jobs(&self) -> Vec<JobSpec> {
@@ -158,6 +186,8 @@ impl Sweep {
                             strategy,
                             bug,
                             sat_limits: self.sat_limits,
+                            check_proofs: self.check_proofs,
+                            audit: self.audit,
                         });
                     }
                 }

@@ -201,6 +201,7 @@ mod tests {
                 verdict: Verdict::Verified,
                 timings: Default::default(),
                 stats: Default::default(),
+                diagnostics: Vec::new(),
             }),
             duration: Duration::from_millis(millis),
             worker: 0,

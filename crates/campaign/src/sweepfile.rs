@@ -99,6 +99,8 @@ impl SweepFile {
                 }
                 "retries" => file.retries = Some(value.usize_scalar(&key)? as u32),
                 "fail-fast" => file.fail_fast = Some(value.bool_scalar(&key)?),
+                "check-proofs" => file.sweep.check_proofs = value.bool_scalar(&key)?,
+                "audit" => file.sweep.audit = value.bool_scalar(&key)?,
                 other => return Err(format!("unknown key `{other}`")),
             }
         }
@@ -302,6 +304,8 @@ timeout-secs = 1.5
 retries = 2
 fail-fast = true
 max-conflicts = 100000
+check-proofs = true
+audit = true
 "#;
         let file = SweepFile::parse(text).expect("parse");
         assert_eq!(file.sweep.sizes, vec![8, 16]);
@@ -314,8 +318,12 @@ max-conflicts = 100000
         assert_eq!(file.retries, Some(2));
         assert_eq!(file.fail_fast, Some(true));
         assert_eq!(file.sweep.sat_limits.max_conflicts, Some(100_000));
+        assert!(file.sweep.check_proofs);
+        assert!(file.sweep.audit);
         // 2 sizes x 2 widths x 2 strategies x 2 bug-axis entries.
-        assert_eq!(file.campaign().jobs().len(), 16);
+        let jobs = file.campaign().jobs().to_vec();
+        assert_eq!(jobs.len(), 16);
+        assert!(jobs.iter().all(|j| j.check_proofs && j.audit));
     }
 
     #[test]

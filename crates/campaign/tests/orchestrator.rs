@@ -16,6 +16,7 @@ fn verified() -> Verification {
         verdict: Verdict::Verified,
         timings: Default::default(),
         stats: Default::default(),
+        diagnostics: Vec::new(),
     }
 }
 
@@ -130,6 +131,7 @@ fn fail_fast_cancels_the_rest_of_the_campaign() {
             },
             timings: Default::default(),
             stats: Default::default(),
+            diagnostics: Vec::new(),
         })
     });
     let outcome = Campaign::from_sweep(&sweep)
@@ -173,6 +175,54 @@ fn workers_overlap_independent_jobs() {
     );
     // The report's own cpu-vs-wall metric must agree that jobs overlapped.
     assert!(outcome.report.speedup > 1.5, "{:?}", outcome.report);
+}
+
+#[test]
+fn audited_jobs_stream_diagnostics_and_proof_check_timing() {
+    let sweep = Sweep::new([3usize], [2usize])
+        .check_proofs(true)
+        .audit(true);
+    let sink = JsonlSink::new(Vec::new());
+    let outcome = Campaign::from_sweep(&sweep).workers(1).run(&sink);
+    assert!(outcome.all_expected());
+
+    // The in-memory results carry the diagnostics...
+    let v = outcome.results[0]
+        .outcome
+        .verification()
+        .expect("completed");
+    assert!(
+        !v.diagnostics.is_empty(),
+        "audited job must produce diagnostics"
+    );
+    assert_eq!(v.stats.proof_checked, Some(true));
+
+    // ...and the JSONL stream exposes them with the proof-check timing.
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let finished = text
+        .lines()
+        .find(|l| l.contains("job-finished"))
+        .expect("job-finished event");
+    let parsed = json::parse(finished).expect("valid json");
+    let timings = parsed.get("timings").expect("timings object");
+    assert!(timings.get("proof_check_secs").is_some());
+    let diagnostics = parsed.get("diagnostics").expect("diagnostics array");
+    match diagnostics {
+        Json::Arr(items) => {
+            assert!(!items.is_empty());
+            for item in items {
+                assert!(item.get("code").and_then(Json::as_str).is_some());
+                assert!(item.get("severity").and_then(Json::as_str).is_some());
+                assert!(item.get("message").and_then(Json::as_str).is_some());
+            }
+        }
+        other => panic!("diagnostics must be an array, got {other:?}"),
+    }
+    assert_eq!(
+        parsed.get("lint_errors").and_then(Json::as_num),
+        Some(0.0),
+        "bug-free audited run must report zero lint errors"
+    );
 }
 
 #[test]

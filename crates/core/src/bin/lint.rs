@@ -1,0 +1,157 @@
+//! `lint` — run the rob-lint audit battery over one verification
+//! configuration.
+//!
+//! ```text
+//! lint --size 6 --width 2 --strategy rewrite+pe
+//! lint --size 6 --width 2 --bug forwarding-ignores-valid:3:src1 --expect-diagnosis
+//! ```
+//!
+//! The full pipeline runs with every audit pass enabled: well-formedness,
+//! Positive-Equality soundness, phase-transition invariants, and rewrite
+//! certificate replay. Diagnostics are rendered to stderr (rustc-style)
+//! and optionally streamed as JSON lines.
+//!
+//! Exit status: 0 when the run matches expectations — a bug-free
+//! configuration verifies with zero Error diagnostics, or (with
+//! `--expect-diagnosis`) a seeded bug is caught with at least one Error
+//! diagnostic; 1 otherwise; 2 for usage errors.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::process::ExitCode;
+
+use rob_verify::{lint, BugSpec, Config, Strategy, Verdict, Verifier};
+
+const USAGE: &str = "\
+usage: lint [options]
+
+Runs the rob-lint static-analysis and invariant-audit battery over a
+single verification configuration.
+
+options:
+  --size N            reorder-buffer size (default 4)
+  --width K           issue/retire width (default 2)
+  --strategy S        rewrite+pe (default) or pe-only
+  --bug SPEC          seed a design bug (kind:slice[:operand])
+  --expect-diagnosis  succeed iff the run is falsified AND at least one
+                      Error diagnostic is reported (for seeded bugs)
+  --jsonl PATH        write diagnostics as JSON lines to PATH
+  --quiet             suppress the human-readable diagnostic rendering
+  --help              show this message
+";
+
+struct Args {
+    size: usize,
+    width: usize,
+    strategy: Strategy,
+    bug: Option<BugSpec>,
+    expect_diagnosis: bool,
+    jsonl: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args(argv: Vec<String>) -> Result<Args, String> {
+    let mut args = Args {
+        size: 4,
+        width: 2,
+        strategy: Strategy::default(),
+        bug: None,
+        expect_diagnosis: false,
+        jsonl: None,
+        quiet: false,
+    };
+    let mut iter = argv.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--size" => {
+                args.size = value("--size")?
+                    .parse()
+                    .map_err(|e| format!("--size: {e}"))?;
+            }
+            "--width" => {
+                args.width = value("--width")?
+                    .parse()
+                    .map_err(|e| format!("--width: {e}"))?;
+            }
+            "--strategy" => {
+                args.strategy = value("--strategy")?.parse()?;
+            }
+            "--bug" => {
+                args.bug = Some(value("--bug")?.parse()?);
+            }
+            "--expect-diagnosis" => args.expect_diagnosis = true,
+            "--jsonl" => args.jsonl = Some(value("--jsonl")?),
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(argv: Vec<String>) -> Result<bool, String> {
+    let args = parse_args(argv)?;
+    let config = Config::new(args.size, args.width).map_err(|e| e.to_string())?;
+    let mut verifier = Verifier::new(config).strategy(args.strategy).audit(true);
+    if let Some(bug) = args.bug {
+        verifier = verifier.bug(bug);
+    }
+    let v = verifier.run().map_err(|e| e.to_string())?;
+
+    if !args.quiet {
+        for d in &v.diagnostics {
+            eprintln!("{}", d.render());
+        }
+    }
+    if let Some(path) = &args.jsonl {
+        let mut writer =
+            BufWriter::new(File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?);
+        for d in &v.diagnostics {
+            writeln!(writer, "{}", d.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        writer
+            .flush()
+            .map_err(|e| format!("cannot flush {path}: {e}"))?;
+    }
+
+    let errors = lint::error_count(&v.diagnostics);
+    eprintln!(
+        "lint: N={} k={} {}: verdict {}, {} diagnostics ({} errors), {:.2}s",
+        args.size,
+        args.width,
+        args.strategy,
+        v.verdict.label(),
+        v.diagnostics.len(),
+        errors,
+        v.timings.total().as_secs_f64(),
+    );
+
+    let ok = if args.expect_diagnosis {
+        v.verdict.is_falsification() && errors >= 1
+    } else {
+        v.verdict == Verdict::Verified && errors == 0
+    };
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("lint: audit expectations NOT met");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("lint: {message}");
+            eprintln!("run `lint --help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -61,12 +61,17 @@ pub mod explain;
 
 use evc::check::{check_validity, CheckOptions, CheckOutcome, UnknownReason};
 use evc::mem::MemoryModel;
-use evc::rewrite::{rewrite_correctness, RewriteError, RewriteInput, RewriteOptions};
+use evc::rewrite::{rewrite_correctness_certified, RewriteError, RewriteInput, RewriteOptions};
 use uarch::correctness::{self, CorrectnessBundle};
 
 pub use sat::{Limits, SolverStats};
 pub use tlsim::EvalStrategy;
 pub use uarch::{BugSpec, Config, Operand, UarchError};
+
+/// Re-export of the static-analysis crate, so downstream users (the
+/// campaign orchestrator, the `lint` CLI) can name diagnostic types
+/// without a direct dependency.
+pub use lint;
 
 /// How the EUFM correctness formula is discharged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -171,12 +176,14 @@ pub struct PhaseTimings {
     pub translate: Duration,
     /// SAT solving (paper Tables 2/5).
     pub sat: Duration,
+    /// Independent DRUP proof checking (zero unless requested).
+    pub proof_check: Duration,
 }
 
 impl PhaseTimings {
     /// Total wall-clock time across all phases.
     pub fn total(&self) -> Duration {
-        self.generate + self.rewrite + self.translate + self.sat
+        self.generate + self.rewrite + self.translate + self.sat + self.proof_check
     }
 }
 
@@ -221,6 +228,9 @@ pub struct Verification {
     pub timings: PhaseTimings,
     /// Statistics.
     pub stats: VerificationStats,
+    /// Static-analysis diagnostics from the audit passes (empty unless
+    /// auditing is enabled; see [`Verifier::audit`]).
+    pub diagnostics: Vec<lint::Diagnostic>,
 }
 
 impl Verification {
@@ -272,6 +282,7 @@ pub struct Verifier {
     max_nodes: usize,
     transitivity: bool,
     check_proof: bool,
+    audit: bool,
 }
 
 impl Verifier {
@@ -286,6 +297,7 @@ impl Verifier {
             max_nodes: 0,
             transitivity: true,
             check_proof: false,
+            audit: cfg!(debug_assertions),
         }
     }
 
@@ -333,6 +345,16 @@ impl Verifier {
         self
     }
 
+    /// Enables or disables the static-analysis audit passes (`rob-lint`):
+    /// well-formedness, Positive-Equality soundness, phase-transition
+    /// invariants, and rewrite-certificate replay. Diagnostics land in
+    /// [`Verification::diagnostics`]. On by default under
+    /// `debug_assertions`, off in release builds.
+    pub fn audit(mut self, enabled: bool) -> Self {
+        self.audit = enabled;
+        self
+    }
+
     /// Generates the correctness formula and discharges it.
     ///
     /// # Errors
@@ -350,6 +372,7 @@ impl Verifier {
         timings.generate = t0.elapsed();
         stats.formula_nodes = bundle.stats.ctx_nodes;
 
+        let mut rewrite_diags: Vec<lint::Diagnostic> = Vec::new();
         let (formula, memory) = match self.strategy {
             Strategy::PositiveEqualityOnly => (bundle.formula, MemoryModel::Forwarding),
             Strategy::RewritingAndPositiveEquality => {
@@ -359,9 +382,23 @@ impl Verifier {
                     rf_impl: bundle.rf_impl,
                     rf_spec0: bundle.rf_spec[0],
                 };
-                let result =
-                    rewrite_correctness(&mut bundle.ctx, &input, &RewriteOptions::default());
+                let (result, cert) = rewrite_correctness_certified(
+                    &mut bundle.ctx,
+                    &input,
+                    &RewriteOptions::default(),
+                );
                 timings.rewrite = t1.elapsed();
+                if self.audit {
+                    let mut diags = lint::Diagnostics::new();
+                    if let Err(RewriteError::Slice { slice, reason }) = &result {
+                        diags.emit(
+                            lint::Code::RewriteAborted,
+                            format!("rewrite aborted at slice {slice}: {reason}"),
+                        );
+                    }
+                    lint::rewrite::replay(&mut bundle.ctx, &cert, &mut diags);
+                    rewrite_diags = diags.finish();
+                }
                 match result {
                     Ok(outcome) => {
                         stats.rewrite_obligations = outcome.obligations;
@@ -374,6 +411,7 @@ impl Verifier {
                             verdict: Verdict::SliceDiagnosis { slice, reason },
                             timings,
                             stats,
+                            diagnostics: rewrite_diags,
                         })
                     }
                     Err(RewriteError::Structure(msg)) => return Err(VerifyError::Structure(msg)),
@@ -387,11 +425,13 @@ impl Verifier {
             sat_limits: self.sat_limits,
             max_nodes: self.max_nodes,
             check_proof: self.check_proof,
+            audit: self.audit,
             ..CheckOptions::default()
         };
         let report = check_validity(&mut bundle.ctx, formula, &options);
         timings.translate = report.translate_time;
         timings.sat = report.sat_time;
+        timings.proof_check = report.proof_check_time;
         stats.eij_vars = report.stats.eij_vars;
         stats.other_vars = report.stats.other_vars;
         stats.cnf_vars = report.stats.cnf_vars;
@@ -410,10 +450,13 @@ impl Verifier {
             }),
         };
 
+        let mut diagnostics = rewrite_diags;
+        diagnostics.extend(report.diagnostics);
         Ok(Verification {
             verdict,
             timings,
             stats,
+            diagnostics,
         })
     }
 }
@@ -522,5 +565,107 @@ mod tests {
     #[test]
     fn verify_helper() {
         assert!(verify(Config::new(2, 2).expect("config")).expect("run"));
+    }
+
+    #[test]
+    fn audited_bug_free_configs_are_clean() {
+        // The ISSUE acceptance bar: the audited pipeline reports zero
+        // Error diagnostics on every bug-free (N <= 8, k <= 2)
+        // configuration under the default strategy.
+        for n in 2..=8usize {
+            for k in [1usize, 2] {
+                let config = Config::new(n, k).expect("config");
+                let v = Verifier::new(config).audit(true).run().expect("run");
+                assert_eq!(v.verdict, Verdict::Verified, "N={n} k={k}");
+                assert_eq!(
+                    lint::error_count(&v.diagnostics),
+                    0,
+                    "N={n} k={k}:\n{}",
+                    lint::render_all(&v.diagnostics)
+                );
+                // the audit must actually have run (summary notes present)
+                assert!(v
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.code == lint::Code::PeSummary));
+                assert!(v
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.code == lint::Code::RewriteSummary));
+            }
+        }
+    }
+
+    #[test]
+    fn audited_pe_only_is_clean() {
+        let config = Config::new(3, 2).expect("config");
+        let v = Verifier::new(config)
+            .strategy(Strategy::PositiveEqualityOnly)
+            .audit(true)
+            .run()
+            .expect("run");
+        assert_eq!(v.verdict, Verdict::Verified);
+        assert_eq!(
+            lint::error_count(&v.diagnostics),
+            0,
+            "{}",
+            lint::render_all(&v.diagnostics)
+        );
+        assert!(v
+            .diagnostics
+            .iter()
+            .any(|d| d.code == lint::Code::PeSummary));
+    }
+
+    #[test]
+    fn every_bug_class_yields_an_error_diagnostic() {
+        let bugs = [
+            BugSpec::ForwardingIgnoresValidResult {
+                slice: 2,
+                operand: Operand::Src1,
+            },
+            BugSpec::ForwardingSkipsNearest {
+                slice: 2,
+                operand: Operand::Src2,
+            },
+            BugSpec::RetireOutOfOrder { slice: 2 },
+            BugSpec::RetireIgnoresValid { slice: 2 },
+            BugSpec::CompletionUsesStaleResult { slice: 2 },
+        ];
+        for bug in bugs {
+            let config = Config::new(4, 2).expect("config");
+            let v = Verifier::new(config)
+                .bug(bug)
+                .audit(true)
+                .run()
+                .expect("run");
+            assert!(
+                v.verdict.is_falsification(),
+                "{bug:?} must be caught, got {:?}",
+                v.verdict
+            );
+            assert!(
+                lint::error_count(&v.diagnostics) >= 1,
+                "{bug:?} must produce at least one Error diagnostic:\n{}",
+                lint::render_all(&v.diagnostics)
+            );
+            // The abort itself is always certified.
+            assert!(
+                v.diagnostics
+                    .iter()
+                    .any(|d| d.code == lint::Code::RewriteAborted),
+                "{bug:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn release_defaults_disable_the_audit() {
+        // `audit` defaults to `cfg!(debug_assertions)`; forcing it off
+        // must yield an empty diagnostics list.
+        let config = Config::new(3, 1).expect("config");
+        let v = Verifier::new(config).audit(false).run().expect("run");
+        assert_eq!(v.verdict, Verdict::Verified);
+        assert!(v.diagnostics.is_empty());
     }
 }

@@ -79,6 +79,21 @@ impl Context {
         id
     }
 
+    /// Inserts a node *without* hash-consing or sort checking.
+    ///
+    /// The node is appended to the arena but **not** registered in the
+    /// hash-consing table, so a structurally identical node may already
+    /// exist and the recorded sort may contradict the node's structure.
+    /// This deliberately breaks the context's invariants; it exists so
+    /// that lint tests can manufacture ill-formed DAGs and check that the
+    /// analyzer flags them. Never use it to build real formulas.
+    pub fn insert_unchecked(&mut self, node: Node, sort: Sort) -> ExprId {
+        let id = ExprId(u32::try_from(self.nodes.len()).expect("context node overflow"));
+        self.nodes.push(node);
+        self.sorts.push(sort);
+        id
+    }
+
     /// The node stored at `id`.
     #[inline]
     pub fn node(&self, id: ExprId) -> &Node {
@@ -89,6 +104,22 @@ impl Context {
     #[inline]
     pub fn sort(&self, id: ExprId) -> Sort {
         self.sorts[id.index()]
+    }
+
+    /// The node stored at `id`, or `None` if `id` is out of bounds.
+    ///
+    /// The panicking [`Context::node`] is right for ids known to be live;
+    /// this checked variant lets analysis passes probe possibly-dangling
+    /// ids without crashing.
+    #[inline]
+    pub fn try_node(&self, id: ExprId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// The sort of `id`, or `None` if `id` is out of bounds.
+    #[inline]
+    pub fn try_sort(&self, id: ExprId) -> Option<Sort> {
+        self.sorts.get(id.index()).copied()
     }
 
     /// The number of distinct nodes allocated in this context.
@@ -514,33 +545,35 @@ impl Context {
         out
     }
 
-    /// Iterates over the transitive sub-DAG of `roots` (each node once) in
-    /// a post-order (children before parents), calling `visit` on each id.
+    /// Returns a lazy iterator over the transitive sub-DAG of `roots`,
+    /// yielding each reachable node exactly once in post-order (children
+    /// before parents).
     ///
     /// Bookkeeping is proportional to the visited sub-DAG, not to the whole
     /// context, so many small traversals of a large context stay cheap.
+    /// This is the liveness primitive behind [`Context::dag_size`],
+    /// [`Context::extract`], the statistics censuses, and the lint passes.
+    pub fn reachable(&self, roots: &[ExprId]) -> Reachable<'_> {
+        Reachable {
+            ctx: self,
+            seen: std::collections::HashSet::with_capacity(roots.len() * 4),
+            stack: roots.iter().rev().map(|&r| (r, false)).collect(),
+        }
+    }
+
+    /// Iterates over the transitive sub-DAG of `roots` (each node once) in
+    /// a post-order (children before parents), calling `visit` on each id.
+    ///
+    /// Convenience wrapper over [`Context::reachable`].
     pub fn visit_post_order(&self, roots: &[ExprId], mut visit: impl FnMut(ExprId)) {
-        let mut seen: std::collections::HashSet<ExprId> =
-            std::collections::HashSet::with_capacity(roots.len() * 4);
-        let mut stack: Vec<(ExprId, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
-        while let Some((id, expanded)) = stack.pop() {
-            if expanded {
-                visit(id);
-                continue;
-            }
-            if !seen.insert(id) {
-                continue;
-            }
-            stack.push((id, true));
-            self.node(id).for_each_child(|c| stack.push((c, false)));
+        for id in self.reachable(roots) {
+            visit(id);
         }
     }
 
     /// The number of distinct nodes reachable from `roots`.
     pub fn dag_size(&self, roots: &[ExprId]) -> usize {
-        let mut n = 0;
-        self.visit_post_order(roots, |_| n += 1);
-        n
+        self.reachable(roots).count()
     }
 
     /// Extracts the sub-DAG reachable from `roots` into a fresh, compact
@@ -580,6 +613,39 @@ impl Context {
         });
         let new_roots = roots.iter().map(|r| map[r]).collect();
         (new, new_roots)
+    }
+}
+
+/// Lazy post-order iterator over the live sub-DAG of a set of roots.
+///
+/// Created by [`Context::reachable`]. Each reachable id is yielded exactly
+/// once, children strictly before parents. Out-of-bounds (dangling) ids are
+/// yielded but not expanded, so analysis passes can traverse corrupted DAGs
+/// and report the dangling ids instead of panicking.
+#[derive(Debug, Clone)]
+pub struct Reachable<'a> {
+    ctx: &'a Context,
+    seen: std::collections::HashSet<ExprId>,
+    stack: Vec<(ExprId, bool)>,
+}
+
+impl Iterator for Reachable<'_> {
+    type Item = ExprId;
+
+    fn next(&mut self) -> Option<ExprId> {
+        while let Some((id, expanded)) = self.stack.pop() {
+            if expanded {
+                return Some(id);
+            }
+            if !self.seen.insert(id) {
+                continue;
+            }
+            self.stack.push((id, true));
+            if let Some(node) = self.ctx.try_node(id) {
+                node.for_each_child(|c| self.stack.push((c, false)));
+            }
+        }
+        None
     }
 }
 
@@ -686,6 +752,60 @@ mod tests {
         let a = ctx.tvar("a");
         let _ = ctx.uf("f", vec![a]);
         let _ = ctx.uf("f", vec![a, a]);
+    }
+
+    #[test]
+    fn reachable_is_deduplicated_post_order() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let eq = ctx.eq(fa, b);
+        let x = ctx.pvar("x");
+        let root = ctx.and2(x, eq);
+        let order: Vec<ExprId> = ctx.reachable(&[root]).collect();
+        // each node exactly once
+        let mut dedup = order.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), order.len());
+        // children strictly before parents
+        let pos = |id: ExprId| order.iter().position(|&o| o == id).expect("visited");
+        assert!(pos(a) < pos(fa));
+        assert!(pos(fa) < pos(eq));
+        assert!(pos(b) < pos(eq));
+        assert!(pos(eq) < pos(root));
+        assert!(pos(x) < pos(root));
+        assert_eq!(order.last(), Some(&root));
+        // shared sub-DAGs across roots visited once
+        assert_eq!(ctx.reachable(&[root, eq, root]).count(), order.len());
+    }
+
+    #[test]
+    fn reachable_yields_dangling_ids_without_panicking() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let dangling = ExprId::from_index(ctx.len() + 7);
+        let bad = ctx.insert_unchecked(Node::Not(dangling), Sort::Bool);
+        let order: Vec<ExprId> = ctx.reachable(&[bad]).collect();
+        assert_eq!(order, vec![dangling, bad]);
+        assert!(ctx.try_node(dangling).is_none());
+        assert!(ctx.try_sort(dangling).is_none());
+        assert!(ctx.try_node(a).is_some());
+        assert_eq!(ctx.try_sort(a), Some(Sort::Term));
+    }
+
+    #[test]
+    fn insert_unchecked_bypasses_hash_consing() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let dup = ctx.insert_unchecked(Node::Eq(a, b), Sort::Bool);
+        assert_ne!(eq, dup, "duplicate must get a fresh id");
+        assert_eq!(ctx.node(eq), ctx.node(dup));
+        // the original mapping is untouched
+        assert_eq!(ctx.eq(a, b), eq);
     }
 
     #[test]

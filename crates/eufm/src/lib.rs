@@ -52,7 +52,7 @@ pub mod print;
 pub mod stats;
 pub mod subst;
 
-pub use context::Context;
+pub use context::{Context, Reachable};
 pub use node::{ExprId, Node, Sort};
 pub use symbol::Symbol;
 

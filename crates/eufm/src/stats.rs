@@ -48,7 +48,7 @@ impl DagStats {
 pub fn dag_stats(ctx: &Context, roots: &[ExprId]) -> DagStats {
     let mut stats = DagStats::default();
     let mut depth: BTreeMap<ExprId, usize> = BTreeMap::new();
-    ctx.visit_post_order(roots, |id| {
+    for id in ctx.reachable(roots) {
         stats.nodes += 1;
         let node = ctx.node(id);
         *stats.by_kind.entry(node.kind_name()).or_insert(0) += 1;
@@ -67,7 +67,7 @@ pub fn dag_stats(ctx: &Context, roots: &[ExprId]) -> DagStats {
         node.for_each_child(|c| d = d.max(depth.get(&c).copied().unwrap_or(0) + 1));
         depth.insert(id, d);
         stats.depth = stats.depth.max(d);
-    });
+    }
     stats
 }
 
@@ -96,7 +96,7 @@ pub const EIJ_PREFIX: &str = "eij!";
 /// splitting out `e_ij` encoder variables by their name prefix.
 pub fn primary_inputs(ctx: &Context, root: ExprId) -> PrimaryInputStats {
     let mut stats = PrimaryInputStats::default();
-    ctx.visit_post_order(&[root], |id| {
+    for id in ctx.reachable(&[root]) {
         if let Node::Var(sym, Sort::Bool) = ctx.node(id) {
             if ctx.name(*sym).starts_with(EIJ_PREFIX) {
                 stats.eij_vars += 1;
@@ -104,7 +104,7 @@ pub fn primary_inputs(ctx: &Context, root: ExprId) -> PrimaryInputStats {
                 stats.other_vars += 1;
             }
         }
-    });
+    }
     stats
 }
 

@@ -143,24 +143,16 @@ pub fn cofactor(ctx: &mut Context, root: ExprId, on: ExprId, value: bool) -> Exp
 
 /// Collects every variable (of any sort) reachable from `roots`.
 pub fn collect_vars(ctx: &Context, roots: &[ExprId]) -> Vec<ExprId> {
-    let mut vars = Vec::new();
-    ctx.visit_post_order(roots, |id| {
-        if matches!(ctx.node(id), Node::Var(..)) {
-            vars.push(id);
-        }
-    });
-    vars
+    ctx.reachable(roots)
+        .filter(|&id| matches!(ctx.node(id), Node::Var(..)))
+        .collect()
 }
 
 /// Whether `needle` occurs in the DAG of `root`.
+///
+/// Short-circuits as soon as the needle is found, unlike a full census.
 pub fn occurs(ctx: &Context, root: ExprId, needle: ExprId) -> bool {
-    let mut found = false;
-    ctx.visit_post_order(&[root], |id| {
-        if id == needle {
-            found = true;
-        }
-    });
-    found
+    ctx.reachable(&[root]).any(|id| id == needle)
 }
 
 #[cfg(test)]

@@ -50,6 +50,13 @@ pub struct CheckOptions {
     /// with the independent checker; the result lands in
     /// [`CheckReport::proof_checked`].
     pub check_proof: bool,
+    /// Run the static-analysis audits (well-formedness, Positive-Equality
+    /// cross-check, phase-transition invariants) between the pipeline
+    /// phases, collecting diagnostics into
+    /// [`CheckReport::diagnostics`]. Defaults to on under
+    /// `debug_assertions` and off in release builds, so benches stay
+    /// unperturbed.
+    pub audit: bool,
 }
 
 impl Default for CheckOptions {
@@ -62,6 +69,7 @@ impl Default for CheckOptions {
             sat_limits: Limits::none(),
             max_nodes: 0,
             check_proof: false,
+            audit: cfg!(debug_assertions),
         }
     }
 }
@@ -144,9 +152,15 @@ pub struct CheckReport {
     pub translate_time: Duration,
     /// Time spent in the SAT solver.
     pub sat_time: Duration,
+    /// Time spent checking the DRUP proof (zero unless proof checking
+    /// ran).
+    pub proof_check_time: Duration,
     /// When proof checking was requested and the answer was `Valid`:
     /// whether the logged DRUP proof checked.
     pub proof_checked: Option<bool>,
+    /// Diagnostics from the static-analysis audits (empty when
+    /// [`CheckOptions::audit`] is off).
+    pub diagnostics: Vec<lint::Diagnostic>,
 }
 
 /// Checks the validity of an EUFM formula.
@@ -166,9 +180,20 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
         input_nodes,
         ..TranslationStats::default()
     };
+    let mut diags = lint::Diagnostics::new();
+    if options.audit {
+        lint::wf::check(ctx, &[formula], &mut diags);
+    }
 
     // 1. memory elimination
     let no_mem = mem::eliminate(ctx, formula, options.memory);
+    if options.audit {
+        let discipline = match options.memory {
+            MemoryModel::Forwarding => lint::MemDiscipline::Exact,
+            MemoryModel::Conservative => lint::MemDiscipline::Conservative,
+        };
+        lint::phase::check_memory_free(ctx, no_mem, discipline, &mut diags);
+    }
 
     // 2. polarity classification on the pre-UF-elimination formula
     let analysis = polarity::analyze(ctx, &[no_mem]);
@@ -213,6 +238,10 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
         }
     }
 
+    if options.audit {
+        lint::phase::check_uf_free(ctx, elim.root, &mut diags);
+    }
+
     // 4. Positive-Equality encoding
     let classes = Classification { gvars };
     let encoding = match pe::encode(ctx, elim.root, &classes, options.max_nodes) {
@@ -224,11 +253,31 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
                 sat_stats: SolverStats::default(),
                 translate_time: translate_start.elapsed(),
                 sat_time: Duration::ZERO,
+                proof_check_time: Duration::ZERO,
                 proof_checked: None,
+                diagnostics: diags.finish(),
             }
         }
         Err(e) => panic!("internal translation error: {e}"),
     };
+    if options.audit {
+        let scheme = match options.uf_scheme {
+            UfScheme::NestedIte => lint::ElimScheme::NestedIte,
+            UfScheme::Ackermann => lint::ElimScheme::Ackermann,
+        };
+        lint::pe::check(
+            ctx,
+            &lint::PeAuditInput {
+                pre_elim: no_mem,
+                scheme,
+                encoded: elim.root,
+                fresh_vars: &elim.fresh_vars,
+                gvars: &classes.gvars,
+                eij: &encoding.eij,
+            },
+            &mut diags,
+        );
+    }
     let mut prop = encoding.formula;
     if options.transitivity {
         let trans = pe::transitivity_constraints(ctx, &encoding.eij);
@@ -245,6 +294,9 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
     // 5. Tseitin + SAT on the negation
     let mut translation = sat::tseitin::translate(ctx, prop, options.tseitin, Phase::Negative)
         .expect("encoded formula is propositional");
+    if options.audit {
+        lint::phase::check_cnf_accounting(&translation, &mut diags);
+    }
     translation.assert_negated_root();
     stats.cnf_vars = translation.cnf.num_vars();
     stats.cnf_clauses = translation.cnf.num_clauses();
@@ -258,10 +310,17 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
     } else {
         solver.solve_with_limits(options.sat_limits)
     };
+    let sat_time = sat_start.elapsed();
+    let proof_check_start = Instant::now();
     let proof_checked = if options.check_proof && raw_outcome.is_unsat() {
         Some(sat::proof::check(&translation.cnf, &proof).is_ok())
     } else {
         None
+    };
+    let proof_check_time = if proof_checked.is_some() {
+        proof_check_start.elapsed()
+    } else {
+        Duration::ZERO
     };
     let outcome = match raw_outcome {
         Outcome::Unsat => CheckOutcome::Valid,
@@ -289,8 +348,10 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
         stats,
         sat_stats: solver.stats(),
         translate_time,
-        sat_time: sat_start.elapsed(),
+        sat_time,
+        proof_check_time,
         proof_checked,
+        diagnostics: diags.finish(),
     }
 }
 
@@ -470,6 +531,133 @@ mod tests {
             "Ackermann {} vs nested-ITE {} e_ij variables",
             ack.stats.eij_vars,
             nested.stats.eij_vars
+        );
+    }
+
+    #[test]
+    fn audited_checks_are_clean_under_both_schemes() {
+        // Forwarding gets the exact-forwarding property; the conservative
+        // abstraction cannot prove it, so it gets plain read congruence.
+        let build = |ctx: &mut Context, memory: MemoryModel| match memory {
+            MemoryModel::Forwarding => {
+                let m = ctx.mvar("m");
+                let a = ctx.tvar("a");
+                let b = ctx.tvar("b");
+                let d = ctx.tvar("d");
+                let w = ctx.write(m, a, d);
+                let r = ctx.read(w, b);
+                let rm = ctx.read(m, b);
+                let fa = ctx.uf("f", vec![r]);
+                let fb = ctx.uf("f", vec![rm]);
+                let hit = ctx.eq(a, b);
+                let eqf = ctx.eq(fa, fb);
+                let nab = ctx.not(hit);
+                ctx.implies(nab, eqf)
+            }
+            MemoryModel::Conservative => {
+                let m = ctx.mvar("m");
+                let a = ctx.tvar("a");
+                let b = ctx.tvar("b");
+                let ra = ctx.read(m, a);
+                let rb = ctx.read(m, b);
+                let fa = ctx.uf("f", vec![ra]);
+                let fb = ctx.uf("f", vec![rb]);
+                let prem = ctx.eq(a, b);
+                let concl = ctx.eq(fa, fb);
+                ctx.implies(prem, concl)
+            }
+        };
+        for scheme in [UfScheme::NestedIte, UfScheme::Ackermann] {
+            for memory in [MemoryModel::Forwarding, MemoryModel::Conservative] {
+                let mut ctx = Context::new();
+                let goal = build(&mut ctx, memory);
+                let opts = CheckOptions {
+                    audit: true,
+                    uf_scheme: scheme,
+                    memory,
+                    ..CheckOptions::default()
+                };
+                let report = check_validity(&mut ctx, goal, &opts);
+                assert!(report.outcome.is_valid(), "{scheme:?}/{memory:?}");
+                assert_eq!(
+                    lint::error_count(&report.diagnostics),
+                    0,
+                    "{scheme:?}/{memory:?}:\n{}",
+                    lint::render_all(&report.diagnostics)
+                );
+                assert!(!report.diagnostics.is_empty(), "summary notes expected");
+            }
+        }
+    }
+
+    #[test]
+    fn audit_catches_a_forged_classification() {
+        // Drive the encoder manually with a classification that omits a
+        // g-var; the audit must flag the forged p-term.
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let goal = ctx.not(eq); // a and b are g-vars
+        let classes = Classification {
+            gvars: HashSet::new(), // forged: claims both are p-terms
+        };
+        let encoding = pe::encode(&mut ctx, goal, &classes, 0).expect("encode");
+        let mut diags = lint::Diagnostics::new();
+        lint::pe::check(
+            &ctx,
+            &lint::PeAuditInput {
+                pre_elim: goal,
+                scheme: lint::ElimScheme::NestedIte,
+                encoded: goal,
+                fresh_vars: &std::collections::HashMap::new(),
+                gvars: &classes.gvars,
+                eij: &encoding.eij,
+            },
+            &mut diags,
+        );
+        let diags = diags.finish();
+        assert!(
+            diags
+                .iter()
+                .filter(|d| d.code == lint::Code::ForgedPTerm)
+                .count()
+                >= 2,
+            "{}",
+            lint::render_all(&diags)
+        );
+    }
+
+    #[test]
+    fn audit_catches_a_dropped_eij() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let goal = ctx.not(eq);
+        let classes = Classification {
+            gvars: [a, b].into_iter().collect(),
+        };
+        let encoding = pe::encode(&mut ctx, goal, &classes, 0).expect("encode");
+        assert_eq!(encoding.eij.len(), 1);
+        let mut diags = lint::Diagnostics::new();
+        lint::pe::check(
+            &ctx,
+            &lint::PeAuditInput {
+                pre_elim: goal,
+                scheme: lint::ElimScheme::NestedIte,
+                encoded: goal,
+                fresh_vars: &std::collections::HashMap::new(),
+                gvars: &classes.gvars,
+                eij: &[], // dropped
+            },
+            &mut diags,
+        );
+        let diags = diags.finish();
+        assert!(
+            diags.iter().any(|d| d.code == lint::Code::MissingEij),
+            "{}",
+            lint::render_all(&diags)
         );
     }
 

@@ -45,4 +45,6 @@ pub mod uf_elim;
 
 pub use check::{check_validity, CheckOptions, CheckOutcome, CheckReport};
 pub use mem::MemoryModel;
-pub use rewrite::{rewrite_correctness, RewriteError, RewriteInput, RewriteOutcome};
+pub use rewrite::{
+    rewrite_correctness, rewrite_correctness_certified, RewriteError, RewriteInput, RewriteOutcome,
+};

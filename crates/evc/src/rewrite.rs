@@ -41,6 +41,8 @@ use eufm::subst::{substitute, Substitution};
 use eufm::{Context, ExprId, Node, Sort};
 use sat::{Mode, Outcome, Phase, Solver};
 
+use lint::rewrite::Obligation;
+
 use crate::chain::{self, Update, UpdateChain};
 use crate::check::{check_validity, CheckOptions, CheckOutcome};
 use crate::mem::MemoryModel;
@@ -76,6 +78,11 @@ impl Default for RewriteOptions {
         RewriteOptions {
             local: CheckOptions {
                 memory: MemoryModel::Forwarding,
+                // Never audit the local obligation checks: the rewrite run
+                // is itself audited (via its justification certificates),
+                // and recursive audits on every R5 obligation would
+                // dominate the engine's cost.
+                audit: false,
                 ..CheckOptions::default()
             },
             render_chains: false,
@@ -155,6 +162,45 @@ pub fn rewrite_correctness(
     input: &RewriteInput,
     options: &RewriteOptions,
 ) -> Result<RewriteOutcome, RewriteError> {
+    rewrite_correctness_certified(ctx, input, options).0
+}
+
+/// Applies the rewriting rules and returns the justification certificate
+/// alongside the result.
+///
+/// Every obligation the engine discharges is recorded (before discharge,
+/// so a failed run still certifies which obligation it died on) as a
+/// [`lint::rewrite::Certificate`]; `lint::rewrite::replay` re-checks them
+/// with independent machinery.
+///
+/// # Errors
+///
+/// As [`rewrite_correctness`]; the certificate accompanying an `Err`
+/// covers the obligations discharged up to the failure point.
+pub fn rewrite_correctness_certified(
+    ctx: &mut Context,
+    input: &RewriteInput,
+    options: &RewriteOptions,
+) -> (
+    Result<RewriteOutcome, RewriteError>,
+    lint::RewriteCertificate,
+) {
+    let mut engine = Engine {
+        options: *options,
+        obligations: 0,
+        syntactic_hits: 0,
+        cert: lint::RewriteCertificate::default(),
+    };
+    let result = rewrite_with(ctx, input, &mut engine);
+    (result, engine.cert)
+}
+
+fn rewrite_with(
+    ctx: &mut Context,
+    input: &RewriteInput,
+    engine: &mut Engine,
+) -> Result<RewriteOutcome, RewriteError> {
+    let options = engine.options;
     let spec_chain = chain::parse(ctx, input.rf_spec0)
         .map_err(|e| RewriteError::Structure(format!("spec side: {e}")))?;
     let impl_chain = chain::parse(ctx, input.rf_impl)
@@ -180,12 +226,8 @@ pub fn rewrite_correctness(
     let slices = match_slices(ctx, &spec_chain, &impl_chain)?;
     let n = slices.len();
     let retire_pairs = slices.iter().filter(|s| s.retirement.is_some()).count();
-
-    let mut engine = Engine {
-        options: *options,
-        obligations: 0,
-        syntactic_hits: 0,
-    };
+    engine.cert.slices = n;
+    engine.cert.deleted_pairs = retire_pairs;
 
     // R1 family: the retirement context of slice j must be disjoint from
     // the completion context of every slice i <= j. For i < j this licenses
@@ -196,7 +238,12 @@ pub fn rewrite_correctness(
     for (j, sj) in slices.iter().enumerate() {
         let Some(ret) = sj.retirement else { continue };
         for (i, si) in slices.iter().enumerate().take(j + 1) {
-            if !engine.bool_disjoint(ctx, ret.guard, si.completion.guard) {
+            let what = format!(
+                "retirement context of slice {} disjoint from completion context of slice {}",
+                j + 1,
+                i + 1
+            );
+            if !engine.bool_disjoint(ctx, ret.guard, si.completion.guard, j + 1, "R1", what) {
                 return Err(RewriteError::Slice {
                     slice: j + 1,
                     reason: format!(
@@ -370,6 +417,9 @@ struct Engine {
     options: RewriteOptions,
     obligations: usize,
     syntactic_hits: usize,
+    /// The justification record: every obligation, logged *before* it is
+    /// discharged, so even a failed run certifies what it attempted.
+    cert: lint::RewriteCertificate,
 }
 
 /// Builds the expected forwarded value and availability condition for
@@ -400,7 +450,9 @@ fn expected_forwarding(
 
 impl Engine {
     /// Decides a purely propositional validity query with the SAT solver.
-    fn bool_valid(&mut self, ctx: &mut Context, f: ExprId) -> bool {
+    /// Does *not* record a certificate — the callers record the obligation
+    /// in its un-lowered form first.
+    fn prop_valid(&mut self, ctx: &mut Context, f: ExprId) -> bool {
         self.obligations += 1;
         if f == Context::TRUE {
             self.syntactic_hits += 1;
@@ -418,11 +470,36 @@ impl Engine {
         matches!(solver.solve(), Outcome::Unsat)
     }
 
-    /// Whether two contexts can never hold simultaneously.
-    fn bool_disjoint(&mut self, ctx: &mut Context, a: ExprId, b: ExprId) -> bool {
+    /// Records and decides a propositional validity obligation.
+    fn bool_valid(
+        &mut self,
+        ctx: &mut Context,
+        f: ExprId,
+        slice: usize,
+        rule: &'static str,
+        what: String,
+    ) -> bool {
+        self.cert
+            .record(slice, rule, what, Obligation::PropValid(f));
+        self.prop_valid(ctx, f)
+    }
+
+    /// Records and decides a context-disjointness obligation (two contexts
+    /// can never hold simultaneously).
+    fn bool_disjoint(
+        &mut self,
+        ctx: &mut Context,
+        a: ExprId,
+        b: ExprId,
+        slice: usize,
+        rule: &'static str,
+        what: String,
+    ) -> bool {
+        self.cert
+            .record(slice, rule, what, Obligation::PropDisjoint(a, b));
         let conj = ctx.and2(a, b);
         let goal = ctx.not(conj);
-        self.bool_valid(ctx, goal)
+        self.prop_valid(ctx, goal)
     }
 
     /// R2: context equivalence (and in-pair disjointness) for one slice.
@@ -435,7 +512,14 @@ impl Engine {
     ) -> Result<(), RewriteError> {
         let impl_ctx = match slice.retirement {
             Some(ret) => {
-                if !self.bool_disjoint(ctx, ret.guard, slice.completion.guard) {
+                if !self.bool_disjoint(
+                    ctx,
+                    ret.guard,
+                    slice.completion.guard,
+                    i,
+                    "R2",
+                    "retirement and completion contexts disjoint within the pair".to_owned(),
+                ) {
                     return Err(RewriteError::Slice {
                         slice: i,
                         reason: "retirement and completion contexts overlap".to_owned(),
@@ -448,10 +532,22 @@ impl Engine {
         if impl_ctx == spec.guard {
             self.obligations += 1;
             self.syntactic_hits += 1;
+            self.cert.record(
+                i,
+                "R2",
+                "implementation update context coincides with Valid_i".to_owned(),
+                Obligation::Identical(impl_ctx, spec.guard),
+            );
             return Ok(());
         }
         let iff = ctx.iff(impl_ctx, spec.guard);
-        if !self.bool_valid(ctx, iff) {
+        if !self.bool_valid(
+            ctx,
+            iff,
+            i,
+            "R2",
+            "implementation update context equivalent to Valid_i".to_owned(),
+        ) {
             return Err(RewriteError::Slice {
                 slice: i,
                 reason: "implementation update context differs from Valid_i".to_owned(),
@@ -516,6 +612,7 @@ impl Engine {
         self.require_equal(
             ctx,
             i,
+            "R3",
             comp_true,
             result,
             "completion data under ValidResult_i",
@@ -525,6 +622,7 @@ impl Engine {
             self.require_equal(
                 ctx,
                 i,
+                "R3",
                 ret_true,
                 result,
                 "retirement data under ValidResult_i",
@@ -560,6 +658,7 @@ impl Engine {
                 self.require_equal(
                     ctx,
                     i,
+                    "R4",
                     not_executed,
                     spec_reloc,
                     "completion data (not executed) under !ValidResult_i",
@@ -568,8 +667,20 @@ impl Engine {
                 // from the *original* previous state. Checked structurally
                 // first (the paper's rule 2.1: both evaluate to the same
                 // Result variable or the same initial-Register-File read),
-                // with a semantic Positive-Equality fallback.
+                // with a semantic Positive-Equality fallback. The semantic
+                // goal is built (and certified) unconditionally so the
+                // replay audit re-checks the structural fast path too.
                 self.obligations += 1;
+                let guard = substitute(ctx, slice.completion.guard, &sigma_false);
+                let premise = ctx.and2(guard, exec);
+                let eq = ctx.eq(forwarded, spec_false);
+                let goal = ctx.implies(premise, eq);
+                self.cert.record(
+                    i,
+                    "R5",
+                    "forwarded operands equal specification-side reads".to_owned(),
+                    Obligation::EufmValid(goal),
+                );
                 if self.options.structural_forwarding
                     && self.check_forwarding_structural(
                         ctx, exec, forwarded, spec_false, spec_chain, idx,
@@ -577,10 +688,6 @@ impl Engine {
                 {
                     self.syntactic_hits += 1;
                 } else {
-                    let guard = substitute(ctx, slice.completion.guard, &sigma_false);
-                    let premise = ctx.and2(guard, exec);
-                    let eq = ctx.eq(forwarded, spec_false);
-                    let goal = ctx.implies(premise, eq);
                     // Cheap refutation first: a sampled counterexample of the
                     // local obligation is definite evidence the slice does
                     // not conform (this is what makes diagnosing a buggy
@@ -619,6 +726,7 @@ impl Engine {
                 self.require_equal(
                     ctx,
                     i,
+                    "R4",
                     comp_reloc,
                     spec_reloc,
                     "completion data under !ValidResult_i",
@@ -705,6 +813,7 @@ impl Engine {
         &mut self,
         ctx: &mut Context,
         i: usize,
+        rule: &'static str,
         a: ExprId,
         b: ExprId,
         what: &str,
@@ -712,9 +821,13 @@ impl Engine {
         self.obligations += 1;
         if a == b {
             self.syntactic_hits += 1;
+            self.cert
+                .record(i, rule, what.to_owned(), Obligation::Identical(a, b));
             return Ok(());
         }
         let eq = ctx.eq(a, b);
+        self.cert
+            .record(i, rule, what.to_owned(), Obligation::EufmValid(eq));
         // Sampled refutation before the full proof (see the forwarding
         // obligation above for the rationale).
         if eufm::oracle::check_sampled_with_domain(ctx, eq, 256, 8).is_invalid() {
@@ -865,6 +978,63 @@ mod tests {
             Err(RewriteError::Structure(_)) => {}
             other => panic!("expected structure error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn certified_rewrite_replays_clean() {
+        let mut ctx = Context::new();
+        let (state, _) = toy_spec_chain(&mut ctx, 3);
+        let formula = {
+            let other = ctx.mvar("Other");
+            ctx.eq(state, other)
+        };
+        let input = RewriteInput {
+            formula,
+            rf_impl: state,
+            rf_spec0: state,
+        };
+        let (result, cert) =
+            rewrite_correctness_certified(&mut ctx, &input, &RewriteOptions::default());
+        let outcome = result.expect("rewrite");
+        assert_eq!(cert.slices, 3);
+        assert_eq!(cert.deleted_pairs, 0);
+        assert_eq!(cert.certificates.len(), outcome.obligations);
+        // every slice is covered and the replay finds nothing to refute
+        let mut diags = lint::Diagnostics::new();
+        lint::rewrite::replay(&mut ctx, &cert, &mut diags);
+        let done = diags.finish();
+        assert_eq!(lint::error_count(&done), 0, "{}", lint::render_all(&done));
+    }
+
+    #[test]
+    fn failed_rewrite_still_returns_partial_certificate() {
+        let mut ctx = Context::new();
+        let (spec_state, spec_chain) = toy_spec_chain(&mut ctx, 2);
+        // impl chain uses a bogus guard for slice 1 (cf.
+        // `wrong_context_is_a_slice_error`)
+        let rf = ctx.mvar("RegFile");
+        let bogus = ctx.pvar("Bogus");
+        let first = spec_chain.updates[0];
+        let st1 = ctx.update(rf, bogus, first.addr, first.data);
+        let second = spec_chain.updates[1];
+        let st2 = ctx.update(st1, second.guard, second.addr, second.data);
+        let formula = ctx.eq(st2, spec_state);
+        let input = RewriteInput {
+            formula,
+            rf_impl: st2,
+            rf_spec0: spec_state,
+        };
+        let (result, cert) =
+            rewrite_correctness_certified(&mut ctx, &input, &RewriteOptions::default());
+        assert!(matches!(result, Err(RewriteError::Slice { slice: 1, .. })));
+        // the failing R2 obligation was recorded before it was discharged,
+        // and the independent replay refutes exactly that obligation
+        let last = cert.certificates.last().expect("partial certificate");
+        assert_eq!(last.rule, "R2");
+        let mut diags = lint::Diagnostics::new();
+        lint::rewrite::replay(&mut ctx, &cert, &mut diags);
+        let done = diags.finish();
+        assert!(done.iter().any(|d| d.code == lint::Code::RefutedObligation));
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Structured diagnostics: stable codes, severities, renderers.
+//!
+//! Every finding the analyzer can report has a *stable code* (`L0001`,
+//! `L0002`, …) so that tests, CI gates, and downstream log processing can
+//! match on the code rather than on message text. Codes are grouped by pass
+//! family:
+//!
+//! - `L000x` — well-formedness of the expression DAG ([`crate::wf`])
+//! - `L001x` — Positive-Equality soundness audit ([`crate::pe`])
+//! - `L002x` — phase-transition invariants ([`crate::phase`])
+//! - `L003x` — rewrite-certificate replay ([`crate::rewrite`])
+
+use std::collections::BTreeMap;
+
+use eufm::ExprId;
+
+/// How serious a diagnostic is.
+///
+/// `Error` means a soundness invariant is violated and any `Verified`
+/// verdict derived from the audited artifact is suspect. `Warning` marks a
+/// conservative (sound but imprecise) discrepancy. `Note` carries summary
+/// information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A soundness invariant is violated.
+    Error,
+    /// Sound but suspicious or imprecise.
+    Warning,
+    /// Informational summary.
+    Note,
+}
+
+impl Severity {
+    /// The lowercase label used by the renderers (`error`, `warning`,
+    /// `note`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+macro_rules! codes {
+    ($($variant:ident = ($code:literal, $sev:ident, $title:literal),)*) => {
+        /// A stable diagnostic code.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum Code {
+            $(#[doc = $title] $variant,)*
+        }
+
+        impl Code {
+            /// The stable `L....` identifier.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Code::$variant => $code,)*
+                }
+            }
+
+            /// The default severity of this code.
+            pub fn severity(self) -> Severity {
+                match self {
+                    $(Code::$variant => Severity::$sev,)*
+                }
+            }
+
+            /// A one-line description of what the code means.
+            pub fn title(self) -> &'static str {
+                match self {
+                    $(Code::$variant => $title,)*
+                }
+            }
+
+            /// All defined codes, in order.
+            pub fn all() -> &'static [Code] {
+                &[$(Code::$variant,)*]
+            }
+        }
+    };
+}
+
+codes! {
+    // -- well-formedness (L000x) ----------------------------------------
+    IteSortMismatch = ("L0001", Error,
+        "ITE control is not a formula or branch sorts disagree"),
+    EqSortMismatch = ("L0002", Error,
+        "equation operands are Boolean or of differing sorts"),
+    MemSortMismatch = ("L0003", Error,
+        "read/write operand is not (memory, term[, term])"),
+    BoolSortMismatch = ("L0004", Error,
+        "not/and/or operand is not a formula"),
+    DanglingExprId = ("L0005", Error,
+        "expression id points outside the context arena"),
+    ForwardReference = ("L0006", Error,
+        "child id is not smaller than its parent (cycle risk)"),
+    HashConsViolation = ("L0007", Error,
+        "two live nodes are structurally identical"),
+    SortTableMismatch = ("L0008", Error,
+        "recorded sort contradicts the node's structural sort"),
+    SignatureMismatch = ("L0009", Error,
+        "uninterpreted application contradicts the recorded signature"),
+    // -- Positive-Equality audit (L001x) --------------------------------
+    ForgedPTerm = ("L0010", Error,
+        "encoder treats a variable as a p-term that reaches a general equation"),
+    MissingEij = ("L0011", Error,
+        "a g-term variable pair in a reachable equation has no e_ij variable"),
+    ConservativeGVar = ("L0012", Warning,
+        "encoder treats a variable as a g-term the auditor finds positive-only"),
+    PeSummary = ("L0013", Note,
+        "Positive-Equality classification summary"),
+    // -- phase-transition invariants (L002x) ----------------------------
+    ResidualMemory = ("L0020", Error,
+        "memory operation or memory-sorted node survives memory elimination"),
+    ResidualUf = ("L0021", Error,
+        "uninterpreted application survives UF elimination"),
+    UnmappedCnfVar = ("L0022", Error,
+        "CNF variable maps back to no formula node"),
+    DoublyMappedCnfVar = ("L0023", Error,
+        "CNF variable maps back to more than one formula node"),
+    // -- rewrite-certificate replay (L003x) -----------------------------
+    MissingCertificate = ("L0030", Error,
+        "a rewritten slice has no justification certificate"),
+    RefutedObligation = ("L0031", Error,
+        "replay refuted a rewrite obligation"),
+    UndecidedObligation = ("L0032", Warning,
+        "replay could not decide a rewrite obligation"),
+    RewriteAborted = ("L0033", Error,
+        "the rewriting engine aborted with a slice diagnosis"),
+    RewriteSummary = ("L0034", Note,
+        "rewrite-certificate replay summary"),
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (normally [`Code::severity`], but summary/suppression
+    /// notes may downgrade).
+    pub severity: Severity,
+    /// Human-readable details.
+    pub message: String,
+    /// The offending expression node, when the finding is anchored to one.
+    pub node: Option<ExprId>,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in the rustc-like one-line form, e.g.
+    /// `error[L0005]: child id 99 of node 7 is dangling @ node 7`.
+    pub fn render(&self) -> String {
+        match self.node {
+            Some(id) => format!(
+                "{}[{}]: {} @ node {}",
+                self.severity.as_str(),
+                self.code,
+                self.message,
+                id.index()
+            ),
+            None => format!(
+                "{}[{}]: {}",
+                self.severity.as_str(),
+                self.code,
+                self.message
+            ),
+        }
+    }
+
+    /// Renders the diagnostic as a single JSON object (one JSONL line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":\"{}\"", self.code));
+        out.push_str(&format!(",\"severity\":\"{}\"", self.severity.as_str()));
+        out.push_str(",\"message\":\"");
+        out.push_str(&escape_json(&self.message));
+        out.push('"');
+        if let Some(id) = self.node {
+            out.push_str(&format!(",\"node\":{}", id.index()));
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// How many diagnostics of each code are kept verbatim before further
+/// occurrences are summarized into a single note.
+pub const PER_CODE_CAP: usize = 10;
+
+/// A diagnostic collector with per-code output caps.
+///
+/// Passes emit into a `Diagnostics`; [`Diagnostics::finish`] returns the
+/// final list, appending one note per code whose emissions exceeded
+/// [`PER_CODE_CAP`] (a corrupted DAG can otherwise produce one error per
+/// node).
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+    counts: BTreeMap<Code, usize>,
+}
+
+impl Diagnostics {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits a diagnostic with no node anchor.
+    pub fn emit(&mut self, code: Code, message: String) {
+        self.emit_inner(code, message, None);
+    }
+
+    /// Emits a diagnostic anchored to an expression node.
+    pub fn emit_at(&mut self, code: Code, node: ExprId, message: String) {
+        self.emit_inner(code, message, Some(node));
+    }
+
+    fn emit_inner(&mut self, code: Code, message: String, node: Option<ExprId>) {
+        let n = self.counts.entry(code).or_insert(0);
+        *n += 1;
+        if *n <= PER_CODE_CAP {
+            self.items.push(Diagnostic {
+                code,
+                severity: code.severity(),
+                message,
+                node,
+            });
+        }
+    }
+
+    /// The number of Error-severity diagnostics emitted so far (including
+    /// capped ones).
+    pub fn error_count(&self) -> usize {
+        self.counts
+            .iter()
+            .filter(|(c, _)| c.severity() == Severity::Error)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// The diagnostics collected so far (capped view).
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Finalizes the collection, appending suppression notes for codes that
+    /// exceeded the per-code cap.
+    pub fn finish(mut self) -> Vec<Diagnostic> {
+        for (&code, &n) in &self.counts {
+            if n > PER_CODE_CAP {
+                self.items.push(Diagnostic {
+                    code,
+                    severity: Severity::Note,
+                    message: format!(
+                        "{} further {} diagnostics suppressed (cap {})",
+                        n - PER_CODE_CAP,
+                        code,
+                        PER_CODE_CAP
+                    ),
+                    node: None,
+                });
+            }
+        }
+        self.items
+    }
+}
+
+/// Counts the Error-severity entries in a finished diagnostic list.
+pub fn error_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}
+
+/// Renders a finished diagnostic list one per line.
+pub fn render_all(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        let all = Code::all();
+        assert!(all.len() >= 10, "ISSUE requires >= 10 stable codes");
+        let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), all.len(), "codes must be unique");
+        assert_eq!(Code::DanglingExprId.as_str(), "L0005");
+        assert_eq!(Code::ForgedPTerm.severity(), Severity::Error);
+        assert_eq!(Code::ConservativeGVar.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn per_code_cap_suppresses_with_note() {
+        let mut diags = Diagnostics::new();
+        for i in 0..(PER_CODE_CAP + 5) {
+            diags.emit(Code::DanglingExprId, format!("bad {i}"));
+        }
+        assert_eq!(diags.error_count(), PER_CODE_CAP + 5);
+        let done = diags.finish();
+        assert_eq!(done.len(), PER_CODE_CAP + 1);
+        let last = done.last().expect("suppression note");
+        assert_eq!(last.severity, Severity::Note);
+        assert!(last.message.contains("5 further"));
+        assert_eq!(error_count(&done), PER_CODE_CAP);
+    }
+
+    #[test]
+    fn json_escapes_and_renders() {
+        let d = Diagnostic {
+            code: Code::HashConsViolation,
+            severity: Severity::Error,
+            message: "dup \"eq\"\nnode".to_owned(),
+            node: Some(ExprId::from_index(7)),
+        };
+        let json = d.to_json();
+        assert!(json.contains("\"code\":\"L0007\""));
+        assert!(json.contains("\\\"eq\\\"\\n"));
+        assert!(json.contains("\"node\":7"));
+        assert!(d.render().starts_with("error[L0007]:"));
+        assert!(d.render().ends_with("@ node 7"));
+    }
+}

@@ -1,0 +1,58 @@
+//! rob-lint: static analysis and invariant audits for the EUFM→SAT
+//! translation pipeline.
+//!
+//! Every `Verified` verdict produced by this workspace rests on a chain of
+//! formula transformations — memory elimination, polarity classification,
+//! UF elimination, Positive-Equality encoding, Tseitin translation — each
+//! sound only under side conditions that the pipeline's own code is
+//! trusted to maintain. This crate turns that trust into machine-checked
+//! evidence: a battery of independent analysis passes audits each phase's
+//! output and reports structured diagnostics with stable codes.
+//!
+//! The four pass families:
+//!
+//! 1. **Well-formedness** ([`wf`]) — sort discipline, dangling-id
+//!    detection, acyclicity, hash-consing integrity, UF signatures.
+//! 2. **Positive-Equality soundness** ([`pe`]) — an independent
+//!    re-implementation of the p-term/g-term classification cross-checks
+//!    the encoder's (N-version checking), and every g-term pair reachable
+//!    in an equation must have `e_ij` coverage.
+//! 3. **Phase-transition invariants** ([`phase`]) — memory and UF
+//!    elimination must leave no residue; Tseitin variable accounting maps
+//!    every CNF variable back to exactly one origin.
+//! 4. **Rewrite audit** ([`rewrite`]) — the rewriting engine's deleted
+//!    update pairs are justified by certificates, replayed here with
+//!    independent machinery.
+//!
+//! The pipeline wires these in behind `evc::CheckOptions::audit` (on under
+//! `debug_assertions`); the `lint` CLI binary in the `rob-verify` crate
+//! runs the battery over any `(N, k, strategy, bug)` configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use eufm::Context;
+//! use lint::{wf, Diagnostics};
+//!
+//! let mut ctx = Context::new();
+//! let a = ctx.tvar("a");
+//! let b = ctx.tvar("b");
+//! let eq = ctx.eq(a, b);
+//! let mut diags = Diagnostics::new();
+//! wf::check(&ctx, &[eq], &mut diags);
+//! assert_eq!(lint::error_count(&diags.finish()), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod pe;
+pub mod phase;
+pub mod rewrite;
+pub mod wf;
+
+pub use diag::{error_count, render_all, Code, Diagnostic, Diagnostics, Severity};
+pub use pe::{ElimScheme, PeAuditInput};
+pub use phase::MemDiscipline;
+pub use rewrite::{Certificate, Obligation, RewriteCertificate};

@@ -1,0 +1,313 @@
+//! Positive-Equality soundness audit (N-version checking).
+//!
+//! The encoder's soundness rests on the Bryant–German–Velev classification:
+//! a term variable may be treated as a *p-term* (interpreted as maximally
+//! diverse, cross-comparisons folded to `false`) only if it never reaches a
+//! negative or dual-polarity equation. This pass re-derives the
+//! classification **independently** from the pre-elimination formula —
+//! deliberately not sharing code with `eufm::polarity` — and diffs it
+//! against the classification the encoder actually used:
+//!
+//! - a variable the auditor requires to be a g-term but the encoder treated
+//!   as a p-term is a soundness hole (`L0010`);
+//! - a variable the encoder conservatively promoted to g-term that the
+//!   auditor finds positive-only costs completeness, not soundness
+//!   (`L0012`);
+//! - every distinct pair of g-term variables meeting in a reachable
+//!   equation must be covered by an `e_ij` encoding variable (`L0011`).
+//!
+//! The auditor mirrors the *driver's* classification spec: the polarity
+//! analysis runs on the formula **before** UF elimination, and fresh
+//! variables introduced by nested-ITE elimination inherit g-ness from their
+//! originating function symbol. Re-analyzing the post-elimination formula
+//! instead would be wrong — elimination guards place argument equations in
+//! ITE controls (dual polarity), yet treating the eliminated p-variables as
+//! maximally diverse remains sound.
+
+use std::collections::{HashMap, HashSet};
+
+use eufm::{Context, ExprId, Node, Sort, Symbol};
+
+use crate::diag::{Code, Diagnostics};
+
+/// Which UF-elimination scheme produced the encoded formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElimScheme {
+    /// Nested-ITE elimination: fresh variables guarded by argument
+    /// equations in ITE controls.
+    NestedIte,
+    /// Ackermann expansion: fresh variables plus explicit functional
+    /// consistency constraints.
+    Ackermann,
+}
+
+/// Everything the audit needs about one encoder run.
+#[derive(Debug, Clone, Copy)]
+pub struct PeAuditInput<'a> {
+    /// The formula after memory elimination, before UF elimination — the
+    /// input the classification is derived from.
+    pub pre_elim: ExprId,
+    /// The UF-elimination scheme used.
+    pub scheme: ElimScheme,
+    /// The formula after UF elimination — the encoder's actual input.
+    pub encoded: ExprId,
+    /// Fresh variables introduced by UF elimination, keyed by the function
+    /// symbol they replaced.
+    pub fresh_vars: &'a HashMap<ExprId, Symbol>,
+    /// The classification the encoder used (its g-term variable set).
+    pub gvars: &'a HashSet<ExprId>,
+    /// The `e_ij` table the encoder produced: `(smaller, larger, eij)`
+    /// triples over canonical variable pairs.
+    pub eij: &'a [(ExprId, ExprId, ExprId)],
+}
+
+/// Runs the Positive-Equality audit.
+pub fn check(ctx: &Context, input: &PeAuditInput<'_>, diags: &mut Diagnostics) {
+    let auditor = classify(ctx, input.pre_elim);
+    let mut required: HashSet<ExprId> = auditor.gvars.clone();
+    match input.scheme {
+        ElimScheme::NestedIte => {
+            for (&fresh, sym) in input.fresh_vars {
+                if auditor.gsymbols.contains(sym) {
+                    required.insert(fresh);
+                }
+            }
+        }
+        ElimScheme::Ackermann => {
+            let re = classify(ctx, input.encoded);
+            required.extend(re.gvars);
+        }
+    }
+
+    for &v in required.iter() {
+        if !input.gvars.contains(&v) {
+            diags.emit_at(
+                Code::ForgedPTerm,
+                v,
+                format!(
+                    "`{}` reaches a general equation but the encoder treats it as a p-term",
+                    var_name(ctx, v)
+                ),
+            );
+        }
+    }
+    for &v in input.gvars.iter() {
+        if !required.contains(&v) {
+            diags.emit_at(
+                Code::ConservativeGVar,
+                v,
+                format!(
+                    "encoder treats `{}` as a g-term but the auditor finds it positive-only",
+                    var_name(ctx, v)
+                ),
+            );
+        }
+    }
+
+    check_eij_coverage(ctx, input, diags);
+
+    diags.emit(
+        Code::PeSummary,
+        format!(
+            "PE audit: {} g-term vars required, {} used by encoder, {} e_ij vars",
+            required.len(),
+            input.gvars.len(),
+            input.eij.len()
+        ),
+    );
+}
+
+fn var_name(ctx: &Context, v: ExprId) -> String {
+    match ctx.try_node(v) {
+        Some(Node::Var(sym, _)) => ctx.name(*sym).to_owned(),
+        Some(other) => format!("non-var `{}` node {}", other.kind_name(), v.index()),
+        None => format!("dangling node {}", v.index()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Independent classification
+// ---------------------------------------------------------------------
+
+const POS: u8 = 0b01;
+const NEG: u8 = 0b10;
+
+struct Classified {
+    /// Term and memory variables that reach a general equation.
+    gvars: HashSet<ExprId>,
+    /// Function symbols whose applications reach a general equation.
+    gsymbols: HashSet<Symbol>,
+}
+
+/// Re-derives the g-term classification of `root` from scratch.
+///
+/// Phase 1 computes, for every equation node, the cumulative polarity mask
+/// under which it is observed (negation flips, ITE controls and UF
+/// arguments force both polarities, equations propagate their own
+/// cumulative mask into their operands). Phase 2 collects the ITE-branch
+/// value leaves of every *general* equation (mask includes the negative
+/// bit): term and memory variables become g-vars, function applications
+/// contribute their symbol.
+fn classify(ctx: &Context, root: ExprId) -> Classified {
+    let mut seen: HashMap<ExprId, u8> = HashMap::new();
+    let mut eq_mask: HashMap<ExprId, u8> = HashMap::new();
+    let mut work: Vec<(ExprId, u8)> = vec![(root, POS)];
+    while let Some((id, pol)) = work.pop() {
+        let entry = seen.entry(id).or_insert(0);
+        if *entry & pol == pol {
+            continue;
+        }
+        *entry |= pol;
+        let node = match ctx.try_node(id) {
+            Some(n) => n,
+            None => continue, // the WF pass reports dangling ids
+        };
+        let flip = ((pol & POS) << 1) | ((pol & NEG) >> 1);
+        match node {
+            Node::True | Node::False | Node::Var(..) => {}
+            Node::Not(a) => work.push((*a, flip)),
+            Node::And(xs) | Node::Or(xs) => {
+                for &x in xs.iter() {
+                    work.push((x, pol));
+                }
+            }
+            Node::Ite(c, t, e) => {
+                work.push((*c, POS | NEG));
+                work.push((*t, pol));
+                work.push((*e, pol));
+            }
+            Node::Uf(_, args, _) => {
+                for &a in args.iter() {
+                    work.push((a, POS | NEG));
+                }
+            }
+            Node::Eq(a, b) => {
+                let m = eq_mask.entry(id).or_insert(0);
+                *m |= pol;
+                let m = *m;
+                work.push((*a, m));
+                work.push((*b, m));
+            }
+            Node::Read(m, a) => {
+                work.push((*m, pol));
+                work.push((*a, POS | NEG));
+            }
+            Node::Write(m, a, d) => {
+                work.push((*m, pol));
+                work.push((*a, POS | NEG));
+                work.push((*d, pol));
+            }
+        }
+    }
+
+    let mut out = Classified {
+        gvars: HashSet::new(),
+        gsymbols: HashSet::new(),
+    };
+    for (&eq, &mask) in &eq_mask {
+        if mask & NEG == 0 {
+            continue; // positive-only equation
+        }
+        if let Some(Node::Eq(a, b)) = ctx.try_node(eq) {
+            for leaf in value_leaves(ctx, *a)
+                .into_iter()
+                .chain(value_leaves(ctx, *b))
+            {
+                match ctx.try_node(leaf) {
+                    Some(Node::Var(_, Sort::Term)) | Some(Node::Var(_, Sort::Mem)) => {
+                        out.gvars.insert(leaf);
+                    }
+                    Some(Node::Uf(sym, _, _)) => {
+                        out.gsymbols.insert(*sym);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The value leaves of a term: descend only through ITE branches.
+fn value_leaves(ctx: &Context, root: ExprId) -> Vec<ExprId> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<ExprId> = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        match ctx.try_node(id) {
+            Some(Node::Ite(_, t, e)) => {
+                stack.push(*t);
+                stack.push(*e);
+            }
+            Some(_) => out.push(id),
+            None => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// e_ij coverage
+// ---------------------------------------------------------------------
+
+/// Checks that every distinct g-var pair the encoder's `eq` recursion can
+/// reach is covered by an `e_ij` variable.
+///
+/// The recursion is mirrored exactly — including the `a == b` early exit —
+/// because a naive leaves(a) × leaves(b) cross-product over-approximates
+/// the visited pairs and would report spurious gaps. Coverage is checked
+/// one-directionally: transitivity fill edges legitimately allocate extra
+/// `e_ij` variables that never appear in a formula equation.
+fn check_eij_coverage(ctx: &Context, input: &PeAuditInput<'_>, diags: &mut Diagnostics) {
+    let covered: HashSet<(ExprId, ExprId)> = input.eij.iter().map(|&(a, b, _)| (a, b)).collect();
+    let mut visited: HashSet<(ExprId, ExprId)> = HashSet::new();
+    let mut reported: HashSet<(ExprId, ExprId)> = HashSet::new();
+    for eq in ctx.reachable(&[input.encoded]) {
+        let (a, b) = match ctx.try_node(eq) {
+            Some(Node::Eq(a, b)) => (*a, *b),
+            _ => continue,
+        };
+        let mut stack = vec![(a, b)];
+        while let Some((a, b)) = stack.pop() {
+            if a == b {
+                continue;
+            }
+            let key = if a <= b { (a, b) } else { (b, a) };
+            if !visited.insert(key) {
+                continue;
+            }
+            match (ctx.try_node(a), ctx.try_node(b)) {
+                (Some(Node::Ite(_, t, e)), _) => {
+                    stack.push((*t, b));
+                    stack.push((*e, b));
+                }
+                (_, Some(Node::Ite(_, t, e))) => {
+                    stack.push((a, *t));
+                    stack.push((a, *e));
+                }
+                (Some(Node::Var(..)), Some(Node::Var(..)))
+                    if input.gvars.contains(&key.0)
+                        && input.gvars.contains(&key.1)
+                        && !covered.contains(&key)
+                        && reported.insert(key) =>
+                {
+                    diags.emit_at(
+                        Code::MissingEij,
+                        eq,
+                        format!(
+                            "g-term pair (`{}`, `{}`) has no e_ij variable",
+                            var_name(ctx, key.0),
+                            var_name(ctx, key.1)
+                        ),
+                    );
+                }
+                // Non-variable leaves (residual UFs, memories) are the
+                // phase passes' findings, not coverage gaps.
+                _ => {}
+            }
+        }
+    }
+}

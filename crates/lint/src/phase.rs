@@ -1,0 +1,182 @@
+//! Phase-transition invariants of the translation pipeline.
+//!
+//! Each pipeline phase promises to eliminate a syntactic class entirely;
+//! these passes check the promise on the phase's output:
+//!
+//! - after memory elimination, no `read`/`write` node remains — and under
+//!   the exact (forwarding) model no memory-sorted node at all (`L0020`);
+//! - after UF elimination, no uninterpreted application remains (`L0021`);
+//! - after Tseitin translation, every CNF variable is accounted for by
+//!   exactly one origin: an input variable, a gate definition, or the
+//!   constant variable (`L0022` unmapped, `L0023` doubly mapped).
+
+use eufm::{Context, ExprId, Node, Sort};
+use sat::Translation;
+
+use crate::diag::{Code, Diagnostics};
+
+/// What memory elimination promised to remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemDiscipline {
+    /// The forwarding (exact) model: no memory-sorted node of any kind may
+    /// survive.
+    Exact,
+    /// The conservative abstraction: `read`/`write` nodes must be gone,
+    /// but memory-sorted variables and uninterpreted memory transformers
+    /// legitimately remain.
+    Conservative,
+}
+
+/// Checks the post-memory-elimination invariant on `root`.
+pub fn check_memory_free(
+    ctx: &Context,
+    root: ExprId,
+    discipline: MemDiscipline,
+    diags: &mut Diagnostics,
+) {
+    for id in ctx.reachable(&[root]) {
+        match ctx.try_node(id) {
+            Some(node @ (Node::Read(..) | Node::Write(..))) => {
+                diags.emit_at(
+                    Code::ResidualMemory,
+                    id,
+                    format!(
+                        "`{}` node {} survives memory elimination",
+                        node.kind_name(),
+                        id.index()
+                    ),
+                );
+            }
+            Some(node)
+                if discipline == MemDiscipline::Exact && ctx.try_sort(id) == Some(Sort::Mem) =>
+            {
+                diags.emit_at(
+                    Code::ResidualMemory,
+                    id,
+                    format!(
+                        "memory-sorted `{}` node {} survives exact memory elimination",
+                        node.kind_name(),
+                        id.index()
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Checks the post-UF-elimination invariant on `root`.
+pub fn check_uf_free(ctx: &Context, root: ExprId, diags: &mut Diagnostics) {
+    for id in ctx.reachable(&[root]) {
+        if let Some(Node::Uf(sym, _, _)) = ctx.try_node(id) {
+            diags.emit_at(
+                Code::ResidualUf,
+                id,
+                format!(
+                    "application of `{}` survives UF elimination",
+                    ctx.name(*sym)
+                ),
+            );
+        }
+    }
+}
+
+/// Checks Tseitin variable accounting: every CNF variable must trace back
+/// to exactly one origin — a primary input (`var_map`), a gate definition
+/// (`gate_map`), or the constant variable.
+pub fn check_cnf_accounting(translation: &Translation, diags: &mut Diagnostics) {
+    let mut origins = vec![0usize; translation.cnf.num_vars()];
+    let mut count = |index: usize| {
+        if index < origins.len() {
+            origins[index] += 1;
+        }
+    };
+    for &v in translation.var_map.values() {
+        count(v.index());
+    }
+    for &v in translation.gate_map.keys() {
+        count(v.index());
+    }
+    if let Some(v) = translation.const_var {
+        count(v.index());
+    }
+    for (index, &n) in origins.iter().enumerate() {
+        if n == 0 {
+            diags.emit(
+                Code::UnmappedCnfVar,
+                format!("CNF variable x{index} maps back to no formula node"),
+            );
+        } else if n > 1 {
+            diags.emit(
+                Code::DoublyMappedCnfVar,
+                format!("CNF variable x{index} has {n} origins"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::error_count;
+
+    #[test]
+    fn residual_memory_and_uf_are_flagged() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let r = ctx.read(m, a);
+        let fa = ctx.uf("f", vec![a]);
+        let root = ctx.eq(r, fa);
+        let mut diags = Diagnostics::new();
+        check_memory_free(&ctx, root, MemDiscipline::Exact, &mut diags);
+        check_uf_free(&ctx, root, &mut diags);
+        let done = diags.finish();
+        assert!(done.iter().any(|d| d.code == Code::ResidualMemory));
+        assert!(done.iter().any(|d| d.code == Code::ResidualUf));
+    }
+
+    #[test]
+    fn conservative_discipline_tolerates_mem_sorted_nodes() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let rd = ctx.apply("rd!", vec![m, a], Sort::Term);
+        let b = ctx.tvar("b");
+        let root = ctx.eq(rd, b);
+        let mut diags = Diagnostics::new();
+        check_memory_free(&ctx, root, MemDiscipline::Conservative, &mut diags);
+        assert_eq!(error_count(&diags.clone().finish()), 0);
+        // but the exact discipline rejects the memory variable
+        let mut diags = Diagnostics::new();
+        check_memory_free(&ctx, root, MemDiscipline::Exact, &mut diags);
+        assert!(diags.items().iter().any(|d| d.code == Code::ResidualMemory));
+    }
+
+    #[test]
+    fn cnf_accounting_catches_unmapped_vars() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let y = ctx.pvar("y");
+        let root = ctx.and2(x, y);
+        let mut tr = sat::tseitin::translate(&ctx, root, sat::Mode::Full, sat::Phase::Both)
+            .expect("translate");
+        let mut diags = Diagnostics::new();
+        check_cnf_accounting(&tr, &mut diags);
+        assert_eq!(error_count(&diags.clone().finish()), 0);
+        // forge an orphan variable
+        tr.cnf.new_var();
+        let mut diags = Diagnostics::new();
+        check_cnf_accounting(&tr, &mut diags);
+        assert!(diags.items().iter().any(|d| d.code == Code::UnmappedCnfVar));
+        // forge a duplicate origin
+        let stolen = *tr.var_map.values().next().expect("has inputs");
+        tr.gate_map.insert(stolen, root);
+        let mut diags = Diagnostics::new();
+        check_cnf_accounting(&tr, &mut diags);
+        assert!(diags
+            .items()
+            .iter()
+            .any(|d| d.code == Code::DoublyMappedCnfVar));
+    }
+}

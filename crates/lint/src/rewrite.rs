@@ -1,0 +1,264 @@
+//! Rewrite justification certificates and their replay.
+//!
+//! Velev's rewriting rules delete update pairs from the implementation's
+//! register-file chain when the engine proves them equal to the
+//! specification's. Each such proof step is recorded as a [`Certificate`]
+//! carrying the discharged [`Obligation`]; this module replays the
+//! certificates with independent machinery (a fresh SAT check for
+//! propositional obligations, the sampling oracle for EUFM obligations)
+//! and reports:
+//!
+//! - `L0030` — a rewritten slice carries no certificate at all;
+//! - `L0031` — replay *refuted* an obligation (a concrete counterexample
+//!   or a SAT model exists);
+//! - `L0032` — replay could not run an obligation's check;
+//! - `L0034` — a summary note.
+//!
+//! Replay refutes only on definite evidence, so a sound engine can never
+//! be false-flagged: the sampling oracle reports invalid only on a
+//! concrete counterexample, and the SAT check is complete for the
+//! propositional obligations.
+
+use eufm::{oracle, Context, ExprId};
+use sat::solver::Solver;
+use sat::{Mode, Phase};
+
+use crate::diag::{Code, Diagnostics};
+
+/// Samples used per EUFM obligation during replay.
+const REPLAY_SAMPLES: u64 = 512;
+/// Domain size for sampled term interpretations during replay.
+const REPLAY_DOMAIN: u64 = 8;
+
+/// A single proof obligation discharged by the rewriting engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Obligation {
+    /// The propositional formula is valid.
+    PropValid(ExprId),
+    /// The two propositional formulas are never simultaneously true.
+    PropDisjoint(ExprId, ExprId),
+    /// The two expressions are the same hash-consed node.
+    Identical(ExprId, ExprId),
+    /// The EUFM formula is valid.
+    EufmValid(ExprId),
+}
+
+/// One justification step: which slice, which rewriting rule, what was
+/// being established, and the obligation that established it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// 1-based slice index; 0 for cross-slice (global) obligations.
+    pub slice: usize,
+    /// The rewriting rule that generated the obligation (`"R1"`–`"R5"`).
+    pub rule: &'static str,
+    /// What the obligation establishes, in engine terms.
+    pub what: String,
+    /// The recorded obligation.
+    pub obligation: Obligation,
+}
+
+/// The full justification record of one rewrite run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteCertificate {
+    /// Number of update slices in the implementation chain.
+    pub slices: usize,
+    /// Number of update pairs the rewrite deleted (retirement pairs).
+    pub deleted_pairs: usize,
+    /// Every obligation the engine discharged, in discharge order.
+    ///
+    /// Obligations are recorded *before* they are checked, so a failed run
+    /// still certifies which obligation it died on.
+    pub certificates: Vec<Certificate>,
+}
+
+impl RewriteCertificate {
+    /// Records an obligation.
+    pub fn record(&mut self, slice: usize, rule: &'static str, what: String, ob: Obligation) {
+        self.certificates.push(Certificate {
+            slice,
+            rule,
+            what,
+            obligation: ob,
+        });
+    }
+}
+
+/// Replays every certificate and checks per-slice coverage.
+///
+/// Takes `&mut Context` because disjointness obligations rebuild the
+/// conjunction to refute; all constructed nodes are garbage outside the
+/// audited formula.
+pub fn replay(ctx: &mut Context, cert: &RewriteCertificate, diags: &mut Diagnostics) {
+    for slice in 1..=cert.slices {
+        if !cert.certificates.iter().any(|c| c.slice == slice) {
+            diags.emit(
+                Code::MissingCertificate,
+                format!(
+                    "slice {slice} of {} has no justification certificate",
+                    cert.slices
+                ),
+            );
+        }
+    }
+
+    let mut refuted = 0usize;
+    for c in &cert.certificates {
+        let verdict = replay_one(ctx, &c.obligation);
+        match verdict {
+            Replay::Holds => {}
+            Replay::Refuted(why) => {
+                refuted += 1;
+                diags.emit(
+                    Code::RefutedObligation,
+                    format!("slice {} rule {}: {} — {}", c.slice, c.rule, c.what, why),
+                );
+            }
+            Replay::Undecided(why) => {
+                diags.emit(
+                    Code::UndecidedObligation,
+                    format!("slice {} rule {}: {} — {}", c.slice, c.rule, c.what, why),
+                );
+            }
+        }
+    }
+
+    diags.emit(
+        Code::RewriteSummary,
+        format!(
+            "rewrite audit: {} slices, {} deleted pairs, {} obligations replayed, {} refuted",
+            cert.slices,
+            cert.deleted_pairs,
+            cert.certificates.len(),
+            refuted
+        ),
+    );
+}
+
+enum Replay {
+    Holds,
+    Refuted(String),
+    Undecided(String),
+}
+
+fn replay_one(ctx: &mut Context, ob: &Obligation) -> Replay {
+    match *ob {
+        Obligation::Identical(a, b) => {
+            if a == b {
+                Replay::Holds
+            } else {
+                Replay::Refuted(format!(
+                    "nodes {} and {} are not identical",
+                    a.index(),
+                    b.index()
+                ))
+            }
+        }
+        Obligation::PropValid(goal) => prop_valid(ctx, goal),
+        Obligation::PropDisjoint(a, b) => {
+            let conj = ctx.and2(a, b);
+            let goal = ctx.not(conj);
+            prop_valid(ctx, goal)
+        }
+        Obligation::EufmValid(goal) => {
+            if oracle::check_sampled_with_domain(ctx, goal, REPLAY_SAMPLES, REPLAY_DOMAIN)
+                .is_invalid()
+            {
+                Replay::Refuted("sampling oracle found a counterexample".to_owned())
+            } else {
+                Replay::Holds
+            }
+        }
+    }
+}
+
+fn prop_valid(ctx: &Context, goal: ExprId) -> Replay {
+    match sat::tseitin::translate(ctx, goal, Mode::Full, Phase::Negative) {
+        Ok(mut tr) => {
+            tr.assert_negated_root();
+            let mut solver = Solver::from_cnf(&tr.cnf);
+            if solver.solve().is_unsat() {
+                Replay::Holds
+            } else {
+                Replay::Refuted("negation is satisfiable".to_owned())
+            }
+        }
+        Err(e) => Replay::Undecided(format!("not propositional: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::error_count;
+
+    fn run(ctx: &mut Context, cert: &RewriteCertificate) -> Vec<crate::Diagnostic> {
+        let mut diags = Diagnostics::new();
+        replay(ctx, cert, &mut diags);
+        diags.finish()
+    }
+
+    #[test]
+    fn sound_certificates_replay_clean() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let nx = ctx.not(x);
+        let taut = ctx.or2(x, nx);
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let prem = ctx.eq(a, b);
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let concl = ctx.eq(fa, fb);
+        let fc = ctx.implies(prem, concl);
+        let mut cert = RewriteCertificate {
+            slices: 2,
+            deleted_pairs: 1,
+            certificates: Vec::new(),
+        };
+        cert.record(1, "R2", "taut".into(), Obligation::PropValid(taut));
+        cert.record(1, "R1", "disjoint".into(), Obligation::PropDisjoint(x, nx));
+        cert.record(2, "R3", "same".into(), Obligation::Identical(fa, fa));
+        cert.record(
+            2,
+            "R5",
+            "func-consistency".into(),
+            Obligation::EufmValid(fc),
+        );
+        let diags = run(&mut ctx, &cert);
+        assert_eq!(error_count(&diags), 0, "{}", crate::render_all(&diags));
+        assert!(diags.iter().any(|d| d.code == Code::RewriteSummary));
+    }
+
+    #[test]
+    fn refuted_and_missing_certificates_are_flagged() {
+        let mut ctx = Context::new();
+        let x = ctx.pvar("x");
+        let y = ctx.pvar("y");
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let not_valid = ctx.or2(x, y);
+        let eq = ctx.eq(a, b);
+        let mut cert = RewriteCertificate {
+            slices: 3,
+            deleted_pairs: 0,
+            certificates: Vec::new(),
+        };
+        cert.record(
+            1,
+            "R2",
+            "contingent".into(),
+            Obligation::PropValid(not_valid),
+        );
+        cert.record(1, "R1", "overlap".into(), Obligation::PropDisjoint(x, x));
+        cert.record(2, "R3", "different".into(), Obligation::Identical(a, b));
+        cert.record(2, "R4", "not equal".into(), Obligation::EufmValid(eq));
+        // slice 3 left uncovered
+        let diags = run(&mut ctx, &cert);
+        let refuted = diags
+            .iter()
+            .filter(|d| d.code == Code::RefutedObligation)
+            .count();
+        assert_eq!(refuted, 4);
+        assert!(diags.iter().any(|d| d.code == Code::MissingCertificate));
+    }
+}

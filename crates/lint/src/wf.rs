@@ -1,0 +1,310 @@
+//! Well-formedness pass over the expression DAG.
+//!
+//! Checks, for every node reachable from the audited roots:
+//!
+//! - **sorts** — ITE controls are formulas and branch sorts agree
+//!   (`L0001`), equation operands are same-sorted non-Boolean (`L0002`),
+//!   `read`/`write` operands are (memory, term\[, term\]) (`L0003`),
+//!   Boolean connectives take formulas (`L0004`), and the context's sort
+//!   table agrees with each node's structural sort (`L0008`);
+//! - **referential integrity** — no child id points outside the arena
+//!   (`L0005`) and every child id is strictly smaller than its parent,
+//!   which is how the append-only arena encodes acyclicity (`L0006`);
+//! - **hash-consing** — no two live nodes are structurally identical
+//!   (`L0007`);
+//! - **signatures** — every uninterpreted application matches the
+//!   signature recorded for its symbol (`L0009`).
+//!
+//! The pass never panics on corrupted DAGs: dangling children are reported
+//! and skipped rather than dereferenced.
+
+use std::collections::HashMap;
+
+use eufm::{Context, ExprId, Node, Sort};
+
+use crate::diag::{Code, Diagnostics};
+
+/// Runs the well-formedness battery over the sub-DAG of `roots`.
+pub fn check(ctx: &Context, roots: &[ExprId], diags: &mut Diagnostics) {
+    let mut live: HashMap<Node, ExprId> = HashMap::new();
+    for id in ctx.reachable(roots) {
+        let node = match ctx.try_node(id) {
+            Some(node) => node,
+            None => {
+                diags.emit_at(
+                    Code::DanglingExprId,
+                    id,
+                    format!(
+                        "expression id {} exceeds the arena (len {})",
+                        id.index(),
+                        ctx.len()
+                    ),
+                );
+                continue;
+            }
+        };
+        // referential integrity
+        let mut children = Vec::new();
+        node.for_each_child(|c| children.push(c));
+        let mut dangling_child = false;
+        for &c in &children {
+            if ctx.try_node(c).is_none() {
+                diags.emit_at(
+                    Code::DanglingExprId,
+                    id,
+                    format!(
+                        "child id {} of `{}` node {} is dangling",
+                        c.index(),
+                        node.kind_name(),
+                        id.index()
+                    ),
+                );
+                dangling_child = true;
+            } else if c.index() >= id.index() {
+                diags.emit_at(
+                    Code::ForwardReference,
+                    id,
+                    format!(
+                        "child id {} of `{}` node {} is not strictly smaller",
+                        c.index(),
+                        node.kind_name(),
+                        id.index()
+                    ),
+                );
+            }
+        }
+        // hash-consing integrity
+        if let Some(&prev) = live.get(node) {
+            diags.emit_at(
+                Code::HashConsViolation,
+                id,
+                format!(
+                    "node {} duplicates node {} (`{}`)",
+                    id.index(),
+                    prev.index(),
+                    node.kind_name()
+                ),
+            );
+        } else {
+            live.insert(node.clone(), id);
+        }
+        if !dangling_child {
+            check_sorts(ctx, id, node, diags);
+        }
+    }
+}
+
+/// Per-node sort discipline. All children are known to be in bounds.
+fn check_sorts(ctx: &Context, id: ExprId, node: &Node, diags: &mut Diagnostics) {
+    let recorded = match ctx.try_sort(id) {
+        Some(s) => s,
+        None => return, // already reported as dangling
+    };
+    let child = |c: ExprId| ctx.try_sort(c).expect("child in bounds");
+    let mut structural: Option<Sort> = None;
+    match node {
+        Node::True | Node::False => structural = Some(Sort::Bool),
+        Node::Var(_, s) => structural = Some(*s),
+        Node::Not(a) => {
+            if child(*a) != Sort::Bool {
+                diags.emit_at(
+                    Code::BoolSortMismatch,
+                    id,
+                    format!("`not` operand {} has sort {:?}", a.index(), child(*a)),
+                );
+            }
+            structural = Some(Sort::Bool);
+        }
+        Node::And(xs) | Node::Or(xs) => {
+            for &x in xs.iter() {
+                if child(x) != Sort::Bool {
+                    diags.emit_at(
+                        Code::BoolSortMismatch,
+                        id,
+                        format!(
+                            "`{}` operand {} has sort {:?}",
+                            node.kind_name(),
+                            x.index(),
+                            child(x)
+                        ),
+                    );
+                }
+            }
+            structural = Some(Sort::Bool);
+        }
+        Node::Ite(c, t, e) => {
+            if child(*c) != Sort::Bool {
+                diags.emit_at(
+                    Code::IteSortMismatch,
+                    id,
+                    format!("ITE control {} has sort {:?}", c.index(), child(*c)),
+                );
+            }
+            if child(*t) != child(*e) {
+                diags.emit_at(
+                    Code::IteSortMismatch,
+                    id,
+                    format!("ITE branches disagree: {:?} vs {:?}", child(*t), child(*e)),
+                );
+            } else {
+                structural = Some(child(*t));
+            }
+        }
+        Node::Eq(a, b) => {
+            if child(*a) != child(*b) || child(*a) == Sort::Bool {
+                diags.emit_at(
+                    Code::EqSortMismatch,
+                    id,
+                    format!("equation over sorts {:?} and {:?}", child(*a), child(*b)),
+                );
+            }
+            structural = Some(Sort::Bool);
+        }
+        Node::Read(m, a) => {
+            if child(*m) != Sort::Mem || child(*a) != Sort::Term {
+                diags.emit_at(
+                    Code::MemSortMismatch,
+                    id,
+                    format!("`read` over sorts ({:?}, {:?})", child(*m), child(*a)),
+                );
+            }
+            structural = Some(Sort::Term);
+        }
+        Node::Write(m, a, d) => {
+            if child(*m) != Sort::Mem || child(*a) != Sort::Term || child(*d) != Sort::Term {
+                diags.emit_at(
+                    Code::MemSortMismatch,
+                    id,
+                    format!(
+                        "`write` over sorts ({:?}, {:?}, {:?})",
+                        child(*m),
+                        child(*a),
+                        child(*d)
+                    ),
+                );
+            }
+            structural = Some(Sort::Mem);
+        }
+        Node::Uf(sym, args, result) => {
+            structural = Some(*result);
+            match ctx.signature(*sym) {
+                Some((sig_args, sig_res)) => {
+                    let arg_sorts: Vec<Sort> = args.iter().map(|&a| child(a)).collect();
+                    if sig_args != arg_sorts.as_slice() || sig_res != *result {
+                        diags.emit_at(
+                            Code::SignatureMismatch,
+                            id,
+                            format!(
+                                "application of `{}` has signature {:?} -> {:?}, recorded {:?} -> {:?}",
+                                ctx.name(*sym),
+                                arg_sorts,
+                                result,
+                                sig_args,
+                                sig_res
+                            ),
+                        );
+                    }
+                }
+                None => {
+                    diags.emit_at(
+                        Code::SignatureMismatch,
+                        id,
+                        format!("`{}` has no recorded signature", ctx.name(*sym)),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(s) = structural {
+        if s != recorded {
+            diags.emit_at(
+                Code::SortTableMismatch,
+                id,
+                format!(
+                    "`{}` node {} is structurally {:?} but recorded as {:?}",
+                    node.kind_name(),
+                    id.index(),
+                    s,
+                    recorded
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::error_count;
+
+    fn run(ctx: &Context, roots: &[ExprId]) -> Vec<crate::Diagnostic> {
+        let mut diags = Diagnostics::new();
+        check(ctx, roots, &mut diags);
+        diags.finish()
+    }
+
+    #[test]
+    fn well_formed_formula_is_clean() {
+        let mut ctx = Context::new();
+        let m = ctx.mvar("m");
+        let a = ctx.tvar("a");
+        let d = ctx.tvar("d");
+        let w = ctx.write(m, a, d);
+        let r = ctx.read(w, a);
+        let fa = ctx.uf("f", vec![a]);
+        let eq = ctx.eq(r, fa);
+        let p = ctx.pvar("p");
+        let root = ctx.ite(p, eq, Context::TRUE);
+        let diags = run(&ctx, &[root]);
+        assert_eq!(error_count(&diags), 0, "{}", crate::render_all(&diags));
+    }
+
+    #[test]
+    fn dangling_id_is_flagged() {
+        let mut ctx = Context::new();
+        let dangling = ExprId::from_index(ctx.len() + 3);
+        let bad = ctx.insert_unchecked(Node::Not(dangling), Sort::Bool);
+        let diags = run(&ctx, &[bad]);
+        assert!(diags.iter().any(|d| d.code == Code::DanglingExprId));
+        // the dangling id itself is reported once more as a yielded node
+        assert!(error_count(&diags) >= 1);
+    }
+
+    #[test]
+    fn sort_swap_is_flagged_as_ite_mismatch() {
+        let mut ctx = Context::new();
+        let t = ctx.tvar("t");
+        let x = ctx.tvar("x");
+        let y = ctx.tvar("y");
+        // term-sorted control: ill-formed ITE
+        let bad = ctx.insert_unchecked(Node::Ite(t, x, y), Sort::Term);
+        let diags = run(&ctx, &[bad]);
+        assert!(diags.iter().any(|d| d.code == Code::IteSortMismatch));
+        assert!(!diags.iter().any(|d| d.code == Code::EqSortMismatch));
+    }
+
+    #[test]
+    fn duplicate_node_is_a_hash_cons_violation() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        let dup = ctx.insert_unchecked(Node::Eq(a, b), Sort::Bool);
+        let both = ctx.insert_unchecked(Node::And(vec![eq, dup].into_boxed_slice()), Sort::Bool);
+        let diags = run(&ctx, &[both]);
+        assert!(diags.iter().any(|d| d.code == Code::HashConsViolation));
+    }
+
+    #[test]
+    fn sort_table_lies_are_flagged() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let bad = ctx.insert_unchecked(Node::Not(Context::TRUE), Sort::Term);
+        let root = ctx.insert_unchecked(Node::And(vec![bad].into_boxed_slice()), Sort::Bool);
+        let _ = a;
+        let diags = run(&ctx, &[root]);
+        assert!(diags.iter().any(|d| d.code == Code::SortTableMismatch));
+        // the `and` sees a Term-sorted operand
+        assert!(diags.iter().any(|d| d.code == Code::BoolSortMismatch));
+    }
+}

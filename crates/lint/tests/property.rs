@@ -1,0 +1,291 @@
+//! Property-based coverage for the lint passes.
+//!
+//! Two directions, per the audit contract:
+//!
+//! - **no false alarms** — random well-formed formulas pass every pass
+//!   with zero Error diagnostics, standalone and through the fully
+//!   audited `evc` pipeline;
+//! - **no missed corruption** — targeted mutations (sort swap, dangled
+//!   id, forged p-term classification, dropped `e_ij` variable) each
+//!   trigger the expected stable code on top of arbitrary formulas.
+
+use proptest::prelude::*;
+
+use eufm::{Context, ExprId, Node, Sort};
+use evc::check::UfScheme;
+use evc::pe::Classification;
+use lint::{wf, Code, Diagnostics};
+
+// ---------------------------------------------------------------------------
+// Random formula generation (stack-machine recipes)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FormulaOp {
+    PropVar(u8),
+    EqVars(u8, u8),
+    EqUf(u8, u8),
+    Not,
+    And,
+    Or,
+    Ite,
+}
+
+fn formula_ops() -> impl Strategy<Value = Vec<FormulaOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..4).prop_map(FormulaOp::PropVar),
+            (0u8..4, 0u8..4).prop_map(|(a, b)| FormulaOp::EqVars(a, b)),
+            (0u8..4, 0u8..4).prop_map(|(a, b)| FormulaOp::EqUf(a, b)),
+            Just(FormulaOp::Not),
+            Just(FormulaOp::And),
+            Just(FormulaOp::Or),
+            Just(FormulaOp::Ite),
+        ],
+        1..40,
+    )
+}
+
+fn build_formula(ctx: &mut Context, ops: &[FormulaOp]) -> ExprId {
+    let tvars: Vec<ExprId> = (0..4).map(|i| ctx.tvar(&format!("t{i}"))).collect();
+    let mut stack: Vec<ExprId> = Vec::new();
+    for op in ops {
+        match op {
+            FormulaOp::PropVar(i) => stack.push(ctx.pvar(&format!("p{i}"))),
+            FormulaOp::EqVars(a, b) => {
+                let e = ctx.eq(tvars[*a as usize], tvars[*b as usize]);
+                stack.push(e);
+            }
+            FormulaOp::EqUf(a, b) => {
+                let fa = ctx.uf("f", vec![tvars[*a as usize]]);
+                let fb = ctx.uf("f", vec![tvars[*b as usize]]);
+                let e = ctx.eq(fa, fb);
+                stack.push(e);
+            }
+            FormulaOp::Not => {
+                if let Some(x) = stack.pop() {
+                    let n = ctx.not(x);
+                    stack.push(n);
+                }
+            }
+            FormulaOp::And => {
+                if stack.len() >= 2 {
+                    let b = stack.pop().expect("len checked");
+                    let a = stack.pop().expect("len checked");
+                    let r = ctx.and2(a, b);
+                    stack.push(r);
+                }
+            }
+            FormulaOp::Or => {
+                if stack.len() >= 2 {
+                    let b = stack.pop().expect("len checked");
+                    let a = stack.pop().expect("len checked");
+                    let r = ctx.or2(a, b);
+                    stack.push(r);
+                }
+            }
+            FormulaOp::Ite => {
+                if stack.len() >= 3 {
+                    let e = stack.pop().expect("len checked");
+                    let t = stack.pop().expect("len checked");
+                    let c = stack.pop().expect("len checked");
+                    let r = ctx.ite(c, t, e);
+                    stack.push(r);
+                }
+            }
+        }
+    }
+    let fallback = ctx.pvar("p0");
+    stack.pop().unwrap_or(fallback)
+}
+
+fn error_codes(diags: &[lint::Diagnostic]) -> Vec<Code> {
+    diags
+        .iter()
+        .filter(|d| d.severity == lint::Severity::Error)
+        .map(|d| d.code)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random well-formed formulas pass the well-formedness battery.
+    #[test]
+    fn wf_has_no_false_alarms(ops in formula_ops()) {
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &ops);
+        let mut diags = Diagnostics::new();
+        wf::check(&ctx, &[f], &mut diags);
+        let done = diags.finish();
+        prop_assert_eq!(
+            lint::error_count(&done), 0,
+            "{}", lint::render_all(&done)
+        );
+    }
+
+    /// The fully audited pipeline (well-formedness + PE cross-check +
+    /// phase invariants) is Error-free on random formulas, under both UF
+    /// elimination schemes.
+    #[test]
+    fn audited_pipeline_has_no_false_alarms(ops in formula_ops()) {
+        for scheme in [UfScheme::NestedIte, UfScheme::Ackermann] {
+            let mut ctx = Context::new();
+            let f = build_formula(&mut ctx, &ops);
+            let options = evc::CheckOptions {
+                audit: true,
+                uf_scheme: scheme,
+                ..evc::CheckOptions::default()
+            };
+            let report = evc::check_validity(&mut ctx, f, &options);
+            prop_assert_eq!(
+                lint::error_count(&report.diagnostics), 0,
+                "scheme {:?}:\n{}", scheme, lint::render_all(&report.diagnostics)
+            );
+        }
+    }
+
+    /// Grafting a node with an out-of-arena child onto any formula is
+    /// caught, and only referential-integrity codes fire.
+    #[test]
+    fn dangled_id_is_always_caught(ops in formula_ops(), offset in 1usize..32) {
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &ops);
+        let ghost = ExprId::from_index(ctx.len() + offset);
+        let bad = ctx.insert_unchecked(
+            Node::And(vec![f, ghost].into_boxed_slice()),
+            Sort::Bool,
+        );
+        let mut diags = Diagnostics::new();
+        wf::check(&ctx, &[bad], &mut diags);
+        let codes = error_codes(&diags.finish());
+        prop_assert!(codes.contains(&Code::DanglingExprId));
+        prop_assert!(
+            codes.iter().all(|c| matches!(
+                c, Code::DanglingExprId | Code::ForwardReference
+            )),
+            "unexpected codes: {codes:?}"
+        );
+    }
+
+    /// Swapping a node's recorded sort (the hash-consing tables lie) is
+    /// caught as exactly a sort-discipline violation.
+    #[test]
+    fn sort_swap_is_always_caught(ops in formula_ops()) {
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &ops);
+        // record the (Boolean) root with a Term sort
+        let lied = ctx.insert_unchecked(Node::Not(f), Sort::Term);
+        let mut diags = Diagnostics::new();
+        wf::check(&ctx, &[lied], &mut diags);
+        let codes = error_codes(&diags.finish());
+        prop_assert!(codes.contains(&Code::SortTableMismatch), "{codes:?}");
+        prop_assert!(
+            codes.iter().all(|c| matches!(
+                c, Code::SortTableMismatch | Code::HashConsViolation
+            )),
+            "unexpected codes: {codes:?}"
+        );
+    }
+
+    /// Forging the polarity classification — claiming every variable is a
+    /// p-term — is caught whenever the formula genuinely needs g-terms.
+    #[test]
+    fn forged_pterm_is_always_caught(ops in formula_ops()) {
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &ops);
+        let goal = ctx.not(f); // force negative polarity onto f's equations
+        let elim = evc::uf_elim::eliminate(&mut ctx, goal);
+        let root = elim.root;
+        // An honest audit of the honest classification must be clean; if
+        // it requires no g-vars there is nothing to forge — skip.
+        let mut honest = Diagnostics::new();
+        let required = {
+            let classes = honest_classification(&ctx, goal, &elim);
+            let encoding = evc::pe::encode(&mut ctx, root, &classes, 0)
+                .expect("encode");
+            lint::pe::check(&ctx, &lint::PeAuditInput {
+                pre_elim: goal,
+                scheme: lint::ElimScheme::NestedIte,
+                encoded: root,
+                fresh_vars: &elim.fresh_vars,
+                gvars: &classes.gvars,
+                eij: &encoding.eij,
+            }, &mut honest);
+            classes.gvars
+        };
+        let honest = honest.finish();
+        prop_assert_eq!(
+            lint::error_count(&honest), 0,
+            "{}", lint::render_all(&honest)
+        );
+        if required.is_empty() {
+            return Ok(());
+        }
+        // Forge: claim every variable is a p-term.
+        let forged = Classification::default();
+        let encoding = evc::pe::encode(&mut ctx, root, &forged, 0).expect("encode");
+        let mut diags = Diagnostics::new();
+        lint::pe::check(&ctx, &lint::PeAuditInput {
+            pre_elim: goal,
+            scheme: lint::ElimScheme::NestedIte,
+            encoded: root,
+            fresh_vars: &elim.fresh_vars,
+            gvars: &forged.gvars,
+            eij: &encoding.eij,
+        }, &mut diags);
+        let codes = error_codes(&diags.finish());
+        prop_assert!(codes.contains(&Code::ForgedPTerm), "{codes:?}");
+    }
+
+    /// Dropping the encoder's `e_ij` variables is caught whenever any
+    /// were required.
+    #[test]
+    fn dropped_eij_is_always_caught(ops in formula_ops()) {
+        let mut ctx = Context::new();
+        let f = build_formula(&mut ctx, &ops);
+        let goal = ctx.not(f);
+        let elim = evc::uf_elim::eliminate(&mut ctx, goal);
+        let root = elim.root;
+        let classes = honest_classification(&ctx, goal, &elim);
+        let encoding = evc::pe::encode(&mut ctx, root, &classes, 0).expect("encode");
+        if encoding.eij.is_empty() {
+            return Ok(()); // nothing to drop
+        }
+        let mut diags = Diagnostics::new();
+        lint::pe::check(&ctx, &lint::PeAuditInput {
+            pre_elim: goal,
+            scheme: lint::ElimScheme::NestedIte,
+            encoded: root,
+            fresh_vars: &elim.fresh_vars,
+            gvars: &classes.gvars,
+            eij: &[], // dropped
+        }, &mut diags);
+        let codes = error_codes(&diags.finish());
+        prop_assert!(codes.contains(&Code::MissingEij), "{codes:?}");
+    }
+}
+
+/// Rebuilds the driver's classification for a NestedIte elimination: the
+/// general vars of the pre-elimination formula, plus every fresh variable
+/// standing for an application of a general function symbol.
+fn honest_classification(
+    ctx: &Context,
+    pre_elim: ExprId,
+    elim: &evc::uf_elim::Elimination,
+) -> Classification {
+    let analysis = eufm::polarity::analyze(ctx, &[pre_elim]);
+    let mut gvars = analysis.gvars.clone();
+    let mut gsymbols: std::collections::HashSet<eufm::Symbol> = std::collections::HashSet::new();
+    for &gt in &analysis.gterms {
+        if let Node::Uf(sym, _, _) = ctx.node(gt) {
+            gsymbols.insert(*sym);
+        }
+    }
+    for (&var, sym) in &elim.fresh_vars {
+        if gsymbols.contains(sym) {
+            gvars.insert(var);
+        }
+    }
+    Classification { gvars }
+}

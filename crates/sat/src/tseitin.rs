@@ -66,6 +66,13 @@ pub struct Translation {
     pub cnf: Cnf,
     /// Mapping from EUFM propositional variables to CNF variables.
     pub var_map: HashMap<ExprId, Var>,
+    /// Mapping from Tseitin gate variables back to the formula node each
+    /// one defines (`and`/`or`/`ite` gates). Together with [`Self::var_map`]
+    /// and [`Self::const_var`] this accounts for every CNF variable.
+    pub gate_map: HashMap<Var, ExprId>,
+    /// The variable standing for the constant `true` (allocated only when
+    /// the formula contains a constant).
+    pub const_var: Option<Var>,
     /// The literal equivalent to the root formula.
     pub root: Lit,
 }
@@ -147,6 +154,7 @@ pub fn translate(
 
     let mut cnf = Cnf::new();
     let mut var_map: HashMap<ExprId, Var> = HashMap::new();
+    let mut gate_map: HashMap<Var, ExprId> = HashMap::new();
     let mut lit_map: HashMap<ExprId, Lit> = HashMap::new();
     let mut const_true: Option<Var> = None;
 
@@ -173,7 +181,9 @@ pub fn translate(
             }
             Node::Not(a) => !lit_map[a],
             Node::And(xs) => {
-                let t = Lit::pos(cnf.new_var());
+                let v = cnf.new_var();
+                gate_map.insert(v, id);
+                let t = Lit::pos(v);
                 let kids: Vec<Lit> = xs.iter().map(|x| lit_map[x]).collect();
                 if want_pos {
                     for &k in &kids {
@@ -188,7 +198,9 @@ pub fn translate(
                 t
             }
             Node::Or(xs) => {
-                let t = Lit::pos(cnf.new_var());
+                let v = cnf.new_var();
+                gate_map.insert(v, id);
+                let t = Lit::pos(v);
                 let kids: Vec<Lit> = xs.iter().map(|x| lit_map[x]).collect();
                 if want_pos {
                     let mut clause = kids.clone();
@@ -203,7 +215,9 @@ pub fn translate(
                 t
             }
             Node::Ite(c, a, b) => {
-                let t = Lit::pos(cnf.new_var());
+                let v = cnf.new_var();
+                gate_map.insert(v, id);
+                let t = Lit::pos(v);
                 let (c, a, b) = (lit_map[c], lit_map[a], lit_map[b]);
                 if want_pos {
                     cnf.add_clause([!t, !c, a]);
@@ -231,6 +245,8 @@ pub fn translate(
     Ok(Translation {
         cnf,
         var_map,
+        gate_map,
+        const_var: const_true,
         root: lit_map[&root],
     })
 }
@@ -325,6 +341,38 @@ mod tests {
         let eq = ctx.eq(a, b);
         assert!(translate(&ctx, eq, Mode::Full, Phase::Both).is_err());
         assert!(translate(&ctx, a, Mode::Full, Phase::Both).is_err());
+    }
+
+    #[test]
+    fn every_cnf_var_is_accounted_for() {
+        let mut ctx = Context::new();
+        let vars: Vec<ExprId> = (0..4).map(|i| ctx.pvar(&format!("v{i}"))).collect();
+        let t = ctx.and2(vars[0], vars[1]);
+        let e = ctx.or2(vars[1], vars[2]);
+        let body = ctx.ite(vars[3], t, e);
+        let tr = translate(&ctx, body, Mode::Full, Phase::Both).expect("translate");
+        let mut origins = vec![0usize; tr.cnf.num_vars()];
+        for &v in tr.var_map.values() {
+            origins[v.index()] += 1;
+        }
+        for &v in tr.gate_map.keys() {
+            origins[v.index()] += 1;
+        }
+        if let Some(v) = tr.const_var {
+            origins[v.index()] += 1;
+        }
+        assert!(
+            origins.iter().all(|&n| n == 1),
+            "each CNF var must have exactly one origin: {origins:?}"
+        );
+        // gate vars point back at gate nodes
+        for (&v, &node) in &tr.gate_map {
+            assert!(v.index() < tr.cnf.num_vars());
+            assert!(matches!(
+                ctx.node(node),
+                Node::And(..) | Node::Or(..) | Node::Ite(..)
+            ));
+        }
     }
 
     #[test]
