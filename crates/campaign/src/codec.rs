@@ -1,0 +1,336 @@
+//! Bidirectional JSON coding of verification results.
+//!
+//! The JSONL event stream only ever *writes* results; the serving layer
+//! (`rob-serve`) also needs to *read* them back — cache entries are
+//! persisted as JSON and replayed on startup, and `robctl` decodes
+//! responses off the wire. This module centralizes both directions so the
+//! event schema, the wire protocol, and the persisted cache all share one
+//! encoding (and one set of tests).
+//!
+//! Decoding is strict about shape (wrong types are errors) but tolerant
+//! about unknown diagnostic codes: a record written by a newer build with
+//! extra codes decodes with those diagnostics dropped rather than
+//! poisoning the whole cache line.
+
+use std::time::Duration;
+
+use rob_verify::{lint, PhaseTimings, Verdict, Verification, VerifyStats};
+
+use crate::json::Json;
+
+fn secs(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64())
+}
+
+/// Encodes per-phase timings as an object of `*_secs` fields.
+pub fn timings_to_json(t: &PhaseTimings) -> Json {
+    Json::obj([
+        ("generate_secs", secs(t.generate)),
+        ("rewrite_secs", secs(t.rewrite)),
+        ("translate_secs", secs(t.translate)),
+        ("sat_secs", secs(t.sat)),
+        ("proof_check_secs", secs(t.proof_check)),
+        ("total_secs", secs(t.total())),
+    ])
+}
+
+/// Encodes headline statistics.
+pub fn stats_to_json(s: &VerifyStats) -> Json {
+    Json::obj([
+        ("eij_vars", Json::from(s.eij_vars)),
+        ("other_vars", Json::from(s.other_vars)),
+        ("cnf_vars", Json::from(s.cnf_vars)),
+        ("cnf_clauses", Json::from(s.cnf_clauses)),
+        ("formula_nodes", Json::from(s.formula_nodes)),
+        ("sat_conflicts", Json::from(s.sat_conflicts)),
+        ("sat_decisions", Json::from(s.sat_decisions)),
+        ("sat_propagations", Json::from(s.sat_propagations)),
+        ("rewrite_obligations", Json::from(s.rewrite_obligations)),
+        ("rewrite_syntactic", Json::from(s.rewrite_syntactic)),
+        ("retire_pairs", Json::from(s.retire_pairs)),
+        ("proof_checked", s.proof_checked.into()),
+    ])
+}
+
+/// Encodes the verdict-specific detail payload (`null` for `Verified`).
+pub fn verdict_detail(verdict: &Verdict) -> Json {
+    match verdict {
+        Verdict::Verified => Json::Null,
+        Verdict::Falsified { true_vars } => Json::obj([(
+            "true_vars",
+            Json::Arr(true_vars.iter().map(|v| Json::str(v.clone())).collect()),
+        )]),
+        Verdict::SliceDiagnosis { slice, reason } => Json::obj([
+            ("slice", Json::from(*slice)),
+            ("reason", Json::str(reason.clone())),
+        ]),
+        Verdict::ResourceLimit(which) => Json::obj([("limit", Json::str(which.clone()))]),
+    }
+}
+
+/// Encodes diagnostics as an array of `{code, severity, message}` objects.
+pub fn diagnostics_to_json(diagnostics: &[lint::Diagnostic]) -> Json {
+    Json::Arr(
+        diagnostics
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("code", Json::str(d.code.as_str())),
+                    ("severity", Json::str(d.severity.as_str())),
+                    ("message", Json::str(d.message.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Encodes a complete verification result as one self-contained object.
+pub fn verification_to_json(v: &Verification) -> Json {
+    Json::obj([
+        ("verdict", Json::str(v.verdict.label())),
+        ("detail", verdict_detail(&v.verdict)),
+        ("timings", timings_to_json(&v.timings)),
+        ("stats", stats_to_json(&v.stats)),
+        ("diagnostics", diagnostics_to_json(&v.diagnostics)),
+    ])
+}
+
+fn get_num(obj: &Json, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn get_usize(obj: &Json, key: &str) -> Result<usize, String> {
+    Ok(get_num(obj, key)? as usize)
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    Ok(get_num(obj, key)? as u64)
+}
+
+fn get_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn duration_field(obj: &Json, key: &str) -> Result<Duration, String> {
+    let secs = get_num(obj, key)?;
+    if !(secs.is_finite() && secs >= 0.0) {
+        return Err(format!("field {key:?} is not a valid duration: {secs}"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// Decodes the verdict from its label and detail payload.
+pub fn verdict_from_json(label: &str, detail: &Json) -> Result<Verdict, String> {
+    match label {
+        "verified" => Ok(Verdict::Verified),
+        "falsified" => {
+            let vars = detail
+                .get("true_vars")
+                .ok_or_else(|| "falsified verdict is missing true_vars".to_owned())?;
+            let Json::Arr(items) = vars else {
+                return Err("true_vars is not an array".to_owned());
+            };
+            let true_vars = items
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "non-string entry in true_vars".to_owned())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Verdict::Falsified { true_vars })
+        }
+        "slice-diagnosis" => Ok(Verdict::SliceDiagnosis {
+            slice: get_usize(detail, "slice")?,
+            reason: get_str(detail, "reason")?.to_owned(),
+        }),
+        "resource-limit" => Ok(Verdict::ResourceLimit(get_str(detail, "limit")?.to_owned())),
+        other => Err(format!("unknown verdict label {other:?}")),
+    }
+}
+
+fn timings_from_json(obj: &Json) -> Result<PhaseTimings, String> {
+    Ok(PhaseTimings {
+        generate: duration_field(obj, "generate_secs")?,
+        rewrite: duration_field(obj, "rewrite_secs")?,
+        translate: duration_field(obj, "translate_secs")?,
+        sat: duration_field(obj, "sat_secs")?,
+        proof_check: duration_field(obj, "proof_check_secs")?,
+    })
+}
+
+fn stats_from_json(obj: &Json) -> Result<VerifyStats, String> {
+    let proof_checked = match obj.get("proof_checked") {
+        None | Some(Json::Null) => None,
+        Some(Json::Bool(b)) => Some(*b),
+        Some(other) => return Err(format!("proof_checked is not a bool: {other}")),
+    };
+    Ok(VerifyStats {
+        eij_vars: get_usize(obj, "eij_vars")?,
+        other_vars: get_usize(obj, "other_vars")?,
+        cnf_vars: get_usize(obj, "cnf_vars")?,
+        cnf_clauses: get_usize(obj, "cnf_clauses")?,
+        formula_nodes: get_usize(obj, "formula_nodes")?,
+        sat_conflicts: get_u64(obj, "sat_conflicts")?,
+        // Absent in records written before these counters existed.
+        sat_decisions: get_u64(obj, "sat_decisions").unwrap_or(0),
+        sat_propagations: get_u64(obj, "sat_propagations").unwrap_or(0),
+        rewrite_obligations: get_usize(obj, "rewrite_obligations")?,
+        rewrite_syntactic: get_usize(obj, "rewrite_syntactic")?,
+        retire_pairs: get_usize(obj, "retire_pairs")?,
+        proof_checked,
+    })
+}
+
+fn diagnostics_from_json(value: &Json) -> Result<Vec<lint::Diagnostic>, String> {
+    let Json::Arr(items) = value else {
+        return Err("diagnostics is not an array".to_owned());
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let code_str = get_str(item, "code")?;
+        // Unknown codes (written by a newer build) are skipped, not fatal.
+        let Some(&code) = lint::Code::all().iter().find(|c| c.as_str() == code_str) else {
+            continue;
+        };
+        let severity = match get_str(item, "severity")? {
+            "error" => lint::Severity::Error,
+            "warning" => lint::Severity::Warning,
+            "note" => lint::Severity::Note,
+            other => return Err(format!("unknown severity {other:?}")),
+        };
+        out.push(lint::Diagnostic {
+            code,
+            severity,
+            message: get_str(item, "message")?.to_owned(),
+            // Node anchors are arena-local ids; they are meaningless in a
+            // different process and are not persisted.
+            node: None,
+        });
+    }
+    Ok(out)
+}
+
+/// Decodes a complete verification result previously encoded by
+/// [`verification_to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn verification_from_json(value: &Json) -> Result<Verification, String> {
+    let label = get_str(value, "verdict")?;
+    let detail = value.get("detail").unwrap_or(&Json::Null);
+    let verdict = verdict_from_json(label, detail)?;
+    let timings = timings_from_json(
+        value
+            .get("timings")
+            .ok_or_else(|| "missing timings".to_owned())?,
+    )?;
+    let stats = stats_from_json(
+        value
+            .get("stats")
+            .ok_or_else(|| "missing stats".to_owned())?,
+    )?;
+    let diagnostics = match value.get("diagnostics") {
+        None => Vec::new(),
+        Some(d) => diagnostics_from_json(d)?,
+    };
+    Ok(Verification {
+        verdict,
+        timings,
+        stats,
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample(verdict: Verdict) -> Verification {
+        Verification {
+            verdict,
+            timings: PhaseTimings {
+                generate: Duration::from_millis(10),
+                rewrite: Duration::from_millis(20),
+                translate: Duration::from_millis(30),
+                sat: Duration::from_millis(40),
+                proof_check: Duration::ZERO,
+            },
+            stats: VerifyStats {
+                eij_vars: 1,
+                other_vars: 2,
+                cnf_vars: 30,
+                cnf_clauses: 40,
+                formula_nodes: 50,
+                sat_conflicts: 6,
+                sat_decisions: 7,
+                sat_propagations: 8,
+                rewrite_obligations: 9,
+                rewrite_syntactic: 10,
+                retire_pairs: 2,
+                proof_checked: Some(true),
+            },
+            diagnostics: vec![lint::Diagnostic {
+                code: lint::Code::PeSummary,
+                severity: lint::Severity::Note,
+                message: "5 p-vars, 0 g-vars".to_owned(),
+                node: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn every_verdict_roundtrips_through_text() {
+        let verdicts = [
+            Verdict::Verified,
+            Verdict::Falsified {
+                true_vars: vec!["Valid_2".to_owned(), "eij!1!2".to_owned()],
+            },
+            Verdict::SliceDiagnosis {
+                slice: 3,
+                reason: "forwarding chain broken".to_owned(),
+            },
+            Verdict::ResourceLimit("SAT conflict budget".to_owned()),
+        ];
+        for verdict in verdicts {
+            let v = sample(verdict);
+            let text = verification_to_json(&v).to_string();
+            assert!(!text.contains('\n'));
+            let parsed = json::parse(&text).expect("parse");
+            let back = verification_from_json(&parsed).expect("decode");
+            assert_eq!(back.verdict, v.verdict);
+            assert_eq!(back.timings, v.timings);
+            assert_eq!(back.stats, v.stats);
+            assert_eq!(back.diagnostics.len(), v.diagnostics.len());
+            assert_eq!(back.diagnostics[0].code, v.diagnostics[0].code);
+            assert_eq!(back.diagnostics[0].message, v.diagnostics[0].message);
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        let good = verification_to_json(&sample(Verdict::Verified));
+        let mut missing_stats = good.clone();
+        if let Json::Obj(map) = &mut missing_stats {
+            map.remove("stats");
+        }
+        assert!(verification_from_json(&missing_stats).is_err());
+        assert!(verification_from_json(&Json::Null).is_err());
+        assert!(verdict_from_json("nonsense", &Json::Null).is_err());
+        assert!(verdict_from_json("falsified", &Json::Null).is_err());
+    }
+
+    #[test]
+    fn unknown_diagnostic_codes_are_skipped_not_fatal() {
+        let doc = json::parse(r#"{"code":"L9999","severity":"error","message":"from the future"}"#)
+            .unwrap();
+        let decoded = diagnostics_from_json(&Json::Arr(vec![doc])).unwrap();
+        assert!(decoded.is_empty());
+    }
+}

@@ -11,8 +11,7 @@ use std::io::Write;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use rob_verify::{PhaseTimings, Verdict, VerifyStats};
-
+use crate::codec;
 use crate::job::{JobResult, JobSpec, Outcome};
 use crate::json::Json;
 use crate::report::CampaignReport;
@@ -75,62 +74,6 @@ fn job_fields(job: &JobSpec) -> Vec<(&'static str, Json)> {
     ]
 }
 
-fn timings_json(t: &PhaseTimings) -> Json {
-    Json::obj([
-        ("generate_secs", secs(t.generate)),
-        ("rewrite_secs", secs(t.rewrite)),
-        ("translate_secs", secs(t.translate)),
-        ("sat_secs", secs(t.sat)),
-        ("proof_check_secs", secs(t.proof_check)),
-        ("total_secs", secs(t.total())),
-    ])
-}
-
-fn diagnostics_json(diagnostics: &[rob_verify::lint::Diagnostic]) -> Json {
-    Json::Arr(
-        diagnostics
-            .iter()
-            .map(|d| {
-                Json::obj([
-                    ("code", Json::str(d.code.as_str())),
-                    ("severity", Json::str(d.severity.as_str())),
-                    ("message", Json::str(d.message.clone())),
-                ])
-            })
-            .collect(),
-    )
-}
-
-fn stats_json(s: &VerifyStats) -> Json {
-    Json::obj([
-        ("eij_vars", Json::from(s.eij_vars)),
-        ("other_vars", Json::from(s.other_vars)),
-        ("cnf_vars", Json::from(s.cnf_vars)),
-        ("cnf_clauses", Json::from(s.cnf_clauses)),
-        ("formula_nodes", Json::from(s.formula_nodes)),
-        ("sat_conflicts", Json::from(s.sat_conflicts)),
-        ("rewrite_obligations", Json::from(s.rewrite_obligations)),
-        ("rewrite_syntactic", Json::from(s.rewrite_syntactic)),
-        ("retire_pairs", Json::from(s.retire_pairs)),
-        ("proof_checked", s.proof_checked.into()),
-    ])
-}
-
-fn verdict_detail(verdict: &Verdict) -> Json {
-    match verdict {
-        Verdict::Verified => Json::Null,
-        Verdict::Falsified { true_vars } => Json::obj([(
-            "true_vars",
-            Json::Arr(true_vars.iter().map(|v| Json::str(v.clone())).collect()),
-        )]),
-        Verdict::SliceDiagnosis { slice, reason } => Json::obj([
-            ("slice", Json::from(*slice)),
-            ("reason", Json::str(reason.clone())),
-        ]),
-        Verdict::ResourceLimit(which) => Json::obj([("limit", Json::str(which.clone()))]),
-    }
-}
-
 impl Event {
     /// Serializes the event to a single-line JSON object.
     pub fn to_json(&self) -> Json {
@@ -188,13 +131,17 @@ impl Event {
                     ("outcome", Json::str(result.outcome.label())),
                     ("duration_secs", secs(result.duration)),
                     ("expected", Json::from(result.is_expected())),
+                    (
+                        "cache",
+                        Json::str(if result.cached { "hit" } else { "miss" }),
+                    ),
                 ];
                 fields.extend(job_fields(&result.job));
                 match &result.outcome {
                     Outcome::Completed(v) => {
-                        fields.push(("detail", verdict_detail(&v.verdict)));
-                        fields.push(("timings", timings_json(&v.timings)));
-                        fields.push(("stats", stats_json(&v.stats)));
+                        fields.push(("detail", codec::verdict_detail(&v.verdict)));
+                        fields.push(("timings", codec::timings_to_json(&v.timings)));
+                        fields.push(("stats", codec::stats_to_json(&v.stats)));
                         if !v.diagnostics.is_empty() {
                             let errors = rob_verify::lint::error_count(&v.diagnostics);
                             let warnings = v
@@ -204,7 +151,8 @@ impl Event {
                                 .count();
                             fields.push(("lint_errors", Json::from(errors)));
                             fields.push(("lint_warnings", Json::from(warnings)));
-                            fields.push(("diagnostics", diagnostics_json(&v.diagnostics)));
+                            fields
+                                .push(("diagnostics", codec::diagnostics_to_json(&v.diagnostics)));
                         }
                     }
                     Outcome::Error(e) => fields.push(("detail", Json::str(e.to_string()))),
@@ -348,6 +296,7 @@ mod tests {
                 duration: Duration::from_millis(12),
                 worker: 1,
                 attempts: 2,
+                cached: false,
             }),
         ];
         for event in &events {

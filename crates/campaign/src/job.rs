@@ -2,7 +2,9 @@
 
 use std::time::Duration;
 
-use rob_verify::{BugSpec, Config, Limits, Strategy, Verdict, Verification, Verifier, VerifyError};
+use rob_verify::{
+    BugSpec, Config, JobKey, Limits, Strategy, Verdict, Verification, Verifier, VerifyError,
+};
 
 /// One verification job: a processor configuration, the translation
 /// strategy, and an optional seeded defect.
@@ -46,6 +48,20 @@ impl JobSpec {
             Some(bug) => format!("{}/{}/{}", self.config, self.strategy, bug),
             None => format!("{}/{}", self.config, self.strategy),
         }
+    }
+
+    /// The content-addressed identity of this job: two jobs with equal
+    /// keys are guaranteed to produce the same result (the pipeline is
+    /// deterministic), so one solve can serve both.
+    pub fn key(&self) -> JobKey {
+        JobKey::derive(
+            &self.config,
+            self.strategy,
+            self.bug,
+            &self.sat_limits,
+            self.check_proofs,
+            self.audit,
+        )
     }
 
     /// Runs the job to completion on the current thread.
@@ -263,6 +279,10 @@ pub struct JobResult {
     pub worker: usize,
     /// Number of attempts made.
     pub attempts: u32,
+    /// Whether the outcome was copied from an identical job instead of
+    /// being solved again (intra-campaign deduplication; see
+    /// [`JobSpec::key`]).
+    pub cached: bool,
 }
 
 impl JobResult {

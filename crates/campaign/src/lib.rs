@@ -26,6 +26,7 @@
 //! assert_eq!(outcome.report.verified, 2);
 //! ```
 
+pub mod codec;
 pub mod events;
 pub mod job;
 pub mod json;
@@ -36,7 +37,7 @@ pub mod sweepfile;
 
 pub use events::{Event, EventSink, JsonlSink, MemorySink, NullSink, Tee};
 pub use job::{JobResult, JobSpec, Outcome, Sweep};
-pub use pool::{default_workers, CancelToken, PoolOptions};
+pub use pool::{default_workers, CancelToken, PoolOptions, ServicePool, SubmitError};
 pub use report::CampaignReport;
 pub use run::{Campaign, CampaignOutcome, JobRunner};
 pub use sweepfile::SweepFile;

@@ -18,12 +18,20 @@
 //!   job becomes [`ExecOutcome::Panicked`] and the campaign continues.
 //! - Cancellation is cooperative: a tripped [`CancelToken`] makes every
 //!   not-yet-started job resolve to [`ExecOutcome::Cancelled`].
+//!
+//! For long-running services, [`ServicePool`] keeps the same workers
+//! resident: jobs are submitted one at a time through a **bounded
+//! admission queue** (submissions beyond the bound are rejected with
+//! [`SubmitError::Overloaded`] instead of queuing unboundedly), each
+//! submission gets a reply channel, and shutdown drains — queued and
+//! in-flight jobs finish, new submissions are refused.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Scheduling parameters for [`execute`].
@@ -312,6 +320,212 @@ where
     }
 }
 
+/// Why a [`ServicePool`] submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full; the caller should shed the request
+    /// (the serving layer answers `overloaded`) rather than block.
+    Overloaded {
+        /// Jobs waiting in the queue when the submission arrived.
+        depth: usize,
+        /// The configured queue bound.
+        limit: usize,
+    },
+    /// The pool is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { depth, limit } => {
+                write!(f, "admission queue full ({depth} waiting, limit {limit})")
+            }
+            SubmitError::ShuttingDown => f.write_str("pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct ServiceTask<T, R> {
+    job: T,
+    reply: Sender<ExecResult<R>>,
+}
+
+struct ServiceShared<T, R> {
+    queue: Mutex<VecDeque<ServiceTask<T, R>>>,
+    available: Condvar,
+    queue_limit: usize,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+}
+
+/// A resident worker pool for serving workloads: jobs are submitted
+/// individually, results come back on per-submission channels, and the
+/// admission queue is bounded.
+///
+/// Execution semantics match [`execute`]: per-attempt watchdog deadlines
+/// with bounded retry, and `catch_unwind` panic isolation (a panicking
+/// job resolves to [`ExecOutcome::Panicked`]; the worker survives).
+pub struct ServicePool<T: Send + 'static, R: Send + 'static> {
+    shared: Arc<ServiceShared<T, R>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    timeout: Option<Duration>,
+    retries: u32,
+}
+
+impl<T, R> ServicePool<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    /// Starts `options.workers` resident workers running `run`, with an
+    /// admission queue bounded at `queue_limit` waiting jobs.
+    pub fn start<F>(options: &PoolOptions, queue_limit: usize, run: Arc<F>) -> Self
+    where
+        F: Fn(&T) -> R + Send + Sync + 'static,
+    {
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            queue_limit,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+        });
+        let timeout = options.timeout;
+        let retries = options.retries;
+        let workers = (0..options.workers.max(1))
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                let run = Arc::clone(&run);
+                std::thread::Builder::new()
+                    .name(format!("service-worker-{me}"))
+                    .spawn(move || service_worker(me, &shared, timeout, retries, &run))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        ServicePool {
+            shared,
+            workers: Mutex::new(workers),
+            timeout,
+            retries,
+        }
+    }
+
+    /// Submits one job; the result arrives on the returned channel.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the admission queue is at its
+    /// bound, [`SubmitError::ShuttingDown`] once [`ServicePool::shutdown`]
+    /// has begun.
+    pub fn submit(&self, job: T) -> Result<Receiver<ExecResult<R>>, SubmitError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let (reply, receiver) = mpsc::channel();
+        let mut queue = self.shared.queue.lock().expect("queue poisoned");
+        if queue.len() >= self.shared.queue_limit {
+            return Err(SubmitError::Overloaded {
+                depth: queue.len(),
+                limit: self.shared.queue_limit,
+            });
+        }
+        queue.push_back(ServiceTask { job, reply });
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(receiver)
+    }
+
+    /// Jobs waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// Jobs currently executing on workers.
+    pub fn active_jobs(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// The per-attempt deadline workers apply.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// The retry budget for timed-out attempts.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Drains the pool: refuses new submissions, lets queued and
+    /// in-flight jobs finish, and joins every worker. Idempotent — the
+    /// serving layer can call it from any thread holding an `Arc` to the
+    /// pool.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn service_worker<T, R, F>(
+    me: usize,
+    shared: &ServiceShared<T, R>,
+    timeout: Option<Duration>,
+    retries: u32,
+    run: &Arc<F>,
+) where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(&T) -> R + Send + Sync + 'static,
+{
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break Some(task);
+                }
+                // Drain semantics: the queue is empty; exit only now that
+                // shutdown is flagged, so queued jobs always finish.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("queue poisoned");
+            }
+        };
+        let Some(task) = task else {
+            return;
+        };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let mut attempt = 1u32;
+        loop {
+            let started = Instant::now();
+            let outcome = run_attempt(&task.job, timeout, run);
+            let duration = started.elapsed();
+            if matches!(outcome, ExecOutcome::TimedOut) && attempt <= retries {
+                attempt += 1;
+                continue;
+            }
+            // A dropped receiver (client went away) is not an error for
+            // the pool; the job's effects (e.g. a cache insert done by the
+            // `run` closure's caller) are delivered elsewhere.
+            let _ = task.reply.send(ExecResult {
+                outcome,
+                duration,
+                worker: me,
+                attempts: attempt,
+            });
+            break;
+        }
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Extracts the conventional `&str` / `String` payload from a panic.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -423,6 +637,118 @@ mod tests {
         assert_eq!(results[1].attempts, 2, "retry must be honored");
         assert!(matches!(results[2].outcome, ExecOutcome::Done(2)));
         assert_eq!(observer.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn service_pool_delivers_results_per_submission() {
+        let pool: ServicePool<u64, u64> = ServicePool::start(
+            &PoolOptions {
+                workers: 3,
+                ..PoolOptions::default()
+            },
+            64,
+            Arc::new(|n: &u64| n * n),
+        );
+        let receivers: Vec<_> = (0..20u64).map(|n| pool.submit(n).unwrap()).collect();
+        for (n, rx) in receivers.into_iter().enumerate() {
+            let result = rx.recv().expect("result delivered");
+            match result.outcome {
+                ExecOutcome::Done(v) => assert_eq!(v, (n * n) as u64),
+                other => panic!("job {n}: unexpected {other:?}"),
+            }
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn service_pool_sheds_load_beyond_queue_limit() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let hold = Arc::clone(&gate);
+        let pool: ServicePool<u64, u64> = ServicePool::start(
+            &PoolOptions {
+                workers: 1,
+                ..PoolOptions::default()
+            },
+            1,
+            Arc::new(move |n: &u64| {
+                while !hold.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                *n
+            }),
+        );
+        // First job occupies the worker; second sits in the queue; the
+        // third must be shed.
+        let first = pool.submit(1).unwrap();
+        while pool.active_jobs() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let second = pool.submit(2).unwrap();
+        let shed = pool.submit(3);
+        assert_eq!(
+            shed.unwrap_err(),
+            SubmitError::Overloaded { depth: 1, limit: 1 }
+        );
+        gate.store(true, Ordering::SeqCst);
+        assert!(matches!(
+            first.recv().unwrap().outcome,
+            ExecOutcome::Done(1)
+        ));
+        assert!(matches!(
+            second.recv().unwrap().outcome,
+            ExecOutcome::Done(2)
+        ));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn service_pool_shutdown_drains_queued_jobs() {
+        let pool: ServicePool<u64, u64> = ServicePool::start(
+            &PoolOptions {
+                workers: 1,
+                ..PoolOptions::default()
+            },
+            64,
+            Arc::new(|n: &u64| {
+                std::thread::sleep(Duration::from_millis(2));
+                *n + 100
+            }),
+        );
+        let receivers: Vec<_> = (0..10u64).map(|n| pool.submit(n).unwrap()).collect();
+        pool.shutdown();
+        for (n, rx) in receivers.into_iter().enumerate() {
+            let result = rx.recv().expect("queued job drained, not dropped");
+            assert!(matches!(result.outcome, ExecOutcome::Done(v) if v == n as u64 + 100));
+        }
+    }
+
+    #[test]
+    fn service_pool_refuses_after_shutdown_and_survives_panics() {
+        let pool: ServicePool<u64, u64> = ServicePool::start(
+            &PoolOptions {
+                workers: 2,
+                ..PoolOptions::default()
+            },
+            8,
+            Arc::new(|n: &u64| {
+                if *n == 7 {
+                    panic!("unlucky {n}");
+                }
+                *n
+            }),
+        );
+        let bad = pool.submit(7).unwrap();
+        match bad.recv().unwrap().outcome {
+            ExecOutcome::Panicked { message } => assert!(message.contains("unlucky 7")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The worker that caught the panic still serves.
+        let good = pool.submit(5).unwrap();
+        assert!(matches!(good.recv().unwrap().outcome, ExecOutcome::Done(5)));
+        pool.shutdown();
+        assert_eq!(pool.submit(9).unwrap_err(), SubmitError::ShuttingDown);
+        // Idempotent: a second drain is a no-op.
+        pool.shutdown();
     }
 
     #[test]

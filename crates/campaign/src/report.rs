@@ -31,6 +31,9 @@ pub struct CampaignReport {
     pub timed_out: usize,
     /// Jobs cancelled by fail-fast.
     pub cancelled: usize,
+    /// Duplicate jobs served from an identical job's result instead of
+    /// being re-solved.
+    pub cache_hits: usize,
     /// Jobs whose outcome was *not* the expected one.
     pub unexpected: usize,
     /// Campaign wall-clock time.
@@ -63,6 +66,7 @@ impl CampaignReport {
             crashed: 0,
             timed_out: 0,
             cancelled: 0,
+            cache_hits: 0,
             unexpected: 0,
             wall,
             cpu: Duration::ZERO,
@@ -86,7 +90,10 @@ impl CampaignReport {
                 Outcome::TimedOut { .. } => report.timed_out += 1,
                 Outcome::Cancelled => report.cancelled += 1,
             }
-            if !matches!(result.outcome, Outcome::Cancelled) {
+            if result.cached {
+                report.cache_hits += 1;
+            }
+            if !matches!(result.outcome, Outcome::Cancelled) && !result.cached {
                 latencies.push(result.duration);
                 report.cpu += result.duration;
             }
@@ -119,6 +126,7 @@ impl CampaignReport {
             ("crashed", Json::from(self.crashed)),
             ("timed_out", Json::from(self.timed_out)),
             ("cancelled", Json::from(self.cancelled)),
+            ("cache_hits", Json::from(self.cache_hits)),
             ("unexpected", Json::from(self.unexpected)),
             ("wall_secs", Json::Num(self.wall.as_secs_f64())),
             ("cpu_secs", Json::Num(self.cpu.as_secs_f64())),
@@ -161,6 +169,9 @@ impl CampaignReport {
         }
         if self.cancelled > 0 {
             let _ = writeln!(out, "  cancelled   {:>8}", self.cancelled);
+        }
+        if self.cache_hits > 0 {
+            let _ = writeln!(out, "  cache hits  {:>8}", self.cache_hits);
         }
         let _ = writeln!(out, "  unexpected  {:>8}", self.unexpected);
         let _ = writeln!(out, "  wall        {:>11.2}s", self.wall.as_secs_f64());
@@ -206,6 +217,7 @@ mod tests {
             duration: Duration::from_millis(millis),
             worker: 0,
             attempts: 1,
+            cached: false,
         }
     }
 

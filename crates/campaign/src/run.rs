@@ -1,6 +1,12 @@
 //! The campaign driver: schedules a job list onto the worker pool, wires
 //! scheduling callbacks to the event sink, and aggregates the report.
+//!
+//! Identical jobs (equal [`JobSpec::key`]) are solved once: only the
+//! first occurrence is scheduled, and every duplicate is served from its
+//! result, reported in the JSONL stream as a `cache: hit` job-finished
+//! event with zero duration.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -125,11 +131,26 @@ impl Campaign {
             None => self.jobs.clone(),
         };
 
+        // Content-addressed deduplication: only the first job with a given
+        // key is scheduled; `first_of[i]` points every job at its
+        // canonical occurrence.
+        let mut first_of: Vec<usize> = Vec::with_capacity(jobs.len());
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for (index, job) in jobs.iter().enumerate() {
+            let canon = *seen
+                .entry(job.key().canonical().to_owned())
+                .or_insert(index);
+            first_of.push(canon);
+        }
+        let unique: Vec<usize> = (0..jobs.len()).filter(|&i| first_of[i] == i).collect();
+        let submitted: Vec<JobSpec> = unique.iter().map(|&i| jobs[i]).collect();
+
         let cancel = CancelToken::new();
         let observer = CampaignObserver {
             sink,
             cancel: cancel.clone(),
             fail_fast: self.fail_fast,
+            index_map: &unique,
         };
         let options = PoolOptions {
             workers: self.workers,
@@ -138,7 +159,7 @@ impl Campaign {
         };
         let started = Instant::now();
         let exec_results = pool::execute(
-            jobs.clone(),
+            submitted,
             &options,
             &cancel,
             Arc::new(move |job: &JobSpec| runner(job)),
@@ -146,10 +167,33 @@ impl Campaign {
         );
         let wall = started.elapsed();
 
-        let results: Vec<JobResult> = exec_results
+        let mut slots: Vec<Option<JobResult>> = vec![None; jobs.len()];
+        for (pos, exec) in exec_results.into_iter().enumerate() {
+            let index = unique[pos];
+            slots[index] = Some(job_result(index, jobs[index], exec));
+        }
+        for index in 0..jobs.len() {
+            if slots[index].is_some() {
+                continue;
+            }
+            // `first_of[index] < index` and canonical slots are all filled,
+            // so the clone below cannot fail.
+            let canon = slots[first_of[index]].clone().expect("canonical resolved");
+            let duplicate = JobResult {
+                index,
+                job: jobs[index],
+                outcome: canon.outcome,
+                duration: Duration::ZERO,
+                worker: canon.worker,
+                attempts: 0,
+                cached: true,
+            };
+            sink.emit(&Event::JobFinished(duplicate.clone()));
+            slots[index] = Some(duplicate);
+        }
+        let results: Vec<JobResult> = slots
             .into_iter()
-            .enumerate()
-            .map(|(index, exec)| job_result(index, jobs[index], exec))
+            .map(|slot| slot.expect("every job resolved"))
             .collect();
         let report = CampaignReport::summarize(&results, wall, self.workers);
         sink.emit(&Event::CampaignSummary(report.clone()));
@@ -184,6 +228,7 @@ fn job_result(
         duration: exec.duration,
         worker: exec.worker,
         attempts: exec.attempts,
+        cached: false,
     }
 }
 
@@ -191,12 +236,14 @@ struct CampaignObserver<'a> {
     sink: &'a dyn EventSink,
     cancel: CancelToken,
     fail_fast: bool,
+    /// Position in the deduplicated submission list → campaign job index.
+    index_map: &'a [usize],
 }
 
 impl Observer<JobSpec, Result<Verification, VerifyError>> for CampaignObserver<'_> {
     fn on_start(&self, index: usize, job: &JobSpec, worker: usize, attempt: u32) {
         self.sink.emit(&Event::JobStarted {
-            index,
+            index: self.index_map[index],
             job: *job,
             worker,
             attempt,
@@ -205,7 +252,7 @@ impl Observer<JobSpec, Result<Verification, VerifyError>> for CampaignObserver<'
 
     fn on_retry(&self, index: usize, job: &JobSpec, worker: usize, attempt: u32) {
         self.sink.emit(&Event::JobRetried {
-            index,
+            index: self.index_map[index],
             job: *job,
             worker,
             attempt,
@@ -218,7 +265,7 @@ impl Observer<JobSpec, Result<Verification, VerifyError>> for CampaignObserver<'
         job: &JobSpec,
         result: &ExecResult<Result<Verification, VerifyError>>,
     ) {
-        let job_result = job_result(index, *job, result.clone());
+        let job_result = job_result(self.index_map[index], *job, result.clone());
         if self.fail_fast {
             if let Outcome::Completed(v) = &job_result.outcome {
                 if job.is_unexpected_falsification(&v.verdict) {
@@ -244,6 +291,52 @@ mod tests {
         assert!(outcome.all_expected(), "{:?}", outcome.report);
         assert_eq!(outcome.report.verified, 4);
         assert!(outcome.report.throughput > 0.0);
+    }
+
+    #[test]
+    fn identical_jobs_are_deduped_and_reported_as_cache_hits() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let job = JobSpec::new(Config::new(2, 1).unwrap(), Strategy::default());
+        let other = JobSpec::new(Config::new(3, 1).unwrap(), Strategy::default());
+        let solves = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&solves);
+        let sink = crate::events::MemorySink::new();
+        let outcome = Campaign::new(vec![job, other, job, job])
+            .workers(2)
+            .run_with(
+                &sink,
+                Arc::new(move |job: &JobSpec| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    job.run()
+                }),
+            );
+        assert_eq!(solves.load(Ordering::SeqCst), 2, "only unique jobs solve");
+        assert_eq!(outcome.results.len(), 4);
+        assert!(outcome.all_expected());
+        assert_eq!(outcome.report.verified, 4);
+        assert_eq!(outcome.report.cache_hits, 2);
+        let cached: Vec<bool> = outcome.results.iter().map(|r| r.cached).collect();
+        assert_eq!(cached, [false, false, true, true]);
+        for r in &outcome.results[2..] {
+            assert_eq!(r.duration, Duration::ZERO);
+            assert!(r.outcome.verification().is_some());
+        }
+        // The JSONL stream carries the hits: two job-finished events with
+        // cache=hit, and job indices stay campaign-relative.
+        let finished: Vec<JobResult> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::JobFinished(r) => Some(r.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finished.len(), 4);
+        assert_eq!(finished.iter().filter(|r| r.cached).count(), 2);
+        let mut indices: Vec<usize> = finished.iter().map(|r| r.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, [0, 1, 2, 3]);
     }
 
     #[test]

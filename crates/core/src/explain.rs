@@ -5,8 +5,9 @@
 //! assignment. [`describe_counterexample`] groups them into the paper's
 //! vocabulary: which instructions were valid, which results were already
 //! computed, what the scheduler fetched, what the execution abstraction
-//! completed, and which register-identifier equalities (`e_ij`) the
-//! counterexample relies on.
+//! completed, which dispatch controls (structural-hazard stalls,
+//! fetch enables) and retire/flush controls fired, and which
+//! register-identifier equalities (`e_ij`) the counterexample relies on.
 
 use std::fmt::Write as _;
 
@@ -29,6 +30,9 @@ pub fn describe_counterexample(true_vars: &[String]) -> String {
     let mut valid_result = Vec::new();
     let mut fetched = Vec::new();
     let mut executed = Vec::new();
+    let mut dispatch = Vec::new();
+    let mut retire = Vec::new();
+    let mut imem_valid = Vec::new();
     let mut eij = Vec::new();
     let mut other = Vec::new();
     for name in true_vars {
@@ -40,6 +44,12 @@ pub fn describe_counterexample(true_vars: &[String]) -> String {
             fetched.push(name.as_str());
         } else if name.starts_with("NDExecute_") {
             executed.push(name.as_str());
+        } else if name.starts_with("NDStall") || name.starts_with("fetch_enable") {
+            dispatch.push(name.as_str());
+        } else if name.starts_with("flush_slot_") || name == "flush" || name.starts_with("flush@") {
+            retire.push(name.as_str());
+        } else if name.starts_with("app!IMemValid!") {
+            imem_valid.push(name.as_str());
         } else if name.starts_with("eij!") {
             eij.push(name.as_str());
         } else {
@@ -56,6 +66,12 @@ pub fn describe_counterexample(true_vars: &[String]) -> String {
     section("results already computed", &valid_result);
     section("fetched this cycle (scheduler abstraction)", &fetched);
     section("completed this cycle (execution abstraction)", &executed);
+    section("dispatch control (stall / fetch-enable)", &dispatch);
+    section("retire/flush control (slice activation)", &retire);
+    section(
+        "instructions fetched as valid (instruction memory)",
+        &imem_valid,
+    );
     section("register-identifier equalities assumed", &eij);
     section("other control", &other);
     if out.is_empty() {
@@ -77,13 +93,37 @@ mod tests {
             "NDFetch_1@0".to_owned(),
             "eij!10!12".to_owned(),
             "app!IMemValid!1!0".to_owned(),
+            "unmodelled_thing".to_owned(),
         ]);
         assert!(report.contains("instructions marked valid: Valid_1"));
         assert!(report.contains("results already computed: ValidResult_1"));
         assert!(report.contains("completed this cycle"));
         assert!(report.contains("fetched this cycle"));
         assert!(report.contains("equalities assumed: eij!10!12"));
-        assert!(report.contains("other control: app!IMemValid!1!0"));
+        assert!(report.contains("instruction memory): app!IMemValid!1!0"));
+        assert!(report.contains("other control: unmodelled_thing"));
+    }
+
+    #[test]
+    fn dispatch_and_retire_controls_get_named_groups() {
+        // At k > 1, counterexamples mention per-cycle stall controls and
+        // per-slice retire/flush activations; neither belongs in the
+        // catch-all bucket.
+        let report = describe_counterexample(&[
+            "NDStall@1".to_owned(),
+            "fetch_enable".to_owned(),
+            "flush_slot_3".to_owned(),
+            "flush".to_owned(),
+        ]);
+        assert!(
+            report.contains("dispatch control (stall / fetch-enable): NDStall@1, fetch_enable"),
+            "{report}"
+        );
+        assert!(
+            report.contains("retire/flush control (slice activation): flush_slot_3, flush"),
+            "{report}"
+        );
+        assert!(!report.contains("other control"), "{report}");
     }
 
     #[test]

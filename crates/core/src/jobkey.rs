@@ -1,0 +1,196 @@
+//! Content-addressed job keys.
+//!
+//! The verification pipeline is deterministic: the same configuration,
+//! strategy, seeded bug, resource limits, and flags always produce the
+//! same EUFM formula and the same verdict. A [`JobKey`] captures exactly
+//! the inputs that determine the result, so identical jobs can be
+//! recognized — by the campaign orchestrator (intra-sweep deduplication)
+//! and by the `rob-serve` daemon (cross-request result cache).
+//!
+//! A key has two faces:
+//!
+//! - the **canonical string** ([`JobKey::canonical`]) — an exact,
+//!   human-readable rendering of every input; cache lookups compare this
+//!   string, so there are no hash-collision soundness concerns;
+//! - the **digest** ([`JobKey::digest_hex`]) — a stable FNV-1a/64 hash of
+//!   the canonical string, used for display and log correlation. FNV is
+//!   used (not `DefaultHasher`) because `std`'s SipHash keys are
+//!   randomized per process, and keys must be stable across daemon
+//!   restarts for the persisted cache to warm up.
+//!
+//! Every key embeds [`CODE_FINGERPRINT`]. Bump [`SCHEMA_VERSION`] whenever
+//! a change to the pipeline can alter any verdict, statistic, or timing
+//! semantics: old persisted cache entries then miss instead of serving
+//! stale results.
+
+use crate::{BugSpec, Config, Limits, Strategy};
+
+/// Bump on any semantic change to the verification pipeline. Part of
+/// [`CODE_FINGERPRINT`], so bumping it invalidates all persisted cache
+/// entries.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Identifies the code that produced a cached result: crate version plus
+/// the manually-maintained [`SCHEMA_VERSION`].
+pub const CODE_FINGERPRINT: &str = concat!(env!("CARGO_PKG_VERSION"), "+s1");
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a/64 over a byte string. Stable across processes and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The content-addressed identity of one verification job.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    canonical: String,
+    digest: u64,
+}
+
+impl JobKey {
+    /// Derives the key for a job from everything that determines its
+    /// result.
+    pub fn derive(
+        config: &Config,
+        strategy: Strategy,
+        bug: Option<BugSpec>,
+        sat_limits: &Limits,
+        check_proofs: bool,
+        audit: bool,
+    ) -> JobKey {
+        let bug = bug.map_or_else(|| "-".to_owned(), |b| b.to_string());
+        let limits = format!(
+            "c:{},t:{},m:{}",
+            opt(sat_limits.max_conflicts),
+            opt(sat_limits.max_seconds),
+            opt(sat_limits.max_learnt_literals),
+        );
+        let canonical = format!(
+            "fp={fp}|rob={n}|w={k}|strategy={strategy}|bug={bug}|limits={limits}|proofs={p}|audit={a}",
+            fp = CODE_FINGERPRINT,
+            n = config.rob_size(),
+            k = config.issue_width(),
+            p = u8::from(check_proofs),
+            a = u8::from(audit),
+        );
+        let digest = fnv1a(canonical.as_bytes());
+        JobKey { canonical, digest }
+    }
+
+    /// Reconstructs a key from a previously stored canonical string (the
+    /// persisted-cache load path). The digest is recomputed, so a record
+    /// whose stored digest disagrees can be detected by the caller.
+    pub fn from_canonical(canonical: impl Into<String>) -> JobKey {
+        let canonical = canonical.into();
+        let digest = fnv1a(canonical.as_bytes());
+        JobKey { canonical, digest }
+    }
+
+    /// The exact canonical rendering (the true cache key).
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 64-bit FNV-1a digest of the canonical string.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The digest as 16 lowercase hex digits.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest)
+    }
+}
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.digest)
+    }
+}
+
+fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "-".to_owned(), |x| x.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operand;
+
+    fn key(n: usize, k: usize, strategy: Strategy) -> JobKey {
+        JobKey::derive(
+            &Config::new(n, k).unwrap(),
+            strategy,
+            None,
+            &Limits::none(),
+            false,
+            false,
+        )
+    }
+
+    #[test]
+    fn identical_inputs_agree_and_any_field_changes_the_key() {
+        let base = key(8, 2, Strategy::default());
+        assert_eq!(base, key(8, 2, Strategy::default()));
+        assert_ne!(base, key(9, 2, Strategy::default()));
+        assert_ne!(base, key(8, 1, Strategy::default()));
+        assert_ne!(base, key(8, 2, Strategy::PositiveEqualityOnly));
+        let bugged = JobKey::derive(
+            &Config::new(8, 2).unwrap(),
+            Strategy::default(),
+            Some(BugSpec::ForwardingIgnoresValidResult {
+                slice: 3,
+                operand: Operand::Src1,
+            }),
+            &Limits::none(),
+            false,
+            false,
+        );
+        assert_ne!(base, bugged);
+        let limited = JobKey::derive(
+            &Config::new(8, 2).unwrap(),
+            Strategy::default(),
+            None,
+            &Limits {
+                max_conflicts: Some(100),
+                ..Limits::none()
+            },
+            false,
+            false,
+        );
+        assert_ne!(base, limited);
+        let audited = JobKey::derive(
+            &Config::new(8, 2).unwrap(),
+            Strategy::default(),
+            None,
+            &Limits::none(),
+            false,
+            true,
+        );
+        assert_ne!(base, audited);
+    }
+
+    #[test]
+    fn digest_is_stable_across_reconstruction() {
+        let k = key(4, 2, Strategy::default());
+        let back = JobKey::from_canonical(k.canonical());
+        assert_eq!(k, back);
+        assert_eq!(k.digest_hex(), back.digest_hex());
+        assert_eq!(k.digest_hex().len(), 16);
+        assert!(k.canonical().contains(CODE_FINGERPRINT));
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a/64 test vector.
+        assert_eq!(super::fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(super::fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -58,12 +58,14 @@
 use std::time::{Duration, Instant};
 
 pub mod explain;
+pub mod jobkey;
 
 use evc::check::{check_validity, CheckOptions, CheckOutcome, UnknownReason};
 use evc::mem::MemoryModel;
 use evc::rewrite::{rewrite_correctness_certified, RewriteError, RewriteInput, RewriteOptions};
 use uarch::correctness::{self, CorrectnessBundle};
 
+pub use jobkey::JobKey;
 pub use sat::{Limits, SolverStats};
 pub use tlsim::EvalStrategy;
 pub use uarch::{BugSpec, Config, Operand, UarchError};
@@ -203,6 +205,10 @@ pub struct VerificationStats {
     pub formula_nodes: usize,
     /// SAT conflicts.
     pub sat_conflicts: u64,
+    /// SAT decisions.
+    pub sat_decisions: u64,
+    /// SAT literal propagations.
+    pub sat_propagations: u64,
     /// Rewriting obligations discharged (zero for PE-only).
     pub rewrite_obligations: usize,
     /// Rewriting obligations discharged by the syntactic fast path.
@@ -220,7 +226,7 @@ pub struct VerificationStats {
 pub type VerifyStats = VerificationStats;
 
 /// The result of a verification run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Verification {
     /// The verdict.
     pub verdict: Verdict,
@@ -437,6 +443,8 @@ impl Verifier {
         stats.cnf_vars = report.stats.cnf_vars;
         stats.cnf_clauses = report.stats.cnf_clauses;
         stats.sat_conflicts = report.sat_stats.conflicts;
+        stats.sat_decisions = report.sat_stats.decisions;
+        stats.sat_propagations = report.sat_stats.propagations;
         stats.proof_checked = report.proof_checked;
 
         let verdict = match report.outcome {

@@ -95,7 +95,7 @@ impl fmt::Display for Lit {
 ///
 /// Tautological clauses (containing `x` and `!x`) are dropped and duplicate
 /// literals within a clause are removed at insertion.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Cnf {
     num_vars: usize,
     clauses: Vec<Vec<Lit>>,

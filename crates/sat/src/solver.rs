@@ -11,7 +11,7 @@ use crate::proof::Proof;
 /// When a limit is hit the solver returns [`Outcome::Unknown`] — this is how
 /// the benchmark harness reproduces the paper's "ran out of memory after
 /// 18,000 seconds" cells without actually exhausting the machine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Limits {
     /// Maximum number of conflicts before giving up.
     pub max_conflicts: Option<u64>,

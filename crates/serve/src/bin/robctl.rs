@@ -1,0 +1,241 @@
+//! `robctl` — client for the `robd` verification server.
+//!
+//! ```text
+//! robctl [--addr HOST:PORT] ping
+//! robctl [--addr HOST:PORT] verify --size N --width K [--strategy S]
+//!        [--bug SPEC] [--audit] [--check-proofs] [--max-conflicts N]
+//!        [--max-seconds S] [--quiet] [--expect-cache hit|miss]
+//! robctl [--addr HOST:PORT] stats
+//! robctl [--addr HOST:PORT] shutdown
+//! ```
+//!
+//! `verify` tails progress events to stderr and prints the result to
+//! stdout. `--expect-cache` makes the exit status assert the cache
+//! disposition — the CI smoke test uses it to prove the second identical
+//! request is served from the cache.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use serve::{Request, Response, VerifyRequest};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("robctl: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:7421".to_owned();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--addr") {
+        if pos + 1 >= args.len() {
+            return Err("--addr needs a value".to_owned());
+        }
+        addr = args.remove(pos + 1);
+        args.remove(pos);
+    }
+    let Some(command) = args.first().cloned() else {
+        print!("{USAGE}");
+        return Ok(ExitCode::FAILURE);
+    };
+    match command.as_str() {
+        "ping" => match roundtrip(&addr, &Request::Ping)? {
+            Response::Pong => {
+                println!("pong");
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unexpected response: {other:?}")),
+        },
+        "shutdown" => match roundtrip(&addr, &Request::Shutdown)? {
+            Response::ShutdownAck => {
+                println!("server draining");
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unexpected response: {other:?}")),
+        },
+        "stats" => match roundtrip(&addr, &Request::Stats)? {
+            Response::Stats(s) => {
+                println!("server stats");
+                println!("  uptime          {:>10.1}s", s.uptime_secs);
+                println!("  jobs served     {:>10}", s.jobs_served);
+                println!("  rejected        {:>10}", s.rejected);
+                println!("  cache hits      {:>10}", s.cache_hits);
+                println!("  cache misses    {:>10}", s.cache_misses);
+                println!("  hit rate        {:>9.1}%", s.hit_rate * 100.0);
+                println!("  cache entries   {:>10}", s.cache_entries);
+                println!("  cache evictions {:>10}", s.cache_evictions);
+                println!("  queue depth     {:>10}", s.queue_depth);
+                println!("  active jobs     {:>10}", s.active_jobs);
+                println!("  p50 latency     {:>10.3}s", s.p50.as_secs_f64());
+                println!("  p95 latency     {:>10.3}s", s.p95.as_secs_f64());
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unexpected response: {other:?}")),
+        },
+        "verify" => verify(&addr, &args[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn verify(addr: &str, args: &[String]) -> Result<ExitCode, String> {
+    let mut size: Option<usize> = None;
+    let mut width: Option<usize> = None;
+    let mut request = VerifyRequest::new(0, 0);
+    let mut quiet = false;
+    let mut expect_cache: Option<bool> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--size" => size = Some(parse_flag(&value("--size")?, "--size")?),
+            "--width" => width = Some(parse_flag(&value("--width")?, "--width")?),
+            "--strategy" => {
+                request.strategy = value("--strategy")?.parse()?;
+            }
+            "--bug" => {
+                request.bug = Some(value("--bug")?.parse().map_err(|e| format!("--bug: {e}"))?);
+            }
+            "--max-conflicts" => {
+                request.sat_limits.max_conflicts =
+                    Some(parse_flag(&value("--max-conflicts")?, "--max-conflicts")?);
+            }
+            "--max-seconds" => {
+                request.sat_limits.max_seconds =
+                    Some(parse_flag(&value("--max-seconds")?, "--max-seconds")?);
+            }
+            "--audit" => request.audit = true,
+            "--check-proofs" => request.check_proofs = true,
+            "--quiet" => quiet = true,
+            "--expect-cache" => {
+                expect_cache = Some(match value("--expect-cache")?.as_str() {
+                    "hit" => true,
+                    "miss" => false,
+                    other => {
+                        return Err(format!("--expect-cache must be hit or miss, got {other:?}"))
+                    }
+                });
+            }
+            other => return Err(format!("unknown verify flag {other:?}")),
+        }
+    }
+    request.rob_size = size.ok_or("--size is required")?;
+    request.issue_width = width.ok_or("--width is required")?;
+
+    let stream = connect(addr)?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    send(&mut writer, &Request::Verify(request))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("server closed the connection mid-request".to_owned()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Response::parse(&line)? {
+            Response::Event { state, detail } => {
+                if !quiet {
+                    eprintln!("[{state}] {detail}");
+                }
+            }
+            Response::Overloaded { depth, limit } => {
+                eprintln!("server overloaded: {depth} jobs queued (limit {limit}); retry later");
+                return Ok(ExitCode::from(2));
+            }
+            Response::Error { message } => return Err(message),
+            Response::Result {
+                cache_hit,
+                key_digest,
+                elapsed,
+                verification,
+            } => {
+                let cache = if cache_hit { "hit" } else { "miss" };
+                println!(
+                    "verdict: {}  cache: {cache}  key: {key_digest}  elapsed: {:.3}s",
+                    verification.verdict.label(),
+                    elapsed.as_secs_f64(),
+                );
+                if !verification.diagnostics.is_empty() {
+                    println!("diagnostics: {}", verification.diagnostics.len());
+                }
+                if let Some(expected_hit) = expect_cache {
+                    if cache_hit != expected_hit {
+                        eprintln!(
+                            "expected cache {}, got {cache}",
+                            if expected_hit { "hit" } else { "miss" },
+                        );
+                        return Ok(ExitCode::FAILURE);
+                    }
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unexpected response: {other:?}")),
+        }
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+fn send(writer: &mut TcpStream, request: &Request) -> Result<(), String> {
+    writeln!(writer, "{}", request.to_json()).map_err(|e| format!("write failed: {e}"))?;
+    writer.flush().map_err(|e| format!("flush failed: {e}"))
+}
+
+fn roundtrip(addr: &str, request: &Request) -> Result<Response, String> {
+    let stream = connect(addr)?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    send(&mut writer, request)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("server closed the connection".to_owned()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+        if !line.trim().is_empty() {
+            return Response::parse(&line);
+        }
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+const USAGE: &str = "\
+usage: robctl [--addr HOST:PORT] <command>
+commands:
+  ping                         liveness probe
+  verify --size N --width K    verify one configuration
+         [--strategy pe-only|rewrite+pe] [--bug SPEC]
+         [--max-conflicts N] [--max-seconds S]
+         [--audit] [--check-proofs] [--quiet]
+         [--expect-cache hit|miss]   fail unless the cache agreed
+  stats                        server statistics
+  shutdown                     drain and stop the server
+";

@@ -1,0 +1,90 @@
+//! `robd` — the verification server daemon.
+//!
+//! ```text
+//! robd [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-secs S]
+//!      [--cache N] [--persist PATH]
+//! ```
+//!
+//! Prints `rob-serve listening on <addr>` once ready, then serves until
+//! a client sends `shutdown`, draining in-flight work and flushing the
+//! cache before exiting 0.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use serve::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        // The library default is an ephemeral port (for tests); the
+        // daemon wants a well-known one.
+        addr: "127.0.0.1:7421".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let result = match arg.as_str() {
+            "--addr" => take(&mut args, &arg).map(|v| config.addr = v),
+            "--workers" => parse(&mut args, &arg).map(|v: usize| config.workers = v.max(1)),
+            "--queue" => parse(&mut args, &arg).map(|v| config.queue_limit = v),
+            "--timeout-secs" => parse(&mut args, &arg)
+                .map(|v: f64| config.timeout = Some(Duration::from_secs_f64(v))),
+            "--cache" => parse(&mut args, &arg).map(|v: usize| config.cache_capacity = v.max(1)),
+            "--persist" => take(&mut args, &arg).map(|v| config.persist_path = Some(v.into())),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(message) = result {
+            eprintln!("robd: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let handle = match Server::start(config) {
+        Ok(handle) => handle,
+        Err(error) => {
+            eprintln!("robd: failed to start: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(replay) = handle.replay_report() {
+        println!(
+            "rob-serve cache replay: {} loaded, {} stale, {} rejected",
+            replay.loaded, replay.stale, replay.rejected
+        );
+    }
+    println!("rob-serve listening on {}", handle.addr());
+    handle.join();
+    println!("rob-serve drained, exiting");
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "\
+usage: robd [options]
+  --addr HOST:PORT   bind address (default 127.0.0.1:7421; port 0 = ephemeral)
+  --workers N        solver worker threads (default: available parallelism)
+  --queue N          admission-queue bound; beyond it requests are shed (default 32)
+  --timeout-secs S   per-job wall-clock deadline (default: none)
+  --cache N          result-cache capacity (default 1024)
+  --persist PATH     JSONL cache store replayed on startup, flushed on shutdown
+";
+
+fn take(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    take(args, flag)?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}

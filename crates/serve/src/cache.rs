@@ -1,0 +1,367 @@
+//! The content-addressed result cache.
+//!
+//! Entries are keyed by the exact [`JobKey`] canonical string, so a hit
+//! is sound by construction — no hash is trusted for identity. Capacity
+//! is bounded with least-recently-used eviction (a monotonic use stamp
+//! per entry; eviction scans for the minimum, which is cheap at the
+//! configured capacities).
+//!
+//! # Persistence
+//!
+//! With a store path configured, the cache can be flushed to a JSONL
+//! file — one `{"key", "key_digest", "verification"}` object per line —
+//! and replayed on startup. Replay is defensive: lines that fail to
+//! parse, records whose stored digest disagrees with the recomputed one,
+//! and records whose fingerprint (embedded in the canonical key) no
+//! longer matches the running build are skipped and counted, never
+//! served. Duplicate keys resolve last-wins, so an append-mostly file
+//! stays correct; [`ResultCache::flush`] rewrites the file compacted
+//! (atomically, via a sibling temp file) so it does not grow without
+//! bound across restarts.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use campaign::codec;
+use campaign::json::{self, Json};
+use rob_verify::jobkey::CODE_FINGERPRINT;
+use rob_verify::{JobKey, Verification};
+
+struct Entry {
+    verification: Verification,
+    last_used: u64,
+}
+
+/// Counters describing one persisted-store replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records accepted into the cache.
+    pub loaded: usize,
+    /// Lines rejected (parse failure, digest mismatch, malformed
+    /// verification payload).
+    pub rejected: usize,
+    /// Valid records skipped because their code fingerprint does not
+    /// match this build.
+    pub stale: usize,
+}
+
+/// A bounded, content-addressed map from [`JobKey`] to [`Verification`].
+pub struct ResultCache {
+    entries: HashMap<String, Entry>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    store: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` results (clamped to at
+    /// least 1), with no persistence.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            store: None,
+        }
+    }
+
+    /// Attaches a JSONL store and replays it if it exists.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors reading an existing store; malformed
+    /// content is skipped and reported, never fatal.
+    pub fn with_store(
+        capacity: usize,
+        path: impl Into<PathBuf>,
+    ) -> std::io::Result<(Self, ReplayReport)> {
+        let path = path.into();
+        let mut cache = ResultCache::new(capacity);
+        let mut report = ReplayReport::default();
+        if path.exists() {
+            let file = std::fs::File::open(&path)?;
+            for line in std::io::BufReader::new(file).lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match decode_record(&line) {
+                    Ok((key, verification)) => {
+                        if key.canonical().contains(CODE_FINGERPRINT) {
+                            cache.insert(&key, verification);
+                            report.loaded += 1;
+                        } else {
+                            report.stale += 1;
+                        }
+                    }
+                    Err(_) => report.rejected += 1,
+                }
+            }
+            // Replay is not traffic: don't let it skew the hit rate.
+            cache.hits = 0;
+            cache.misses = 0;
+        }
+        cache.store = Some(path);
+        Ok((cache, report))
+    }
+
+    /// Looks up a key, counting a hit or a miss.
+    pub fn get(&mut self, key: &JobKey) -> Option<Verification> {
+        self.clock += 1;
+        match self.entries.get_mut(key.canonical()) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.hits += 1;
+                Some(entry.verification.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a result, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: &JobKey, verification: Verification) {
+        self.clock += 1;
+        if !self.entries.contains_key(key.canonical()) && self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key.canonical().to_owned(),
+            Entry {
+                verification,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookup hits since startup (replay excluded).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses since startup (replay excluded).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted to respect the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// `hits / (hits + misses)`, or 0 with no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Writes the current contents to the attached store, compacted, via
+    /// an atomic temp-file rename. No-op without a store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let Some(path) = &self.store else {
+            return Ok(());
+        };
+        let tmp = sibling_tmp(path);
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut out = BufWriter::new(file);
+            // Oldest first, so a later append-only writer still wins.
+            let mut ordered: Vec<(&String, &Entry)> = self.entries.iter().collect();
+            ordered.sort_by_key(|(_, e)| e.last_used);
+            for (canonical, entry) in ordered {
+                let key = JobKey::from_canonical(canonical.clone());
+                writeln!(out, "{}", encode_record(&key, &entry.verification))?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn sibling_tmp(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Encodes one persisted cache record as a single JSON line.
+pub fn encode_record(key: &JobKey, verification: &Verification) -> String {
+    Json::obj([
+        ("key", Json::str(key.canonical())),
+        ("key_digest", Json::str(key.digest_hex())),
+        ("verification", codec::verification_to_json(verification)),
+    ])
+    .to_string()
+}
+
+/// Decodes one persisted record, validating the stored digest against
+/// the recomputed one.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field, or a digest
+/// mismatch (a corrupted or hand-edited line).
+pub fn decode_record(line: &str) -> Result<(JobKey, Verification), String> {
+    let doc = json::parse(line)?;
+    let canonical = doc
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing key".to_owned())?;
+    let key = JobKey::from_canonical(canonical);
+    let stored = doc
+        .get("key_digest")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing key_digest".to_owned())?;
+    if stored != key.digest_hex() {
+        return Err(format!(
+            "digest mismatch: stored {stored}, recomputed {}",
+            key.digest_hex()
+        ));
+    }
+    let verification = codec::verification_from_json(
+        doc.get("verification")
+            .ok_or_else(|| "missing verification".to_owned())?,
+    )?;
+    Ok((key, verification))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rob_verify::{Config, Strategy, Verdict};
+
+    fn key(n: usize) -> JobKey {
+        JobKey::derive(
+            &Config::new(n, 1).unwrap(),
+            Strategy::default(),
+            None,
+            &rob_verify::Limits::none(),
+            false,
+            false,
+        )
+    }
+
+    fn verified() -> Verification {
+        Verification {
+            verdict: Verdict::Verified,
+            timings: Default::default(),
+            stats: Default::default(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_lru_eviction() {
+        let mut cache = ResultCache::new(2);
+        assert!(cache.get(&key(2)).is_none());
+        cache.insert(&key(2), verified());
+        cache.insert(&key(3), verified());
+        assert!(cache.get(&key(2)).is_some(), "freshens key 2");
+        cache.insert(&key(4), verified()); // evicts key 3 (LRU)
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&key(3)).is_none(), "key 3 was evicted");
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(4)).is_some());
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 2);
+        assert!((cache.hit_rate() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn records_roundtrip_and_reject_digest_mismatch() {
+        let k = key(4);
+        let line = encode_record(&k, &verified());
+        let (back_key, back) = decode_record(&line).expect("decode");
+        assert_eq!(back_key, k);
+        assert_eq!(back.verdict, Verdict::Verified);
+        let tampered = line.replace(&k.digest_hex(), "0000000000000000");
+        assert!(decode_record(&tampered).is_err());
+        assert!(decode_record("not json").is_err());
+    }
+
+    #[test]
+    fn store_replays_last_wins_and_skips_garbage() {
+        let dir = std::env::temp_dir().join(format!("rob-serve-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache-replay.jsonl");
+        let k = key(4);
+        let mut falsified = verified();
+        falsified.verdict = Verdict::Falsified { true_vars: vec![] };
+        let stale_key = JobKey::from_canonical("fp=0.0.0+s0|rob=4|w=1|…");
+        let text = format!(
+            "{}\nthis line is garbage\n{}\n{}\n",
+            encode_record(&k, &verified()),
+            encode_record(&stale_key, &verified()),
+            encode_record(&k, &falsified),
+        );
+        std::fs::write(&path, text).unwrap();
+        let (mut cache, report) = ResultCache::with_store(16, &path).unwrap();
+        assert_eq!(
+            report,
+            ReplayReport {
+                loaded: 2,
+                rejected: 1,
+                stale: 1
+            }
+        );
+        assert_eq!(cache.len(), 1, "duplicate key collapses last-wins");
+        let got = cache.get(&k).expect("replayed entry");
+        assert!(
+            matches!(got.verdict, Verdict::Falsified { .. }),
+            "last wins"
+        );
+        assert_eq!(cache.hits(), 1, "replay does not count as traffic");
+
+        // Flush compacts; a fresh replay sees exactly the live entries.
+        cache.insert(&key(5), verified());
+        cache.flush().unwrap();
+        let (cache2, report2) = ResultCache::with_store(16, &path).unwrap();
+        assert_eq!(
+            report2,
+            ReplayReport {
+                loaded: 2,
+                rejected: 0,
+                stale: 0
+            }
+        );
+        assert_eq!(cache2.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,51 @@
+//! # rob-serve
+//!
+//! Verification-as-a-service: a long-running daemon (`robd`) that
+//! accepts newline-delimited JSON verification requests over TCP,
+//! schedules them onto a bounded worker pool, and answers repeat
+//! queries from a **content-addressed result cache**.
+//!
+//! The cache key ([`rob_verify::JobKey`]) covers everything that
+//! determines a verification result — configuration, strategy, seeded
+//! bug, SAT limits, proof/audit flags, and a code fingerprint — so a hit
+//! is sound by construction. With persistence enabled, results survive
+//! daemon restarts: the JSONL store is validated and replayed on
+//! startup, then rewritten compacted on shutdown.
+//!
+//! Production behaviors:
+//!
+//! - **bounded admission**: requests beyond the queue bound are shed
+//!   with a structured `overloaded` response instead of queueing
+//!   unboundedly;
+//! - **graceful drain**: shutdown finishes in-flight and queued jobs,
+//!   flushes the cache, and refuses new connections;
+//! - **streamed progress**: `verify` responses interleave `queued` /
+//!   `started` events before the terminal line;
+//! - **introspection**: a `stats` request reports uptime, jobs served,
+//!   cache hit rate, queue depth, and p50/p95 solve latency.
+//!
+//! The companion `robctl` binary submits jobs, tails events, and
+//! pretty-prints stats. The wire protocol is specified in `DESIGN.md`
+//! §10 and implemented (both directions) in [`proto`].
+//!
+//! ```no_run
+//! use serve::{Server, ServerConfig};
+//!
+//! let handle = Server::start(ServerConfig::default())?;
+//! println!("serving on {}", handle.addr());
+//! handle.join(); // until a client sends `shutdown`
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod proto;
+pub mod server;
+pub mod stats;
+
+pub use cache::{ReplayReport, ResultCache};
+pub use proto::{Request, Response, StatsSnapshot, VerifyRequest};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use stats::ServerStats;

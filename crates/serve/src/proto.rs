@@ -1,0 +1,531 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line with a `request`
+//! discriminator (`verify`, `stats`, `ping`, `shutdown`); every response
+//! line carries a `response` discriminator. A `verify` request streams
+//! zero or more `event` lines (queued / started / retried progress)
+//! followed by exactly one terminal line — `result`, `overloaded`, or
+//! `error`; every other request gets exactly one response line. The full
+//! schema is documented in `DESIGN.md` §10.
+//!
+//! Both directions are implemented here so the daemon, `robctl`, and the
+//! tests share one codec.
+
+use std::time::Duration;
+
+use campaign::codec;
+use campaign::json::{self, Json};
+use rob_verify::{BugSpec, Config, Limits, Strategy, Verification};
+
+/// A `verify` request: everything that determines one verification job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyRequest {
+    /// Reorder-buffer size `N`.
+    pub rob_size: usize,
+    /// Issue/retire width `k`.
+    pub issue_width: usize,
+    /// Translation strategy.
+    pub strategy: Strategy,
+    /// Optional seeded defect.
+    pub bug: Option<BugSpec>,
+    /// SAT resource limits.
+    pub sat_limits: Limits,
+    /// Log and check DRUP proofs for `Verified` verdicts.
+    pub check_proofs: bool,
+    /// Run the rob-lint audit battery.
+    pub audit: bool,
+}
+
+impl VerifyRequest {
+    /// A bug-free, unlimited request for the given configuration.
+    pub fn new(rob_size: usize, issue_width: usize) -> Self {
+        VerifyRequest {
+            rob_size,
+            issue_width,
+            strategy: Strategy::default(),
+            bug: None,
+            sat_limits: Limits::none(),
+            check_proofs: false,
+            audit: false,
+        }
+    }
+
+    /// Validates the configuration and builds the campaign job.
+    ///
+    /// # Errors
+    ///
+    /// Reports an invalid size/width combination or a bug that does not
+    /// fit the configuration.
+    pub fn job(&self) -> Result<campaign::JobSpec, String> {
+        let config = Config::new(self.rob_size, self.issue_width).map_err(|e| e.to_string())?;
+        if let Some(bug) = self.bug {
+            bug.validate(&config).map_err(|e| e.to_string())?;
+        }
+        Ok(campaign::JobSpec {
+            config,
+            strategy: self.strategy,
+            bug: self.bug,
+            sat_limits: self.sat_limits,
+            check_proofs: self.check_proofs,
+            audit: self.audit,
+        })
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Verify one configuration.
+    Verify(VerifyRequest),
+    /// Report server statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// An aggregate server-statistics snapshot (the `stats` response body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Seconds since the daemon started.
+    pub uptime_secs: f64,
+    /// Verify jobs answered (hits and misses).
+    pub jobs_served: u64,
+    /// Requests shed with `overloaded`.
+    pub rejected: u64,
+    /// Cache lookup hits.
+    pub cache_hits: u64,
+    /// Cache lookup misses.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+    /// Results currently cached.
+    pub cache_entries: usize,
+    /// Entries evicted since startup.
+    pub cache_evictions: u64,
+    /// Jobs waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Jobs currently executing.
+    pub active_jobs: usize,
+    /// Median verify latency (solved jobs only).
+    pub p50: Duration,
+    /// 95th-percentile verify latency (solved jobs only).
+    pub p95: Duration,
+}
+
+/// A server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Per-job progress (`queued`, `started`, `retried`).
+    Event {
+        /// The progress state.
+        state: String,
+        /// Free-form elaboration (job label, attempt number).
+        detail: String,
+    },
+    /// The terminal answer to a `verify` request.
+    Result {
+        /// Whether the result came from the cache.
+        cache_hit: bool,
+        /// The job-key digest (16 hex digits) for log correlation.
+        key_digest: String,
+        /// Wall-clock time the server spent answering.
+        elapsed: Duration,
+        /// The verification result.
+        verification: Verification,
+    },
+    /// Statistics snapshot.
+    Stats(StatsSnapshot),
+    /// The admission queue was full; retry later.
+    Overloaded {
+        /// Queue depth observed.
+        depth: usize,
+        /// Configured bound.
+        limit: usize,
+    },
+    /// The request failed (parse error, invalid configuration, worker
+    /// crash).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// The daemon acknowledged `shutdown` and is draining.
+    ShutdownAck,
+}
+
+impl Request {
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Verify(v) => Json::obj([
+                ("request", Json::str("verify")),
+                ("rob_size", Json::from(v.rob_size)),
+                ("issue_width", Json::from(v.issue_width)),
+                ("strategy", Json::str(v.strategy.to_string())),
+                ("bug", v.bug.map(|b| b.to_string()).into()),
+                ("max_conflicts", v.sat_limits.max_conflicts.into()),
+                ("max_seconds", v.sat_limits.max_seconds.into()),
+                (
+                    "max_learnt_literals",
+                    v.sat_limits.max_learnt_literals.into(),
+                ),
+                ("check_proofs", Json::from(v.check_proofs)),
+                ("audit", Json::from(v.audit)),
+            ]),
+            Request::Stats => Json::obj([("request", Json::str("stats"))]),
+            Request::Ping => Json::obj([("request", Json::str("ping"))]),
+            Request::Shutdown => Json::obj([("request", Json::str("shutdown"))]),
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first syntactic or semantic problem; the server
+    /// reports it back as an `error` response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = json::parse(line.trim())?;
+        let kind = doc
+            .get("request")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing request discriminator".to_owned())?;
+        match kind {
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "verify" => {
+                let rob_size = require_usize(&doc, "rob_size")?;
+                let issue_width = require_usize(&doc, "issue_width")?;
+                let strategy = match doc.get("strategy") {
+                    None | Some(Json::Null) => Strategy::default(),
+                    Some(s) => s
+                        .as_str()
+                        .ok_or_else(|| "strategy is not a string".to_owned())?
+                        .parse()?,
+                };
+                let bug = match doc.get("bug") {
+                    None | Some(Json::Null) => None,
+                    Some(b) => Some(
+                        b.as_str()
+                            .ok_or_else(|| "bug is not a string".to_owned())?
+                            .parse::<BugSpec>()
+                            .map_err(|e| e.to_string())?,
+                    ),
+                };
+                let sat_limits = Limits {
+                    max_conflicts: optional_u64(&doc, "max_conflicts")?,
+                    max_seconds: optional_f64(&doc, "max_seconds")?,
+                    max_learnt_literals: optional_u64(&doc, "max_learnt_literals")?,
+                };
+                Ok(Request::Verify(VerifyRequest {
+                    rob_size,
+                    issue_width,
+                    strategy,
+                    bug,
+                    sat_limits,
+                    check_proofs: optional_bool(&doc, "check_proofs")?,
+                    audit: optional_bool(&doc, "audit")?,
+                }))
+            }
+            other => Err(format!("unknown request {other:?}")),
+        }
+    }
+}
+
+impl Response {
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Event { state, detail } => Json::obj([
+                ("response", Json::str("event")),
+                ("state", Json::str(state.clone())),
+                ("detail", Json::str(detail.clone())),
+            ]),
+            Response::Result {
+                cache_hit,
+                key_digest,
+                elapsed,
+                verification,
+            } => Json::obj([
+                ("response", Json::str("result")),
+                ("cache", Json::str(if *cache_hit { "hit" } else { "miss" })),
+                ("key_digest", Json::str(key_digest.clone())),
+                ("elapsed_secs", Json::Num(elapsed.as_secs_f64())),
+                ("verification", codec::verification_to_json(verification)),
+            ]),
+            Response::Stats(s) => Json::obj([
+                ("response", Json::str("stats")),
+                ("uptime_secs", Json::Num(s.uptime_secs)),
+                ("jobs_served", Json::from(s.jobs_served)),
+                ("rejected", Json::from(s.rejected)),
+                ("cache_hits", Json::from(s.cache_hits)),
+                ("cache_misses", Json::from(s.cache_misses)),
+                ("hit_rate", Json::Num(s.hit_rate)),
+                ("cache_entries", Json::from(s.cache_entries)),
+                ("cache_evictions", Json::from(s.cache_evictions)),
+                ("queue_depth", Json::from(s.queue_depth)),
+                ("active_jobs", Json::from(s.active_jobs)),
+                ("p50_secs", Json::Num(s.p50.as_secs_f64())),
+                ("p95_secs", Json::Num(s.p95.as_secs_f64())),
+            ]),
+            Response::Overloaded { depth, limit } => Json::obj([
+                ("response", Json::str("overloaded")),
+                ("depth", Json::from(*depth)),
+                ("limit", Json::from(*limit)),
+            ]),
+            Response::Error { message } => Json::obj([
+                ("response", Json::str("error")),
+                ("message", Json::str(message.clone())),
+            ]),
+            Response::Pong => Json::obj([("response", Json::str("pong"))]),
+            Response::ShutdownAck => Json::obj([("response", Json::str("shutdown-ack"))]),
+        }
+    }
+
+    /// Parses one response line (the `robctl` side).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed field.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = json::parse(line.trim())?;
+        let kind = doc
+            .get("response")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing response discriminator".to_owned())?;
+        match kind {
+            "pong" => Ok(Response::Pong),
+            "shutdown-ack" => Ok(Response::ShutdownAck),
+            "event" => Ok(Response::Event {
+                state: require_str(&doc, "state")?,
+                detail: require_str(&doc, "detail")?,
+            }),
+            "overloaded" => Ok(Response::Overloaded {
+                depth: require_usize(&doc, "depth")?,
+                limit: require_usize(&doc, "limit")?,
+            }),
+            "error" => Ok(Response::Error {
+                message: require_str(&doc, "message")?,
+            }),
+            "result" => {
+                let cache = require_str(&doc, "cache")?;
+                let cache_hit = match cache.as_str() {
+                    "hit" => true,
+                    "miss" => false,
+                    other => return Err(format!("unknown cache flag {other:?}")),
+                };
+                let elapsed = require_f64(&doc, "elapsed_secs")?;
+                if !(elapsed.is_finite() && elapsed >= 0.0) {
+                    return Err(format!("invalid elapsed_secs {elapsed}"));
+                }
+                Ok(Response::Result {
+                    cache_hit,
+                    key_digest: require_str(&doc, "key_digest")?,
+                    elapsed: Duration::from_secs_f64(elapsed),
+                    verification: codec::verification_from_json(
+                        doc.get("verification")
+                            .ok_or_else(|| "missing verification".to_owned())?,
+                    )?,
+                })
+            }
+            "stats" => Ok(Response::Stats(StatsSnapshot {
+                uptime_secs: require_f64(&doc, "uptime_secs")?,
+                jobs_served: require_f64(&doc, "jobs_served")? as u64,
+                rejected: require_f64(&doc, "rejected")? as u64,
+                cache_hits: require_f64(&doc, "cache_hits")? as u64,
+                cache_misses: require_f64(&doc, "cache_misses")? as u64,
+                hit_rate: require_f64(&doc, "hit_rate")?,
+                cache_entries: require_usize(&doc, "cache_entries")?,
+                cache_evictions: require_f64(&doc, "cache_evictions")? as u64,
+                queue_depth: require_usize(&doc, "queue_depth")?,
+                active_jobs: require_usize(&doc, "active_jobs")?,
+                p50: Duration::from_secs_f64(require_f64(&doc, "p50_secs")?.max(0.0)),
+                p95: Duration::from_secs_f64(require_f64(&doc, "p95_secs")?.max(0.0)),
+            })),
+            other => Err(format!("unknown response {other:?}")),
+        }
+    }
+}
+
+fn require_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn require_usize(doc: &Json, key: &str) -> Result<usize, String> {
+    let n = require_f64(doc, key)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("field {key:?} is not a non-negative integer: {n}"));
+    }
+    Ok(n as usize)
+}
+
+fn require_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn optional_u64(doc: &Json, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_num()
+                .ok_or_else(|| format!("field {key:?} is not a number"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("field {key:?} is not a non-negative integer: {n}"));
+            }
+            Ok(Some(n as u64))
+        }
+    }
+}
+
+fn optional_f64(doc: &Json, key: &str) -> Result<Option<f64>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_num()
+                .ok_or_else(|| format!("field {key:?} is not a number"))?;
+            if !(n.is_finite() && n >= 0.0) {
+                return Err(format!("field {key:?} is not a valid budget: {n}"));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+fn optional_bool(doc: &Json, key: &str) -> Result<bool, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(other) => Err(format!("field {key:?} is not a bool: {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rob_verify::{Operand, Verdict};
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Verify(VerifyRequest::new(8, 2)),
+            Request::Verify(VerifyRequest {
+                strategy: Strategy::PositiveEqualityOnly,
+                bug: Some(BugSpec::ForwardingIgnoresValidResult {
+                    slice: 5,
+                    operand: Operand::Src2,
+                }),
+                sat_limits: Limits {
+                    max_conflicts: Some(5000),
+                    max_seconds: Some(1.5),
+                    max_learnt_literals: None,
+                },
+                check_proofs: true,
+                audit: true,
+                ..VerifyRequest::new(8, 2)
+            }),
+        ];
+        for request in requests {
+            let line = request.to_json().to_string();
+            assert!(!line.contains('\n'));
+            assert_eq!(Request::parse(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let verification = Verification {
+            verdict: Verdict::SliceDiagnosis {
+                slice: 5,
+                reason: "forwarding".to_owned(),
+            },
+            timings: Default::default(),
+            stats: Default::default(),
+            diagnostics: Vec::new(),
+        };
+        let responses = [
+            Response::Pong,
+            Response::ShutdownAck,
+            Response::Event {
+                state: "started".to_owned(),
+                detail: "rob8xw2/rewrite+pe worker=1 attempt=1".to_owned(),
+            },
+            Response::Overloaded {
+                depth: 64,
+                limit: 64,
+            },
+            Response::Error {
+                message: "bad request".to_owned(),
+            },
+            Response::Result {
+                cache_hit: true,
+                key_digest: "00ff00ff00ff00ff".to_owned(),
+                elapsed: Duration::from_millis(3),
+                verification,
+            },
+            Response::Stats(StatsSnapshot {
+                uptime_secs: 12.5,
+                jobs_served: 7,
+                rejected: 1,
+                cache_hits: 3,
+                cache_misses: 4,
+                hit_rate: 3.0 / 7.0,
+                cache_entries: 4,
+                cache_evictions: 0,
+                queue_depth: 2,
+                active_jobs: 1,
+                p50: Duration::from_millis(40),
+                p95: Duration::from_millis(90),
+            }),
+        ];
+        for response in responses {
+            let line = response.to_json().to_string();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::parse(&line).unwrap(), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(Request::parse("{}").is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"request":"verify"}"#).is_err());
+        assert!(Request::parse(
+            r#"{"request":"verify","rob_size":4,"issue_width":1,"strategy":"quantum"}"#
+        )
+        .is_err());
+        assert!(Request::parse(
+            r#"{"request":"verify","rob_size":4,"issue_width":1,"bug":"no-such-bug:1"}"#
+        )
+        .is_err());
+        assert!(Request::parse(
+            r#"{"request":"verify","rob_size":4,"issue_width":1,"max_conflicts":-3}"#
+        )
+        .is_err());
+        assert!(Request::parse(r#"{"request":"dance"}"#).is_err());
+    }
+
+    #[test]
+    fn verify_request_validates_configuration() {
+        assert!(VerifyRequest::new(4, 2).job().is_ok());
+        assert!(VerifyRequest::new(2, 8).job().is_err(), "width > size");
+        let bad_bug = VerifyRequest {
+            bug: Some(BugSpec::RetireOutOfOrder { slice: 99 }),
+            ..VerifyRequest::new(4, 2)
+        };
+        assert!(bad_bug.job().is_err(), "bug slice exceeds ROB size");
+    }
+}

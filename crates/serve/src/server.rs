@@ -1,0 +1,401 @@
+//! The daemon: TCP accept loop, connection handlers, and the verify
+//! pipeline (cache lookup → pool submission → event streaming → cache
+//! insert).
+//!
+//! Life of a `verify` request:
+//!
+//! 1. the connection thread parses the line and derives the job's
+//!    [`JobKey`](rob_verify::JobKey);
+//! 2. a cache hit answers immediately with `cache: hit`;
+//! 3. a miss is submitted to the shared [`ServicePool`] — if the bounded
+//!    admission queue is full the request is shed with `overloaded`
+//!    (never queued unboundedly);
+//! 4. while the job runs, progress events stream back to the client;
+//! 5. the result is inserted into the cache **before** the response is
+//!    written, so a client that disconnected mid-stream still pays
+//!    forward: the next identical request is a hit.
+//!
+//! Shutdown (a `shutdown` request or [`ServerHandle::shutdown`]) drains:
+//! the listener stops accepting, in-flight and queued jobs finish, every
+//! connection thread is joined, and the cache is flushed to its store.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use campaign::pool::{ExecOutcome, PoolOptions, ServicePool, SubmitError};
+use campaign::{JobRunner, JobSpec};
+use rob_verify::Verification;
+
+use crate::cache::{ReplayReport, ResultCache};
+use crate::proto::{Request, Response};
+use crate::stats::ServerStats;
+
+/// How the daemon is wired together.
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Bound on jobs waiting for a worker; submissions beyond it are
+    /// shed with `overloaded`.
+    pub queue_limit: usize,
+    /// Per-attempt wall-clock deadline for a job, if any.
+    pub timeout: Option<Duration>,
+    /// Maximum cached results.
+    pub cache_capacity: usize,
+    /// JSONL store replayed on startup and rewritten on shutdown.
+    pub persist_path: Option<PathBuf>,
+    /// The job runner; tests inject sleeping or panicking runners.
+    pub runner: JobRunner,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: campaign::default_workers(),
+            queue_limit: 32,
+            timeout: None,
+            cache_capacity: 1024,
+            persist_path: None,
+            runner: Arc::new(|job: &JobSpec| job.run()),
+        }
+    }
+}
+
+/// A job travelling through the service pool, carrying the progress
+/// channel of the connection that submitted it.
+#[derive(Clone)]
+struct ServiceJob {
+    spec: JobSpec,
+    events: Sender<Response>,
+}
+
+type PoolResult = Result<Verification, rob_verify::VerifyError>;
+
+struct Shared {
+    pool: ServicePool<ServiceJob, PoolResult>,
+    cache: Mutex<ResultCache>,
+    stats: ServerStats,
+    stopping: AtomicBool,
+}
+
+/// The daemon entry point. See [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds, replays the persisted cache (if configured), starts the
+    /// worker pool and the accept loop, and returns a handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and store-replay I/O errors.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let (cache, replay) = match &config.persist_path {
+            Some(path) => {
+                let (cache, report) = ResultCache::with_store(config.cache_capacity, path)?;
+                (cache, Some(report))
+            }
+            None => (ResultCache::new(config.cache_capacity), None),
+        };
+
+        let runner = Arc::clone(&config.runner);
+        let pool = ServicePool::start(
+            &PoolOptions {
+                workers: config.workers,
+                timeout: config.timeout,
+                retries: 0,
+            },
+            config.queue_limit,
+            Arc::new(move |job: &ServiceJob| {
+                let _ = job.events.send(Response::Event {
+                    state: "started".to_owned(),
+                    detail: job.spec.label(),
+                });
+                runner(&job.spec)
+            }),
+        );
+
+        let shared = Arc::new(Shared {
+            pool,
+            cache: Mutex::new(cache),
+            stats: ServerStats::new(),
+            stopping: AtomicBool::new(false),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("rob-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            replay,
+        })
+    }
+}
+
+/// Control handle for a running daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    replay: Option<ReplayReport>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolved, so tests learn the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What the startup replay of the persisted store found, when a
+    /// store is configured.
+    pub fn replay_report(&self) -> Option<ReplayReport> {
+        self.replay
+    }
+
+    /// Requests a graceful drain and blocks until it completes.
+    pub fn shutdown(mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; failure means it is already gone.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Blocks until the daemon drains (a client sent `shutdown`).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        let conn_addr = listener.local_addr().ok();
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("rob-serve-conn".to_owned())
+            .spawn(move || handle_connection(stream, &conn_shared, conn_addr))
+        {
+            connections.push(handle);
+        }
+        // Reap finished handlers so a long-lived daemon does not
+        // accumulate join handles.
+        connections.retain(|h| !h.is_finished());
+    }
+    // Drain: queued and in-flight jobs finish, so every connection
+    // thread's pending receiver resolves and the thread exits.
+    shared.pool.shutdown();
+    for handle in connections {
+        let _ = handle.join();
+    }
+    if let Ok(cache) = shared.cache.lock() {
+        let _ = cache.flush();
+    }
+}
+
+/// How long a connection read blocks before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<SocketAddr>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Err(message) => {
+                if write_response(&mut writer, &Response::Error { message }).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Ping) => {
+                if write_response(&mut writer, &Response::Pong).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Stats) => {
+                let snapshot = {
+                    let cache = shared.cache.lock().expect("cache poisoned");
+                    shared.stats.snapshot(
+                        cache.hits(),
+                        cache.misses(),
+                        cache.len(),
+                        cache.evictions(),
+                        shared.pool.queue_depth(),
+                        shared.pool.active_jobs(),
+                    )
+                };
+                if write_response(&mut writer, &Response::Stats(snapshot)).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Shutdown) => {
+                let _ = write_response(&mut writer, &Response::ShutdownAck);
+                shared.stopping.store(true, Ordering::SeqCst);
+                // Wake the accept loop so the drain begins.
+                if let Some(addr) = addr {
+                    let _ = TcpStream::connect(addr);
+                }
+                return;
+            }
+            Ok(Request::Verify(request)) => {
+                serve_verify(&mut writer, shared, &request);
+                // A verify answer is terminal for errors too; keep the
+                // connection open for the next request either way.
+            }
+        }
+    }
+}
+
+fn serve_verify(
+    writer: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &crate::proto::VerifyRequest,
+) {
+    let started = Instant::now();
+    let job = match request.job() {
+        Ok(job) => job,
+        Err(message) => {
+            let _ = write_response(writer, &Response::Error { message });
+            return;
+        }
+    };
+    let key = job.key();
+
+    if let Some(verification) = shared.cache.lock().expect("cache poisoned").get(&key) {
+        shared.stats.record_served(started.elapsed(), true);
+        let _ = write_response(
+            writer,
+            &Response::Result {
+                cache_hit: true,
+                key_digest: key.digest_hex(),
+                elapsed: started.elapsed(),
+                verification,
+            },
+        );
+        return;
+    }
+
+    let (events, event_rx) = mpsc::channel();
+    let queued = Response::Event {
+        state: "queued".to_owned(),
+        detail: format!("{} key={}", job.label(), key.digest_hex()),
+    };
+    let result_rx = match shared.pool.submit(ServiceJob { spec: job, events }) {
+        Ok(rx) => rx,
+        Err(SubmitError::Overloaded { depth, limit }) => {
+            shared.stats.record_rejected();
+            let _ = write_response(writer, &Response::Overloaded { depth, limit });
+            return;
+        }
+        Err(SubmitError::ShuttingDown) => {
+            let _ = write_response(
+                writer,
+                &Response::Error {
+                    message: "server is shutting down".to_owned(),
+                },
+            );
+            return;
+        }
+    };
+    // The queued event is only sent once the job is actually admitted.
+    let mut client_gone = write_response(writer, &queued).is_err();
+
+    // Stream progress while waiting for the terminal result. A client
+    // that disconnects mid-stream must not poison anything: we keep
+    // waiting (the solve is already paid for) and cache the result.
+    let exec = loop {
+        while let Ok(event) = event_rx.try_recv() {
+            if !client_gone && write_response(writer, &event).is_err() {
+                client_gone = true;
+            }
+        }
+        match result_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(exec) => break Some(exec),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break None,
+        }
+    };
+
+    let response = match exec.map(|e| e.outcome) {
+        Some(ExecOutcome::Done(Ok(verification))) => {
+            shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(&key, verification.clone());
+            shared.stats.record_served(started.elapsed(), false);
+            Response::Result {
+                cache_hit: false,
+                key_digest: key.digest_hex(),
+                elapsed: started.elapsed(),
+                verification,
+            }
+        }
+        Some(ExecOutcome::Done(Err(error))) => Response::Error {
+            message: error.to_string(),
+        },
+        Some(ExecOutcome::Panicked { message }) => Response::Error {
+            message: format!("job crashed: {message}"),
+        },
+        Some(ExecOutcome::TimedOut) => Response::Error {
+            message: "job exceeded the server deadline".to_owned(),
+        },
+        Some(ExecOutcome::Cancelled) | None => Response::Error {
+            message: "job was dropped during shutdown".to_owned(),
+        },
+    };
+    if !client_gone {
+        let _ = write_response(writer, &response);
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    writeln!(writer, "{}", response.to_json())?;
+    writer.flush()
+}

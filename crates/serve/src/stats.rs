@@ -1,0 +1,151 @@
+//! Server-side statistics: uptime, job counts, and latency percentiles.
+//!
+//! Latency samples are kept in a bounded reservoir (the most recent
+//! [`SAMPLE_CAP`] solved jobs), so a long-lived daemon's percentiles
+//! track current behavior and memory stays constant.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::proto::StatsSnapshot;
+
+/// Most recent latency samples retained for percentile estimation.
+pub const SAMPLE_CAP: usize = 4096;
+
+#[derive(Default)]
+struct Inner {
+    jobs_served: u64,
+    rejected: u64,
+    latencies: Vec<Duration>,
+    next_slot: usize,
+}
+
+/// Thread-safe statistics accumulator shared by connection handlers.
+pub struct ServerStats {
+    started: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl ServerStats {
+    /// A fresh accumulator; uptime counts from now.
+    pub fn new() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Records one answered verify request. Cache hits count as served
+    /// jobs but do not contribute latency samples — they would drown the
+    /// solver percentiles in near-zero readings.
+    pub fn record_served(&self, latency: Duration, cache_hit: bool) {
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        inner.jobs_served += 1;
+        if cache_hit {
+            return;
+        }
+        if inner.latencies.len() < SAMPLE_CAP {
+            inner.latencies.push(latency);
+        } else {
+            let slot = inner.next_slot;
+            inner.latencies[slot] = latency;
+            inner.next_slot = (slot + 1) % SAMPLE_CAP;
+        }
+    }
+
+    /// Records one request shed with `overloaded`.
+    pub fn record_rejected(&self) {
+        self.inner.lock().expect("stats poisoned").rejected += 1;
+    }
+
+    /// Builds the wire snapshot, merging in the cache and pool gauges
+    /// the accumulator does not own.
+    #[allow(clippy::too_many_arguments)]
+    pub fn snapshot(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_entries: usize,
+        cache_evictions: u64,
+        queue_depth: usize,
+        active_jobs: usize,
+    ) -> StatsSnapshot {
+        let inner = self.inner.lock().expect("stats poisoned");
+        let mut sorted = inner.latencies.clone();
+        sorted.sort_unstable();
+        let lookups = cache_hits + cache_misses;
+        StatsSnapshot {
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            jobs_served: inner.jobs_served,
+            rejected: inner.rejected,
+            cache_hits,
+            cache_misses,
+            hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / lookups as f64
+            },
+            cache_entries,
+            cache_evictions,
+            queue_depth,
+            active_jobs,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+        }
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_recent_solved_jobs_only() {
+        let stats = ServerStats::new();
+        for ms in 1..=100u64 {
+            stats.record_served(Duration::from_millis(ms), false);
+        }
+        // Hits are served but never sampled.
+        stats.record_served(Duration::from_nanos(10), true);
+        stats.record_rejected();
+        let snap = stats.snapshot(1, 100, 5, 0, 2, 1);
+        assert_eq!(snap.jobs_served, 101);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.p50, Duration::from_millis(50));
+        assert_eq!(snap.p95, Duration::from_millis(95));
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.active_jobs, 1);
+        assert!((snap.hit_rate - 1.0 / 101.0).abs() < 1e-12);
+        assert!(snap.uptime_secs >= 0.0);
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_overwrites_oldest() {
+        let stats = ServerStats::new();
+        for _ in 0..SAMPLE_CAP {
+            stats.record_served(Duration::from_secs(100), false);
+        }
+        // A full second lap replaces every old sample.
+        for _ in 0..SAMPLE_CAP {
+            stats.record_served(Duration::from_millis(1), false);
+        }
+        let snap = stats.snapshot(0, 0, 0, 0, 0, 0);
+        assert_eq!(snap.p95, Duration::from_millis(1));
+        assert_eq!(stats.inner.lock().unwrap().latencies.len(), SAMPLE_CAP);
+    }
+}

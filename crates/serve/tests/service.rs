@@ -1,0 +1,417 @@
+//! End-to-end tests of the verification server over real TCP sockets:
+//! miss-then-hit caching, concurrent clients with a mid-stream
+//! disconnect, bounded-admission overload, graceful drain, and cache
+//! persistence across a daemon restart.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use campaign::JobSpec;
+use rob_verify::{Verdict, Verification};
+use serve::{Request, Response, Server, ServerConfig, VerifyRequest};
+
+/// Connects and sends one request line.
+fn open(addr: std::net::SocketAddr, request: &Request) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writeln!(writer, "{}", request.to_json()).expect("send");
+    writer.flush().expect("flush");
+    (writer, BufReader::new(stream))
+}
+
+/// Reads response lines until the terminal one (anything but `event`).
+fn read_terminal(reader: &mut BufReader<TcpStream>) -> Response {
+    let mut events = 0;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read");
+        assert_ne!(n, 0, "server closed mid-request");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = Response::parse(&line).expect("parse response");
+        if let Response::Event { .. } = response {
+            events += 1;
+            assert!(events < 1000, "event stream never terminated");
+            continue;
+        }
+        return response;
+    }
+}
+
+fn roundtrip(addr: std::net::SocketAddr, request: &Request) -> Response {
+    let (_writer, mut reader) = open(addr, request);
+    read_terminal(&mut reader)
+}
+
+/// A fabricated verification so injected runners avoid real solving.
+fn canned() -> Verification {
+    Verification {
+        verdict: Verdict::Verified,
+        timings: Default::default(),
+        stats: Default::default(),
+        diagnostics: Vec::new(),
+    }
+}
+
+fn counting_runner(delay: Duration, solves: &Arc<AtomicUsize>) -> campaign::JobRunner {
+    let solves = Arc::clone(solves);
+    Arc::new(move |_job: &JobSpec| {
+        solves.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(delay);
+        Ok(canned())
+    })
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rob-serve-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn miss_then_hit_and_stats() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let handle = Server::start(ServerConfig {
+        workers: 2,
+        runner: counting_runner(Duration::from_millis(30), &solves),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    assert_eq!(roundtrip(addr, &Request::Ping), Response::Pong);
+
+    let verify = Request::Verify(VerifyRequest::new(8, 2));
+    let first = roundtrip(addr, &verify);
+    let Response::Result {
+        cache_hit: false,
+        key_digest,
+        ..
+    } = &first
+    else {
+        panic!("first answer must be a miss: {first:?}");
+    };
+    let second = roundtrip(addr, &verify);
+    let Response::Result {
+        cache_hit: true,
+        key_digest: second_digest,
+        elapsed,
+        verification,
+    } = &second
+    else {
+        panic!("second answer must be a hit: {second:?}");
+    };
+    assert_eq!(second_digest, key_digest);
+    assert_eq!(verification.verdict, Verdict::Verified);
+    assert!(
+        *elapsed < Duration::from_millis(10),
+        "hit must skip the solver, took {elapsed:?}"
+    );
+    assert_eq!(solves.load(Ordering::SeqCst), 1, "one solve serves both");
+
+    // A different configuration is a different key.
+    let other = roundtrip(addr, &Request::Verify(VerifyRequest::new(4, 1)));
+    assert!(matches!(
+        other,
+        Response::Result {
+            cache_hit: false,
+            ..
+        }
+    ));
+
+    let stats = roundtrip(addr, &Request::Stats);
+    let Response::Stats(s) = stats else {
+        panic!("expected stats, got {stats:?}");
+    };
+    assert_eq!(s.jobs_served, 3);
+    assert_eq!(s.cache_hits, 1);
+    assert_eq!(s.cache_misses, 2);
+    assert!((s.hit_rate - 1.0 / 3.0).abs() < 1e-9);
+    assert_eq!(s.cache_entries, 2);
+    assert!(s.p95 >= s.p50);
+    assert!(
+        s.p50 >= Duration::from_millis(20),
+        "p50 sees the solver delay"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn invalid_requests_get_structured_errors() {
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        runner: Arc::new(|_job: &JobSpec| Ok(canned())),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Garbage, then a structurally invalid job, then a good request —
+    // all on one connection, proving errors don't wedge the handler.
+    writeln!(writer, "this is not json").unwrap();
+    assert!(matches!(read_terminal(&mut reader), Response::Error { .. }));
+    writeln!(
+        writer,
+        "{}",
+        Request::Verify(VerifyRequest::new(2, 8)).to_json()
+    )
+    .unwrap();
+    let bad_config = read_terminal(&mut reader);
+    let Response::Error { message } = &bad_config else {
+        panic!("expected error, got {bad_config:?}");
+    };
+    assert!(message.contains("width"), "{message}");
+    writeln!(writer, "{}", Request::Ping.to_json()).unwrap();
+    assert_eq!(read_terminal(&mut reader), Response::Pong);
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_and_midstream_disconnect_do_not_poison_the_pool() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let handle = Server::start(ServerConfig {
+        workers: 2,
+        runner: counting_runner(Duration::from_millis(60), &solves),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    // One client submits and hangs up mid-stream, before the result.
+    let quitter = Request::Verify(VerifyRequest::new(16, 4));
+    {
+        let (writer, mut reader) = open(addr, &quitter);
+        let mut first_line = String::new();
+        reader.read_line(&mut first_line).expect("first event");
+        drop(writer);
+        drop(reader); // disconnect while the job is still running
+    }
+
+    // Meanwhile a herd of clients works a small mixed key set.
+    let keys = [(8usize, 2usize), (8, 1), (4, 2)];
+    let mut clients = Vec::new();
+    for round in 0..4 {
+        for (i, &(size, width)) in keys.iter().enumerate() {
+            let request = Request::Verify(VerifyRequest::new(size, width));
+            clients.push(std::thread::spawn(move || {
+                let response = roundtrip(addr, &request);
+                match response {
+                    Response::Result { verification, .. } => {
+                        assert_eq!(verification.verdict, Verdict::Verified);
+                    }
+                    other => panic!("client {round}/{i}: unexpected {other:?}"),
+                }
+            }));
+        }
+    }
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // The abandoned job still completed and was cached: a repeat of the
+    // quitter's request is now a hit.
+    let repeat = roundtrip(addr, &quitter);
+    assert!(
+        matches!(
+            repeat,
+            Response::Result {
+                cache_hit: true,
+                ..
+            }
+        ),
+        "disconnected client's solve must land in the cache: {repeat:?}"
+    );
+    // 3 distinct keys from the herd + 1 from the quitter; duplicates
+    // either hit the cache or (when racing the first solve) solve again.
+    // The pool itself must have stayed healthy enough to serve them all.
+    assert!(solves.load(Ordering::SeqCst) >= 4);
+
+    let stats = roundtrip(addr, &Request::Stats);
+    let Response::Stats(s) = stats else { panic!() };
+    assert_eq!(
+        s.jobs_served, 14,
+        "12 herd clients + the abandoned job + the repeat"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_structured_rejection() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        queue_limit: 1,
+        runner: counting_runner(Duration::from_millis(300), &solves),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    // Distinct keys so nothing is served from the cache: the first
+    // occupies the worker, the second fills the queue, the third sheds.
+    let mut streams = Vec::new();
+    streams.push(open(addr, &Request::Verify(VerifyRequest::new(4, 1))));
+    while {
+        let Response::Stats(s) = roundtrip(addr, &Request::Stats) else {
+            panic!()
+        };
+        s.active_jobs == 0
+    } {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    streams.push(open(addr, &Request::Verify(VerifyRequest::new(5, 1))));
+    while {
+        let Response::Stats(s) = roundtrip(addr, &Request::Stats) else {
+            panic!()
+        };
+        s.queue_depth == 0
+    } {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let shed = roundtrip(addr, &Request::Verify(VerifyRequest::new(6, 1)));
+    assert_eq!(shed, Response::Overloaded { depth: 1, limit: 1 });
+
+    // The admitted jobs still complete.
+    for (_writer, mut reader) in streams {
+        assert!(matches!(
+            read_terminal(&mut reader),
+            Response::Result {
+                cache_hit: false,
+                ..
+            }
+        ));
+    }
+    let Response::Stats(s) = roundtrip(addr, &Request::Stats) else {
+        panic!()
+    };
+    assert_eq!(s.rejected, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn cache_persists_across_restart_and_answers_without_resolving() {
+    let store = temp_path("persist.jsonl");
+    std::fs::remove_file(&store).ok();
+    let request = Request::Verify(VerifyRequest::new(12, 3));
+
+    let solves = Arc::new(AtomicUsize::new(0));
+    let first = Server::start(ServerConfig {
+        workers: 1,
+        persist_path: Some(store.clone()),
+        runner: counting_runner(Duration::ZERO, &solves),
+        ..ServerConfig::default()
+    })
+    .expect("start first");
+    let miss = roundtrip(first.addr(), &request);
+    assert!(matches!(
+        miss,
+        Response::Result {
+            cache_hit: false,
+            ..
+        }
+    ));
+    // Graceful shutdown flushes the store.
+    first.shutdown();
+    assert!(store.exists(), "shutdown must flush the JSONL store");
+
+    // The restarted daemon gets a runner that can only fail: proof that
+    // a warm-cache answer never reaches the solver.
+    let second = Server::start(ServerConfig {
+        workers: 1,
+        persist_path: Some(store.clone()),
+        runner: Arc::new(|_job: &JobSpec| panic!("the warm cache must answer this")),
+        ..ServerConfig::default()
+    })
+    .expect("start second");
+    let replay = second.replay_report().expect("store configured");
+    assert_eq!(replay.loaded, 1);
+    assert_eq!(replay.rejected, 0);
+    let hit = roundtrip(second.addr(), &request);
+    assert!(
+        matches!(
+            hit,
+            Response::Result {
+                cache_hit: true,
+                ..
+            }
+        ),
+        "restart must serve from the replayed store: {hit:?}"
+    );
+    // A different key does reach the (panicking) runner and the error is
+    // contained by the pool, not fatal to the daemon.
+    let fresh = roundtrip(second.addr(), &Request::Verify(VerifyRequest::new(3, 1)));
+    let Response::Error { message } = &fresh else {
+        panic!("expected contained crash, got {fresh:?}");
+    };
+    assert!(message.contains("crashed"), "{message}");
+    assert_eq!(roundtrip(second.addr(), &Request::Ping), Response::Pong);
+    second.shutdown();
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn shutdown_request_drains_and_real_pipeline_serves_hits() {
+    // One real (un-injected) end-to-end pass on the smallest config:
+    // solve, hit, then a client-driven drain.
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+    let request = Request::Verify(VerifyRequest::new(2, 1));
+    let miss = roundtrip(addr, &request);
+    let Response::Result {
+        cache_hit: false,
+        elapsed: miss_elapsed,
+        verification,
+        ..
+    } = &miss
+    else {
+        panic!("unexpected {miss:?}");
+    };
+    assert_eq!(verification.verdict, Verdict::Verified);
+    assert!(verification.stats.cnf_vars > 0);
+    let hit = roundtrip(addr, &request);
+    let Response::Result {
+        cache_hit: true,
+        elapsed: hit_elapsed,
+        ..
+    } = &hit
+    else {
+        panic!("unexpected {hit:?}");
+    };
+    assert!(
+        *hit_elapsed <= *miss_elapsed,
+        "hit ({hit_elapsed:?}) must not be slower than the solve ({miss_elapsed:?})"
+    );
+
+    assert_eq!(roundtrip(addr, &Request::Shutdown), Response::ShutdownAck);
+    handle.join(); // returns once the drain completes
+    match TcpStream::connect(addr) {
+        Err(_) => {} // listener is gone
+        Ok(stream) => {
+            // A connection left in the OS backlog must go unanswered.
+            let mut writer = stream.try_clone().expect("clone");
+            let _ = writeln!(writer, "{}", Request::Ping.to_json());
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            assert!(
+                matches!(reader.read_line(&mut line), Ok(0) | Err(_)),
+                "a drained server must not serve new requests"
+            );
+        }
+    }
+}
