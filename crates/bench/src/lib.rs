@@ -126,12 +126,15 @@ where
         workers: workers.max(1),
         timeout: None,
         retries: 0,
+        ..PoolOptions::default()
     };
     pool::execute(
         pairs,
         &options,
         &CancelToken::new(),
-        std::sync::Arc::new(move |&(size, width): &(usize, usize)| cell(size, width)),
+        std::sync::Arc::new(
+            move |&(size, width): &(usize, usize), _cancel: &CancelToken| cell(size, width),
+        ),
         &(),
     )
     .into_iter()

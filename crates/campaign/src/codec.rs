@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use rob_verify::{lint, PhaseTimings, Verdict, Verification, VerifyStats};
+use rob_verify::{lint, Degradation, PhaseTimings, Verdict, Verification, VerifyStats};
 
 use crate::json::Json;
 
@@ -89,6 +89,13 @@ pub fn verification_to_json(v: &Verification) -> Json {
     Json::obj([
         ("verdict", Json::str(v.verdict.label())),
         ("detail", verdict_detail(&v.verdict)),
+        (
+            "degraded",
+            match v.degraded {
+                Some(d) => Json::str(d.label()),
+                None => Json::Null,
+            },
+        ),
         ("timings", timings_to_json(&v.timings)),
         ("stats", stats_to_json(&v.stats)),
         ("diagnostics", diagnostics_to_json(&v.diagnostics)),
@@ -239,11 +246,18 @@ pub fn verification_from_json(value: &Json) -> Result<Verification, String> {
         None => Vec::new(),
         Some(d) => diagnostics_from_json(d)?,
     };
+    // Absent in records written before graceful degradation existed;
+    // unknown labels are treated as "not degraded" rather than fatal.
+    let degraded = match value.get("degraded") {
+        None | Some(Json::Null) => None,
+        Some(d) => d.as_str().and_then(Degradation::from_label),
+    };
     Ok(Verification {
         verdict,
         timings,
         stats,
         diagnostics,
+        degraded,
     })
 }
 
@@ -282,6 +296,7 @@ mod tests {
                 message: "5 p-vars, 0 g-vars".to_owned(),
                 node: None,
             }],
+            degraded: None,
         }
     }
 
@@ -311,6 +326,22 @@ mod tests {
             assert_eq!(back.diagnostics[0].code, v.diagnostics[0].code);
             assert_eq!(back.diagnostics[0].message, v.diagnostics[0].message);
         }
+    }
+
+    #[test]
+    fn degradation_roundtrips_and_is_optional() {
+        let mut v = sample(Verdict::Verified);
+        v.degraded = Some(Degradation::RewriteCancelled);
+        let text = verification_to_json(&v).to_string();
+        let back = verification_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.degraded, Some(Degradation::RewriteCancelled));
+        // Records written before the field existed decode as not degraded.
+        let mut old = verification_to_json(&sample(Verdict::Verified));
+        if let Json::Obj(map) = &mut old {
+            map.remove("degraded");
+        }
+        let back = verification_from_json(&old).unwrap();
+        assert_eq!(back.degraded, None);
     }
 
     #[test]

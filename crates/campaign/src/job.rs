@@ -3,7 +3,8 @@
 use std::time::Duration;
 
 use rob_verify::{
-    BugSpec, Config, JobKey, Limits, Strategy, Verdict, Verification, Verifier, VerifyError,
+    BugSpec, CancelToken, Config, JobKey, Limits, Strategy, Verdict, Verification, Verifier,
+    VerifyError,
 };
 
 /// One verification job: a processor configuration, the translation
@@ -71,11 +72,24 @@ impl JobSpec {
     /// Propagates [`VerifyError`] for configuration or structural
     /// failures; verification verdicts are inside the `Ok` value.
     pub fn run(&self) -> Result<Verification, VerifyError> {
+        self.run_cancellable(&CancelToken::new())
+    }
+
+    /// Runs the job under a [`CancelToken`]: the verifier polls the token
+    /// at its phase boundaries and inner loops, and a tripped token yields
+    /// a structured cancelled verification (never a panic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VerifyError`] for configuration or structural
+    /// failures; verification verdicts are inside the `Ok` value.
+    pub fn run_cancellable(&self, cancel: &CancelToken) -> Result<Verification, VerifyError> {
         let mut verifier = Verifier::new(self.config)
             .strategy(self.strategy)
             .sat_limits(self.sat_limits)
             .proof_checking(self.check_proofs)
-            .audit(self.audit);
+            .audit(self.audit)
+            .cancel(cancel.clone());
         if let Some(bug) = self.bug {
             verifier = verifier.bug(bug);
         }
@@ -214,6 +228,9 @@ impl Sweep {
 }
 
 /// What happened to one job.
+// One Outcome lives per campaign job, pattern-matched everywhere; the
+// size skew from the inline Verification is not worth boxing for.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Outcome {
     /// The verifier ran to completion (the verdict may still be a

@@ -10,29 +10,36 @@
 //!   steals from the **back** of a sibling's — the classic split that
 //!   keeps owner and thief off the same end.
 //! - With a timeout configured, the worker doubles as a watchdog: the job
-//!   runs on a dedicated thread and the worker waits on a channel with a
-//!   deadline. A timed-out job thread is abandoned (it cannot be killed
-//!   safely); callers bound the damage by also passing SAT time limits to
-//!   the job itself so the orphan exits on its own.
+//!   runs on a dedicated thread holding a deadline-bearing child
+//!   [`CancelToken`], and the worker waits on a channel. When the deadline
+//!   passes, the watchdog trips the child token and grants the job a short
+//!   grace window ([`PoolOptions::cancel_grace`]) to observe it; a job
+//!   that exits in time has its thread joined (*reclaimed*), one that does
+//!   not is abandoned — it cannot be killed safely — and counted in
+//!   [`PoolStats::abandoned_threads`].
 //! - Panics are contained with [`std::panic::catch_unwind`]; a panicking
 //!   job becomes [`ExecOutcome::Panicked`] and the campaign continues.
-//! - Cancellation is cooperative: a tripped [`CancelToken`] makes every
-//!   not-yet-started job resolve to [`ExecOutcome::Cancelled`].
+//! - Cancellation is cooperative: every job closure receives a
+//!   [`CancelToken`] it is expected to poll, and a tripped token makes
+//!   every not-yet-started job resolve to [`ExecOutcome::Cancelled`].
 //!
 //! For long-running services, [`ServicePool`] keeps the same workers
 //! resident: jobs are submitted one at a time through a **bounded
 //! admission queue** (submissions beyond the bound are rejected with
 //! [`SubmitError::Overloaded`] instead of queuing unboundedly), each
-//! submission gets a reply channel, and shutdown drains — queued and
-//! in-flight jobs finish, new submissions are refused.
+//! submission gets a reply channel plus a per-job cancel handle, and
+//! shutdown either drains ([`ServicePool::shutdown`]) or trips every
+//! outstanding token first ([`ServicePool::shutdown_now`]).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+pub use rob_verify::CancelToken;
 
 /// Scheduling parameters for [`execute`].
 #[derive(Debug, Clone)]
@@ -45,6 +52,9 @@ pub struct PoolOptions {
     /// Extra attempts granted to a job whose attempt timed out. Panics
     /// are not retried — they are deterministic.
     pub retries: u32,
+    /// How long the watchdog waits, after tripping a timed-out job's
+    /// cancel token, for the job thread to exit before abandoning it.
+    pub cancel_grace: Duration,
 }
 
 impl Default for PoolOptions {
@@ -53,6 +63,7 @@ impl Default for PoolOptions {
             workers: default_workers(),
             timeout: None,
             retries: 0,
+            cancel_grace: Duration::from_millis(100),
         }
     }
 }
@@ -62,24 +73,29 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-/// A shared flag that aborts all not-yet-started jobs when tripped.
-#[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+/// Thread-accounting totals for a pool run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Timed-out job threads that observed their cancel token within the
+    /// grace window and were joined.
+    pub reclaimed_threads: u64,
+    /// Timed-out job threads that ignored cancellation past the grace
+    /// window and were detached.
+    pub abandoned_threads: u64,
+}
 
-impl CancelToken {
-    /// A fresh, untripped token.
-    pub fn new() -> Self {
-        Self::default()
-    }
+#[derive(Default)]
+struct Counters {
+    reclaimed: AtomicU64,
+    abandoned: AtomicU64,
+}
 
-    /// Trips the token. Running jobs finish; queued jobs are cancelled.
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::SeqCst);
-    }
-
-    /// Whether the token has been tripped.
-    pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::SeqCst)
+impl Counters {
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            reclaimed_threads: self.reclaimed.load(Ordering::SeqCst),
+            abandoned_threads: self.abandoned.load(Ordering::SeqCst),
+        }
     }
 }
 
@@ -132,10 +148,12 @@ struct Task<T> {
 }
 
 /// Runs `jobs` through the pool and returns one [`ExecResult`] per job,
-/// in input order.
+/// in input order. See [`execute_collect`] for the variant that also
+/// reports thread-accounting totals.
 ///
 /// `run` executes on worker (or watchdogged job) threads, so it must be
-/// `Send + Sync + 'static`; it receives each job by reference. Jobs must
+/// `Send + Sync + 'static`; it receives each job by reference together
+/// with a [`CancelToken`] it should poll at its own loop heads. Jobs must
 /// be `Clone` because a timed-out attempt may be retried from a fresh
 /// copy.
 pub fn execute<T, R, F, O>(
@@ -148,7 +166,24 @@ pub fn execute<T, R, F, O>(
 where
     T: Clone + Send + 'static,
     R: Send + 'static,
-    F: Fn(&T) -> R + Send + Sync + 'static,
+    F: Fn(&T, &CancelToken) -> R + Send + Sync + 'static,
+    O: Observer<T, R>,
+{
+    execute_collect(jobs, options, cancel, run, observer).0
+}
+
+/// [`execute`] plus the run's [`PoolStats`].
+pub fn execute_collect<T, R, F, O>(
+    jobs: Vec<T>,
+    options: &PoolOptions,
+    cancel: &CancelToken,
+    run: Arc<F>,
+    observer: &O,
+) -> (Vec<ExecResult<R>>, PoolStats)
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(&T, &CancelToken) -> R + Send + Sync + 'static,
     O: Observer<T, R>,
 {
     let total = jobs.len();
@@ -167,30 +202,33 @@ where
     }
     let pending = AtomicUsize::new(total);
     let results: Vec<Mutex<Option<ExecResult<R>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let counters = Counters::default();
 
     std::thread::scope(|scope| {
         for me in 0..workers {
             let queues = &queues;
             let results = &results;
             let pending = &pending;
+            let counters = &counters;
             let run = Arc::clone(&run);
             let cancel = cancel.clone();
             scope.spawn(move || {
                 worker_loop(
-                    me, queues, results, pending, options, &cancel, run, observer,
+                    me, queues, results, pending, counters, options, &cancel, run, observer,
                 );
             });
         }
     });
 
-    results
+    let results = results
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("result poisoned")
                 .expect("job unresolved")
         })
-        .collect()
+        .collect();
+    (results, counters.snapshot())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -199,6 +237,7 @@ fn worker_loop<T, R, F, O>(
     queues: &[Mutex<VecDeque<Task<T>>>],
     results: &[Mutex<Option<ExecResult<R>>>],
     pending: &AtomicUsize,
+    counters: &Counters,
     options: &PoolOptions,
     cancel: &CancelToken,
     run: Arc<F>,
@@ -206,7 +245,7 @@ fn worker_loop<T, R, F, O>(
 ) where
     T: Clone + Send + 'static,
     R: Send + 'static,
-    F: Fn(&T) -> R + Send + Sync + 'static,
+    F: Fn(&T, &CancelToken) -> R + Send + Sync + 'static,
     O: Observer<T, R>,
 {
     while pending.load(Ordering::SeqCst) > 0 {
@@ -231,7 +270,14 @@ fn worker_loop<T, R, F, O>(
 
         observer.on_start(task.index, &task.job, me, task.attempt);
         let started = Instant::now();
-        let outcome = run_attempt(&task.job, options.timeout, &run);
+        let outcome = run_attempt(
+            &task.job,
+            cancel,
+            options.timeout,
+            options.cancel_grace,
+            counters,
+            &run,
+        );
         let duration = started.elapsed();
 
         if matches!(outcome, ExecOutcome::TimedOut) && task.attempt <= options.retries {
@@ -278,43 +324,88 @@ fn resolve<R>(
     pending.fetch_sub(1, Ordering::SeqCst);
 }
 
-fn run_attempt<T, R, F>(job: &T, timeout: Option<Duration>, run: &Arc<F>) -> ExecOutcome<R>
+fn run_attempt<T, R, F>(
+    job: &T,
+    cancel: &CancelToken,
+    timeout: Option<Duration>,
+    grace: Duration,
+    counters: &Counters,
+    run: &Arc<F>,
+) -> ExecOutcome<R>
 where
     T: Clone + Send + 'static,
     R: Send + 'static,
-    F: Fn(&T) -> R + Send + Sync + 'static,
+    F: Fn(&T, &CancelToken) -> R + Send + Sync + 'static,
 {
     match timeout {
-        None => match catch_unwind(AssertUnwindSafe(|| run(job))) {
-            Ok(value) => ExecOutcome::Done(value),
-            Err(payload) => ExecOutcome::Panicked {
-                message: panic_message(payload.as_ref()),
-            },
-        },
+        None => {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                chaos::hit("campaign.pool.attempt");
+                run(job, cancel)
+            }));
+            match caught {
+                Ok(value) => ExecOutcome::Done(value),
+                Err(payload) => ExecOutcome::Panicked {
+                    message: panic_message(payload.as_ref()),
+                },
+            }
+        }
         Some(deadline) => {
             let (tx, rx) = mpsc::channel();
             let job = job.clone();
             let run = Arc::clone(run);
-            // The job thread is deliberately detached: if it outlives the
-            // deadline there is no safe way to kill it, so the watchdog
-            // abandons it and reports a timeout. `tx.send` failing just
-            // means the watchdog already gave up listening.
-            std::thread::Builder::new()
+            // The job thread gets a child token carrying the deadline, so
+            // even a job the watchdog later abandons self-cancels at its
+            // next poll.
+            let token = cancel.child_with_deadline(deadline);
+            let job_token = token.clone();
+            let handle = std::thread::Builder::new()
                 .name("campaign-job".to_owned())
                 .spawn(move || {
-                    let result = catch_unwind(AssertUnwindSafe(|| run(&job)));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        chaos::hit("campaign.pool.attempt");
+                        run(&job, &job_token)
+                    }));
+                    // A send failure just means the watchdog already gave
+                    // up listening.
                     let _ = tx.send(result);
                 })
                 .expect("spawn job thread");
             match rx.recv_timeout(deadline) {
-                Ok(Ok(value)) => ExecOutcome::Done(value),
-                Ok(Err(payload)) => ExecOutcome::Panicked {
-                    message: panic_message(payload.as_ref()),
-                },
-                Err(RecvTimeoutError::Timeout) => ExecOutcome::TimedOut,
-                Err(RecvTimeoutError::Disconnected) => ExecOutcome::Panicked {
-                    message: "job thread vanished without reporting".to_owned(),
-                },
+                Ok(Ok(value)) => {
+                    let _ = handle.join();
+                    ExecOutcome::Done(value)
+                }
+                Ok(Err(payload)) => {
+                    let _ = handle.join();
+                    ExecOutcome::Panicked {
+                        message: panic_message(payload.as_ref()),
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Trip the job's token and give it a grace window to
+                    // notice. A cooperative job exits and is joined; a
+                    // stuck one cannot be killed safely, so it is
+                    // abandoned and counted.
+                    token.cancel();
+                    match rx.recv_timeout(grace) {
+                        Ok(_) => {
+                            let _ = handle.join();
+                            counters.reclaimed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(_) => {
+                            counters.abandoned.fetch_add(1, Ordering::SeqCst);
+                            drop(handle);
+                        }
+                    }
+                    ExecOutcome::TimedOut
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let _ = handle.join();
+                    ExecOutcome::Panicked {
+                        message: "job thread vanished without reporting".to_owned(),
+                    }
+                }
             }
         }
     }
@@ -348,8 +439,21 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// A ticket for one [`ServicePool::submit`]: the reply channel plus the
+/// job's cancel handle. Tripping `cancel` makes a still-queued job
+/// resolve to [`ExecOutcome::Cancelled`] and tells a running cooperative
+/// job to wind down.
+#[derive(Debug)]
+pub struct Submission<R> {
+    /// Delivers the job's [`ExecResult`].
+    pub results: Receiver<ExecResult<R>>,
+    /// Per-job cancel handle (a child of the pool's token).
+    pub cancel: CancelToken,
+}
+
 struct ServiceTask<T, R> {
     job: T,
+    cancel: CancelToken,
     reply: Sender<ExecResult<R>>,
 }
 
@@ -359,6 +463,9 @@ struct ServiceShared<T, R> {
     queue_limit: usize,
     shutdown: AtomicBool,
     active: AtomicUsize,
+    pool_token: CancelToken,
+    counters: Counters,
+    cancel_grace: Duration,
 }
 
 /// A resident worker pool for serving workloads: jobs are submitted
@@ -366,8 +473,9 @@ struct ServiceShared<T, R> {
 /// admission queue is bounded.
 ///
 /// Execution semantics match [`execute`]: per-attempt watchdog deadlines
-/// with bounded retry, and `catch_unwind` panic isolation (a panicking
-/// job resolves to [`ExecOutcome::Panicked`]; the worker survives).
+/// with bounded retry, cooperative per-job [`CancelToken`]s, and
+/// `catch_unwind` panic isolation (a panicking job resolves to
+/// [`ExecOutcome::Panicked`]; the worker survives).
 pub struct ServicePool<T: Send + 'static, R: Send + 'static> {
     shared: Arc<ServiceShared<T, R>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -384,7 +492,7 @@ where
     /// admission queue bounded at `queue_limit` waiting jobs.
     pub fn start<F>(options: &PoolOptions, queue_limit: usize, run: Arc<F>) -> Self
     where
-        F: Fn(&T) -> R + Send + Sync + 'static,
+        F: Fn(&T, &CancelToken) -> R + Send + Sync + 'static,
     {
         let shared = Arc::new(ServiceShared {
             queue: Mutex::new(VecDeque::new()),
@@ -392,6 +500,9 @@ where
             queue_limit,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            pool_token: CancelToken::new(),
+            counters: Counters::default(),
+            cancel_grace: options.cancel_grace,
         });
         let timeout = options.timeout;
         let retries = options.retries;
@@ -413,18 +524,20 @@ where
         }
     }
 
-    /// Submits one job; the result arrives on the returned channel.
+    /// Submits one job; the result arrives on the returned submission's
+    /// channel, and its `cancel` handle cancels just this job.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Overloaded`] when the admission queue is at its
     /// bound, [`SubmitError::ShuttingDown`] once [`ServicePool::shutdown`]
     /// has begun.
-    pub fn submit(&self, job: T) -> Result<Receiver<ExecResult<R>>, SubmitError> {
+    pub fn submit(&self, job: T) -> Result<Submission<R>, SubmitError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
         let (reply, receiver) = mpsc::channel();
+        let cancel = self.shared.pool_token.child();
         let mut queue = self.shared.queue.lock().expect("queue poisoned");
         if queue.len() >= self.shared.queue_limit {
             return Err(SubmitError::Overloaded {
@@ -432,10 +545,17 @@ where
                 limit: self.shared.queue_limit,
             });
         }
-        queue.push_back(ServiceTask { job, reply });
+        queue.push_back(ServiceTask {
+            job,
+            cancel: cancel.clone(),
+            reply,
+        });
         drop(queue);
         self.shared.available.notify_one();
-        Ok(receiver)
+        Ok(Submission {
+            results: receiver,
+            cancel,
+        })
     }
 
     /// Jobs waiting in the admission queue.
@@ -458,6 +578,11 @@ where
         self.retries
     }
 
+    /// Thread-accounting totals since the pool started.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.counters.snapshot()
+    }
+
     /// Drains the pool: refuses new submissions, lets queued and
     /// in-flight jobs finish, and joins every worker. Idempotent — the
     /// serving layer can call it from any thread holding an `Arc` to the
@@ -470,6 +595,14 @@ where
             let _ = worker.join();
         }
     }
+
+    /// Cancelling drain: trips the pool token — queued jobs resolve to
+    /// [`ExecOutcome::Cancelled`], running cooperative jobs wind down —
+    /// then drains and joins like [`ServicePool::shutdown`].
+    pub fn shutdown_now(&self) {
+        self.shared.pool_token.cancel();
+        self.shutdown();
+    }
 }
 
 fn service_worker<T, R, F>(
@@ -481,7 +614,7 @@ fn service_worker<T, R, F>(
 ) where
     T: Clone + Send + 'static,
     R: Send + 'static,
-    F: Fn(&T) -> R + Send + Sync + 'static,
+    F: Fn(&T, &CancelToken) -> R + Send + Sync + 'static,
 {
     loop {
         let task = {
@@ -501,13 +634,33 @@ fn service_worker<T, R, F>(
         let Some(task) = task else {
             return;
         };
+        if task.cancel.is_cancelled() {
+            // Cancelled while queued: report without running.
+            let _ = task.reply.send(ExecResult {
+                outcome: ExecOutcome::Cancelled,
+                duration: Duration::ZERO,
+                worker: me,
+                attempts: 0,
+            });
+            continue;
+        }
         shared.active.fetch_add(1, Ordering::SeqCst);
         let mut attempt = 1u32;
         loop {
             let started = Instant::now();
-            let outcome = run_attempt(&task.job, timeout, run);
+            let outcome = run_attempt(
+                &task.job,
+                &task.cancel,
+                timeout,
+                shared.cancel_grace,
+                &shared.counters,
+                run,
+            );
             let duration = started.elapsed();
-            if matches!(outcome, ExecOutcome::TimedOut) && attempt <= retries {
+            if matches!(outcome, ExecOutcome::TimedOut)
+                && attempt <= retries
+                && !task.cancel.is_cancelled()
+            {
                 attempt += 1;
                 continue;
             }
@@ -546,7 +699,7 @@ mod tests {
             jobs,
             options,
             &CancelToken::new(),
-            Arc::new(|n: &u64| n * n),
+            Arc::new(|n: &u64, _cancel: &CancelToken| n * n),
             &(),
         )
     }
@@ -583,7 +736,7 @@ mod tests {
                 ..PoolOptions::default()
             },
             &CancelToken::new(),
-            Arc::new(|n: &u64| {
+            Arc::new(|n: &u64, _cancel: &CancelToken| {
                 if *n == 3 {
                     panic!("boom on {n}");
                 }
@@ -618,9 +771,10 @@ mod tests {
                 workers: 2,
                 timeout: Some(Duration::from_millis(40)),
                 retries: 1,
+                ..PoolOptions::default()
             },
             &CancelToken::new(),
-            Arc::new(|n: &u64| {
+            Arc::new(|n: &u64, _cancel: &CancelToken| {
                 if *n == 0 {
                     std::thread::sleep(Duration::from_millis(400));
                 }
@@ -640,6 +794,70 @@ mod tests {
     }
 
     #[test]
+    fn cooperative_timeouts_reclaim_job_threads() {
+        let (results, stats) = execute_collect(
+            vec![0u64],
+            &PoolOptions {
+                workers: 1,
+                timeout: Some(Duration::from_millis(20)),
+                retries: 0,
+                cancel_grace: Duration::from_millis(500),
+            },
+            &CancelToken::new(),
+            Arc::new(|_n: &u64, cancel: &CancelToken| {
+                // A cooperative job: poll the token, exit when tripped.
+                while !cancel.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                0
+            }),
+            &(),
+        );
+        assert!(matches!(results[0].outcome, ExecOutcome::TimedOut));
+        assert_eq!(
+            stats,
+            PoolStats {
+                reclaimed_threads: 1,
+                abandoned_threads: 0
+            }
+        );
+    }
+
+    #[test]
+    fn stuck_jobs_are_abandoned_and_counted() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let hold = Arc::clone(&gate);
+        let (results, stats) = execute_collect(
+            vec![0u64],
+            &PoolOptions {
+                workers: 1,
+                timeout: Some(Duration::from_millis(10)),
+                retries: 0,
+                cancel_grace: Duration::from_millis(10),
+            },
+            &CancelToken::new(),
+            Arc::new(move |_n: &u64, _cancel: &CancelToken| {
+                // Ignores cancellation until the test releases it.
+                while !hold.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                0
+            }),
+            &(),
+        );
+        assert!(matches!(results[0].outcome, ExecOutcome::TimedOut));
+        assert_eq!(
+            stats,
+            PoolStats {
+                reclaimed_threads: 0,
+                abandoned_threads: 1
+            }
+        );
+        // Release the orphan so it does not outlive the test process.
+        gate.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
     fn service_pool_delivers_results_per_submission() {
         let pool: ServicePool<u64, u64> = ServicePool::start(
             &PoolOptions {
@@ -647,9 +865,11 @@ mod tests {
                 ..PoolOptions::default()
             },
             64,
-            Arc::new(|n: &u64| n * n),
+            Arc::new(|n: &u64, _cancel: &CancelToken| n * n),
         );
-        let receivers: Vec<_> = (0..20u64).map(|n| pool.submit(n).unwrap()).collect();
+        let receivers: Vec<_> = (0..20u64)
+            .map(|n| pool.submit(n).unwrap().results)
+            .collect();
         for (n, rx) in receivers.into_iter().enumerate() {
             let result = rx.recv().expect("result delivered");
             match result.outcome {
@@ -670,7 +890,7 @@ mod tests {
                 ..PoolOptions::default()
             },
             1,
-            Arc::new(move |n: &u64| {
+            Arc::new(move |n: &u64, _cancel: &CancelToken| {
                 while !hold.load(Ordering::SeqCst) {
                     std::thread::sleep(Duration::from_millis(1));
                 }
@@ -679,11 +899,11 @@ mod tests {
         );
         // First job occupies the worker; second sits in the queue; the
         // third must be shed.
-        let first = pool.submit(1).unwrap();
+        let first = pool.submit(1).unwrap().results;
         while pool.active_jobs() == 0 {
             std::thread::sleep(Duration::from_millis(1));
         }
-        let second = pool.submit(2).unwrap();
+        let second = pool.submit(2).unwrap().results;
         let shed = pool.submit(3);
         assert_eq!(
             shed.unwrap_err(),
@@ -709,12 +929,14 @@ mod tests {
                 ..PoolOptions::default()
             },
             64,
-            Arc::new(|n: &u64| {
+            Arc::new(|n: &u64, _cancel: &CancelToken| {
                 std::thread::sleep(Duration::from_millis(2));
                 *n + 100
             }),
         );
-        let receivers: Vec<_> = (0..10u64).map(|n| pool.submit(n).unwrap()).collect();
+        let receivers: Vec<_> = (0..10u64)
+            .map(|n| pool.submit(n).unwrap().results)
+            .collect();
         pool.shutdown();
         for (n, rx) in receivers.into_iter().enumerate() {
             let result = rx.recv().expect("queued job drained, not dropped");
@@ -730,24 +952,58 @@ mod tests {
                 ..PoolOptions::default()
             },
             8,
-            Arc::new(|n: &u64| {
+            Arc::new(|n: &u64, _cancel: &CancelToken| {
                 if *n == 7 {
                     panic!("unlucky {n}");
                 }
                 *n
             }),
         );
-        let bad = pool.submit(7).unwrap();
+        let bad = pool.submit(7).unwrap().results;
         match bad.recv().unwrap().outcome {
             ExecOutcome::Panicked { message } => assert!(message.contains("unlucky 7")),
             other => panic!("unexpected {other:?}"),
         }
         // The worker that caught the panic still serves.
-        let good = pool.submit(5).unwrap();
+        let good = pool.submit(5).unwrap().results;
         assert!(matches!(good.recv().unwrap().outcome, ExecOutcome::Done(5)));
         pool.shutdown();
         assert_eq!(pool.submit(9).unwrap_err(), SubmitError::ShuttingDown);
         // Idempotent: a second drain is a no-op.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cancelling_a_queued_submission_skips_it() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let hold = Arc::clone(&gate);
+        let pool: ServicePool<u64, u64> = ServicePool::start(
+            &PoolOptions {
+                workers: 1,
+                ..PoolOptions::default()
+            },
+            8,
+            Arc::new(move |n: &u64, _cancel: &CancelToken| {
+                while !hold.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                *n
+            }),
+        );
+        let first = pool.submit(1).unwrap();
+        while pool.active_jobs() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let queued = pool.submit(2).unwrap();
+        queued.cancel.cancel();
+        gate.store(true, Ordering::SeqCst);
+        assert!(matches!(
+            first.results.recv().unwrap().outcome,
+            ExecOutcome::Done(1)
+        ));
+        let result = queued.results.recv().unwrap();
+        assert!(matches!(result.outcome, ExecOutcome::Cancelled));
+        assert_eq!(result.attempts, 0);
         pool.shutdown();
     }
 
@@ -762,7 +1018,7 @@ mod tests {
                 ..PoolOptions::default()
             },
             &cancel,
-            Arc::new(move |n: &u64| {
+            Arc::new(move |n: &u64, _cancel: &CancelToken| {
                 if *n == 0 {
                     trip.cancel();
                 }

@@ -7,6 +7,7 @@ use rob_verify::Verdict;
 
 use crate::job::{JobResult, Outcome};
 use crate::json::Json;
+use crate::pool::PoolStats;
 
 /// Aggregate statistics over a finished campaign.
 #[derive(Debug, Clone)]
@@ -50,6 +51,10 @@ pub struct CampaignReport {
     pub max_latency: Duration,
     /// `cpu / wall` — the effective parallel speedup.
     pub speedup: f64,
+    /// Timed-out job threads that observed cancellation and were joined.
+    pub threads_reclaimed: u64,
+    /// Timed-out job threads that ignored cancellation and were detached.
+    pub threads_abandoned: u64,
 }
 
 impl CampaignReport {
@@ -75,6 +80,8 @@ impl CampaignReport {
             p95: Duration::ZERO,
             max_latency: Duration::ZERO,
             speedup: 0.0,
+            threads_reclaimed: 0,
+            threads_abandoned: 0,
         };
         let mut latencies: Vec<Duration> = Vec::new();
         for result in results {
@@ -113,6 +120,13 @@ impl CampaignReport {
         report
     }
 
+    /// Attaches the pool's thread-accounting totals.
+    pub fn with_pool_stats(mut self, stats: PoolStats) -> Self {
+        self.threads_reclaimed = stats.reclaimed_threads;
+        self.threads_abandoned = stats.abandoned_threads;
+        self
+    }
+
     /// Key/value pairs for the JSONL `campaign-summary` line.
     pub fn json_fields(&self) -> Vec<(&'static str, Json)> {
         vec![
@@ -138,6 +152,8 @@ impl CampaignReport {
                 Json::Num(self.max_latency.as_secs_f64()),
             ),
             ("speedup", Json::Num(self.speedup)),
+            ("threads_reclaimed", Json::from(self.threads_reclaimed)),
+            ("threads_abandoned", Json::from(self.threads_abandoned)),
         ]
     }
 
@@ -172,6 +188,12 @@ impl CampaignReport {
         }
         if self.cache_hits > 0 {
             let _ = writeln!(out, "  cache hits  {:>8}", self.cache_hits);
+        }
+        if self.threads_reclaimed > 0 {
+            let _ = writeln!(out, "  reclaimed   {:>8}", self.threads_reclaimed);
+        }
+        if self.threads_abandoned > 0 {
+            let _ = writeln!(out, "  abandoned   {:>8}", self.threads_abandoned);
         }
         let _ = writeln!(out, "  unexpected  {:>8}", self.unexpected);
         let _ = writeln!(out, "  wall        {:>11.2}s", self.wall.as_secs_f64());
@@ -213,6 +235,7 @@ mod tests {
                 timings: Default::default(),
                 stats: Default::default(),
                 diagnostics: Vec::new(),
+                degraded: None,
             }),
             duration: Duration::from_millis(millis),
             worker: 0,

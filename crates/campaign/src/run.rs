@@ -18,10 +18,14 @@ use crate::pool::{self, CancelToken, ExecOutcome, ExecResult, Observer, PoolOpti
 use crate::report::CampaignReport;
 
 /// A pluggable job runner: maps a [`JobSpec`] to a verification result.
+/// The runner receives the job's [`CancelToken`] and is expected to poll
+/// it so watchdog timeouts and fail-fast aborts reclaim the job thread.
 ///
-/// The default runner is [`JobSpec::run`]; tests inject panicking or
-/// sleeping runners, and future remote backends can proxy jobs elsewhere.
-pub type JobRunner = Arc<dyn Fn(&JobSpec) -> Result<Verification, VerifyError> + Send + Sync>;
+/// The default runner is [`JobSpec::run_cancellable`]; tests inject
+/// panicking or sleeping runners, and future remote backends can proxy
+/// jobs elsewhere.
+pub type JobRunner =
+    Arc<dyn Fn(&JobSpec, &CancelToken) -> Result<Verification, VerifyError> + Send + Sync>;
 
 /// A configured campaign, ready to run.
 #[derive(Debug, Clone)]
@@ -100,7 +104,10 @@ impl Campaign {
 
     /// Runs the campaign with the default in-process runner.
     pub fn run(&self, sink: &dyn EventSink) -> CampaignOutcome {
-        self.run_with(sink, Arc::new(|job: &JobSpec| job.run()))
+        self.run_with(
+            sink,
+            Arc::new(|job: &JobSpec, cancel: &CancelToken| job.run_cancellable(cancel)),
+        )
     }
 
     /// Runs the campaign with a custom job runner (tests, remote
@@ -156,13 +163,14 @@ impl Campaign {
             workers: self.workers,
             timeout: self.timeout,
             retries: self.retries,
+            ..PoolOptions::default()
         };
         let started = Instant::now();
-        let exec_results = pool::execute(
+        let (exec_results, pool_stats) = pool::execute_collect(
             submitted,
             &options,
             &cancel,
-            Arc::new(move |job: &JobSpec| runner(job)),
+            Arc::new(move |job: &JobSpec, cancel: &CancelToken| runner(job, cancel)),
             &observer,
         );
         let wall = started.elapsed();
@@ -195,7 +203,8 @@ impl Campaign {
             .into_iter()
             .map(|slot| slot.expect("every job resolved"))
             .collect();
-        let report = CampaignReport::summarize(&results, wall, self.workers);
+        let report =
+            CampaignReport::summarize(&results, wall, self.workers).with_pool_stats(pool_stats);
         sink.emit(&Event::CampaignSummary(report.clone()));
         CampaignOutcome { results, report }
     }
@@ -206,6 +215,10 @@ fn outcome_from_exec(
     attempts: u32,
 ) -> Outcome {
     match exec {
+        // A verifier that observed its token mid-phase returns a
+        // structured cancelled verification; fold it into the scheduling
+        // notion of cancellation.
+        ExecOutcome::Done(Ok(verification)) if verification.was_cancelled() => Outcome::Cancelled,
         ExecOutcome::Done(Ok(verification)) => Outcome::Completed(verification.clone()),
         ExecOutcome::Done(Err(error)) => Outcome::Error(error.clone()),
         ExecOutcome::Panicked { message } => Outcome::Crashed {
@@ -306,7 +319,7 @@ mod tests {
             .workers(2)
             .run_with(
                 &sink,
-                Arc::new(move |job: &JobSpec| {
+                Arc::new(move |job: &JobSpec, _cancel: &CancelToken| {
                     counter.fetch_add(1, Ordering::SeqCst);
                     job.run()
                 }),

@@ -1,0 +1,207 @@
+//! Cooperative-cancellation integration tests: watchdog reclaim latency,
+//! cancelling drain of a live [`ServicePool`], thread-count hygiene, and
+//! end-to-end cancellation of a real verification job.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use campaign::pool::{self, CancelToken, ExecOutcome, PoolOptions, PoolStats, ServicePool};
+use campaign::JobSpec;
+use rob_verify::{Config, Strategy};
+
+/// Acceptance: a slow job cancelled by the watchdog exits its thread
+/// within 100 ms of the token flip. `cancel_grace` *is* that 100 ms
+/// window — `reclaimed_threads == 1` proves the join landed inside it —
+/// and the observation timestamp bounds the poll latency directly.
+#[test]
+fn watchdog_reclaims_cooperative_job_within_100ms_of_token_flip() {
+    let timeout = Duration::from_millis(30);
+    let observed: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
+    let sink = Arc::clone(&observed);
+    let started = Instant::now();
+    let (results, stats) = pool::execute_collect(
+        vec![0u64],
+        &PoolOptions {
+            workers: 1,
+            timeout: Some(timeout),
+            retries: 0,
+            cancel_grace: Duration::from_millis(100),
+        },
+        &CancelToken::new(),
+        Arc::new(move |_n: &u64, cancel: &CancelToken| {
+            while !cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            *sink.lock().unwrap() = Some(Instant::now());
+            0
+        }),
+        &(),
+    );
+    assert!(matches!(results[0].outcome, ExecOutcome::TimedOut));
+    assert_eq!(
+        stats,
+        PoolStats {
+            reclaimed_threads: 1,
+            abandoned_threads: 0,
+        },
+        "the job thread must be joined within the 100 ms grace window"
+    );
+    // The job token carries the deadline, so the flip happens no later
+    // than `started + timeout` (the watchdog trips it then too). The job
+    // polls every 1 ms and must notice well inside 100 ms.
+    let observed = observed.lock().unwrap().expect("job observed the flip");
+    let flip_to_exit = observed.saturating_duration_since(started + timeout);
+    assert!(
+        flip_to_exit < Duration::from_millis(100),
+        "job observed cancellation {flip_to_exit:?} after the flip"
+    );
+}
+
+/// Satellite: `shutdown_now` on a pool with one in-flight and one queued
+/// job trips every token — the running cooperative job winds down, the
+/// queued job resolves to a structured `Cancelled`, and the workers join
+/// promptly instead of waiting out the job.
+#[test]
+fn shutdown_now_cancels_in_flight_and_queued_jobs() {
+    let pool: ServicePool<u64, u64> = ServicePool::start(
+        &PoolOptions {
+            workers: 1,
+            ..PoolOptions::default()
+        },
+        8,
+        Arc::new(|n: &u64, cancel: &CancelToken| {
+            // Cooperative: spin until cancelled, then report how we exited.
+            while !cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            *n + 1000
+        }),
+    );
+    let in_flight = pool.submit(1).unwrap();
+    while pool.active_jobs() == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let queued = pool.submit(2).unwrap();
+
+    let drained = Instant::now();
+    pool.shutdown_now();
+    assert!(
+        drained.elapsed() < Duration::from_secs(2),
+        "cancelling drain must not wait out the spinning job"
+    );
+
+    let first = in_flight.results.recv().expect("in-flight job reported");
+    assert!(
+        matches!(first.outcome, ExecOutcome::Done(1001)),
+        "in-flight cooperative job wound down via its token: {first:?}"
+    );
+    let second = queued.results.recv().expect("queued job reported");
+    assert!(
+        matches!(second.outcome, ExecOutcome::Cancelled),
+        "queued job must resolve to a structured Cancelled: {second:?}"
+    );
+    assert_eq!(second.attempts, 0, "queued job never ran");
+    assert!(matches!(
+        pool.submit(3).unwrap_err(),
+        pool::SubmitError::ShuttingDown
+    ));
+}
+
+/// CI reclaim assertion: after a 1 ms-deadline job is cancelled and
+/// reclaimed, the process thread count returns to its baseline — no
+/// leaked `campaign-job` threads.
+#[test]
+fn thread_count_returns_to_baseline_after_timeout_reclaim() {
+    let Some(baseline) = chaos::thread_count() else {
+        eprintln!("skipping: /proc/self/status not readable here");
+        return;
+    };
+    let (results, stats) = pool::execute_collect(
+        vec![0u64],
+        &PoolOptions {
+            workers: 1,
+            timeout: Some(Duration::from_millis(1)),
+            retries: 0,
+            cancel_grace: Duration::from_millis(500),
+        },
+        &CancelToken::new(),
+        Arc::new(|_n: &u64, cancel: &CancelToken| {
+            while !cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            0
+        }),
+        &(),
+    );
+    // With a 1 ms deadline the job may observe its deadline-latched token
+    // and report before the watchdog's own timer fires — either way is a
+    // clean exit; the invariant under test is that no thread leaks.
+    match results[0].outcome {
+        ExecOutcome::TimedOut => assert_eq!(stats.reclaimed_threads, 1),
+        ExecOutcome::Done(_) => assert_eq!(stats.reclaimed_threads, 0),
+        ref other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(stats.abandoned_threads, 0);
+    // Worker scope and job thread are joined by now; give the kernel a
+    // few polls to settle the accounting anyway.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let now = chaos::thread_count().expect("was readable a moment ago");
+        if now <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "thread count stuck at {now}, baseline {baseline}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A real verification job whose token is tripped mid-run exits with a
+/// structured cancelled verdict instead of running to completion.
+#[test]
+fn real_verifier_job_exits_cancelled_when_token_trips() {
+    let job = JobSpec::new(Config::new(2, 1).unwrap(), Strategy::default());
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let verification = job
+        .run_cancellable(&cancel)
+        .expect("cancellation is a verdict, not an error");
+    assert!(verification.was_cancelled());
+
+    // And through the pool: the deadline-bearing child token makes the
+    // verifier self-cancel even when the phase budget is generous.
+    let hold = Arc::new(AtomicBool::new(true));
+    let release = Arc::clone(&hold);
+    let (results, stats) = pool::execute_collect(
+        vec![JobSpec::new(
+            Config::new(2, 1).unwrap(),
+            Strategy::default(),
+        )],
+        &PoolOptions {
+            workers: 1,
+            timeout: Some(Duration::from_millis(5)),
+            retries: 0,
+            cancel_grace: Duration::from_secs(5),
+        },
+        &CancelToken::new(),
+        Arc::new(move |job: &JobSpec, cancel: &CancelToken| {
+            // Park until the deadline has certainly latched the token, so
+            // the verifier's very first poll observes cancellation.
+            while release.load(Ordering::SeqCst) && !cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            job.run_cancellable(cancel)
+        }),
+        &(),
+    );
+    hold.store(false, Ordering::SeqCst);
+    assert!(
+        matches!(results[0].outcome, ExecOutcome::TimedOut),
+        "{:?}",
+        results[0].outcome
+    );
+    assert_eq!(stats.reclaimed_threads, 1, "verifier exited within grace");
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use campaign::json::{self, Json};
+use campaign::pool::CancelToken;
 use campaign::{
     Campaign, Event, JobRunner, JobSpec, JsonlSink, MemorySink, NullSink, Outcome, Sweep,
 };
@@ -17,6 +18,7 @@ fn verified() -> Verification {
         timings: Default::default(),
         stats: Default::default(),
         diagnostics: Vec::new(),
+        degraded: None,
     }
 }
 
@@ -65,7 +67,7 @@ fn outcomes_are_deterministic_across_worker_counts() {
 #[test]
 fn panics_become_crashed_outcomes_and_the_campaign_survives() {
     let sweep = Sweep::new([2usize, 3, 4, 5], [1usize]);
-    let runner: JobRunner = Arc::new(|job: &JobSpec| {
+    let runner: JobRunner = Arc::new(|job: &JobSpec, _cancel: &CancelToken| {
         if job.config.rob_size() == 4 {
             panic!("injected fault in {}", job.label());
         }
@@ -99,7 +101,7 @@ fn panics_become_crashed_outcomes_and_the_campaign_survives() {
 #[test]
 fn timeouts_are_reported_and_retried() {
     let job = JobSpec::new(Config::new(2, 1).unwrap(), Strategy::default());
-    let runner: JobRunner = Arc::new(|_: &JobSpec| {
+    let runner: JobRunner = Arc::new(|_: &JobSpec, _cancel: &CancelToken| {
         std::thread::sleep(Duration::from_millis(300));
         Ok(verified())
     });
@@ -120,7 +122,7 @@ fn timeouts_are_reported_and_retried() {
 #[test]
 fn fail_fast_cancels_the_rest_of_the_campaign() {
     let sweep = Sweep::new([2usize, 3, 4, 5, 6, 7, 8, 9], [1usize]);
-    let runner: JobRunner = Arc::new(|job: &JobSpec| {
+    let runner: JobRunner = Arc::new(|job: &JobSpec, _cancel: &CancelToken| {
         Ok(Verification {
             // The first job "falsifies" a bug-free design — the
             // fail-fast trigger.
@@ -132,6 +134,7 @@ fn fail_fast_cancels_the_rest_of_the_campaign() {
             timings: Default::default(),
             stats: Default::default(),
             diagnostics: Vec::new(),
+            degraded: None,
         })
     });
     let outcome = Campaign::from_sweep(&sweep)
@@ -153,7 +156,7 @@ fn workers_overlap_independent_jobs() {
     // Jobs that wait rather than compute, so the wall-clock gain from
     // overlap is observable even on a single-CPU host.
     let sweep = Sweep::new([2usize, 3, 4, 5], [1usize, 2]);
-    let runner: JobRunner = Arc::new(|_: &JobSpec| {
+    let runner: JobRunner = Arc::new(|_: &JobSpec, _cancel: &CancelToken| {
         std::thread::sleep(Duration::from_millis(120));
         Ok(verified())
     });

@@ -1,0 +1,315 @@
+//! Seeded fault injection for robustness tests.
+//!
+//! Production code marks *named injection points* with [`hit`] (panic or
+//! stall) and [`mangle`] (corrupt a byte buffer in flight). When the
+//! harness is disarmed — the default, and the only state production code
+//! ever observes outside the chaos test suite — both are a single relaxed
+//! atomic load. A test arms a [`Plan`] describing which points fire, how,
+//! and how many times; the returned [`ChaosGuard`] disarms everything on
+//! drop (including panic unwinds) and serializes chaos tests against each
+//! other through a global lock.
+//!
+//! The injection-point registry lives in `DESIGN.md` §11: each name is a
+//! stable `crate.module.site` string, e.g. `campaign.pool.attempt` or
+//! `serve.cache.flush-line`.
+//!
+//! Corruption is driven by a seeded xorshift generator so failures replay
+//! deterministically from the seed printed in the test name or log.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// What an armed injection point does when reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic with a recognizable message.
+    Panic,
+    /// Sleep for the given duration, then continue.
+    Stall(Duration),
+    /// Corrupt buffers passed to [`mangle`] at this point; [`hit`] is a
+    /// no-op for this fault.
+    Corrupt,
+}
+
+#[derive(Debug)]
+struct Arming {
+    fault: Fault,
+    /// Remaining firings; `None` = unlimited.
+    remaining: Option<u32>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    points: HashMap<&'static str, Arming>,
+    rng: Xorshift,
+    fired: Vec<&'static str>,
+}
+
+/// Fast path: production code checks this single flag before touching the
+/// registry lock.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Serializes chaos tests: only one armed plan exists at a time, even when
+/// the test harness runs threads in parallel.
+fn test_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn lock_registry() -> MutexGuard<'static, Registry> {
+    // A panic injected while the registry lock was held poisons it; the
+    // data is a plain table, so recover the guard.
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A deterministic xorshift64 generator for corruption decisions.
+#[derive(Debug)]
+struct Xorshift(u64);
+
+impl Default for Xorshift {
+    fn default() -> Self {
+        Xorshift(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+impl Xorshift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Builder for an armed fault plan. Construct with [`plan`].
+#[derive(Debug)]
+pub struct Plan {
+    seed: u64,
+    points: Vec<(&'static str, Arming)>,
+}
+
+/// Starts a fault plan with a deterministic corruption seed.
+pub fn plan(seed: u64) -> Plan {
+    Plan {
+        seed,
+        points: Vec::new(),
+    }
+}
+
+impl Plan {
+    /// Panic the next `times` arrivals at `point`.
+    pub fn panic_at(self, point: &'static str, times: u32) -> Self {
+        self.fault_at(point, Fault::Panic, Some(times))
+    }
+
+    /// Stall every arrival at `point` for `delay`.
+    pub fn stall_at(self, point: &'static str, delay: Duration) -> Self {
+        self.fault_at(point, Fault::Stall(delay), None)
+    }
+
+    /// Corrupt every buffer [`mangle`]d at `point`.
+    pub fn corrupt_at(self, point: &'static str) -> Self {
+        self.fault_at(point, Fault::Corrupt, None)
+    }
+
+    fn fault_at(mut self, point: &'static str, fault: Fault, remaining: Option<u32>) -> Self {
+        self.points.push((point, Arming { fault, remaining }));
+        self
+    }
+
+    /// Arms the plan. The returned guard disarms it when dropped; hold it
+    /// for the duration of the test.
+    pub fn arm(self) -> ChaosGuard {
+        let outer = test_lock().lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut reg = lock_registry();
+            reg.points = self.points.into_iter().collect();
+            reg.rng = Xorshift(self.seed | 1);
+            reg.fired.clear();
+        }
+        ARMED.store(true, Ordering::SeqCst);
+        ChaosGuard { _outer: outer }
+    }
+}
+
+/// Disarms the harness when dropped and excludes other chaos tests while
+/// alive.
+#[derive(Debug)]
+pub struct ChaosGuard {
+    _outer: MutexGuard<'static, ()>,
+}
+
+impl ChaosGuard {
+    /// The injection points that actually fired so far, in order.
+    pub fn fired(&self) -> Vec<&'static str> {
+        lock_registry().fired.clone()
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        lock_registry().points.clear();
+    }
+}
+
+/// Marks an injection point. Disarmed: one relaxed load. Armed with
+/// [`Fault::Panic`]: panics. Armed with [`Fault::Stall`]: sleeps.
+///
+/// # Panics
+///
+/// Panics (deliberately) when the point is armed with [`Fault::Panic`].
+pub fn hit(point: &'static str) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let fault = {
+        let mut reg = lock_registry();
+        let Some(arming) = reg.points.get_mut(point) else {
+            return;
+        };
+        match arming.remaining {
+            Some(0) => return,
+            Some(ref mut n) => *n -= 1,
+            None => {}
+        }
+        let fault = arming.fault;
+        reg.fired.push(point);
+        fault
+    };
+    match fault {
+        Fault::Panic => panic!("chaos: injected panic at {point}"),
+        Fault::Stall(delay) => std::thread::sleep(delay),
+        Fault::Corrupt => {}
+    }
+}
+
+/// Corrupts `buf` in place when `point` is armed with [`Fault::Corrupt`]:
+/// a seeded choice of bit-flip, truncation, or garbage append. Disarmed:
+/// one relaxed load, buffer untouched.
+pub fn mangle(point: &'static str, buf: &mut Vec<u8>) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut reg = lock_registry();
+    let Some(arming) = reg.points.get_mut(point) else {
+        return;
+    };
+    if arming.fault != Fault::Corrupt {
+        return;
+    }
+    match arming.remaining {
+        Some(0) => return,
+        Some(ref mut n) => *n -= 1,
+        None => {}
+    }
+    reg.fired.push(point);
+    let roll = reg.rng.next();
+    match roll % 3 {
+        0 if !buf.is_empty() => {
+            // flip a bit somewhere in the payload
+            let idx = (roll >> 8) as usize % buf.len();
+            buf[idx] ^= 1 << ((roll >> 40) % 8);
+        }
+        1 if buf.len() > 1 => {
+            // torn write: truncate mid-line
+            let keep = 1 + (roll >> 8) as usize % (buf.len() - 1);
+            buf.truncate(keep);
+        }
+        _ => {
+            // trailing garbage, including invalid UTF-8
+            buf.extend_from_slice(b"\xff\xfe{garbage");
+        }
+    }
+}
+
+/// The number of live threads in this process, read from
+/// `/proc/self/status` (`Threads:` line). Returns `None` off Linux or on
+/// parse failure. Chaos tests use it to assert that timed-out jobs do not
+/// leak threads.
+pub fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_points_are_inert() {
+        hit("chaos.test.nowhere");
+        let mut buf = b"payload".to_vec();
+        mangle("chaos.test.nowhere", &mut buf);
+        assert_eq!(buf, b"payload");
+    }
+
+    #[test]
+    fn armed_panic_fires_limited_times() {
+        let guard = plan(7).panic_at("chaos.test.panic", 2).arm();
+        for _ in 0..2 {
+            let caught = std::panic::catch_unwind(|| hit("chaos.test.panic"));
+            assert!(caught.is_err(), "armed point must panic");
+        }
+        hit("chaos.test.panic"); // budget exhausted: no panic
+        assert_eq!(guard.fired().len(), 2);
+        drop(guard);
+        hit("chaos.test.panic"); // disarmed: no panic
+    }
+
+    #[test]
+    fn unarmed_points_do_not_fire_under_an_armed_plan() {
+        let guard = plan(7).panic_at("chaos.test.panic", 1).arm();
+        hit("chaos.test.other"); // not in the plan
+        assert!(guard.fired().is_empty());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let corrupt_with = |seed: u64| {
+            let _guard = plan(seed).corrupt_at("chaos.test.corrupt").arm();
+            let mut buf = b"a journal line of reasonable length".to_vec();
+            mangle("chaos.test.corrupt", &mut buf);
+            buf
+        };
+        let a = corrupt_with(42);
+        let b = corrupt_with(42);
+        let c = corrupt_with(43);
+        assert_eq!(a, b, "same seed, same corruption");
+        assert_ne!(a, b"a journal line of reasonable length".to_vec());
+        // different seeds usually differ; at minimum the buffer was touched
+        assert_ne!(c, b"a journal line of reasonable length".to_vec());
+    }
+
+    #[test]
+    fn stall_delays_but_continues() {
+        let _guard = plan(1)
+            .stall_at("chaos.test.stall", Duration::from_millis(20))
+            .arm();
+        let start = std::time::Instant::now();
+        hit("chaos.test.stall");
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn thread_count_reads_proc() {
+        if cfg!(target_os = "linux") {
+            assert!(thread_count().expect("linux has /proc") >= 1);
+        }
+    }
+}

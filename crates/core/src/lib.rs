@@ -60,11 +60,14 @@ use std::time::{Duration, Instant};
 pub mod explain;
 pub mod jobkey;
 
-use evc::check::{check_validity, CheckOptions, CheckOutcome, UnknownReason};
+use evc::check::{check_validity_cancellable, CheckOptions, CheckOutcome, UnknownReason};
 use evc::mem::MemoryModel;
-use evc::rewrite::{rewrite_correctness_certified, RewriteError, RewriteInput, RewriteOptions};
+use evc::rewrite::{
+    rewrite_correctness_budgeted, RewriteBudget, RewriteError, RewriteInput, RewriteOptions,
+};
 use uarch::correctness::{self, CorrectnessBundle};
 
+pub use eufm::CancelToken;
 pub use jobkey::JobKey;
 pub use sat::{Limits, SolverStats};
 pub use tlsim::EvalStrategy;
@@ -225,6 +228,37 @@ pub struct VerificationStats {
 /// orchestrator's telemetry.
 pub type VerifyStats = VerificationStats;
 
+/// How a run fell down the degradation ladder
+/// (rewrite → PE-only → budget-stop) while still producing a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// The rewrite phase was cancelled (its private deadline expired or
+    /// its token was tripped without the whole job being cancelled); the
+    /// translation was retried Positive-Equality-only.
+    RewriteCancelled,
+    /// The rewrite phase exhausted its node budget; retried PE-only.
+    RewriteBudget,
+}
+
+impl Degradation {
+    /// Stable telemetry label (`rewrite-cancelled` / `rewrite-budget`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Degradation::RewriteCancelled => "rewrite-cancelled",
+            Degradation::RewriteBudget => "rewrite-budget",
+        }
+    }
+
+    /// Parses a [`Degradation::label`] back.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "rewrite-cancelled" => Some(Degradation::RewriteCancelled),
+            "rewrite-budget" => Some(Degradation::RewriteBudget),
+            _ => None,
+        }
+    }
+}
+
 /// The result of a verification run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Verification {
@@ -237,12 +271,37 @@ pub struct Verification {
     /// Static-analysis diagnostics from the audit passes (empty unless
     /// auditing is enabled; see [`Verifier::audit`]).
     pub diagnostics: Vec<lint::Diagnostic>,
+    /// Set when the verdict was reached on a degraded path (e.g. the
+    /// rewrite phase gave up and the run fell back to PE-only).
+    pub degraded: Option<Degradation>,
 }
 
 impl Verification {
+    /// The stable [`Verdict::ResourceLimit`] reason recorded when a run is
+    /// cooperatively cancelled.
+    pub const CANCELLED_REASON: &'static str = "cancelled";
+
     /// Whether the verdict is [`Verdict::Verified`].
     pub fn is_verified(&self) -> bool {
         self.verdict == Verdict::Verified
+    }
+
+    /// A structured result for a cooperatively cancelled run, carrying
+    /// whatever partial timings and statistics were gathered.
+    pub fn cancelled(timings: PhaseTimings, stats: VerificationStats) -> Self {
+        Verification {
+            verdict: Verdict::ResourceLimit(Self::CANCELLED_REASON.to_owned()),
+            timings,
+            stats,
+            diagnostics: Vec::new(),
+            degraded: None,
+        }
+    }
+
+    /// Whether this run was cooperatively cancelled (as opposed to hitting
+    /// an ordinary resource limit).
+    pub fn was_cancelled(&self) -> bool {
+        matches!(&self.verdict, Verdict::ResourceLimit(r) if r == Self::CANCELLED_REASON)
     }
 }
 
@@ -289,6 +348,9 @@ pub struct Verifier {
     transitivity: bool,
     check_proof: bool,
     audit: bool,
+    cancel: CancelToken,
+    rewrite_deadline: Option<Duration>,
+    rewrite_max_nodes: usize,
 }
 
 impl Verifier {
@@ -304,6 +366,9 @@ impl Verifier {
             transitivity: true,
             check_proof: false,
             audit: cfg!(debug_assertions),
+            cancel: CancelToken::new(),
+            rewrite_deadline: None,
+            rewrite_max_nodes: 0,
         }
     }
 
@@ -335,6 +400,33 @@ impl Verifier {
     /// Bounds the translation's expression-node growth (0 = unlimited).
     pub fn max_nodes(mut self, max_nodes: usize) -> Self {
         self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, polled by every phase:
+    /// symbolic simulation steps, rewrite-obligation loops, the
+    /// Positive-Equality encoder, and the SAT search. A tripped token
+    /// yields a structured cancelled result (see
+    /// [`Verification::was_cancelled`]) instead of an abandoned thread.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Gives the rewrite phase a private deadline. On expiry the run
+    /// *degrades* to a Positive-Equality-only translation (sound:
+    /// rewriting is an optimization over PE) instead of failing; the
+    /// fallback is recorded in [`Verification::degraded`].
+    pub fn rewrite_deadline(mut self, deadline: Duration) -> Self {
+        self.rewrite_deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds the rewrite phase's expression-node growth (0 = unlimited);
+    /// on exhaustion the run degrades to PE-only, like
+    /// [`Verifier::rewrite_deadline`].
+    pub fn rewrite_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.rewrite_max_nodes = max_nodes;
         self
     }
 
@@ -372,13 +464,28 @@ impl Verifier {
     pub fn run(&self) -> Result<Verification, VerifyError> {
         let mut timings = PhaseTimings::default();
         let mut stats = VerificationStats::default();
+        if self.cancel.is_cancelled() {
+            return Ok(Verification::cancelled(timings, stats));
+        }
         let t0 = Instant::now();
-        let mut bundle: CorrectnessBundle =
-            correctness::generate_with(&self.config, self.bug, self.eval)?;
+        let mut bundle: CorrectnessBundle = match correctness::generate_cancellable(
+            &self.config,
+            self.bug,
+            self.eval,
+            &self.cancel,
+        ) {
+            Ok(bundle) => bundle,
+            Err(UarchError::Sim(tlsim::SimError::Cancelled)) => {
+                timings.generate = t0.elapsed();
+                return Ok(Verification::cancelled(timings, stats));
+            }
+            Err(e) => return Err(e.into()),
+        };
         timings.generate = t0.elapsed();
         stats.formula_nodes = bundle.stats.ctx_nodes;
 
         let mut rewrite_diags: Vec<lint::Diagnostic> = Vec::new();
+        let mut degraded: Option<Degradation> = None;
         let (formula, memory) = match self.strategy {
             Strategy::PositiveEqualityOnly => (bundle.formula, MemoryModel::Forwarding),
             Strategy::RewritingAndPositiveEquality => {
@@ -388,10 +495,21 @@ impl Verifier {
                     rf_impl: bundle.rf_impl,
                     rf_spec0: bundle.rf_spec[0],
                 };
-                let (result, cert) = rewrite_correctness_certified(
+                // The rewrite phase gets a child token so its private
+                // deadline degrades only this phase, while a trip of the
+                // job-level token still cancels the whole run.
+                let budget = RewriteBudget {
+                    cancel: match self.rewrite_deadline {
+                        Some(deadline) => self.cancel.child_with_deadline(deadline),
+                        None => self.cancel.child(),
+                    },
+                    max_nodes: self.rewrite_max_nodes,
+                };
+                let (result, cert) = rewrite_correctness_budgeted(
                     &mut bundle.ctx,
                     &input,
                     &RewriteOptions::default(),
+                    &budget,
                 );
                 timings.rewrite = t1.elapsed();
                 if self.audit {
@@ -418,7 +536,22 @@ impl Verifier {
                             timings,
                             stats,
                             diagnostics: rewrite_diags,
+                            degraded: None,
                         })
+                    }
+                    Err(RewriteError::Cancelled) if self.cancel.is_cancelled() => {
+                        // The *job* was cancelled, not just the phase.
+                        return Ok(Verification::cancelled(timings, stats));
+                    }
+                    Err(reason @ (RewriteError::Cancelled | RewriteError::Budget)) => {
+                        // Degradation ladder: rewriting is an optimization
+                        // over Positive Equality, so retry the original
+                        // formula PE-only with the exact memory model.
+                        degraded = Some(match reason {
+                            RewriteError::Cancelled => Degradation::RewriteCancelled,
+                            _ => Degradation::RewriteBudget,
+                        });
+                        (bundle.formula, MemoryModel::Forwarding)
                     }
                     Err(RewriteError::Structure(msg)) => return Err(VerifyError::Structure(msg)),
                 }
@@ -434,7 +567,7 @@ impl Verifier {
             audit: self.audit,
             ..CheckOptions::default()
         };
-        let report = check_validity(&mut bundle.ctx, formula, &options);
+        let report = check_validity_cancellable(&mut bundle.ctx, formula, &options, &self.cancel);
         timings.translate = report.translate_time;
         timings.sat = report.sat_time;
         timings.proof_check = report.proof_check_time;
@@ -455,6 +588,7 @@ impl Verifier {
                 UnknownReason::SatConflicts => "SAT conflict budget".to_owned(),
                 UnknownReason::SatTime => "SAT time budget".to_owned(),
                 UnknownReason::SatMemory => "SAT memory budget".to_owned(),
+                UnknownReason::Cancelled => Verification::CANCELLED_REASON.to_owned(),
             }),
         };
 
@@ -465,6 +599,7 @@ impl Verifier {
             timings,
             stats,
             diagnostics,
+            degraded,
         })
     }
 }
@@ -665,6 +800,67 @@ mod tests {
                 "{bug:?}"
             );
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_a_structured_cancelled_result() {
+        let config = Config::new(3, 2).expect("config");
+        let token = CancelToken::new();
+        token.cancel();
+        let v = Verifier::new(config)
+            .cancel(token)
+            .run()
+            .expect("cancellation is a verdict, not an error");
+        assert!(v.was_cancelled());
+        assert_eq!(v.verdict.label(), "resource-limit");
+        assert_eq!(v.degraded, None);
+    }
+
+    #[test]
+    fn cancelled_rewrite_degrades_to_pe_only_with_the_same_verdict() {
+        // Acceptance criterion: a rewrite-phase cancellation yields a
+        // PE-only verdict identical to the uncancelled PE-only run on a
+        // correct design.
+        let config = Config::new(2, 1).expect("config");
+        let degraded = Verifier::new(config)
+            .rewrite_deadline(Duration::ZERO)
+            .run()
+            .expect("run");
+        assert_eq!(degraded.degraded, Some(Degradation::RewriteCancelled));
+        assert_eq!(degraded.verdict, Verdict::Verified);
+        assert!(
+            degraded.stats.eij_vars > 0,
+            "the degraded path is the PE-only translation"
+        );
+        assert_eq!(degraded.stats.rewrite_obligations, 0);
+
+        let pe_only = Verifier::new(config)
+            .strategy(Strategy::PositiveEqualityOnly)
+            .run()
+            .expect("run");
+        assert_eq!(degraded.verdict, pe_only.verdict);
+        assert_eq!(degraded.stats.eij_vars, pe_only.stats.eij_vars);
+        assert_eq!(degraded.stats.cnf_clauses, pe_only.stats.cnf_clauses);
+    }
+
+    #[test]
+    fn exhausted_rewrite_budget_degrades_to_pe_only() {
+        let config = Config::new(2, 1).expect("config");
+        let v = Verifier::new(config)
+            .rewrite_max_nodes(1)
+            .run()
+            .expect("run");
+        assert_eq!(v.degraded, Some(Degradation::RewriteBudget));
+        assert_eq!(v.verdict, Verdict::Verified);
+        assert!(v.stats.eij_vars > 0);
+    }
+
+    #[test]
+    fn degradation_labels_roundtrip() {
+        for d in [Degradation::RewriteCancelled, Degradation::RewriteBudget] {
+            assert_eq!(Degradation::from_label(d.label()), Some(d));
+        }
+        assert_eq!(Degradation::from_label("nonsense"), None);
     }
 
     #[test]

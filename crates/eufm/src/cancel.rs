@@ -1,0 +1,184 @@
+//! Cooperative cancellation for long-running pipeline phases.
+//!
+//! A [`CancelToken`] is a shared atomic flag with an optional wall-clock
+//! deadline and an optional parent link. Every long-running loop of the
+//! verification pipeline — symbolic simulation steps, rewrite-rule
+//! slices, the Positive-Equality encoder, the CDCL search — polls a
+//! token and winds down gracefully when it trips, instead of being
+//! abandoned by a watchdog to burn CPU on a detached thread.
+//!
+//! Tokens form a tree: [`CancelToken::child`] creates a token that trips
+//! when its parent trips but can also be tripped (or expire) on its own
+//! without affecting the parent. The verification driver uses this to
+//! give the rewrite phase a private deadline: when only the child trips,
+//! the driver degrades to Positive-Equality-only translation; when the
+//! parent trips, the whole job is cancelled.
+//!
+//! Polling is a couple of relaxed-ordering atomic loads plus (when a
+//! deadline is set) a monotonic clock read, so it is cheap enough for
+//! per-conflict / per-node check sites.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<CancelToken>,
+}
+
+/// A shared cancellation flag with an optional deadline and parent.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// flag. The default token never trips on its own.
+#[derive(Debug, Clone)]
+pub struct CancelToken(Arc<Inner>);
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh token that only trips when [`CancelToken::cancel`] is
+    /// called.
+    pub fn new() -> Self {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline: None,
+            parent: None,
+        }))
+    }
+
+    /// A fresh token that trips automatically once `budget` has elapsed
+    /// (measured from now), in addition to explicit cancellation.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline: Instant::now().checked_add(budget),
+            parent: None,
+        }))
+    }
+
+    /// A child token: trips when `self` trips, when explicitly cancelled,
+    /// but never the other way around.
+    pub fn child(&self) -> Self {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline: None,
+            parent: Some(self.clone()),
+        }))
+    }
+
+    /// A child token with its own deadline: trips when `self` trips, when
+    /// explicitly cancelled, or once `budget` has elapsed.
+    pub fn child_with_deadline(&self, budget: Duration) -> Self {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline: Instant::now().checked_add(budget),
+            parent: Some(self.clone()),
+        }))
+    }
+
+    /// Trips the token (and, transitively, every child).
+    pub fn cancel(&self) {
+        self.0.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has tripped: explicitly cancelled, past its
+    /// deadline, or descended from a tripped parent.
+    pub fn is_cancelled(&self) -> bool {
+        if self.0.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(deadline) = self.0.deadline {
+            if Instant::now() >= deadline {
+                // Latch the deadline expiry so later polls take the
+                // cheap flag path and children observe a stable answer.
+                self.0.flag.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        match &self.0.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
+
+    /// Whether *this* token was tripped directly (explicit cancel or its
+    /// own deadline), ignoring any parent. Lets a caller distinguish "my
+    /// phase budget expired" from "the whole job was cancelled".
+    pub fn is_cancelled_locally(&self) -> bool {
+        if self.0.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(deadline) = self.0.deadline {
+            if Instant::now() >= deadline {
+                self.0.flag.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tokens_are_untripped_and_cancel_is_sticky() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(token.is_cancelled(), "cancellation must be sticky");
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        token.cancel();
+        assert!(observer.is_cancelled());
+    }
+
+    #[test]
+    fn deadlines_trip_automatically() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert!(token.is_cancelled(), "zero deadline trips immediately");
+        let patient = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!patient.is_cancelled());
+    }
+
+    #[test]
+    fn children_observe_the_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled(), "parent cancellation reaches children");
+        assert!(
+            !child.is_cancelled_locally(),
+            "the child itself was never tripped"
+        );
+
+        let parent = CancelToken::new();
+        let child = parent.child();
+        child.cancel();
+        assert!(child.is_cancelled_locally());
+        assert!(!parent.is_cancelled(), "children never trip the parent");
+    }
+
+    #[test]
+    fn child_deadline_is_private() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Duration::ZERO);
+        assert!(child.is_cancelled());
+        assert!(child.is_cancelled_locally());
+        assert!(!parent.is_cancelled());
+    }
+}

@@ -44,6 +44,7 @@ mod context;
 mod node;
 mod symbol;
 
+pub mod cancel;
 pub mod eval;
 pub mod oracle;
 pub mod parse;
@@ -52,6 +53,7 @@ pub mod print;
 pub mod stats;
 pub mod subst;
 
+pub use cancel::CancelToken;
 pub use context::{Context, Reachable};
 pub use node::{ExprId, Node, Sort};
 pub use symbol::Symbol;

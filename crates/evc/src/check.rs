@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use eufm::polarity;
 use eufm::stats::{primary_inputs, PrimaryInputStats};
-use eufm::{Context, ExprId, Node, Sort};
+use eufm::{CancelToken, Context, ExprId, Node, Sort};
 use sat::solver::LimitReason;
 use sat::{Limits, Mode, Outcome, Phase, Solver, SolverStats};
 
@@ -113,6 +113,9 @@ pub enum UnknownReason {
     SatTime,
     /// The SAT solver hit its learnt-clause (memory proxy) budget.
     SatMemory,
+    /// The check was cooperatively cancelled (watchdog timeout, client
+    /// disconnect, or shutdown drain tripped the [`CancelToken`]).
+    Cancelled,
 }
 
 /// Statistics of the translation, in the shape of the paper's Tables 3/5.
@@ -169,6 +172,25 @@ pub struct CheckReport {
 ///
 /// Panics if `formula` is not Boolean-sorted.
 pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions) -> CheckReport {
+    check_validity_cancellable(ctx, formula, options, &CancelToken::new())
+}
+
+/// Like [`check_validity`], but polls `cancel` between the pipeline phases,
+/// inside the Positive-Equality encoder's budget checks, and at every SAT
+/// conflict/decision. A tripped token yields
+/// [`CheckOutcome::Unknown`]`(`[`UnknownReason::Cancelled`]`)` with
+/// whatever partial statistics were gathered.
+///
+/// # Panics
+///
+/// Panics if `formula` is not Boolean-sorted.
+pub fn check_validity_cancellable(
+    ctx: &mut Context,
+    formula: ExprId,
+    options: &CheckOptions,
+    cancel: &CancelToken,
+) -> CheckReport {
+    chaos::hit("evc.check.translate");
     assert_eq!(
         ctx.sort(formula),
         Sort::Bool,
@@ -184,6 +206,26 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
     if options.audit {
         lint::wf::check(ctx, &[formula], &mut diags);
     }
+
+    // Early-return with whatever partial statistics exist when the token
+    // trips between phases.
+    macro_rules! bail_if_cancelled {
+        () => {
+            if cancel.is_cancelled() {
+                return CheckReport {
+                    outcome: CheckOutcome::Unknown(UnknownReason::Cancelled),
+                    stats,
+                    sat_stats: SolverStats::default(),
+                    translate_time: translate_start.elapsed(),
+                    sat_time: Duration::ZERO,
+                    proof_check_time: Duration::ZERO,
+                    proof_checked: None,
+                    diagnostics: diags.finish(),
+                };
+            }
+        };
+    }
+    bail_if_cancelled!();
 
     // 1. memory elimination
     let no_mem = mem::eliminate(ctx, formula, options.memory);
@@ -241,14 +283,20 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
     if options.audit {
         lint::phase::check_uf_free(ctx, elim.root, &mut diags);
     }
+    bail_if_cancelled!();
 
     // 4. Positive-Equality encoding
     let classes = Classification { gvars };
-    let encoding = match pe::encode(ctx, elim.root, &classes, options.max_nodes) {
+    let encoding = match pe::encode_cancellable(ctx, elim.root, &classes, options.max_nodes, cancel)
+    {
         Ok(e) => e,
-        Err(EncodeError::BudgetExceeded) => {
+        Err(reason @ (EncodeError::BudgetExceeded | EncodeError::Cancelled)) => {
+            let unknown = match reason {
+                EncodeError::Cancelled => UnknownReason::Cancelled,
+                _ => UnknownReason::TranslationBudget,
+            };
             return CheckReport {
-                outcome: CheckOutcome::Unknown(UnknownReason::TranslationBudget),
+                outcome: CheckOutcome::Unknown(unknown),
                 stats,
                 sat_stats: SolverStats::default(),
                 translate_time: translate_start.elapsed(),
@@ -256,7 +304,7 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
                 proof_check_time: Duration::ZERO,
                 proof_checked: None,
                 diagnostics: diags.finish(),
-            }
+            };
         }
         Err(e) => panic!("internal translation error: {e}"),
     };
@@ -290,6 +338,7 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
     stats.eij_vars = eij_vars;
     stats.other_vars = other_vars;
     stats.bool_nodes = ctx.dag_size(&[prop]);
+    bail_if_cancelled!();
 
     // 5. Tseitin + SAT on the negation
     let mut translation = sat::tseitin::translate(ctx, prop, options.tseitin, Phase::Negative)
@@ -304,6 +353,7 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
 
     let sat_start = Instant::now();
     let mut solver = Solver::from_cnf(&translation.cnf);
+    solver.set_cancel(cancel.clone());
     let mut proof = sat::proof::Proof::new();
     let raw_outcome = if options.check_proof {
         solver.solve_with_proof(&mut proof)
@@ -342,6 +392,7 @@ pub fn check_validity(ctx: &mut Context, formula: ExprId, options: &CheckOptions
         }
         Outcome::Unknown(LimitReason::Time) => CheckOutcome::Unknown(UnknownReason::SatTime),
         Outcome::Unknown(LimitReason::Memory) => CheckOutcome::Unknown(UnknownReason::SatMemory),
+        Outcome::Unknown(LimitReason::Cancelled) => CheckOutcome::Unknown(UnknownReason::Cancelled),
     };
     CheckReport {
         outcome,
@@ -659,6 +710,26 @@ mod tests {
             "{}",
             lint::render_all(&diags)
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_cancelled_unknown() {
+        let mut ctx = Context::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let prem = ctx.eq(a, b);
+        let concl = ctx.eq(fa, fb);
+        let goal = ctx.implies(prem, concl);
+        let token = CancelToken::new();
+        token.cancel();
+        let report = check_validity_cancellable(&mut ctx, goal, &CheckOptions::default(), &token);
+        assert_eq!(
+            report.outcome,
+            CheckOutcome::Unknown(UnknownReason::Cancelled)
+        );
+        assert_eq!(report.sat_stats, SolverStats::default(), "SAT never ran");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::collections::{HashMap, HashSet};
 
 use eufm::stats::EIJ_PREFIX;
-use eufm::{Context, ExprId, Node, Sort};
+use eufm::{CancelToken, Context, ExprId, Node, Sort};
 
 /// Classification of variables for the maximally diverse interpretation.
 ///
@@ -46,6 +46,8 @@ pub enum EncodeError {
     /// The node budget was exhausted (the formula blew up — the expected
     /// outcome for large reorder buffers without rewriting rules).
     BudgetExceeded,
+    /// The [`CancelToken`] tripped mid-encoding.
+    Cancelled,
     /// A non-eliminated construct reached the encoder.
     UnsupportedNode(String),
 }
@@ -54,6 +56,7 @@ impl std::fmt::Display for EncodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EncodeError::BudgetExceeded => write!(f, "node budget exceeded during encoding"),
+            EncodeError::Cancelled => write!(f, "encoding cancelled"),
             EncodeError::UnsupportedNode(msg) => write!(f, "unsupported node: {msg}"),
         }
     }
@@ -85,6 +88,23 @@ pub fn encode(
     classes: &Classification,
     max_nodes: usize,
 ) -> Result<Encoding, EncodeError> {
+    encode_cancellable(ctx, root, classes, max_nodes, &CancelToken::new())
+}
+
+/// Like [`encode`], but also polls `cancel` at every budget-check site and
+/// returns [`EncodeError::Cancelled`] when it trips.
+///
+/// # Errors
+///
+/// Returns an error if the budget is exhausted, the token trips, or a
+/// non-eliminated node is found.
+pub fn encode_cancellable(
+    ctx: &mut Context,
+    root: ExprId,
+    classes: &Classification,
+    max_nodes: usize,
+    cancel: &CancelToken,
+) -> Result<Encoding, EncodeError> {
     let mut enc = Encoder {
         classes,
         formula_memo: HashMap::new(),
@@ -95,6 +115,7 @@ pub fn encode(
         } else {
             max_nodes
         },
+        cancel: cancel.clone(),
     };
     let formula = enc.formula(ctx, root)?;
     let mut eij: Vec<(ExprId, ExprId, ExprId)> =
@@ -109,11 +130,14 @@ struct Encoder<'a> {
     eq_memo: HashMap<(ExprId, ExprId), ExprId>,
     eij_vars: HashMap<(ExprId, ExprId), ExprId>,
     max_nodes: usize,
+    cancel: CancelToken,
 }
 
 impl Encoder<'_> {
     fn check_budget(&self, ctx: &Context) -> Result<(), EncodeError> {
-        if ctx.len() > self.max_nodes {
+        if self.cancel.is_cancelled() {
+            Err(EncodeError::Cancelled)
+        } else if ctx.len() > self.max_nodes {
             Err(EncodeError::BudgetExceeded)
         } else {
             Ok(())

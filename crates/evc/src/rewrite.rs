@@ -38,13 +38,13 @@
 use std::collections::HashMap;
 
 use eufm::subst::{substitute, Substitution};
-use eufm::{Context, ExprId, Node, Sort};
+use eufm::{CancelToken, Context, ExprId, Node, Sort};
 use sat::{Mode, Outcome, Phase, Solver};
 
 use lint::rewrite::Obligation;
 
 use crate::chain::{self, Update, UpdateChain};
-use crate::check::{check_validity, CheckOptions, CheckOutcome};
+use crate::check::{check_validity_cancellable, CheckOptions, CheckOutcome, UnknownReason};
 use crate::mem::MemoryModel;
 
 /// The inputs to the rewriting engine, extracted from a correctness bundle.
@@ -126,6 +126,13 @@ pub enum RewriteError {
         /// What failed.
         reason: String,
     },
+    /// The [`CancelToken`] of the [`RewriteBudget`] tripped mid-rewrite.
+    /// The driver degrades to a Positive-Equality-only translation, which
+    /// is sound: rewriting is an optimization layered on top of it.
+    Cancelled,
+    /// The node budget of the [`RewriteBudget`] was exhausted. Same
+    /// degradation path as [`RewriteError::Cancelled`].
+    Budget,
 }
 
 impl std::fmt::Display for RewriteError {
@@ -135,8 +142,22 @@ impl std::fmt::Display for RewriteError {
             RewriteError::Slice { slice, reason } => {
                 write!(f, "computation slice {slice} does not conform: {reason}")
             }
+            RewriteError::Cancelled => write!(f, "rewrite cancelled"),
+            RewriteError::Budget => write!(f, "rewrite node budget exceeded"),
         }
     }
+}
+
+/// Resource bounds for a rewrite run: a cooperative [`CancelToken`] and an
+/// expression-node budget (0 = unlimited). The default is unbounded.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteBudget {
+    /// Polled at every obligation-loop head and inside the local semantic
+    /// obligation checks.
+    pub cancel: CancelToken,
+    /// Maximum context size before the engine gives up with
+    /// [`RewriteError::Budget`] (0 = unlimited).
+    pub max_nodes: usize,
 }
 
 impl std::error::Error for RewriteError {}
@@ -185,11 +206,31 @@ pub fn rewrite_correctness_certified(
     Result<RewriteOutcome, RewriteError>,
     lint::RewriteCertificate,
 ) {
+    rewrite_correctness_budgeted(ctx, input, options, &RewriteBudget::default())
+}
+
+/// Like [`rewrite_correctness_certified`], but bounded by `budget`: the
+/// engine polls the budget's [`CancelToken`] at every obligation-loop head
+/// (returning [`RewriteError::Cancelled`]) and gives up with
+/// [`RewriteError::Budget`] when the context outgrows `max_nodes`. Both
+/// errors are the signal for the caller to degrade to a
+/// Positive-Equality-only translation.
+pub fn rewrite_correctness_budgeted(
+    ctx: &mut Context,
+    input: &RewriteInput,
+    options: &RewriteOptions,
+    budget: &RewriteBudget,
+) -> (
+    Result<RewriteOutcome, RewriteError>,
+    lint::RewriteCertificate,
+) {
     let mut engine = Engine {
         options: *options,
         obligations: 0,
         syntactic_hits: 0,
         cert: lint::RewriteCertificate::default(),
+        cancel: budget.cancel.clone(),
+        max_nodes: budget.max_nodes,
     };
     let result = rewrite_with(ctx, input, &mut engine);
     (result, engine.cert)
@@ -236,6 +277,7 @@ fn rewrite_with(
     // license relocating slice i's completion reads past the (dead)
     // retirement updates of younger instructions.
     for (j, sj) in slices.iter().enumerate() {
+        engine.check_interrupts(ctx)?;
         let Some(ret) = sj.retirement else { continue };
         for (i, si) in slices.iter().enumerate().take(j + 1) {
             let what = format!(
@@ -258,6 +300,7 @@ fn rewrite_with(
 
     // Per-slice context and data obligations.
     for (idx, slice) in slices.iter().enumerate() {
+        engine.check_interrupts(ctx)?;
         let i = idx + 1;
         let spec = spec_chain.updates[idx];
         engine.check_contexts(ctx, i, slice, &spec)?;
@@ -420,6 +463,8 @@ struct Engine {
     /// The justification record: every obligation, logged *before* it is
     /// discharged, so even a failed run certifies what it attempted.
     cert: lint::RewriteCertificate,
+    cancel: CancelToken,
+    max_nodes: usize,
 }
 
 /// Builds the expected forwarded value and availability condition for
@@ -449,6 +494,18 @@ fn expected_forwarding(
 }
 
 impl Engine {
+    /// Polls the rewrite budget: a tripped token or an outgrown context
+    /// aborts the run so the driver can degrade to PE-only translation.
+    fn check_interrupts(&self, ctx: &Context) -> Result<(), RewriteError> {
+        if self.cancel.is_cancelled() {
+            Err(RewriteError::Cancelled)
+        } else if self.max_nodes > 0 && ctx.len() > self.max_nodes {
+            Err(RewriteError::Budget)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Decides a purely propositional validity query with the SAT solver.
     /// Does *not* record a certificate — the callers record the obligation
     /// in its un-lowered form first.
@@ -701,7 +758,8 @@ impl Engine {
                                 .to_owned(),
                         });
                     }
-                    let report = check_validity(ctx, goal, &self.options.local);
+                    let report =
+                        check_validity_cancellable(ctx, goal, &self.options.local, &self.cancel);
                     match report.outcome {
                         CheckOutcome::Valid => {}
                         CheckOutcome::Invalid { .. } => {
@@ -711,6 +769,9 @@ impl Engine {
                                          reads (forwarding logic suspect)"
                                     .to_owned(),
                             })
+                        }
+                        CheckOutcome::Unknown(UnknownReason::Cancelled) => {
+                            return Err(RewriteError::Cancelled)
                         }
                         CheckOutcome::Unknown(r) => {
                             return Err(RewriteError::Slice {
@@ -836,9 +897,11 @@ impl Engine {
                 reason: format!("{what} differs"),
             });
         }
-        let report = check_validity(ctx, eq, &self.options.local);
+        let report = check_validity_cancellable(ctx, eq, &self.options.local, &self.cancel);
         if report.outcome.is_valid() {
             Ok(())
+        } else if report.outcome == CheckOutcome::Unknown(UnknownReason::Cancelled) {
+            Err(RewriteError::Cancelled)
         } else {
             Err(RewriteError::Slice {
                 slice: i,
@@ -901,6 +964,35 @@ mod tests {
             ctx.eq(eqs, other)
         };
         assert_eq!(outcome.formula, expected);
+    }
+
+    #[test]
+    fn tripped_budget_aborts_for_degradation() {
+        let mut ctx = Context::new();
+        let (state, _) = toy_spec_chain(&mut ctx, 3);
+        let formula = {
+            let other = ctx.mvar("Other");
+            ctx.eq(state, other)
+        };
+        let input = RewriteInput {
+            formula,
+            rf_impl: state,
+            rf_spec0: state,
+        };
+
+        let budget = RewriteBudget::default();
+        budget.cancel.cancel();
+        let (result, _) =
+            rewrite_correctness_budgeted(&mut ctx, &input, &RewriteOptions::default(), &budget);
+        assert_eq!(result.unwrap_err(), RewriteError::Cancelled);
+
+        let budget = RewriteBudget {
+            max_nodes: 1,
+            ..RewriteBudget::default()
+        };
+        let (result, _) =
+            rewrite_correctness_budgeted(&mut ctx, &input, &RewriteOptions::default(), &budget);
+        assert_eq!(result.unwrap_err(), RewriteError::Budget);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use std::time::Instant;
 
+use eufm::CancelToken;
+
 use crate::cnf::{Cnf, Lit, Var};
 use crate::proof::Proof;
 
@@ -92,6 +94,9 @@ pub enum LimitReason {
     Time,
     /// The learnt-literal (memory proxy) budget was exhausted.
     Memory,
+    /// The attached [`CancelToken`] tripped (watchdog timeout, client
+    /// disconnect, or shutdown drain).
+    Cancelled,
 }
 
 /// Search statistics.
@@ -154,6 +159,7 @@ pub struct Solver {
     stats: SolverStats,
     learnt_literals: u64,
     seen: Vec<bool>,
+    cancel: CancelToken,
 }
 
 impl Default for Solver {
@@ -184,7 +190,16 @@ impl Solver {
             stats: SolverStats::default(),
             learnt_literals: 0,
             seen: Vec::new(),
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Attaches a cooperative cancellation token. The search polls it at
+    /// every conflict and decision (the `Limits`-adjacent check sites)
+    /// and returns [`Outcome::Unknown`] with [`LimitReason::Cancelled`]
+    /// when it trips.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// Creates a solver loaded with all clauses of `cnf`.
@@ -680,6 +695,10 @@ impl Solver {
                             return Outcome::Unknown(LimitReason::Memory);
                         }
                     }
+                    if self.cancel.is_cancelled() {
+                        self.backtrack_to(0);
+                        return Outcome::Unknown(LimitReason::Cancelled);
+                    }
 
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                     if self.learnt_refs.len() as f64 >= max_learnts {
@@ -688,6 +707,10 @@ impl Solver {
                     }
                 }
                 None => {
+                    if self.cancel.is_cancelled() {
+                        self.backtrack_to(0);
+                        return Outcome::Unknown(LimitReason::Cancelled);
+                    }
                     if conflicts_until_restart == 0 {
                         self.stats.restarts += 1;
                         restart_idx += 1;
@@ -844,6 +867,23 @@ mod tests {
         assert!(s.add_clause([Lit::pos(a)]));
         assert!(!s.add_clause([Lit::neg(a)]));
         assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_search() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        for i in 0..3 {
+            assert!(s.add_clause([lit(vars[i], true), lit(vars[i + 1], false)]));
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel(token);
+        assert_eq!(
+            s.solve(),
+            Outcome::Unknown(LimitReason::Cancelled),
+            "a tripped token must stop the search before any decision"
+        );
     }
 
     #[test]

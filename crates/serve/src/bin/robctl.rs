@@ -1,7 +1,7 @@
 //! `robctl` — client for the `robd` verification server.
 //!
 //! ```text
-//! robctl [--addr HOST:PORT] ping
+//! robctl [--addr HOST:PORT] [--retries N] [--backoff-ms MS] ping
 //! robctl [--addr HOST:PORT] verify --size N --width K [--strategy S]
 //!        [--bug SPEC] [--audit] [--check-proofs] [--max-conflicts N]
 //!        [--max-seconds S] [--quiet] [--expect-cache hit|miss]
@@ -13,10 +13,18 @@
 //! stdout. `--expect-cache` makes the exit status assert the cache
 //! disposition — the CI smoke test uses it to prove the second identical
 //! request is served from the cache.
+//!
+//! `--retries` grants extra attempts for *transient* failures — a
+//! refused/reset connection (daemon restarting) or an `overloaded`
+//! rejection (admission queue full) — with capped exponential backoff
+//! plus jitter between attempts (`--backoff-ms` sets the base delay).
+//! Protocol errors, bad flags, and server-side job failures are terminal
+//! and never retried.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use serve::{Request, Response, VerifyRequest};
 
@@ -30,55 +38,104 @@ fn main() -> ExitCode {
     }
 }
 
+/// How one attempt of a command ended, from the retry loop's view.
+enum Attempt {
+    /// The command finished; exit with this code.
+    Success(ExitCode),
+    /// The server shed the request; retryable.
+    Overloaded { depth: usize, limit: usize },
+    /// The connection could not be established; retryable (the daemon
+    /// may be restarting or still binding).
+    ConnectFailed(String),
+    /// Anything else; terminal.
+    Failed(String),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RetryPolicy {
+    retries: u32,
+    backoff: Duration,
+}
+
 fn run() -> Result<ExitCode, String> {
     let mut addr = "127.0.0.1:7421".to_owned();
+    let mut policy = RetryPolicy {
+        retries: 0,
+        backoff: Duration::from_millis(100),
+    };
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(pos) = args.iter().position(|a| a == "--addr") {
+    let take_value = |args: &mut Vec<String>, flag: &str| -> Result<Option<String>, String> {
+        let Some(pos) = args.iter().position(|a| a == flag) else {
+            return Ok(None);
+        };
         if pos + 1 >= args.len() {
-            return Err("--addr needs a value".to_owned());
+            return Err(format!("{flag} needs a value"));
         }
-        addr = args.remove(pos + 1);
+        let value = args.remove(pos + 1);
         args.remove(pos);
+        Ok(Some(value))
+    };
+    if let Some(value) = take_value(&mut args, "--addr")? {
+        addr = value;
+    }
+    if let Some(value) = take_value(&mut args, "--retries")? {
+        policy.retries = parse_flag(&value, "--retries")?;
+    }
+    if let Some(value) = take_value(&mut args, "--backoff-ms")? {
+        policy.backoff = Duration::from_millis(parse_flag(&value, "--backoff-ms")?);
     }
     let Some(command) = args.first().cloned() else {
         print!("{USAGE}");
         return Ok(ExitCode::FAILURE);
     };
     match command.as_str() {
-        "ping" => match roundtrip(&addr, &Request::Ping)? {
-            Response::Pong => {
-                println!("pong");
-                Ok(ExitCode::SUCCESS)
-            }
-            other => Err(format!("unexpected response: {other:?}")),
-        },
-        "shutdown" => match roundtrip(&addr, &Request::Shutdown)? {
-            Response::ShutdownAck => {
-                println!("server draining");
-                Ok(ExitCode::SUCCESS)
-            }
-            other => Err(format!("unexpected response: {other:?}")),
-        },
-        "stats" => match roundtrip(&addr, &Request::Stats)? {
-            Response::Stats(s) => {
-                println!("server stats");
-                println!("  uptime          {:>10.1}s", s.uptime_secs);
-                println!("  jobs served     {:>10}", s.jobs_served);
-                println!("  rejected        {:>10}", s.rejected);
-                println!("  cache hits      {:>10}", s.cache_hits);
-                println!("  cache misses    {:>10}", s.cache_misses);
-                println!("  hit rate        {:>9.1}%", s.hit_rate * 100.0);
-                println!("  cache entries   {:>10}", s.cache_entries);
-                println!("  cache evictions {:>10}", s.cache_evictions);
-                println!("  queue depth     {:>10}", s.queue_depth);
-                println!("  active jobs     {:>10}", s.active_jobs);
-                println!("  p50 latency     {:>10.3}s", s.p50.as_secs_f64());
-                println!("  p95 latency     {:>10.3}s", s.p95.as_secs_f64());
-                Ok(ExitCode::SUCCESS)
-            }
-            other => Err(format!("unexpected response: {other:?}")),
-        },
-        "verify" => verify(&addr, &args[1..]),
+        "ping" => with_retry(policy, || {
+            simple(&addr, &Request::Ping, |response| match response {
+                Response::Pong => {
+                    println!("pong");
+                    Ok(ExitCode::SUCCESS)
+                }
+                other => Err(format!("unexpected response: {other:?}")),
+            })
+        }),
+        "shutdown" => with_retry(policy, || {
+            simple(&addr, &Request::Shutdown, |response| match response {
+                Response::ShutdownAck => {
+                    println!("server draining");
+                    Ok(ExitCode::SUCCESS)
+                }
+                other => Err(format!("unexpected response: {other:?}")),
+            })
+        }),
+        "stats" => with_retry(policy, || {
+            simple(&addr, &Request::Stats, |response| match response {
+                Response::Stats(s) => {
+                    println!("server stats");
+                    println!("  uptime          {:>10.1}s", s.uptime_secs);
+                    println!("  jobs served     {:>10}", s.jobs_served);
+                    println!("  rejected        {:>10}", s.rejected);
+                    println!("  cache hits      {:>10}", s.cache_hits);
+                    println!("  cache misses    {:>10}", s.cache_misses);
+                    println!("  hit rate        {:>9.1}%", s.hit_rate * 100.0);
+                    println!("  cache entries   {:>10}", s.cache_entries);
+                    println!("  cache evictions {:>10}", s.cache_evictions);
+                    println!("  queue depth     {:>10}", s.queue_depth);
+                    println!("  active jobs     {:>10}", s.active_jobs);
+                    println!("  p50 latency     {:>10.3}s", s.p50.as_secs_f64());
+                    println!("  p95 latency     {:>10.3}s", s.p95.as_secs_f64());
+                    Ok(ExitCode::SUCCESS)
+                }
+                other => Err(format!("unexpected response: {other:?}")),
+            })
+        }),
+        "verify" => {
+            // Flag errors are terminal: parse once, outside the retry
+            // loop.
+            let (request, quiet, expect_cache) = parse_verify_args(&args[1..])?;
+            with_retry(policy, || {
+                verify_attempt(&addr, request.clone(), quiet, expect_cache)
+            })
+        }
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -87,7 +144,74 @@ fn run() -> Result<ExitCode, String> {
     }
 }
 
-fn verify(addr: &str, args: &[String]) -> Result<ExitCode, String> {
+/// Runs `attempt` up to `1 + policy.retries` times, sleeping with capped
+/// exponential backoff plus jitter between retryable failures.
+fn with_retry(policy: RetryPolicy, attempt: impl Fn() -> Attempt) -> Result<ExitCode, String> {
+    let mut tries = 0u32;
+    loop {
+        match attempt() {
+            Attempt::Success(code) => return Ok(code),
+            Attempt::Failed(message) => return Err(message),
+            Attempt::Overloaded { depth, limit } => {
+                if tries >= policy.retries {
+                    eprintln!("server overloaded: {depth} jobs queued (limit {limit}); giving up");
+                    return Ok(ExitCode::from(2));
+                }
+                eprintln!("server overloaded: {depth} jobs queued (limit {limit}); retrying");
+            }
+            Attempt::ConnectFailed(message) => {
+                if tries >= policy.retries {
+                    return Err(message);
+                }
+                eprintln!("{message}; retrying");
+            }
+        }
+        std::thread::sleep(backoff_delay(policy.backoff, tries, jitter_seed()));
+        tries += 1;
+    }
+}
+
+/// Delay before retry number `attempt` (0-based): `base * 2^attempt`,
+/// capped at 10 s, then jittered into `[delay/2, delay]` by `seed` so a
+/// herd of clients does not re-arrive in lockstep.
+fn backoff_delay(base: Duration, attempt: u32, seed: u64) -> Duration {
+    const CAP: Duration = Duration::from_secs(10);
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    let capped = exp.min(CAP);
+    let nanos = capped.as_nanos() as u64;
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(nanos / 2 + seed % (nanos / 2 + 1))
+}
+
+fn jitter_seed() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64)
+}
+
+/// One connect-send-receive attempt of a single-response command.
+fn simple(
+    addr: &str,
+    request: &Request,
+    render: impl Fn(Response) -> Result<ExitCode, String>,
+) -> Attempt {
+    let stream = match connect(addr) {
+        Ok(stream) => stream,
+        Err(message) => return Attempt::ConnectFailed(message),
+    };
+    match roundtrip_on(stream, request) {
+        Ok(Response::Overloaded { depth, limit }) => Attempt::Overloaded { depth, limit },
+        Ok(response) => match render(response) {
+            Ok(code) => Attempt::Success(code),
+            Err(message) => Attempt::Failed(message),
+        },
+        Err(message) => Attempt::Failed(message),
+    }
+}
+
+fn parse_verify_args(args: &[String]) -> Result<(VerifyRequest, bool, Option<bool>), String> {
     let mut size: Option<usize> = None;
     let mut width: Option<usize> = None;
     let mut request = VerifyRequest::new(0, 0);
@@ -134,33 +258,52 @@ fn verify(addr: &str, args: &[String]) -> Result<ExitCode, String> {
     }
     request.rob_size = size.ok_or("--size is required")?;
     request.issue_width = width.ok_or("--width is required")?;
+    Ok((request, quiet, expect_cache))
+}
 
-    let stream = connect(addr)?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    send(&mut writer, &Request::Verify(request))?;
+fn verify_attempt(
+    addr: &str,
+    request: VerifyRequest,
+    quiet: bool,
+    expect_cache: Option<bool>,
+) -> Attempt {
+    let stream = match connect(addr) {
+        Ok(stream) => stream,
+        Err(message) => return Attempt::ConnectFailed(message),
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(e) => return Attempt::Failed(e.to_string()),
+    };
+    if let Err(message) = send(&mut writer, &Request::Verify(request)) {
+        return Attempt::Failed(message);
+    }
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) => return Err("server closed the connection mid-request".to_owned()),
+            Ok(0) => return Attempt::Failed("server closed the connection mid-request".to_owned()),
             Ok(_) => {}
-            Err(e) => return Err(format!("read failed: {e}")),
+            Err(e) => return Attempt::Failed(format!("read failed: {e}")),
         }
         if line.trim().is_empty() {
             continue;
         }
-        match Response::parse(&line)? {
+        let response = match Response::parse(&line) {
+            Ok(response) => response,
+            Err(message) => return Attempt::Failed(message),
+        };
+        match response {
             Response::Event { state, detail } => {
                 if !quiet {
                     eprintln!("[{state}] {detail}");
                 }
             }
             Response::Overloaded { depth, limit } => {
-                eprintln!("server overloaded: {depth} jobs queued (limit {limit}); retry later");
-                return Ok(ExitCode::from(2));
+                return Attempt::Overloaded { depth, limit };
             }
-            Response::Error { message } => return Err(message),
+            Response::Error { message } => return Attempt::Failed(message),
             Response::Result {
                 cache_hit,
                 key_digest,
@@ -182,12 +325,12 @@ fn verify(addr: &str, args: &[String]) -> Result<ExitCode, String> {
                             "expected cache {}, got {cache}",
                             if expected_hit { "hit" } else { "miss" },
                         );
-                        return Ok(ExitCode::FAILURE);
+                        return Attempt::Success(ExitCode::FAILURE);
                     }
                 }
-                return Ok(ExitCode::SUCCESS);
+                return Attempt::Success(ExitCode::SUCCESS);
             }
-            other => return Err(format!("unexpected response: {other:?}")),
+            other => return Attempt::Failed(format!("unexpected response: {other:?}")),
         }
     }
 }
@@ -201,8 +344,7 @@ fn send(writer: &mut TcpStream, request: &Request) -> Result<(), String> {
     writer.flush().map_err(|e| format!("flush failed: {e}"))
 }
 
-fn roundtrip(addr: &str, request: &Request) -> Result<Response, String> {
-    let stream = connect(addr)?;
+fn roundtrip_on(stream: TcpStream, request: &Request) -> Result<Response, String> {
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     send(&mut writer, request)?;
     let mut reader = BufReader::new(stream);
@@ -228,7 +370,11 @@ where
 }
 
 const USAGE: &str = "\
-usage: robctl [--addr HOST:PORT] <command>
+usage: robctl [--addr HOST:PORT] [--retries N] [--backoff-ms MS] <command>
+  --retries N      extra attempts for transient failures (connection
+                   refused/reset, overloaded rejection); default 0
+  --backoff-ms MS  base delay between attempts; doubles per retry,
+                   capped at 10s, jittered; default 100
 commands:
   ping                         liveness probe
   verify --size N --width K    verify one configuration
@@ -239,3 +385,35 @@ commands:
   stats                        server statistics
   shutdown                     drain and stop the server
 ";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let base = Duration::from_millis(100);
+        // Zero jitter seed pins the delay to the lower bound: delay/2.
+        assert_eq!(backoff_delay(base, 0, 0), Duration::from_millis(50));
+        assert_eq!(backoff_delay(base, 1, 0), Duration::from_millis(100));
+        assert_eq!(backoff_delay(base, 2, 0), Duration::from_millis(200));
+        // Far past the cap: 100ms * 2^20 >> 10s, so the cap holds.
+        assert_eq!(backoff_delay(base, 20, 0), Duration::from_secs(5));
+        assert!(backoff_delay(base, 20, u64::MAX) <= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn jitter_stays_within_half_to_full_delay() {
+        let base = Duration::from_millis(200);
+        for seed in [0u64, 1, 999, u64::MAX] {
+            let d = backoff_delay(base, 0, seed);
+            assert!(d >= Duration::from_millis(100), "{d:?}");
+            assert!(d <= Duration::from_millis(200), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        assert_eq!(backoff_delay(Duration::ZERO, 5, 12345), Duration::ZERO);
+    }
+}

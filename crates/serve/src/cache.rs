@@ -12,12 +12,15 @@
 //! file — one `{"key", "key_digest", "verification"}` object per line —
 //! and replayed on startup. Replay is defensive: lines that fail to
 //! parse, records whose stored digest disagrees with the recomputed one,
-//! and records whose fingerprint (embedded in the canonical key) no
-//! longer matches the running build are skipped and counted, never
-//! served. Duplicate keys resolve last-wins, so an append-mostly file
-//! stays correct; [`ResultCache::flush`] rewrites the file compacted
-//! (atomically, via a sibling temp file) so it does not grow without
-//! bound across restarts.
+//! records whose fingerprint (embedded in the canonical key) no longer
+//! matches the running build, and torn or non-UTF-8 trailing lines (a
+//! crash mid-append) are skipped and counted, never served — a corrupt
+//! journal degrades to a cold cache instead of failing startup.
+//! Duplicate keys resolve last-wins, so an append-mostly file stays
+//! correct; [`ResultCache::flush`] rewrites the file compacted
+//! (atomically, via a sibling temp file that is fsynced before the
+//! rename, so a crash between the two leaves either the old or the new
+//! journal intact) so it does not grow without bound across restarts.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufWriter, Write};
@@ -87,12 +90,30 @@ impl ResultCache {
         let mut report = ReplayReport::default();
         if path.exists() {
             let file = std::fs::File::open(&path)?;
-            for line in std::io::BufReader::new(file).lines() {
-                let line = line?;
+            let mut reader = std::io::BufReader::new(file);
+            // Raw byte lines: a torn final append or injected garbage may
+            // not be UTF-8, and must degrade to a skipped line, not an
+            // I/O error that fails startup.
+            let mut raw = Vec::new();
+            loop {
+                raw.clear();
+                match reader.read_until(b'\n', &mut raw) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("rob-serve: cache journal read stopped: {e}");
+                        break;
+                    }
+                }
+                let Ok(line) = std::str::from_utf8(&raw) else {
+                    eprintln!("rob-serve: skipping non-UTF-8 cache journal line");
+                    report.rejected += 1;
+                    continue;
+                };
                 if line.trim().is_empty() {
                     continue;
                 }
-                match decode_record(&line) {
+                match decode_record(line) {
                     Ok((key, verification)) => {
                         if key.canonical().contains(CODE_FINGERPRINT) {
                             cache.insert(&key, verification);
@@ -101,7 +122,10 @@ impl ResultCache {
                             report.stale += 1;
                         }
                     }
-                    Err(_) => report.rejected += 1,
+                    Err(reason) => {
+                        eprintln!("rob-serve: skipping bad cache journal line: {reason}");
+                        report.rejected += 1;
+                    }
                 }
             }
             // Replay is not traffic: don't let it skew the hit rate.
@@ -206,9 +230,15 @@ impl ResultCache {
             ordered.sort_by_key(|(_, e)| e.last_used);
             for (canonical, entry) in ordered {
                 let key = JobKey::from_canonical(canonical.clone());
-                writeln!(out, "{}", encode_record(&key, &entry.verification))?;
+                let mut line = encode_record(&key, &entry.verification).into_bytes();
+                chaos::mangle("serve.cache.flush-line", &mut line);
+                out.write_all(&line)?;
+                out.write_all(b"\n")?;
             }
             out.flush()?;
+            // Make the bytes durable before the rename publishes them:
+            // otherwise a crash can leave a renamed-but-empty journal.
+            out.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, path)
     }
@@ -283,6 +313,7 @@ mod tests {
             timings: Default::default(),
             stats: Default::default(),
             diagnostics: Vec::new(),
+            degraded: None,
         }
     }
 
@@ -362,6 +393,29 @@ mod tests {
             }
         );
         assert_eq!(cache2.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_and_non_utf8_trailing_writes_degrade_to_skipped_lines() {
+        let dir = std::env::temp_dir().join(format!("rob-serve-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache-torn.jsonl");
+        let good = encode_record(&key(4), &verified());
+        // A crash mid-append: one intact record, then a record cut off
+        // mid-line, then raw non-UTF-8 bytes with no trailing newline.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(good.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&good.as_bytes()[..good.len() / 2]);
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"\xff\xfe{garbage");
+        std::fs::write(&path, bytes).unwrap();
+
+        let (mut cache, report) = ResultCache::with_store(16, &path).unwrap();
+        assert_eq!(report.loaded, 1, "the intact record replays");
+        assert_eq!(report.rejected, 2, "torn + non-UTF-8 lines are skipped");
+        assert!(cache.get(&key(4)).is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -455,6 +455,7 @@ mod tests {
             timings: Default::default(),
             stats: Default::default(),
             diagnostics: Vec::new(),
+            degraded: None,
         };
         let responses = [
             Response::Pong,

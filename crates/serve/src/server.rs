@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use campaign::pool::{ExecOutcome, PoolOptions, ServicePool, SubmitError};
+use campaign::pool::{CancelToken, ExecOutcome, PoolOptions, ServicePool, SubmitError};
 use campaign::{JobRunner, JobSpec};
 use rob_verify::Verification;
 
@@ -51,6 +51,12 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// JSONL store replayed on startup and rewritten on shutdown.
     pub persist_path: Option<PathBuf>,
+    /// When `true`, a drain trips every outstanding job's cancel token
+    /// instead of waiting for queued and in-flight work to finish:
+    /// cooperative jobs wind down promptly and queued jobs resolve as
+    /// cancelled. The default (`false`) preserves finish-everything
+    /// drains.
+    pub cancel_on_drain: bool,
     /// The job runner; tests inject sleeping or panicking runners.
     pub runner: JobRunner,
 }
@@ -64,7 +70,8 @@ impl Default for ServerConfig {
             timeout: None,
             cache_capacity: 1024,
             persist_path: None,
-            runner: Arc::new(|job: &JobSpec| job.run()),
+            cancel_on_drain: false,
+            runner: Arc::new(|job: &JobSpec, cancel: &CancelToken| job.run_cancellable(cancel)),
         }
     }
 }
@@ -84,6 +91,7 @@ struct Shared {
     cache: Mutex<ResultCache>,
     stats: ServerStats,
     stopping: AtomicBool,
+    cancel_on_drain: bool,
 }
 
 /// The daemon entry point. See [`Server::start`].
@@ -114,14 +122,16 @@ impl Server {
                 workers: config.workers,
                 timeout: config.timeout,
                 retries: 0,
+                ..PoolOptions::default()
             },
             config.queue_limit,
-            Arc::new(move |job: &ServiceJob| {
+            Arc::new(move |job: &ServiceJob, cancel: &CancelToken| {
+                chaos::hit("serve.worker.run");
                 let _ = job.events.send(Response::Event {
                     state: "started".to_owned(),
                     detail: job.spec.label(),
                 });
-                runner(&job.spec)
+                runner(&job.spec, cancel)
             }),
         );
 
@@ -130,6 +140,7 @@ impl Server {
             cache: Mutex::new(cache),
             stats: ServerStats::new(),
             stopping: AtomicBool::new(false),
+            cancel_on_drain: config.cancel_on_drain,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -203,9 +214,15 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         // accumulate join handles.
         connections.retain(|h| !h.is_finished());
     }
-    // Drain: queued and in-flight jobs finish, so every connection
-    // thread's pending receiver resolves and the thread exits.
-    shared.pool.shutdown();
+    // Drain: every connection thread's pending receiver resolves and the
+    // thread exits — either because queued and in-flight jobs finish, or
+    // (cancel-on-drain) because their tokens were tripped first and they
+    // resolve as cancelled.
+    if shared.cancel_on_drain {
+        shared.pool.shutdown_now();
+    } else {
+        shared.pool.shutdown();
+    }
     for handle in connections {
         let _ = handle.join();
     }
@@ -297,6 +314,7 @@ fn serve_verify(
     shared: &Arc<Shared>,
     request: &crate::proto::VerifyRequest,
 ) {
+    chaos::hit("serve.verify");
     let started = Instant::now();
     let job = match request.job() {
         Ok(job) => job,
@@ -326,8 +344,8 @@ fn serve_verify(
         state: "queued".to_owned(),
         detail: format!("{} key={}", job.label(), key.digest_hex()),
     };
-    let result_rx = match shared.pool.submit(ServiceJob { spec: job, events }) {
-        Ok(rx) => rx,
+    let submission = match shared.pool.submit(ServiceJob { spec: job, events }) {
+        Ok(submission) => submission,
         Err(SubmitError::Overloaded { depth, limit }) => {
             shared.stats.record_rejected();
             let _ = write_response(writer, &Response::Overloaded { depth, limit });
@@ -345,17 +363,25 @@ fn serve_verify(
     };
     // The queued event is only sent once the job is actually admitted.
     let mut client_gone = write_response(writer, &queued).is_err();
+    if client_gone {
+        // Nobody is listening: tell a cooperative job to wind down. We
+        // still wait for whatever it returns — a job that finishes anyway
+        // (non-cooperative, or already past its last poll) pays forward
+        // into the cache below.
+        submission.cancel.cancel();
+    }
 
     // Stream progress while waiting for the terminal result. A client
     // that disconnects mid-stream must not poison anything: we keep
-    // waiting (the solve is already paid for) and cache the result.
+    // waiting and cache any completed result.
     let exec = loop {
         while let Ok(event) = event_rx.try_recv() {
             if !client_gone && write_response(writer, &event).is_err() {
                 client_gone = true;
+                submission.cancel.cancel();
             }
         }
-        match result_rx.recv_timeout(Duration::from_millis(10)) {
+        match submission.results.recv_timeout(Duration::from_millis(10)) {
             Ok(exec) => break Some(exec),
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break None,
@@ -363,6 +389,12 @@ fn serve_verify(
     };
 
     let response = match exec.map(|e| e.outcome) {
+        // A cancelled verification is not a solve — never cache it.
+        Some(ExecOutcome::Done(Ok(verification))) if verification.was_cancelled() => {
+            Response::Error {
+                message: "job was cancelled".to_owned(),
+            }
+        }
         Some(ExecOutcome::Done(Ok(verification))) => {
             shared
                 .cache
@@ -386,7 +418,10 @@ fn serve_verify(
         Some(ExecOutcome::TimedOut) => Response::Error {
             message: "job exceeded the server deadline".to_owned(),
         },
-        Some(ExecOutcome::Cancelled) | None => Response::Error {
+        Some(ExecOutcome::Cancelled) => Response::Error {
+            message: "job was cancelled".to_owned(),
+        },
+        None => Response::Error {
             message: "job was dropped during shutdown".to_owned(),
         },
     };

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use campaign::pool::CancelToken;
 use campaign::JobSpec;
 use rob_verify::{Verdict, Verification};
 use serve::{Request, Response, Server, ServerConfig, VerifyRequest};
@@ -55,12 +56,13 @@ fn canned() -> Verification {
         timings: Default::default(),
         stats: Default::default(),
         diagnostics: Vec::new(),
+        degraded: None,
     }
 }
 
 fn counting_runner(delay: Duration, solves: &Arc<AtomicUsize>) -> campaign::JobRunner {
     let solves = Arc::clone(solves);
-    Arc::new(move |_job: &JobSpec| {
+    Arc::new(move |_job: &JobSpec, _cancel: &CancelToken| {
         solves.fetch_add(1, Ordering::SeqCst);
         std::thread::sleep(delay);
         Ok(canned())
@@ -146,7 +148,7 @@ fn miss_then_hit_and_stats() {
 fn invalid_requests_get_structured_errors() {
     let handle = Server::start(ServerConfig {
         workers: 1,
-        runner: Arc::new(|_job: &JobSpec| Ok(canned())),
+        runner: Arc::new(|_job: &JobSpec, _cancel: &CancelToken| Ok(canned())),
         ..ServerConfig::default()
     })
     .expect("start");
@@ -331,7 +333,9 @@ fn cache_persists_across_restart_and_answers_without_resolving() {
     let second = Server::start(ServerConfig {
         workers: 1,
         persist_path: Some(store.clone()),
-        runner: Arc::new(|_job: &JobSpec| panic!("the warm cache must answer this")),
+        runner: Arc::new(|_job: &JobSpec, _cancel: &CancelToken| {
+            panic!("the warm cache must answer this")
+        }),
         ..ServerConfig::default()
     })
     .expect("start second");

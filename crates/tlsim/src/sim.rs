@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 #[cfg(test)]
 use eufm::Sort;
-use eufm::{Context, ExprId};
+use eufm::{CancelToken, Context, ExprId};
 
 use crate::ir::{Design, InputId, InputKind, LatchId, SignalDef, SignalId};
 
@@ -32,6 +32,8 @@ pub enum SimError {
     CombinationalCycle(usize),
     /// A provided override had the wrong sort.
     SortMismatch(String),
+    /// The simulation was cooperatively cancelled before this step.
+    Cancelled,
 }
 
 impl std::fmt::Display for SimError {
@@ -49,6 +51,7 @@ impl std::fmt::Display for SimError {
             SimError::SortMismatch(name) => {
                 write!(f, "override for input `{name}` has the wrong sort")
             }
+            SimError::Cancelled => write!(f, "simulation cancelled"),
         }
     }
 }
@@ -79,6 +82,7 @@ pub struct Simulator<'d> {
     cycle: u64,
     strategy: EvalStrategy,
     total_events: u64,
+    cancel: CancelToken,
 }
 
 impl<'d> Simulator<'d> {
@@ -112,7 +116,14 @@ impl<'d> Simulator<'d> {
             cycle: 0,
             strategy,
             total_events: 0,
+            cancel: CancelToken::new(),
         })
+    }
+
+    /// Attaches a cooperative cancellation token, polled at the start of
+    /// every [`Simulator::step`].
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// The design being simulated.
@@ -166,6 +177,9 @@ impl<'d> Simulator<'d> {
         ctx: &mut Context,
         controls: &HashMap<InputId, ExprId>,
     ) -> Result<StepStats, SimError> {
+        if self.cancel.is_cancelled() {
+            return Err(SimError::Cancelled);
+        }
         // Resolve input values for this cycle.
         let mut input_values: Vec<ExprId> = Vec::with_capacity(self.design.num_inputs());
         for (idx, info) in self.design.inputs.iter().enumerate() {

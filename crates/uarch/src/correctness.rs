@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use eufm::{Context, ExprId};
+use eufm::{CancelToken, Context, ExprId};
 use tlsim::{EvalStrategy, Simulator};
 
 use crate::bug::BugSpec;
@@ -87,6 +87,22 @@ pub fn generate_with(
     bug: Option<BugSpec>,
     strategy: EvalStrategy,
 ) -> Result<CorrectnessBundle, UarchError> {
+    generate_cancellable(config, bug, strategy, &CancelToken::new())
+}
+
+/// Like [`generate_with`], but every simulator polls `cancel` before each
+/// symbolic step; a tripped token surfaces as
+/// [`UarchError::Sim`]`(`[`tlsim::SimError::Cancelled`]`)`.
+///
+/// # Errors
+///
+/// As [`generate_with`], plus the cancellation error above.
+pub fn generate_cancellable(
+    config: &Config,
+    bug: Option<BugSpec>,
+    strategy: EvalStrategy,
+    cancel: &CancelToken,
+) -> Result<CorrectnessBundle, UarchError> {
     let proc = OooProcessor::build_with_bug(config, bug)?;
     let spec = SpecProcessor::build();
     let mut ctx = Context::new();
@@ -95,6 +111,7 @@ pub fn generate_with(
 
     // --- implementation side: regular step, then flush -----------------------
     let mut impl_sim = Simulator::new(proc.design(), &mut ctx, strategy)?;
+    impl_sim.set_cancel(cancel.clone());
     proc.init_empty_new_entries(&mut impl_sim, &ctx);
     impl_sim.step(&mut ctx, &proc.regular_controls())?;
     for slice in 1..=total {
@@ -106,6 +123,7 @@ pub fn generate_with(
 
     // --- specification side: flush the initial state, then run the spec ------
     let mut abs_sim = Simulator::new(proc.design(), &mut ctx, strategy)?;
+    abs_sim.set_cancel(cancel.clone());
     proc.init_empty_new_entries(&mut abs_sim, &ctx);
     for slice in 1..=total {
         abs_sim.step(&mut ctx, &proc.flush_controls(slice))?;
@@ -114,6 +132,7 @@ pub fn generate_with(
     let rf_spec0 = abs_sim.latch_state(proc.regfile());
 
     let mut spec_sim = Simulator::new(spec.design(), &mut ctx, strategy)?;
+    spec_sim.set_cancel(cancel.clone());
     spec_sim.set_state(&ctx, spec.pc(), pc_spec0);
     spec_sim.set_state(&ctx, spec.regfile(), rf_spec0);
     let mut pc_spec = vec![pc_spec0];
@@ -223,6 +242,17 @@ mod tests {
         let se = eufm::print::to_sexpr(&eager.ctx, eager.formula);
         assert_eq!(sl, se);
         assert!(lazy.stats.impl_events < eager.stats.impl_events);
+    }
+
+    #[test]
+    fn cancelled_generation_reports_a_sim_error() {
+        let config = Config::new(1, 1).expect("config");
+        let token = CancelToken::new();
+        token.cancel();
+        match generate_cancellable(&config, None, EvalStrategy::Lazy, &token) {
+            Err(crate::UarchError::Sim(tlsim::SimError::Cancelled)) => {}
+            other => panic!("expected cancelled sim error, got {other:?}"),
+        }
     }
 
     #[test]
