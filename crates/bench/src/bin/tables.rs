@@ -9,14 +9,16 @@
 //! Defaults keep the sweep laptop-scale; raise `--max-size`/`--max-width`
 //! to push toward the paper's 1,500 × 128 flagship configuration.
 
+use bench::profile::{bench5_json, overhead_guard, profile_sweep, render_profile};
 use bench::{
     bug_experiment, render_markdown, table1, table2, table3, table4, table5, SweepOptions,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tables <table1|table2|table3|table4|table5|bug|all> \
-         [--max-size N] [--max-width K] [--sat-budget SECONDS] [--workers N]"
+        "usage: tables <table1|table2|table3|table4|table5|bug|all|profile|overhead> \
+         [--max-size N] [--max-width K] [--sat-budget SECONDS] [--workers N] \
+         [--out PATH] [--threshold RATIO] [--iterations N]"
     );
     std::process::exit(2)
 }
@@ -28,6 +30,9 @@ fn main() {
     }
     let which = args[0].clone();
     let mut opts = SweepOptions::default();
+    let mut out: Option<String> = None;
+    let mut threshold = 1.5f64;
+    let mut iterations = 5usize;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let value = it.next().unwrap_or_else(|| usage());
@@ -38,6 +43,9 @@ fn main() {
             // Parallel cells trade per-cell CPU-time fidelity for
             // wall-clock turnaround; counts and verdicts are unaffected.
             "--workers" => opts.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--out" => out = Some(value.clone()),
+            "--threshold" => threshold = value.parse().unwrap_or_else(|_| usage()),
+            "--iterations" => iterations = value.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -73,6 +81,42 @@ fn main() {
         "table4" => print!("{}", render_markdown(&table4(&opts))),
         "table5" => print!("{}", render_markdown(&table5(&opts))),
         "bug" => run_bug(&opts),
+        "profile" => {
+            let runs = profile_sweep(&opts);
+            for run in &runs {
+                println!("{}", render_profile(run));
+            }
+            if let Some(last) = runs.last() {
+                println!(
+                    "```\nflamegraph — rob{}xw{} {}\n{}```\n",
+                    last.rob_size, last.issue_width, last.strategy, last.flamegraph
+                );
+            }
+            if let Some(path) = &out {
+                let text = format!("{}\n", bench5_json(&runs));
+                std::fs::write(path, text).unwrap_or_else(|e| {
+                    eprintln!("tables: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("tables: profile written to {path}");
+            }
+        }
+        "overhead" => {
+            let report = overhead_guard(threshold, iterations.max(1));
+            println!(
+                "collectors disabled: {:.4}s median  enabled: {:.4}s median  \
+                 budget: {:.2}x + {:.0}ms",
+                report.disabled_secs,
+                report.enabled_secs,
+                report.threshold,
+                report.slack_secs * 1000.0,
+            );
+            if !report.within_budget {
+                eprintln!("tables: collector overhead exceeds budget");
+                std::process::exit(1);
+            }
+            println!("overhead guard: within budget");
+        }
         "all" => {
             println!("{}", render_markdown(&table1(&opts)));
             println!("{}", render_markdown(&table2(&opts)));

@@ -5,6 +5,8 @@
 //! drives everything from the command line; the Criterion benches reuse the
 //! same per-cell workloads.
 
+pub mod profile;
+
 use std::time::{Duration, Instant};
 
 use evc::check::{check_validity, CheckOptions, CheckOutcome};

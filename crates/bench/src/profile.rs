@@ -1,0 +1,288 @@
+//! Profiled runs: traced verification with per-phase breakdowns and the
+//! machine-readable `BENCH_5.json` artifact.
+//!
+//! The `tables profile` subcommand sweeps the Table 1 configurations
+//! (clipped by `--max-size`/`--max-width`), traces each full
+//! [`Verifier::run`] with the `rob-trace` span collector, prints a
+//! per-phase breakdown table per configuration, and serializes the
+//! whole sweep as one JSON document (schema documented in
+//! `DESIGN.md` §12).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use campaign::json::Json;
+use rob_verify::trace::PhaseStat;
+use rob_verify::{Config, Strategy, Verification, Verifier};
+use sat::Limits;
+
+use crate::{size_ladder, width_ladder, SweepOptions};
+
+/// Schema identifier stamped into `BENCH_5.json`; bump when the layout
+/// changes.
+pub const BENCH5_SCHEMA: &str = "rob-bench-profile/v1";
+
+/// One traced configuration of the profile sweep.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// Reorder-buffer size.
+    pub rob_size: usize,
+    /// Issue/retire width.
+    pub issue_width: usize,
+    /// Verification strategy.
+    pub strategy: Strategy,
+    /// Per-phase rollup (count, cumulative, self time) from the span tree.
+    pub phases: Vec<PhaseStat>,
+    /// Sum of root-span cumulative times (the traced wall time).
+    pub total: Duration,
+    /// Flamegraph-style text report of the span tree.
+    pub flamegraph: String,
+    /// The verification itself (verdict, timings, stats).
+    pub verification: Verification,
+}
+
+/// Traces one configuration end to end. Returns `None` when the
+/// configuration is infeasible (width exceeds size) or the run errors.
+pub fn profile_run(
+    size: usize,
+    width: usize,
+    strategy: Strategy,
+    opts: &SweepOptions,
+) -> Option<ProfiledRun> {
+    let config = Config::new(size, width).ok()?;
+    let verifier = Verifier::new(config).strategy(strategy).sat_limits(Limits {
+        max_seconds: Some(opts.sat_budget),
+        ..Limits::none()
+    });
+    let (verification, tree) = verifier.run_traced().ok()?;
+    Some(ProfiledRun {
+        rob_size: size,
+        issue_width: width,
+        strategy,
+        phases: tree.rollup(),
+        total: tree.total(),
+        flamegraph: tree.flamegraph(),
+        verification,
+    })
+}
+
+/// Profiles every Table 1 configuration within the sweep bounds,
+/// serially (profiling is about timing; parallel cells would share
+/// cores and skew the per-phase numbers).
+pub fn profile_sweep(opts: &SweepOptions) -> Vec<ProfiledRun> {
+    let mut runs = Vec::new();
+    for size in size_ladder(opts) {
+        for width in width_ladder(opts) {
+            if width > size {
+                continue;
+            }
+            if let Some(run) = profile_run(size, width, Strategy::default(), opts) {
+                runs.push(run);
+            }
+        }
+    }
+    runs
+}
+
+/// Renders one run as a per-phase breakdown table (markdown).
+pub fn render_profile(run: &ProfiledRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Profile — rob{}xw{} {} ({:.3}s total)\n",
+        run.rob_size,
+        run.issue_width,
+        run.strategy,
+        run.total.as_secs_f64(),
+    );
+    let _ = writeln!(
+        out,
+        "| phase | count | cumulative [s] | self [s] | self % |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    let total = run.total.as_secs_f64().max(f64::EPSILON);
+    for phase in &run.phases {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.4} | {:.4} | {:.1} |",
+            phase.name,
+            phase.count,
+            phase.cumulative.as_secs_f64(),
+            phase.self_time.as_secs_f64(),
+            100.0 * phase.self_time.as_secs_f64() / total,
+        );
+    }
+    out
+}
+
+fn phase_json(phase: &PhaseStat) -> Json {
+    Json::obj([
+        ("phase", Json::str(phase.name)),
+        ("count", Json::from(phase.count)),
+        ("cumulative_secs", Json::Num(phase.cumulative.as_secs_f64())),
+        ("self_secs", Json::Num(phase.self_time.as_secs_f64())),
+    ])
+}
+
+/// Serializes a profile sweep as the `BENCH_5.json` document.
+pub fn bench5_json(runs: &[ProfiledRun]) -> Json {
+    let configs: Vec<Json> = runs
+        .iter()
+        .map(|run| {
+            Json::obj([
+                ("rob_size", Json::from(run.rob_size)),
+                ("issue_width", Json::from(run.issue_width)),
+                ("strategy", Json::str(run.strategy.to_string())),
+                ("verdict", Json::str(run.verification.verdict.label())),
+                ("total_secs", Json::Num(run.total.as_secs_f64())),
+                (
+                    "phases",
+                    Json::Arr(run.phases.iter().map(phase_json).collect()),
+                ),
+                (
+                    "timings",
+                    campaign::codec::timings_to_json(&run.verification.timings),
+                ),
+                (
+                    "stats",
+                    campaign::codec::stats_to_json(&run.verification.stats),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::str(BENCH5_SCHEMA)),
+        ("configs", Json::Arr(configs)),
+    ])
+}
+
+/// Outcome of the collector-overhead guard.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    /// Median wall time with collectors disabled, seconds.
+    pub disabled_secs: f64,
+    /// Median wall time with a live span session + metrics, seconds.
+    pub enabled_secs: f64,
+    /// The ratio ceiling the guard enforced.
+    pub threshold: f64,
+    /// Absolute slack added to the ceiling, seconds.
+    pub slack_secs: f64,
+    /// Whether the enabled median stayed within the ceiling.
+    pub within_budget: bool,
+}
+
+fn median_run_secs(config: Config, iterations: usize, traced: bool) -> f64 {
+    let verifier = Verifier::new(config);
+    let mut samples: Vec<f64> = (0..iterations)
+        .map(|_| {
+            let started = std::time::Instant::now();
+            if traced {
+                verifier.run_traced().expect("smoke run");
+            } else {
+                verifier.run().expect("smoke run");
+            }
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Measures collector overhead on a smoke workload: the same small
+/// configuration verified with collectors fully disabled, then with a
+/// live span session and the metrics registry enabled. The guard
+/// passes when `enabled <= threshold * disabled + slack`; the absolute
+/// slack keeps sub-millisecond baselines from tripping on noise.
+pub fn overhead_guard(threshold: f64, iterations: usize) -> OverheadReport {
+    let config = Config::new(8, 2).expect("smoke configuration");
+    let slack_secs = 0.050;
+    // Warm-up solve so neither arm pays first-run allocation costs.
+    Verifier::new(config).run().expect("warm-up");
+
+    rob_verify::trace::disable_metrics();
+    let disabled_secs = median_run_secs(config, iterations, false);
+
+    rob_verify::trace::enable_metrics();
+    let enabled_secs = median_run_secs(config, iterations, true);
+    rob_verify::trace::disable_metrics();
+
+    OverheadReport {
+        disabled_secs,
+        enabled_secs,
+        threshold,
+        slack_secs,
+        within_budget: enabled_secs <= threshold * disabled_secs + slack_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_run_covers_pipeline_phases() {
+        let opts = SweepOptions {
+            max_size: 4,
+            max_width: 2,
+            ..SweepOptions::default()
+        };
+        let run = profile_run(4, 2, Strategy::default(), &opts).expect("profile");
+        assert!(run.verification.is_verified());
+        let names: Vec<&str> = run.phases.iter().map(|p| p.name).collect();
+        for expected in [
+            "verify",
+            "generate",
+            "evc.rewrite",
+            "evc.pe",
+            "sat.tseitin",
+            "sat.cdcl",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        assert!(run.total > Duration::ZERO);
+        let table = render_profile(&run);
+        assert!(table.contains("| verify |"), "{table}");
+    }
+
+    #[test]
+    fn bench5_document_parses_and_pins_schema() {
+        let opts = SweepOptions {
+            max_size: 2,
+            max_width: 1,
+            ..SweepOptions::default()
+        };
+        let runs = profile_sweep(&opts);
+        assert!(!runs.is_empty());
+        let text = bench5_json(&runs).to_string();
+        let doc = campaign::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(BENCH5_SCHEMA)
+        );
+        let configs = match doc.get("configs") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("configs must be an array, got {other:?}"),
+        };
+        assert_eq!(configs.len(), runs.len());
+        for config in configs {
+            for key in [
+                "rob_size",
+                "issue_width",
+                "strategy",
+                "phases",
+                "timings",
+                "stats",
+            ] {
+                assert!(config.get(key).is_some(), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_guard_reports_both_arms() {
+        let report = overhead_guard(1000.0, 1);
+        assert!(report.disabled_secs > 0.0);
+        assert!(report.enabled_secs > 0.0);
+        assert!(report.within_budget, "{report:?}");
+    }
+}

@@ -38,6 +38,8 @@ options:
   --check-proofs         log + independently check DRUP proofs per job
   --audit                run the rob-lint audit battery per job and
                          stream diagnostics into the event log
+  --profile              trace each job and attach per-phase span
+                         rollups to job-finished events
   --events PATH          write the JSONL event stream to PATH
   --quiet                suppress per-job progress lines
   --help                 show this message
@@ -69,6 +71,7 @@ struct Args {
     fail_fast: bool,
     check_proofs: bool,
     audit: bool,
+    profile: bool,
     events: Option<String>,
     quiet: bool,
 }
@@ -100,6 +103,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         fail_fast: false,
         check_proofs: false,
         audit: false,
+        profile: false,
         events: None,
         quiet: false,
     };
@@ -159,6 +163,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             "--fail-fast" => args.fail_fast = true,
             "--check-proofs" => args.check_proofs = true,
             "--audit" => args.audit = true,
+            "--profile" => args.profile = true,
             "--events" => args.events = Some(value("--events")?),
             "--quiet" => args.quiet = true,
             other if other.starts_with('-') => {
@@ -266,7 +271,7 @@ fn run(argv: Vec<String>) -> Result<bool, String> {
         return Err("no jobs: set --sizes and --widths (or pass a sweep file)".into());
     }
 
-    let campaign = file.campaign();
+    let campaign = file.campaign().profile(args.profile);
     if campaign.jobs().is_empty() {
         return Err("the sweep expands to zero valid jobs".into());
     }

@@ -137,6 +137,20 @@ impl Event {
                     ),
                 ];
                 fields.extend(job_fields(&result.job));
+                if let Some(spans) = &result.spans {
+                    let rollup: Vec<Json> = spans
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("phase", Json::str(s.name)),
+                                ("count", Json::from(s.count)),
+                                ("cumulative_secs", secs(s.cumulative)),
+                                ("self_secs", secs(s.self_time)),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("spans", Json::Arr(rollup)));
+                }
                 match &result.outcome {
                     Outcome::Completed(v) => {
                         fields.push(("detail", codec::verdict_detail(&v.verdict)));
@@ -297,6 +311,7 @@ mod tests {
                 worker: 1,
                 attempts: 2,
                 cached: false,
+                spans: None,
             }),
         ];
         for event in &events {

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use rob_verify::trace::PhaseStat;
 use rob_verify::{
     BugSpec, CancelToken, Config, JobKey, Limits, Strategy, Verdict, Verification, Verifier,
     VerifyError,
@@ -300,6 +301,10 @@ pub struct JobResult {
     /// being solved again (intra-campaign deduplication; see
     /// [`JobSpec::key`]).
     pub cached: bool,
+    /// Per-phase span rollup of the run, collected when the campaign ran
+    /// with profiling enabled (`Campaign::profile`); `None` otherwise.
+    /// Duplicates carry the rollup of their canonical solve.
+    pub spans: Option<Vec<PhaseStat>>,
 }
 
 impl JobResult {

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use rob_verify::Verdict;
+use rob_verify::{PhaseTimings, Verdict};
 
 use crate::job::{JobResult, Outcome};
 use crate::json::Json;
@@ -55,6 +55,10 @@ pub struct CampaignReport {
     pub threads_reclaimed: u64,
     /// Timed-out job threads that ignored cancellation and were detached.
     pub threads_abandoned: u64,
+    /// Median per-phase latency across completed, executed jobs.
+    pub phase_p50: PhaseTimings,
+    /// 95th-percentile per-phase latency across completed, executed jobs.
+    pub phase_p95: PhaseTimings,
 }
 
 impl CampaignReport {
@@ -82,8 +86,11 @@ impl CampaignReport {
             speedup: 0.0,
             threads_reclaimed: 0,
             threads_abandoned: 0,
+            phase_p50: PhaseTimings::default(),
+            phase_p95: PhaseTimings::default(),
         };
         let mut latencies: Vec<Duration> = Vec::new();
+        let mut phase_latencies: [Vec<Duration>; 5] = Default::default();
         for result in results {
             match &result.outcome {
                 Outcome::Completed(v) => match &v.verdict {
@@ -103,6 +110,17 @@ impl CampaignReport {
             if !matches!(result.outcome, Outcome::Cancelled) && !result.cached {
                 latencies.push(result.duration);
                 report.cpu += result.duration;
+                if let Outcome::Completed(v) = &result.outcome {
+                    for (slot, phase) in phase_latencies.iter_mut().zip([
+                        v.timings.generate,
+                        v.timings.rewrite,
+                        v.timings.translate,
+                        v.timings.sat,
+                        v.timings.proof_check,
+                    ]) {
+                        slot.push(phase);
+                    }
+                }
             }
             if !result.is_expected() {
                 report.unexpected += 1;
@@ -112,6 +130,18 @@ impl CampaignReport {
         report.p50 = percentile(&latencies, 0.50);
         report.p95 = percentile(&latencies, 0.95);
         report.max_latency = latencies.last().copied().unwrap_or(Duration::ZERO);
+        for phases in &mut phase_latencies {
+            phases.sort_unstable();
+        }
+        let phase_quantile = |p: f64| PhaseTimings {
+            generate: percentile(&phase_latencies[0], p),
+            rewrite: percentile(&phase_latencies[1], p),
+            translate: percentile(&phase_latencies[2], p),
+            sat: percentile(&phase_latencies[3], p),
+            proof_check: percentile(&phase_latencies[4], p),
+        };
+        report.phase_p50 = phase_quantile(0.50);
+        report.phase_p95 = phase_quantile(0.95);
         let wall_secs = wall.as_secs_f64();
         if wall_secs > 0.0 {
             report.throughput = (report.total_jobs - report.cancelled) as f64 / wall_secs;
@@ -154,6 +184,8 @@ impl CampaignReport {
             ("speedup", Json::Num(self.speedup)),
             ("threads_reclaimed", Json::from(self.threads_reclaimed)),
             ("threads_abandoned", Json::from(self.threads_abandoned)),
+            ("phase_p50", crate::codec::timings_to_json(&self.phase_p50)),
+            ("phase_p95", crate::codec::timings_to_json(&self.phase_p95)),
         ]
     }
 
@@ -201,6 +233,19 @@ impl CampaignReport {
         let _ = writeln!(out, "  throughput  {:>11.2} jobs/s", self.throughput);
         let _ = writeln!(out, "  p50 latency {:>11.3}s", self.p50.as_secs_f64());
         let _ = writeln!(out, "  p95 latency {:>11.3}s", self.p95.as_secs_f64());
+        for (label, t) in [
+            ("phase p50", &self.phase_p50),
+            ("phase p95", &self.phase_p95),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {label}   gen {:.3}s  rewrite {:.3}s  translate {:.3}s  sat {:.3}s",
+                t.generate.as_secs_f64(),
+                t.rewrite.as_secs_f64(),
+                t.translate.as_secs_f64(),
+                t.sat.as_secs_f64(),
+            );
+        }
         let _ = writeln!(out, "  speedup     {:>10.2}x", self.speedup);
         out
     }
@@ -241,6 +286,7 @@ mod tests {
             worker: 0,
             attempts: 1,
             cached: false,
+            spans: None,
         }
     }
 

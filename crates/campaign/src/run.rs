@@ -7,9 +7,10 @@
 //! event with zero duration.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use rob_verify::trace::{self, PhaseStat};
 use rob_verify::{Verification, VerifyError};
 
 use crate::events::{Event, EventSink};
@@ -35,7 +36,14 @@ pub struct Campaign {
     timeout: Option<Duration>,
     retries: u32,
     fail_fast: bool,
+    profile: bool,
 }
+
+/// Per-job phase profiles, keyed by the job's canonical key. Written by
+/// the wrapped runner on the worker thread, read when results are
+/// assembled (the pool reports a job finished only after its runner
+/// returned, so reads always see the entry).
+type ProfileMap = Arc<Mutex<HashMap<String, Vec<PhaseStat>>>>;
 
 /// Everything a finished campaign produced.
 #[derive(Debug, Clone)]
@@ -63,6 +71,7 @@ impl Campaign {
             timeout: None,
             retries: 0,
             fail_fast: false,
+            profile: false,
         }
     }
 
@@ -94,6 +103,14 @@ impl Campaign {
     /// Aborts all queued jobs after the first unexpected falsification.
     pub fn fail_fast(mut self, enabled: bool) -> Self {
         self.fail_fast = enabled;
+        self
+    }
+
+    /// Collects a per-job phase-span rollup (a [`trace`] session wraps
+    /// each solve) and attaches it to [`JobResult::spans`] and the
+    /// `job-finished` JSONL events.
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
         self
     }
 
@@ -153,11 +170,14 @@ impl Campaign {
         let submitted: Vec<JobSpec> = unique.iter().map(|&i| jobs[i]).collect();
 
         let cancel = CancelToken::new();
+        let profiles: Option<ProfileMap> =
+            self.profile.then(|| Arc::new(Mutex::new(HashMap::new())));
         let observer = CampaignObserver {
             sink,
             cancel: cancel.clone(),
             fail_fast: self.fail_fast,
             index_map: &unique,
+            profiles: profiles.clone(),
         };
         let options = PoolOptions {
             workers: self.workers,
@@ -166,19 +186,27 @@ impl Campaign {
             ..PoolOptions::default()
         };
         let started = Instant::now();
-        let (exec_results, pool_stats) = pool::execute_collect(
-            submitted,
-            &options,
-            &cancel,
-            Arc::new(move |job: &JobSpec, cancel: &CancelToken| runner(job, cancel)),
-            &observer,
-        );
+        let span_maps = profiles.clone();
+        let wrapped = move |job: &JobSpec, cancel: &CancelToken| {
+            let Some(map) = &span_maps else {
+                return runner(job, cancel);
+            };
+            let session = trace::session();
+            let result = runner(job, cancel);
+            let rollup = session.finish().rollup();
+            map.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(job.key().canonical().to_owned(), rollup);
+            result
+        };
+        let (exec_results, pool_stats) =
+            pool::execute_collect(submitted, &options, &cancel, Arc::new(wrapped), &observer);
         let wall = started.elapsed();
 
         let mut slots: Vec<Option<JobResult>> = vec![None; jobs.len()];
         for (pos, exec) in exec_results.into_iter().enumerate() {
             let index = unique[pos];
-            slots[index] = Some(job_result(index, jobs[index], exec));
+            slots[index] = Some(job_result(index, jobs[index], exec, profiles.as_ref()));
         }
         for index in 0..jobs.len() {
             if slots[index].is_some() {
@@ -195,6 +223,7 @@ impl Campaign {
                 worker: canon.worker,
                 attempts: 0,
                 cached: true,
+                spans: canon.spans,
             };
             sink.emit(&Event::JobFinished(duplicate.clone()));
             slots[index] = Some(duplicate);
@@ -233,7 +262,14 @@ fn job_result(
     index: usize,
     job: JobSpec,
     exec: ExecResult<Result<Verification, VerifyError>>,
+    profiles: Option<&ProfileMap>,
 ) -> JobResult {
+    let spans = profiles.and_then(|map| {
+        map.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(job.key().canonical())
+            .cloned()
+    });
     JobResult {
         index,
         job,
@@ -242,6 +278,7 @@ fn job_result(
         worker: exec.worker,
         attempts: exec.attempts,
         cached: false,
+        spans,
     }
 }
 
@@ -251,6 +288,8 @@ struct CampaignObserver<'a> {
     fail_fast: bool,
     /// Position in the deduplicated submission list → campaign job index.
     index_map: &'a [usize],
+    /// Per-job phase profiles when profiling is enabled.
+    profiles: Option<ProfileMap>,
 }
 
 impl Observer<JobSpec, Result<Verification, VerifyError>> for CampaignObserver<'_> {
@@ -278,7 +317,12 @@ impl Observer<JobSpec, Result<Verification, VerifyError>> for CampaignObserver<'
         job: &JobSpec,
         result: &ExecResult<Result<Verification, VerifyError>>,
     ) {
-        let job_result = job_result(self.index_map[index], *job, result.clone());
+        let job_result = job_result(
+            self.index_map[index],
+            *job,
+            result.clone(),
+            self.profiles.as_ref(),
+        );
         if self.fail_fast {
             if let Outcome::Completed(v) = &job_result.outcome {
                 if job.is_unexpected_falsification(&v.verdict) {
@@ -350,6 +394,49 @@ mod tests {
         let mut indices: Vec<usize> = finished.iter().map(|r| r.index).collect();
         indices.sort_unstable();
         assert_eq!(indices, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn profile_mode_attaches_span_rollups() {
+        let job = JobSpec::new(Config::new(2, 1).unwrap(), Strategy::default());
+        let other = JobSpec::new(Config::new(3, 1).unwrap(), Strategy::default());
+        let sink = crate::events::MemorySink::new();
+        let outcome = Campaign::new(vec![job, other, job])
+            .workers(2)
+            .profile(true)
+            .run(&sink);
+        assert!(outcome.all_expected());
+        for result in &outcome.results {
+            let spans = result.spans.as_ref().expect("profile mode records spans");
+            let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+            assert!(names.contains(&"verify"), "got {names:?}");
+            assert!(names.contains(&"evc.pe"), "got {names:?}");
+            assert!(
+                names.len() >= 6,
+                "expected at least 6 phases, got {names:?}"
+            );
+        }
+        // Duplicates inherit the canonical rollup, and the JSONL stream
+        // carries it for every finished job.
+        assert!(outcome.results[2].cached);
+        assert_eq!(outcome.results[2].spans, outcome.results[0].spans);
+        for event in sink.events() {
+            if let Event::JobFinished(r) = event {
+                let line = Event::JobFinished(r).to_json().to_string();
+                assert!(line.contains("\"spans\""), "missing spans: {line}");
+                assert!(line.contains("\"phase\""), "missing phase: {line}");
+            }
+        }
+        // Phase percentiles aggregate from per-result timings.
+        assert!(outcome.report.phase_p50.total() > Duration::ZERO);
+        assert!(outcome.report.phase_p95.total() >= outcome.report.phase_p50.total());
+    }
+
+    #[test]
+    fn unprofiled_campaigns_carry_no_spans() {
+        let job = JobSpec::new(Config::new(2, 1).unwrap(), Strategy::default());
+        let outcome = Campaign::new(vec![job]).workers(1).run(&NullSink);
+        assert!(outcome.results[0].spans.is_none());
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub use uarch::{BugSpec, Config, Operand, UarchError};
 /// without a direct dependency.
 pub use lint;
 
+/// Re-export of the tracing/metrics crate, so downstream users (the
+/// campaign orchestrator, `robd`, the bench harness) can open sessions
+/// and read metrics without a direct dependency.
+pub use trace;
+
 /// How the EUFM correctness formula is discharged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
@@ -462,12 +467,16 @@ impl Verifier {
     /// resource exhaustion — are reported in the returned
     /// [`Verification`].
     pub fn run(&self) -> Result<Verification, VerifyError> {
+        let span_run = trace::span("verify");
+        span_run.attr("config", self.config);
+        span_run.attr("strategy", self.strategy);
         let mut timings = PhaseTimings::default();
         let mut stats = VerificationStats::default();
         if self.cancel.is_cancelled() {
             return Ok(Verification::cancelled(timings, stats));
         }
         let t0 = Instant::now();
+        let span_generate = trace::span("generate");
         let mut bundle: CorrectnessBundle = match correctness::generate_cancellable(
             &self.config,
             self.bug,
@@ -482,6 +491,7 @@ impl Verifier {
             Err(e) => return Err(e.into()),
         };
         timings.generate = t0.elapsed();
+        drop(span_generate);
         stats.formula_nodes = bundle.stats.ctx_nodes;
 
         let mut rewrite_diags: Vec<lint::Diagnostic> = Vec::new();
@@ -601,6 +611,24 @@ impl Verifier {
             diagnostics,
             degraded,
         })
+    }
+
+    /// Like [`Verifier::run`], but collects the run's phase spans into a
+    /// [`trace::SpanTree`] (root span `verify`, with `generate`, the evc
+    /// phases, and the SAT phases nested beneath it).
+    ///
+    /// The [`Verification`] itself is unchanged — traces ride alongside
+    /// it, so cached/serialized results stay byte-identical whether or
+    /// not a run was traced.
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::run`].
+    pub fn run_traced(&self) -> Result<(Verification, trace::SpanTree), VerifyError> {
+        let session = trace::session();
+        let result = self.run();
+        let tree = session.finish();
+        result.map(|v| (v, tree))
     }
 }
 

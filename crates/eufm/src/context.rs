@@ -5,6 +5,11 @@ use std::collections::HashMap;
 use crate::node::{ExprId, Node, Sort};
 use crate::symbol::{Interner, Symbol};
 
+/// Nodes freshly interned into some context arena.
+static NODES_INTERNED: trace::Counter = trace::Counter::new("eufm.nodes.interned");
+/// Node constructions answered from the hash-consing table.
+static NODES_CACHE_HITS: trace::Counter = trace::Counter::new("eufm.nodes.cache_hits");
+
 /// An arena of hash-consed EUFM expressions.
 ///
 /// All expressions live inside a context and are referred to by [`ExprId`].
@@ -70,8 +75,10 @@ impl Context {
 
     fn insert(&mut self, node: Node, sort: Sort) -> ExprId {
         if let Some(&id) = self.map.get(&node) {
+            NODES_CACHE_HITS.inc();
             return id;
         }
+        NODES_INTERNED.inc();
         let id = ExprId(u32::try_from(self.nodes.len()).expect("context node overflow"));
         self.nodes.push(node.clone());
         self.sorts.push(sort);

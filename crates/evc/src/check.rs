@@ -15,6 +15,28 @@ use crate::mem::{self, MemoryModel};
 use crate::pe::{self, Classification, EncodeError};
 use crate::uf_elim;
 
+/// `e_ij` variables introduced by the Positive-Equality encoding.
+static PE_EIJ_VARS: trace::Counter = trace::Counter::new("evc.pe.eij_vars");
+/// p-variables (term variables never compared generally).
+static PE_PTERMS: trace::Counter = trace::Counter::new("evc.pe.pterms");
+/// g-terms (value leaves of general equations).
+static PE_GTERMS: trace::Counter = trace::Counter::new("evc.pe.gterms");
+/// CNF variables of the main (correctness-formula) translation. Counted
+/// here rather than inside Tseitin so the rewrite engine's per-obligation
+/// mini-CNFs don't skew the headline figure; agrees with
+/// [`TranslationStats::cnf_vars`].
+static TSEITIN_VARS: trace::Counter = trace::Counter::new("sat.tseitin.vars");
+/// CNF clauses of the main translation; agrees with
+/// [`TranslationStats::cnf_clauses`].
+static TSEITIN_CLAUSES: trace::Counter = trace::Counter::new("sat.tseitin.clauses");
+/// Conflicts analyzed by the main SAT solve; agrees with
+/// [`SolverStats::conflicts`] in the report.
+static CDCL_CONFLICTS: trace::Counter = trace::Counter::new("sat.cdcl.conflicts");
+/// Decisions made by the main SAT solve.
+static CDCL_DECISIONS: trace::Counter = trace::Counter::new("sat.cdcl.decisions");
+/// Literals propagated by the main SAT solve.
+static CDCL_PROPAGATIONS: trace::Counter = trace::Counter::new("sat.cdcl.propagations");
+
 /// Which functional-consistency elimination scheme to use for
 /// uninterpreted applications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -228,6 +250,7 @@ pub fn check_validity_cancellable(
     bail_if_cancelled!();
 
     // 1. memory elimination
+    let span_mem = trace::span("evc.mem");
     let no_mem = mem::eliminate(ctx, formula, options.memory);
     if options.audit {
         let discipline = match options.memory {
@@ -237,7 +260,10 @@ pub fn check_validity_cancellable(
         lint::phase::check_memory_free(ctx, no_mem, discipline, &mut diags);
     }
 
+    drop(span_mem);
+
     // 2. polarity classification on the pre-UF-elimination formula
+    let span_polarity = trace::span("evc.polarity");
     let analysis = polarity::analyze(ctx, &[no_mem]);
     let mut gvars: HashSet<ExprId> = analysis.gvars.clone();
     let mut gsymbols: HashSet<eufm::Symbol> = HashSet::new();
@@ -253,7 +279,10 @@ pub fn check_validity_cancellable(
         }
     }
 
+    drop(span_polarity);
+
     // 3. uninterpreted-function elimination
+    let span_uf = trace::span("evc.uf_elim");
     let elim = match options.uf_scheme {
         UfScheme::NestedIte => uf_elim::eliminate(ctx, no_mem),
         UfScheme::Ackermann => uf_elim::eliminate_ackermann(ctx, no_mem),
@@ -283,9 +312,11 @@ pub fn check_validity_cancellable(
     if options.audit {
         lint::phase::check_uf_free(ctx, elim.root, &mut diags);
     }
+    drop(span_uf);
     bail_if_cancelled!();
 
     // 4. Positive-Equality encoding
+    let span_pe = trace::span("evc.pe");
     let classes = Classification { gvars };
     let encoding = match pe::encode_cancellable(ctx, elim.root, &classes, options.max_nodes, cancel)
     {
@@ -328,8 +359,10 @@ pub fn check_validity_cancellable(
     }
     let mut prop = encoding.formula;
     if options.transitivity {
+        let span_chain = trace::span("evc.chain");
         let trans = pe::transitivity_constraints(ctx, &encoding.eij);
         prop = ctx.implies(trans, prop);
+        drop(span_chain);
     }
     let PrimaryInputStats {
         eij_vars,
@@ -338,6 +371,17 @@ pub fn check_validity_cancellable(
     stats.eij_vars = eij_vars;
     stats.other_vars = other_vars;
     stats.bool_nodes = ctx.dag_size(&[prop]);
+    PE_EIJ_VARS.add(eij_vars as u64);
+    PE_GTERMS.add(analysis.gterms.len() as u64);
+    PE_PTERMS.add(
+        analysis
+            .term_vars
+            .iter()
+            .filter(|v| analysis.is_pvar(**v))
+            .count() as u64,
+    );
+    span_pe.attr("eij_vars", eij_vars);
+    drop(span_pe);
     bail_if_cancelled!();
 
     // 5. Tseitin + SAT on the negation
@@ -349,6 +393,8 @@ pub fn check_validity_cancellable(
     translation.assert_negated_root();
     stats.cnf_vars = translation.cnf.num_vars();
     stats.cnf_clauses = translation.cnf.num_clauses();
+    TSEITIN_VARS.add(stats.cnf_vars as u64);
+    TSEITIN_CLAUSES.add(stats.cnf_clauses as u64);
     let translate_time = translate_start.elapsed();
 
     let sat_start = Instant::now();
@@ -361,8 +407,13 @@ pub fn check_validity_cancellable(
         solver.solve_with_limits(options.sat_limits)
     };
     let sat_time = sat_start.elapsed();
+    let main_solve = solver.stats();
+    CDCL_CONFLICTS.add(main_solve.conflicts);
+    CDCL_DECISIONS.add(main_solve.decisions);
+    CDCL_PROPAGATIONS.add(main_solve.propagations);
     let proof_check_start = Instant::now();
     let proof_checked = if options.check_proof && raw_outcome.is_unsat() {
+        let _span = trace::span("sat.proof_check");
         Some(sat::proof::check(&translation.cnf, &proof).is_ok())
     } else {
         None

@@ -47,6 +47,13 @@ use crate::chain::{self, Update, UpdateChain};
 use crate::check::{check_validity_cancellable, CheckOptions, CheckOutcome, UnknownReason};
 use crate::mem::MemoryModel;
 
+/// Obligations discharged by the rewrite engine.
+static REWRITE_OBLIGATIONS: trace::Counter = trace::Counter::new("evc.rewrite.obligations");
+/// Obligations discharged syntactically (no SAT call).
+static REWRITE_SYNTACTIC: trace::Counter = trace::Counter::new("evc.rewrite.syntactic");
+/// Retirement/completion update pairs deleted from the chains.
+static REWRITE_RETIRE_PAIRS: trace::Counter = trace::Counter::new("evc.rewrite.retire_pairs");
+
 /// The inputs to the rewriting engine, extracted from a correctness bundle.
 #[derive(Debug, Clone, Copy)]
 pub struct RewriteInput {
@@ -232,7 +239,14 @@ pub fn rewrite_correctness_budgeted(
         cancel: budget.cancel.clone(),
         max_nodes: budget.max_nodes,
     };
+    let span = trace::span("evc.rewrite");
     let result = rewrite_with(ctx, input, &mut engine);
+    REWRITE_OBLIGATIONS.add(engine.obligations as u64);
+    REWRITE_SYNTACTIC.add(engine.syntactic_hits as u64);
+    REWRITE_RETIRE_PAIRS.add(engine.cert.deleted_pairs as u64);
+    span.attr("obligations", engine.obligations);
+    span.attr("deleted_pairs", engine.cert.deleted_pairs);
+    drop(span);
     (result, engine.cert)
 }
 

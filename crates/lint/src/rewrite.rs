@@ -71,9 +71,23 @@ pub struct RewriteCertificate {
     pub certificates: Vec<Certificate>,
 }
 
+static RULE_R1: trace::Counter = trace::Counter::new("evc.rewrite.rule.r1");
+static RULE_R2: trace::Counter = trace::Counter::new("evc.rewrite.rule.r2");
+static RULE_R3: trace::Counter = trace::Counter::new("evc.rewrite.rule.r3");
+static RULE_R4: trace::Counter = trace::Counter::new("evc.rewrite.rule.r4");
+static RULE_R5: trace::Counter = trace::Counter::new("evc.rewrite.rule.r5");
+
 impl RewriteCertificate {
     /// Records an obligation.
     pub fn record(&mut self, slice: usize, rule: &'static str, what: String, ob: Obligation) {
+        match rule {
+            "R1" => RULE_R1.inc(),
+            "R2" => RULE_R2.inc(),
+            "R3" => RULE_R3.inc(),
+            "R4" => RULE_R4.inc(),
+            "R5" => RULE_R5.inc(),
+            _ => {}
+        }
         self.certificates.push(Certificate {
             slice,
             rule,

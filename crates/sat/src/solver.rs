@@ -635,7 +635,17 @@ impl Solver {
         self.solve_inner(limits, None)
     }
 
-    fn solve_inner(&mut self, limits: Limits, mut proof: Option<&mut Proof>) -> Outcome {
+    fn solve_inner(&mut self, limits: Limits, proof: Option<&mut Proof>) -> Outcome {
+        let span = trace::span("sat.cdcl");
+        let before = self.stats;
+        let outcome = self.solve_loop(limits, proof);
+        let after = self.stats;
+        span.attr("conflicts", after.conflicts - before.conflicts);
+        span.attr("decisions", after.decisions - before.decisions);
+        outcome
+    }
+
+    fn solve_loop(&mut self, limits: Limits, mut proof: Option<&mut Proof>) -> Outcome {
         if !self.ok {
             return Outcome::Unsat;
         }

@@ -106,6 +106,7 @@ pub fn translate(
     mode: Mode,
     phase: Phase,
 ) -> Result<Translation, TranslateError> {
+    let span = trace::span("sat.tseitin");
     if ctx.sort(root) != Sort::Bool {
         return Err(TranslateError {
             message: "root is not a formula".to_owned(),
@@ -241,6 +242,9 @@ pub fn translate(
     if let Some(v) = const_true {
         cnf.add_clause([Lit::pos(v)]);
     }
+
+    span.attr("vars", cnf.num_vars());
+    span.attr("clauses", cnf.num_clauses());
 
     Ok(Translation {
         cnf,

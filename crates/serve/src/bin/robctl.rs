@@ -6,6 +6,7 @@
 //!        [--bug SPEC] [--audit] [--check-proofs] [--max-conflicts N]
 //!        [--max-seconds S] [--quiet] [--expect-cache hit|miss]
 //! robctl [--addr HOST:PORT] stats
+//! robctl [--addr HOST:PORT] metrics
 //! robctl [--addr HOST:PORT] shutdown
 //! ```
 //!
@@ -123,6 +124,15 @@ fn run() -> Result<ExitCode, String> {
                     println!("  active jobs     {:>10}", s.active_jobs);
                     println!("  p50 latency     {:>10.3}s", s.p50.as_secs_f64());
                     println!("  p95 latency     {:>10.3}s", s.p95.as_secs_f64());
+                    Ok(ExitCode::SUCCESS)
+                }
+                other => Err(format!("unexpected response: {other:?}")),
+            })
+        }),
+        "metrics" => with_retry(policy, || {
+            simple(&addr, &Request::Metrics, |response| match response {
+                Response::Metrics { text } => {
+                    print!("{text}");
                     Ok(ExitCode::SUCCESS)
                 }
                 other => Err(format!("unexpected response: {other:?}")),
@@ -383,6 +393,7 @@ commands:
          [--audit] [--check-proofs] [--quiet]
          [--expect-cache hit|miss]   fail unless the cache agreed
   stats                        server statistics
+  metrics                      metrics registry (Prometheus text exposition)
   shutdown                     drain and stop the server
 ";
 

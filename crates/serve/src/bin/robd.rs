@@ -44,6 +44,10 @@ fn main() -> ExitCode {
         }
     }
 
+    // The daemon always collects metrics; the registry is the backing
+    // store for the `metrics` request (Prometheus text exposition).
+    rob_verify::trace::enable_metrics();
+
     let handle = match Server::start(config) {
         Ok(handle) => handle,
         Err(error) => {

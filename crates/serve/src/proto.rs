@@ -79,6 +79,8 @@ pub enum Request {
     Verify(VerifyRequest),
     /// Report server statistics.
     Stats,
+    /// Report the metrics registry in Prometheus text exposition.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Drain and exit.
@@ -137,6 +139,11 @@ pub enum Response {
     },
     /// Statistics snapshot.
     Stats(StatsSnapshot),
+    /// Metrics registry snapshot in Prometheus text exposition.
+    Metrics {
+        /// The exposition body (`# TYPE` + `name value` lines).
+        text: String,
+    },
     /// The admission queue was full; retry later.
     Overloaded {
         /// Queue depth observed.
@@ -176,6 +183,7 @@ impl Request {
                 ("audit", Json::from(v.audit)),
             ]),
             Request::Stats => Json::obj([("request", Json::str("stats"))]),
+            Request::Metrics => Json::obj([("request", Json::str("metrics"))]),
             Request::Ping => Json::obj([("request", Json::str("ping"))]),
             Request::Shutdown => Json::obj([("request", Json::str("shutdown"))]),
         }
@@ -195,6 +203,7 @@ impl Request {
             .ok_or_else(|| "missing request discriminator".to_owned())?;
         match kind {
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             "verify" => {
@@ -272,6 +281,10 @@ impl Response {
                 ("p50_secs", Json::Num(s.p50.as_secs_f64())),
                 ("p95_secs", Json::Num(s.p95.as_secs_f64())),
             ]),
+            Response::Metrics { text } => Json::obj([
+                ("response", Json::str("metrics")),
+                ("text", Json::str(text.clone())),
+            ]),
             Response::Overloaded { depth, limit } => Json::obj([
                 ("response", Json::str("overloaded")),
                 ("depth", Json::from(*depth)),
@@ -310,6 +323,9 @@ impl Response {
             }),
             "error" => Ok(Response::Error {
                 message: require_str(&doc, "message")?,
+            }),
+            "metrics" => Ok(Response::Metrics {
+                text: require_str(&doc, "text")?,
             }),
             "result" => {
                 let cache = require_str(&doc, "cache")?;
@@ -420,6 +436,7 @@ mod tests {
         let requests = [
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Verify(VerifyRequest::new(8, 2)),
             Request::Verify(VerifyRequest {
@@ -470,6 +487,11 @@ mod tests {
             },
             Response::Error {
                 message: "bad request".to_owned(),
+            },
+            Response::Metrics {
+                text: "# TYPE rob_serve_jobs_served_total counter\n\
+                       rob_serve_jobs_served_total 7\n"
+                    .to_owned(),
             },
             Response::Result {
                 cache_hit: true,

@@ -32,9 +32,20 @@ use campaign::pool::{CancelToken, ExecOutcome, PoolOptions, ServicePool, SubmitE
 use campaign::{JobRunner, JobSpec};
 use rob_verify::Verification;
 
+use rob_verify::trace;
+
 use crate::cache::{ReplayReport, ResultCache};
 use crate::proto::{Request, Response};
 use crate::stats::ServerStats;
+
+/// Verify jobs answered (cache hits and misses alike).
+static JOBS_SERVED: trace::Counter = trace::Counter::new("serve.jobs.served");
+/// Verify answers served straight from the result cache.
+static CACHE_HITS: trace::Counter = trace::Counter::new("serve.cache.hits");
+/// Verify answers that required a solve.
+static CACHE_MISSES: trace::Counter = trace::Counter::new("serve.cache.misses");
+/// Results currently held by the cache.
+static CACHE_ENTRIES: trace::Gauge = trace::Gauge::new("serve.cache.entries");
 
 /// How the daemon is wired together.
 pub struct ServerConfig {
@@ -291,6 +302,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<Socke
                     return;
                 }
             }
+            Ok(Request::Metrics) => {
+                let response = Response::Metrics {
+                    text: trace::prometheus(),
+                };
+                if write_response(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
             Ok(Request::Shutdown) => {
                 let _ = write_response(&mut writer, &Response::ShutdownAck);
                 shared.stopping.store(true, Ordering::SeqCst);
@@ -327,6 +346,8 @@ fn serve_verify(
 
     if let Some(verification) = shared.cache.lock().expect("cache poisoned").get(&key) {
         shared.stats.record_served(started.elapsed(), true);
+        JOBS_SERVED.inc();
+        CACHE_HITS.inc();
         let _ = write_response(
             writer,
             &Response::Result {
@@ -396,12 +417,15 @@ fn serve_verify(
             }
         }
         Some(ExecOutcome::Done(Ok(verification))) => {
-            shared
-                .cache
-                .lock()
-                .expect("cache poisoned")
-                .insert(&key, verification.clone());
+            let entries = {
+                let mut cache = shared.cache.lock().expect("cache poisoned");
+                cache.insert(&key, verification.clone());
+                cache.len()
+            };
             shared.stats.record_served(started.elapsed(), false);
+            JOBS_SERVED.inc();
+            CACHE_MISSES.inc();
+            CACHE_ENTRIES.set(entries as u64);
             Response::Result {
                 cache_hit: false,
                 key_digest: key.digest_hex(),

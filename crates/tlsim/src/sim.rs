@@ -8,6 +8,9 @@ use eufm::{CancelToken, Context, ExprId};
 
 use crate::ir::{Design, InputId, InputKind, LatchId, SignalDef, SignalId};
 
+/// Evaluation events across all simulated cycles (see [`StepStats`]).
+static SIM_EVENTS: trace::Counter = trace::Counter::new("tlsim.sim.events");
+
 /// How combinational logic is evaluated each cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvalStrategy {
@@ -180,6 +183,8 @@ impl<'d> Simulator<'d> {
         if self.cancel.is_cancelled() {
             return Err(SimError::Cancelled);
         }
+        let span = trace::span("tlsim.step");
+        span.attr("cycle", self.cycle);
         // Resolve input values for this cycle.
         let mut input_values: Vec<ExprId> = Vec::with_capacity(self.design.num_inputs());
         for (idx, info) in self.design.inputs.iter().enumerate() {
@@ -253,6 +258,7 @@ impl<'d> Simulator<'d> {
             cycle: self.cycle,
             events: eval.events,
         };
+        SIM_EVENTS.add(eval.events as u64);
         self.total_events += eval.events as u64;
         self.state = next_state;
         self.cycle += 1;

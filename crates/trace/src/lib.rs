@@ -1,0 +1,802 @@
+//! Phase-level tracing and metrics for the verification pipeline.
+//!
+//! Zero dependencies, std only. Two independent collectors:
+//!
+//! * **Spans** — RAII phase markers ([`span`]) collected into a per-run
+//!   [`SpanTree`] while a [`Session`] is active on the current thread.
+//!   Each span records a monotonic enter/exit pair, its parent, and
+//!   optional `key=value` attributes; the tree offers self-time vs.
+//!   cumulative rollups and a flamegraph-style text report.
+//! * **Metrics** — process-global named [`Counter`]s and [`Gauge`]s with
+//!   a snapshot API and Prometheus-style text exposition
+//!   ([`prometheus`]).
+//!
+//! Both collectors follow the `crates/chaos` overhead discipline: when
+//! disabled (no session on this thread / metrics not enabled), the only
+//! cost at an instrumentation site is one relaxed atomic load.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// Number of live [`Session`]s across all threads. `span()` bails with a
+/// single relaxed load when this is zero, so instrumented code is free
+/// when nobody is tracing.
+static ACTIVE_SESSIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct RawSpan {
+    name: &'static str,
+    parent: Option<usize>,
+    start: Duration,
+    end: Option<Duration>,
+    attrs: Vec<(&'static str, String)>,
+}
+
+struct Arena {
+    started: Instant,
+    nodes: Vec<RawSpan>,
+    /// Innermost span that has been entered but not exited.
+    open: Option<usize>,
+}
+
+thread_local! {
+    static ARENA: RefCell<Option<Arena>> = const { RefCell::new(None) };
+}
+
+/// A tracing session bound to the current thread. Spans entered on this
+/// thread while the session is live are collected into its tree.
+///
+/// Sessions do not nest: opening a second session on a thread that
+/// already has one yields an inert handle whose [`Session::finish`]
+/// returns an empty tree, and the outer session keeps collecting.
+#[must_use = "dropping a Session discards its span tree; call finish()"]
+pub struct Session {
+    active: bool,
+}
+
+/// Starts collecting spans on the current thread.
+pub fn session() -> Session {
+    let installed = ARENA.with(|a| {
+        let mut slot = a.borrow_mut();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(Arena {
+            started: Instant::now(),
+            nodes: Vec::new(),
+            open: None,
+        });
+        true
+    });
+    if installed {
+        ACTIVE_SESSIONS.fetch_add(1, Ordering::SeqCst);
+    }
+    Session { active: installed }
+}
+
+impl Session {
+    /// Ends the session and returns the collected span tree. Spans still
+    /// open (e.g. when unwinding) are closed at the session end time.
+    pub fn finish(mut self) -> SpanTree {
+        self.take_tree()
+    }
+
+    fn take_tree(&mut self) -> SpanTree {
+        if !self.active {
+            return SpanTree::default();
+        }
+        self.active = false;
+        ACTIVE_SESSIONS.fetch_sub(1, Ordering::SeqCst);
+        let arena = ARENA.with(|a| a.borrow_mut().take());
+        arena.map(build_tree).unwrap_or_default()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.active {
+            let _ = self.take_tree();
+        }
+    }
+}
+
+/// RAII span handle: the span opens at [`span`] and closes on drop (also
+/// during panic unwinding, so a crashing phase still exits its span).
+pub struct SpanGuard {
+    index: Option<usize>,
+}
+
+/// Enters a named span on the current thread. Inert (one relaxed atomic
+/// load) unless a [`Session`] is live on this thread.
+pub fn span(name: &'static str) -> SpanGuard {
+    if ACTIVE_SESSIONS.load(Ordering::Relaxed) == 0 {
+        return SpanGuard { index: None };
+    }
+    let index = ARENA.with(|a| {
+        let mut slot = a.borrow_mut();
+        let arena = slot.as_mut()?;
+        let start = arena.started.elapsed();
+        let parent = arena.open;
+        let idx = arena.nodes.len();
+        arena.nodes.push(RawSpan {
+            name,
+            parent,
+            start,
+            end: None,
+            attrs: Vec::new(),
+        });
+        arena.open = Some(idx);
+        Some(idx)
+    });
+    SpanGuard { index }
+}
+
+impl SpanGuard {
+    /// Attaches a `key=value` attribute to the span. No-op on an inert
+    /// guard.
+    pub fn attr(&self, key: &'static str, value: impl ToString) {
+        let Some(index) = self.index else {
+            return;
+        };
+        ARENA.with(|a| {
+            if let Some(arena) = a.borrow_mut().as_mut() {
+                arena.nodes[index].attrs.push((key, value.to_string()));
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(index) = self.index else {
+            return;
+        };
+        ARENA.with(|a| {
+            let mut slot = a.borrow_mut();
+            let Some(arena) = slot.as_mut() else {
+                return;
+            };
+            if arena.nodes[index].end.is_some() {
+                return; // already closed (defensive; double-drop impossible)
+            }
+            let now = arena.started.elapsed();
+            // Close this span plus any still-open descendants. Unwinding
+            // drops inner guards first, but `mem::forget` or exotic drop
+            // orders must not leave dangling opens.
+            let mut cursor = arena.open;
+            while let Some(i) = cursor {
+                let node = &mut arena.nodes[i];
+                if node.end.is_none() {
+                    node.end = Some(now);
+                }
+                cursor = node.parent;
+                if i == index {
+                    break;
+                }
+            }
+            arena.open = arena.nodes[index].parent;
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span tree
+// ---------------------------------------------------------------------------
+
+/// One closed span in a finished [`SpanTree`].
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Phase name, e.g. `evc.pe`.
+    pub name: &'static str,
+    /// Index of the enclosing span, if any.
+    pub parent: Option<usize>,
+    /// Indices of directly nested spans, in entry order.
+    pub children: Vec<usize>,
+    /// Enter time, relative to session start.
+    pub start: Duration,
+    /// Exit minus enter time (children included).
+    pub cumulative: Duration,
+    /// `key=value` attributes in attachment order.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// Aggregated statistics for one phase name across a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub count: usize,
+    /// Summed cumulative time (nested same-name spans double-count).
+    pub cumulative: Duration,
+    /// Summed self time (exclusive of children; never double-counts).
+    pub self_time: Duration,
+}
+
+/// A finished per-run span tree.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// All spans, in entry order (parents precede children).
+    pub nodes: Vec<Span>,
+}
+
+fn build_tree(arena: Arena) -> SpanTree {
+    let close = arena.started.elapsed();
+    let mut nodes: Vec<Span> = arena
+        .nodes
+        .iter()
+        .map(|raw| Span {
+            name: raw.name,
+            parent: raw.parent,
+            children: Vec::new(),
+            start: raw.start,
+            cumulative: raw.end.unwrap_or(close).saturating_sub(raw.start),
+            attrs: raw.attrs.clone(),
+        })
+        .collect();
+    for i in 0..nodes.len() {
+        if let Some(p) = nodes[i].parent {
+            nodes[p].children.push(i);
+        }
+    }
+    SpanTree { nodes }
+}
+
+impl SpanTree {
+    /// Whether the tree holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Indices of spans with no parent.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].parent.is_none())
+            .collect()
+    }
+
+    /// First span with the given name, in entry order.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Self time of span `i`: cumulative minus the children's cumulative
+    /// time. Children occupy disjoint sub-intervals of the parent, so
+    /// over the whole tree self-times telescope: they sum exactly to the
+    /// roots' cumulative time (see [`SpanTree::total`]).
+    pub fn self_time(&self, i: usize) -> Duration {
+        let child_sum: Duration = self.nodes[i]
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].cumulative)
+            .sum();
+        self.nodes[i].cumulative.saturating_sub(child_sum)
+    }
+
+    /// Total traced time: sum of the root spans' cumulative times.
+    pub fn total(&self) -> Duration {
+        self.roots()
+            .into_iter()
+            .map(|i| self.nodes[i].cumulative)
+            .sum()
+    }
+
+    /// Distinct phase names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<_> = self.nodes.iter().map(|n| n.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Per-phase rollup (count, cumulative, self), ordered by descending
+    /// self time, then name.
+    pub fn rollup(&self) -> Vec<PhaseStat> {
+        let mut by_name: BTreeMap<&'static str, PhaseStat> = BTreeMap::new();
+        for i in 0..self.nodes.len() {
+            let entry = by_name.entry(self.nodes[i].name).or_insert(PhaseStat {
+                name: self.nodes[i].name,
+                count: 0,
+                cumulative: Duration::ZERO,
+                self_time: Duration::ZERO,
+            });
+            entry.count += 1;
+            entry.cumulative += self.nodes[i].cumulative;
+            entry.self_time += self.self_time(i);
+        }
+        let mut stats: Vec<_> = by_name.into_values().collect();
+        stats.sort_by(|a, b| b.self_time.cmp(&a.self_time).then(a.name.cmp(b.name)));
+        stats
+    }
+
+    /// Structural well-formedness check (used by the property tests):
+    /// parents precede their children, child intervals lie inside the
+    /// parent interval, child lists are consistent, and self-times
+    /// telescope to the total.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn well_formed(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                if p >= i {
+                    return Err(format!("span {i} has non-preceding parent {p}"));
+                }
+                if !self.nodes[p].children.contains(&i) {
+                    return Err(format!("span {i} missing from parent {p}'s children"));
+                }
+                let parent = &self.nodes[p];
+                if node.start < parent.start {
+                    return Err(format!("span {i} starts before parent {p}"));
+                }
+                if node.start + node.cumulative > parent.start + parent.cumulative {
+                    return Err(format!("span {i} ends after parent {p}"));
+                }
+            }
+            for &c in &node.children {
+                if self.nodes[c].parent != Some(i) {
+                    return Err(format!("span {i} lists non-child {c}"));
+                }
+            }
+        }
+        let self_sum: Duration = (0..self.nodes.len()).map(|i| self.self_time(i)).sum();
+        if self_sum != self.total() {
+            return Err(format!(
+                "self-times sum to {self_sum:?}, roots total {:?}",
+                self.total()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Flamegraph-style text report: one line per group of same-name
+    /// siblings, indented by depth, with cumulative seconds, percent of
+    /// the traced total, and a proportional bar.
+    pub fn flamegraph(&self) -> String {
+        let total = self.total().as_secs_f64();
+        let mut out = String::new();
+        let _ = writeln!(out, "flamegraph (cumulative seconds, % of traced total)");
+        self.render_level(&self.roots(), 0, total, &mut out);
+        out
+    }
+
+    fn render_level(&self, spans: &[usize], depth: usize, total: f64, out: &mut String) {
+        // Group same-name siblings (e.g. one tlsim.step per cycle),
+        // preserving first-seen order.
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut groups: BTreeMap<&'static str, Vec<usize>> = BTreeMap::new();
+        for &i in spans {
+            let name = self.nodes[i].name;
+            if !groups.contains_key(name) {
+                order.push(name);
+            }
+            groups.entry(name).or_default().push(i);
+        }
+        for name in order {
+            let members = &groups[name];
+            let cumulative: Duration = members.iter().map(|&i| self.nodes[i].cumulative).sum();
+            let secs = cumulative.as_secs_f64();
+            let pct = if total > 0.0 {
+                100.0 * secs / total
+            } else {
+                0.0
+            };
+            let bar_len = (pct / 2.5).round() as usize;
+            let label = if members.len() > 1 {
+                format!("{name} (x{})", members.len())
+            } else {
+                name.to_owned()
+            };
+            let indent = "  ".repeat(depth);
+            let _ = writeln!(
+                out,
+                "{indent}{label:<w$} {secs:>9.3}s {pct:>5.1}% {bar}",
+                w = 40usize.saturating_sub(indent.len()),
+                bar = "#".repeat(bar_len),
+            );
+            let children: Vec<usize> = members
+                .iter()
+                .flat_map(|&i| self.nodes[i].children.iter().copied())
+                .collect();
+            if !children.is_empty() {
+                self.render_level(&children, depth + 1, total, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Global metrics switch; `Counter::add`/`Gauge::set` are no-ops (one
+/// relaxed load) while this is false.
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Counter vs. gauge, for exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing within an enabled window.
+    Counter,
+    /// Last-write-wins instantaneous value.
+    Gauge,
+}
+
+struct Registered {
+    name: &'static str,
+    kind: MetricKind,
+    value: &'static AtomicU64,
+}
+
+fn registry() -> &'static Mutex<Vec<Registered>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Registered>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock_registry() -> MutexGuard<'static, Vec<Registered>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A named monotonic counter. Declare as a `static`; it registers itself
+/// on first use while metrics are enabled.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A counter with a dotted lowercase name, e.g. `eufm.nodes.interned`.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n`. One relaxed load when metrics are disabled.
+    pub fn add(&'static self, n: u64) {
+        if !METRICS_ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if !self.registered.swap(true, Ordering::SeqCst) {
+            lock_registry().push(Registered {
+                name: self.name,
+                kind: MetricKind::Counter,
+                value: &self.value,
+            });
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A named last-write-wins gauge. Declare as a `static`; it registers
+/// itself on first use while metrics are enabled.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A gauge with a dotted lowercase name, e.g. `serve.cache.entries`.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Sets the value. One relaxed load when metrics are disabled.
+    pub fn set(&'static self, v: u64) {
+        if !METRICS_ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value.store(v, Ordering::Relaxed);
+        if !self.registered.swap(true, Ordering::SeqCst) {
+            lock_registry().push(Registered {
+                name: self.name,
+                kind: MetricKind::Gauge,
+                value: &self.value,
+            });
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The gauge's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Turns the metrics collectors on.
+pub fn enable_metrics() {
+    METRICS_ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns the metrics collectors off (values are retained).
+pub fn disable_metrics() {
+    METRICS_ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether metrics are currently enabled.
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes every registered metric.
+pub fn reset_metrics() {
+    for m in lock_registry().iter() {
+        m.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Dotted metric name.
+    pub name: &'static str,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Snapshot of all registered metrics, sorted by name.
+pub fn snapshot() -> Vec<Sample> {
+    let mut samples: Vec<Sample> = lock_registry()
+        .iter()
+        .map(|m| Sample {
+            name: m.name,
+            kind: m.kind,
+            value: m.value.load(Ordering::Relaxed),
+        })
+        .collect();
+    samples.sort_by(|a, b| a.name.cmp(b.name));
+    samples
+}
+
+/// Prometheus metric name for a dotted internal name: `rob_` prefix,
+/// dots and dashes become underscores, counters get a `_total` suffix.
+pub fn prometheus_name(name: &str, kind: MetricKind) -> String {
+    let body: String = name
+        .chars()
+        .map(|c| if c == '.' || c == '-' { '_' } else { c })
+        .collect();
+    match kind {
+        MetricKind::Counter => format!("rob_{body}_total"),
+        MetricKind::Gauge => format!("rob_{body}"),
+    }
+}
+
+/// Prometheus-style text exposition of the current snapshot: a `# TYPE`
+/// line followed by `name value`, per metric, sorted by name.
+pub fn prometheus() -> String {
+    let mut out = String::new();
+    for sample in snapshot() {
+        let name = prometheus_name(sample.name, sample.kind);
+        let kind = match sample.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {}", sample.value);
+    }
+    out
+}
+
+/// Serializes exclusive-metrics tests; the registry is process-global,
+/// so exact-value assertions need the whole window to themselves.
+fn test_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Exclusive metrics window for tests: holds a global lock, zeroes all
+/// metrics, and enables collection; disables again on drop.
+pub struct MetricsGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Opens an exclusive metrics window (see [`MetricsGuard`]). Tests that
+/// assert exact metric values must run under this guard — and live in a
+/// test binary where every metrics-touching test does the same.
+pub fn metrics_test_guard() -> MetricsGuard {
+    let lock = test_lock().lock().unwrap_or_else(|e| e.into_inner());
+    reset_metrics();
+    enable_metrics();
+    MetricsGuard { _lock: lock }
+}
+
+impl Drop for MetricsGuard {
+    fn drop(&mut self) {
+        disable_metrics();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn span_without_session_is_inert() {
+        let guard = span("orphan");
+        assert!(guard.index.is_none());
+        guard.attr("k", 1); // must not panic
+    }
+
+    #[test]
+    fn nesting_and_self_time_telescope() {
+        let session = session();
+        {
+            let _root = span("root");
+            {
+                let _a = span("a");
+                thread::sleep(Duration::from_millis(2));
+            }
+            {
+                let b = span("b");
+                b.attr("size", 8);
+                thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let tree = session.finish();
+        assert_eq!(tree.len(), 3);
+        tree.well_formed().expect("well-formed");
+        let root = tree.find("root").unwrap();
+        assert_eq!(tree.nodes[root].children.len(), 2);
+        let self_sum: Duration = (0..tree.len()).map(|i| tree.self_time(i)).sum();
+        assert_eq!(self_sum, tree.nodes[root].cumulative);
+        let b = tree.find("b").unwrap();
+        assert_eq!(tree.nodes[b].attrs, vec![("size", "8".to_owned())]);
+    }
+
+    #[test]
+    fn nested_sessions_are_inert() {
+        let outer = session();
+        {
+            let inner = session();
+            let _s = span("x");
+            let tree = inner.finish(); // inert: outer still collecting
+            assert!(tree.is_empty());
+        }
+        let tree = outer.finish();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.nodes[0].name, "x");
+    }
+
+    #[test]
+    fn panic_closes_span_via_drop() {
+        let session = session();
+        let result = std::panic::catch_unwind(|| {
+            let _root = span("root");
+            let _inner = span("inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let tree = session.finish();
+        tree.well_formed().expect("well-formed after panic");
+        assert_eq!(tree.len(), 2);
+        // Both spans closed; inner still inside root.
+        let root = tree.find("root").unwrap();
+        let inner = tree.find("inner").unwrap();
+        assert_eq!(tree.nodes[inner].parent, Some(root));
+    }
+
+    #[test]
+    fn sessions_are_thread_local() {
+        let session = session();
+        let _outer = span("outer");
+        let handle = thread::spawn(|| {
+            // Other thread has no arena: inert even though a session is
+            // active elsewhere.
+            let guard = span("elsewhere");
+            guard.index.is_none()
+        });
+        assert!(handle.join().unwrap());
+        let tree = session.finish();
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn flamegraph_groups_siblings() {
+        let session = session();
+        {
+            let _root = span("root");
+            for _ in 0..3 {
+                let _step = span("step");
+            }
+        }
+        let tree = session.finish();
+        let graph = tree.flamegraph();
+        assert!(graph.contains("root"));
+        assert!(graph.contains("step (x3)"));
+        let rollup = tree.rollup();
+        let step = rollup.iter().find(|s| s.name == "step").unwrap();
+        assert_eq!(step.count, 3);
+    }
+
+    static TEST_COUNTER: Counter = Counter::new("trace.test.counter");
+    static TEST_GAUGE: Gauge = Gauge::new("trace.test.gauge");
+
+    #[test]
+    fn metrics_register_and_expose() {
+        let _guard = metrics_test_guard();
+        TEST_COUNTER.add(41);
+        TEST_COUNTER.inc();
+        TEST_GAUGE.set(7);
+        assert_eq!(TEST_COUNTER.get(), 42);
+        let samples = snapshot();
+        let counter = samples
+            .iter()
+            .find(|s| s.name == "trace.test.counter")
+            .unwrap();
+        assert_eq!(counter.value, 42);
+        assert_eq!(counter.kind, MetricKind::Counter);
+        let text = prometheus();
+        assert!(text.contains("# TYPE rob_trace_test_counter_total counter"));
+        assert!(text.contains("rob_trace_test_counter_total 42"));
+        assert!(text.contains("# TYPE rob_trace_test_gauge gauge"));
+        assert!(text.contains("rob_trace_test_gauge 7"));
+    }
+
+    #[test]
+    fn disabled_metrics_do_not_accumulate() {
+        let _guard = metrics_test_guard();
+        drop(_guard); // disables
+        let before = TEST_COUNTER.get();
+        TEST_COUNTER.add(1000);
+        assert_eq!(TEST_COUNTER.get(), before);
+    }
+
+    #[test]
+    fn prometheus_names() {
+        assert_eq!(
+            prometheus_name("evc.rewrite.rule.r1", MetricKind::Counter),
+            "rob_evc_rewrite_rule_r1_total"
+        );
+        assert_eq!(
+            prometheus_name("serve.cache.entries", MetricKind::Gauge),
+            "rob_serve_cache_entries"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Concurrent-registry stress test: writer threads hammer counters while
+//! a reader snapshots; every snapshot is internally consistent and the
+//! final totals are exact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+static STRESS_A: trace::Counter = trace::Counter::new("trace.stress.a");
+static STRESS_B: trace::Counter = trace::Counter::new("trace.stress.b");
+static STRESS_DEPTH: trace::Gauge = trace::Gauge::new("trace.stress.depth");
+
+#[test]
+fn concurrent_counters_snapshot_consistently() {
+    const WRITERS: usize = 8;
+    const INCREMENTS: u64 = 20_000;
+
+    let _guard = trace::metrics_test_guard();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Reader: snapshot continuously while writers run. Counter `b` is
+    // bumped by 2 only after `a` is bumped by 1, so within any snapshot
+    // b <= 2a + 2*WRITERS (each writer can be mid-pair) — and values
+    // never move backwards.
+    let reader = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut snapshots = 0usize;
+            let (mut last_a, mut last_b) = (0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                let samples = trace::snapshot();
+                let value = |name: &str| {
+                    samples
+                        .iter()
+                        .find(|s| s.name == name)
+                        .map_or(0, |s| s.value)
+                };
+                let (a, b) = (value("trace.stress.a"), value("trace.stress.b"));
+                assert!(a >= last_a, "counter a moved backwards: {last_a} -> {a}");
+                assert!(b >= last_b, "counter b moved backwards: {last_b} -> {b}");
+                assert!(
+                    b <= 2 * a + 2 * WRITERS as u64,
+                    "snapshot tore: a={a} b={b}"
+                );
+                (last_a, last_b) = (a, b);
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            thread::spawn(move || {
+                for i in 0..INCREMENTS {
+                    STRESS_A.inc();
+                    STRESS_B.add(2);
+                    if i % 1024 == 0 {
+                        STRESS_DEPTH.set(w as u64);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snapshots = reader.join().unwrap();
+    assert!(snapshots > 0, "reader never snapshotted");
+
+    // Final totals are exact: no lost updates under contention.
+    assert_eq!(STRESS_A.get(), WRITERS as u64 * INCREMENTS);
+    assert_eq!(STRESS_B.get(), WRITERS as u64 * INCREMENTS * 2);
+    assert!(STRESS_DEPTH.get() < WRITERS as u64);
+
+    // The exposition renders the exact totals too.
+    let text = trace::prometheus();
+    assert!(text.contains(&format!(
+        "rob_trace_stress_a_total {}",
+        WRITERS as u64 * INCREMENTS
+    )));
+}

@@ -1,0 +1,89 @@
+//! Span-tree well-formedness property tests: every entered span exits
+//! exactly once, parents outlive children, and self-times telescope to
+//! the root cumulative time — including when a phase panics mid-span.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+/// Runs a random open/close/attr program against the span collector and
+/// returns (spans entered, finished tree).
+fn run_program(ops: &[u8]) -> (usize, trace::SpanTree) {
+    const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+    let session = trace::session();
+    let mut stack: Vec<trace::SpanGuard> = Vec::new();
+    let mut entered = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        match op % 3 {
+            0 => {
+                stack.push(trace::span(NAMES[i % NAMES.len()]));
+                entered += 1;
+            }
+            1 => {
+                // Close the innermost open span, if any.
+                drop(stack.pop());
+            }
+            _ => {
+                if let Some(guard) = stack.last() {
+                    guard.attr("op", i);
+                }
+            }
+        }
+    }
+    drop(stack); // close everything still open, innermost first
+    (entered, session.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_yield_well_formed_trees(ops in prop::collection::vec(0u8..=2, 0..64)) {
+        let (entered, tree) = run_program(&ops);
+        // Every entered span is recorded exactly once and closed.
+        prop_assert_eq!(tree.len(), entered);
+        prop_assert!(tree.well_formed().is_ok(), "{:?}", tree.well_formed());
+        // Self-times telescope: summed over all spans they equal the
+        // roots' cumulative total exactly (no clamping, no drift).
+        let self_sum: Duration = (0..tree.len()).map(|i| tree.self_time(i)).sum();
+        prop_assert_eq!(self_sum, tree.total());
+        // Parents outlive children: child interval inside parent interval.
+        for node in &tree.nodes {
+            if let Some(p) = node.parent {
+                let parent = &tree.nodes[p];
+                prop_assert!(node.start >= parent.start);
+                prop_assert!(
+                    node.start + node.cumulative <= parent.start + parent.cumulative
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_panic_still_closes_spans() {
+    // A phase that panics via an injected chaos fault must still close
+    // its span through the guard's Drop, leaving a well-formed tree.
+    let chaos = chaos::plan(0xDECAF).panic_at("trace.test.phase", 1).arm();
+    let session = trace::session();
+    let result = std::panic::catch_unwind(|| {
+        let _run = trace::span("run");
+        {
+            let _setup = trace::span("setup");
+        }
+        let _phase = trace::span("phase");
+        chaos::hit("trace.test.phase"); // panics here
+        unreachable!("chaos fault must fire");
+    });
+    assert!(result.is_err(), "injected panic did not fire");
+    assert_eq!(chaos.fired(), vec!["trace.test.phase"]);
+    let tree = session.finish();
+    tree.well_formed()
+        .expect("tree well-formed after chaos panic");
+    assert_eq!(tree.len(), 3);
+    let run = tree.find("run").expect("run span recorded");
+    let phase = tree.find("phase").expect("panicking span recorded");
+    assert_eq!(tree.nodes[phase].parent, Some(run));
+    let self_sum: Duration = (0..tree.len()).map(|i| tree.self_time(i)).sum();
+    assert_eq!(self_sum, tree.total());
+}
