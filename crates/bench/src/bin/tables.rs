@@ -10,13 +10,14 @@
 //! to push toward the paper's 1,500 × 128 flagship configuration.
 
 use bench::profile::{bench5_json, overhead_guard, profile_sweep, render_profile};
+use bench::reuse::{bench6_json, render_reuse, sweep_reuse};
 use bench::{
     bug_experiment, render_markdown, table1, table2, table3, table4, table5, SweepOptions,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tables <table1|table2|table3|table4|table5|bug|all|profile|overhead> \
+        "usage: tables <table1|table2|table3|table4|table5|bug|all|profile|overhead|sweep-reuse> \
          [--max-size N] [--max-width K] [--sat-budget SECONDS] [--workers N] \
          [--out PATH] [--threshold RATIO] [--iterations N]"
     );
@@ -31,7 +32,9 @@ fn main() {
     let which = args[0].clone();
     let mut opts = SweepOptions::default();
     let mut out: Option<String> = None;
-    let mut threshold = 1.5f64;
+    // Per-subcommand defaults: overhead guards a 1.5x slowdown ceiling,
+    // sweep-reuse a 0.60 warm/cold ratio ceiling.
+    let mut threshold: Option<f64> = None;
     let mut iterations = 5usize;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -44,7 +47,7 @@ fn main() {
             // wall-clock turnaround; counts and verdicts are unaffected.
             "--workers" => opts.workers = value.parse().unwrap_or_else(|_| usage()),
             "--out" => out = Some(value.clone()),
-            "--threshold" => threshold = value.parse().unwrap_or_else(|_| usage()),
+            "--threshold" => threshold = Some(value.parse().unwrap_or_else(|_| usage())),
             "--iterations" => iterations = value.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
@@ -102,7 +105,7 @@ fn main() {
             }
         }
         "overhead" => {
-            let report = overhead_guard(threshold, iterations.max(1));
+            let report = overhead_guard(threshold.unwrap_or(1.5), iterations.max(1));
             println!(
                 "collectors disabled: {:.4}s median  enabled: {:.4}s median  \
                  budget: {:.2}x + {:.0}ms",
@@ -116,6 +119,27 @@ fn main() {
                 std::process::exit(1);
             }
             println!("overhead guard: within budget");
+        }
+        "sweep-reuse" => {
+            let report = sweep_reuse(&opts, threshold.unwrap_or(0.60), iterations.max(1));
+            print!("{}", render_reuse(&report));
+            if let Some(path) = &out {
+                let text = format!("{}\n", bench6_json(&report));
+                std::fs::write(path, text).unwrap_or_else(|e| {
+                    eprintln!("tables: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("tables: sweep-reuse report written to {path}");
+            }
+            if !report.within_budget {
+                eprintln!(
+                    "tables: warm sweep did not reuse enough (ratio {:.2} > ceiling {:.2}, \
+                     or a warm result diverged)",
+                    report.ratio, report.threshold
+                );
+                std::process::exit(1);
+            }
+            println!("sweep-reuse guard: within budget");
         }
         "all" => {
             println!("{}", render_markdown(&table1(&opts)));

@@ -6,6 +6,7 @@
 //! same per-cell workloads.
 
 pub mod profile;
+pub mod reuse;
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,290 @@
+//! Cold-vs-warm sweep benchmark for the obligation memo store and the
+//! machine-readable `BENCH_6.json` artifact.
+//!
+//! The `tables sweep-reuse` subcommand runs the Table 1 configurations
+//! twice against one shared [`rob_verify::memo`] store: the first (cold)
+//! pass pays full price and populates the store, the second (warm) pass
+//! replays obligation discharges, PE classifications, and main-solve
+//! verdicts out of it. The report compares total wall times, checks that
+//! every warm verdict and statistic is field-for-field identical to its
+//! cold counterpart, and enforces a warm/cold ratio ceiling (the CI
+//! guard).
+
+use std::time::Instant;
+
+use campaign::json::Json;
+use rob_verify::memo::MemoSnapshot;
+use rob_verify::{memo, Config, Strategy, Verification, Verifier};
+use sat::Limits;
+
+use crate::{size_ladder, width_ladder, SweepOptions};
+
+/// Schema identifier stamped into `BENCH_6.json`; bump when the layout
+/// changes.
+pub const BENCH6_SCHEMA: &str = "rob-bench-sweep-reuse/v1";
+
+/// One configuration measured cold and warm.
+#[derive(Debug, Clone)]
+pub struct ReuseCell {
+    /// Reorder-buffer size.
+    pub rob_size: usize,
+    /// Issue/retire width.
+    pub issue_width: usize,
+    /// Verdict label (identical in both passes or the cell is flagged).
+    pub verdict: String,
+    /// Cold (populating) pass wall time, seconds.
+    pub cold_secs: f64,
+    /// Warm (replaying) pass wall time, seconds.
+    pub warm_secs: f64,
+    /// Whether the warm verdict and statistics equalled the cold ones
+    /// field for field.
+    pub identical: bool,
+}
+
+/// The whole cold-vs-warm sweep.
+#[derive(Debug, Clone)]
+pub struct ReuseReport {
+    /// Per-configuration measurements.
+    pub cells: Vec<ReuseCell>,
+    /// Summed cold wall time, seconds.
+    pub cold_total_secs: f64,
+    /// Summed warm wall time, seconds.
+    pub warm_total_secs: f64,
+    /// `warm_total / cold_total`.
+    pub ratio: f64,
+    /// The ratio ceiling the guard enforced.
+    pub threshold: f64,
+    /// Whether the warm pass beat the ceiling AND every cell was
+    /// field-for-field identical.
+    pub within_budget: bool,
+    /// Store traffic after both passes.
+    pub memo: MemoSnapshot,
+}
+
+/// Fastest sample — the standard low-noise benchmark statistic: every
+/// slowdown source (scheduler, frequency scaling, page faults) only
+/// ever adds time, so the minimum is the best estimate of intrinsic
+/// cost.
+fn fastest(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Runs the cold-vs-warm sweep serially (this is a timing benchmark;
+/// parallel cells would share cores and skew the ratio).
+///
+/// Each pass is sampled `iterations` times and reported as the
+/// per-cell fastest sample, so sub-millisecond cells don't make the
+/// guard flaky. Every iteration pairs a cold sweep on its own fresh
+/// store (a reused store would not be cold) with a warm sweep on that
+/// store.
+pub fn sweep_reuse(opts: &SweepOptions, threshold: f64, iterations: usize) -> ReuseReport {
+    let iterations = iterations.max(1);
+    let limits = Limits {
+        max_seconds: Some(opts.sat_budget),
+        ..Limits::none()
+    };
+    let pairs: Vec<(usize, usize)> = size_ladder(opts)
+        .into_iter()
+        .flat_map(|size| {
+            width_ladder(opts)
+                .into_iter()
+                .filter(move |&width| width <= size)
+                .map(move |width| (size, width))
+        })
+        .collect();
+
+    let run = |store: &memo::MemoHandle, size: usize, width: usize| {
+        let config = Config::new(size, width).ok()?;
+        let verifier = Verifier::new(config)
+            .strategy(Strategy::default())
+            .sat_limits(limits)
+            .audit(false)
+            .memo(store.clone());
+        let started = Instant::now();
+        let verification = verifier.run().ok()?;
+        Some((started.elapsed().as_secs_f64(), verification))
+    };
+
+    // Each iteration is one cold sweep on a fresh store immediately
+    // followed by one warm sweep on that store. Interleaving the two
+    // passes keeps slow machine drift (frequency scaling, background
+    // load) from landing on only one side of the ratio.
+    let mut cold_samples: Vec<Vec<f64>> = vec![Vec::new(); pairs.len()];
+    let mut cold_results: Vec<Option<Verification>> = vec![None; pairs.len()];
+    let mut warm_samples: Vec<Vec<f64>> = vec![Vec::new(); pairs.len()];
+    let mut warm_results: Vec<Option<Verification>> = vec![None; pairs.len()];
+    let mut store = rob_verify::memo_handle();
+    for _ in 0..iterations {
+        store = rob_verify::memo_handle();
+        for (i, &(size, width)) in pairs.iter().enumerate() {
+            if let Some((secs, v)) = run(&store, size, width) {
+                cold_samples[i].push(secs);
+                cold_results[i] = Some(v);
+            }
+        }
+        for (i, &(size, width)) in pairs.iter().enumerate() {
+            if let Some((secs, v)) = run(&store, size, width) {
+                warm_samples[i].push(secs);
+                warm_results[i] = Some(v);
+            }
+        }
+    }
+
+    let mut cells = Vec::new();
+    for (i, &(size, width)) in pairs.iter().enumerate() {
+        let (Some(cold_v), Some(warm_v)) = (&cold_results[i], &warm_results[i]) else {
+            continue;
+        };
+        cells.push(ReuseCell {
+            rob_size: size,
+            issue_width: width,
+            verdict: cold_v.verdict.label().to_owned(),
+            cold_secs: fastest(&cold_samples[i]),
+            warm_secs: fastest(&warm_samples[i]),
+            identical: warm_v.verdict == cold_v.verdict && warm_v.stats == cold_v.stats,
+        });
+    }
+
+    let cold_total_secs: f64 = cells.iter().map(|c| c.cold_secs).sum();
+    let warm_total_secs: f64 = cells.iter().map(|c| c.warm_secs).sum();
+    let ratio = if cold_total_secs > 0.0 {
+        warm_total_secs / cold_total_secs
+    } else {
+        1.0
+    };
+    let all_identical = !cells.is_empty() && cells.iter().all(|c| c.identical);
+    ReuseReport {
+        cells,
+        cold_total_secs,
+        warm_total_secs,
+        ratio,
+        threshold,
+        within_budget: all_identical && ratio <= threshold,
+        memo: store.stats(),
+    }
+}
+
+/// Renders the sweep as a markdown table plus the guard verdict line.
+pub fn render_reuse(report: &ReuseReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### Sweep reuse — cold vs warm (shared memo store)\n");
+    let _ = writeln!(
+        out,
+        "| config | verdict | cold [s] | warm [s] | warm/cold |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for cell in &report.cells {
+        let _ = writeln!(
+            out,
+            "| rob{}xw{} | {} | {:.3} | {:.3} | {:.2} |",
+            cell.rob_size,
+            cell.issue_width,
+            cell.verdict,
+            cell.cold_secs,
+            cell.warm_secs,
+            if cell.cold_secs > 0.0 {
+                cell.warm_secs / cell.cold_secs
+            } else {
+                1.0
+            },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ntotal: cold {:.3}s  warm {:.3}s  ratio {:.2} (ceiling {:.2})  \
+         memo {} hits / {} misses ({:.1}% hit rate)",
+        report.cold_total_secs,
+        report.warm_total_secs,
+        report.ratio,
+        report.threshold,
+        report.memo.hits,
+        report.memo.misses,
+        100.0 * report.memo.hit_rate(),
+    );
+    out
+}
+
+/// Serializes the sweep as the `BENCH_6.json` document.
+pub fn bench6_json(report: &ReuseReport) -> Json {
+    let cells: Vec<Json> = report
+        .cells
+        .iter()
+        .map(|cell| {
+            Json::obj([
+                ("rob_size", Json::from(cell.rob_size)),
+                ("issue_width", Json::from(cell.issue_width)),
+                ("verdict", Json::str(cell.verdict.clone())),
+                ("cold_secs", Json::Num(cell.cold_secs)),
+                ("warm_secs", Json::Num(cell.warm_secs)),
+                ("identical", Json::Bool(cell.identical)),
+            ])
+        })
+        .collect();
+    let kind = |i: usize| {
+        let (hits, misses) = report.memo.by_kind[i];
+        Json::obj([("hits", Json::from(hits)), ("misses", Json::from(misses))])
+    };
+    Json::obj([
+        ("schema", Json::str(BENCH6_SCHEMA)),
+        ("cells", Json::Arr(cells)),
+        ("cold_total_secs", Json::Num(report.cold_total_secs)),
+        ("warm_total_secs", Json::Num(report.warm_total_secs)),
+        ("warm_cold_ratio", Json::Num(report.ratio)),
+        ("threshold", Json::Num(report.threshold)),
+        ("within_budget", Json::Bool(report.within_budget)),
+        (
+            "memo",
+            Json::obj([
+                ("hits", Json::from(report.memo.hits)),
+                ("misses", Json::from(report.memo.misses)),
+                ("entries", Json::from(report.memo.entries)),
+                ("hit_rate", Json::Num(report.memo.hit_rate())),
+                ("obligation", kind(0)),
+                ("classes", kind(1)),
+                ("solve", kind(2)),
+                ("rewrite", kind(3)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_sweep_is_identical_and_parses() {
+        let opts = SweepOptions {
+            max_size: 4,
+            max_width: 2,
+            ..SweepOptions::default()
+        };
+        let report = sweep_reuse(&opts, 1.0, 1);
+        assert!(!report.cells.is_empty());
+        for cell in &report.cells {
+            assert!(cell.identical, "warm differed at rob{}", cell.rob_size);
+            assert_eq!(cell.verdict, "verified");
+        }
+        assert!(report.memo.hits > 0, "warm pass hit nothing");
+
+        let text = bench6_json(&report).to_string();
+        let doc = campaign::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(BENCH6_SCHEMA)
+        );
+        for key in [
+            "cells",
+            "cold_total_secs",
+            "warm_total_secs",
+            "warm_cold_ratio",
+            "within_budget",
+            "memo",
+        ] {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
+        let rendered = render_reuse(&report);
+        assert!(rendered.contains("hit rate"), "{rendered}");
+    }
+}

@@ -40,6 +40,9 @@ options:
                          stream diagnostics into the event log
   --profile              trace each job and attach per-phase span
                          rollups to job-finished events
+  --no-memo              disable the campaign-wide obligation memo store
+                         (enabled by default; the summary reports its
+                         hit-rate)
   --events PATH          write the JSONL event stream to PATH
   --quiet                suppress per-job progress lines
   --help                 show this message
@@ -72,6 +75,7 @@ struct Args {
     check_proofs: bool,
     audit: bool,
     profile: bool,
+    no_memo: bool,
     events: Option<String>,
     quiet: bool,
 }
@@ -104,6 +108,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         check_proofs: false,
         audit: false,
         profile: false,
+        no_memo: false,
         events: None,
         quiet: false,
     };
@@ -164,6 +169,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             "--check-proofs" => args.check_proofs = true,
             "--audit" => args.audit = true,
             "--profile" => args.profile = true,
+            "--no-memo" => args.no_memo = true,
             "--events" => args.events = Some(value("--events")?),
             "--quiet" => args.quiet = true,
             other if other.starts_with('-') => {
@@ -271,7 +277,12 @@ fn run(argv: Vec<String>) -> Result<bool, String> {
         return Err("no jobs: set --sizes and --widths (or pass a sweep file)".into());
     }
 
-    let campaign = file.campaign().profile(args.profile);
+    let mut campaign = file.campaign().profile(args.profile);
+    if !args.no_memo {
+        // One obligation memo store for the whole run, shared across all
+        // pool workers; the summary table reports its hit-rate.
+        campaign = campaign.memo(rob_verify::memo_handle());
+    }
     if campaign.jobs().is_empty() {
         return Err("the sweep expands to zero valid jobs".into());
     }

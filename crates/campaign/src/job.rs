@@ -4,8 +4,8 @@ use std::time::Duration;
 
 use rob_verify::trace::PhaseStat;
 use rob_verify::{
-    BugSpec, CancelToken, Config, JobKey, Limits, Strategy, Verdict, Verification, Verifier,
-    VerifyError,
+    BugSpec, CancelToken, Config, JobBudgets, JobKey, Limits, Strategy, Verdict, Verification,
+    Verifier, VerifyError,
 };
 
 /// One verification job: a processor configuration, the translation
@@ -56,11 +56,15 @@ impl JobSpec {
     /// keys are guaranteed to produce the same result (the pipeline is
     /// deterministic), so one solve can serve both.
     pub fn key(&self) -> JobKey {
+        // JobSpec carries no budget knobs, and `run_cancellable` leaves
+        // the verifier's budgets at their defaults — so the default
+        // budgets are the truthful key input here.
         JobKey::derive(
             &self.config,
             self.strategy,
             self.bug,
             &self.sat_limits,
+            &JobBudgets::default(),
             self.check_proofs,
             self.audit,
         )

@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use rob_verify::memo::MemoSnapshot;
 use rob_verify::{PhaseTimings, Verdict};
 
 use crate::job::{JobResult, Outcome};
@@ -59,6 +60,11 @@ pub struct CampaignReport {
     pub phase_p50: PhaseTimings,
     /// 95th-percentile per-phase latency across completed, executed jobs.
     pub phase_p95: PhaseTimings,
+    /// Obligation-store traffic for the campaign's shared memo store,
+    /// present only when memoization was enabled (see [`Campaign::memo`]).
+    ///
+    /// [`Campaign::memo`]: crate::Campaign::memo
+    pub memo: Option<MemoSnapshot>,
 }
 
 impl CampaignReport {
@@ -88,6 +94,7 @@ impl CampaignReport {
             threads_abandoned: 0,
             phase_p50: PhaseTimings::default(),
             phase_p95: PhaseTimings::default(),
+            memo: None,
         };
         let mut latencies: Vec<Duration> = Vec::new();
         let mut phase_latencies: [Vec<Duration>; 5] = Default::default();
@@ -157,6 +164,12 @@ impl CampaignReport {
         self
     }
 
+    /// Attaches the shared memo store's end-of-campaign traffic counters.
+    pub fn with_memo_stats(mut self, stats: MemoSnapshot) -> Self {
+        self.memo = Some(stats);
+        self
+    }
+
     /// Key/value pairs for the JSONL `campaign-summary` line.
     pub fn json_fields(&self) -> Vec<(&'static str, Json)> {
         vec![
@@ -186,6 +199,7 @@ impl CampaignReport {
             ("threads_abandoned", Json::from(self.threads_abandoned)),
             ("phase_p50", crate::codec::timings_to_json(&self.phase_p50)),
             ("phase_p95", crate::codec::timings_to_json(&self.phase_p95)),
+            ("memo", self.memo.as_ref().map_or(Json::Null, memo_to_json)),
         ]
     }
 
@@ -221,6 +235,27 @@ impl CampaignReport {
         if self.cache_hits > 0 {
             let _ = writeln!(out, "  cache hits  {:>8}", self.cache_hits);
         }
+        if let Some(memo) = &self.memo {
+            let kind_rate = |i: usize| {
+                let (hits, misses) = memo.by_kind[i];
+                if hits + misses == 0 {
+                    0.0
+                } else {
+                    100.0 * hits as f64 / (hits + misses) as f64
+                }
+            };
+            let _ = writeln!(out, "  memo hits   {:>8}", memo.hits);
+            let _ = writeln!(out, "  memo misses {:>8}", memo.misses);
+            let _ = writeln!(
+                out,
+                "  memo rate   {:>7.1}%  obligation {:.1}%  classes {:.1}%  solve {:.1}%  rewrite {:.1}%",
+                100.0 * memo.hit_rate(),
+                kind_rate(0),
+                kind_rate(1),
+                kind_rate(2),
+                kind_rate(3),
+            );
+        }
         if self.threads_reclaimed > 0 {
             let _ = writeln!(out, "  reclaimed   {:>8}", self.threads_reclaimed);
         }
@@ -254,6 +289,25 @@ impl CampaignReport {
     pub fn all_expected(&self) -> bool {
         self.unexpected == 0
     }
+}
+
+/// Encodes the memo store's traffic counters for the summary line.
+fn memo_to_json(memo: &MemoSnapshot) -> Json {
+    let kind = |i: usize| {
+        let (hits, misses) = memo.by_kind[i];
+        Json::obj([("hits", Json::from(hits)), ("misses", Json::from(misses))])
+    };
+    Json::obj([
+        ("hits", Json::from(memo.hits)),
+        ("misses", Json::from(memo.misses)),
+        ("entries", Json::from(memo.entries)),
+        ("bytes", Json::from(memo.bytes)),
+        ("hit_rate", Json::Num(memo.hit_rate())),
+        ("obligation", kind(0)),
+        ("classes", kind(1)),
+        ("solve", kind(2)),
+        ("rewrite", kind(3)),
+    ])
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample.

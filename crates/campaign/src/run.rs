@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use rob_verify::memo;
 use rob_verify::trace::{self, PhaseStat};
 use rob_verify::{Verification, VerifyError};
 
@@ -37,6 +38,7 @@ pub struct Campaign {
     retries: u32,
     fail_fast: bool,
     profile: bool,
+    memo: Option<memo::MemoHandle>,
 }
 
 /// Per-job phase profiles, keyed by the job's canonical key. Written by
@@ -72,6 +74,7 @@ impl Campaign {
             retries: 0,
             fail_fast: false,
             profile: false,
+            memo: None,
         }
     }
 
@@ -111,6 +114,19 @@ impl Campaign {
     /// `job-finished` JSONL events.
     pub fn profile(mut self, enabled: bool) -> Self {
         self.profile = enabled;
+        self
+    }
+
+    /// Shares an obligation memo store across every job in the campaign:
+    /// the store is bound (thread-locally) around each job's runner, so
+    /// all pool workers read and write the same store, and the summary
+    /// reports its end-of-campaign hit-rate.
+    ///
+    /// Memoization never changes a verdict or a reported statistic —
+    /// warm and cold runs are field-for-field identical — so sharing one
+    /// store across a whole sweep is always sound.
+    pub fn memo(mut self, handle: memo::MemoHandle) -> Self {
+        self.memo = Some(handle);
         self
     }
 
@@ -187,7 +203,11 @@ impl Campaign {
         };
         let started = Instant::now();
         let span_maps = profiles.clone();
+        let store = self.memo.clone();
         let wrapped = move |job: &JobSpec, cancel: &CancelToken| {
+            // The memo binding is thread-local, so it must happen here on
+            // the worker thread, once per job attempt.
+            let _memo_guard = store.clone().map(memo::bind);
             let Some(map) = &span_maps else {
                 return runner(job, cancel);
             };
@@ -232,8 +252,11 @@ impl Campaign {
             .into_iter()
             .map(|slot| slot.expect("every job resolved"))
             .collect();
-        let report =
+        let mut report =
             CampaignReport::summarize(&results, wall, self.workers).with_pool_stats(pool_stats);
+        if let Some(store) = &self.memo {
+            report = report.with_memo_stats(store.stats());
+        }
         sink.emit(&Event::CampaignSummary(report.clone()));
         CampaignOutcome { results, report }
     }
@@ -430,6 +453,49 @@ mod tests {
         // Phase percentiles aggregate from per-result timings.
         assert!(outcome.report.phase_p50.total() > Duration::ZERO);
         assert!(outcome.report.phase_p95.total() >= outcome.report.phase_p50.total());
+    }
+
+    #[test]
+    fn shared_memo_store_reports_hits_and_preserves_results() {
+        let store = rob_verify::memo_handle();
+        let sweep = Sweep::new([2usize, 3], [1usize]);
+        let first = Campaign::from_sweep(&sweep)
+            .workers(2)
+            .memo(store.clone())
+            .run(&NullSink);
+        assert!(first.all_expected());
+        let after_first = store.stats();
+        assert!(after_first.entries > 0, "first pass stored nothing");
+
+        // A second pass over the same sweep replays out of the store.
+        let second = Campaign::from_sweep(&sweep)
+            .workers(2)
+            .memo(store.clone())
+            .run(&NullSink);
+        assert!(second.all_expected());
+        let attached = second.report.memo.expect("memo stats attached");
+        assert!(
+            attached.hits > after_first.hits,
+            "second pass hit nothing: {attached:?}"
+        );
+        // The summary table and JSONL line both surface the hit-rate.
+        assert!(second.report.render().contains("memo rate"));
+        assert!(second
+            .report
+            .json_fields()
+            .iter()
+            .any(|(name, _)| *name == "memo"));
+
+        // Memoized results are field-for-field identical to an
+        // unmemoized baseline.
+        let cold = Campaign::from_sweep(&sweep).workers(2).run(&NullSink);
+        assert!(cold.report.memo.is_none());
+        for (a, b) in cold.results.iter().zip(&second.results) {
+            let a = a.outcome.verification().expect("completed");
+            let b = b.outcome.verification().expect("completed");
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.stats, b.stats);
+        }
     }
 
     #[test]

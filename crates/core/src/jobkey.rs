@@ -23,16 +23,39 @@
 //! semantics: old persisted cache entries then miss instead of serving
 //! stale results.
 
+use std::time::Duration;
+
 use crate::{BugSpec, Config, Limits, Strategy};
 
 /// Bump on any semantic change to the verification pipeline. Part of
 /// [`CODE_FINGERPRINT`], so bumping it invalidates all persisted cache
 /// entries.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: budget inputs (`rewrite_deadline`, `rewrite_max_nodes`,
+/// `max_nodes`) joined the canonical string — they can flip a result to
+/// a degraded PE-only verdict, so v1 keys conflated distinct jobs.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Identifies the code that produced a cached result: crate version plus
 /// the manually-maintained [`SCHEMA_VERSION`].
-pub const CODE_FINGERPRINT: &str = concat!(env!("CARGO_PKG_VERSION"), "+s1");
+pub const CODE_FINGERPRINT: &str = concat!(env!("CARGO_PKG_VERSION"), "+s2");
+
+/// The resource budgets that shape a job's result.
+///
+/// Budgets are key inputs, not tuning noise: exhausting the rewrite
+/// deadline or a node budget sends the run down the degradation ladder
+/// (rewrite → PE-only → budget-stop), changing the reported statistics
+/// and possibly the verdict. The default (all unlimited) matches
+/// [`Verifier::new`](crate::Verifier::new).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobBudgets {
+    /// Private deadline for the rewrite phase (`None` = unlimited).
+    pub rewrite_deadline: Option<Duration>,
+    /// Rewrite-phase expression-node budget (0 = unlimited).
+    pub rewrite_max_nodes: usize,
+    /// Translation expression-node budget (0 = unlimited).
+    pub max_nodes: usize,
+}
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -62,6 +85,7 @@ impl JobKey {
         strategy: Strategy,
         bug: Option<BugSpec>,
         sat_limits: &Limits,
+        budgets: &JobBudgets,
         check_proofs: bool,
         audit: bool,
     ) -> JobKey {
@@ -72,8 +96,16 @@ impl JobKey {
             opt(sat_limits.max_seconds),
             opt(sat_limits.max_learnt_literals),
         );
+        // Nanosecond rendering keeps the deadline exact and integral —
+        // no float-formatting ambiguity in the canonical string.
+        let budget = format!(
+            "rwdl:{},rwn:{},n:{}",
+            opt(budgets.rewrite_deadline.map(|d| d.as_nanos())),
+            budgets.rewrite_max_nodes,
+            budgets.max_nodes,
+        );
         let canonical = format!(
-            "fp={fp}|rob={n}|w={k}|strategy={strategy}|bug={bug}|limits={limits}|proofs={p}|audit={a}",
+            "fp={fp}|rob={n}|w={k}|strategy={strategy}|bug={bug}|limits={limits}|budget={budget}|proofs={p}|audit={a}",
             fp = CODE_FINGERPRINT,
             n = config.rob_size(),
             k = config.issue_width(),
@@ -130,6 +162,7 @@ mod tests {
             strategy,
             None,
             &Limits::none(),
+            &JobBudgets::default(),
             false,
             false,
         )
@@ -150,6 +183,7 @@ mod tests {
                 operand: Operand::Src1,
             }),
             &Limits::none(),
+            &JobBudgets::default(),
             false,
             false,
         );
@@ -162,6 +196,7 @@ mod tests {
                 max_conflicts: Some(100),
                 ..Limits::none()
             },
+            &JobBudgets::default(),
             false,
             false,
         );
@@ -171,10 +206,52 @@ mod tests {
             Strategy::default(),
             None,
             &Limits::none(),
+            &JobBudgets::default(),
             false,
             true,
         );
         assert_ne!(base, audited);
+    }
+
+    #[test]
+    fn budgeted_and_unbudgeted_jobs_derive_different_keys() {
+        // Regression (cache soundness): budgets can flip a result to a
+        // degraded PE-only verdict, so they must be key inputs. Before
+        // schema v2 these four jobs shared one key.
+        let base = key(8, 2, Strategy::default());
+        let derive_with = |budgets: JobBudgets| {
+            JobKey::derive(
+                &Config::new(8, 2).unwrap(),
+                Strategy::default(),
+                None,
+                &Limits::none(),
+                &budgets,
+                false,
+                false,
+            )
+        };
+        let deadlined = derive_with(JobBudgets {
+            rewrite_deadline: Some(Duration::from_millis(1)),
+            ..JobBudgets::default()
+        });
+        let rewrite_capped = derive_with(JobBudgets {
+            rewrite_max_nodes: 1_000,
+            ..JobBudgets::default()
+        });
+        let node_capped = derive_with(JobBudgets {
+            max_nodes: 50_000,
+            ..JobBudgets::default()
+        });
+        assert_ne!(base, deadlined);
+        assert_ne!(base, rewrite_capped);
+        assert_ne!(base, node_capped);
+        assert_ne!(deadlined, rewrite_capped);
+        assert_ne!(rewrite_capped, node_capped);
+        assert_eq!(
+            derive_with(JobBudgets::default()),
+            base,
+            "default budgets match the bare derivation"
+        );
     }
 
     #[test]

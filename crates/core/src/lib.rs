@@ -60,7 +60,9 @@ use std::time::{Duration, Instant};
 pub mod explain;
 pub mod jobkey;
 
-use evc::check::{check_validity_cancellable, CheckOptions, CheckOutcome, UnknownReason};
+use evc::check::{
+    check_validity_cancellable, memo_signature, CheckOptions, CheckOutcome, UnknownReason,
+};
 use evc::mem::MemoryModel;
 use evc::rewrite::{
     rewrite_correctness_budgeted, RewriteBudget, RewriteError, RewriteInput, RewriteOptions,
@@ -68,7 +70,7 @@ use evc::rewrite::{
 use uarch::correctness::{self, CorrectnessBundle};
 
 pub use eufm::CancelToken;
-pub use jobkey::JobKey;
+pub use jobkey::{JobBudgets, JobKey};
 pub use sat::{Limits, SolverStats};
 pub use tlsim::EvalStrategy;
 pub use uarch::{BugSpec, Config, Operand, UarchError};
@@ -82,6 +84,20 @@ pub use lint;
 /// campaign orchestrator, `robd`, the bench harness) can open sessions
 /// and read metrics without a direct dependency.
 pub use trace;
+
+/// Re-export of the obligation-memoization crate, so orchestration
+/// layers can construct and share [`memo::MemoHandle`]s without a direct
+/// dependency. Stores should be created with
+/// [`jobkey::CODE_FINGERPRINT`] (see [`memo_handle`]) so a pipeline
+/// change invalidates them.
+pub use memo;
+
+/// A fresh in-memory memo store gated by this build's
+/// [`jobkey::CODE_FINGERPRINT`] — the handle orchestration layers bind
+/// around runs (see [`Verifier::memo`]).
+pub fn memo_handle() -> memo::MemoHandle {
+    memo::new_handle(jobkey::CODE_FINGERPRINT)
+}
 
 /// How the EUFM correctness formula is discharged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -356,6 +372,7 @@ pub struct Verifier {
     cancel: CancelToken,
     rewrite_deadline: Option<Duration>,
     rewrite_max_nodes: usize,
+    memo: Option<memo::MemoHandle>,
 }
 
 impl Verifier {
@@ -374,6 +391,7 @@ impl Verifier {
             cancel: CancelToken::new(),
             rewrite_deadline: None,
             rewrite_max_nodes: 0,
+            memo: None,
         }
     }
 
@@ -435,6 +453,22 @@ impl Verifier {
         self
     }
 
+    /// Shares an obligation-memoization store with this run: rewrite
+    /// obligations, Positive-Equality classifications, and valid main
+    /// solves are answered from the store when a structurally identical
+    /// query was discharged before (by this run, an earlier run, or —
+    /// through the daemon's persisted store — an earlier process).
+    ///
+    /// The handle is bound as the thread-ambient store for the duration
+    /// of [`Verifier::run`]; orchestration layers that bind their own
+    /// ambient store ([`memo::bind`]) around a pool worker don't need
+    /// this. Memoization never changes a verdict or a reported
+    /// statistic — warm and cold runs are field-for-field identical.
+    pub fn memo(mut self, handle: memo::MemoHandle) -> Self {
+        self.memo = Some(handle);
+        self
+    }
+
     /// Enables or disables transitivity constraints over `e_ij` variables.
     pub fn transitivity(mut self, enabled: bool) -> Self {
         self.transitivity = enabled;
@@ -470,6 +504,7 @@ impl Verifier {
         let span_run = trace::span("verify");
         span_run.attr("config", self.config);
         span_run.attr("strategy", self.strategy);
+        let _memo_guard = self.memo.clone().map(memo::bind);
         let mut timings = PhaseTimings::default();
         let mut stats = VerificationStats::default();
         if self.cancel.is_cancelled() {
@@ -505,6 +540,76 @@ impl Verifier {
                     rf_impl: bundle.rf_impl,
                     rf_spec0: bundle.rf_spec[0],
                 };
+                // Pipeline memoization: a successful rewrite of this exact
+                // correctness formula is keyed by the content digests of
+                // its inputs; the stored record carries the rewrite stats
+                // and the digest of the rewritten formula, which chains
+                // into the main-solve record. When both hit, the whole
+                // rewrite + check pipeline is replayed from the store.
+                // Audited and proof-checked runs always execute — their
+                // deliverables are not in the records.
+                let pipeline_store = if self.audit || self.check_proof {
+                    None
+                } else {
+                    memo::current()
+                };
+                let rewrite_key = pipeline_store.map(|store| {
+                    let mut digester = memo::Digester::new();
+                    let context = format!(
+                        "rewrite|impl={}|spec0={}",
+                        eufm::digest::digest_hex(digester.digest(&bundle.ctx, input.rf_impl)),
+                        eufm::digest::digest_hex(digester.digest(&bundle.ctx, input.rf_spec0)),
+                    );
+                    let key = memo::derive_key(
+                        memo::MemoKind::Rewrite,
+                        digester.digest(&bundle.ctx, input.formula),
+                        &context,
+                    );
+                    (store, key)
+                });
+                if let Some((store, key)) = &rewrite_key {
+                    if let Some(memo::MemoValue::Rewrite(rw)) =
+                        store.lookup(memo::MemoKind::Rewrite, *key)
+                    {
+                        // A recorded rewrite always succeeded, so the
+                        // follow-on check ran under the conservative
+                        // memory model; only a recorded *valid* solve is
+                        // replayable (diagnoses carry un-recorded detail).
+                        let solve_key = memo::derive_key(
+                            memo::MemoKind::Solve,
+                            rw.formula_digest,
+                            &memo_signature(&CheckOptions {
+                                memory: MemoryModel::Conservative,
+                                transitivity: self.transitivity,
+                                ..CheckOptions::default()
+                            }),
+                        );
+                        if let Some(memo::MemoValue::Solve(rec)) =
+                            store.lookup(memo::MemoKind::Solve, solve_key)
+                        {
+                            if rec.valid {
+                                timings.rewrite = t1.elapsed();
+                                stats.rewrite_obligations = rw.obligations as usize;
+                                stats.rewrite_syntactic = rw.syntactic_hits as usize;
+                                stats.retire_pairs = rw.retire_pairs as usize;
+                                stats.eij_vars = rec.eij_vars as usize;
+                                stats.other_vars = rec.other_vars as usize;
+                                stats.cnf_vars = rec.cnf_vars as usize;
+                                stats.cnf_clauses = rec.cnf_clauses as usize;
+                                stats.sat_conflicts = rec.conflicts;
+                                stats.sat_decisions = rec.decisions;
+                                stats.sat_propagations = rec.propagations;
+                                return Ok(Verification {
+                                    verdict: Verdict::Verified,
+                                    timings,
+                                    stats,
+                                    diagnostics: Vec::new(),
+                                    degraded: None,
+                                });
+                            }
+                        }
+                    }
+                }
                 // The rewrite phase gets a child token so its private
                 // deadline degrades only this phase, while a trip of the
                 // job-level token still cancels the whole run.
@@ -538,6 +643,18 @@ impl Verifier {
                         stats.rewrite_obligations = outcome.obligations;
                         stats.rewrite_syntactic = outcome.syntactic_hits;
                         stats.retire_pairs = outcome.retire_pairs;
+                        if let Some((store, key)) = &rewrite_key {
+                            store.insert(
+                                *key,
+                                memo::MemoValue::Rewrite(memo::RewriteRecord {
+                                    obligations: outcome.obligations as u64,
+                                    syntactic_hits: outcome.syntactic_hits as u64,
+                                    retire_pairs: outcome.retire_pairs as u64,
+                                    formula_digest: memo::Digester::new()
+                                        .digest(&bundle.ctx, outcome.formula),
+                                }),
+                            );
+                        }
                         (outcome.formula, MemoryModel::Conservative)
                     }
                     Err(RewriteError::Slice { slice, reason }) => {

@@ -1,0 +1,299 @@
+//! Stable, content-addressed digests of EUFM expressions.
+//!
+//! The memoization layer (`rob-memo`) keys cached obligation verdicts by
+//! the *structure* of the formula, not by [`ExprId`] — ids are dense
+//! per-context indices and mean nothing across contexts or processes.
+//! This module computes a 128-bit FNV-1a digest bottom-up over the
+//! hash-consed DAG: each node's digest folds in a kind tag, its resolved
+//! symbol name and sort (for variables and uninterpreted functions), and
+//! the digests of its children. Two structurally identical formulas —
+//! even built in different contexts, in different processes, on
+//! different days — produce the same digest.
+//!
+//! The digest deliberately avoids the s-expression printer: rendering a
+//! shared DAG as a tree can blow up exponentially, while the memoized
+//! bottom-up fold visits each distinct node exactly once.
+//!
+//! 128 bits keep the collision probability negligible at any plausible
+//! store size (a 2^64-entry store would be needed before birthday
+//! collisions become likely), which is what lets the store trust the
+//! digest for identity instead of carrying the full canonical rendering.
+
+use crate::{Context, ExprId, Node, Sort};
+
+/// FNV-1a/128 offset basis.
+pub const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a/128 prime.
+pub const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// Folds `bytes` into a running FNV-1a/128 state.
+#[inline]
+pub fn fnv1a_128(mut state: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        state ^= u128::from(b);
+        state = state.wrapping_mul(FNV128_PRIME);
+    }
+    state
+}
+
+/// Renders a digest as 32 lowercase hex digits.
+pub fn digest_hex(digest: u128) -> String {
+    format!("{digest:032x}")
+}
+
+/// Parses the 32-hex-digit rendering back into a digest.
+pub fn digest_from_hex(text: &str) -> Option<u128> {
+    if text.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(text, 16).ok()
+}
+
+fn sort_tag(sort: Sort) -> u8 {
+    match sort {
+        Sort::Bool => b'B',
+        Sort::Term => b'T',
+        Sort::Mem => b'M',
+    }
+}
+
+fn kind_tag(node: &Node) -> u8 {
+    match node {
+        Node::True => b't',
+        Node::False => b'f',
+        Node::Var(..) => b'v',
+        Node::Uf(..) => b'u',
+        Node::Ite(..) => b'i',
+        Node::Eq(..) => b'e',
+        Node::Not(..) => b'n',
+        Node::And(..) => b'a',
+        Node::Or(..) => b'o',
+        Node::Read(..) => b'r',
+        Node::Write(..) => b'w',
+    }
+}
+
+/// A per-[`Context`] digest calculator with a node-level cache.
+///
+/// The cache is a dense side table indexed by [`ExprId`], so a
+/// `Digester` is only valid for the context it was first used with;
+/// create one per context (contexts only ever grow, so a long-lived
+/// digester stays correct as new nodes are interned). The dense table
+/// doubles as the traversal's visited set, so digesting needs no hash
+/// lookups at all — this sits on the warm path of every memo query.
+#[derive(Debug, Default)]
+pub struct Digester {
+    cache: Vec<Option<u128>>,
+}
+
+impl Digester {
+    /// An empty digester.
+    pub fn new() -> Self {
+        Digester::default()
+    }
+
+    fn get(&self, id: ExprId) -> Option<u128> {
+        self.cache.get(id.index()).copied().flatten()
+    }
+
+    fn set(&mut self, id: ExprId, digest: u128) {
+        let index = id.index();
+        if self.cache.len() <= index {
+            self.cache.resize(index + 1, None);
+        }
+        self.cache[index] = Some(digest);
+    }
+
+    /// The structural digest of `root` in `ctx`.
+    ///
+    /// Visits each distinct reachable node once (post-order), reusing
+    /// digests cached by earlier calls on the same context.
+    pub fn digest(&mut self, ctx: &Context, root: ExprId) -> u128 {
+        if let Some(d) = self.get(root) {
+            return d;
+        }
+        // Explicit post-order with the cache as the visited set: a node
+        // is pushed unexpanded, re-pushed expanded after its children,
+        // and digested once all of them are cached.
+        let mut stack = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if self.get(id).is_some() {
+                continue;
+            }
+            if expanded {
+                let d = self.node_digest(ctx, id);
+                self.set(id, d);
+            } else {
+                stack.push((id, true));
+                ctx.node(id).for_each_child(|child| {
+                    if self.get(child).is_none() {
+                        stack.push((child, false));
+                    }
+                });
+            }
+        }
+        self.get(root).expect("root digested by traversal")
+    }
+
+    /// Digest of a single node whose children are already cached.
+    fn node_digest(&self, ctx: &Context, id: ExprId) -> u128 {
+        let node = ctx.node(id);
+        let mut state = fnv1a_128(FNV128_OFFSET, &[kind_tag(node)]);
+        match node {
+            Node::True | Node::False => {}
+            Node::Var(sym, sort) => {
+                state = fnv1a_128(state, &[sort_tag(*sort)]);
+                state = fnv1a_128(state, ctx.name(*sym).as_bytes());
+                state = fnv1a_128(state, &[0]);
+            }
+            Node::Uf(sym, _, sort) => {
+                state = fnv1a_128(state, &[sort_tag(*sort)]);
+                state = fnv1a_128(state, ctx.name(*sym).as_bytes());
+                state = fnv1a_128(state, &[0]);
+            }
+            _ => {}
+        }
+        let mut child_digests = [0u128; 4];
+        let mut extra = Vec::new();
+        let mut n = 0usize;
+        node.for_each_child(|child| {
+            let d = self.get(child).expect("children digested before parents");
+            if n < child_digests.len() {
+                child_digests[n] = d;
+            } else {
+                extra.push(d);
+            }
+            n += 1;
+        });
+        for d in child_digests.iter().take(n.min(child_digests.len())) {
+            state = fnv1a_128(state, &d.to_be_bytes());
+        }
+        for d in &extra {
+            state = fnv1a_128(state, &d.to_be_bytes());
+        }
+        // Arity terminator: distinguishes and(a, b) from and(a, b, c)
+        // prefixes beyond what the child fold alone guarantees.
+        fnv1a_128(state, &(n as u32).to_be_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden digest vectors, mirroring the `fnv_vector` test in
+    /// `core::jobkey`: these values must never change — a change means
+    /// every persisted memo store silently invalidates (or worse,
+    /// aliases). Update only alongside a store fingerprint bump.
+    #[test]
+    fn golden_digest_vectors() {
+        let mut ctx = Context::new();
+        let mut d = Digester::new();
+        assert_eq!(
+            digest_hex(d.digest(&ctx, Context::TRUE)),
+            "ca3282ea3b83d94f70816a0a3978e7b3"
+        );
+        assert_eq!(
+            digest_hex(d.digest(&ctx, Context::FALSE)),
+            "29bb76e55583d94f7081428ced83b319"
+        );
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let eq = ctx.eq(a, b);
+        assert_eq!(
+            digest_hex(d.digest(&ctx, eq)),
+            "76655c22dae82425e54e4006f9ffe1cf"
+        );
+        let fa = ctx.uf("f", vec![a]);
+        let fb = ctx.uf("f", vec![b]);
+        let concl = ctx.eq(fa, fb);
+        let prop = ctx.implies(eq, concl);
+        assert_eq!(
+            digest_hex(d.digest(&ctx, prop)),
+            "4e8c5a2e3616a0d4f8af719a8e619009"
+        );
+    }
+
+    #[test]
+    fn structurally_equal_formulas_in_fresh_contexts_agree() {
+        let build = |ctx: &mut Context| {
+            let x = ctx.pvar("x");
+            let a = ctx.tvar("addr");
+            let m = ctx.mvar("rf");
+            let r = ctx.read(m, a);
+            let fa = ctx.uf("alu", vec![a, r]);
+            let eq = ctx.eq(fa, r);
+            ctx.and2(x, eq)
+        };
+        let mut ctx1 = Context::new();
+        let root1 = build(&mut ctx1);
+        let mut ctx2 = Context::new();
+        // Interleave unrelated junk so the raw ids differ.
+        ctx2.tvar("junk1");
+        ctx2.pvar("junk2");
+        let root2 = build(&mut ctx2);
+        assert_ne!(root1, root2, "ids differ between the contexts");
+        let d1 = Digester::new().digest(&ctx1, root1);
+        let d2 = Digester::new().digest(&ctx2, root2);
+        assert_eq!(d1, d2, "digests depend on structure, not ids");
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_digests() {
+        let mut ctx = Context::new();
+        let mut d = Digester::new();
+        let a = ctx.tvar("a");
+        let b = ctx.tvar("b");
+        let c = ctx.tvar("c");
+        let mut seen = std::collections::HashSet::new();
+        let eq_ab = ctx.eq(a, b);
+        let eq_ac = ctx.eq(a, c);
+        let f_ab = ctx.uf("f", vec![a, b]);
+        let g_ab = ctx.uf("g", vec![a, b]);
+        let h_a = ctx.uf("h", vec![a]);
+        let not_eq = ctx.not(eq_ab);
+        let roots = [a, b, c, eq_ab, eq_ac, f_ab, g_ab, h_a, not_eq];
+        for root in roots {
+            assert!(
+                seen.insert(d.digest(&ctx, root)),
+                "digest collision at {root:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn var_and_uf_with_same_name_differ() {
+        let mut ctx = Context::new();
+        let v = ctx.pvar("p");
+        let u = ctx.up("p", vec![]);
+        let mut d = Digester::new();
+        assert_ne!(d.digest(&ctx, v), d.digest(&ctx, u));
+    }
+
+    #[test]
+    fn shared_dag_digesting_is_linear_not_exponential() {
+        // A 64-level doubling DAG: as a tree this is 2^64 nodes; the
+        // digester must finish instantly by visiting each node once.
+        let mut ctx = Context::new();
+        let mut x = ctx.tvar("x0");
+        let mut y = ctx.tvar("y0");
+        for i in 0..64 {
+            let f = ctx.uf("f", vec![x, y]);
+            let g = ctx.uf("g", vec![y, x]);
+            x = f;
+            y = g;
+            let _ = i;
+        }
+        let top = ctx.eq(x, y);
+        let digest = Digester::new().digest(&ctx, top);
+        assert_ne!(digest, 0);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = 0x0123_4567_89ab_cdef_0123_4567_89ab_cdefu128;
+        assert_eq!(digest_from_hex(&digest_hex(d)), Some(d));
+        assert_eq!(digest_from_hex("zz"), None);
+        assert_eq!(digest_from_hex(&"0".repeat(31)), None);
+    }
+}

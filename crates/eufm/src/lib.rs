@@ -18,7 +18,9 @@
 //!   oracle for cross-validating the whole verification pipeline on tiny
 //!   instances ([`eval`], [`oracle`]);
 //! - structural statistics ([`stats`]) and an s-expression printer/parser
-//!   ([`print`], [`parse`]).
+//!   ([`print`], [`parse`]);
+//! - stable content-addressed digests of sub-formulas, the identity layer
+//!   beneath the obligation memoization store ([`digest`]).
 //!
 //! # Example
 //!
@@ -45,6 +47,7 @@ mod node;
 mod symbol;
 
 pub mod cancel;
+pub mod digest;
 pub mod eval;
 pub mod oracle;
 pub mod parse;

@@ -2,7 +2,7 @@
 //! classification → UF elimination → Positive-Equality encoding →
 //! transitivity → Tseitin → CDCL SAT.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use eufm::polarity;
@@ -94,6 +94,89 @@ impl Default for CheckOptions {
             audit: cfg!(debug_assertions),
         }
     }
+}
+
+/// Canonical rendering of the [`CheckOptions`] fields that can change a
+/// *decisive* answer or its translation statistics — the memo-key
+/// context for solve and obligation queries.
+///
+/// Budget-style fields (SAT limits, node budgets) are deliberately
+/// excluded: they can only turn an answer into [`CheckOutcome::Unknown`],
+/// and unknown outcomes are never memoized — so a verdict proven under
+/// one budget serves every budget, and a re-request that differs only in
+/// its limits warm-starts from the store.
+///
+/// Public so the pipeline orchestrator can derive the same
+/// [`memo::MemoKind::Solve`] key from a memoized rewrite record's
+/// formula digest without re-running the rewrite.
+pub fn memo_signature(options: &CheckOptions) -> String {
+    let memory = match options.memory {
+        MemoryModel::Forwarding => "fwd",
+        MemoryModel::Conservative => "cons",
+    };
+    let tseitin = match options.tseitin {
+        Mode::Full => "full",
+        Mode::PolarityAware => "pg",
+    };
+    let uf = match options.uf_scheme {
+        UfScheme::NestedIte => "ite",
+        UfScheme::Ackermann => "ack",
+    };
+    format!(
+        "mem={memory}|trans={}|tseitin={tseitin}|uf={uf}",
+        u8::from(options.transitivity)
+    )
+}
+
+/// Sort tag for a [`memo::MemoValue::Classes`] record name.
+fn class_tag(sort: Sort) -> char {
+    match sort {
+        Sort::Bool => 'b',
+        Sort::Term => 't',
+        Sort::Mem => 'm',
+    }
+}
+
+/// Renders a classification as sorted, sort-tagged names of the general
+/// variables reachable from `root`. Unreachable g-vars are dropped —
+/// they cannot influence the encoding of `root` — which keeps every
+/// stored name resolvable on replay. Returns `None` (do not memoize) if
+/// a reachable g-var is not a named variable.
+fn render_classes(ctx: &Context, root: ExprId, gvars: &HashSet<ExprId>) -> Option<Vec<String>> {
+    let mut names = Vec::new();
+    let mut nameable = true;
+    ctx.visit_post_order(&[root], |id| {
+        if !gvars.contains(&id) {
+            return;
+        }
+        match ctx.node(id) {
+            Node::Var(sym, sort) => names.push(format!("{}:{}", class_tag(*sort), ctx.name(*sym))),
+            _ => nameable = false,
+        }
+    });
+    nameable.then(|| {
+        names.sort();
+        names
+    })
+}
+
+/// Resolves stored sort-tagged names against the variables reachable
+/// from `root`. Any unresolved name degrades to a miss (`None`, the cold
+/// path recomputes); a successful resolution can never misclassify,
+/// because hash-consing makes `(name, sort)` denote one node per
+/// context.
+fn resolve_classes(ctx: &Context, root: ExprId, names: &[String]) -> Option<Classification> {
+    let mut by_name: HashMap<String, ExprId> = HashMap::new();
+    ctx.visit_post_order(&[root], |id| {
+        if let Node::Var(sym, sort) = ctx.node(id) {
+            by_name.insert(format!("{}:{}", class_tag(*sort), ctx.name(*sym)), id);
+        }
+    });
+    let mut gvars = HashSet::new();
+    for name in names {
+        gvars.insert(*by_name.get(name)?);
+    }
+    Some(Classification { gvars })
 }
 
 /// The verdict of a validity check.
@@ -249,6 +332,61 @@ pub fn check_validity_cancellable(
     }
     bail_if_cancelled!();
 
+    // Main-solve memoization: a prior run of this exact formula under
+    // these options (any budget) proved it valid — replay the stored
+    // verdict and statistics without running the pipeline. The pipeline
+    // counters are skipped along with the work: a memoized answer did no
+    // translation and no search, and counting it would double-bill.
+    // Proof-checked and audited runs always execute — their deliverables
+    // (the DRUP check, the diagnostics) are not in the record.
+    let memo_store = if options.check_proof || options.audit {
+        None
+    } else {
+        memo::current()
+    };
+    let mut digester = memo::Digester::new();
+    let solve_key = memo_store.as_ref().map(|store| {
+        (
+            store.clone(),
+            memo::derive_key(
+                memo::MemoKind::Solve,
+                digester.digest(ctx, formula),
+                &memo_signature(options),
+            ),
+        )
+    });
+    if let Some((store, key)) = &solve_key {
+        if let Some(memo::MemoValue::Solve(rec)) = store.lookup(memo::MemoKind::Solve, *key) {
+            if rec.valid {
+                return CheckReport {
+                    outcome: CheckOutcome::Valid,
+                    stats: TranslationStats {
+                        eij_vars: rec.eij_vars as usize,
+                        other_vars: rec.other_vars as usize,
+                        cnf_vars: rec.cnf_vars as usize,
+                        cnf_clauses: rec.cnf_clauses as usize,
+                        input_nodes: rec.input_nodes as usize,
+                        bool_nodes: rec.bool_nodes as usize,
+                    },
+                    sat_stats: SolverStats {
+                        decisions: rec.decisions,
+                        propagations: rec.propagations,
+                        conflicts: rec.conflicts,
+                        restarts: rec.restarts,
+                        learnt_clauses: rec.learnt_clauses,
+                        deleted_clauses: rec.deleted_clauses,
+                        peak_learnt_literals: rec.peak_learnt_literals,
+                    },
+                    translate_time: translate_start.elapsed(),
+                    sat_time: Duration::ZERO,
+                    proof_check_time: Duration::ZERO,
+                    proof_checked: None,
+                    diagnostics: diags.finish(),
+                };
+            }
+        }
+    }
+
     // 1. memory elimination
     let span_mem = trace::span("evc.mem");
     let no_mem = mem::eliminate(ctx, formula, options.memory);
@@ -262,62 +400,105 @@ pub fn check_validity_cancellable(
 
     drop(span_mem);
 
-    // 2. polarity classification on the pre-UF-elimination formula
-    let span_polarity = trace::span("evc.polarity");
-    let analysis = polarity::analyze(ctx, &[no_mem]);
-    let mut gvars: HashSet<ExprId> = analysis.gvars.clone();
-    let mut gsymbols: HashSet<eufm::Symbol> = HashSet::new();
-    for &gt in &analysis.gterms {
-        match ctx.node(gt) {
-            Node::Uf(sym, _, _) => {
-                gsymbols.insert(*sym);
-            }
-            Node::Var(_, Sort::Mem) => {
-                gvars.insert(gt);
-            }
-            _ => {}
-        }
-    }
-
-    drop(span_polarity);
-
-    // 3. uninterpreted-function elimination
+    // 2. uninterpreted-function elimination. Runs before the polarity
+    // classification: elimination needs only the memory-free formula,
+    // and a memoized classification is resolved against the variable
+    // names reachable from the eliminated root.
     let span_uf = trace::span("evc.uf_elim");
     let elim = match options.uf_scheme {
         UfScheme::NestedIte => uf_elim::eliminate(ctx, no_mem),
         UfScheme::Ackermann => uf_elim::eliminate_ackermann(ctx, no_mem),
     };
-    match options.uf_scheme {
-        UfScheme::NestedIte => {
-            for (&fresh, sym) in &elim.fresh_vars {
-                if gsymbols.contains(sym) {
-                    gvars.insert(fresh);
-                }
-            }
-        }
-        UfScheme::Ackermann => {
-            // The Ackermann constraints compare every application's
-            // arguments and results in negative polarity: re-analyze the
-            // guarded formula so the classification reflects that.
-            let re = polarity::analyze(ctx, &[elim.root]);
-            gvars.extend(re.gvars.iter().copied());
-            for &gt in &re.gterms {
-                if matches!(ctx.node(gt), Node::Var(_, Sort::Mem)) {
-                    gvars.insert(gt);
-                }
-            }
-        }
-    }
-
     if options.audit {
         lint::phase::check_uf_free(ctx, elim.root, &mut diags);
     }
     drop(span_uf);
     bail_if_cancelled!();
 
+    // 3. polarity classification on the pre-UF-elimination formula,
+    // memoized by the pre/post-elimination digests. The stored value is
+    // the sort-tagged g-var names; resolution scans `elim.root` for the
+    // matching nodes and degrades to the cold path on any mismatch.
+    let span_polarity = trace::span("evc.polarity");
+    let classes_key = memo_store.as_ref().map(|store| {
+        let pre = digester.digest(ctx, no_mem);
+        let post = digester.digest(ctx, elim.root);
+        let context = format!(
+            "{}|elim={}",
+            memo_signature(options),
+            eufm::digest::digest_hex(post)
+        );
+        (
+            store.clone(),
+            memo::derive_key(memo::MemoKind::Classes, pre, &context),
+        )
+    });
+    let memoized_classes = classes_key.as_ref().and_then(|(store, key)| {
+        match store.lookup(memo::MemoKind::Classes, *key) {
+            Some(memo::MemoValue::Classes(names)) => resolve_classes(ctx, elim.root, &names),
+            _ => None,
+        }
+    });
+    let classes = match memoized_classes {
+        Some(classes) => classes,
+        None => {
+            let analysis = polarity::analyze(ctx, &[no_mem]);
+            let mut gvars: HashSet<ExprId> = analysis.gvars.clone();
+            let mut gsymbols: HashSet<eufm::Symbol> = HashSet::new();
+            for &gt in &analysis.gterms {
+                match ctx.node(gt) {
+                    Node::Uf(sym, _, _) => {
+                        gsymbols.insert(*sym);
+                    }
+                    Node::Var(_, Sort::Mem) => {
+                        gvars.insert(gt);
+                    }
+                    _ => {}
+                }
+            }
+            match options.uf_scheme {
+                UfScheme::NestedIte => {
+                    for (&fresh, sym) in &elim.fresh_vars {
+                        if gsymbols.contains(sym) {
+                            gvars.insert(fresh);
+                        }
+                    }
+                }
+                UfScheme::Ackermann => {
+                    // The Ackermann constraints compare every application's
+                    // arguments and results in negative polarity: re-analyze the
+                    // guarded formula so the classification reflects that.
+                    let re = polarity::analyze(ctx, &[elim.root]);
+                    gvars.extend(re.gvars.iter().copied());
+                    for &gt in &re.gterms {
+                        if matches!(ctx.node(gt), Node::Var(_, Sort::Mem)) {
+                            gvars.insert(gt);
+                        }
+                    }
+                }
+            }
+            // These counters describe analysis work actually performed,
+            // so the memoized path (which does none) skips them.
+            PE_GTERMS.add(analysis.gterms.len() as u64);
+            PE_PTERMS.add(
+                analysis
+                    .term_vars
+                    .iter()
+                    .filter(|v| analysis.is_pvar(**v))
+                    .count() as u64,
+            );
+            if let Some((store, key)) = &classes_key {
+                if let Some(names) = render_classes(ctx, elim.root, &gvars) {
+                    store.insert(*key, memo::MemoValue::Classes(names));
+                }
+            }
+            Classification { gvars }
+        }
+    };
+    drop(span_polarity);
+
     // 4. Positive-Equality encoding
     let span_pe = trace::span("evc.pe");
-    let classes = Classification { gvars };
     let encoding = match pe::encode_cancellable(ctx, elim.root, &classes, options.max_nodes, cancel)
     {
         Ok(e) => e,
@@ -372,14 +553,6 @@ pub fn check_validity_cancellable(
     stats.other_vars = other_vars;
     stats.bool_nodes = ctx.dag_size(&[prop]);
     PE_EIJ_VARS.add(eij_vars as u64);
-    PE_GTERMS.add(analysis.gterms.len() as u64);
-    PE_PTERMS.add(
-        analysis
-            .term_vars
-            .iter()
-            .filter(|v| analysis.is_pvar(**v))
-            .count() as u64,
-    );
     span_pe.attr("eij_vars", eij_vars);
     drop(span_pe);
     bail_if_cancelled!();
@@ -445,6 +618,32 @@ pub fn check_validity_cancellable(
         Outcome::Unknown(LimitReason::Memory) => CheckOutcome::Unknown(UnknownReason::SatMemory),
         Outcome::Unknown(LimitReason::Cancelled) => CheckOutcome::Unknown(UnknownReason::Cancelled),
     };
+    // Memoize only the decisive *valid* outcome: `Invalid` carries a
+    // model (not in the record), and unknown outcomes depend on the
+    // budget, not the formula.
+    if outcome == CheckOutcome::Valid {
+        if let Some((store, key)) = &solve_key {
+            store.insert(
+                *key,
+                memo::MemoValue::Solve(memo::SolveRecord {
+                    valid: true,
+                    eij_vars: stats.eij_vars as u64,
+                    other_vars: stats.other_vars as u64,
+                    cnf_vars: stats.cnf_vars as u64,
+                    cnf_clauses: stats.cnf_clauses as u64,
+                    input_nodes: stats.input_nodes as u64,
+                    bool_nodes: stats.bool_nodes as u64,
+                    decisions: main_solve.decisions,
+                    propagations: main_solve.propagations,
+                    conflicts: main_solve.conflicts,
+                    restarts: main_solve.restarts,
+                    learnt_clauses: main_solve.learnt_clauses,
+                    deleted_clauses: main_solve.deleted_clauses,
+                    peak_learnt_literals: main_solve.peak_learnt_literals,
+                }),
+            );
+        }
+    }
     CheckReport {
         outcome,
         stats,

@@ -44,7 +44,9 @@ use sat::{Mode, Outcome, Phase, Solver};
 use lint::rewrite::Obligation;
 
 use crate::chain::{self, Update, UpdateChain};
-use crate::check::{check_validity_cancellable, CheckOptions, CheckOutcome, UnknownReason};
+use crate::check::{
+    check_validity_cancellable, memo_signature, CheckOptions, CheckOutcome, UnknownReason,
+};
 use crate::mem::MemoryModel;
 
 /// Obligations discharged by the rewrite engine.
@@ -235,16 +237,24 @@ pub fn rewrite_correctness_budgeted(
         options: *options,
         obligations: 0,
         syntactic_hits: 0,
+        memo_hits: 0,
+        memo: memo::current(),
+        digester: memo::Digester::new(),
         cert: lint::RewriteCertificate::default(),
         cancel: budget.cancel.clone(),
         max_nodes: budget.max_nodes,
     };
     let span = trace::span("evc.rewrite");
     let result = rewrite_with(ctx, input, &mut engine);
-    REWRITE_OBLIGATIONS.add(engine.obligations as u64);
+    // Memoized discharges did no SAT/PE work this run; counting them
+    // would double-bill the pipeline counters across warm sweeps. The
+    // per-run statistics (`RewriteOutcome::obligations`) still count
+    // every obligation, so warm and cold runs report identical stats.
+    REWRITE_OBLIGATIONS.add((engine.obligations - engine.memo_hits) as u64);
     REWRITE_SYNTACTIC.add(engine.syntactic_hits as u64);
     REWRITE_RETIRE_PAIRS.add(engine.cert.deleted_pairs as u64);
     span.attr("obligations", engine.obligations);
+    span.attr("memo_hits", engine.memo_hits);
     span.attr("deleted_pairs", engine.cert.deleted_pairs);
     drop(span);
     (result, engine.cert)
@@ -474,6 +484,18 @@ struct Engine {
     options: RewriteOptions,
     obligations: usize,
     syntactic_hits: usize,
+    /// Obligations answered from the ambient memo store instead of a
+    /// SAT/PE discharge. Always `<= obligations`; never counted into the
+    /// pipeline trace counters.
+    memo_hits: usize,
+    /// The ambient obligation store, captured once at engine
+    /// construction. Lookups happen strictly *after* the syntactic fast
+    /// paths, so the syntactic-hit statistic is warm/cold identical; the
+    /// certificate is recorded before any lookup, so replay audits cover
+    /// memoized discharges too.
+    memo: Option<memo::MemoHandle>,
+    /// Per-run digest cache (valid for this run's context only).
+    digester: memo::Digester,
     /// The justification record: every obligation, logged *before* it is
     /// discharged, so even a failed run certifies what it attempted.
     cert: lint::RewriteCertificate,
@@ -520,6 +542,44 @@ impl Engine {
         }
     }
 
+    /// Digest-derived store key for an obligation, when a store is
+    /// ambient. `signature` canonicalizes whatever can change the answer
+    /// beyond the formula itself (empty for complete propositional SAT;
+    /// the local check options for EUFM goals, since the conservative
+    /// memory model is incomplete).
+    fn memo_key(
+        &mut self,
+        ctx: &Context,
+        goal: ExprId,
+        signature: &str,
+    ) -> Option<(memo::MemoHandle, u128)> {
+        let store = self.memo.clone()?;
+        let digest = self.digester.digest(ctx, goal);
+        let key = memo::derive_key(memo::MemoKind::Obligation, digest, signature);
+        Some((store, key))
+    }
+
+    /// Consumes a pre-derived key: a hit bumps `memo_hits` and returns
+    /// the stored verdict.
+    fn memo_verdict(&mut self, key: &Option<(memo::MemoHandle, u128)>) -> Option<bool> {
+        let (store, key) = key.as_ref()?;
+        match store.lookup(memo::MemoKind::Obligation, *key) {
+            Some(memo::MemoValue::Verdict(v)) => {
+                self.memo_hits += 1;
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Stores a freshly discharged verdict. Only decisive answers reach
+    /// here — cancelled or budget-limited outcomes are never memoized.
+    fn memo_store(key: &Option<(memo::MemoHandle, u128)>, valid: bool) {
+        if let Some((store, key)) = key {
+            store.insert(*key, memo::MemoValue::Verdict(valid));
+        }
+    }
+
     /// Decides a purely propositional validity query with the SAT solver.
     /// Does *not* record a certificate — the callers record the obligation
     /// in its un-lowered form first.
@@ -532,13 +592,19 @@ impl Engine {
         if f == Context::FALSE {
             return false;
         }
+        let key = self.memo_key(ctx, f, "prop");
+        if let Some(v) = self.memo_verdict(&key) {
+            return v;
+        }
         let mut tr = match sat::tseitin::translate(ctx, f, Mode::Full, Phase::Negative) {
             Ok(tr) => tr,
             Err(_) => return false,
         };
         tr.assert_negated_root();
         let mut solver = Solver::from_cnf(&tr.cnf);
-        matches!(solver.solve(), Outcome::Unsat)
+        let valid = matches!(solver.solve(), Outcome::Unsat);
+        Engine::memo_store(&key, valid);
+        valid
     }
 
     /// Records and decides a propositional validity obligation.
@@ -758,13 +824,27 @@ impl Engine {
                     )
                 {
                     self.syntactic_hits += 1;
+                } else if let Some(v) = {
+                    let key = self.memo_key(ctx, goal, &memo_signature(&self.options.local));
+                    self.memo_verdict(&key)
+                } {
+                    if !v {
+                        return Err(RewriteError::Slice {
+                            slice: i,
+                            reason: "forwarded operands differ from the specification-side \
+                                     reads (forwarding logic suspect)"
+                                .to_owned(),
+                        });
+                    }
                 } else {
+                    let key = self.memo_key(ctx, goal, &memo_signature(&self.options.local));
                     // Cheap refutation first: a sampled counterexample of the
                     // local obligation is definite evidence the slice does
                     // not conform (this is what makes diagnosing a buggy
                     // slice fast); only an all-pass goes to the full local
                     // Positive-Equality proof.
                     if eufm::oracle::check_sampled_with_domain(ctx, goal, 256, 8).is_invalid() {
+                        Engine::memo_store(&key, false);
                         return Err(RewriteError::Slice {
                             slice: i,
                             reason: "forwarded operands differ from the specification-side \
@@ -775,14 +855,15 @@ impl Engine {
                     let report =
                         check_validity_cancellable(ctx, goal, &self.options.local, &self.cancel);
                     match report.outcome {
-                        CheckOutcome::Valid => {}
+                        CheckOutcome::Valid => Engine::memo_store(&key, true),
                         CheckOutcome::Invalid { .. } => {
+                            Engine::memo_store(&key, false);
                             return Err(RewriteError::Slice {
                                 slice: i,
                                 reason: "forwarded operands differ from the specification-side \
                                          reads (forwarding logic suspect)"
                                     .to_owned(),
-                            })
+                            });
                         }
                         CheckOutcome::Unknown(UnknownReason::Cancelled) => {
                             return Err(RewriteError::Cancelled)
@@ -903,9 +984,21 @@ impl Engine {
         let eq = ctx.eq(a, b);
         self.cert
             .record(i, rule, what.to_owned(), Obligation::EufmValid(eq));
+        let key = self.memo_key(ctx, eq, &memo_signature(&self.options.local));
+        if let Some(v) = self.memo_verdict(&key) {
+            return if v {
+                Ok(())
+            } else {
+                Err(RewriteError::Slice {
+                    slice: i,
+                    reason: format!("{what} differs"),
+                })
+            };
+        }
         // Sampled refutation before the full proof (see the forwarding
         // obligation above for the rationale).
         if eufm::oracle::check_sampled_with_domain(ctx, eq, 256, 8).is_invalid() {
+            Engine::memo_store(&key, false);
             return Err(RewriteError::Slice {
                 slice: i,
                 reason: format!("{what} differs"),
@@ -913,10 +1006,14 @@ impl Engine {
         }
         let report = check_validity_cancellable(ctx, eq, &self.options.local, &self.cancel);
         if report.outcome.is_valid() {
+            Engine::memo_store(&key, true);
             Ok(())
         } else if report.outcome == CheckOutcome::Unknown(UnknownReason::Cancelled) {
             Err(RewriteError::Cancelled)
         } else {
+            if report.outcome.is_invalid() {
+                Engine::memo_store(&key, false);
+            }
             Err(RewriteError::Slice {
                 slice: i,
                 reason: format!("{what} differs"),

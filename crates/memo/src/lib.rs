@@ -1,0 +1,159 @@
+//! `rob-memo` — incremental, query-based obligation memoization.
+//!
+//! The verification pipeline is a tower of deterministic, repeatable
+//! work: R1–R5 rewrite obligations, Positive-Equality classifications,
+//! and whole-formula solves recur almost unchanged between neighboring
+//! sweep cells — an `(N, k)` job and its `(N+1, k)` neighbor share
+//! nearly everything. This crate is the salsa-style content-addressed
+//! store that turns that repetition into reuse:
+//!
+//! - queries are keyed by the *structure* of the formula via
+//!   [`eufm::digest`] (stable across contexts and processes), FNV-folded
+//!   with a query-kind tag and any options that can change the answer;
+//! - the build fingerprint (`core::jobkey::CODE_FINGERPRINT`, injected
+//!   at construction) is folded into every key, so a code change
+//!   invalidates the whole store structurally;
+//! - the [`ObligationStore`] is sharded for concurrent pool workers and
+//!   optionally persists to a JSONL journal with the same defensive
+//!   replay discipline as the serve result cache ([`persist`]);
+//! - consumers deep in the pipeline (`evc::rewrite`, `evc::check`) reach
+//!   the store through an ambient thread-local [`MemoHandle`] bound by
+//!   the orchestration layer ([`bind`]/[`current`]), mirroring how
+//!   `trace` sessions work — `CheckOptions`/`RewriteOptions` stay `Copy`
+//!   and signature-stable.
+//!
+//! Hit/miss traffic feeds the `memo.hits` / `memo.misses` / `memo.bytes`
+//! metrics, and [`ObligationStore::stats`] gives per-kind hit rates for
+//! `campaign --profile` and `robctl stats`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod persist;
+mod store;
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use eufm::digest::{fnv1a_128, FNV128_OFFSET};
+
+pub use eufm::digest::Digester;
+pub use persist::ReplayReport;
+pub use store::{MemoKind, MemoSnapshot, MemoValue, ObligationStore, RewriteRecord, SolveRecord};
+
+/// A shared handle to one obligation store. Cheap to clone; all clones
+/// see the same entries and counters.
+pub type MemoHandle = Arc<ObligationStore>;
+
+/// Creates a fresh in-memory store handle gated by `fingerprint`.
+pub fn new_handle(fingerprint: impl Into<String>) -> MemoHandle {
+    Arc::new(ObligationStore::new(fingerprint))
+}
+
+/// Derives a store key from a query kind, a formula digest, and a
+/// canonical rendering of whatever options can change the answer.
+///
+/// The kind tag keeps query spaces disjoint; the context string is for
+/// inputs like the memory model, transitivity setting, or UF scheme —
+/// anything that makes the same formula answer differently.
+pub fn derive_key(kind: MemoKind, digest: u128, context: &str) -> u128 {
+    let mut state = fnv1a_128(FNV128_OFFSET, &[kind_tag(kind)]);
+    state = fnv1a_128(state, &digest.to_be_bytes());
+    fnv1a_128(state, context.as_bytes())
+}
+
+fn kind_tag(kind: MemoKind) -> u8 {
+    match kind {
+        MemoKind::Obligation => b'O',
+        MemoKind::Classes => b'C',
+        MemoKind::Solve => b'S',
+        MemoKind::Rewrite => b'R',
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<MemoHandle>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Binds `handle` as the ambient store for this thread until the guard
+/// drops. Bindings nest; the innermost wins.
+///
+/// The orchestration layer (verifier, campaign worker, daemon worker)
+/// binds once around a run; the pipeline reads [`current`] at each
+/// memoization point.
+#[must_use = "the binding ends when the guard drops"]
+pub fn bind(handle: MemoHandle) -> BindGuard {
+    CURRENT.with(|stack| stack.borrow_mut().push(handle));
+    BindGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// The ambient store bound to this thread, if any.
+pub fn current() -> Option<MemoHandle> {
+    CURRENT.with(|stack| stack.borrow().last().cloned())
+}
+
+/// RAII guard for a [`bind`] scope.
+pub struct BindGuard {
+    // !Send: the guard must drop on the thread that bound it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for BindGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_nests_and_unwinds() {
+        assert!(current().is_none());
+        let outer = new_handle("fp-outer");
+        let inner = new_handle("fp-inner");
+        let g1 = bind(outer.clone());
+        assert_eq!(current().unwrap().fingerprint(), "fp-outer");
+        {
+            let _g2 = bind(inner);
+            assert_eq!(current().unwrap().fingerprint(), "fp-inner");
+        }
+        assert_eq!(current().unwrap().fingerprint(), "fp-outer");
+        drop(g1);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn keys_separate_kinds_and_contexts() {
+        let d = 0x1234_5678u128;
+        let a = derive_key(MemoKind::Obligation, d, "");
+        let b = derive_key(MemoKind::Classes, d, "");
+        let c = derive_key(MemoKind::Obligation, d, "mem=c");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_key(MemoKind::Obligation, d, ""));
+    }
+
+    #[test]
+    fn handle_is_shared_across_clones() {
+        let handle = new_handle("fp");
+        let clone = handle.clone();
+        handle.insert(
+            derive_key(MemoKind::Obligation, 1, ""),
+            MemoValue::Verdict(true),
+        );
+        assert_eq!(
+            clone.lookup(
+                MemoKind::Obligation,
+                derive_key(MemoKind::Obligation, 1, "")
+            ),
+            Some(MemoValue::Verdict(true))
+        );
+    }
+}

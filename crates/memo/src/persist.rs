@@ -1,0 +1,438 @@
+//! JSONL persistence for the obligation store.
+//!
+//! One `{"fp", "kind", "key", "sum", "value"}` object per line. Replay
+//! follows the same defensive discipline as the serve result cache:
+//!
+//! - lines are read as raw bytes, so a torn final append or injected
+//!   garbage (possibly non-UTF-8) degrades to a skipped line, never an
+//!   I/O error that fails startup;
+//! - each record carries an FNV checksum over its kind, key, and value
+//!   rendering; a mismatch (corruption, hand-editing) rejects the line;
+//! - records whose fingerprint does not match the running build are
+//!   counted as stale and skipped — the journal invalidation story is
+//!   the `CODE_FINGERPRINT` embedded in every record and folded into
+//!   every in-memory key;
+//! - duplicate keys resolve last-wins, so an append-mostly journal stays
+//!   correct; [`flush`] rewrites it compacted, atomically (sibling temp
+//!   file, fsync, rename).
+//!
+//! Replay does not count as lookup traffic.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, Json};
+use crate::store::{MemoKind, MemoValue, ObligationStore, RewriteRecord, SolveRecord};
+
+/// Counters describing one journal replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records accepted into the store.
+    pub loaded: usize,
+    /// Lines rejected (parse failure, checksum mismatch, malformed
+    /// payload).
+    pub rejected: usize,
+    /// Valid records skipped because their code fingerprint does not
+    /// match this build.
+    pub stale: usize,
+}
+
+/// FNV-1a/64, matching the `JobKey` digest primitive: the journal
+/// checksum does not need collision resistance, only corruption
+/// detection.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn value_to_json(value: &MemoValue) -> Json {
+    match value {
+        MemoValue::Verdict(v) => Json::obj([("verdict", Json::Bool(*v))]),
+        MemoValue::Classes(names) => {
+            Json::obj([("classes", Json::Arr(names.iter().map(Json::str).collect()))])
+        }
+        MemoValue::Solve(s) => Json::obj([
+            ("valid", Json::Bool(s.valid)),
+            (
+                "tr",
+                Json::Arr(
+                    [
+                        s.eij_vars,
+                        s.other_vars,
+                        s.cnf_vars,
+                        s.cnf_clauses,
+                        s.input_nodes,
+                        s.bool_nodes,
+                    ]
+                    .map(Json::Num)
+                    .into(),
+                ),
+            ),
+            (
+                "sat",
+                Json::Arr(
+                    [
+                        s.decisions,
+                        s.propagations,
+                        s.conflicts,
+                        s.restarts,
+                        s.learnt_clauses,
+                        s.deleted_clauses,
+                        s.peak_learnt_literals,
+                    ]
+                    .map(Json::Num)
+                    .into(),
+                ),
+            ),
+        ]),
+        MemoValue::Rewrite(r) => Json::obj([
+            (
+                "rw",
+                Json::Arr(
+                    [r.obligations, r.syntactic_hits, r.retire_pairs]
+                        .map(Json::Num)
+                        .into(),
+                ),
+            ),
+            (
+                "formula",
+                Json::str(eufm::digest::digest_hex(r.formula_digest)),
+            ),
+        ]),
+    }
+}
+
+fn value_from_json(kind: MemoKind, doc: &Json) -> Result<MemoValue, String> {
+    match kind {
+        MemoKind::Obligation => doc
+            .get("verdict")
+            .and_then(Json::as_bool)
+            .map(MemoValue::Verdict)
+            .ok_or_else(|| "missing verdict".to_owned()),
+        MemoKind::Classes => {
+            let items = doc
+                .get("classes")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "missing classes".to_owned())?;
+            let names = items
+                .iter()
+                .map(|item| item.as_str().map(str::to_owned))
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| "non-string class entry".to_owned())?;
+            Ok(MemoValue::Classes(names))
+        }
+        MemoKind::Solve => {
+            let valid = doc
+                .get("valid")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| "missing valid".to_owned())?;
+            let nums = |field: &str, arity: usize| -> Result<Vec<u64>, String> {
+                let items = doc
+                    .get(field)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("missing {field}"))?;
+                if items.len() != arity {
+                    return Err(format!("{field} arity {} != {arity}", items.len()));
+                }
+                items
+                    .iter()
+                    .map(|item| item.as_u64())
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| format!("non-numeric {field} entry"))
+            };
+            let tr = nums("tr", 6)?;
+            let sat = nums("sat", 7)?;
+            Ok(MemoValue::Solve(SolveRecord {
+                valid,
+                eij_vars: tr[0],
+                other_vars: tr[1],
+                cnf_vars: tr[2],
+                cnf_clauses: tr[3],
+                input_nodes: tr[4],
+                bool_nodes: tr[5],
+                decisions: sat[0],
+                propagations: sat[1],
+                conflicts: sat[2],
+                restarts: sat[3],
+                learnt_clauses: sat[4],
+                deleted_clauses: sat[5],
+                peak_learnt_literals: sat[6],
+            }))
+        }
+        MemoKind::Rewrite => {
+            let items = doc
+                .get("rw")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "missing rw".to_owned())?;
+            if items.len() != 3 {
+                return Err(format!("rw arity {} != 3", items.len()));
+            }
+            let nums = items
+                .iter()
+                .map(|item| item.as_u64())
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| "non-numeric rw entry".to_owned())?;
+            let formula_hex = doc
+                .get("formula")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "missing formula".to_owned())?;
+            let formula_digest = eufm::digest::digest_from_hex(formula_hex)
+                .ok_or_else(|| format!("bad formula digest {formula_hex:?}"))?;
+            Ok(MemoValue::Rewrite(RewriteRecord {
+                obligations: nums[0],
+                syntactic_hits: nums[1],
+                retire_pairs: nums[2],
+                formula_digest,
+            }))
+        }
+    }
+}
+
+/// Encodes one journal record. `salted_key` is the store's in-memory
+/// key (fingerprint already folded in).
+pub fn encode_record(fingerprint: &str, salted_key: u128, value: &MemoValue) -> String {
+    let key_hex = eufm::digest::digest_hex(salted_key);
+    let payload = value_to_json(value);
+    let sum = checksum(value.kind(), &key_hex, &payload);
+    Json::obj([
+        ("fp", Json::str(fingerprint)),
+        ("kind", Json::str(value.kind().label())),
+        ("key", Json::str(&key_hex)),
+        ("sum", Json::str(format!("{sum:016x}"))),
+        ("value", payload),
+    ])
+    .to_string()
+}
+
+fn checksum(kind: MemoKind, key_hex: &str, payload: &Json) -> u64 {
+    fnv1a_64(format!("{}|{key_hex}|{payload}", kind.label()).as_bytes())
+}
+
+/// Decodes one journal record, validating the checksum.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field or a checksum
+/// mismatch.
+pub fn decode_record(line: &str) -> Result<(String, u128, MemoValue), String> {
+    let doc = json::parse(line)?;
+    let fp = doc
+        .get("fp")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing fp".to_owned())?;
+    let kind_label = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing kind".to_owned())?;
+    let kind =
+        MemoKind::from_label(kind_label).ok_or_else(|| format!("unknown kind {kind_label:?}"))?;
+    let key_hex = doc
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing key".to_owned())?;
+    let key =
+        eufm::digest::digest_from_hex(key_hex).ok_or_else(|| format!("bad key {key_hex:?}"))?;
+    let payload = doc.get("value").ok_or_else(|| "missing value".to_owned())?;
+    let stored_sum = doc
+        .get("sum")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing sum".to_owned())?;
+    let expected = format!("{:016x}", checksum(kind, key_hex, payload));
+    if stored_sum != expected {
+        return Err(format!(
+            "checksum mismatch: stored {stored_sum}, recomputed {expected}"
+        ));
+    }
+    let value = value_from_json(kind, payload)?;
+    Ok((fp.to_owned(), key, value))
+}
+
+/// Replays `path` into `store` if it exists; see the module docs for the
+/// rejection rules.
+pub(crate) fn replay(store: &mut ObligationStore, path: &Path) -> std::io::Result<ReplayReport> {
+    let mut report = ReplayReport::default();
+    if !path.exists() {
+        return Ok(report);
+    }
+    let file = std::fs::File::open(path)?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("rob-memo: journal read stopped: {e}");
+                break;
+            }
+        }
+        let Ok(line) = std::str::from_utf8(&raw) else {
+            eprintln!("rob-memo: skipping non-UTF-8 journal line");
+            report.rejected += 1;
+            continue;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match decode_record(line) {
+            Ok((fp, key, value)) => {
+                if fp == store.fingerprint() {
+                    store.insert_salted(key, value);
+                    report.loaded += 1;
+                } else {
+                    report.stale += 1;
+                }
+            }
+            Err(reason) => {
+                eprintln!("rob-memo: skipping bad journal line: {reason}");
+                report.rejected += 1;
+            }
+        }
+    }
+    // Replay is not traffic: don't let it skew the hit rate.
+    store.reset_traffic();
+    Ok(report)
+}
+
+/// Writes the store's contents to its attached journal, compacted, via
+/// an atomic temp-file rename.
+pub(crate) fn flush(store: &ObligationStore) -> std::io::Result<()> {
+    let Some(path) = &store.journal else {
+        return Ok(());
+    };
+    let tmp = sibling_tmp(path);
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut out = BufWriter::new(file);
+        for (key, value) in store.sorted_entries() {
+            let mut line = encode_record(store.fingerprint(), key, &value).into_bytes();
+            chaos::mangle("memo.store.flush-line", &mut line);
+            out.write_all(&line)?;
+            out.write_all(b"\n")?;
+        }
+        out.flush()?;
+        // Make the bytes durable before the rename publishes them:
+        // otherwise a crash can leave a renamed-but-empty journal.
+        out.get_ref().sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn sibling_tmp(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rob-memo-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn records_roundtrip_and_reject_checksum_mismatch() {
+        let value = MemoValue::Solve(SolveRecord {
+            valid: true,
+            eij_vars: 3,
+            cnf_clauses: 99,
+            peak_learnt_literals: 7,
+            ..Default::default()
+        });
+        let line = encode_record("0.1.0+s2", 0xdead_beef, &value);
+        let (fp, key, back) = decode_record(&line).expect("decode");
+        assert_eq!(fp, "0.1.0+s2");
+        assert_eq!(key, 0xdead_beef);
+        assert_eq!(back, value);
+        let tampered = line.replace("\"valid\":true", "\"valid\":false");
+        assert!(decode_record(&tampered).unwrap_err().contains("checksum"));
+        assert!(decode_record("not json").is_err());
+
+        let rewrite = MemoValue::Rewrite(RewriteRecord {
+            obligations: 12,
+            syntactic_hits: 5,
+            retire_pairs: 2,
+            formula_digest: 0x1234_5678_9abc_def0,
+        });
+        let line = encode_record("0.1.0+s2", 0xfeed, &rewrite);
+        let (_, key, back) = decode_record(&line).expect("decode rewrite");
+        assert_eq!(key, 0xfeed);
+        assert_eq!(back, rewrite);
+    }
+
+    #[test]
+    fn replay_is_last_wins_fingerprint_gated_and_not_traffic() {
+        let dir = tmp_dir("replay");
+        let path = dir.join("memo.jsonl");
+        let text = format!(
+            "{}\ngarbage line\n{}\n{}\n",
+            encode_record("fp-a", 1, &MemoValue::Verdict(false)),
+            encode_record("fp-b", 2, &MemoValue::Verdict(true)),
+            encode_record("fp-a", 1, &MemoValue::Verdict(true)),
+        );
+        std::fs::write(&path, text).unwrap();
+        let (store, report) = ObligationStore::with_store("fp-a", &path).unwrap();
+        assert_eq!(
+            report,
+            ReplayReport {
+                loaded: 2,
+                rejected: 1,
+                stale: 1
+            }
+        );
+        assert_eq!(store.len(), 1, "duplicate key collapses last-wins");
+        let snap = store.stats();
+        assert_eq!((snap.hits, snap.misses), (0, 0), "replay is not traffic");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_compacts_and_replays_cleanly() {
+        let dir = tmp_dir("flush");
+        let path = dir.join("memo.jsonl");
+        let (store, _) = ObligationStore::with_store("fp", &path).unwrap();
+        store.insert(10, MemoValue::Verdict(true));
+        store.insert(11, MemoValue::Classes(vec!["t:a".into()]));
+        store.insert(
+            12,
+            MemoValue::Solve(SolveRecord {
+                valid: true,
+                ..Default::default()
+            }),
+        );
+        store.flush().unwrap();
+        let (back, report) = ObligationStore::with_store("fp", &path).unwrap();
+        assert_eq!(report.loaded, 3);
+        assert_eq!(report.rejected + report.stale, 0);
+        assert_eq!(back.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_and_non_utf8_trailing_writes_degrade_to_skipped_lines() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("memo.jsonl");
+        let good = encode_record("fp", 5, &MemoValue::Verdict(true));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(good.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&good.as_bytes()[..good.len() / 2]);
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"\xff\xfe{garbage");
+        std::fs::write(&path, bytes).unwrap();
+        let (store, report) = ObligationStore::with_store("fp", &path).unwrap();
+        assert_eq!(report.loaded, 1, "the intact record replays");
+        assert_eq!(report.rejected, 2, "torn + non-UTF-8 lines are skipped");
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,434 @@
+//! The sharded, content-addressed obligation store.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use eufm::digest::{fnv1a_128, FNV128_OFFSET};
+
+use crate::persist;
+
+/// Lock shards; lookups hash to a shard so concurrent pool workers
+/// rarely contend on the same lock.
+pub(crate) const SHARDS: usize = 16;
+
+static MEMO_HITS: trace::Counter = trace::Counter::new("memo.hits");
+static MEMO_MISSES: trace::Counter = trace::Counter::new("memo.misses");
+static MEMO_BYTES: trace::Counter = trace::Counter::new("memo.bytes");
+
+/// What kind of query a memo entry answers.
+///
+/// The kind is folded into the key (so kinds can never alias) and
+/// accounted separately, giving per-phase hit rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoKind {
+    /// An R1–R5 rewrite-obligation discharge or per-obligation
+    /// mini-solve verdict (`true` = valid).
+    Obligation,
+    /// A Positive-Equality classification: the general-equation
+    /// variables of one sliced formula.
+    Classes,
+    /// A full main-solve result: verdict plus translation and solver
+    /// statistics, replayed so warm runs report identical stats.
+    Solve,
+    /// A whole rewrite phase: the stats of a *successful* R1–R5 pass
+    /// plus the digest of the rewritten formula, letting a warm run
+    /// chain straight into the [`MemoKind::Solve`] record without
+    /// re-rewriting.
+    Rewrite,
+}
+
+impl MemoKind {
+    pub(crate) const ALL: [MemoKind; 4] = [
+        MemoKind::Obligation,
+        MemoKind::Classes,
+        MemoKind::Solve,
+        MemoKind::Rewrite,
+    ];
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            MemoKind::Obligation => 0,
+            MemoKind::Classes => 1,
+            MemoKind::Solve => 2,
+            MemoKind::Rewrite => 3,
+        }
+    }
+
+    /// Stable journal label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoKind::Obligation => "obligation",
+            MemoKind::Classes => "classes",
+            MemoKind::Solve => "solve",
+            MemoKind::Rewrite => "rewrite",
+        }
+    }
+
+    /// Inverse of [`MemoKind::label`].
+    pub fn from_label(label: &str) -> Option<MemoKind> {
+        MemoKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// A memoized main-solve outcome: the verdict plus every statistic the
+/// caller would otherwise have measured, so a warm run's report is
+/// field-for-field identical to the cold run's.
+///
+/// Only *valid* (and decisively invalid) outcomes are stored; cancelled
+/// or resource-limited outcomes are never memoized — they depend on the
+/// budget, not the formula.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveRecord {
+    /// Whether the formula was valid.
+    pub valid: bool,
+    /// `e_ij` equality-encoding variables.
+    pub eij_vars: u64,
+    /// Other primary Boolean variables.
+    pub other_vars: u64,
+    /// CNF variables after Tseitin translation.
+    pub cnf_vars: u64,
+    /// CNF clauses after Tseitin translation.
+    pub cnf_clauses: u64,
+    /// EUFM DAG nodes of the input formula.
+    pub input_nodes: u64,
+    /// DAG nodes of the propositional formula.
+    pub bool_nodes: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// SAT propagations.
+    pub propagations: u64,
+    /// SAT conflicts.
+    pub conflicts: u64,
+    /// SAT restarts.
+    pub restarts: u64,
+    /// Learnt clauses retained at the end of the solve.
+    pub learnt_clauses: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Peak learnt-literal count.
+    pub peak_learnt_literals: u64,
+}
+
+/// A memoized successful rewrite phase. Failed rewrites (slice
+/// diagnoses, budget trips) are never stored — diagnoses carry
+/// un-recorded detail and budget trips depend on the budget, not the
+/// formula.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteRecord {
+    /// Machine-checked obligations discharged.
+    pub obligations: u64,
+    /// Obligations discharged by the syntactic fast path.
+    pub syntactic_hits: u64,
+    /// Retire-width update pairs merged.
+    pub retire_pairs: u64,
+    /// Content digest of the rewritten formula — the
+    /// [`MemoKind::Solve`] lookup digest of the follow-on check.
+    pub formula_digest: u128,
+}
+
+/// A stored answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoValue {
+    /// An obligation verdict (`true` = the obligation is valid).
+    Verdict(bool),
+    /// PE classification: sort-tagged general-variable names
+    /// (`"t:name"`, `"m:name"`, `"b:name"`), sorted.
+    Classes(Vec<String>),
+    /// A full solve record.
+    Solve(SolveRecord),
+    /// A full rewrite-phase record.
+    Rewrite(RewriteRecord),
+}
+
+impl MemoValue {
+    /// The kind of query this value answers (implied by the variant).
+    pub fn kind(&self) -> MemoKind {
+        match self {
+            MemoValue::Verdict(_) => MemoKind::Obligation,
+            MemoValue::Classes(_) => MemoKind::Classes,
+            MemoValue::Solve(_) => MemoKind::Solve,
+            MemoValue::Rewrite(_) => MemoKind::Rewrite,
+        }
+    }
+
+    /// Rough in-memory footprint, feeding the `memo.bytes` gauge.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        let payload = match self {
+            MemoValue::Verdict(_) => 1,
+            MemoValue::Classes(names) => names.iter().map(|n| n.len() + 24).sum(),
+            MemoValue::Solve(_) => std::mem::size_of::<SolveRecord>(),
+            MemoValue::Rewrite(_) => std::mem::size_of::<RewriteRecord>(),
+        };
+        // Key + shard-map overhead.
+        (payload + 16 + 32) as u64
+    }
+}
+
+/// Counters describing one store at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoSnapshot {
+    /// Total lookup hits (replay excluded).
+    pub hits: u64,
+    /// Total lookup misses.
+    pub misses: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Approximate stored bytes.
+    pub bytes: u64,
+    /// Per-kind `(hits, misses)`, indexed like [`MemoKind::index`]:
+    /// obligation, classes, solve, rewrite.
+    pub by_kind: [(u64, u64); 4],
+}
+
+impl MemoSnapshot {
+    /// `hits / (hits + misses)`, or 0 with no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded map from content digest to memoized answer.
+///
+/// The store is keyed by *salted* digests: the code fingerprint given at
+/// construction is FNV-folded into every key, so entries produced by a
+/// different build can never alias — the same invalidation discipline as
+/// [`JobKey`]'s embedded fingerprint, enforced structurally.
+///
+/// The store is unbounded: obligation records are tens of bytes and a
+/// paper-scale sweep stores low millions of them, far below the solver's
+/// own working set. `memo.bytes` tracks the footprint for operators.
+pub struct ObligationStore {
+    shards: Vec<Mutex<HashMap<u128, MemoValue>>>,
+    fingerprint: String,
+    salt: u128,
+    hits: [AtomicU64; 4],
+    misses: [AtomicU64; 4],
+    bytes: AtomicU64,
+    pub(crate) journal: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for ObligationStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObligationStore")
+            .field("fingerprint", &self.fingerprint)
+            .field("entries", &self.len())
+            .field("journal", &self.journal)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObligationStore {
+    /// An empty in-memory store gated by `fingerprint`.
+    pub fn new(fingerprint: impl Into<String>) -> Self {
+        let fingerprint = fingerprint.into();
+        let salt = fnv1a_128(FNV128_OFFSET, fingerprint.as_bytes());
+        ObligationStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            fingerprint,
+            salt,
+            hits: Default::default(),
+            misses: Default::default(),
+            bytes: AtomicU64::new(0),
+            journal: None,
+        }
+    }
+
+    /// Attaches a JSONL journal and replays it if it exists; see
+    /// [`crate::persist`] for the defensive-replay rules.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors reading an existing journal; malformed
+    /// content is skipped and counted, never fatal.
+    pub fn with_store(
+        fingerprint: impl Into<String>,
+        path: impl Into<PathBuf>,
+    ) -> std::io::Result<(Self, persist::ReplayReport)> {
+        let mut store = ObligationStore::new(fingerprint);
+        let path = path.into();
+        let report = persist::replay(&mut store, &path)?;
+        store.journal = Some(path);
+        Ok((store, report))
+    }
+
+    /// The code fingerprint this store accepts.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    fn shard(&self, salted: u128) -> &Mutex<HashMap<u128, MemoValue>> {
+        &self.shards[(salted as usize) & (SHARDS - 1)]
+    }
+
+    /// Folds the build fingerprint into a content key.
+    pub(crate) fn salted(&self, key: u128) -> u128 {
+        fnv1a_128(self.salt, &key.to_be_bytes())
+    }
+
+    /// Looks up a memoized answer, counting a hit or a miss (globally
+    /// via `memo.hits`/`memo.misses` and per kind).
+    pub fn lookup(&self, kind: MemoKind, key: u128) -> Option<MemoValue> {
+        let salted = self.salted(key);
+        let found = self
+            .shard(salted)
+            .lock()
+            .expect("memo shard poisoned")
+            .get(&salted)
+            .cloned();
+        match found {
+            Some(value) => {
+                MEMO_HITS.inc();
+                self.hits[kind.index()].fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                MEMO_MISSES.inc();
+                self.misses[kind.index()].fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) a memoized answer. The kind is implied by
+    /// the value variant and already folded into `key` by the caller.
+    pub fn insert(&self, key: u128, value: MemoValue) {
+        let salted = self.salted(key);
+        self.insert_salted(salted, value);
+    }
+
+    /// Raw insert of an already-salted key — the replay path, which must
+    /// not re-salt (journal lines store salted keys).
+    pub(crate) fn insert_salted(&self, salted: u128, value: MemoValue) {
+        let added = value.approx_bytes();
+        let old = self
+            .shard(salted)
+            .lock()
+            .expect("memo shard poisoned")
+            .insert(salted, value);
+        let removed = old.map_or(0, |v| v.approx_bytes());
+        if added >= removed {
+            let delta = added - removed;
+            self.bytes.fetch_add(delta, Ordering::Relaxed);
+            MEMO_BYTES.add(delta);
+        } else {
+            self.bytes.fetch_sub(removed - added, Ordering::Relaxed);
+        }
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resets the hit/miss accounting (journal replay is not traffic).
+    pub(crate) fn reset_traffic(&self) {
+        for counter in self.hits.iter().chain(self.misses.iter()) {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> MemoSnapshot {
+        let mut by_kind = [(0u64, 0u64); 4];
+        let mut hits = 0;
+        let mut misses = 0;
+        for kind in MemoKind::ALL {
+            let h = self.hits[kind.index()].load(Ordering::Relaxed);
+            let m = self.misses[kind.index()].load(Ordering::Relaxed);
+            by_kind[kind.index()] = (h, m);
+            hits += h;
+            misses += m;
+        }
+        MemoSnapshot {
+            hits,
+            misses,
+            entries: self.len(),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            by_kind,
+        }
+    }
+
+    /// All entries, sorted by salted key — the deterministic journal
+    /// order.
+    pub(crate) fn sorted_entries(&self) -> Vec<(u128, MemoValue)> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("memo shard poisoned");
+            all.extend(shard.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        all.sort_by_key(|(k, _)| *k);
+        all
+    }
+
+    /// Writes the current contents to the attached journal, compacted,
+    /// via an atomic temp-file rename. No-op without a journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&self) -> std::io::Result<()> {
+        persist::flush(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting_per_kind() {
+        let store = ObligationStore::new("test+s2");
+        assert!(store.lookup(MemoKind::Obligation, 7).is_none());
+        store.insert(7, MemoValue::Verdict(true));
+        assert_eq!(
+            store.lookup(MemoKind::Obligation, 7),
+            Some(MemoValue::Verdict(true))
+        );
+        store.insert(9, MemoValue::Solve(SolveRecord::default()));
+        assert!(store.lookup(MemoKind::Solve, 9).is_some());
+        let snap = store.stats();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.entries, 2);
+        assert_eq!(snap.by_kind[MemoKind::Obligation.index()], (1, 1));
+        assert_eq!(snap.by_kind[MemoKind::Solve.index()], (1, 0));
+        assert!(snap.bytes > 0);
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_fingerprints_cannot_alias() {
+        let a = ObligationStore::new("build-a");
+        let b = ObligationStore::new("build-b");
+        assert_ne!(
+            a.salted(42),
+            b.salted(42),
+            "fingerprint is folded into every key"
+        );
+    }
+
+    #[test]
+    fn overwrite_keeps_byte_accounting_consistent() {
+        let store = ObligationStore::new("test");
+        store.insert(1, MemoValue::Classes(vec!["t:a".into(), "t:b".into()]));
+        let big = store.stats().bytes;
+        store.insert(1, MemoValue::Classes(vec![]));
+        assert!(store.stats().bytes < big);
+        assert_eq!(store.len(), 1);
+    }
+}

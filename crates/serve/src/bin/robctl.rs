@@ -122,6 +122,10 @@ fn run() -> Result<ExitCode, String> {
                     println!("  cache evictions {:>10}", s.cache_evictions);
                     println!("  queue depth     {:>10}", s.queue_depth);
                     println!("  active jobs     {:>10}", s.active_jobs);
+                    println!("  memo hits       {:>10}", s.memo_hits);
+                    println!("  memo misses     {:>10}", s.memo_misses);
+                    println!("  memo hit rate   {:>9.1}%", s.memo_hit_rate * 100.0);
+                    println!("  memo entries    {:>10}", s.memo_entries);
                     println!("  p50 latency     {:>10.3}s", s.p50.as_secs_f64());
                     println!("  p95 latency     {:>10.3}s", s.p95.as_secs_f64());
                     Ok(ExitCode::SUCCESS)

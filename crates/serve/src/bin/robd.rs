@@ -31,6 +31,9 @@ fn main() -> ExitCode {
                 .map(|v: f64| config.timeout = Some(Duration::from_secs_f64(v))),
             "--cache" => parse(&mut args, &arg).map(|v: usize| config.cache_capacity = v.max(1)),
             "--persist" => take(&mut args, &arg).map(|v| config.persist_path = Some(v.into())),
+            "--memo-persist" => {
+                take(&mut args, &arg).map(|v| config.memo_persist_path = Some(v.into()))
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -61,6 +64,12 @@ fn main() -> ExitCode {
             replay.loaded, replay.stale, replay.rejected
         );
     }
+    if let Some(replay) = handle.memo_replay_report() {
+        println!(
+            "rob-serve memo replay: {} loaded, {} stale, {} rejected",
+            replay.loaded, replay.stale, replay.rejected
+        );
+    }
     println!("rob-serve listening on {}", handle.addr());
     handle.join();
     println!("rob-serve drained, exiting");
@@ -75,6 +84,9 @@ usage: robd [options]
   --timeout-secs S   per-job wall-clock deadline (default: none)
   --cache N          result-cache capacity (default 1024)
   --persist PATH     JSONL cache store replayed on startup, flushed on shutdown
+  --memo-persist PATH JSONL obligation-memo journal replayed on startup,
+                     flushed on shutdown (the in-memory memo store is
+                     always on; this persists it across restarts)
 ";
 
 fn take(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {

@@ -302,6 +302,7 @@ mod tests {
             Strategy::default(),
             None,
             &rob_verify::Limits::none(),
+            &rob_verify::JobBudgets::default(),
             false,
             false,
         )

@@ -110,6 +110,16 @@ pub struct StatsSnapshot {
     pub queue_depth: usize,
     /// Jobs currently executing.
     pub active_jobs: usize,
+    /// Obligation-memo lookup hits since startup (sub-formula
+    /// discharges, PE classifications, and main-solve verdicts replayed
+    /// across requests).
+    pub memo_hits: u64,
+    /// Obligation-memo lookup misses since startup.
+    pub memo_misses: u64,
+    /// `memo_hits / (memo_hits + memo_misses)`.
+    pub memo_hit_rate: f64,
+    /// Entries in the obligation memo store.
+    pub memo_entries: usize,
     /// Median verify latency (solved jobs only).
     pub p50: Duration,
     /// 95th-percentile verify latency (solved jobs only).
@@ -278,6 +288,10 @@ impl Response {
                 ("cache_evictions", Json::from(s.cache_evictions)),
                 ("queue_depth", Json::from(s.queue_depth)),
                 ("active_jobs", Json::from(s.active_jobs)),
+                ("memo_hits", Json::from(s.memo_hits)),
+                ("memo_misses", Json::from(s.memo_misses)),
+                ("memo_hit_rate", Json::Num(s.memo_hit_rate)),
+                ("memo_entries", Json::from(s.memo_entries)),
                 ("p50_secs", Json::Num(s.p50.as_secs_f64())),
                 ("p95_secs", Json::Num(s.p95.as_secs_f64())),
             ]),
@@ -359,6 +373,10 @@ impl Response {
                 cache_evictions: require_f64(&doc, "cache_evictions")? as u64,
                 queue_depth: require_usize(&doc, "queue_depth")?,
                 active_jobs: require_usize(&doc, "active_jobs")?,
+                memo_hits: require_f64(&doc, "memo_hits")? as u64,
+                memo_misses: require_f64(&doc, "memo_misses")? as u64,
+                memo_hit_rate: require_f64(&doc, "memo_hit_rate")?,
+                memo_entries: require_usize(&doc, "memo_entries")?,
                 p50: Duration::from_secs_f64(require_f64(&doc, "p50_secs")?.max(0.0)),
                 p95: Duration::from_secs_f64(require_f64(&doc, "p95_secs")?.max(0.0)),
             })),
@@ -510,6 +528,10 @@ mod tests {
                 cache_evictions: 0,
                 queue_depth: 2,
                 active_jobs: 1,
+                memo_hits: 11,
+                memo_misses: 5,
+                memo_hit_rate: 11.0 / 16.0,
+                memo_entries: 9,
                 p50: Duration::from_millis(40),
                 p95: Duration::from_millis(90),
             }),

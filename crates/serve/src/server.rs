@@ -32,6 +32,7 @@ use campaign::pool::{CancelToken, ExecOutcome, PoolOptions, ServicePool, SubmitE
 use campaign::{JobRunner, JobSpec};
 use rob_verify::Verification;
 
+use rob_verify::memo;
 use rob_verify::trace;
 
 use crate::cache::{ReplayReport, ResultCache};
@@ -62,6 +63,11 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// JSONL store replayed on startup and rewritten on shutdown.
     pub persist_path: Option<PathBuf>,
+    /// JSONL journal for the obligation memo store: replayed on startup,
+    /// appended to while serving, flushed on drain. The memo store itself
+    /// is always on (it is process-global behind the daemon and shared by
+    /// every request); this only controls persistence across restarts.
+    pub memo_persist_path: Option<PathBuf>,
     /// When `true`, a drain trips every outstanding job's cancel token
     /// instead of waiting for queued and in-flight work to finish:
     /// cooperative jobs wind down promptly and queued jobs resolve as
@@ -81,6 +87,7 @@ impl Default for ServerConfig {
             timeout: None,
             cache_capacity: 1024,
             persist_path: None,
+            memo_persist_path: None,
             cancel_on_drain: false,
             runner: Arc::new(|job: &JobSpec, cancel: &CancelToken| job.run_cancellable(cancel)),
         }
@@ -100,6 +107,10 @@ type PoolResult = Result<Verification, rob_verify::VerifyError>;
 struct Shared {
     pool: ServicePool<ServiceJob, PoolResult>,
     cache: Mutex<ResultCache>,
+    /// The process-global obligation memo store: every worker binds it
+    /// around each job, so sub-formula discharges, PE classifications,
+    /// and main-solve verdicts survive across requests.
+    memo: memo::MemoHandle,
     stats: ServerStats,
     stopping: AtomicBool,
     cancel_on_drain: bool,
@@ -127,7 +138,19 @@ impl Server {
             None => (ResultCache::new(config.cache_capacity), None),
         };
 
+        let (memo_store, memo_replay) = match &config.memo_persist_path {
+            Some(path) => {
+                let (store, report) = memo::ObligationStore::with_store(
+                    rob_verify::jobkey::CODE_FINGERPRINT,
+                    path.clone(),
+                )?;
+                (Arc::new(store), Some(report))
+            }
+            None => (rob_verify::memo_handle(), None),
+        };
+
         let runner = Arc::clone(&config.runner);
+        let worker_memo = Arc::clone(&memo_store);
         let pool = ServicePool::start(
             &PoolOptions {
                 workers: config.workers,
@@ -142,6 +165,9 @@ impl Server {
                     state: "started".to_owned(),
                     detail: job.spec.label(),
                 });
+                // The memo binding is thread-local: bind on the worker
+                // thread, once per job.
+                let _memo_guard = memo::bind(Arc::clone(&worker_memo));
                 runner(&job.spec, cancel)
             }),
         );
@@ -149,6 +175,7 @@ impl Server {
         let shared = Arc::new(Shared {
             pool,
             cache: Mutex::new(cache),
+            memo: memo_store,
             stats: ServerStats::new(),
             stopping: AtomicBool::new(false),
             cancel_on_drain: config.cancel_on_drain,
@@ -164,6 +191,7 @@ impl Server {
             shared,
             accept: Some(accept),
             replay,
+            memo_replay,
         })
     }
 }
@@ -174,6 +202,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     replay: Option<ReplayReport>,
+    memo_replay: Option<memo::ReplayReport>,
 }
 
 impl ServerHandle {
@@ -186,6 +215,12 @@ impl ServerHandle {
     /// store is configured.
     pub fn replay_report(&self) -> Option<ReplayReport> {
         self.replay
+    }
+
+    /// What the startup replay of the memo journal found, when one is
+    /// configured.
+    pub fn memo_replay_report(&self) -> Option<memo::ReplayReport> {
+        self.memo_replay
     }
 
     /// Requests a graceful drain and blocks until it completes.
@@ -240,6 +275,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     if let Ok(cache) = shared.cache.lock() {
         let _ = cache.flush();
     }
+    let _ = shared.memo.flush();
 }
 
 /// How long a connection read blocks before re-checking the stop flag.
@@ -296,6 +332,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<Socke
                         cache.evictions(),
                         shared.pool.queue_depth(),
                         shared.pool.active_jobs(),
+                        shared.memo.stats(),
                     )
                 };
                 if write_response(&mut writer, &Response::Stats(snapshot)).is_err() {

@@ -7,6 +7,8 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use rob_verify::memo::MemoSnapshot;
+
 use crate::proto::StatsSnapshot;
 
 /// Most recent latency samples retained for percentile estimation.
@@ -69,6 +71,7 @@ impl ServerStats {
         cache_evictions: u64,
         queue_depth: usize,
         active_jobs: usize,
+        memo: MemoSnapshot,
     ) -> StatsSnapshot {
         let inner = self.inner.lock().expect("stats poisoned");
         let mut sorted = inner.latencies.clone();
@@ -89,6 +92,10 @@ impl ServerStats {
             cache_evictions,
             queue_depth,
             active_jobs,
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+            memo_hit_rate: memo.hit_rate(),
+            memo_entries: memo.entries,
             p50: percentile(&sorted, 0.50),
             p95: percentile(&sorted, 0.95),
         }
@@ -123,7 +130,13 @@ mod tests {
         // Hits are served but never sampled.
         stats.record_served(Duration::from_nanos(10), true);
         stats.record_rejected();
-        let snap = stats.snapshot(1, 100, 5, 0, 2, 1);
+        let memo = MemoSnapshot {
+            hits: 7,
+            misses: 3,
+            entries: 4,
+            ..Default::default()
+        };
+        let snap = stats.snapshot(1, 100, 5, 0, 2, 1, memo);
         assert_eq!(snap.jobs_served, 101);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.p50, Duration::from_millis(50));
@@ -132,6 +145,10 @@ mod tests {
         assert_eq!(snap.active_jobs, 1);
         assert!((snap.hit_rate - 1.0 / 101.0).abs() < 1e-12);
         assert!(snap.uptime_secs >= 0.0);
+        assert_eq!(snap.memo_hits, 7);
+        assert_eq!(snap.memo_misses, 3);
+        assert_eq!(snap.memo_entries, 4);
+        assert!((snap.memo_hit_rate - 0.7).abs() < 1e-12);
     }
 
     #[test]
@@ -144,7 +161,7 @@ mod tests {
         for _ in 0..SAMPLE_CAP {
             stats.record_served(Duration::from_millis(1), false);
         }
-        let snap = stats.snapshot(0, 0, 0, 0, 0, 0);
+        let snap = stats.snapshot(0, 0, 0, 0, 0, 0, MemoSnapshot::default());
         assert_eq!(snap.p95, Duration::from_millis(1));
         assert_eq!(stats.inner.lock().unwrap().latencies.len(), SAMPLE_CAP);
     }

@@ -366,6 +366,61 @@ fn cache_persists_across_restart_and_answers_without_resolving() {
 }
 
 #[test]
+fn memo_store_warms_follow_up_requests_across_distinct_keys() {
+    // Two requests with the same configuration but different SAT limits
+    // have different job keys (the result cache misses twice), yet the
+    // obligation memo keys deliberately exclude resource limits — limits
+    // can only yield Unknown, which is never memoized — so the second
+    // real solve replays the first one's discharges out of the
+    // process-global store.
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    let cold = roundtrip(addr, &Request::Verify(VerifyRequest::new(2, 1)));
+    let Response::Result {
+        cache_hit: false,
+        verification: cold_v,
+        ..
+    } = &cold
+    else {
+        panic!("unexpected {cold:?}");
+    };
+    let Response::Stats(before) = roundtrip(addr, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    assert!(before.memo_entries > 0, "first solve stored nothing");
+
+    let mut warm_request = VerifyRequest::new(2, 1);
+    warm_request.sat_limits.max_conflicts = Some(1_000_000);
+    let warm = roundtrip(addr, &Request::Verify(warm_request));
+    let Response::Result {
+        cache_hit: false,
+        verification: warm_v,
+        ..
+    } = &warm
+    else {
+        panic!("the limit change must miss the result cache: {warm:?}");
+    };
+    // Memoized replay is invisible in the reported result...
+    assert_eq!(warm_v.verdict, cold_v.verdict);
+    assert_eq!(warm_v.stats, cold_v.stats);
+    // ...but visible in the daemon's memo counters.
+    let Response::Stats(after) = roundtrip(addr, &Request::Stats) else {
+        panic!("expected stats");
+    };
+    assert!(
+        after.memo_hits > before.memo_hits,
+        "second solve hit nothing: {after:?}"
+    );
+    assert!(after.memo_hit_rate > 0.0);
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_request_drains_and_real_pipeline_serves_hits() {
     // One real (un-injected) end-to-end pass on the smallest config:
     // solve, hit, then a client-driven drain.

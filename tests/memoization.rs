@@ -1,0 +1,153 @@
+//! Memo-equivalence acceptance tests: a warm run that replays obligation
+//! discharges, Positive-Equality classifications, and main-solve verdicts
+//! out of a shared [`rob_verify::memo`] store must be observably identical
+//! to a cold run — same verdict, field-for-field identical statistics —
+//! on both a clean configuration and a seeded-bug configuration.
+//!
+//! These tests compare [`Verification`] values, not global metrics, so
+//! they need no exclusive metrics window (exact-counter pins live in
+//! `tests/observability.rs`).
+
+use rob_verify::{BugSpec, Config, Operand, Verdict, Verifier};
+
+/// Fig. 2's 3-entry, width-2 processor — the paper's running example.
+fn fig2_config() -> Config {
+    Config::new(3, 2).expect("config")
+}
+
+#[test]
+fn warm_run_is_field_identical_on_fig2() {
+    // Cold reference run with no store bound at all: the baseline every
+    // memoized run must be indistinguishable from.
+    let cold = Verifier::new(fig2_config())
+        .audit(false)
+        .run()
+        .expect("cold run");
+    assert_eq!(cold.verdict, Verdict::Verified);
+
+    // Populating run: misses everywhere, fills the store, and must
+    // already match the unmemoized baseline exactly.
+    let store = rob_verify::memo_handle();
+    let populate = Verifier::new(fig2_config())
+        .audit(false)
+        .memo(store.clone())
+        .run()
+        .expect("populating run");
+    assert_eq!(populate.verdict, cold.verdict);
+    assert_eq!(populate.stats, cold.stats);
+    assert_eq!(populate.degraded, cold.degraded);
+    let after_populate = store.stats();
+    assert!(
+        after_populate.misses > 0 && after_populate.entries > 0,
+        "populating run never consulted the store: {after_populate:?}"
+    );
+
+    // Warm run: replays out of the store, and the replay must be
+    // invisible in everything the caller can observe.
+    let warm = Verifier::new(fig2_config())
+        .audit(false)
+        .memo(store.clone())
+        .run()
+        .expect("warm run");
+    let after_warm = store.stats();
+    assert!(
+        after_warm.hits > after_populate.hits,
+        "warm run hit nothing: {after_warm:?}"
+    );
+    // The main-solve verdict in particular must have been replayed
+    // (kind index 2 = solve), not just rewrite obligations.
+    assert!(
+        after_warm.by_kind[2].0 > after_populate.by_kind[2].0,
+        "warm run re-solved the main formula: {after_warm:?}"
+    );
+    assert_eq!(warm.verdict, cold.verdict);
+    assert_eq!(warm.stats, cold.stats);
+    assert_eq!(warm.degraded, cold.degraded);
+}
+
+#[test]
+fn warm_run_is_field_identical_on_seeded_bug() {
+    // The seeded forwarding bug from the core test suite: the default
+    // strategy diagnoses it to its slice via a *failed* rewrite
+    // obligation, so this exercises memoized `false` verdicts — the
+    // soundness-critical direction (a stale `true` would hide a bug; a
+    // replayed `false` must still point at the same slice).
+    let config = Config::new(5, 2).expect("config");
+    let bug = BugSpec::ForwardingIgnoresValidResult {
+        slice: 3,
+        operand: Operand::Src1,
+    };
+
+    let cold = Verifier::new(config)
+        .audit(false)
+        .bug(bug)
+        .run()
+        .expect("cold run");
+    match cold.verdict {
+        Verdict::SliceDiagnosis { slice, .. } => assert_eq!(slice, 3),
+        ref other => panic!("expected diagnosis, got {other:?}"),
+    }
+
+    let store = rob_verify::memo_handle();
+    let populate = Verifier::new(config)
+        .audit(false)
+        .bug(bug)
+        .memo(store.clone())
+        .run()
+        .expect("populating run");
+    assert_eq!(populate.verdict, cold.verdict);
+    assert_eq!(populate.stats, cold.stats);
+    let after_populate = store.stats();
+
+    let warm = Verifier::new(config)
+        .audit(false)
+        .bug(bug)
+        .memo(store.clone())
+        .run()
+        .expect("warm run");
+    let after_warm = store.stats();
+    assert!(
+        after_warm.hits > after_populate.hits,
+        "warm run hit nothing: {after_warm:?}"
+    );
+    assert_eq!(warm.verdict, cold.verdict);
+    assert_eq!(warm.stats, cold.stats);
+    assert_eq!(warm.degraded, cold.degraded);
+}
+
+#[test]
+fn distinct_configs_do_not_cross_contaminate() {
+    // One store shared across different configurations — the sweep
+    // sharing model. Every verdict must match its own unmemoized
+    // baseline even after the store has absorbed entries from the
+    // neighbouring configs.
+    let store = rob_verify::memo_handle();
+    let mut baselines = Vec::new();
+    for n in 2..=4u8 {
+        let config = Config::new(n as usize, 2).expect("config");
+        let cold = Verifier::new(config).audit(false).run().expect("cold run");
+        assert_eq!(cold.verdict, Verdict::Verified);
+        baselines.push((config, cold));
+    }
+    for (config, cold) in &baselines {
+        let warm = Verifier::new(*config)
+            .audit(false)
+            .memo(store.clone())
+            .run()
+            .expect("memoized run");
+        assert_eq!(warm.verdict, cold.verdict);
+        assert_eq!(warm.stats, cold.stats);
+    }
+    // And a second sweep over the now-populated store.
+    for (config, cold) in &baselines {
+        let warm = Verifier::new(*config)
+            .audit(false)
+            .memo(store.clone())
+            .run()
+            .expect("warm run");
+        assert_eq!(warm.verdict, cold.verdict);
+        assert_eq!(warm.stats, cold.stats);
+    }
+    let stats = store.stats();
+    assert!(stats.hits > 0, "second sweep hit nothing: {stats:?}");
+}

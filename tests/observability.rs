@@ -185,6 +185,72 @@ fn counters_agree_with_verification_stats_on_seeded_bug() {
     assert_eq!(counter("evc.rewrite.obligations"), 0);
 }
 
+/// Satellite of the memoization PR: a warm (fully memoized) run must not
+/// re-count pipeline work into the process-global counters. The
+/// `Verification` statistics it *reports* are byte-identical to the cold
+/// run's — that equivalence is pinned in `tests/memoization.rs` — but the
+/// counters measure work actually performed, and a memoized discharge
+/// performed none.
+#[test]
+fn memoized_run_does_not_recount_pipeline_work() {
+    let _guard = trace::metrics_test_guard();
+    let store = rob_verify::memo_handle();
+    // Cold run populates the store. Auditing is off because the audit's
+    // deliverables are not in the memo record, so auditing disables the
+    // main-solve memo.
+    let cold = Verifier::new(fig2_config())
+        .audit(false)
+        .memo(store.clone())
+        .run()
+        .expect("cold run");
+    assert_eq!(cold.verdict, Verdict::Verified);
+
+    // Counters that measure SAT/PE pipeline work: a fully warm run skips
+    // all of it, so these must not move at all.
+    const PIPELINE: &[&str] = &[
+        "evc.pe.eij_vars",
+        "evc.pe.gterms",
+        "evc.pe.pterms",
+        "sat.cdcl.conflicts",
+        "sat.cdcl.decisions",
+        "sat.cdcl.propagations",
+        "sat.tseitin.clauses",
+        "sat.tseitin.vars",
+    ];
+    let before: Vec<u64> = PIPELINE.iter().map(|n| counter(n)).collect();
+    let obligations_before = counter("evc.rewrite.obligations");
+    let syntactic_before = counter("evc.rewrite.syntactic");
+    let hits_before = trace::snapshot()
+        .iter()
+        .find(|s| s.name == "memo.hits")
+        .map_or(0, |s| s.value);
+
+    let warm = Verifier::new(fig2_config())
+        .audit(false)
+        .memo(store)
+        .run()
+        .expect("warm run");
+    assert_eq!(warm.verdict, cold.verdict);
+    assert_eq!(warm.stats, cold.stats);
+
+    for (name, &b) in PIPELINE.iter().zip(&before) {
+        assert_eq!(counter(name), b, "memoized run re-counted {name}");
+    }
+    // Syntactic discharges are real (cheap) work repeated every run and
+    // still count; memoized discharges must not. On a fully warm run the
+    // obligation counter therefore moves by exactly the syntactic count.
+    let syntactic_delta = counter("evc.rewrite.syntactic") - syntactic_before;
+    assert_eq!(
+        counter("evc.rewrite.obligations") - obligations_before,
+        syntactic_delta,
+        "memoized discharges leaked into evc.rewrite.obligations"
+    );
+    assert!(
+        counter("memo.hits") > hits_before,
+        "warm run reported no memo hits"
+    );
+}
+
 #[test]
 fn span_tree_covers_pipeline_phases_and_telescopes() {
     // Spans are thread-local, but this run also feeds the process-global

@@ -167,6 +167,61 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Obligation digests (memoization keys)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Obligation digests are structural, not context- or
+    /// process-dependent: the same formula built in two independent
+    /// contexts (with interleaved unrelated construction perturbing one
+    /// context's id space) digests identically. Cross-process stability
+    /// follows from context independence plus the golden FNV vectors
+    /// pinned in `eufm::digest`.
+    #[test]
+    fn obligation_digests_are_context_independent(ops in formula_ops()) {
+        let mut ctx1 = Context::new();
+        let f1 = build_formula(&mut ctx1, &ops);
+
+        let mut ctx2 = Context::new();
+        // Skew ctx2's ExprId numbering before building the same formula.
+        let x = ctx2.tvar("skew_x");
+        let _ = ctx2.uf("skew_f", vec![x]);
+        let _ = ctx2.pvar("skew_p");
+        let f2 = build_formula(&mut ctx2, &ops);
+
+        let d1 = eufm::digest::Digester::new().digest(&ctx1, f1);
+        let d2 = eufm::digest::Digester::new().digest(&ctx2, f2);
+        prop_assert_eq!(d1, d2,
+            "digest depends on context state for {}",
+            eufm::print::to_sexpr(&ctx1, f1));
+    }
+
+    /// Distinct obligations get distinct digests: two formulas with
+    /// different canonical renderings never collide (within the hash-
+    /// cons context, structural inequality is id inequality).
+    #[test]
+    fn distinct_obligations_get_distinct_digests(
+        ops1 in formula_ops(), ops2 in formula_ops()) {
+        let mut ctx = Context::new();
+        let f1 = build_formula(&mut ctx, &ops1);
+        let f2 = build_formula(&mut ctx, &ops2);
+        let mut digester = eufm::digest::Digester::new();
+        let d1 = digester.digest(&ctx, f1);
+        let d2 = digester.digest(&ctx, f2);
+        if f1 == f2 {
+            prop_assert_eq!(d1, d2);
+        } else {
+            prop_assert!(d1 != d2,
+                "digest collision between {} and {}",
+                eufm::print::to_sexpr(&ctx, f1),
+                eufm::print::to_sexpr(&ctx, f2));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SAT solver vs brute force
 // ---------------------------------------------------------------------------
 
