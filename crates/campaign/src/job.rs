@@ -89,12 +89,37 @@ impl JobSpec {
     /// Propagates [`VerifyError`] for configuration or structural
     /// failures; verification verdicts are inside the `Ok` value.
     pub fn run_cancellable(&self, cancel: &CancelToken) -> Result<Verification, VerifyError> {
+        self.run_with_deadline(cancel, None)
+    }
+
+    /// [`JobSpec::run_cancellable`] under an optional remaining wall-time
+    /// budget. When a deadline is supplied, half of it is granted to the
+    /// rewrite phase as a private budget: a job racing its deadline
+    /// degrades to the positive-equality-only translation (reported via
+    /// [`Verification::degraded`]) instead of burning the whole budget
+    /// rewriting and dying with nothing. The caller is expected to also
+    /// carry the full deadline on `cancel` itself (a deadline-bearing
+    /// child token), which turns an overall miss into a structured
+    /// cancelled verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VerifyError`] for configuration or structural
+    /// failures; verification verdicts are inside the `Ok` value.
+    pub fn run_with_deadline(
+        &self,
+        cancel: &CancelToken,
+        deadline: Option<Duration>,
+    ) -> Result<Verification, VerifyError> {
         let mut verifier = Verifier::new(self.config)
             .strategy(self.strategy)
             .sat_limits(self.sat_limits)
             .proof_checking(self.check_proofs)
             .audit(self.audit)
             .cancel(cancel.clone());
+        if let Some(budget) = deadline {
+            verifier = verifier.rewrite_deadline(budget / 2);
+        }
         if let Some(bug) = self.bug {
             verifier = verifier.bug(bug);
         }

@@ -37,7 +37,7 @@ pub mod sweepfile;
 
 pub use events::{Event, EventSink, JsonlSink, MemorySink, NullSink, Tee};
 pub use job::{JobResult, JobSpec, Outcome, Sweep};
-pub use pool::{default_workers, CancelToken, PoolOptions, ServicePool, SubmitError};
+pub use pool::{default_workers, CancelToken, PoolOptions, Priority, ServicePool, SubmitError};
 pub use report::CampaignReport;
 pub use run::{Campaign, CampaignOutcome, JobRunner};
 pub use sweepfile::SweepFile;

@@ -73,6 +73,44 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// Admission lane for a [`ServicePool`] submission. Interactive traffic
+/// is admitted up to the full queue bound and dispatched first; bulk
+/// traffic is admitted only while total occupancy stays under the bulk
+/// ceiling, so overload sheds bulk strictly before interactive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic: full admission bound, dispatched first.
+    #[default]
+    Interactive,
+    /// Throughput traffic: shed first under overload.
+    Bulk,
+}
+
+impl Priority {
+    /// Stable lowercase name used on the wire and in metrics labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Bulk => "bulk",
+        }
+    }
+
+    /// Parses the wire name back into a lane.
+    pub fn from_label(label: &str) -> Option<Priority> {
+        match label {
+            "interactive" => Some(Priority::Interactive),
+            "bulk" => Some(Priority::Bulk),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Thread-accounting totals for a pool run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
@@ -82,12 +120,18 @@ pub struct PoolStats {
     /// Timed-out job threads that ignored cancellation past the grace
     /// window and were detached.
     pub abandoned_threads: u64,
+    /// Interactive submissions refused because the queue was at its bound.
+    pub shed_interactive: u64,
+    /// Bulk submissions refused at the bulk admission ceiling.
+    pub shed_bulk: u64,
 }
 
 #[derive(Default)]
 struct Counters {
     reclaimed: AtomicU64,
     abandoned: AtomicU64,
+    shed_interactive: AtomicU64,
+    shed_bulk: AtomicU64,
 }
 
 impl Counters {
@@ -95,6 +139,8 @@ impl Counters {
         PoolStats {
             reclaimed_threads: self.reclaimed.load(Ordering::SeqCst),
             abandoned_threads: self.abandoned.load(Ordering::SeqCst),
+            shed_interactive: self.shed_interactive.load(Ordering::SeqCst),
+            shed_bulk: self.shed_bulk.load(Ordering::SeqCst),
         }
     }
 }
@@ -419,8 +465,11 @@ pub enum SubmitError {
     Overloaded {
         /// Jobs waiting in the queue when the submission arrived.
         depth: usize,
-        /// The configured queue bound.
+        /// The admission bound that refused this lane (the bulk ceiling
+        /// for bulk traffic, the full queue bound for interactive).
         limit: usize,
+        /// The lane the refused submission targeted.
+        lane: Priority,
     },
     /// The pool is draining and accepts no new work.
     ShuttingDown,
@@ -429,8 +478,11 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::Overloaded { depth, limit } => {
-                write!(f, "admission queue full ({depth} waiting, limit {limit})")
+            SubmitError::Overloaded { depth, limit, lane } => {
+                write!(
+                    f,
+                    "admission queue full for {lane} lane ({depth} waiting, limit {limit})"
+                )
             }
             SubmitError::ShuttingDown => f.write_str("pool is shutting down"),
         }
@@ -457,10 +509,37 @@ struct ServiceTask<T, R> {
     reply: Sender<ExecResult<R>>,
 }
 
+/// The two admission lanes. Workers drain interactive before bulk, and
+/// admission rules differ per lane (see [`Priority`]).
+struct Lanes<T, R> {
+    interactive: VecDeque<ServiceTask<T, R>>,
+    bulk: VecDeque<ServiceTask<T, R>>,
+}
+
+impl<T, R> Lanes<T, R> {
+    fn new() -> Self {
+        Lanes {
+            interactive: VecDeque::new(),
+            bulk: VecDeque::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+
+    fn pop(&mut self) -> Option<ServiceTask<T, R>> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.bulk.pop_front())
+    }
+}
+
 struct ServiceShared<T, R> {
-    queue: Mutex<VecDeque<ServiceTask<T, R>>>,
+    queue: Mutex<Lanes<T, R>>,
     available: Condvar,
     queue_limit: usize,
+    bulk_limit: usize,
     shutdown: AtomicBool,
     active: AtomicUsize,
     pool_token: CancelToken,
@@ -489,15 +568,35 @@ where
     R: Send + 'static,
 {
     /// Starts `options.workers` resident workers running `run`, with an
-    /// admission queue bounded at `queue_limit` waiting jobs.
+    /// admission queue bounded at `queue_limit` waiting jobs. Both lanes
+    /// share the full bound (no bulk ceiling); see
+    /// [`ServicePool::start_with_lanes`] to shed bulk earlier.
     pub fn start<F>(options: &PoolOptions, queue_limit: usize, run: Arc<F>) -> Self
     where
         F: Fn(&T, &CancelToken) -> R + Send + Sync + 'static,
     {
+        Self::start_with_lanes(options, queue_limit, queue_limit, run)
+    }
+
+    /// [`ServicePool::start`] with a distinct bulk admission ceiling:
+    /// bulk submissions are refused once **total** queue occupancy
+    /// reaches `bulk_limit`, while interactive submissions are admitted
+    /// up to `queue_limit`. With `bulk_limit < queue_limit`, overload
+    /// sheds bulk strictly before any interactive request is refused.
+    pub fn start_with_lanes<F>(
+        options: &PoolOptions,
+        queue_limit: usize,
+        bulk_limit: usize,
+        run: Arc<F>,
+    ) -> Self
+    where
+        F: Fn(&T, &CancelToken) -> R + Send + Sync + 'static,
+    {
         let shared = Arc::new(ServiceShared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Lanes::new()),
             available: Condvar::new(),
             queue_limit,
+            bulk_limit: bulk_limit.min(queue_limit),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             pool_token: CancelToken::new(),
@@ -533,23 +632,48 @@ where
     /// bound, [`SubmitError::ShuttingDown`] once [`ServicePool::shutdown`]
     /// has begun.
     pub fn submit(&self, job: T) -> Result<Submission<R>, SubmitError> {
+        self.submit_with(job, Priority::Interactive)
+    }
+
+    /// [`ServicePool::submit`] targeting an explicit admission lane.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the lane's admission bound is
+    /// reached (the bulk ceiling for bulk traffic, the full queue bound
+    /// for interactive), [`SubmitError::ShuttingDown`] once draining.
+    pub fn submit_with(&self, job: T, priority: Priority) -> Result<Submission<R>, SubmitError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
         let (reply, receiver) = mpsc::channel();
         let cancel = self.shared.pool_token.child();
         let mut queue = self.shared.queue.lock().expect("queue poisoned");
-        if queue.len() >= self.shared.queue_limit {
+        let limit = match priority {
+            Priority::Interactive => self.shared.queue_limit,
+            Priority::Bulk => self.shared.bulk_limit,
+        };
+        if queue.len() >= limit {
+            let shed = match priority {
+                Priority::Interactive => &self.shared.counters.shed_interactive,
+                Priority::Bulk => &self.shared.counters.shed_bulk,
+            };
+            shed.fetch_add(1, Ordering::SeqCst);
             return Err(SubmitError::Overloaded {
                 depth: queue.len(),
-                limit: self.shared.queue_limit,
+                limit,
+                lane: priority,
             });
         }
-        queue.push_back(ServiceTask {
+        let task = ServiceTask {
             job,
             cancel: cancel.clone(),
             reply,
-        });
+        };
+        match priority {
+            Priority::Interactive => queue.interactive.push_back(task),
+            Priority::Bulk => queue.bulk.push_back(task),
+        }
         drop(queue);
         self.shared.available.notify_one();
         Ok(Submission {
@@ -561,6 +685,22 @@ where
     /// Jobs waiting in the admission queue.
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// Waiting jobs per lane, `(interactive, bulk)`.
+    pub fn lane_depths(&self) -> (usize, usize) {
+        let queue = self.shared.queue.lock().expect("queue poisoned");
+        (queue.interactive.len(), queue.bulk.len())
+    }
+
+    /// The configured admission bound (interactive ceiling).
+    pub fn queue_limit(&self) -> usize {
+        self.shared.queue_limit
+    }
+
+    /// The bulk admission ceiling on total queue occupancy.
+    pub fn bulk_limit(&self) -> usize {
+        self.shared.bulk_limit
     }
 
     /// Jobs currently executing on workers.
@@ -620,7 +760,7 @@ fn service_worker<T, R, F>(
         let task = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
-                if let Some(task) = queue.pop_front() {
+                if let Some(task) = queue.pop() {
                     break Some(task);
                 }
                 // Drain semantics: the queue is empty; exit only now that
@@ -813,6 +953,12 @@ mod tests {
                 while !cancel.is_cancelled() {
                     std::thread::sleep(Duration::from_millis(1));
                 }
+                // Linger so the watchdog's own deadline provably fires
+                // first: the job token latches its deadline at creation,
+                // slightly *before* the watchdog starts waiting, so a
+                // prompt self-cancelled result could win that race and
+                // read as Done instead of TimedOut.
+                std::thread::sleep(Duration::from_millis(100));
                 0
             }),
             &(),
@@ -822,7 +968,7 @@ mod tests {
             stats,
             PoolStats {
                 reclaimed_threads: 1,
-                abandoned_threads: 0
+                ..PoolStats::default()
             }
         );
     }
@@ -853,8 +999,8 @@ mod tests {
         assert_eq!(
             stats,
             PoolStats {
-                reclaimed_threads: 0,
-                abandoned_threads: 1
+                abandoned_threads: 1,
+                ..PoolStats::default()
             }
         );
         // Release the orphan so it does not outlive the test process.
@@ -911,8 +1057,13 @@ mod tests {
         let shed = pool.submit(3);
         assert_eq!(
             shed.unwrap_err(),
-            SubmitError::Overloaded { depth: 1, limit: 1 }
+            SubmitError::Overloaded {
+                depth: 1,
+                limit: 1,
+                lane: Priority::Interactive
+            }
         );
+        assert_eq!(pool.pool_stats().shed_interactive, 1);
         gate.store(true, Ordering::SeqCst);
         assert!(matches!(
             first.recv().unwrap().outcome,
@@ -1009,6 +1160,120 @@ mod tests {
         assert!(matches!(result.outcome, ExecOutcome::Cancelled));
         assert_eq!(result.attempts, 0);
         pool.shutdown();
+    }
+
+    /// A pool whose single worker blocks until the gate opens; used to
+    /// fill the admission queue deterministically.
+    fn gated_pool(
+        queue_limit: usize,
+        bulk_limit: usize,
+    ) -> (ServicePool<u64, u64>, Arc<AtomicBool>) {
+        let gate = Arc::new(AtomicBool::new(false));
+        let hold = Arc::clone(&gate);
+        let pool = ServicePool::start_with_lanes(
+            &PoolOptions {
+                workers: 1,
+                ..PoolOptions::default()
+            },
+            queue_limit,
+            bulk_limit,
+            Arc::new(move |n: &u64, _cancel: &CancelToken| {
+                while !hold.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                *n
+            }),
+        );
+        (pool, gate)
+    }
+
+    #[test]
+    fn bulk_is_shed_strictly_before_interactive() {
+        let (pool, gate) = gated_pool(4, 2);
+        // Occupy the worker so submissions stay queued.
+        let blocker = pool.submit(0).unwrap().results;
+        while pool.active_jobs() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Two bulk jobs fill the bulk ceiling (total occupancy 2).
+        let b1 = pool.submit_with(1, Priority::Bulk).unwrap().results;
+        let b2 = pool.submit_with(2, Priority::Bulk).unwrap().results;
+        // The third bulk submission is shed at the ceiling...
+        let shed = pool.submit_with(3, Priority::Bulk).unwrap_err();
+        assert_eq!(
+            shed,
+            SubmitError::Overloaded {
+                depth: 2,
+                limit: 2,
+                lane: Priority::Bulk
+            }
+        );
+        // ...while interactive traffic is still admitted up to the full
+        // bound, even though the queue already holds bulk jobs.
+        let i1 = pool.submit_with(10, Priority::Interactive).unwrap().results;
+        let i2 = pool.submit_with(11, Priority::Interactive).unwrap().results;
+        let shed_i = pool.submit_with(12, Priority::Interactive).unwrap_err();
+        assert_eq!(
+            shed_i,
+            SubmitError::Overloaded {
+                depth: 4,
+                limit: 4,
+                lane: Priority::Interactive
+            }
+        );
+        assert_eq!(pool.lane_depths(), (2, 2));
+        let stats = pool.pool_stats();
+        assert_eq!((stats.shed_interactive, stats.shed_bulk), (1, 1));
+        gate.store(true, Ordering::SeqCst);
+        for rx in [blocker, b1, b2, i1, i2] {
+            assert!(matches!(rx.recv().unwrap().outcome, ExecOutcome::Done(_)));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn interactive_lane_is_dispatched_before_queued_bulk() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let hold = Arc::clone(&gate);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&order);
+        let pool: ServicePool<u64, u64> = ServicePool::start_with_lanes(
+            &PoolOptions {
+                workers: 1,
+                ..PoolOptions::default()
+            },
+            8,
+            8,
+            Arc::new(move |n: &u64, _cancel: &CancelToken| {
+                while !hold.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                log.lock().unwrap().push(*n);
+                *n
+            }),
+        );
+        let blocker = pool.submit(0).unwrap();
+        while pool.active_jobs() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Bulk enters the queue first, interactive second; the single
+        // worker must still run the interactive job first.
+        let bulk = pool.submit_with(1, Priority::Bulk).unwrap().results;
+        let interactive = pool.submit_with(2, Priority::Interactive).unwrap().results;
+        gate.store(true, Ordering::SeqCst);
+        let _ = blocker.results.recv().unwrap();
+        let _ = interactive.recv_timeout(Duration::from_secs(5)).unwrap();
+        let _ = bulk.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(*order.lock().unwrap(), vec![0, 2, 1]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn priority_labels_roundtrip() {
+        for lane in [Priority::Interactive, Priority::Bulk] {
+            assert_eq!(Priority::from_label(lane.label()), Some(lane));
+        }
+        assert_eq!(Priority::from_label("best-effort"), None);
     }
 
     #[test]

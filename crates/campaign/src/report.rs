@@ -56,6 +56,11 @@ pub struct CampaignReport {
     pub threads_reclaimed: u64,
     /// Timed-out job threads that ignored cancellation and were detached.
     pub threads_abandoned: u64,
+    /// Interactive submissions shed at the admission bound (service
+    /// pools only; always zero for batch campaigns).
+    pub shed_interactive: u64,
+    /// Bulk submissions shed at the bulk admission ceiling.
+    pub shed_bulk: u64,
     /// Median per-phase latency across completed, executed jobs.
     pub phase_p50: PhaseTimings,
     /// 95th-percentile per-phase latency across completed, executed jobs.
@@ -92,6 +97,8 @@ impl CampaignReport {
             speedup: 0.0,
             threads_reclaimed: 0,
             threads_abandoned: 0,
+            shed_interactive: 0,
+            shed_bulk: 0,
             phase_p50: PhaseTimings::default(),
             phase_p95: PhaseTimings::default(),
             memo: None,
@@ -161,6 +168,8 @@ impl CampaignReport {
     pub fn with_pool_stats(mut self, stats: PoolStats) -> Self {
         self.threads_reclaimed = stats.reclaimed_threads;
         self.threads_abandoned = stats.abandoned_threads;
+        self.shed_interactive = stats.shed_interactive;
+        self.shed_bulk = stats.shed_bulk;
         self
     }
 
@@ -197,6 +206,8 @@ impl CampaignReport {
             ("speedup", Json::Num(self.speedup)),
             ("threads_reclaimed", Json::from(self.threads_reclaimed)),
             ("threads_abandoned", Json::from(self.threads_abandoned)),
+            ("shed_interactive", Json::from(self.shed_interactive)),
+            ("shed_bulk", Json::from(self.shed_bulk)),
             ("phase_p50", crate::codec::timings_to_json(&self.phase_p50)),
             ("phase_p95", crate::codec::timings_to_json(&self.phase_p95)),
             ("memo", self.memo.as_ref().map_or(Json::Null, memo_to_json)),
@@ -258,6 +269,13 @@ impl CampaignReport {
         }
         if self.threads_reclaimed > 0 {
             let _ = writeln!(out, "  reclaimed   {:>8}", self.threads_reclaimed);
+        }
+        if self.shed_interactive + self.shed_bulk > 0 {
+            let _ = writeln!(
+                out,
+                "  shed        {:>8} interactive, {} bulk",
+                self.shed_interactive, self.shed_bulk
+            );
         }
         if self.threads_abandoned > 0 {
             let _ = writeln!(out, "  abandoned   {:>8}", self.threads_abandoned);

@@ -34,6 +34,12 @@ fn watchdog_reclaims_cooperative_job_within_100ms_of_token_flip() {
                 std::thread::sleep(Duration::from_millis(1));
             }
             *sink.lock().unwrap() = Some(Instant::now());
+            // Linger inside the grace window so the watchdog's own timer
+            // provably fires first: the job token latches its deadline at
+            // creation, slightly *before* the watchdog starts waiting, so
+            // an instant self-cancelled result could win that race and
+            // read as Done instead of TimedOut.
+            std::thread::sleep(Duration::from_millis(50));
             0
         }),
         &(),
@@ -43,7 +49,7 @@ fn watchdog_reclaims_cooperative_job_within_100ms_of_token_flip() {
         stats,
         PoolStats {
             reclaimed_threads: 1,
-            abandoned_threads: 0,
+            ..PoolStats::default()
         },
         "the job thread must be joined within the 100 ms grace window"
     );
@@ -193,6 +199,11 @@ fn real_verifier_job_exits_cancelled_when_token_trips() {
             while release.load(Ordering::SeqCst) && !cancel.is_cancelled() {
                 std::thread::sleep(Duration::from_millis(1));
             }
+            // Linger so the watchdog's own timer provably fires first: the
+            // token latches its deadline at creation, slightly *before* the
+            // watchdog starts waiting, so an instant self-cancelled result
+            // could win that race and read as Done instead of TimedOut.
+            std::thread::sleep(Duration::from_millis(50));
             job.run_cancellable(cancel)
         }),
         &(),

@@ -1,0 +1,491 @@
+//! `gauntlet` — a serve-level chaos soak for `robd`.
+//!
+//! Starts an in-process daemon with the **real** verification pipeline
+//! under armed fault injection (worker panics, stalled request paths, a
+//! corrupted cache flush), drives it with a multi-threaded client mix —
+//! interactive verifies with known verdicts (including seeded bugs),
+//! bulk traffic, deadline storms, a coalescing herd, and mid-stream
+//! disconnectors — then drains and checks the SLOs:
+//!
+//! - **zero wrong verdicts**: a correct design never reads `falsified`,
+//!   a seeded bug never reads `verified`, chaos or not;
+//! - **zero hung connections**: every request reaches a terminal line
+//!   before a generous socket timeout;
+//! - **bounded interactive latency**: p99 of the interactive lane stays
+//!   under the bound even while bulk traffic is being shed;
+//! - **clean drain**: shutdown completes with all clients gone.
+//!
+//! The run is summarized as a JSON document (default `BENCH_9.json`)
+//! and the exit code is nonzero when any SLO is violated, so CI can run
+//! a short-budget smoke directly.
+//!
+//! ```text
+//! gauntlet [--budget-secs S] [--seed N] [--workers N] [--out PATH]
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use campaign::json::Json;
+use campaign::Priority;
+use serve::{Disposition, Request, Response, Server, ServerConfig, StatsSnapshot, VerifyRequest};
+
+/// A client never waits longer than this for one more response line; a
+/// request that blows it counts as a hung connection (SLO violation).
+const HANG_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Interactive p99 bound. Generous against solver noise on a loaded CI
+/// box, but far below the hang timeout: it documents "interactive stays
+/// interactive while bulk is shed and workers panic".
+const P99_BOUND: Duration = Duration::from_secs(2);
+
+fn main() -> ExitCode {
+    let mut budget = Duration::from_secs_f64(6.0);
+    let mut seed = 42u64;
+    let mut workers = 4usize;
+    let mut out = "BENCH_9.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--budget-secs" => {
+                budget =
+                    Duration::from_secs_f64(value("--budget-secs").parse().expect("--budget-secs"));
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed"),
+            "--workers" => workers = value("--workers").parse().expect("--workers"),
+            "--out" => out = value("--out"),
+            "--help" | "-h" => {
+                println!("usage: gauntlet [--budget-secs S] [--seed N] [--workers N] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gauntlet: unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Chaos stays armed for the whole soak: the first worker runs panic,
+    // every verify entry stalls briefly (so coalescing windows open up),
+    // and the shutdown cache flush corrupts a line.
+    let guard = chaos::plan(seed)
+        .panic_at("serve.worker.run", 3)
+        .stall_at("serve.verify", Duration::from_millis(2))
+        .corrupt_at("serve.cache.flush-line")
+        .arm();
+
+    let persist = std::env::temp_dir().join(format!("rob-gauntlet-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&persist).ok();
+    let handle = match Server::start(ServerConfig {
+        workers,
+        queue_limit: 8,
+        bulk_queue_limit: 4,
+        persist_path: Some(persist.clone()),
+        ..ServerConfig::default()
+    }) {
+        Ok(handle) => handle,
+        Err(error) => {
+            eprintln!("gauntlet: failed to start the daemon: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr();
+    println!("gauntlet: daemon on {addr}, budget {budget:?}, seed {seed}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (report_tx, report_rx) = mpsc::channel::<Tally>();
+    let mut clients = Vec::new();
+
+    // Interactive clients with known-correct configurations.
+    for lane in 0..3u64 {
+        clients.push(spawn_client(&stop, &report_tx, move |round, tally| {
+            let keys = [(2, 1), (4, 1), (4, 2), (8, 1), (8, 2)];
+            let (size, width) = keys[(round + lane as usize) % keys.len()];
+            let request = VerifyRequest::new(size, width);
+            drive(addr, request, tally, Expect::Verified, true);
+        }));
+    }
+    // A client hammering a seeded bug: the daemon must keep saying so.
+    clients.push(spawn_client(&stop, &report_tx, move |_round, tally| {
+        let mut request = VerifyRequest::new(4, 2);
+        request.bug = Some("forwarding-ignores-valid:2:src2".parse().expect("bug spec"));
+        drive(addr, request, tally, Expect::Falsified, true);
+    }));
+    // Bulk traffic: large keys, shed freely under load.
+    for lane in 0..2u64 {
+        clients.push(spawn_client(&stop, &report_tx, move |round, tally| {
+            let keys = [(12, 1), (16, 1), (16, 2), (12, 2)];
+            let (size, width) = keys[(round + lane as usize) % keys.len()];
+            let mut request = VerifyRequest::new(size, width);
+            request.priority = Priority::Bulk;
+            drive(addr, request, tally, Expect::Verified, false);
+        }));
+    }
+    // Deadline storm: budgets of 1–5 ms, which queueing alone often
+    // blows. Every one of these must still get a terminal line.
+    clients.push(spawn_client(&stop, &report_tx, move |round, tally| {
+        let keys = [(6, 1), (6, 2), (8, 4)];
+        let (size, width) = keys[round % keys.len()];
+        let mut request = VerifyRequest::new(size, width);
+        request.deadline_ms = Some(1 + (round as u64 % 5));
+        drive(addr, request, tally, Expect::Verified, false);
+    }));
+    // A coalescing herd: four concurrent identical requests per round.
+    clients.push(spawn_client(&stop, &report_tx, move |round, tally| {
+        let keys = [(16, 4), (12, 4), (16, 2)];
+        let (size, width) = keys[round % keys.len()];
+        let herd: Vec<_> = (0..4)
+            .map(|_| {
+                let request = VerifyRequest::new(size, width);
+                std::thread::spawn(move || {
+                    let mut sub = Tally::default();
+                    drive(addr, request, &mut sub, Expect::Verified, false);
+                    sub
+                })
+            })
+            .collect();
+        for member in herd {
+            tally.merge(member.join().expect("herd member"));
+        }
+    }));
+    // A mid-stream disconnector: submits, reads one line, hangs up.
+    clients.push(spawn_client(&stop, &report_tx, move |round, tally| {
+        let keys = [(8, 2), (4, 2)];
+        let (size, width) = keys[round % keys.len()];
+        if let Ok(stream) = TcpStream::connect(addr) {
+            let _ = stream.set_read_timeout(Some(HANG_TIMEOUT));
+            let mut writer = stream.try_clone().expect("clone");
+            let request = Request::Verify(VerifyRequest::new(size, width));
+            let _ = writeln!(writer, "{}", request.to_json());
+            let _ = writer.flush();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+            tally.disconnects += 1;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }));
+    drop(report_tx);
+
+    std::thread::sleep(budget);
+    stop.store(true, Ordering::SeqCst);
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    let mut tally = Tally::default();
+    while let Ok(part) = report_rx.recv() {
+        tally.merge(part);
+    }
+
+    let stats = final_stats(addr);
+
+    // Drain. `shutdown` blocks until the daemon fully exits; run it on a
+    // watchdogged thread so a drain deadlock fails the gauntlet instead
+    // of hanging it.
+    let (drained_tx, drained_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        handle.shutdown();
+        let _ = drained_tx.send(());
+    });
+    let drain_ok = drained_rx.recv_timeout(Duration::from_secs(30)).is_ok();
+    let fired = guard.fired();
+    drop(guard);
+    std::fs::remove_file(&persist).ok();
+
+    tally.latencies.sort_unstable();
+    let p50 = percentile(&tally.latencies, 0.50);
+    let p99 = percentile(&tally.latencies, 0.99);
+
+    let mut violations = Vec::new();
+    if tally.wrong_verdicts > 0 {
+        violations.push(format!("{} wrong verdicts", tally.wrong_verdicts));
+    }
+    if tally.hung > 0 {
+        violations.push(format!("{} hung connections", tally.hung));
+    }
+    if tally.results == 0 {
+        violations.push("no request ever completed".to_owned());
+    }
+    if p99 > P99_BOUND {
+        violations.push(format!("interactive p99 {p99:?} over {P99_BOUND:?}"));
+    }
+    if !drain_ok {
+        violations.push("drain did not complete".to_owned());
+    }
+
+    let document = Json::obj([
+        ("schema", Json::str("rob-gauntlet/v1")),
+        ("seed", seed.into()),
+        ("budget_secs", budget.as_secs_f64().into()),
+        ("workers", workers.into()),
+        ("requests", tally.requests.into()),
+        ("results", tally.results.into()),
+        ("errors", tally.errors.into()),
+        ("overloaded", tally.overloaded.into()),
+        ("deadline_exceeded", tally.deadline_exceeded.into()),
+        ("coalesced", tally.coalesced.into()),
+        ("cache_hits", tally.hits.into()),
+        ("disconnects_injected", tally.disconnects.into()),
+        ("wrong_verdicts", tally.wrong_verdicts.into()),
+        ("hung_connections", tally.hung.into()),
+        ("interactive_p50_secs", p50.as_secs_f64().into()),
+        ("interactive_p99_secs", p99.as_secs_f64().into()),
+        ("faults_fired", (fired.len() as u64).into()),
+        (
+            "server",
+            match &stats {
+                Some(s) => Json::obj([
+                    ("jobs_served", s.jobs_served.into()),
+                    ("coalesced", s.coalesced.into()),
+                    ("rejected", s.rejected.into()),
+                    ("deadline_exceeded", s.deadline_exceeded.into()),
+                    ("shed_interactive", s.shed_interactive.into()),
+                    ("shed_bulk", s.shed_bulk.into()),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        ("drain_ok", drain_ok.into()),
+        ("slo_ok", violations.is_empty().into()),
+        (
+            "violations",
+            Json::Arr(violations.iter().map(Json::str).collect()),
+        ),
+    ]);
+    if let Err(error) = std::fs::write(&out, format!("{document}\n")) {
+        eprintln!("gauntlet: cannot write {out}: {error}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "gauntlet: {} requests ({} results, {} errors, {} overloaded, {} deadline-exceeded, \
+         {} coalesced, {} hits), {} injected disconnects, {} faults fired",
+        tally.requests,
+        tally.results,
+        tally.errors,
+        tally.overloaded,
+        tally.deadline_exceeded,
+        tally.coalesced,
+        tally.hits,
+        tally.disconnects,
+        fired.len(),
+    );
+    println!(
+        "gauntlet: interactive p50 {:.1}ms p99 {:.1}ms, drain {}",
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        if drain_ok { "ok" } else { "FAILED" },
+    );
+    if violations.is_empty() {
+        println!("gauntlet: all SLOs met; wrote {out}");
+        ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("gauntlet: SLO violated: {violation}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// What verdict the request's configuration is known to deserve.
+#[derive(Clone, Copy)]
+enum Expect {
+    /// A correct design: `falsified` would be a wrong verdict.
+    Verified,
+    /// A seeded bug: `verified` would be a wrong verdict.
+    Falsified,
+}
+
+#[derive(Default)]
+struct Tally {
+    requests: u64,
+    results: u64,
+    errors: u64,
+    overloaded: u64,
+    deadline_exceeded: u64,
+    coalesced: u64,
+    hits: u64,
+    disconnects: u64,
+    wrong_verdicts: u64,
+    hung: u64,
+    /// Interactive-lane request wall-clocks only.
+    latencies: Vec<Duration>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.requests += other.requests;
+        self.results += other.results;
+        self.errors += other.errors;
+        self.overloaded += other.overloaded;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.coalesced += other.coalesced;
+        self.hits += other.hits;
+        self.disconnects += other.disconnects;
+        self.wrong_verdicts += other.wrong_verdicts;
+        self.hung += other.hung;
+        self.latencies.extend(other.latencies);
+    }
+}
+
+fn spawn_client(
+    stop: &Arc<AtomicBool>,
+    report: &mpsc::Sender<Tally>,
+    mut round_fn: impl FnMut(usize, &mut Tally) + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    let stop = Arc::clone(stop);
+    let report = report.clone();
+    std::thread::spawn(move || {
+        let mut tally = Tally::default();
+        let mut round = 0usize;
+        while !stop.load(Ordering::SeqCst) {
+            round_fn(round, &mut tally);
+            round += 1;
+        }
+        let _ = report.send(tally);
+    })
+}
+
+/// One full verify round-trip, classified into the tally. `sample`
+/// marks the interactive clients whose wall-clock feeds the p99 SLO.
+fn drive(
+    addr: SocketAddr,
+    request: VerifyRequest,
+    tally: &mut Tally,
+    expect: Expect,
+    sample: bool,
+) {
+    tally.requests += 1;
+    let started = Instant::now();
+    let Ok(stream) = TcpStream::connect(addr) else {
+        // The daemon refusing connections entirely would surface as zero
+        // completed requests at the end.
+        std::thread::sleep(Duration::from_millis(10));
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(HANG_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    if writeln!(writer, "{}", Request::Verify(request).to_json())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                // Closed without a terminal line only happens during the
+                // final drain race; not a hang.
+                return;
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                tally.hung += 1;
+                return;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(response) = Response::parse(&line) else {
+            tally.errors += 1;
+            return;
+        };
+        match response {
+            Response::Event { .. } => continue,
+            Response::Result {
+                disposition,
+                verification,
+                ..
+            } => {
+                tally.results += 1;
+                match disposition {
+                    Disposition::Hit => tally.hits += 1,
+                    Disposition::Coalesced => tally.coalesced += 1,
+                    Disposition::Miss => {}
+                }
+                if sample {
+                    tally.latencies.push(started.elapsed());
+                }
+                let verified = verification.verdict.label() == "verified";
+                let wrong = match expect {
+                    // A degraded (PE-only) answer is still sound; only a
+                    // flat contradiction of the known verdict counts.
+                    Expect::Verified => !verified,
+                    Expect::Falsified => verified,
+                };
+                if wrong {
+                    tally.wrong_verdicts += 1;
+                    eprintln!(
+                        "gauntlet: WRONG VERDICT {} for {line}",
+                        verification.verdict.label()
+                    );
+                }
+                return;
+            }
+            Response::DeadlineExceeded { .. } => {
+                tally.deadline_exceeded += 1;
+                return;
+            }
+            Response::Overloaded { .. } => {
+                tally.overloaded += 1;
+                // Shed is the daemon protecting itself; back off a bit.
+                std::thread::sleep(Duration::from_millis(5));
+                return;
+            }
+            Response::Error { .. } => {
+                // Injected panics and drain-time cancellations land here;
+                // contained failures are expected under chaos.
+                tally.errors += 1;
+                return;
+            }
+            _ => {
+                tally.errors += 1;
+                return;
+            }
+        }
+    }
+}
+
+fn final_stats(addr: SocketAddr) -> Option<StatsSnapshot> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_read_timeout(Some(HANG_TIMEOUT));
+    let mut writer = stream.try_clone().ok()?;
+    writeln!(writer, "{}", Request::Stats.to_json()).ok()?;
+    writer.flush().ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    match Response::parse(&line) {
+        Ok(Response::Stats(snapshot)) => Some(snapshot),
+        _ => None,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}

@@ -1,33 +1,50 @@
 //! `robctl` — client for the `robd` verification server.
 //!
 //! ```text
-//! robctl [--addr HOST:PORT] [--retries N] [--backoff-ms MS] ping
+//! robctl [--addr HOST:PORT] [--retries N] [--backoff-ms MS]
+//!        [--breaker-threshold N] [--breaker-cooldown-ms MS]
+//!        [--jitter-seed N] ping
 //! robctl [--addr HOST:PORT] verify --size N --width K [--strategy S]
 //!        [--bug SPEC] [--audit] [--check-proofs] [--max-conflicts N]
-//!        [--max-seconds S] [--quiet] [--expect-cache hit|miss]
+//!        [--max-seconds S] [--deadline-ms MS] [--priority interactive|bulk]
+//!        [--quiet] [--expect-cache hit|miss|coalesced]
 //! robctl [--addr HOST:PORT] stats
 //! robctl [--addr HOST:PORT] metrics
+//! robctl [--addr HOST:PORT] health
 //! robctl [--addr HOST:PORT] shutdown
 //! ```
 //!
 //! `verify` tails progress events to stderr and prints the result to
 //! stdout. `--expect-cache` makes the exit status assert the cache
 //! disposition — the CI smoke test uses it to prove the second identical
-//! request is served from the cache.
+//! request is served from the cache (or coalesced onto a running one).
 //!
 //! `--retries` grants extra attempts for *transient* failures — a
 //! refused/reset connection (daemon restarting) or an `overloaded`
 //! rejection (admission queue full) — with capped exponential backoff
-//! plus jitter between attempts (`--backoff-ms` sets the base delay).
-//! Protocol errors, bad flags, and server-side job failures are terminal
-//! and never retried.
+//! plus **decorrelated jitter** between attempts (`--backoff-ms` sets
+//! the base delay): each delay is drawn uniformly from `[base, 3 ×
+//! previous]`, capped at 10 s, so a herd of shed clients spreads out
+//! instead of re-arriving in lockstep. Protocol errors, bad flags, and
+//! server-side job failures are terminal and never retried.
+//!
+//! A small **circuit breaker** sits under the retry loop: after
+//! `--breaker-threshold` consecutive transient failures it opens, sleeps
+//! the `--breaker-cooldown-ms` window, then lets exactly one half-open
+//! probe through; a probe failure re-opens it. This keeps a wedged
+//! daemon from being hammered by the full retry budget at backoff speed.
+//!
+//! `health` is answered by the daemon even when its admission queue is
+//! saturated, so probes can distinguish *overloaded* (exit 2) from
+//! *dead* (exit 1); `deadline-exceeded` verify answers exit 3.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use serve::{Request, Response, VerifyRequest};
+use campaign::Priority;
+use serve::{Disposition, Request, Response, VerifyRequest};
 
 fn main() -> ExitCode {
     match run() {
@@ -44,7 +61,11 @@ enum Attempt {
     /// The command finished; exit with this code.
     Success(ExitCode),
     /// The server shed the request; retryable.
-    Overloaded { depth: usize, limit: usize },
+    Overloaded {
+        depth: usize,
+        limit: usize,
+        lane: Priority,
+    },
     /// The connection could not be established; retryable (the daemon
     /// may be restarting or still binding).
     ConnectFailed(String),
@@ -56,6 +77,9 @@ enum Attempt {
 struct RetryPolicy {
     retries: u32,
     backoff: Duration,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
+    jitter_seed: u64,
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -63,6 +87,9 @@ fn run() -> Result<ExitCode, String> {
     let mut policy = RetryPolicy {
         retries: 0,
         backoff: Duration::from_millis(100),
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(1000),
+        jitter_seed: jitter_seed(),
     };
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let take_value = |args: &mut Vec<String>, flag: &str| -> Result<Option<String>, String> {
@@ -84,6 +111,16 @@ fn run() -> Result<ExitCode, String> {
     }
     if let Some(value) = take_value(&mut args, "--backoff-ms")? {
         policy.backoff = Duration::from_millis(parse_flag(&value, "--backoff-ms")?);
+    }
+    if let Some(value) = take_value(&mut args, "--breaker-threshold")? {
+        policy.breaker_threshold = parse_flag(&value, "--breaker-threshold")?;
+    }
+    if let Some(value) = take_value(&mut args, "--breaker-cooldown-ms")? {
+        policy.breaker_cooldown =
+            Duration::from_millis(parse_flag(&value, "--breaker-cooldown-ms")?);
+    }
+    if let Some(value) = take_value(&mut args, "--jitter-seed")? {
+        policy.jitter_seed = parse_flag(&value, "--jitter-seed")?;
     }
     let Some(command) = args.first().cloned() else {
         print!("{USAGE}");
@@ -108,19 +145,31 @@ fn run() -> Result<ExitCode, String> {
                 other => Err(format!("unexpected response: {other:?}")),
             })
         }),
+        "health" => health(&addr),
         "stats" => with_retry(policy, || {
             simple(&addr, &Request::Stats, |response| match response {
                 Response::Stats(s) => {
                     println!("server stats");
                     println!("  uptime          {:>10.1}s", s.uptime_secs);
                     println!("  jobs served     {:>10}", s.jobs_served);
+                    println!("  coalesced       {:>10}", s.coalesced);
                     println!("  rejected        {:>10}", s.rejected);
+                    println!("  deadline missed {:>10}", s.deadline_exceeded);
                     println!("  cache hits      {:>10}", s.cache_hits);
                     println!("  cache misses    {:>10}", s.cache_misses);
                     println!("  hit rate        {:>9.1}%", s.hit_rate * 100.0);
                     println!("  cache entries   {:>10}", s.cache_entries);
                     println!("  cache evictions {:>10}", s.cache_evictions);
-                    println!("  queue depth     {:>10}", s.queue_depth);
+                    println!(
+                        "  queue depth     {:>10}  ({} interactive, {} bulk)",
+                        s.queue_depth, s.queue_interactive, s.queue_bulk
+                    );
+                    println!(
+                        "  shed            {:>10}  ({} interactive, {} bulk)",
+                        s.shed_interactive + s.shed_bulk,
+                        s.shed_interactive,
+                        s.shed_bulk
+                    );
                     println!("  active jobs     {:>10}", s.active_jobs);
                     println!("  memo hits       {:>10}", s.memo_hits);
                     println!("  memo misses     {:>10}", s.memo_misses);
@@ -158,45 +207,206 @@ fn run() -> Result<ExitCode, String> {
     }
 }
 
+/// The `health` command: one attempt, no retry — the whole point is to
+/// report what the daemon looks like *right now*. Exit 0 when healthy,
+/// 2 when alive but overloaded/draining, 1 when unreachable (dead).
+fn health(addr: &str) -> Result<ExitCode, String> {
+    let stream = match connect(addr) {
+        Ok(stream) => stream,
+        Err(message) => {
+            eprintln!("dead: {message}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    match roundtrip_on(stream, &Request::Health)? {
+        Response::Health {
+            status,
+            queue_interactive,
+            queue_bulk,
+            queue_limit,
+            active_jobs,
+        } => {
+            println!(
+                "{status}: queue {}/{queue_limit} ({queue_interactive} interactive, \
+                 {queue_bulk} bulk), {active_jobs} active",
+                queue_interactive + queue_bulk
+            );
+            Ok(if status == "ok" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            })
+        }
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// Circuit-breaker state: `Closed` lets attempts flow, `Open` blocks
+/// them for a cooldown, `HalfOpen` admits a single probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// A minimal consecutive-failure circuit breaker. `threshold == 0`
+/// disables it (the breaker never opens).
+#[derive(Debug)]
+struct Breaker {
+    threshold: u32,
+    consecutive: u32,
+    state: BreakerState,
+}
+
+impl Breaker {
+    fn new(threshold: u32) -> Self {
+        Breaker {
+            threshold,
+            consecutive: 0,
+            state: BreakerState::Closed,
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+
+    /// The cooldown elapsed: admit one probe.
+    fn begin_probe(&mut self) {
+        if self.state == BreakerState::Open {
+            self.state = BreakerState::HalfOpen;
+        }
+    }
+
+    /// A transient failure; in `HalfOpen` this re-opens immediately.
+    fn record_failure(&mut self) {
+        self.consecutive += 1;
+        if self.threshold > 0 && self.consecutive >= self.threshold {
+            self.state = BreakerState::Open;
+        }
+    }
+
+    /// A successful attempt fully closes the breaker.
+    fn record_success(&mut self) {
+        self.consecutive = 0;
+        self.state = BreakerState::Closed;
+    }
+}
+
 /// Runs `attempt` up to `1 + policy.retries` times, sleeping with capped
-/// exponential backoff plus jitter between retryable failures.
+/// exponential backoff plus decorrelated jitter between retryable
+/// failures; the circuit breaker swaps the jittered sleep for its
+/// cooldown once it trips.
 fn with_retry(policy: RetryPolicy, attempt: impl Fn() -> Attempt) -> Result<ExitCode, String> {
     let mut tries = 0u32;
+    let mut backoff = Backoff::new(policy.backoff, Duration::from_secs(10), policy.jitter_seed);
+    let mut breaker = Breaker::new(policy.breaker_threshold);
     loop {
+        breaker.begin_probe();
         match attempt() {
-            Attempt::Success(code) => return Ok(code),
+            Attempt::Success(code) => {
+                breaker.record_success();
+                return Ok(code);
+            }
             Attempt::Failed(message) => return Err(message),
-            Attempt::Overloaded { depth, limit } => {
+            Attempt::Overloaded { depth, limit, lane } => {
+                breaker.record_failure();
                 if tries >= policy.retries {
-                    eprintln!("server overloaded: {depth} jobs queued (limit {limit}); giving up");
+                    eprintln!(
+                        "server overloaded: {depth} jobs queued \
+                         (limit {limit}, lane {lane}); giving up"
+                    );
                     return Ok(ExitCode::from(2));
                 }
-                eprintln!("server overloaded: {depth} jobs queued (limit {limit}); retrying");
+                eprintln!(
+                    "server overloaded: {depth} jobs queued (limit {limit}, lane {lane}); retrying"
+                );
             }
             Attempt::ConnectFailed(message) => {
+                breaker.record_failure();
                 if tries >= policy.retries {
                     return Err(message);
                 }
                 eprintln!("{message}; retrying");
             }
         }
-        std::thread::sleep(backoff_delay(policy.backoff, tries, jitter_seed()));
+        if breaker.is_open() {
+            eprintln!(
+                "circuit breaker open after {} consecutive failures; cooling down {}ms",
+                breaker.consecutive,
+                policy.breaker_cooldown.as_millis()
+            );
+            std::thread::sleep(policy.breaker_cooldown);
+        } else {
+            std::thread::sleep(backoff.next_delay());
+        }
         tries += 1;
     }
 }
 
-/// Delay before retry number `attempt` (0-based): `base * 2^attempt`,
-/// capped at 10 s, then jittered into `[delay/2, delay]` by `seed` so a
-/// herd of clients does not re-arrive in lockstep.
-fn backoff_delay(base: Duration, attempt: u32, seed: u64) -> Duration {
-    const CAP: Duration = Duration::from_secs(10);
-    let exp = base.saturating_mul(1u32 << attempt.min(16));
-    let capped = exp.min(CAP);
-    let nanos = capped.as_nanos() as u64;
-    if nanos == 0 {
-        return Duration::ZERO;
+/// Tiny xorshift64 PRNG — deterministic under a seed so the jitter
+/// bounds are unit-testable; zero seeds are bumped to keep the state
+/// nonzero.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
     }
-    Duration::from_nanos(nanos / 2 + seed % (nanos / 2 + 1))
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Capped exponential backoff with decorrelated jitter: each delay is
+/// drawn uniformly from `[base, min(cap, 3 × previous)]`. Unlike
+/// full-jitter-on-a-doubling-schedule, consecutive draws are coupled
+/// only through the previous *actual* sleep, which provably spreads a
+/// synchronized herd of clients apart over successive rounds.
+struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: XorShift64,
+}
+
+impl Backoff {
+    fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            prev: base,
+            rng: XorShift64::new(seed),
+        }
+    }
+
+    fn next_delay(&mut self) -> Duration {
+        let base = self.base.as_nanos() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let cap = self.cap.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64)
+            .saturating_mul(3)
+            .min(cap)
+            .max(base);
+        let span = hi - base;
+        let drawn = base
+            + if span == 0 {
+                0
+            } else {
+                self.rng.next() % (span + 1)
+            };
+        self.prev = Duration::from_nanos(drawn);
+        self.prev
+    }
 }
 
 fn jitter_seed() -> u64 {
@@ -216,7 +426,9 @@ fn simple(
         Err(message) => return Attempt::ConnectFailed(message),
     };
     match roundtrip_on(stream, request) {
-        Ok(Response::Overloaded { depth, limit }) => Attempt::Overloaded { depth, limit },
+        Ok(Response::Overloaded { depth, limit, lane }) => {
+            Attempt::Overloaded { depth, limit, lane }
+        }
         Ok(response) => match render(response) {
             Ok(code) => Attempt::Success(code),
             Err(message) => Attempt::Failed(message),
@@ -225,12 +437,14 @@ fn simple(
     }
 }
 
-fn parse_verify_args(args: &[String]) -> Result<(VerifyRequest, bool, Option<bool>), String> {
+fn parse_verify_args(
+    args: &[String],
+) -> Result<(VerifyRequest, bool, Option<Disposition>), String> {
     let mut size: Option<usize> = None;
     let mut width: Option<usize> = None;
     let mut request = VerifyRequest::new(0, 0);
     let mut quiet = false;
-    let mut expect_cache: Option<bool> = None;
+    let mut expect_cache: Option<Disposition> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -255,17 +469,23 @@ fn parse_verify_args(args: &[String]) -> Result<(VerifyRequest, bool, Option<boo
                 request.sat_limits.max_seconds =
                     Some(parse_flag(&value("--max-seconds")?, "--max-seconds")?);
             }
+            "--deadline-ms" => {
+                request.deadline_ms = Some(parse_flag(&value("--deadline-ms")?, "--deadline-ms")?);
+            }
+            "--priority" => {
+                let lane = value("--priority")?;
+                request.priority = Priority::from_label(&lane).ok_or_else(|| {
+                    format!("--priority must be interactive or bulk, got {lane:?}")
+                })?;
+            }
             "--audit" => request.audit = true,
             "--check-proofs" => request.check_proofs = true,
             "--quiet" => quiet = true,
             "--expect-cache" => {
-                expect_cache = Some(match value("--expect-cache")?.as_str() {
-                    "hit" => true,
-                    "miss" => false,
-                    other => {
-                        return Err(format!("--expect-cache must be hit or miss, got {other:?}"))
-                    }
-                });
+                let expectation = value("--expect-cache")?;
+                expect_cache = Some(Disposition::from_label(&expectation).ok_or_else(|| {
+                    format!("--expect-cache must be hit, miss, or coalesced, got {expectation:?}")
+                })?);
             }
             other => return Err(format!("unknown verify flag {other:?}")),
         }
@@ -279,7 +499,7 @@ fn verify_attempt(
     addr: &str,
     request: VerifyRequest,
     quiet: bool,
-    expect_cache: Option<bool>,
+    expect_cache: Option<Disposition>,
 ) -> Attempt {
     let stream = match connect(addr) {
         Ok(stream) => stream,
@@ -314,31 +534,46 @@ fn verify_attempt(
                     eprintln!("[{state}] {detail}");
                 }
             }
-            Response::Overloaded { depth, limit } => {
-                return Attempt::Overloaded { depth, limit };
+            Response::Overloaded { depth, limit, lane } => {
+                return Attempt::Overloaded { depth, limit, lane };
             }
             Response::Error { message } => return Attempt::Failed(message),
+            Response::DeadlineExceeded {
+                key_digest,
+                deadline_ms,
+                elapsed,
+            } => {
+                // A structured answer, not a transport failure: the
+                // deadline was the client's own budget, so this is
+                // terminal (retrying would blow it again).
+                println!(
+                    "deadline-exceeded: {deadline_ms}ms budget, \
+                     {:.3}s elapsed  key: {key_digest}",
+                    elapsed.as_secs_f64()
+                );
+                return Attempt::Success(ExitCode::from(3));
+            }
             Response::Result {
-                cache_hit,
+                disposition,
                 key_digest,
                 elapsed,
                 verification,
             } => {
-                let cache = if cache_hit { "hit" } else { "miss" };
+                let cache = disposition.label();
                 println!(
                     "verdict: {}  cache: {cache}  key: {key_digest}  elapsed: {:.3}s",
                     verification.verdict.label(),
                     elapsed.as_secs_f64(),
                 );
+                if let Some(degraded) = &verification.degraded {
+                    eprintln!("degraded: {degraded:?}");
+                }
                 if !verification.diagnostics.is_empty() {
                     println!("diagnostics: {}", verification.diagnostics.len());
                 }
-                if let Some(expected_hit) = expect_cache {
-                    if cache_hit != expected_hit {
-                        eprintln!(
-                            "expected cache {}, got {cache}",
-                            if expected_hit { "hit" } else { "miss" },
-                        );
+                if let Some(expected) = expect_cache {
+                    if disposition != expected {
+                        eprintln!("expected cache {}, got {cache}", expected.label());
                         return Attempt::Success(ExitCode::FAILURE);
                     }
                 }
@@ -384,20 +619,31 @@ where
 }
 
 const USAGE: &str = "\
-usage: robctl [--addr HOST:PORT] [--retries N] [--backoff-ms MS] <command>
-  --retries N      extra attempts for transient failures (connection
-                   refused/reset, overloaded rejection); default 0
-  --backoff-ms MS  base delay between attempts; doubles per retry,
-                   capped at 10s, jittered; default 100
+usage: robctl [--addr HOST:PORT] [--retries N] [--backoff-ms MS]
+              [--breaker-threshold N] [--breaker-cooldown-ms MS]
+              [--jitter-seed N] <command>
+  --retries N             extra attempts for transient failures (connection
+                          refused/reset, overloaded rejection); default 0
+  --backoff-ms MS         base delay between attempts; decorrelated jitter
+                          in [base, 3 x previous], capped at 10s; default 100
+  --breaker-threshold N   consecutive transient failures before the circuit
+                          breaker opens (0 disables); default 3
+  --breaker-cooldown-ms MS  how long an open breaker waits before its
+                          half-open probe; default 1000
+  --jitter-seed N         pin the jitter RNG (reproducible runs)
 commands:
   ping                         liveness probe
   verify --size N --width K    verify one configuration
          [--strategy pe-only|rewrite+pe] [--bug SPEC]
          [--max-conflicts N] [--max-seconds S]
+         [--deadline-ms MS]          per-request wall-clock budget
+         [--priority interactive|bulk]  admission lane (default interactive)
          [--audit] [--check-proofs] [--quiet]
-         [--expect-cache hit|miss]   fail unless the cache agreed
+         [--expect-cache hit|miss|coalesced]  fail unless the cache agreed
   stats                        server statistics
   metrics                      metrics registry (Prometheus text exposition)
+  health                       saturation-immune probe: exit 0 ok,
+                               2 overloaded/draining, 1 dead
   shutdown                     drain and stop the server
 ";
 
@@ -406,29 +652,96 @@ mod tests {
     use super::*;
 
     #[test]
-    fn backoff_doubles_then_caps() {
+    fn decorrelated_jitter_stays_within_bounds() {
         let base = Duration::from_millis(100);
-        // Zero jitter seed pins the delay to the lower bound: delay/2.
-        assert_eq!(backoff_delay(base, 0, 0), Duration::from_millis(50));
-        assert_eq!(backoff_delay(base, 1, 0), Duration::from_millis(100));
-        assert_eq!(backoff_delay(base, 2, 0), Duration::from_millis(200));
-        // Far past the cap: 100ms * 2^20 >> 10s, so the cap holds.
-        assert_eq!(backoff_delay(base, 20, 0), Duration::from_secs(5));
-        assert!(backoff_delay(base, 20, u64::MAX) <= Duration::from_secs(10));
-    }
-
-    #[test]
-    fn jitter_stays_within_half_to_full_delay() {
-        let base = Duration::from_millis(200);
-        for seed in [0u64, 1, 999, u64::MAX] {
-            let d = backoff_delay(base, 0, seed);
-            assert!(d >= Duration::from_millis(100), "{d:?}");
-            assert!(d <= Duration::from_millis(200), "{d:?}");
+        let cap = Duration::from_secs(10);
+        for seed in [1u64, 7, 999, u64::MAX] {
+            let mut backoff = Backoff::new(base, cap, seed);
+            let mut prev = base;
+            for round in 0..50 {
+                let d = backoff.next_delay();
+                assert!(d >= base, "round {round} seed {seed}: {d:?} below base");
+                let hi = prev.saturating_mul(3).min(cap).max(base);
+                assert!(d <= hi, "round {round} seed {seed}: {d:?} above {hi:?}");
+                assert!(d <= cap, "round {round} seed {seed}: {d:?} above cap");
+                prev = d;
+            }
         }
     }
 
     #[test]
+    fn decorrelated_jitter_is_deterministic_under_a_seed() {
+        let draw = |seed: u64| -> Vec<Duration> {
+            let mut backoff =
+                Backoff::new(Duration::from_millis(50), Duration::from_secs(10), seed);
+            (0..10).map(|_| backoff.next_delay()).collect()
+        };
+        assert_eq!(draw(42), draw(42), "same seed, same schedule");
+        assert_ne!(draw(42), draw(43), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn decorrelated_jitter_escapes_lockstep() {
+        // Two clients shed at the same instant with different seeds must
+        // not share a single delay in their schedules (this is the whole
+        // point versus deterministic doubling).
+        let mut a = Backoff::new(Duration::from_millis(100), Duration::from_secs(10), 1);
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(10), 2);
+        let collisions = (0..20).filter(|_| a.next_delay() == b.next_delay()).count();
+        assert_eq!(collisions, 0, "seeded schedules must diverge");
+    }
+
+    #[test]
     fn zero_base_never_sleeps() {
-        assert_eq!(backoff_delay(Duration::ZERO, 5, 12345), Duration::ZERO);
+        let mut backoff = Backoff::new(Duration::ZERO, Duration::from_secs(10), 12345);
+        for _ in 0..5 {
+            assert_eq!(backoff.next_delay(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn jitter_caps_at_ten_seconds() {
+        let mut backoff = Backoff::new(Duration::from_secs(9), Duration::from_secs(10), 7);
+        for _ in 0..10 {
+            assert!(backoff.next_delay() <= Duration::from_secs(10));
+        }
+    }
+
+    #[test]
+    fn breaker_opens_on_consecutive_failures_and_probes_half_open() {
+        let mut breaker = Breaker::new(3);
+        assert!(!breaker.is_open());
+        breaker.record_failure();
+        breaker.record_failure();
+        assert!(!breaker.is_open(), "below threshold stays closed");
+        breaker.record_failure();
+        assert!(breaker.is_open(), "threshold consecutive failures open it");
+        breaker.begin_probe();
+        assert!(!breaker.is_open(), "cooldown admits a half-open probe");
+        assert_eq!(breaker.state, BreakerState::HalfOpen);
+        breaker.record_failure();
+        assert!(breaker.is_open(), "a failed probe re-opens immediately");
+        breaker.begin_probe();
+        breaker.record_success();
+        assert_eq!(breaker.state, BreakerState::Closed);
+        assert_eq!(breaker.consecutive, 0, "success resets the streak");
+    }
+
+    #[test]
+    fn breaker_success_interrupts_the_streak() {
+        let mut breaker = Breaker::new(2);
+        breaker.record_failure();
+        breaker.record_success();
+        breaker.record_failure();
+        assert!(!breaker.is_open(), "non-consecutive failures never open");
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let mut breaker = Breaker::new(0);
+        for _ in 0..100 {
+            breaker.record_failure();
+        }
+        assert!(!breaker.is_open());
     }
 }

@@ -1,8 +1,8 @@
 //! `robd` — the verification server daemon.
 //!
 //! ```text
-//! robd [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-secs S]
-//!      [--cache N] [--persist PATH]
+//! robd [--addr HOST:PORT] [--workers N] [--queue N] [--bulk-queue N]
+//!      [--timeout-secs S] [--cache N] [--persist PATH]
 //! ```
 //!
 //! Prints `rob-serve listening on <addr>` once ready, then serves until
@@ -21,12 +21,14 @@ fn main() -> ExitCode {
         addr: "127.0.0.1:7421".to_owned(),
         ..ServerConfig::default()
     };
+    let mut bulk_queue: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let result = match arg.as_str() {
             "--addr" => take(&mut args, &arg).map(|v| config.addr = v),
             "--workers" => parse(&mut args, &arg).map(|v: usize| config.workers = v.max(1)),
             "--queue" => parse(&mut args, &arg).map(|v| config.queue_limit = v),
+            "--bulk-queue" => parse(&mut args, &arg).map(|v| bulk_queue = Some(v)),
             "--timeout-secs" => parse(&mut args, &arg)
                 .map(|v: f64| config.timeout = Some(Duration::from_secs_f64(v))),
             "--cache" => parse(&mut args, &arg).map(|v: usize| config.cache_capacity = v.max(1)),
@@ -46,6 +48,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    // Bulk admission defaults to half the queue so a bulk flood leaves
+    // headroom for interactive traffic; an explicit flag overrides.
+    config.bulk_queue_limit = bulk_queue
+        .unwrap_or(config.queue_limit / 2)
+        .min(config.queue_limit);
 
     // The daemon always collects metrics; the registry is the backing
     // store for the `metrics` request (Prometheus text exposition).
@@ -81,6 +89,9 @@ usage: robd [options]
   --addr HOST:PORT   bind address (default 127.0.0.1:7421; port 0 = ephemeral)
   --workers N        solver worker threads (default: available parallelism)
   --queue N          admission-queue bound; beyond it requests are shed (default 32)
+  --bulk-queue N     bulk-lane admission ceiling: bulk-priority requests are
+                     shed once total queue occupancy reaches N, so overload
+                     sheds bulk strictly before interactive (default queue/2)
   --timeout-secs S   per-job wall-clock deadline (default: none)
   --cache N          result-cache capacity (default 1024)
   --persist PATH     JSONL cache store replayed on startup, flushed on shutdown

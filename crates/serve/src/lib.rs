@@ -20,7 +20,18 @@
 //! - **graceful drain**: shutdown finishes in-flight and queued jobs,
 //!   flushes the cache, and refuses new connections;
 //! - **streamed progress**: `verify` responses interleave `queued` /
-//!   `started` events before the terminal line;
+//!   `started` (or `coalesced`) events before the terminal line;
+//! - **single-flight coalescing**: identical in-flight requests share
+//!   one solve; followers receive the terminal result as
+//!   `cache: coalesced` without occupying a worker;
+//! - **deadline propagation**: a `deadline_ms` on `verify` maps onto a
+//!   deadline-bearing cancel token chained into the verifier — a
+//!   request racing its budget degrades to the PE-only translation or
+//!   answers with a structured `deadline-exceeded` line, never a hang;
+//! - **priority lanes**: `priority: interactive|bulk` admission with a
+//!   bulk ceiling, so overload sheds bulk strictly before interactive;
+//! - **saturation-immune health**: a `health` request is answered on
+//!   the connection thread even when the pool is full;
 //! - **introspection**: a `stats` request reports uptime, jobs served,
 //!   cache hit rate, queue depth, and p50/p95 solve latency.
 //!
@@ -46,6 +57,6 @@ pub mod server;
 pub mod stats;
 
 pub use cache::{ReplayReport, ResultCache};
-pub use proto::{Request, Response, StatsSnapshot, VerifyRequest};
-pub use server::{Server, ServerConfig, ServerHandle};
-pub use stats::ServerStats;
+pub use proto::{Disposition, Request, Response, StatsSnapshot, VerifyRequest};
+pub use server::{ServeRunner, Server, ServerConfig, ServerHandle};
+pub use stats::{PoolView, ServerStats};

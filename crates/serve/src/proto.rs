@@ -15,9 +15,45 @@ use std::time::Duration;
 
 use campaign::codec;
 use campaign::json::{self, Json};
+use campaign::Priority;
 use rob_verify::{BugSpec, Config, Limits, Strategy, Verification};
 
-/// A `verify` request: everything that determines one verification job.
+/// Where a `result` line came from: a cache hit, a fresh solve, or a
+/// coalesced ride on another client's identical in-flight solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Answered from the result cache.
+    Hit,
+    /// Solved fresh for this request.
+    Miss,
+    /// Attached as a follower to an identical in-flight solve.
+    Coalesced,
+}
+
+impl Disposition {
+    /// Stable wire name (`cache` field of a `result` line).
+    pub fn label(self) -> &'static str {
+        match self {
+            Disposition::Hit => "hit",
+            Disposition::Miss => "miss",
+            Disposition::Coalesced => "coalesced",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn from_label(label: &str) -> Option<Disposition> {
+        match label {
+            "hit" => Some(Disposition::Hit),
+            "miss" => Some(Disposition::Miss),
+            "coalesced" => Some(Disposition::Coalesced),
+            _ => None,
+        }
+    }
+}
+
+/// A `verify` request: everything that determines one verification job,
+/// plus per-request quality-of-service knobs (`deadline_ms`, `priority`)
+/// that shape scheduling without entering the job's cache identity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VerifyRequest {
     /// Reorder-buffer size `N`.
@@ -34,6 +70,14 @@ pub struct VerifyRequest {
     pub check_proofs: bool,
     /// Run the rob-lint audit battery.
     pub audit: bool,
+    /// Wall-clock budget for the whole request, measured from arrival.
+    /// A request that cannot finish in time gets a structured
+    /// `deadline-exceeded` terminal line (or a degraded result) rather
+    /// than a silent hang. `None` means no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Admission lane; bulk traffic is shed before interactive under
+    /// overload.
+    pub priority: Priority,
 }
 
 impl VerifyRequest {
@@ -47,7 +91,14 @@ impl VerifyRequest {
             sat_limits: Limits::none(),
             check_proofs: false,
             audit: false,
+            deadline_ms: None,
+            priority: Priority::Interactive,
         }
+    }
+
+    /// The request's deadline as a [`Duration`], when present.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline_ms.map(Duration::from_millis)
     }
 
     /// Validates the configuration and builds the campaign job.
@@ -83,6 +134,10 @@ pub enum Request {
     Metrics,
     /// Liveness probe.
     Ping,
+    /// Saturation-immune health probe: answered on the connection thread
+    /// without touching the admission queue, so probes can distinguish an
+    /// overloaded daemon from a dead one.
+    Health,
     /// Drain and exit.
     Shutdown,
 }
@@ -108,8 +163,20 @@ pub struct StatsSnapshot {
     pub cache_evictions: u64,
     /// Jobs waiting in the admission queue.
     pub queue_depth: usize,
+    /// Interactive-lane jobs waiting in the admission queue.
+    pub queue_interactive: usize,
+    /// Bulk-lane jobs waiting in the admission queue.
+    pub queue_bulk: usize,
+    /// Interactive submissions shed at the admission bound.
+    pub shed_interactive: u64,
+    /// Bulk submissions shed at the bulk admission ceiling.
+    pub shed_bulk: u64,
     /// Jobs currently executing.
     pub active_jobs: usize,
+    /// Verify requests answered by riding an identical in-flight solve.
+    pub coalesced: u64,
+    /// Verify requests answered with a `deadline-exceeded` terminal line.
+    pub deadline_exceeded: u64,
     /// Obligation-memo lookup hits since startup (sub-formula
     /// discharges, PE classifications, and main-solve verdicts replayed
     /// across requests).
@@ -138,8 +205,9 @@ pub enum Response {
     },
     /// The terminal answer to a `verify` request.
     Result {
-        /// Whether the result came from the cache.
-        cache_hit: bool,
+        /// How the answer was produced (cache hit, fresh solve, or
+        /// coalesced onto an identical in-flight solve).
+        disposition: Disposition,
         /// The job-key digest (16 hex digits) for log correlation.
         key_digest: String,
         /// Wall-clock time the server spent answering.
@@ -147,8 +215,31 @@ pub enum Response {
         /// The verification result.
         verification: Verification,
     },
+    /// Terminal line for a `verify` whose `deadline_ms` elapsed before a
+    /// result could be produced.
+    DeadlineExceeded {
+        /// The job-key digest (16 hex digits) for log correlation.
+        key_digest: String,
+        /// The deadline the request carried.
+        deadline_ms: u64,
+        /// Wall-clock time the request spent before being cut off.
+        elapsed: Duration,
+    },
     /// Statistics snapshot.
     Stats(StatsSnapshot),
+    /// Answer to `health`: always served, even under saturation.
+    Health {
+        /// `ok`, `overloaded`, or `draining`.
+        status: String,
+        /// Interactive-lane jobs waiting.
+        queue_interactive: usize,
+        /// Bulk-lane jobs waiting.
+        queue_bulk: usize,
+        /// The configured admission bound.
+        queue_limit: usize,
+        /// Jobs currently executing.
+        active_jobs: usize,
+    },
     /// Metrics registry snapshot in Prometheus text exposition.
     Metrics {
         /// The exposition body (`# TYPE` + `name value` lines).
@@ -158,8 +249,10 @@ pub enum Response {
     Overloaded {
         /// Queue depth observed.
         depth: usize,
-        /// Configured bound.
+        /// The admission bound that refused this request's lane.
         limit: usize,
+        /// The lane the shed request targeted.
+        lane: Priority,
     },
     /// The request failed (parse error, invalid configuration, worker
     /// crash).
@@ -191,10 +284,13 @@ impl Request {
                 ),
                 ("check_proofs", Json::from(v.check_proofs)),
                 ("audit", Json::from(v.audit)),
+                ("deadline_ms", v.deadline_ms.into()),
+                ("priority", Json::str(v.priority.label())),
             ]),
             Request::Stats => Json::obj([("request", Json::str("stats"))]),
             Request::Metrics => Json::obj([("request", Json::str("metrics"))]),
             Request::Ping => Json::obj([("request", Json::str("ping"))]),
+            Request::Health => Json::obj([("request", Json::str("health"))]),
             Request::Shutdown => Json::obj([("request", Json::str("shutdown"))]),
         }
     }
@@ -215,6 +311,7 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             "verify" => {
                 let rob_size = require_usize(&doc, "rob_size")?;
@@ -240,6 +337,16 @@ impl Request {
                     max_seconds: optional_f64(&doc, "max_seconds")?,
                     max_learnt_literals: optional_u64(&doc, "max_learnt_literals")?,
                 };
+                let priority = match doc.get("priority") {
+                    None | Some(Json::Null) => Priority::Interactive,
+                    Some(p) => {
+                        let label = p
+                            .as_str()
+                            .ok_or_else(|| "priority is not a string".to_owned())?;
+                        Priority::from_label(label)
+                            .ok_or_else(|| format!("unknown priority {label:?}"))?
+                    }
+                };
                 Ok(Request::Verify(VerifyRequest {
                     rob_size,
                     issue_width,
@@ -248,6 +355,8 @@ impl Request {
                     sat_limits,
                     check_proofs: optional_bool(&doc, "check_proofs")?,
                     audit: optional_bool(&doc, "audit")?,
+                    deadline_ms: optional_u64(&doc, "deadline_ms")?,
+                    priority,
                 }))
             }
             other => Err(format!("unknown request {other:?}")),
@@ -265,16 +374,40 @@ impl Response {
                 ("detail", Json::str(detail.clone())),
             ]),
             Response::Result {
-                cache_hit,
+                disposition,
                 key_digest,
                 elapsed,
                 verification,
             } => Json::obj([
                 ("response", Json::str("result")),
-                ("cache", Json::str(if *cache_hit { "hit" } else { "miss" })),
+                ("cache", Json::str(disposition.label())),
                 ("key_digest", Json::str(key_digest.clone())),
                 ("elapsed_secs", Json::Num(elapsed.as_secs_f64())),
                 ("verification", codec::verification_to_json(verification)),
+            ]),
+            Response::DeadlineExceeded {
+                key_digest,
+                deadline_ms,
+                elapsed,
+            } => Json::obj([
+                ("response", Json::str("deadline-exceeded")),
+                ("key_digest", Json::str(key_digest.clone())),
+                ("deadline_ms", Json::from(*deadline_ms)),
+                ("elapsed_secs", Json::Num(elapsed.as_secs_f64())),
+            ]),
+            Response::Health {
+                status,
+                queue_interactive,
+                queue_bulk,
+                queue_limit,
+                active_jobs,
+            } => Json::obj([
+                ("response", Json::str("health")),
+                ("status", Json::str(status.clone())),
+                ("queue_interactive", Json::from(*queue_interactive)),
+                ("queue_bulk", Json::from(*queue_bulk)),
+                ("queue_limit", Json::from(*queue_limit)),
+                ("active_jobs", Json::from(*active_jobs)),
             ]),
             Response::Stats(s) => Json::obj([
                 ("response", Json::str("stats")),
@@ -287,7 +420,13 @@ impl Response {
                 ("cache_entries", Json::from(s.cache_entries)),
                 ("cache_evictions", Json::from(s.cache_evictions)),
                 ("queue_depth", Json::from(s.queue_depth)),
+                ("queue_interactive", Json::from(s.queue_interactive)),
+                ("queue_bulk", Json::from(s.queue_bulk)),
+                ("shed_interactive", Json::from(s.shed_interactive)),
+                ("shed_bulk", Json::from(s.shed_bulk)),
                 ("active_jobs", Json::from(s.active_jobs)),
+                ("coalesced", Json::from(s.coalesced)),
+                ("deadline_exceeded", Json::from(s.deadline_exceeded)),
                 ("memo_hits", Json::from(s.memo_hits)),
                 ("memo_misses", Json::from(s.memo_misses)),
                 ("memo_hit_rate", Json::Num(s.memo_hit_rate)),
@@ -299,10 +438,11 @@ impl Response {
                 ("response", Json::str("metrics")),
                 ("text", Json::str(text.clone())),
             ]),
-            Response::Overloaded { depth, limit } => Json::obj([
+            Response::Overloaded { depth, limit, lane } => Json::obj([
                 ("response", Json::str("overloaded")),
                 ("depth", Json::from(*depth)),
                 ("limit", Json::from(*limit)),
+                ("lane", Json::str(lane.label())),
             ]),
             Response::Error { message } => Json::obj([
                 ("response", Json::str("error")),
@@ -331,9 +471,32 @@ impl Response {
                 state: require_str(&doc, "state")?,
                 detail: require_str(&doc, "detail")?,
             }),
-            "overloaded" => Ok(Response::Overloaded {
-                depth: require_usize(&doc, "depth")?,
-                limit: require_usize(&doc, "limit")?,
+            "overloaded" => {
+                let lane = require_str(&doc, "lane")?;
+                Ok(Response::Overloaded {
+                    depth: require_usize(&doc, "depth")?,
+                    limit: require_usize(&doc, "limit")?,
+                    lane: Priority::from_label(&lane)
+                        .ok_or_else(|| format!("unknown lane {lane:?}"))?,
+                })
+            }
+            "deadline-exceeded" => {
+                let elapsed = require_f64(&doc, "elapsed_secs")?;
+                if !(elapsed.is_finite() && elapsed >= 0.0) {
+                    return Err(format!("invalid elapsed_secs {elapsed}"));
+                }
+                Ok(Response::DeadlineExceeded {
+                    key_digest: require_str(&doc, "key_digest")?,
+                    deadline_ms: require_f64(&doc, "deadline_ms")? as u64,
+                    elapsed: Duration::from_secs_f64(elapsed),
+                })
+            }
+            "health" => Ok(Response::Health {
+                status: require_str(&doc, "status")?,
+                queue_interactive: require_usize(&doc, "queue_interactive")?,
+                queue_bulk: require_usize(&doc, "queue_bulk")?,
+                queue_limit: require_usize(&doc, "queue_limit")?,
+                active_jobs: require_usize(&doc, "active_jobs")?,
             }),
             "error" => Ok(Response::Error {
                 message: require_str(&doc, "message")?,
@@ -343,17 +506,14 @@ impl Response {
             }),
             "result" => {
                 let cache = require_str(&doc, "cache")?;
-                let cache_hit = match cache.as_str() {
-                    "hit" => true,
-                    "miss" => false,
-                    other => return Err(format!("unknown cache flag {other:?}")),
-                };
+                let disposition = Disposition::from_label(&cache)
+                    .ok_or_else(|| format!("unknown cache flag {cache:?}"))?;
                 let elapsed = require_f64(&doc, "elapsed_secs")?;
                 if !(elapsed.is_finite() && elapsed >= 0.0) {
                     return Err(format!("invalid elapsed_secs {elapsed}"));
                 }
                 Ok(Response::Result {
-                    cache_hit,
+                    disposition,
                     key_digest: require_str(&doc, "key_digest")?,
                     elapsed: Duration::from_secs_f64(elapsed),
                     verification: codec::verification_from_json(
@@ -372,7 +532,13 @@ impl Response {
                 cache_entries: require_usize(&doc, "cache_entries")?,
                 cache_evictions: require_f64(&doc, "cache_evictions")? as u64,
                 queue_depth: require_usize(&doc, "queue_depth")?,
+                queue_interactive: require_usize(&doc, "queue_interactive")?,
+                queue_bulk: require_usize(&doc, "queue_bulk")?,
+                shed_interactive: require_f64(&doc, "shed_interactive")? as u64,
+                shed_bulk: require_f64(&doc, "shed_bulk")? as u64,
                 active_jobs: require_usize(&doc, "active_jobs")?,
+                coalesced: require_f64(&doc, "coalesced")? as u64,
+                deadline_exceeded: require_f64(&doc, "deadline_exceeded")? as u64,
                 memo_hits: require_f64(&doc, "memo_hits")? as u64,
                 memo_misses: require_f64(&doc, "memo_misses")? as u64,
                 memo_hit_rate: require_f64(&doc, "memo_hit_rate")?,
@@ -470,8 +636,11 @@ mod tests {
                 },
                 check_proofs: true,
                 audit: true,
+                deadline_ms: Some(1500),
+                priority: Priority::Bulk,
                 ..VerifyRequest::new(8, 2)
             }),
+            Request::Health,
         ];
         for request in requests {
             let line = request.to_json().to_string();
@@ -502,9 +671,22 @@ mod tests {
             Response::Overloaded {
                 depth: 64,
                 limit: 64,
+                lane: Priority::Bulk,
             },
             Response::Error {
                 message: "bad request".to_owned(),
+            },
+            Response::DeadlineExceeded {
+                key_digest: "00ff00ff00ff00ff".to_owned(),
+                deadline_ms: 250,
+                elapsed: Duration::from_millis(251),
+            },
+            Response::Health {
+                status: "overloaded".to_owned(),
+                queue_interactive: 3,
+                queue_bulk: 5,
+                queue_limit: 8,
+                active_jobs: 4,
             },
             Response::Metrics {
                 text: "# TYPE rob_serve_jobs_served_total counter\n\
@@ -512,7 +694,7 @@ mod tests {
                     .to_owned(),
             },
             Response::Result {
-                cache_hit: true,
+                disposition: Disposition::Coalesced,
                 key_digest: "00ff00ff00ff00ff".to_owned(),
                 elapsed: Duration::from_millis(3),
                 verification,
@@ -527,7 +709,13 @@ mod tests {
                 cache_entries: 4,
                 cache_evictions: 0,
                 queue_depth: 2,
+                queue_interactive: 1,
+                queue_bulk: 1,
+                shed_interactive: 0,
+                shed_bulk: 1,
                 active_jobs: 1,
+                coalesced: 2,
+                deadline_exceeded: 1,
                 memo_hits: 11,
                 memo_misses: 5,
                 memo_hit_rate: 11.0 / 16.0,
@@ -561,6 +749,14 @@ mod tests {
         )
         .is_err());
         assert!(Request::parse(r#"{"request":"dance"}"#).is_err());
+        assert!(Request::parse(
+            r#"{"request":"verify","rob_size":4,"issue_width":1,"priority":"best-effort"}"#
+        )
+        .is_err());
+        assert!(Request::parse(
+            r#"{"request":"verify","rob_size":4,"issue_width":1,"deadline_ms":-5}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,45 +1,65 @@
 //! The daemon: TCP accept loop, connection handlers, and the verify
-//! pipeline (cache lookup → pool submission → event streaming → cache
-//! insert).
+//! pipeline (cache lookup → single-flight coalescing → pool submission →
+//! event streaming → cache insert).
 //!
 //! Life of a `verify` request:
 //!
 //! 1. the connection thread parses the line and derives the job's
 //!    [`JobKey`](rob_verify::JobKey);
 //! 2. a cache hit answers immediately with `cache: hit`;
-//! 3. a miss is submitted to the shared [`ServicePool`] — if the bounded
-//!    admission queue is full the request is shed with `overloaded`
-//!    (never queued unboundedly);
-//! 4. while the job runs, progress events stream back to the client;
-//! 5. the result is inserted into the cache **before** the response is
+//! 3. if an identical job is already in flight, the request attaches as
+//!    a **follower** of that flight (single-flight coalescing): it never
+//!    occupies a worker, and the leader's terminal result fans out to
+//!    every follower as `cache: coalesced`;
+//! 4. otherwise the request leads: it is submitted to the shared
+//!    [`ServicePool`] on its priority lane — if the lane's admission
+//!    bound is hit the request is shed with `overloaded` (bulk sheds
+//!    strictly before interactive, never queued unboundedly);
+//! 5. a request carrying `deadline_ms` runs under a deadline-bearing
+//!    child [`CancelToken`]: the verifier degrades to the PE-only
+//!    translation when the rewrite phase would blow the budget, and a
+//!    request that misses its deadline outright gets a structured
+//!    `deadline-exceeded` terminal line — never a silent hang;
+//! 6. while the job runs, progress events stream back to the client;
+//! 7. the result is inserted into the cache **before** the response is
 //!    written, so a client that disconnected mid-stream still pays
-//!    forward: the next identical request is a hit.
+//!    forward: the next identical request is a hit. Degraded and
+//!    cancelled verifications are never cached — the cache key promises
+//!    the default-budget run.
+//!
+//! A leader whose client disconnects keeps computing as long as at least
+//! one follower is attached (the work is never orphaned); the flight's
+//! job is cancelled only when the last interested client is gone.
 //!
 //! Shutdown (a `shutdown` request or [`ServerHandle::shutdown`]) drains:
 //! the listener stops accepting, in-flight and queued jobs finish, every
-//! connection thread is joined, and the cache is flushed to its store.
+//! follower receives its terminal line, every connection thread is
+//! joined, and the cache is flushed to its store.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use campaign::pool::{CancelToken, ExecOutcome, PoolOptions, ServicePool, SubmitError};
-use campaign::{JobRunner, JobSpec};
-use rob_verify::Verification;
+use campaign::pool::{
+    CancelToken, ExecOutcome, PoolOptions, Priority, ServicePool, Submission, SubmitError,
+};
+use campaign::JobSpec;
+use rob_verify::{Verification, VerifyError};
 
 use rob_verify::memo;
 use rob_verify::trace;
 
 use crate::cache::{ReplayReport, ResultCache};
-use crate::proto::{Request, Response};
-use crate::stats::ServerStats;
+use crate::proto::{Disposition, Request, Response, VerifyRequest};
+use crate::stats::{PoolView, ServerStats};
 
-/// Verify jobs answered (cache hits and misses alike).
+/// Verify jobs answered (cache hits, misses, and coalesced alike).
 static JOBS_SERVED: trace::Counter = trace::Counter::new("serve.jobs.served");
 /// Verify answers served straight from the result cache.
 static CACHE_HITS: trace::Counter = trace::Counter::new("serve.cache.hits");
@@ -47,6 +67,28 @@ static CACHE_HITS: trace::Counter = trace::Counter::new("serve.cache.hits");
 static CACHE_MISSES: trace::Counter = trace::Counter::new("serve.cache.misses");
 /// Results currently held by the cache.
 static CACHE_ENTRIES: trace::Gauge = trace::Gauge::new("serve.cache.entries");
+/// Verify answers delivered by riding an identical in-flight solve.
+static JOBS_COALESCED: trace::Counter = trace::Counter::new("serve.jobs.coalesced");
+/// Verify requests answered with a `deadline-exceeded` terminal line.
+static DEADLINE_EXCEEDED: trace::Counter = trace::Counter::new("serve.deadline.exceeded");
+/// Interactive submissions shed at the admission bound.
+static SHED_INTERACTIVE: trace::Counter = trace::Counter::new("serve.shed.interactive");
+/// Bulk submissions shed at the bulk admission ceiling.
+static SHED_BULK: trace::Counter = trace::Counter::new("serve.shed.bulk");
+/// Interactive-lane jobs waiting in the admission queue.
+static QUEUE_INTERACTIVE: trace::Gauge = trace::Gauge::new("serve.queue.interactive");
+/// Bulk-lane jobs waiting in the admission queue.
+static QUEUE_BULK: trace::Gauge = trace::Gauge::new("serve.queue.bulk");
+
+/// The serving layer's job runner: the job, its cooperative cancel
+/// token, and the wall-clock budget remaining when the job started
+/// (`None` for deadline-free requests). Tests inject sleeping or
+/// panicking runners.
+pub type ServeRunner = Arc<
+    dyn Fn(&JobSpec, &CancelToken, Option<Duration>) -> Result<Verification, VerifyError>
+        + Send
+        + Sync,
+>;
 
 /// How the daemon is wired together.
 pub struct ServerConfig {
@@ -57,6 +99,11 @@ pub struct ServerConfig {
     /// Bound on jobs waiting for a worker; submissions beyond it are
     /// shed with `overloaded`.
     pub queue_limit: usize,
+    /// Bulk admission ceiling on **total** queue occupancy: bulk
+    /// submissions are shed once the queue holds this many jobs, while
+    /// interactive traffic is admitted up to `queue_limit`. Clamped to
+    /// `queue_limit`.
+    pub bulk_queue_limit: usize,
     /// Per-attempt wall-clock deadline for a job, if any.
     pub timeout: Option<Duration>,
     /// Maximum cached results.
@@ -75,7 +122,7 @@ pub struct ServerConfig {
     /// drains.
     pub cancel_on_drain: bool,
     /// The job runner; tests inject sleeping or panicking runners.
-    pub runner: JobRunner,
+    pub runner: ServeRunner,
 }
 
 impl Default for ServerConfig {
@@ -84,25 +131,55 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: campaign::default_workers(),
             queue_limit: 32,
+            bulk_queue_limit: 16,
             timeout: None,
             cache_capacity: 1024,
             persist_path: None,
             memo_persist_path: None,
             cancel_on_drain: false,
-            runner: Arc::new(|job: &JobSpec, cancel: &CancelToken| job.run_cancellable(cancel)),
+            runner: Arc::new(
+                |job: &JobSpec, cancel: &CancelToken, remaining: Option<Duration>| {
+                    job.run_with_deadline(cancel, remaining)
+                },
+            ),
         }
     }
 }
 
 /// A job travelling through the service pool, carrying the progress
-/// channel of the connection that submitted it.
+/// channel of the connection that submitted it plus its deadline
+/// bookkeeping (measured from arrival, so queue time counts against the
+/// budget).
 #[derive(Clone)]
 struct ServiceJob {
     spec: JobSpec,
     events: Sender<Response>,
+    arrival: Instant,
+    deadline: Option<Duration>,
 }
 
-type PoolResult = Result<Verification, rob_verify::VerifyError>;
+type PoolResult = Result<Verification, VerifyError>;
+
+/// The terminal outcome of a flight, fanned out to every follower.
+/// The verification is boxed: a flight outcome travels through channels
+/// and clones once per follower, and the failure arm is a short string.
+#[derive(Clone)]
+enum FlightOutcome {
+    Solved(Box<Verification>),
+    Failed(String),
+}
+
+/// One in-flight solve that identical requests can attach to.
+struct Flight {
+    /// The leader's per-job cancel handle; tripped only when the last
+    /// interested client (leader or follower) is gone.
+    cancel: CancelToken,
+    /// Follower reply channels by attach id.
+    followers: HashMap<u64, Sender<FlightOutcome>>,
+    /// The leader's client disconnected; the flight survives while
+    /// followers remain.
+    leader_gone: bool,
+}
 
 struct Shared {
     pool: ServicePool<ServiceJob, PoolResult>,
@@ -114,6 +191,17 @@ struct Shared {
     stats: ServerStats,
     stopping: AtomicBool,
     cancel_on_drain: bool,
+    /// Single-flight registry: canonical job key → the running flight.
+    flights: Mutex<HashMap<String, Flight>>,
+    follower_seq: AtomicU64,
+}
+
+impl Shared {
+    fn update_lane_gauges(&self) {
+        let (interactive, bulk) = self.pool.lane_depths();
+        QUEUE_INTERACTIVE.set(interactive as u64);
+        QUEUE_BULK.set(bulk as u64);
+    }
 }
 
 /// The daemon entry point. See [`Server::start`].
@@ -151,7 +239,7 @@ impl Server {
 
         let runner = Arc::clone(&config.runner);
         let worker_memo = Arc::clone(&memo_store);
-        let pool = ServicePool::start(
+        let pool = ServicePool::start_with_lanes(
             &PoolOptions {
                 workers: config.workers,
                 timeout: config.timeout,
@@ -159,16 +247,28 @@ impl Server {
                 ..PoolOptions::default()
             },
             config.queue_limit,
+            config.bulk_queue_limit,
             Arc::new(move |job: &ServiceJob, cancel: &CancelToken| {
                 chaos::hit("serve.worker.run");
                 let _ = job.events.send(Response::Event {
                     state: "started".to_owned(),
                     detail: job.spec.label(),
                 });
+                // Queue time counts against the request deadline: derive
+                // the remaining budget now, at execution start, and run
+                // under a deadline-bearing child token so even a job
+                // that ignores `remaining` self-cancels at its next poll.
+                let remaining = job
+                    .deadline
+                    .map(|d| d.saturating_sub(job.arrival.elapsed()));
+                let token = match remaining {
+                    Some(budget) => cancel.child_with_deadline(budget),
+                    None => cancel.clone(),
+                };
                 // The memo binding is thread-local: bind on the worker
                 // thread, once per job.
                 let _memo_guard = memo::bind(Arc::clone(&worker_memo));
-                runner(&job.spec, cancel)
+                runner(&job.spec, &token, remaining)
             }),
         );
 
@@ -179,6 +279,8 @@ impl Server {
             stats: ServerStats::new(),
             stopping: AtomicBool::new(false),
             cancel_on_drain: config.cancel_on_drain,
+            flights: Mutex::new(HashMap::new()),
+            follower_seq: AtomicU64::new(0),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -263,7 +365,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     // Drain: every connection thread's pending receiver resolves and the
     // thread exits — either because queued and in-flight jobs finish, or
     // (cancel-on-drain) because their tokens were tripped first and they
-    // resolve as cancelled.
+    // resolve as cancelled. Leaders resolve their flights on the way
+    // out, so every coalesced follower receives its terminal line too.
     if shared.cancel_on_drain {
         shared.pool.shutdown_now();
     } else {
@@ -322,16 +425,47 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<Socke
                     return;
                 }
             }
+            Ok(Request::Health) => {
+                // Served on the connection thread, never via the pool:
+                // a saturated daemon still answers, so probes can tell
+                // "overloaded" from "dead".
+                let (queue_interactive, queue_bulk) = shared.pool.lane_depths();
+                let queue_limit = shared.pool.queue_limit();
+                let status = if shared.stopping.load(Ordering::SeqCst) {
+                    "draining"
+                } else if queue_interactive + queue_bulk >= queue_limit {
+                    "overloaded"
+                } else {
+                    "ok"
+                };
+                let response = Response::Health {
+                    status: status.to_owned(),
+                    queue_interactive,
+                    queue_bulk,
+                    queue_limit,
+                    active_jobs: shared.pool.active_jobs(),
+                };
+                if write_response(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
             Ok(Request::Stats) => {
                 let snapshot = {
                     let cache = shared.cache.lock().expect("cache poisoned");
+                    let (queue_interactive, queue_bulk) = shared.pool.lane_depths();
+                    let pool_stats = shared.pool.pool_stats();
                     shared.stats.snapshot(
                         cache.hits(),
                         cache.misses(),
                         cache.len(),
                         cache.evictions(),
-                        shared.pool.queue_depth(),
-                        shared.pool.active_jobs(),
+                        PoolView {
+                            queue_interactive,
+                            queue_bulk,
+                            shed_interactive: pool_stats.shed_interactive,
+                            shed_bulk: pool_stats.shed_bulk,
+                            active_jobs: shared.pool.active_jobs(),
+                        },
                         shared.memo.stats(),
                     )
                 };
@@ -340,6 +474,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<Socke
                 }
             }
             Ok(Request::Metrics) => {
+                shared.update_lane_gauges();
                 let response = Response::Metrics {
                     text: trace::prometheus(),
                 };
@@ -365,13 +500,20 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<Socke
     }
 }
 
-fn serve_verify(
-    writer: &mut TcpStream,
-    shared: &Arc<Shared>,
-    request: &crate::proto::VerifyRequest,
-) {
+/// How a verify request will be answered after the cache miss.
+enum Role {
+    /// This request owns the solve.
+    Leader(Submission<PoolResult>, Receiver<Response>),
+    /// This request rides an identical in-flight solve.
+    Follower(u64, Receiver<FlightOutcome>),
+    /// The admission queue refused the request.
+    Shed(SubmitError),
+}
+
+fn serve_verify(writer: &mut TcpStream, shared: &Arc<Shared>, request: &VerifyRequest) {
     chaos::hit("serve.verify");
     let started = Instant::now();
+    let deadline = request.deadline();
     let job = match request.job() {
         Ok(job) => job,
         Err(message) => {
@@ -382,13 +524,15 @@ fn serve_verify(
     let key = job.key();
 
     if let Some(verification) = shared.cache.lock().expect("cache poisoned").get(&key) {
-        shared.stats.record_served(started.elapsed(), true);
+        shared
+            .stats
+            .record_served(started.elapsed(), Disposition::Hit);
         JOBS_SERVED.inc();
         CACHE_HITS.inc();
         let _ = write_response(
             writer,
             &Response::Result {
-                cache_hit: true,
+                disposition: Disposition::Hit,
                 key_digest: key.digest_hex(),
                 elapsed: started.elapsed(),
                 verification,
@@ -397,97 +541,400 @@ fn serve_verify(
         return;
     }
 
-    let (events, event_rx) = mpsc::channel();
-    let queued = Response::Event {
-        state: "queued".to_owned(),
-        detail: format!("{} key={}", job.label(), key.digest_hex()),
-    };
-    let submission = match shared.pool.submit(ServiceJob { spec: job, events }) {
-        Ok(submission) => submission,
-        Err(SubmitError::Overloaded { depth, limit }) => {
-            shared.stats.record_rejected();
-            let _ = write_response(writer, &Response::Overloaded { depth, limit });
-            return;
+    // Attach-or-lead, atomically under the flight registry lock, so two
+    // identical concurrent misses cannot both submit a solve. Only
+    // deadline-free leaders register a flight: a deadline-bearing solve
+    // runs under a clipped budget and may degrade, which would be the
+    // wrong answer for followers that promised nothing of the sort.
+    let canonical = key.canonical().to_owned();
+    let role = {
+        let mut flights = shared.flights.lock().expect("flights poisoned");
+        if let Some(flight) = flights.get_mut(&canonical) {
+            let id = shared.follower_seq.fetch_add(1, Ordering::SeqCst);
+            let (follower_tx, follower_rx) = mpsc::channel();
+            flight.followers.insert(id, follower_tx);
+            Role::Follower(id, follower_rx)
+        } else {
+            let (events, event_rx) = mpsc::channel();
+            match shared.pool.submit_with(
+                ServiceJob {
+                    spec: job,
+                    events,
+                    arrival: started,
+                    deadline,
+                },
+                request.priority,
+            ) {
+                Ok(submission) => {
+                    if deadline.is_none() {
+                        flights.insert(
+                            canonical.clone(),
+                            Flight {
+                                cancel: submission.cancel.clone(),
+                                followers: HashMap::new(),
+                                leader_gone: false,
+                            },
+                        );
+                    }
+                    Role::Leader(submission, event_rx)
+                }
+                Err(error) => Role::Shed(error),
+            }
         }
-        Err(SubmitError::ShuttingDown) => {
+    };
+    shared.update_lane_gauges();
+
+    match role {
+        Role::Shed(SubmitError::Overloaded { depth, limit, lane }) => {
+            shared.stats.record_rejected();
+            match lane {
+                Priority::Interactive => SHED_INTERACTIVE.inc(),
+                Priority::Bulk => SHED_BULK.inc(),
+            }
+            let _ = write_response(writer, &Response::Overloaded { depth, limit, lane });
+        }
+        Role::Shed(SubmitError::ShuttingDown) => {
             let _ = write_response(
                 writer,
                 &Response::Error {
                     message: "server is shutting down".to_owned(),
                 },
             );
-            return;
         }
+        Role::Follower(id, follower_rx) => {
+            serve_follower(
+                writer,
+                shared,
+                &canonical,
+                id,
+                follower_rx,
+                started,
+                deadline,
+                &job,
+                &key,
+            );
+        }
+        Role::Leader(submission, event_rx) => {
+            serve_leader(
+                writer, shared, &canonical, submission, event_rx, started, deadline, &job, &key,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_leader(
+    writer: &mut TcpStream,
+    shared: &Arc<Shared>,
+    canonical: &str,
+    submission: Submission<PoolResult>,
+    event_rx: Receiver<Response>,
+    started: Instant,
+    deadline: Option<Duration>,
+    job: &JobSpec,
+    key: &rob_verify::JobKey,
+) {
+    // Only deadline-free leaders registered a flight (see serve_verify).
+    let has_flight = deadline.is_none();
+    let queued = Response::Event {
+        state: "queued".to_owned(),
+        detail: format!("{} key={}", job.label(), key.digest_hex()),
     };
     // The queued event is only sent once the job is actually admitted.
     let mut client_gone = write_response(writer, &queued).is_err();
     if client_gone {
-        // Nobody is listening: tell a cooperative job to wind down. We
-        // still wait for whatever it returns — a job that finishes anyway
-        // (non-cooperative, or already past its last poll) pays forward
-        // into the cache below.
-        submission.cancel.cancel();
+        leader_client_gone(shared, canonical, &submission, has_flight);
     }
 
     // Stream progress while waiting for the terminal result. A client
     // that disconnects mid-stream must not poison anything: we keep
-    // waiting and cache any completed result.
+    // waiting (followers may still be attached) and cache any completed
+    // result.
+    let mut deadline_tripped = false;
     let exec = loop {
         while let Ok(event) = event_rx.try_recv() {
             if !client_gone && write_response(writer, &event).is_err() {
                 client_gone = true;
-                submission.cancel.cancel();
+                leader_client_gone(shared, canonical, &submission, has_flight);
             }
         }
         match submission.results.recv_timeout(Duration::from_millis(10)) {
             Ok(exec) => break Some(exec),
-            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Timeout) => {
+                // A deadline-bearing request must never wait out the
+                // queue past its budget: trip the job token so a queued
+                // job resolves as cancelled promptly (a running one is
+                // already racing its deadline-bearing child token).
+                if !deadline_tripped {
+                    if let Some(d) = deadline {
+                        if started.elapsed() >= d {
+                            submission.cancel.cancel();
+                            deadline_tripped = true;
+                        }
+                    }
+                }
+                continue;
+            }
             Err(RecvTimeoutError::Disconnected) => break None,
         }
     };
 
-    let response = match exec.map(|e| e.outcome) {
+    let deadline_missed = deadline.is_some_and(|d| started.elapsed() >= d);
+    let (response, outcome) = match exec.map(|e| e.outcome) {
         // A cancelled verification is not a solve — never cache it.
         Some(ExecOutcome::Done(Ok(verification))) if verification.was_cancelled() => {
-            Response::Error {
-                message: "job was cancelled".to_owned(),
+            if deadline_missed {
+                (
+                    deadline_exceeded_response(shared, key, deadline, started),
+                    FlightOutcome::Failed("leader missed its deadline".to_owned()),
+                )
+            } else {
+                let message = "job was cancelled".to_owned();
+                (
+                    Response::Error {
+                        message: message.clone(),
+                    },
+                    FlightOutcome::Failed(message),
+                )
             }
         }
         Some(ExecOutcome::Done(Ok(verification))) => {
-            let entries = {
-                let mut cache = shared.cache.lock().expect("cache poisoned");
-                cache.insert(&key, verification.clone());
-                cache.len()
-            };
-            shared.stats.record_served(started.elapsed(), false);
+            // Degraded results are real (sound) answers for *this*
+            // deadline-clipped request, but the cache key promises the
+            // default-budget run — never cache them. Flight leaders are
+            // deadline-free and thus never degraded, so followers always
+            // receive cacheable-grade results.
+            if verification.degraded.is_none() {
+                let entries = {
+                    let mut cache = shared.cache.lock().expect("cache poisoned");
+                    cache.insert(key, verification.clone());
+                    cache.len()
+                };
+                CACHE_ENTRIES.set(entries as u64);
+            }
+            shared
+                .stats
+                .record_served(started.elapsed(), Disposition::Miss);
             JOBS_SERVED.inc();
             CACHE_MISSES.inc();
-            CACHE_ENTRIES.set(entries as u64);
-            Response::Result {
-                cache_hit: false,
-                key_digest: key.digest_hex(),
-                elapsed: started.elapsed(),
-                verification,
+            (
+                Response::Result {
+                    disposition: Disposition::Miss,
+                    key_digest: key.digest_hex(),
+                    elapsed: started.elapsed(),
+                    verification: verification.clone(),
+                },
+                FlightOutcome::Solved(Box::new(verification)),
+            )
+        }
+        Some(ExecOutcome::Done(Err(error))) => {
+            let message = error.to_string();
+            (
+                Response::Error {
+                    message: message.clone(),
+                },
+                FlightOutcome::Failed(message),
+            )
+        }
+        Some(ExecOutcome::Panicked { message }) => {
+            let message = format!("job crashed: {message}");
+            (
+                Response::Error {
+                    message: message.clone(),
+                },
+                FlightOutcome::Failed(message),
+            )
+        }
+        Some(ExecOutcome::TimedOut) => {
+            let message = "job exceeded the server deadline".to_owned();
+            (
+                Response::Error {
+                    message: message.clone(),
+                },
+                FlightOutcome::Failed(message),
+            )
+        }
+        Some(ExecOutcome::Cancelled) => {
+            if deadline_missed {
+                (
+                    deadline_exceeded_response(shared, key, deadline, started),
+                    FlightOutcome::Failed("leader missed its deadline".to_owned()),
+                )
+            } else {
+                let message = "job was cancelled".to_owned();
+                (
+                    Response::Error {
+                        message: message.clone(),
+                    },
+                    FlightOutcome::Failed(message),
+                )
             }
         }
-        Some(ExecOutcome::Done(Err(error))) => Response::Error {
-            message: error.to_string(),
-        },
-        Some(ExecOutcome::Panicked { message }) => Response::Error {
-            message: format!("job crashed: {message}"),
-        },
-        Some(ExecOutcome::TimedOut) => Response::Error {
-            message: "job exceeded the server deadline".to_owned(),
-        },
-        Some(ExecOutcome::Cancelled) => Response::Error {
-            message: "job was cancelled".to_owned(),
-        },
-        None => Response::Error {
-            message: "job was dropped during shutdown".to_owned(),
-        },
+        None => {
+            let message = "job was dropped during shutdown".to_owned();
+            (
+                Response::Error {
+                    message: message.clone(),
+                },
+                FlightOutcome::Failed(message),
+            )
+        }
     };
+    // Resolve the flight *before* answering the leader: every follower
+    // gets its terminal line even when the leader's own write fails, and
+    // a shutdown drain cannot exit between the leader's answer and the
+    // fan-out.
+    if has_flight {
+        resolve_flight(shared, canonical, &outcome);
+    }
+    shared.update_lane_gauges();
     if !client_gone {
         let _ = write_response(writer, &response);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_follower(
+    writer: &mut TcpStream,
+    shared: &Arc<Shared>,
+    canonical: &str,
+    id: u64,
+    follower_rx: Receiver<FlightOutcome>,
+    started: Instant,
+    deadline: Option<Duration>,
+    job: &JobSpec,
+    key: &rob_verify::JobKey,
+) {
+    let attached = Response::Event {
+        state: "coalesced".to_owned(),
+        detail: format!("{} key={}", job.label(), key.digest_hex()),
+    };
+    if write_response(writer, &attached).is_err() {
+        // Nobody is listening; detaching may release the flight if the
+        // leader's client is gone too.
+        detach_follower(shared, canonical, id);
+        return;
+    }
+    loop {
+        match follower_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(FlightOutcome::Solved(verification)) => {
+                // The follower samples its *own* wall-clock: what this
+                // client actually waited, not the leader's solve time.
+                shared
+                    .stats
+                    .record_served(started.elapsed(), Disposition::Coalesced);
+                JOBS_SERVED.inc();
+                JOBS_COALESCED.inc();
+                let _ = write_response(
+                    writer,
+                    &Response::Result {
+                        disposition: Disposition::Coalesced,
+                        key_digest: key.digest_hex(),
+                        elapsed: started.elapsed(),
+                        verification: *verification,
+                    },
+                );
+                return;
+            }
+            Ok(FlightOutcome::Failed(message)) => {
+                let _ = write_response(writer, &Response::Error { message });
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(d) = deadline {
+                    if started.elapsed() >= d {
+                        // This follower's deadline expired; it detaches
+                        // and answers for itself. The flight (and other
+                        // followers) are unaffected.
+                        detach_follower(shared, canonical, id);
+                        let _ = write_response(
+                            writer,
+                            &deadline_exceeded_response(shared, key, deadline, started),
+                        );
+                        return;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // The flight vanished without broadcasting — defensive:
+                // resolve_flight always sends before dropping senders.
+                let _ = write_response(
+                    writer,
+                    &Response::Error {
+                        message: "coalesced flight collapsed".to_owned(),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Builds the `deadline-exceeded` terminal line and records it.
+fn deadline_exceeded_response(
+    shared: &Arc<Shared>,
+    key: &rob_verify::JobKey,
+    deadline: Option<Duration>,
+    started: Instant,
+) -> Response {
+    shared.stats.record_deadline_exceeded();
+    DEADLINE_EXCEEDED.inc();
+    Response::DeadlineExceeded {
+        key_digest: key.digest_hex(),
+        deadline_ms: deadline.unwrap_or_default().as_millis() as u64,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// The leader's client disconnected: the flight survives while
+/// followers remain; otherwise the job is told to wind down. (A job that
+/// finishes anyway — non-cooperative, or already past its last poll —
+/// still pays forward into the cache.)
+fn leader_client_gone(
+    shared: &Arc<Shared>,
+    canonical: &str,
+    submission: &Submission<PoolResult>,
+    has_flight: bool,
+) {
+    if !has_flight {
+        submission.cancel.cancel();
+        return;
+    }
+    let mut flights = shared.flights.lock().expect("flights poisoned");
+    // A missing flight already resolved; nothing left to cancel for.
+    if let Some(flight) = flights.get_mut(canonical) {
+        flight.leader_gone = true;
+        if flight.followers.is_empty() {
+            submission.cancel.cancel();
+        }
+    }
+}
+
+/// Removes one follower from a flight; the last follower detaching from
+/// a leaderless flight cancels the job (nobody is left to answer).
+fn detach_follower(shared: &Arc<Shared>, canonical: &str, id: u64) {
+    let mut flights = shared.flights.lock().expect("flights poisoned");
+    if let Some(flight) = flights.get_mut(canonical) {
+        flight.followers.remove(&id);
+        if flight.leader_gone && flight.followers.is_empty() {
+            flight.cancel.cancel();
+        }
+    }
+}
+
+/// Removes the flight and fans the terminal outcome out to every
+/// follower still attached.
+fn resolve_flight(shared: &Arc<Shared>, canonical: &str, outcome: &FlightOutcome) {
+    let followers = shared
+        .flights
+        .lock()
+        .expect("flights poisoned")
+        .remove(canonical)
+        .map(|flight| flight.followers);
+    if let Some(followers) = followers {
+        for follower in followers.into_values() {
+            let _ = follower.send(outcome.clone());
+        }
     }
 }
 

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use rob_verify::memo::MemoSnapshot;
 
-use crate::proto::StatsSnapshot;
+use crate::proto::{Disposition, StatsSnapshot};
 
 /// Most recent latency samples retained for percentile estimation.
 pub const SAMPLE_CAP: usize = 4096;
@@ -18,8 +18,26 @@ pub const SAMPLE_CAP: usize = 4096;
 struct Inner {
     jobs_served: u64,
     rejected: u64,
+    coalesced: u64,
+    deadline_exceeded: u64,
     latencies: Vec<Duration>,
     next_slot: usize,
+}
+
+/// The pool-side gauges merged into a [`StatsSnapshot`]; the accumulator
+/// does not own them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolView {
+    /// Interactive-lane jobs waiting in the admission queue.
+    pub queue_interactive: usize,
+    /// Bulk-lane jobs waiting in the admission queue.
+    pub queue_bulk: usize,
+    /// Interactive submissions shed at the admission bound.
+    pub shed_interactive: u64,
+    /// Bulk submissions shed at the bulk admission ceiling.
+    pub shed_bulk: u64,
+    /// Jobs currently executing on workers.
+    pub active_jobs: usize,
 }
 
 /// Thread-safe statistics accumulator shared by connection handlers.
@@ -39,12 +57,17 @@ impl ServerStats {
 
     /// Records one answered verify request. Cache hits count as served
     /// jobs but do not contribute latency samples — they would drown the
-    /// solver percentiles in near-zero readings.
-    pub fn record_served(&self, latency: Duration, cache_hit: bool) {
+    /// solver percentiles in near-zero readings. Coalesced followers
+    /// sample their **own** observed wall-clock (the time this client
+    /// actually waited), which can differ from the leader's solve time
+    /// when the follower attached mid-flight.
+    pub fn record_served(&self, latency: Duration, disposition: Disposition) {
         let mut inner = self.inner.lock().expect("stats poisoned");
         inner.jobs_served += 1;
-        if cache_hit {
-            return;
+        match disposition {
+            Disposition::Hit => return,
+            Disposition::Miss => {}
+            Disposition::Coalesced => inner.coalesced += 1,
         }
         if inner.latencies.len() < SAMPLE_CAP {
             inner.latencies.push(latency);
@@ -60,17 +83,20 @@ impl ServerStats {
         self.inner.lock().expect("stats poisoned").rejected += 1;
     }
 
+    /// Records one request answered with `deadline-exceeded`.
+    pub fn record_deadline_exceeded(&self) {
+        self.inner.lock().expect("stats poisoned").deadline_exceeded += 1;
+    }
+
     /// Builds the wire snapshot, merging in the cache and pool gauges
     /// the accumulator does not own.
-    #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         &self,
         cache_hits: u64,
         cache_misses: u64,
         cache_entries: usize,
         cache_evictions: u64,
-        queue_depth: usize,
-        active_jobs: usize,
+        pool: PoolView,
         memo: MemoSnapshot,
     ) -> StatsSnapshot {
         let inner = self.inner.lock().expect("stats poisoned");
@@ -90,8 +116,14 @@ impl ServerStats {
             },
             cache_entries,
             cache_evictions,
-            queue_depth,
-            active_jobs,
+            queue_depth: pool.queue_interactive + pool.queue_bulk,
+            queue_interactive: pool.queue_interactive,
+            queue_bulk: pool.queue_bulk,
+            shed_interactive: pool.shed_interactive,
+            shed_bulk: pool.shed_bulk,
+            active_jobs: pool.active_jobs,
+            coalesced: inner.coalesced,
+            deadline_exceeded: inner.deadline_exceeded,
             memo_hits: memo.hits,
             memo_misses: memo.misses,
             memo_hit_rate: memo.hit_rate(),
@@ -125,10 +157,10 @@ mod tests {
     fn percentiles_track_recent_solved_jobs_only() {
         let stats = ServerStats::new();
         for ms in 1..=100u64 {
-            stats.record_served(Duration::from_millis(ms), false);
+            stats.record_served(Duration::from_millis(ms), Disposition::Miss);
         }
         // Hits are served but never sampled.
-        stats.record_served(Duration::from_nanos(10), true);
+        stats.record_served(Duration::from_nanos(10), Disposition::Hit);
         stats.record_rejected();
         let memo = MemoSnapshot {
             hits: 7,
@@ -136,7 +168,14 @@ mod tests {
             entries: 4,
             ..Default::default()
         };
-        let snap = stats.snapshot(1, 100, 5, 0, 2, 1, memo);
+        let pool = PoolView {
+            queue_interactive: 2,
+            queue_bulk: 0,
+            shed_interactive: 0,
+            shed_bulk: 0,
+            active_jobs: 1,
+        };
+        let snap = stats.snapshot(1, 100, 5, 0, pool, memo);
         assert_eq!(snap.jobs_served, 101);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.p50, Duration::from_millis(50));
@@ -152,16 +191,45 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_followers_sample_their_own_latency() {
+        let stats = ServerStats::new();
+        // One slow leader solve, three fast follower waits: the reservoir
+        // must hold all four observations, not one latency copied four
+        // times (and not just the leader's).
+        stats.record_served(Duration::from_millis(80), Disposition::Miss);
+        for _ in 0..3 {
+            stats.record_served(Duration::from_millis(2), Disposition::Coalesced);
+        }
+        let snap = stats.snapshot(0, 1, 1, 0, PoolView::default(), MemoSnapshot::default());
+        assert_eq!(snap.jobs_served, 4);
+        assert_eq!(snap.coalesced, 3);
+        // p50 over [2, 2, 2, 80] is a follower's own wait, proving the
+        // followers are sampled individually.
+        assert_eq!(snap.p50, Duration::from_millis(2));
+        assert_eq!(snap.p95, Duration::from_millis(80));
+    }
+
+    #[test]
+    fn deadline_exceeded_is_counted() {
+        let stats = ServerStats::new();
+        stats.record_deadline_exceeded();
+        stats.record_deadline_exceeded();
+        let snap = stats.snapshot(0, 0, 0, 0, PoolView::default(), MemoSnapshot::default());
+        assert_eq!(snap.deadline_exceeded, 2);
+        assert_eq!(snap.jobs_served, 0, "deadline misses are not served jobs");
+    }
+
+    #[test]
     fn reservoir_is_bounded_and_overwrites_oldest() {
         let stats = ServerStats::new();
         for _ in 0..SAMPLE_CAP {
-            stats.record_served(Duration::from_secs(100), false);
+            stats.record_served(Duration::from_secs(100), Disposition::Miss);
         }
         // A full second lap replaces every old sample.
         for _ in 0..SAMPLE_CAP {
-            stats.record_served(Duration::from_millis(1), false);
+            stats.record_served(Duration::from_millis(1), Disposition::Miss);
         }
-        let snap = stats.snapshot(0, 0, 0, 0, 0, 0, MemoSnapshot::default());
+        let snap = stats.snapshot(0, 0, 0, 0, PoolView::default(), MemoSnapshot::default());
         assert_eq!(snap.p95, Duration::from_millis(1));
         assert_eq!(stats.inner.lock().unwrap().latencies.len(), SAMPLE_CAP);
     }

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use campaign::pool::CancelToken;
 use campaign::JobSpec;
 use rob_verify::{Verdict, Verification};
-use serve::{Request, Response, Server, ServerConfig, VerifyRequest};
+use serve::{Disposition, Request, Response, ServeRunner, Server, ServerConfig, VerifyRequest};
 
 fn open(addr: std::net::SocketAddr, request: &Request) -> (TcpStream, BufReader<TcpStream>) {
     let stream = TcpStream::connect(addr).expect("connect");
@@ -61,12 +61,14 @@ fn canned() -> Verification {
     }
 }
 
-fn canned_runner(solves: &Arc<AtomicUsize>) -> campaign::JobRunner {
+fn canned_runner(solves: &Arc<AtomicUsize>) -> ServeRunner {
     let solves = Arc::clone(solves);
-    Arc::new(move |_job: &JobSpec, _cancel: &CancelToken| {
-        solves.fetch_add(1, Ordering::SeqCst);
-        Ok(canned())
-    })
+    Arc::new(
+        move |_job: &JobSpec, _cancel: &CancelToken, _deadline: Option<Duration>| {
+            solves.fetch_add(1, Ordering::SeqCst);
+            Ok(canned())
+        },
+    )
 }
 
 fn temp_path(name: &str) -> PathBuf {
@@ -109,7 +111,7 @@ fn daemon_survives_injected_worker_panics() {
             matches!(
                 ok,
                 Response::Result {
-                    cache_hit: false,
+                    disposition: Disposition::Miss,
                     ..
                 }
             ),
@@ -148,7 +150,7 @@ fn corrupt_journal_flush_degrades_to_cold_cache() {
     assert!(matches!(
         roundtrip(first.addr(), &request),
         Response::Result {
-            cache_hit: false,
+            disposition: Disposition::Miss,
             ..
         }
     ));
@@ -172,7 +174,7 @@ fn corrupt_journal_flush_degrades_to_cold_cache() {
         matches!(
             again,
             Response::Result {
-                cache_hit: false,
+                disposition: Disposition::Miss,
                 ..
             }
         ),
@@ -217,28 +219,30 @@ fn disconnect_cancels_a_cooperative_runner() {
     let observed = Arc::clone(&observed_cancel);
     let handle = Server::start(ServerConfig {
         workers: 1,
-        runner: Arc::new(move |job: &JobSpec, cancel: &CancelToken| {
-            if job.label().starts_with("rob4") {
-                // Occupies the single worker so the rob6 job sits queued
-                // long enough for the client's RST to land.
-                std::thread::sleep(Duration::from_millis(250));
-                return Ok(canned());
-            }
-            // Cooperative: poll the token; give up only well past any
-            // plausible test timing.
-            let deadline = Instant::now() + Duration::from_secs(5);
-            while Instant::now() < deadline {
-                if cancel.is_cancelled() {
-                    observed.store(true, Ordering::SeqCst);
-                    return Ok(Verification::cancelled(
-                        Default::default(),
-                        Default::default(),
-                    ));
+        runner: Arc::new(
+            move |job: &JobSpec, cancel: &CancelToken, _deadline: Option<Duration>| {
+                if job.label().starts_with("rob4") {
+                    // Occupies the single worker so the rob6 job sits queued
+                    // long enough for the client's RST to land.
+                    std::thread::sleep(Duration::from_millis(250));
+                    return Ok(canned());
                 }
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Ok(canned())
-        }),
+                // Cooperative: poll the token; give up only well past any
+                // plausible test timing.
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while Instant::now() < deadline {
+                    if cancel.is_cancelled() {
+                        observed.store(true, Ordering::SeqCst);
+                        return Ok(Verification::cancelled(
+                            Default::default(),
+                            Default::default(),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Ok(canned())
+            },
+        ),
         ..ServerConfig::default()
     })
     .expect("start");
@@ -279,7 +283,7 @@ fn disconnect_cancels_a_cooperative_runner() {
         matches!(
             repeat,
             Response::Result {
-                cache_hit: false,
+                disposition: Disposition::Miss,
                 ..
             }
         ),
@@ -297,19 +301,21 @@ fn cancel_on_drain_unblocks_in_flight_and_queued_jobs() {
     let handle = Server::start(ServerConfig {
         workers: 1,
         cancel_on_drain: true,
-        runner: Arc::new(|_job: &JobSpec, cancel: &CancelToken| {
-            let deadline = Instant::now() + Duration::from_secs(10);
-            while Instant::now() < deadline {
-                if cancel.is_cancelled() {
-                    return Ok(Verification::cancelled(
-                        Default::default(),
-                        Default::default(),
-                    ));
+        runner: Arc::new(
+            |_job: &JobSpec, cancel: &CancelToken, _deadline: Option<Duration>| {
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while Instant::now() < deadline {
+                    if cancel.is_cancelled() {
+                        return Ok(Verification::cancelled(
+                            Default::default(),
+                            Default::default(),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
                 }
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Ok(canned())
-        }),
+                Ok(canned())
+            },
+        ),
         ..ServerConfig::default()
     })
     .expect("start");

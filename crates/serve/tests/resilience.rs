@@ -1,0 +1,459 @@
+//! Resilient-serving integration tests over real TCP sockets:
+//! single-flight coalescing (exactly one solve for concurrent identical
+//! requests), deadline propagation with structured `deadline-exceeded`
+//! answers, strict bulk-before-interactive shedding at the service
+//! layer, a saturation-immune health probe, leader-disconnect follower
+//! promotion, and a graceful drain that delivers every follower's
+//! terminal line.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use campaign::pool::CancelToken;
+use campaign::{JobSpec, Priority};
+use rob_verify::{Verdict, Verification};
+use serve::{Disposition, Request, Response, ServeRunner, Server, ServerConfig, VerifyRequest};
+
+fn open(addr: std::net::SocketAddr, request: &Request) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writeln!(writer, "{}", request.to_json()).expect("send");
+    writer.flush().expect("flush");
+    (writer, BufReader::new(stream))
+}
+
+fn read_terminal(reader: &mut BufReader<TcpStream>) -> Response {
+    let mut events = 0;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read");
+        assert_ne!(n, 0, "server closed mid-request");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = Response::parse(&line).expect("parse response");
+        if let Response::Event { .. } = response {
+            events += 1;
+            assert!(events < 1000, "event stream never terminated");
+            continue;
+        }
+        return response;
+    }
+}
+
+fn roundtrip(addr: std::net::SocketAddr, request: &Request) -> Response {
+    let (_writer, mut reader) = open(addr, request);
+    read_terminal(&mut reader)
+}
+
+fn stats(addr: std::net::SocketAddr) -> serve::StatsSnapshot {
+    match roundtrip(addr, &Request::Stats) {
+        Response::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+fn canned() -> Verification {
+    Verification {
+        verdict: Verdict::Verified,
+        timings: Default::default(),
+        stats: Default::default(),
+        diagnostics: Vec::new(),
+        degraded: None,
+    }
+}
+
+fn counting_runner(delay: Duration, solves: &Arc<AtomicUsize>) -> ServeRunner {
+    let solves = Arc::clone(solves);
+    Arc::new(
+        move |_job: &JobSpec, _cancel: &CancelToken, _deadline: Option<Duration>| {
+            solves.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(delay);
+            Ok(canned())
+        },
+    )
+}
+
+fn bulk_verify(size: usize, width: usize) -> Request {
+    let mut request = VerifyRequest::new(size, width);
+    request.priority = Priority::Bulk;
+    Request::Verify(request)
+}
+
+/// Tentpole: two-plus concurrent identical requests perform the
+/// verification exactly once — one leader solves, everyone else rides
+/// the flight and answers `cache: coalesced`.
+#[test]
+fn concurrent_identical_requests_solve_exactly_once() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let handle = Server::start(ServerConfig {
+        workers: 2,
+        runner: counting_runner(Duration::from_millis(300), &solves),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    // The leader's `queued` event is written only after the flight is
+    // registered, so followers attached afterwards cannot race past it.
+    let request = Request::Verify(VerifyRequest::new(8, 2));
+    let (_leader_writer, mut leader_reader) = open(addr, &request);
+    let mut queued = String::new();
+    leader_reader.read_line(&mut queued).expect("queued event");
+    assert!(queued.contains("queued"), "{queued}");
+
+    let followers: Vec<_> = (0..3)
+        .map(|_| {
+            let request = request.clone();
+            std::thread::spawn(move || roundtrip(addr, &request))
+        })
+        .collect();
+    let mut dispositions = vec![read_terminal(&mut leader_reader)];
+    for follower in followers {
+        dispositions.push(follower.join().expect("follower thread"));
+    }
+
+    let mut misses = 0;
+    let mut coalesced = 0;
+    for response in &dispositions {
+        let Response::Result {
+            disposition,
+            verification,
+            ..
+        } = response
+        else {
+            panic!("every client gets a result: {response:?}");
+        };
+        assert_eq!(verification.verdict, Verdict::Verified);
+        match disposition {
+            Disposition::Miss => misses += 1,
+            Disposition::Coalesced => coalesced += 1,
+            Disposition::Hit => panic!("nothing was cached yet"),
+        }
+    }
+    assert_eq!(misses, 1, "exactly one leader");
+    assert_eq!(coalesced, 3, "every other client coalesces");
+    assert_eq!(solves.load(Ordering::SeqCst), 1, "one solve serves four");
+
+    let s = stats(addr);
+    assert_eq!(s.jobs_served, 4);
+    assert_eq!(s.coalesced, 3);
+    // All four clients probed the (empty) cache before attaching, but
+    // only the leader's solve landed in it.
+    assert_eq!(s.cache_misses, 4);
+    assert_eq!(s.cache_entries, 1);
+    handle.shutdown();
+}
+
+/// Tentpole: a request with a tight `deadline_ms` gets a structured
+/// `deadline-exceeded` terminal line — never a silent hang — and the
+/// clipped run is never cached.
+#[test]
+fn tight_deadline_gets_a_structured_answer_and_is_not_cached() {
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        runner: Arc::new(
+            |_job: &JobSpec, cancel: &CancelToken, remaining: Option<Duration>| {
+                if remaining.is_none() {
+                    return Ok(canned());
+                }
+                // Cooperative: the deadline-bearing child token trips at
+                // the budget; wind down as cancelled.
+                let horizon = Instant::now() + Duration::from_secs(5);
+                while Instant::now() < horizon {
+                    if cancel.is_cancelled() {
+                        return Ok(Verification::cancelled(
+                            Default::default(),
+                            Default::default(),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(canned())
+            },
+        ),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    let mut request = VerifyRequest::new(9, 1);
+    request.deadline_ms = Some(60);
+    let started = Instant::now();
+    let answer = roundtrip(addr, &Request::Verify(request));
+    let Response::DeadlineExceeded {
+        deadline_ms,
+        elapsed,
+        ..
+    } = &answer
+    else {
+        panic!("expected deadline-exceeded, got {answer:?}");
+    };
+    assert_eq!(*deadline_ms, 60);
+    assert!(*elapsed >= Duration::from_millis(60));
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "the answer must come promptly, not at the runner's horizon"
+    );
+    assert_eq!(stats(addr).deadline_exceeded, 1);
+
+    // The clipped run must not have been cached: the same key without a
+    // deadline is a fresh solve, not a hit.
+    let repeat = roundtrip(addr, &Request::Verify(VerifyRequest::new(9, 1)));
+    assert!(
+        matches!(
+            repeat,
+            Response::Result {
+                disposition: Disposition::Miss,
+                ..
+            }
+        ),
+        "a deadline-clipped run must never be cached: {repeat:?}"
+    );
+    handle.shutdown();
+}
+
+/// Overload sheds bulk strictly before interactive at the service
+/// layer, the rejections carry their lane, and the per-lane queue and
+/// shed counters in `stats` agree.
+#[test]
+fn bulk_sheds_strictly_before_interactive() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        queue_limit: 2,
+        bulk_queue_limit: 1,
+        runner: counting_runner(Duration::from_millis(400), &solves),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    // Distinct keys throughout so nothing coalesces or hits the cache.
+    let mut admitted = Vec::new();
+    admitted.push(open(addr, &Request::Verify(VerifyRequest::new(4, 1))));
+    while stats(addr).active_jobs == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Occupancy 0 < bulk ceiling 1: this bulk job is admitted…
+    admitted.push(open(addr, &bulk_verify(5, 1)));
+    while stats(addr).queue_depth == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // …and the next one is shed at the ceiling, while interactive
+    // traffic still has headroom.
+    let shed_bulk = roundtrip(addr, &bulk_verify(6, 1));
+    assert_eq!(
+        shed_bulk,
+        Response::Overloaded {
+            depth: 1,
+            limit: 1,
+            lane: Priority::Bulk
+        }
+    );
+    admitted.push(open(addr, &Request::Verify(VerifyRequest::new(7, 1))));
+    while stats(addr).queue_depth < 2 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let shed_interactive = roundtrip(addr, &Request::Verify(VerifyRequest::new(8, 1)));
+    assert_eq!(
+        shed_interactive,
+        Response::Overloaded {
+            depth: 2,
+            limit: 2,
+            lane: Priority::Interactive
+        }
+    );
+
+    // The saturated daemon still answers its health probe, and says
+    // overloaded rather than ok.
+    let health = roundtrip(addr, &Request::Health);
+    let Response::Health {
+        status,
+        queue_interactive,
+        queue_bulk,
+        queue_limit,
+        ..
+    } = &health
+    else {
+        panic!("expected health, got {health:?}");
+    };
+    assert_eq!(status, "overloaded");
+    assert_eq!((*queue_interactive, *queue_bulk), (1, 1));
+    assert_eq!(*queue_limit, 2);
+
+    let s = stats(addr);
+    assert_eq!(s.queue_interactive, 1);
+    assert_eq!(s.queue_bulk, 1);
+    assert_eq!(s.shed_bulk, 1);
+    assert_eq!(s.shed_interactive, 1);
+    assert_eq!(s.rejected, 2);
+
+    // Every admitted job still completes.
+    for (_writer, mut reader) in admitted {
+        assert!(matches!(
+            read_terminal(&mut reader),
+            Response::Result {
+                disposition: Disposition::Miss,
+                ..
+            }
+        ));
+    }
+    let health = roundtrip(addr, &Request::Health);
+    assert!(
+        matches!(health, Response::Health { ref status, .. } if status == "ok"),
+        "drained queue goes back to ok: {health:?}"
+    );
+    handle.shutdown();
+}
+
+/// A leader whose client disconnects mid-flight does not orphan the
+/// work: the attached follower keeps the flight alive, the job is never
+/// cancelled, and the follower receives the full result.
+#[test]
+fn leader_disconnect_promotes_the_follower() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let solves_in = Arc::clone(&solves);
+    let cancelled_in = Arc::clone(&cancelled);
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        runner: Arc::new(
+            move |_job: &JobSpec, cancel: &CancelToken, _deadline: Option<Duration>| {
+                solves_in.fetch_add(1, Ordering::SeqCst);
+                let horizon = Instant::now() + Duration::from_millis(300);
+                while Instant::now() < horizon {
+                    if cancel.is_cancelled() {
+                        cancelled_in.store(true, Ordering::SeqCst);
+                        return Ok(Verification::cancelled(
+                            Default::default(),
+                            Default::default(),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Ok(canned())
+            },
+        ),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    let request = Request::Verify(VerifyRequest::new(10, 2));
+    let (leader_writer, mut leader_reader) = open(addr, &request);
+    let mut queued = String::new();
+    leader_reader.read_line(&mut queued).expect("queued event");
+
+    // Attach a follower, confirmed by its `coalesced` event, then hang
+    // up the leader's client.
+    let (attached_tx, attached_rx) = mpsc::channel();
+    let follower = {
+        let request = request.clone();
+        std::thread::spawn(move || {
+            let (_writer, mut reader) = open(addr, &request);
+            let mut first = String::new();
+            reader.read_line(&mut first).expect("coalesced event");
+            assert!(first.contains("coalesced"), "{first}");
+            attached_tx.send(()).expect("signal attach");
+            read_terminal(&mut reader)
+        })
+    };
+    attached_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("follower attached");
+    drop(leader_writer);
+    drop(leader_reader);
+
+    let answer = follower.join().expect("follower thread");
+    let Response::Result {
+        disposition: Disposition::Coalesced,
+        verification,
+        ..
+    } = &answer
+    else {
+        panic!("the follower must still be answered: {answer:?}");
+    };
+    assert_eq!(verification.verdict, Verdict::Verified);
+    assert!(
+        !cancelled.load(Ordering::SeqCst),
+        "work with a live follower must not be cancelled"
+    );
+    assert_eq!(solves.load(Ordering::SeqCst), 1);
+    handle.shutdown();
+}
+
+/// Graceful drain with followers attached: shutdown while a flight is
+/// mid-solve still delivers a terminal line to the leader *and* every
+/// follower before the daemon exits.
+#[test]
+fn drain_with_followers_delivers_every_terminal_line() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        runner: counting_runner(Duration::from_millis(400), &solves),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr();
+
+    let request = Request::Verify(VerifyRequest::new(12, 4));
+    let (_leader_writer, mut leader_reader) = open(addr, &request);
+    let mut queued = String::new();
+    leader_reader.read_line(&mut queued).expect("queued event");
+
+    let (attached_tx, attached_rx) = mpsc::channel();
+    let followers: Vec<_> = (0..2)
+        .map(|_| {
+            let request = request.clone();
+            let attached_tx = attached_tx.clone();
+            std::thread::spawn(move || {
+                let (_writer, mut reader) = open(addr, &request);
+                let mut first = String::new();
+                reader.read_line(&mut first).expect("coalesced event");
+                attached_tx.send(()).expect("signal attach");
+                read_terminal(&mut reader)
+            })
+        })
+        .collect();
+    for _ in 0..2 {
+        attached_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("follower attached");
+    }
+
+    // Drain while the flight is still solving. `shutdown` blocks until
+    // the daemon fully exits, so collecting the answers afterwards
+    // proves they were written before the drain completed.
+    handle.shutdown();
+
+    let leader_answer = read_terminal(&mut leader_reader);
+    assert!(
+        matches!(
+            leader_answer,
+            Response::Result {
+                disposition: Disposition::Miss,
+                ..
+            }
+        ),
+        "drain must finish the leader: {leader_answer:?}"
+    );
+    for follower in followers {
+        let answer = follower.join().expect("follower thread");
+        assert!(
+            matches!(
+                answer,
+                Response::Result {
+                    disposition: Disposition::Coalesced,
+                    ..
+                }
+            ),
+            "drain must answer every follower: {answer:?}"
+        );
+    }
+    assert_eq!(solves.load(Ordering::SeqCst), 1);
+}

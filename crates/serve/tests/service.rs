@@ -11,9 +11,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use campaign::pool::CancelToken;
-use campaign::JobSpec;
+use campaign::{JobSpec, Priority};
 use rob_verify::{Verdict, Verification};
-use serve::{Request, Response, Server, ServerConfig, VerifyRequest};
+use serve::{Disposition, Request, Response, ServeRunner, Server, ServerConfig, VerifyRequest};
 
 /// Connects and sends one request line.
 fn open(addr: std::net::SocketAddr, request: &Request) -> (TcpStream, BufReader<TcpStream>) {
@@ -60,13 +60,15 @@ fn canned() -> Verification {
     }
 }
 
-fn counting_runner(delay: Duration, solves: &Arc<AtomicUsize>) -> campaign::JobRunner {
+fn counting_runner(delay: Duration, solves: &Arc<AtomicUsize>) -> ServeRunner {
     let solves = Arc::clone(solves);
-    Arc::new(move |_job: &JobSpec, _cancel: &CancelToken| {
-        solves.fetch_add(1, Ordering::SeqCst);
-        std::thread::sleep(delay);
-        Ok(canned())
-    })
+    Arc::new(
+        move |_job: &JobSpec, _cancel: &CancelToken, _deadline: Option<Duration>| {
+            solves.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(delay);
+            Ok(canned())
+        },
+    )
 }
 
 fn temp_path(name: &str) -> PathBuf {
@@ -91,7 +93,7 @@ fn miss_then_hit_and_stats() {
     let verify = Request::Verify(VerifyRequest::new(8, 2));
     let first = roundtrip(addr, &verify);
     let Response::Result {
-        cache_hit: false,
+        disposition: Disposition::Miss,
         key_digest,
         ..
     } = &first
@@ -100,7 +102,7 @@ fn miss_then_hit_and_stats() {
     };
     let second = roundtrip(addr, &verify);
     let Response::Result {
-        cache_hit: true,
+        disposition: Disposition::Hit,
         key_digest: second_digest,
         elapsed,
         verification,
@@ -121,7 +123,7 @@ fn miss_then_hit_and_stats() {
     assert!(matches!(
         other,
         Response::Result {
-            cache_hit: false,
+            disposition: Disposition::Miss,
             ..
         }
     ));
@@ -148,7 +150,9 @@ fn miss_then_hit_and_stats() {
 fn invalid_requests_get_structured_errors() {
     let handle = Server::start(ServerConfig {
         workers: 1,
-        runner: Arc::new(|_job: &JobSpec, _cancel: &CancelToken| Ok(canned())),
+        runner: Arc::new(
+            |_job: &JobSpec, _cancel: &CancelToken, _deadline: Option<Duration>| Ok(canned()),
+        ),
         ..ServerConfig::default()
     })
     .expect("start");
@@ -228,7 +232,7 @@ fn concurrent_clients_and_midstream_disconnect_do_not_poison_the_pool() {
         matches!(
             repeat,
             Response::Result {
-                cache_hit: true,
+                disposition: Disposition::Hit,
                 ..
             }
         ),
@@ -283,14 +287,21 @@ fn overload_sheds_with_structured_rejection() {
     }
 
     let shed = roundtrip(addr, &Request::Verify(VerifyRequest::new(6, 1)));
-    assert_eq!(shed, Response::Overloaded { depth: 1, limit: 1 });
+    assert_eq!(
+        shed,
+        Response::Overloaded {
+            depth: 1,
+            limit: 1,
+            lane: Priority::Interactive
+        }
+    );
 
     // The admitted jobs still complete.
     for (_writer, mut reader) in streams {
         assert!(matches!(
             read_terminal(&mut reader),
             Response::Result {
-                cache_hit: false,
+                disposition: Disposition::Miss,
                 ..
             }
         ));
@@ -320,7 +331,7 @@ fn cache_persists_across_restart_and_answers_without_resolving() {
     assert!(matches!(
         miss,
         Response::Result {
-            cache_hit: false,
+            disposition: Disposition::Miss,
             ..
         }
     ));
@@ -333,9 +344,11 @@ fn cache_persists_across_restart_and_answers_without_resolving() {
     let second = Server::start(ServerConfig {
         workers: 1,
         persist_path: Some(store.clone()),
-        runner: Arc::new(|_job: &JobSpec, _cancel: &CancelToken| {
-            panic!("the warm cache must answer this")
-        }),
+        runner: Arc::new(
+            |_job: &JobSpec, _cancel: &CancelToken, _deadline: Option<Duration>| {
+                panic!("the warm cache must answer this")
+            },
+        ),
         ..ServerConfig::default()
     })
     .expect("start second");
@@ -347,7 +360,7 @@ fn cache_persists_across_restart_and_answers_without_resolving() {
         matches!(
             hit,
             Response::Result {
-                cache_hit: true,
+                disposition: Disposition::Hit,
                 ..
             }
         ),
@@ -382,7 +395,7 @@ fn memo_store_warms_follow_up_requests_across_distinct_keys() {
 
     let cold = roundtrip(addr, &Request::Verify(VerifyRequest::new(2, 1)));
     let Response::Result {
-        cache_hit: false,
+        disposition: Disposition::Miss,
         verification: cold_v,
         ..
     } = &cold
@@ -398,7 +411,7 @@ fn memo_store_warms_follow_up_requests_across_distinct_keys() {
     warm_request.sat_limits.max_conflicts = Some(1_000_000);
     let warm = roundtrip(addr, &Request::Verify(warm_request));
     let Response::Result {
-        cache_hit: false,
+        disposition: Disposition::Miss,
         verification: warm_v,
         ..
     } = &warm
@@ -433,7 +446,7 @@ fn shutdown_request_drains_and_real_pipeline_serves_hits() {
     let request = Request::Verify(VerifyRequest::new(2, 1));
     let miss = roundtrip(addr, &request);
     let Response::Result {
-        cache_hit: false,
+        disposition: Disposition::Miss,
         elapsed: miss_elapsed,
         verification,
         ..
@@ -445,7 +458,7 @@ fn shutdown_request_drains_and_real_pipeline_serves_hits() {
     assert!(verification.stats.cnf_vars > 0);
     let hit = roundtrip(addr, &request);
     let Response::Result {
-        cache_hit: true,
+        disposition: Disposition::Hit,
         elapsed: hit_elapsed,
         ..
     } = &hit
