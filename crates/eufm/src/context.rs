@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::intern::InternTable;
 use crate::node::{ExprId, Node, Sort};
 use crate::symbol::{Interner, Symbol};
 
@@ -37,7 +38,12 @@ static NODES_CACHE_HITS: trace::Counter = trace::Counter::new("eufm.nodes.cache_
 pub struct Context {
     nodes: Vec<Node>,
     sorts: Vec<Sort>,
-    map: HashMap<Node, ExprId>,
+    /// Structural hash of each node, dense by id. Doubles as the intern
+    /// table's stored-hash side table so growth never recomputes hashes.
+    hashes: Vec<u64>,
+    /// Hash-consing index: ids keyed by structural hash, compared against
+    /// the arena. Holds no node data — see [`crate::intern`].
+    table: InternTable,
     symbols: Interner,
     signatures: HashMap<Symbol, (Vec<Sort>, Sort)>,
     fresh_counter: u64,
@@ -56,7 +62,8 @@ impl Context {
         let mut ctx = Context {
             nodes: Vec::new(),
             sorts: Vec::new(),
-            map: HashMap::new(),
+            hashes: Vec::new(),
+            table: InternTable::new(),
             symbols: Interner::new(),
             signatures: HashMap::new(),
             fresh_counter: 0,
@@ -74,15 +81,27 @@ impl Context {
     pub const FALSE: ExprId = ExprId(1);
 
     fn insert(&mut self, node: Node, sort: Sort) -> ExprId {
-        if let Some(&id) = self.map.get(&node) {
+        let hash = node_shallow_hash(&node);
+        let nodes = &self.nodes;
+        let hashes = &self.hashes;
+        if let Some(id) = self
+            .table
+            .find(hash, |cand| {
+                hashes[cand as usize] == hash && nodes[cand as usize] == node
+            })
+            .map(ExprId)
+        {
             NODES_CACHE_HITS.inc();
             return id;
         }
         NODES_INTERNED.inc();
         let id = ExprId(u32::try_from(self.nodes.len()).expect("context node overflow"));
-        self.nodes.push(node.clone());
+        self.nodes.push(node);
         self.sorts.push(sort);
-        self.map.insert(node, id);
+        self.hashes.push(hash);
+        let hashes = &self.hashes;
+        self.table
+            .insert_unique(hash, id.0, |cand| hashes[cand as usize]);
         id
     }
 
@@ -96,6 +115,7 @@ impl Context {
     /// analyzer flags them. Never use it to build real formulas.
     pub fn insert_unchecked(&mut self, node: Node, sort: Sort) -> ExprId {
         let id = ExprId(u32::try_from(self.nodes.len()).expect("context node overflow"));
+        self.hashes.push(node_shallow_hash(&node));
         self.nodes.push(node);
         self.sorts.push(sort);
         id
@@ -207,7 +227,16 @@ impl Context {
             self.fresh_counter += 1;
             let sym = self.symbols.intern(&name);
             let node = Node::Var(sym, sort);
-            if !self.map.contains_key(&node) {
+            let hash = node_shallow_hash(&node);
+            let nodes = &self.nodes;
+            let hashes = &self.hashes;
+            if self
+                .table
+                .find(hash, |cand| {
+                    hashes[cand as usize] == hash && nodes[cand as usize] == node
+                })
+                .is_none()
+            {
                 return self.insert(node, sort);
             }
         }
@@ -621,6 +650,95 @@ impl Context {
         let new_roots = roots.iter().map(|r| map[r]).collect();
         (new, new_roots)
     }
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_u8(h: u64, byte: u8) -> u64 {
+    (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME)
+}
+
+#[inline]
+fn fnv_u32(mut h: u64, word: u32) -> u64 {
+    for byte in word.to_le_bytes() {
+        h = fnv_u8(h, byte);
+    }
+    h
+}
+
+/// Shallow structural hash of a node: FNV-1a/64 over the kind tag, the
+/// symbol and sort (for symbol-carrying kinds), and the child ids.
+///
+/// This is the hash-consing key, *not* a content digest: children enter by
+/// id, so it is only meaningful within one context. Deep, layout- and
+/// context-independent identity lives in [`crate::digest`].
+fn node_shallow_hash(node: &Node) -> u64 {
+    let sort_byte = |s: Sort| match s {
+        Sort::Bool => 0u8,
+        Sort::Term => 1,
+        Sort::Mem => 2,
+    };
+    let mut h = FNV_OFFSET;
+    match node {
+        Node::True => h = fnv_u8(h, 0),
+        Node::False => h = fnv_u8(h, 1),
+        Node::Var(sym, sort) => {
+            h = fnv_u8(h, 2);
+            h = fnv_u8(h, sort_byte(*sort));
+            h = fnv_u32(h, sym.0);
+        }
+        Node::Uf(sym, args, sort) => {
+            h = fnv_u8(h, 3);
+            h = fnv_u8(h, sort_byte(*sort));
+            h = fnv_u32(h, sym.0);
+            for a in args.iter() {
+                h = fnv_u32(h, a.0);
+            }
+        }
+        Node::Ite(c, t, e) => {
+            h = fnv_u8(h, 4);
+            h = fnv_u32(h, c.0);
+            h = fnv_u32(h, t.0);
+            h = fnv_u32(h, e.0);
+        }
+        Node::Eq(a, b) => {
+            h = fnv_u8(h, 5);
+            h = fnv_u32(h, a.0);
+            h = fnv_u32(h, b.0);
+        }
+        Node::Not(a) => {
+            h = fnv_u8(h, 6);
+            h = fnv_u32(h, a.0);
+        }
+        Node::And(xs) => {
+            h = fnv_u8(h, 7);
+            for x in xs.iter() {
+                h = fnv_u32(h, x.0);
+            }
+        }
+        Node::Or(xs) => {
+            h = fnv_u8(h, 8);
+            for x in xs.iter() {
+                h = fnv_u32(h, x.0);
+            }
+        }
+        Node::Read(m, a) => {
+            h = fnv_u8(h, 9);
+            h = fnv_u32(h, m.0);
+            h = fnv_u32(h, a.0);
+        }
+        Node::Write(m, a, d) => {
+            h = fnv_u8(h, 10);
+            h = fnv_u32(h, m.0);
+            h = fnv_u32(h, a.0);
+            h = fnv_u32(h, d.0);
+        }
+    }
+    h
 }
 
 /// Lazy post-order iterator over the live sub-DAG of a set of roots.

@@ -1,0 +1,112 @@
+//! A structural-hash intern table: the raw-entry pattern over an external
+//! arena.
+//!
+//! The table stores only `u32` expression ids — never the node contents.
+//! Identity lives in the arena; the table maps a 64-bit structural hash to
+//! candidate ids via open addressing with linear probing, and the caller
+//! supplies the comparison against the arena. This is the rustc
+//! `intern_ref` / hashbrown raw-entry idiom, hand-rolled on `std` only: no
+//! duplicate node storage, no per-entry heap allocation, and lookups touch
+//! one cache line of the bucket array before a single arena probe.
+
+/// Sentinel for an empty bucket. `u32::MAX` is never a legal id: the arena
+/// guards id allocation with a `u32::try_from` overflow check, so at most
+/// `u32::MAX` nodes exist and the largest legal id is `u32::MAX - 1`.
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressed hash table of arena ids keyed by structural hash.
+#[derive(Debug, Clone)]
+pub(crate) struct InternTable {
+    /// Power-of-two bucket array holding raw ids (or [`EMPTY`]).
+    buckets: Vec<u32>,
+    /// Number of occupied buckets.
+    len: usize,
+}
+
+impl InternTable {
+    /// An empty table with a small initial capacity.
+    pub(crate) fn new() -> Self {
+        InternTable {
+            buckets: vec![EMPTY; 16],
+            len: 0,
+        }
+    }
+
+    /// The number of interned entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Looks up an entry by hash, resolving collisions through `matches`
+    /// (which must compare the candidate id's node against the probe key,
+    /// including its stored hash if it caches one).
+    pub(crate) fn find(&self, hash: u64, mut matches: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mask = self.buckets.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            match self.buckets[slot] {
+                EMPTY => return None,
+                cand => {
+                    if matches(cand) {
+                        return Some(cand);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Inserts an id known *not* to be present (callers must [`find`] first;
+    /// `InternTable::find`). Grows at 7/8 load, rehashing existing entries
+    /// through `hash_of` — hashes live in the arena, not the table.
+    pub(crate) fn insert_unique(&mut self, hash: u64, id: u32, hash_of: impl Fn(u32) -> u64) {
+        debug_assert_ne!(id, EMPTY, "id space exhausted");
+        if (self.len + 1) * 8 > self.buckets.len() * 7 {
+            self.grow(&hash_of);
+        }
+        Self::place(&mut self.buckets, hash, id);
+        self.len += 1;
+    }
+
+    fn place(buckets: &mut [u32], hash: u64, id: u32) {
+        let mask = buckets.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        while buckets[slot] != EMPTY {
+            slot = (slot + 1) & mask;
+        }
+        buckets[slot] = id;
+    }
+
+    fn grow(&mut self, hash_of: &impl Fn(u32) -> u64) {
+        let mut next = vec![EMPTY; self.buckets.len() * 2];
+        for &id in self.buckets.iter().filter(|&&b| b != EMPTY) {
+            Self::place(&mut next, hash_of(id), id);
+        }
+        self.buckets = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity-hash smoke test: ids dedupe through find, growth rehashes.
+    #[test]
+    fn find_insert_grow() {
+        let mut table = InternTable::new();
+        let hash_of = |id: u32| u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for id in 0..1000u32 {
+            let h = hash_of(id);
+            assert_eq!(table.find(h, |c| c == id), None);
+            table.insert_unique(h, id, hash_of);
+        }
+        assert_eq!(table.len(), 1000);
+        for id in 0..1000u32 {
+            assert_eq!(table.find(hash_of(id), |c| c == id), Some(id));
+        }
+        // A colliding hash is resolved by the matcher, not the table.
+        let h0 = hash_of(0);
+        assert_eq!(table.find(h0, |_| false), None);
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod context;
+mod intern;
 mod node;
 mod symbol;
 

@@ -1,0 +1,118 @@
+//! Allocation accounting for the hash-consing hot path.
+//!
+//! The seed `Context` kept a `HashMap<Node, ExprId>` next to the node arena,
+//! so every interning miss cloned the node — including its `Box<[ExprId]>`
+//! children — into the map key: two heap copies of every distinct node. The
+//! intern table stores bare ids and compares against the arena, so a miss
+//! stores the node once and a hit allocates nothing beyond the probe key the
+//! caller already built. This test pins that budget with a counting global
+//! allocator so the doubled allocation cannot quietly come back.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use eufm::{Context, ExprId, Sort};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Builds a deep, wide formula exercising every interning path: fresh
+/// symbols, n-ary `Uf` applications, equations, `ITE` chains, and n-ary
+/// conjunctions. Returns the root and the number of live nodes created.
+fn build_workload(ctx: &mut Context, salt: &str, rounds: usize) -> ExprId {
+    let mut layer: Vec<ExprId> = (0..24).map(|i| ctx.tvar(&format!("t{salt}{i}"))).collect();
+    let mut obligations = Vec::new();
+    for r in 0..rounds {
+        let mut next = Vec::with_capacity(layer.len());
+        for w in layer.windows(2) {
+            let app = ctx.uf(&format!("f{salt}{}", r % 3), vec![w[0], w[1]]);
+            next.push(app);
+        }
+        let guard = {
+            let e = ctx.eq(layer[0], layer[layer.len() - 1]);
+            let p = ctx.pvar(&format!("g{salt}{r}"));
+            ctx.and(vec![e, p])
+        };
+        let merged = ctx.ite(guard, next[0], *next.last().unwrap());
+        obligations.push(ctx.eq(merged, layer[0]));
+        next.push(merged);
+        layer = next;
+    }
+    ctx.and(obligations)
+}
+
+/// Interning misses must cost a bounded number of heap allocations per
+/// distinct node, and re-building an identical formula (all cache hits)
+/// must not grow the context at all.
+#[test]
+fn interning_allocation_budget() {
+    let mut ctx = Context::new();
+    // Warm the symbol interner and arena vectors out of the measured region
+    // so amortized `Vec` growth doesn't dominate small counts.
+    build_workload(&mut ctx, "warm", 4);
+
+    let nodes_before = ctx.len();
+    let calls_before = alloc_calls();
+    let root = build_workload(&mut ctx, "live", 6);
+    let calls_after = alloc_calls();
+    let fresh_nodes = (ctx.len() - nodes_before) as u64;
+    let spent = calls_after - calls_before;
+    assert!(fresh_nodes > 100, "workload too small: {fresh_nodes} nodes");
+
+    // Budget per distinct node: one `Box<[ExprId]>` for n-ary children plus
+    // symbol-name formatting and amortized vector/table growth. The seed
+    // representation (node cloned into the map key, map entry boxes) sat
+    // well above 5 calls per node on this workload; the arena-backed table
+    // stays under 4. Guard the midpoint so a regression trips loudly.
+    assert!(
+        spent < fresh_nodes * 5,
+        "interning allocated {spent} times for {fresh_nodes} new nodes"
+    );
+
+    // A second identical build is pure cache hits: no new nodes, and an
+    // allocation budget that covers only the transient probe keys (child
+    // vectors built by smart constructors), not node storage.
+    let nodes_mid = ctx.len();
+    let calls_mid = alloc_calls();
+    let root2 = build_workload(&mut ctx, "live", 6);
+    let hit_spent = alloc_calls() - calls_mid;
+    assert_eq!(root, root2, "hash-consing must dedupe identical formulas");
+    assert_eq!(ctx.len(), nodes_mid, "cache hits must not grow the arena");
+    assert!(
+        hit_spent < spent,
+        "hit path allocated {hit_spent}, miss path {spent}"
+    );
+
+    println!(
+        "alloc-count: {spent} calls for {fresh_nodes} distinct nodes \
+         ({:.2}/node); replay (all hits): {hit_spent} calls",
+        spent as f64 / fresh_nodes as f64
+    );
+    let _ = ctx.sort(root);
+    let _ = Sort::Bool;
+}
