@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use crate::intern::InternTable;
-use crate::node::{ExprId, Node, Sort};
+use crate::node::{ExprId, Node, NodeRecord, Sort, Tag};
 use crate::symbol::{Interner, Symbol};
 
 /// Nodes freshly interned into some context arena.
@@ -36,7 +36,13 @@ static NODES_CACHE_HITS: trace::Counter = trace::Counter::new("eufm.nodes.cache_
 /// ```
 #[derive(Debug, Clone)]
 pub struct Context {
-    nodes: Vec<Node>,
+    /// Fixed-size POD node records, dense by id.
+    records: Vec<NodeRecord>,
+    /// All child ids, stored contiguously; each record owns a window.
+    child_slab: Vec<ExprId>,
+    /// The recorded expression sort of each node, dense by id. Agrees with
+    /// the record for checked inserts; [`Context::insert_unchecked`] may
+    /// make them contradict, which lint detects.
     sorts: Vec<Sort>,
     /// Structural hash of each node, dense by id. Doubles as the intern
     /// table's stored-hash side table so growth never recomputes hashes.
@@ -60,7 +66,8 @@ impl Context {
     /// `false`.
     pub fn new() -> Self {
         let mut ctx = Context {
-            nodes: Vec::new(),
+            records: Vec::new(),
+            child_slab: Vec::new(),
             sorts: Vec::new(),
             hashes: Vec::new(),
             table: InternTable::new(),
@@ -68,8 +75,8 @@ impl Context {
             signatures: HashMap::new(),
             fresh_counter: 0,
         };
-        let t = ctx.insert(Node::True, Sort::Bool);
-        let f = ctx.insert(Node::False, Sort::Bool);
+        let t = ctx.intern_node(Tag::True, Sort::Bool, Symbol(0), &[], Sort::Bool);
+        let f = ctx.intern_node(Tag::False, Sort::Bool, Symbol(0), &[], Sort::Bool);
         debug_assert_eq!(t, Context::TRUE);
         debug_assert_eq!(f, Context::FALSE);
         ctx
@@ -80,28 +87,81 @@ impl Context {
     /// The id of the constant `false`.
     pub const FALSE: ExprId = ExprId(1);
 
-    fn insert(&mut self, node: Node, sort: Sort) -> ExprId {
-        let hash = node_shallow_hash(&node);
-        let nodes = &self.nodes;
+    /// Looks up an already-interned node by its record key.
+    fn find_interned(
+        &self,
+        hash: u64,
+        tag: Tag,
+        node_sort: Sort,
+        symbol: Symbol,
+        children: &[ExprId],
+    ) -> Option<ExprId> {
+        let records = &self.records;
+        let slab = &self.child_slab;
         let hashes = &self.hashes;
-        if let Some(id) = self
-            .table
+        self.table
             .find(hash, |cand| {
-                hashes[cand as usize] == hash && nodes[cand as usize] == node
+                let r = &records[cand as usize];
+                hashes[cand as usize] == hash
+                    && r.tag == tag
+                    && r.node_sort == node_sort
+                    && r.symbol == symbol
+                    && &slab[r.child_off as usize..(r.child_off + r.child_len) as usize] == children
             })
             .map(ExprId)
-        {
+    }
+
+    /// Interns a node described by its record key, returning the existing id
+    /// on a structural match and appending a fresh record otherwise.
+    ///
+    /// `node_sort` is the structural sort (a variable's sort, a `Uf`'s
+    /// result sort); `sort` is the expression sort recorded for the id. The
+    /// two agree on every checked insert.
+    fn intern_node(
+        &mut self,
+        tag: Tag,
+        node_sort: Sort,
+        symbol: Symbol,
+        children: &[ExprId],
+        sort: Sort,
+    ) -> ExprId {
+        let hash = record_hash(tag, node_sort, symbol, children);
+        if let Some(id) = self.find_interned(hash, tag, node_sort, symbol, children) {
             NODES_CACHE_HITS.inc();
             return id;
         }
         NODES_INTERNED.inc();
-        let id = ExprId(u32::try_from(self.nodes.len()).expect("context node overflow"));
-        self.nodes.push(node);
-        self.sorts.push(sort);
-        self.hashes.push(hash);
+        let id = self.push_record(tag, node_sort, symbol, children, sort, hash);
         let hashes = &self.hashes;
         self.table
             .insert_unique(hash, id.0, |cand| hashes[cand as usize]);
+        id
+    }
+
+    /// Appends a record (and its children) to the arena without touching the
+    /// intern table.
+    fn push_record(
+        &mut self,
+        tag: Tag,
+        node_sort: Sort,
+        symbol: Symbol,
+        children: &[ExprId],
+        sort: Sort,
+        hash: u64,
+    ) -> ExprId {
+        let id = ExprId(u32::try_from(self.records.len()).expect("context node overflow"));
+        let child_off = u32::try_from(self.child_slab.len()).expect("child slab overflow");
+        let child_len = u32::try_from(children.len()).expect("child slab overflow");
+        self.child_slab.extend_from_slice(children);
+        self.records.push(NodeRecord {
+            tag,
+            node_sort,
+            symbol,
+            child_off,
+            child_len,
+        });
+        self.sorts.push(sort);
+        self.hashes.push(hash);
         id
     }
 
@@ -113,18 +173,46 @@ impl Context {
     /// This deliberately breaks the context's invariants; it exists so
     /// that lint tests can manufacture ill-formed DAGs and check that the
     /// analyzer flags them. Never use it to build real formulas.
-    pub fn insert_unchecked(&mut self, node: Node, sort: Sort) -> ExprId {
-        let id = ExprId(u32::try_from(self.nodes.len()).expect("context node overflow"));
-        self.hashes.push(node_shallow_hash(&node));
-        self.nodes.push(node);
-        self.sorts.push(sort);
-        id
+    pub fn insert_unchecked(&mut self, node: Node<'_>, sort: Sort) -> ExprId {
+        let mut buf = [ExprId(0); 3];
+        let (tag, node_sort, symbol, children) = decompose(node, &mut buf);
+        // Only the symbol-bearing kinds carry a structural sort; for the
+        // rest, cache the recorded sort (which unchecked callers may set to
+        // contradict the structure — that is the point).
+        let node_sort = if matches!(tag, Tag::Var | Tag::Uf) {
+            node_sort
+        } else {
+            sort
+        };
+        let hash = record_hash(tag, node_sort, symbol, children);
+        // Children may borrow this context's slab, so copy them out before
+        // taking `&mut self` storage paths.
+        let children = children.to_vec();
+        self.push_record(tag, node_sort, symbol, &children, sort, hash)
     }
 
-    /// The node stored at `id`.
+    /// The node stored at `id`, reconstructed as a borrowed view.
     #[inline]
-    pub fn node(&self, id: ExprId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: ExprId) -> Node<'_> {
+        self.view(&self.records[id.index()])
+    }
+
+    #[inline]
+    fn view(&self, r: &NodeRecord) -> Node<'_> {
+        let kids = &self.child_slab[r.child_off as usize..(r.child_off + r.child_len) as usize];
+        match r.tag {
+            Tag::True => Node::True,
+            Tag::False => Node::False,
+            Tag::Var => Node::Var(r.symbol, r.node_sort),
+            Tag::Uf => Node::Uf(r.symbol, kids, r.node_sort),
+            Tag::Ite => Node::Ite(kids[0], kids[1], kids[2]),
+            Tag::Eq => Node::Eq(kids[0], kids[1]),
+            Tag::Not => Node::Not(kids[0]),
+            Tag::And => Node::And(kids),
+            Tag::Or => Node::Or(kids),
+            Tag::Read => Node::Read(kids[0], kids[1]),
+            Tag::Write => Node::Write(kids[0], kids[1], kids[2]),
+        }
     }
 
     /// The sort of the expression `id`.
@@ -139,8 +227,8 @@ impl Context {
     /// this checked variant lets analysis passes probe possibly-dangling
     /// ids without crashing.
     #[inline]
-    pub fn try_node(&self, id: ExprId) -> Option<&Node> {
-        self.nodes.get(id.index())
+    pub fn try_node(&self, id: ExprId) -> Option<Node<'_>> {
+        self.records.get(id.index()).map(|r| self.view(r))
     }
 
     /// The sort of `id`, or `None` if `id` is out of bounds.
@@ -151,12 +239,12 @@ impl Context {
 
     /// The number of distinct nodes allocated in this context.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.records.len()
     }
 
     /// Whether the context holds only the two Boolean constants.
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 2
+        self.records.len() <= 2
     }
 
     /// Resolves an interned symbol back to its name.
@@ -201,7 +289,7 @@ impl Context {
     /// Creates (or retrieves) a variable of the given sort.
     pub fn var(&mut self, name: &str, sort: Sort) -> ExprId {
         let sym = self.symbols.intern(name);
-        self.insert(Node::Var(sym, sort), sort)
+        self.intern_node(Tag::Var, sort, sym, &[], sort)
     }
 
     /// Creates (or retrieves) a propositional variable.
@@ -226,18 +314,9 @@ impl Context {
             let name = format!("{prefix}!{}", self.fresh_counter);
             self.fresh_counter += 1;
             let sym = self.symbols.intern(&name);
-            let node = Node::Var(sym, sort);
-            let hash = node_shallow_hash(&node);
-            let nodes = &self.nodes;
-            let hashes = &self.hashes;
-            if self
-                .table
-                .find(hash, |cand| {
-                    hashes[cand as usize] == hash && nodes[cand as usize] == node
-                })
-                .is_none()
-            {
-                return self.insert(node, sort);
+            let hash = record_hash(Tag::Var, sort, sym, &[]);
+            if self.find_interned(hash, Tag::Var, sort, sym, &[]).is_none() {
+                return self.intern_node(Tag::Var, sort, sym, &[], sort);
             }
         }
     }
@@ -289,7 +368,7 @@ impl Context {
                 self.signatures.insert(sym, (arg_sorts, result));
             }
         }
-        self.insert(Node::Uf(sym, args.into_boxed_slice(), result), result)
+        self.intern_node(Tag::Uf, result, sym, &args, result)
     }
 
     /// The recorded signature of an uninterpreted symbol, if it has been
@@ -320,7 +399,7 @@ impl Context {
                 self.signatures.insert(sym, (arg_sorts, result));
             }
         }
-        self.insert(Node::Uf(sym, args.into_boxed_slice(), result), result)
+        self.intern_node(Tag::Uf, result, sym, &args, result)
     }
 
     // ----- Boolean connectives ---------------------------------------------
@@ -339,9 +418,9 @@ impl Context {
             return Context::TRUE;
         }
         if let Node::Not(inner) = self.node(a) {
-            return *inner;
+            return inner;
         }
-        self.insert(Node::Not(a), Sort::Bool)
+        self.intern_node(Tag::Not, Sort::Bool, Symbol(0), &[a], Sort::Bool)
     }
 
     /// N-ary conjunction; flattens nested conjunctions, removes duplicates
@@ -382,14 +461,10 @@ impl Context {
             if op == identity {
                 continue;
             }
-            let same_kind = match self.node(op) {
-                Node::And(xs) if is_and => Some(xs.to_vec()),
-                Node::Or(xs) if !is_and => Some(xs.to_vec()),
-                _ => None,
-            };
-            match same_kind {
-                Some(xs) => flat.extend(xs),
-                None => flat.push(op),
+            match self.node(op) {
+                Node::And(xs) if is_and => flat.extend_from_slice(xs),
+                Node::Or(xs) if !is_and => flat.extend_from_slice(xs),
+                _ => flat.push(op),
             }
         }
         flat.sort_unstable();
@@ -400,7 +475,7 @@ impl Context {
         // complementary pair detection: x and not(x)
         for &x in &flat {
             if let Node::Not(inner) = self.node(x) {
-                if flat.binary_search(inner).is_ok() {
+                if flat.binary_search(&inner).is_ok() {
                     return absorbing;
                 }
             }
@@ -409,12 +484,8 @@ impl Context {
             0 => identity,
             1 => flat[0],
             _ => {
-                let node = if is_and {
-                    Node::And(flat.into_boxed_slice())
-                } else {
-                    Node::Or(flat.into_boxed_slice())
-                };
-                self.insert(node, Sort::Bool)
+                let tag = if is_and { Tag::And } else { Tag::Or };
+                self.intern_node(tag, Sort::Bool, Symbol(0), &flat, Sort::Bool)
             }
         }
     }
@@ -476,13 +547,13 @@ impl Context {
         let mut then_val = then_val;
         let mut else_val = else_val;
         if let Node::Ite(c2, t2, _) = self.node(then_val) {
-            if *c2 == cond {
-                then_val = *t2;
+            if c2 == cond {
+                then_val = t2;
             }
         }
         if let Node::Ite(c2, _, e2) = self.node(else_val) {
-            if *c2 == cond {
-                else_val = *e2;
+            if c2 == cond {
+                else_val = e2;
             }
         }
         if then_val == else_val {
@@ -502,10 +573,16 @@ impl Context {
                     self.or2(nc, t)
                 }
                 (t, e) if e == Context::FALSE => self.and2(cond, t),
-                _ => self.insert(Node::Ite(cond, then_val, else_val), Sort::Bool),
+                _ => self.intern_node(
+                    Tag::Ite,
+                    Sort::Bool,
+                    Symbol(0),
+                    &[cond, then_val, else_val],
+                    Sort::Bool,
+                ),
             };
         }
-        self.insert(Node::Ite(cond, then_val, else_val), sort)
+        self.intern_node(Tag::Ite, sort, Symbol(0), &[cond, then_val, else_val], sort)
     }
 
     // ----- equations --------------------------------------------------------
@@ -527,7 +604,7 @@ impl Context {
             return Context::TRUE;
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        self.insert(Node::Eq(a, b), Sort::Bool)
+        self.intern_node(Tag::Eq, Sort::Bool, Symbol(0), &[a, b], Sort::Bool)
     }
 
     // ----- memories ---------------------------------------------------------
@@ -544,7 +621,7 @@ impl Context {
             "read: first operand must be a memory"
         );
         assert_eq!(self.sort(addr), Sort::Term, "read: address must be a term");
-        self.insert(Node::Read(mem, addr), Sort::Term)
+        self.intern_node(Tag::Read, Sort::Term, Symbol(0), &[mem, addr], Sort::Term)
     }
 
     /// `write(mem, addr, data)`: the memory state after the store.
@@ -560,7 +637,13 @@ impl Context {
         );
         assert_eq!(self.sort(addr), Sort::Term, "write: address must be a term");
         assert_eq!(self.sort(data), Sort::Term, "write: data must be a term");
-        self.insert(Node::Write(mem, addr, data), Sort::Mem)
+        self.intern_node(
+            Tag::Write,
+            Sort::Mem,
+            Symbol(0),
+            &[mem, addr, data],
+            Sort::Mem,
+        )
     }
 
     /// A conditional write: `ite(cond, write(mem, addr, data), mem)`.
@@ -574,11 +657,16 @@ impl Context {
 
     // ----- traversal helpers -------------------------------------------------
 
-    /// Collects the children of `id` into a fresh vector.
-    pub fn children(&self, id: ExprId) -> Vec<ExprId> {
-        let mut out = Vec::new();
-        self.node(id).for_each_child(|c| out.push(c));
-        out
+    /// The children of `id`, as a slice into the shared child slab.
+    ///
+    /// Uniform across node kinds (scalar-child kinds like `Not` and `Ite`
+    /// expose their operands the same way), zero-allocation, and the
+    /// traversal primitive generic passes should prefer over matching on
+    /// [`Context::node`].
+    #[inline]
+    pub fn children(&self, id: ExprId) -> &[ExprId] {
+        let r = &self.records[id.index()];
+        &self.child_slab[r.child_off as usize..(r.child_off + r.child_len) as usize]
     }
 
     /// Returns a lazy iterator over the transitive sub-DAG of `roots`,
@@ -626,14 +714,14 @@ impl Context {
             let new_id = match self.node(id) {
                 Node::True => Context::TRUE,
                 Node::False => Context::FALSE,
-                Node::Var(sym, sort) => new.var(self.symbols.resolve(*sym), *sort),
+                Node::Var(sym, sort) => new.var(self.symbols.resolve(sym), sort),
                 Node::Uf(sym, args, sort) => {
                     let new_args: Vec<ExprId> = args.iter().map(|a| map[a]).collect();
-                    new.apply(self.symbols.resolve(*sym), new_args, *sort)
+                    new.apply(self.symbols.resolve(sym), new_args, sort)
                 }
-                Node::Ite(c, t, e) => new.ite(map[c], map[t], map[e]),
-                Node::Eq(a, b) => new.eq(map[a], map[b]),
-                Node::Not(a) => new.not(map[a]),
+                Node::Ite(c, t, e) => new.ite(map[&c], map[&t], map[&e]),
+                Node::Eq(a, b) => new.eq(map[&a], map[&b]),
+                Node::Not(a) => new.not(map[&a]),
                 Node::And(xs) => {
                     let ops: Vec<ExprId> = xs.iter().map(|x| map[x]).collect();
                     new.and(ops)
@@ -642,8 +730,8 @@ impl Context {
                     let ops: Vec<ExprId> = xs.iter().map(|x| map[x]).collect();
                     new.or(ops)
                 }
-                Node::Read(m, a) => new.read(map[m], map[a]),
-                Node::Write(m, a, d) => new.write(map[m], map[a], map[d]),
+                Node::Read(m, a) => new.read(map[&m], map[&a]),
+                Node::Write(m, a, d) => new.write(map[&m], map[&a], map[&d]),
             };
             map.insert(id, new_id);
         });
@@ -670,75 +758,61 @@ fn fnv_u32(mut h: u64, word: u32) -> u64 {
     h
 }
 
-/// Shallow structural hash of a node: FNV-1a/64 over the kind tag, the
-/// symbol and sort (for symbol-carrying kinds), and the child ids.
+/// Shallow structural hash of a node record: FNV-1a/64 over the kind tag,
+/// the structural sort, the symbol, and the child ids.
 ///
 /// This is the hash-consing key, *not* a content digest: children enter by
 /// id, so it is only meaningful within one context. Deep, layout- and
 /// context-independent identity lives in [`crate::digest`].
-fn node_shallow_hash(node: &Node) -> u64 {
-    let sort_byte = |s: Sort| match s {
+fn record_hash(tag: Tag, node_sort: Sort, symbol: Symbol, children: &[ExprId]) -> u64 {
+    let sort_byte = match node_sort {
         Sort::Bool => 0u8,
         Sort::Term => 1,
         Sort::Mem => 2,
     };
     let mut h = FNV_OFFSET;
-    match node {
-        Node::True => h = fnv_u8(h, 0),
-        Node::False => h = fnv_u8(h, 1),
-        Node::Var(sym, sort) => {
-            h = fnv_u8(h, 2);
-            h = fnv_u8(h, sort_byte(*sort));
-            h = fnv_u32(h, sym.0);
-        }
-        Node::Uf(sym, args, sort) => {
-            h = fnv_u8(h, 3);
-            h = fnv_u8(h, sort_byte(*sort));
-            h = fnv_u32(h, sym.0);
-            for a in args.iter() {
-                h = fnv_u32(h, a.0);
-            }
-        }
-        Node::Ite(c, t, e) => {
-            h = fnv_u8(h, 4);
-            h = fnv_u32(h, c.0);
-            h = fnv_u32(h, t.0);
-            h = fnv_u32(h, e.0);
-        }
-        Node::Eq(a, b) => {
-            h = fnv_u8(h, 5);
-            h = fnv_u32(h, a.0);
-            h = fnv_u32(h, b.0);
-        }
-        Node::Not(a) => {
-            h = fnv_u8(h, 6);
-            h = fnv_u32(h, a.0);
-        }
-        Node::And(xs) => {
-            h = fnv_u8(h, 7);
-            for x in xs.iter() {
-                h = fnv_u32(h, x.0);
-            }
-        }
-        Node::Or(xs) => {
-            h = fnv_u8(h, 8);
-            for x in xs.iter() {
-                h = fnv_u32(h, x.0);
-            }
-        }
-        Node::Read(m, a) => {
-            h = fnv_u8(h, 9);
-            h = fnv_u32(h, m.0);
-            h = fnv_u32(h, a.0);
-        }
-        Node::Write(m, a, d) => {
-            h = fnv_u8(h, 10);
-            h = fnv_u32(h, m.0);
-            h = fnv_u32(h, a.0);
-            h = fnv_u32(h, d.0);
-        }
+    h = fnv_u8(h, tag as u8);
+    h = fnv_u8(h, sort_byte);
+    h = fnv_u32(h, symbol.0);
+    for c in children {
+        h = fnv_u32(h, c.0);
     }
     h
+}
+
+/// Splits a node view into its record key, spilling scalar children into
+/// `buf`. The returned slice borrows either `buf` or the view's own slice.
+fn decompose<'a>(node: Node<'a>, buf: &'a mut [ExprId; 3]) -> (Tag, Sort, Symbol, &'a [ExprId]) {
+    match node {
+        Node::True => (Tag::True, Sort::Bool, Symbol(0), &[]),
+        Node::False => (Tag::False, Sort::Bool, Symbol(0), &[]),
+        Node::Var(sym, sort) => (Tag::Var, sort, sym, &[]),
+        Node::Uf(sym, args, sort) => (Tag::Uf, sort, sym, args),
+        Node::Ite(c, t, e) => {
+            *buf = [c, t, e];
+            (Tag::Ite, Sort::Bool, Symbol(0), &buf[..])
+        }
+        Node::Eq(a, b) => {
+            buf[0] = a;
+            buf[1] = b;
+            (Tag::Eq, Sort::Bool, Symbol(0), &buf[..2])
+        }
+        Node::Not(a) => {
+            buf[0] = a;
+            (Tag::Not, Sort::Bool, Symbol(0), &buf[..1])
+        }
+        Node::And(xs) => (Tag::And, Sort::Bool, Symbol(0), xs),
+        Node::Or(xs) => (Tag::Or, Sort::Bool, Symbol(0), xs),
+        Node::Read(m, a) => {
+            buf[0] = m;
+            buf[1] = a;
+            (Tag::Read, Sort::Term, Symbol(0), &buf[..2])
+        }
+        Node::Write(m, a, d) => {
+            *buf = [m, a, d];
+            (Tag::Write, Sort::Mem, Symbol(0), &buf[..])
+        }
+    }
 }
 
 /// Lazy post-order iterator over the live sub-DAG of a set of roots.
@@ -860,9 +934,9 @@ mod tests {
         let u = ctx.update(m, c, a, d);
         match ctx.node(u) {
             Node::Ite(cc, t, e) => {
-                assert_eq!(*cc, c);
-                assert_eq!(*e, m);
-                assert!(matches!(ctx.node(*t), Node::Write(..)));
+                assert_eq!(cc, c);
+                assert_eq!(e, m);
+                assert!(matches!(ctx.node(t), Node::Write(..)));
             }
             other => panic!("expected ITE, got {other:?}"),
         }
@@ -1019,7 +1093,7 @@ mod extract_tests {
         let (small, roots) = ctx.extract(&[eq, ne]);
         assert_eq!(roots.len(), 2);
         match small.node(roots[1]) {
-            Node::Not(inner) => assert_eq!(*inner, roots[0]),
+            Node::Not(inner) => assert_eq!(inner, roots[0]),
             other => panic!("expected Not, got {other:?}"),
         }
     }

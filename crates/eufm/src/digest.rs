@@ -57,7 +57,7 @@ fn sort_tag(sort: Sort) -> u8 {
     }
 }
 
-fn kind_tag(node: &Node) -> u8 {
+fn kind_tag(node: Node<'_>) -> u8 {
     match node {
         Node::True => b't',
         Node::False => b'f',
@@ -142,13 +142,13 @@ impl Digester {
         match node {
             Node::True | Node::False => {}
             Node::Var(sym, sort) => {
-                state = fnv1a_128(state, &[sort_tag(*sort)]);
-                state = fnv1a_128(state, ctx.name(*sym).as_bytes());
+                state = fnv1a_128(state, &[sort_tag(sort)]);
+                state = fnv1a_128(state, ctx.name(sym).as_bytes());
                 state = fnv1a_128(state, &[0]);
             }
             Node::Uf(sym, _, sort) => {
-                state = fnv1a_128(state, &[sort_tag(*sort)]);
-                state = fnv1a_128(state, ctx.name(*sym).as_bytes());
+                state = fnv1a_128(state, &[sort_tag(sort)]);
+                state = fnv1a_128(state, ctx.name(sym).as_bytes());
                 state = fnv1a_128(state, &[0]);
             }
             _ => {}

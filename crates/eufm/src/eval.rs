@@ -218,15 +218,15 @@ fn eval_node(
         Node::Uf(sym, args, sort) => {
             let vals: Vec<u64> = args.iter().map(|&a| encode_arg(get(a), model)).collect();
             match sort {
-                Sort::Bool => Value::Bool(model.up_value(*sym, &vals)),
-                Sort::Term => Value::Term(model.uf_value(*sym, &vals)),
+                Sort::Bool => Value::Bool(model.up_value(sym, &vals)),
+                Sort::Term => Value::Term(model.uf_value(sym, &vals)),
                 Sort::Mem => {
                     // Memory-sorted UF results only appear after conservative
                     // abstraction; model them as fresh bases keyed by the
                     // application's own id, overlaid with nothing. Functional
                     // consistency is preserved because the key is the hash of
                     // the argument values.
-                    let key = model.uf_value(*sym, &vals);
+                    let key = model.uf_value(sym, &vals);
                     Value::Mem(MemState::base(ExprId::from_index(
                         usize::try_from(key % (1 << 30)).expect("mem key fits"),
                     )))
@@ -234,27 +234,27 @@ fn eval_node(
             }
         }
         Node::Ite(c, t, e) => {
-            if get(*c).as_bool() {
-                get(*t).clone()
+            if get(c).as_bool() {
+                get(t).clone()
             } else {
-                get(*e).clone()
+                get(e).clone()
             }
         }
-        Node::Eq(a, b) => Value::Bool(values_equal(get(*a), get(*b), model)),
-        Node::Not(a) => Value::Bool(!get(*a).as_bool()),
+        Node::Eq(a, b) => Value::Bool(values_equal(get(a), get(b), model)),
+        Node::Not(a) => Value::Bool(!get(a).as_bool()),
         Node::And(xs) => Value::Bool(xs.iter().all(|&x| get(x).as_bool())),
         Node::Or(xs) => Value::Bool(xs.iter().any(|&x| get(x).as_bool())),
-        Node::Read(m, a) => match get(*m) {
+        Node::Read(m, a) => match get(m) {
             Value::Mem(state) => {
-                let addr = get(*a).as_term();
+                let addr = get(a).as_term();
                 Value::Term(state.load(addr, &|var, ad| model.mem_init(var, ad)))
             }
             other => panic!("read of non-memory value {other:?}"),
         },
-        Node::Write(m, a, d) => match get(*m) {
+        Node::Write(m, a, d) => match get(m) {
             Value::Mem(state) => {
-                let addr = get(*a).as_term();
-                let data = get(*d).as_term();
+                let addr = get(a).as_term();
+                let data = get(d).as_term();
                 Value::Mem(state.store(addr, data))
             }
             other => panic!("write of non-memory value {other:?}"),

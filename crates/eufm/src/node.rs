@@ -1,4 +1,11 @@
 //! Expression node representation.
+//!
+//! Storage and view are separate layers. The [`Context`](crate::Context)
+//! arena stores each node as a fixed-size POD [`NodeRecord`] whose children
+//! live contiguously in a shared child slab; [`Node`] is a borrowed,
+//! `Copy` *view* reconstructed on demand. Pattern-matching code sees the
+//! same variants it always did, while the arena never chases a `Box` and
+//! never stores a node twice.
 
 use crate::symbol::Symbol;
 
@@ -37,13 +44,53 @@ impl ExprId {
     }
 }
 
-/// An expression node. Children are [`ExprId`]s into the same context.
+/// The kind of a stored node record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Tag {
+    True = 0,
+    False = 1,
+    Var = 2,
+    Uf = 3,
+    Ite = 4,
+    Eq = 5,
+    Not = 6,
+    And = 7,
+    Or = 8,
+    Read = 9,
+    Write = 10,
+}
+
+/// Fixed-size storage record for one node.
+///
+/// Children are a `[child_off, child_off + child_len)` window into the
+/// context's child slab; `symbol` and `node_sort` are meaningful only for
+/// the symbol-bearing kinds (`Var`, `Uf`), where they are part of the
+/// node's structural identity. Sixteen bytes, `Copy`, no indirection.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeRecord {
+    pub(crate) tag: Tag,
+    /// Structural sort: a variable's sort or a `Uf`'s result sort. For the
+    /// other kinds this caches the recorded expression sort and plays no
+    /// part in identity.
+    pub(crate) node_sort: Sort,
+    pub(crate) symbol: Symbol,
+    pub(crate) child_off: u32,
+    pub(crate) child_len: u32,
+}
+
+/// A borrowed view of an expression node. Children are [`ExprId`]s into the
+/// same context; child *lists* borrow the context's child slab.
 ///
 /// Nodes of sort [`Sort::Bool`] model the control path and the correctness
 /// condition; nodes of sort [`Sort::Term`] abstract word-level values; nodes
 /// of sort [`Sort::Mem`] abstract entire memory states.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Node {
+///
+/// Views are `Copy` and cheap to reconstruct; they are produced by
+/// [`Context::node`](crate::Context::node) and compare/hash structurally,
+/// so they can key scratch maps in analysis passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node<'a> {
     /// The constant `true`.
     True,
     /// The constant `false`.
@@ -53,7 +100,7 @@ pub enum Node {
     /// An uninterpreted function application producing a value of the given
     /// result sort. Uninterpreted predicates are `Uf` nodes with result sort
     /// [`Sort::Bool`].
-    Uf(Symbol, Box<[ExprId]>, Sort),
+    Uf(Symbol, &'a [ExprId], Sort),
     /// An if-then-else over values of equal sort; the first child is the
     /// controlling formula.
     Ite(ExprId, ExprId, ExprId),
@@ -65,9 +112,9 @@ pub enum Node {
     /// Logical negation.
     Not(ExprId),
     /// N-ary conjunction; children are flattened, sorted, and deduplicated.
-    And(Box<[ExprId]>),
+    And(&'a [ExprId]),
     /// N-ary disjunction; children are flattened, sorted, and deduplicated.
-    Or(Box<[ExprId]>),
+    Or(&'a [ExprId]),
     /// `read(mem, addr)`: the data stored at `addr` in memory state `mem`.
     Read(ExprId, ExprId),
     /// `write(mem, addr, data)`: the memory state after storing `data` at
@@ -75,27 +122,27 @@ pub enum Node {
     Write(ExprId, ExprId, ExprId),
 }
 
-impl Node {
+impl Node<'_> {
     /// Visits every child id of this node.
     pub fn for_each_child(&self, mut f: impl FnMut(ExprId)) {
-        match self {
+        match *self {
             Node::True | Node::False | Node::Var(..) => {}
             Node::Uf(_, args, _) => args.iter().copied().for_each(&mut f),
             Node::Ite(c, t, e) => {
-                f(*c);
-                f(*t);
-                f(*e);
+                f(c);
+                f(t);
+                f(e);
             }
             Node::Eq(a, b) | Node::Read(a, b) => {
-                f(*a);
-                f(*b);
+                f(a);
+                f(b);
             }
-            Node::Not(a) => f(*a),
+            Node::Not(a) => f(a),
             Node::And(xs) | Node::Or(xs) => xs.iter().copied().for_each(&mut f),
             Node::Write(m, a, d) => {
-                f(*m);
-                f(*a);
-                f(*d);
+                f(m);
+                f(a);
+                f(d);
             }
         }
     }
@@ -139,15 +186,12 @@ mod tests {
         let c = ExprId(3);
         assert_eq!(Node::True.child_count(), 0);
         assert_eq!(Node::Var(Symbol(0), Sort::Term).child_count(), 0);
-        assert_eq!(
-            Node::Uf(Symbol(0), vec![a, b].into(), Sort::Term).child_count(),
-            2
-        );
+        assert_eq!(Node::Uf(Symbol(0), &[a, b], Sort::Term).child_count(), 2);
         assert_eq!(Node::Ite(a, b, c).child_count(), 3);
         assert_eq!(Node::Eq(a, b).child_count(), 2);
         assert_eq!(Node::Not(a).child_count(), 1);
-        assert_eq!(Node::And(vec![a, b, c].into()).child_count(), 3);
-        assert_eq!(Node::Or(vec![a].into()).child_count(), 1);
+        assert_eq!(Node::And(&[a, b, c]).child_count(), 3);
+        assert_eq!(Node::Or(&[a]).child_count(), 1);
         assert_eq!(Node::Read(a, b).child_count(), 2);
         assert_eq!(Node::Write(a, b, c).child_count(), 3);
     }

@@ -133,7 +133,7 @@ pub fn analyze(ctx: &Context, roots: &[ExprId]) -> Analysis {
                     push_operand(ctx, a, Polarity::Both, &mut work);
                 }
             }
-            Node::Not(a) => work.push((*a, pol.negate())),
+            Node::Not(a) => work.push((a, pol.negate())),
             Node::And(xs) | Node::Or(xs) => {
                 for &x in xs.iter() {
                     work.push((x, pol));
@@ -141,9 +141,9 @@ pub fn analyze(ctx: &Context, roots: &[ExprId]) -> Analysis {
             }
             Node::Ite(c, t, e) => {
                 // The controlling formula occurs in both polarities.
-                work.push((*c, Polarity::Both));
-                push_operand(ctx, *t, pol, &mut work);
-                push_operand(ctx, *e, pol, &mut work);
+                work.push((c, Polarity::Both));
+                push_operand(ctx, t, pol, &mut work);
+                push_operand(ctx, e, pol, &mut work);
             }
             Node::Eq(a, b) => {
                 let entry = analysis.eq_polarity.entry(id);
@@ -158,19 +158,19 @@ pub fn analyze(ctx: &Context, roots: &[ExprId]) -> Analysis {
                         pol
                     }
                 };
-                push_operand(ctx, *a, merged, &mut work);
-                push_operand(ctx, *b, merged, &mut work);
+                push_operand(ctx, a, merged, &mut work);
+                push_operand(ctx, b, merged, &mut work);
             }
             Node::Read(m, a) => {
-                push_operand(ctx, *m, pol, &mut work);
+                push_operand(ctx, m, pol, &mut work);
                 // Addresses are compared against write addresses in both
                 // polarities by the forwarding property.
-                push_operand(ctx, *a, Polarity::Both, &mut work);
+                push_operand(ctx, a, Polarity::Both, &mut work);
             }
             Node::Write(m, a, d) => {
-                push_operand(ctx, *m, pol, &mut work);
-                push_operand(ctx, *a, Polarity::Both, &mut work);
-                push_operand(ctx, *d, pol, &mut work);
+                push_operand(ctx, m, pol, &mut work);
+                push_operand(ctx, a, Polarity::Both, &mut work);
+                push_operand(ctx, d, pol, &mut work);
             }
         }
     }
@@ -184,8 +184,8 @@ pub fn analyze(ctx: &Context, roots: &[ExprId]) -> Analysis {
         .collect();
     for eq in general_eqs {
         if let Node::Eq(a, b) = ctx.node(eq) {
-            collect_value_leaves(ctx, *a, &mut analysis);
-            collect_value_leaves(ctx, *b, &mut analysis);
+            collect_value_leaves(ctx, a, &mut analysis);
+            collect_value_leaves(ctx, b, &mut analysis);
         }
     }
     analysis
@@ -209,8 +209,8 @@ fn collect_value_leaves(ctx: &Context, root: ExprId, analysis: &mut Analysis) {
         }
         match ctx.node(id) {
             Node::Ite(_, t, e) => {
-                stack.push(*t);
-                stack.push(*e);
+                stack.push(t);
+                stack.push(e);
             }
             Node::Var(_, Sort::Term) => {
                 analysis.gterms.insert(id);

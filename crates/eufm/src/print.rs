@@ -52,24 +52,24 @@ fn print_node(
                 Sort::Term => "t",
                 Sort::Mem => "m",
             };
-            let _ = write!(out, "{}:{}", ctx.name(*sym), tag);
+            let _ = write!(out, "{}:{}", ctx.name(sym), tag);
         }
         Node::Uf(sym, args, sort) => {
-            let head = if *sort == Sort::Bool { "up" } else { "uf" };
-            let _ = write!(out, "({head} {}", ctx.name(*sym));
+            let head = if sort == Sort::Bool { "up" } else { "uf" };
+            let _ = write!(out, "({head} {}", ctx.name(sym));
             sep(stack, args);
         }
         Node::Ite(c, t, e) => {
             out.push_str("(ite");
-            sep(stack, &[*c, *t, *e]);
+            sep(stack, &[c, t, e]);
         }
         Node::Eq(a, b) => {
             out.push_str("(=");
-            sep(stack, &[*a, *b]);
+            sep(stack, &[a, b]);
         }
         Node::Not(a) => {
             out.push_str("(not");
-            sep(stack, &[*a]);
+            sep(stack, &[a]);
         }
         Node::And(xs) => {
             out.push_str("(and");
@@ -81,11 +81,11 @@ fn print_node(
         }
         Node::Read(m, a) => {
             out.push_str("(read");
-            sep(stack, &[*m, *a]);
+            sep(stack, &[m, a]);
         }
         Node::Write(m, a, d) => {
             out.push_str("(write");
-            sep(stack, &[*m, *a, *d]);
+            sep(stack, &[m, a, d]);
         }
     }
 }

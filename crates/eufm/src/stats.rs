@@ -98,7 +98,7 @@ pub fn primary_inputs(ctx: &Context, root: ExprId) -> PrimaryInputStats {
     let mut stats = PrimaryInputStats::default();
     for id in ctx.reachable(&[root]) {
         if let Node::Var(sym, Sort::Bool) = ctx.node(id) {
-            if ctx.name(*sym).starts_with(EIJ_PREFIX) {
+            if ctx.name(sym).starts_with(EIJ_PREFIX) {
                 stats.eij_vars += 1;
             } else {
                 stats.other_vars += 1;

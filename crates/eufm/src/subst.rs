@@ -79,8 +79,7 @@ fn substitute_memo(
                 ctx.node(id).for_each_child(|c| stack.push(Frame::Enter(c)));
             }
             Frame::Exit(id) => {
-                let node = ctx.node(id).clone();
-                let rebuilt = rebuild(ctx, &node, memo);
+                let rebuilt = rebuild(ctx, id, memo);
                 memo.insert(id, rebuilt);
             }
         }
@@ -88,22 +87,17 @@ fn substitute_memo(
     memo[&root]
 }
 
-fn rebuild(ctx: &mut Context, node: &Node, memo: &HashMap<ExprId, ExprId>) -> ExprId {
+fn rebuild(ctx: &mut Context, id: ExprId, memo: &HashMap<ExprId, ExprId>) -> ExprId {
     let m = |id: ExprId| memo[&id];
-    match node {
+    match ctx.node(id) {
         Node::True | Node::False | Node::Var(..) => unreachable!("leaves are memoized directly"),
         Node::Uf(sym, args, sort) => {
             let new_args: Vec<ExprId> = args.iter().map(|&a| m(a)).collect();
-            if new_args.iter().zip(args.iter()).all(|(n, o)| n == o) {
-                // unchanged: find the original id cheaply by re-inserting
-                ctx.apply_sym(*sym, new_args, *sort)
-            } else {
-                ctx.apply_sym(*sym, new_args, *sort)
-            }
+            ctx.apply_sym(sym, new_args, sort)
         }
-        Node::Ite(c, t, e) => ctx.ite(m(*c), m(*t), m(*e)),
-        Node::Eq(a, b) => ctx.eq(m(*a), m(*b)),
-        Node::Not(a) => ctx.not(m(*a)),
+        Node::Ite(c, t, e) => ctx.ite(m(c), m(t), m(e)),
+        Node::Eq(a, b) => ctx.eq(m(a), m(b)),
+        Node::Not(a) => ctx.not(m(a)),
         Node::And(xs) => {
             let ops: Vec<ExprId> = xs.iter().map(|&x| m(x)).collect();
             ctx.and(ops)
@@ -112,8 +106,8 @@ fn rebuild(ctx: &mut Context, node: &Node, memo: &HashMap<ExprId, ExprId>) -> Ex
             let ops: Vec<ExprId> = xs.iter().map(|&x| m(x)).collect();
             ctx.or(ops)
         }
-        Node::Read(mem, addr) => ctx.read(m(*mem), m(*addr)),
-        Node::Write(mem, addr, d) => ctx.write(m(*mem), m(*addr), m(*d)),
+        Node::Read(mem, addr) => ctx.read(m(mem), m(addr)),
+        Node::Write(mem, addr, d) => ctx.write(m(mem), m(addr), m(d)),
     }
 }
 

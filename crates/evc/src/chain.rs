@@ -74,21 +74,21 @@ pub fn parse(ctx: &Context, mem: ExprId) -> Result<UpdateChain, ChainError> {
             Node::Write(m, a, d) => {
                 updates_rev.push(Update {
                     guard: Context::TRUE,
-                    addr: *a,
-                    data: *d,
-                    pre_state: *m,
+                    addr: a,
+                    data: d,
+                    pre_state: m,
                     post_state: cur,
                 });
-                cur = *m;
+                cur = m;
             }
             Node::Ite(c, t, e) => {
-                let (c, t, e) = (*c, *t, *e);
+                let (c, t, e) = (c, t, e);
                 match ctx.node(t) {
-                    Node::Write(m, a, d) if *m == e => {
+                    Node::Write(m, a, d) if m == e => {
                         updates_rev.push(Update {
                             guard: c,
-                            addr: *a,
-                            data: *d,
+                            addr: a,
+                            data: d,
                             pre_state: e,
                             post_state: cur,
                         });

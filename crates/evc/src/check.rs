@@ -150,7 +150,7 @@ fn render_classes(ctx: &Context, root: ExprId, gvars: &HashSet<ExprId>) -> Optio
             return;
         }
         match ctx.node(id) {
-            Node::Var(sym, sort) => names.push(format!("{}:{}", class_tag(*sort), ctx.name(*sym))),
+            Node::Var(sym, sort) => names.push(format!("{}:{}", class_tag(sort), ctx.name(sym))),
             _ => nameable = false,
         }
     });
@@ -169,7 +169,7 @@ fn resolve_classes(ctx: &Context, root: ExprId, names: &[String]) -> Option<Clas
     let mut by_name: HashMap<String, ExprId> = HashMap::new();
     ctx.visit_post_order(&[root], |id| {
         if let Node::Var(sym, sort) = ctx.node(id) {
-            by_name.insert(format!("{}:{}", class_tag(*sort), ctx.name(*sym)), id);
+            by_name.insert(format!("{}:{}", class_tag(sort), ctx.name(sym)), id);
         }
     });
     let mut gvars = HashSet::new();
@@ -448,7 +448,7 @@ pub fn check_validity_cancellable(
             for &gt in &analysis.gterms {
                 match ctx.node(gt) {
                     Node::Uf(sym, _, _) => {
-                        gsymbols.insert(*sym);
+                        gsymbols.insert(sym);
                     }
                     Node::Var(_, Sort::Mem) => {
                         gvars.insert(gt);
@@ -604,7 +604,7 @@ pub fn check_validity_cancellable(
                 .iter()
                 .filter(|(_, &sat_var)| model.value(sat_var))
                 .map(|(&expr, _)| match ctx.node(expr) {
-                    Node::Var(sym, _) => ctx.name(*sym).to_owned(),
+                    Node::Var(sym, _) => ctx.name(sym).to_owned(),
                     _ => "?".to_owned(),
                 })
                 .collect();

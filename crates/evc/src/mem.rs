@@ -97,8 +97,7 @@ impl MemEqPass {
         if let Some(&v) = self.memo.get(&id) {
             return v;
         }
-        let node = ctx.node(id).clone();
-        let result = match node {
+        let result = match ctx.node(id) {
             Node::Eq(a, b) if ctx.sort(a) == Sort::Mem => {
                 let addr = self.addr(ctx);
                 let a2 = self.rebuild(ctx, a);
@@ -107,7 +106,7 @@ impl MemEqPass {
                 let rb = ctx.read(b2, addr);
                 ctx.eq(ra, rb)
             }
-            _ => rebuild_generic(ctx, &node, |ctx, c| self.rebuild(ctx, c)),
+            _ => rebuild_generic(ctx, id, |ctx, c| self.rebuild(ctx, c)),
         };
         self.memo.insert(id, result);
         result
@@ -126,8 +125,7 @@ impl ForwardPass {
         if let Some(&v) = self.memo.get(&id) {
             return v;
         }
-        let node = ctx.node(id).clone();
-        let result = match node {
+        let result = match ctx.node(id) {
             Node::Read(m, a) => {
                 let addr = self.rebuild(ctx, a);
                 self.resolve_read(ctx, m, addr)
@@ -136,7 +134,7 @@ impl ForwardPass {
             // any left outside a read context are preserved structurally
             // (they can only appear if the caller kept a bare memory term,
             // which the formula-level API prevents).
-            _ => rebuild_generic(ctx, &node, |ctx, c| self.rebuild(ctx, c)),
+            _ => rebuild_generic(ctx, id, |ctx, c| self.rebuild(ctx, c)),
         };
         self.memo.insert(id, result);
         result
@@ -148,8 +146,7 @@ impl ForwardPass {
         if let Some(&v) = self.read_memo.get(&(mem, addr)) {
             return v;
         }
-        let node = ctx.node(mem).clone();
-        let result = match node {
+        let result = match ctx.node(mem) {
             Node::Write(m, a, d) => {
                 let wa = self.rebuild(ctx, a);
                 let wd = self.rebuild(ctx, d);
@@ -170,6 +167,7 @@ impl ForwardPass {
             Node::Uf(sym, args, Sort::Mem) => {
                 // A memory produced by an uninterpreted transformer (only in
                 // mixed pipelines): read it through a dedicated UF.
+                let args = args.to_vec();
                 let rebuilt: Vec<ExprId> = args.iter().map(|&x| self.rebuild(ctx, x)).collect();
                 let inner = ctx.apply_sym(sym, rebuilt, Sort::Mem);
                 let name = format!("rdapp!{}", ctx.name(sym));
@@ -194,8 +192,7 @@ impl ConservativePass {
         if let Some(&v) = self.memo.get(&id) {
             return v;
         }
-        let node = ctx.node(id).clone();
-        let result = match node {
+        let result = match ctx.node(id) {
             Node::Read(m, a) => {
                 let m2 = self.rebuild(ctx, m);
                 let a2 = self.rebuild(ctx, a);
@@ -207,7 +204,7 @@ impl ConservativePass {
                 let d2 = self.rebuild(ctx, d);
                 ctx.apply("wr!", vec![m2, a2, d2], Sort::Mem)
             }
-            _ => rebuild_generic(ctx, &node, |ctx, c| self.rebuild(ctx, c)),
+            _ => rebuild_generic(ctx, id, |ctx, c| self.rebuild(ctx, c)),
         };
         self.memo.insert(id, result);
         result
@@ -218,52 +215,52 @@ impl ConservativePass {
 /// transformed children.
 fn rebuild_generic(
     ctx: &mut Context,
-    node: &Node,
+    id: ExprId,
     mut rec: impl FnMut(&mut Context, ExprId) -> ExprId,
 ) -> ExprId {
-    match node {
-        Node::True => Context::TRUE,
-        Node::False => Context::FALSE,
-        Node::Var(sym, sort) => {
-            let name = ctx.name(*sym).to_owned();
-            ctx.var(&name, *sort)
-        }
+    match ctx.node(id) {
+        // Leaves rebuild to themselves: hash-consing in the same context
+        // guarantees re-interning an identical node returns the same id.
+        Node::True | Node::False | Node::Var(..) => id,
         Node::Uf(sym, args, sort) => {
+            let args = args.to_vec();
             let rebuilt: Vec<ExprId> = args.iter().map(|&a| rec(ctx, a)).collect();
-            ctx.apply_sym(*sym, rebuilt, *sort)
+            ctx.apply_sym(sym, rebuilt, sort)
         }
         Node::Ite(c, t, e) => {
-            let c2 = rec(ctx, *c);
-            let t2 = rec(ctx, *t);
-            let e2 = rec(ctx, *e);
+            let c2 = rec(ctx, c);
+            let t2 = rec(ctx, t);
+            let e2 = rec(ctx, e);
             ctx.ite(c2, t2, e2)
         }
         Node::Eq(a, b) => {
-            let a2 = rec(ctx, *a);
-            let b2 = rec(ctx, *b);
+            let a2 = rec(ctx, a);
+            let b2 = rec(ctx, b);
             ctx.eq(a2, b2)
         }
         Node::Not(a) => {
-            let a2 = rec(ctx, *a);
+            let a2 = rec(ctx, a);
             ctx.not(a2)
         }
         Node::And(xs) => {
+            let xs = xs.to_vec();
             let rebuilt: Vec<ExprId> = xs.iter().map(|&x| rec(ctx, x)).collect();
             ctx.and(rebuilt)
         }
         Node::Or(xs) => {
+            let xs = xs.to_vec();
             let rebuilt: Vec<ExprId> = xs.iter().map(|&x| rec(ctx, x)).collect();
             ctx.or(rebuilt)
         }
         Node::Read(m, a) => {
-            let m2 = rec(ctx, *m);
-            let a2 = rec(ctx, *a);
+            let m2 = rec(ctx, m);
+            let a2 = rec(ctx, a);
             ctx.read(m2, a2)
         }
         Node::Write(m, a, d) => {
-            let m2 = rec(ctx, *m);
-            let a2 = rec(ctx, *a);
-            let d2 = rec(ctx, *d);
+            let m2 = rec(ctx, m);
+            let a2 = rec(ctx, a);
+            let d2 = rec(ctx, d);
             ctx.write(m2, a2, d2)
         }
     }

@@ -149,8 +149,7 @@ impl Encoder<'_> {
             return Ok(v);
         }
         self.check_budget(ctx)?;
-        let node = ctx.node(id).clone();
-        let result = match node {
+        let result = match ctx.node(id) {
             Node::True => Context::TRUE,
             Node::False => Context::FALSE,
             Node::Var(_, Sort::Bool) => id,
@@ -159,16 +158,18 @@ impl Encoder<'_> {
                 ctx.not(a2)
             }
             Node::And(xs) => {
+                let xs = xs.to_vec();
                 let mut rebuilt = Vec::with_capacity(xs.len());
-                for x in xs.iter() {
-                    rebuilt.push(self.formula(ctx, *x)?);
+                for x in xs {
+                    rebuilt.push(self.formula(ctx, x)?);
                 }
                 ctx.and(rebuilt)
             }
             Node::Or(xs) => {
+                let xs = xs.to_vec();
                 let mut rebuilt = Vec::with_capacity(xs.len());
-                for x in xs.iter() {
-                    rebuilt.push(self.formula(ctx, *x)?);
+                for x in xs {
+                    rebuilt.push(self.formula(ctx, x)?);
                 }
                 ctx.or(rebuilt)
             }
@@ -199,9 +200,7 @@ impl Encoder<'_> {
             return Ok(v);
         }
         self.check_budget(ctx)?;
-        let na = ctx.node(a).clone();
-        let nb = ctx.node(b).clone();
-        let result = match (na, nb) {
+        let result = match (ctx.node(a), ctx.node(b)) {
             (Node::Ite(c, t, e), _) => {
                 let c2 = self.formula(ctx, c)?;
                 let t2 = self.eq(ctx, t, b)?;

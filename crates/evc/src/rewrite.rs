@@ -518,7 +518,7 @@ fn expected_forwarding(
     let mut fwd = ctx.read(spec_chain.base, src);
     let mut avail = Context::TRUE;
     for u in &spec_chain.updates[..idx] {
-        let Node::Ite(vr, result, _) = *ctx.node(u.data) else {
+        let Node::Ite(vr, result, _) = ctx.node(u.data) else {
             return None;
         };
         let addr_match = ctx.eq(u.addr, src);
@@ -712,10 +712,10 @@ impl Engine {
         // ITE(ValidResult_i, Result_i, ALU(...)).
         let (vr, result) = match ctx.node(spec.data) {
             Node::Ite(c, t, _)
-                if matches!(ctx.node(*c), Node::Var(_, Sort::Bool))
-                    && matches!(ctx.node(*t), Node::Var(_, Sort::Term)) =>
+                if matches!(ctx.node(c), Node::Var(_, Sort::Bool))
+                    && matches!(ctx.node(t), Node::Var(_, Sort::Term)) =>
             {
-                (*c, *t)
+                (c, t)
             }
             _ => {
                 return Err(RewriteError::Slice {
@@ -787,7 +787,7 @@ impl Engine {
         sigma_impl.insert(slice.completion.pre_state, prev_equal);
         let comp_reloc = substitute(ctx, slice.completion.data, &sigma_impl);
 
-        match ctx.node(comp_reloc).clone() {
+        match ctx.node(comp_reloc) {
             // The regular cycle may have executed the instruction:
             // ITE(exec, ALU(forwarded operands), ALU(reads)).
             Node::Ite(exec, forwarded, not_executed) => {
@@ -916,13 +916,16 @@ impl Engine {
     ) -> bool {
         // Decompose both ALU applications.
         let (Node::Uf(fsym, fargs, _), Node::Uf(ssym, sargs, _)) =
-            (ctx.node(forwarded).clone(), ctx.node(spec_false).clone())
+            (ctx.node(forwarded), ctx.node(spec_false))
         else {
             return false;
         };
         if fsym != ssym || fargs.len() != sargs.len() {
             return false;
         }
+        // Copy the argument lists out of the arena: the loop below interns
+        // new nodes while comparing them.
+        let (fargs, sargs) = (fargs.to_vec(), sargs.to_vec());
         // The execution condition must be a conjunction (or a single
         // formula); collect its conjunct set.
         let exec_conjuncts: Vec<ExprId> = match ctx.node(exec) {
@@ -934,7 +937,7 @@ impl Engine {
                 continue; // e.g. the shared opcode argument
             }
             // The spec-side argument must be a read of the previous state.
-            let Node::Read(state, src) = *ctx.node(sa) else {
+            let Node::Read(state, src) = ctx.node(sa) else {
                 return false;
             };
             if state

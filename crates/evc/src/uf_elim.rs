@@ -69,9 +69,9 @@ impl Pass {
         if let Some(&v) = self.memo.get(&id) {
             return v;
         }
-        let node = ctx.node(id).clone();
-        let result = match node {
+        let result = match ctx.node(id) {
             Node::Uf(sym, args, sort) => {
+                let args = args.to_vec();
                 let rebuilt: Vec<ExprId> = args.iter().map(|&a| self.rebuild(ctx, a)).collect();
                 self.eliminate_app(ctx, sym, rebuilt, sort)
             }
@@ -94,10 +94,12 @@ impl Pass {
                 ctx.not(a2)
             }
             Node::And(xs) => {
+                let xs = xs.to_vec();
                 let rebuilt: Vec<ExprId> = xs.iter().map(|&x| self.rebuild(ctx, x)).collect();
                 ctx.and(rebuilt)
             }
             Node::Or(xs) => {
+                let xs = xs.to_vec();
                 let rebuilt: Vec<ExprId> = xs.iter().map(|&x| self.rebuild(ctx, x)).collect();
                 ctx.or(rebuilt)
             }
@@ -240,9 +242,9 @@ fn ackermann_rebuild(
     if let Some(&v) = memo.get(&id) {
         return v;
     }
-    let node = ctx.node(id).clone();
-    let result = match node {
+    let result = match ctx.node(id) {
         Node::Uf(sym, args, sort) => {
+            let args = args.to_vec();
             let rebuilt: Vec<ExprId> = args
                 .iter()
                 .map(|&a| ackermann_rebuild(ctx, a, memo, apps, fresh_vars, app_counts))
@@ -280,6 +282,7 @@ fn ackermann_rebuild(
             ctx.not(a2)
         }
         Node::And(xs) => {
+            let xs = xs.to_vec();
             let rebuilt: Vec<ExprId> = xs
                 .iter()
                 .map(|&x| ackermann_rebuild(ctx, x, memo, apps, fresh_vars, app_counts))
@@ -287,6 +290,7 @@ fn ackermann_rebuild(
             ctx.and(rebuilt)
         }
         Node::Or(xs) => {
+            let xs = xs.to_vec();
             let rebuilt: Vec<ExprId> = xs
                 .iter()
                 .map(|&x| ackermann_rebuild(ctx, x, memo, apps, fresh_vars, app_counts))

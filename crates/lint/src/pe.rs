@@ -119,7 +119,7 @@ pub fn check(ctx: &Context, input: &PeAuditInput<'_>, diags: &mut Diagnostics) {
 
 fn var_name(ctx: &Context, v: ExprId) -> String {
     match ctx.try_node(v) {
-        Some(Node::Var(sym, _)) => ctx.name(*sym).to_owned(),
+        Some(Node::Var(sym, _)) => ctx.name(sym).to_owned(),
         Some(other) => format!("non-var `{}` node {}", other.kind_name(), v.index()),
         None => format!("dangling node {}", v.index()),
     }
@@ -165,16 +165,16 @@ fn classify(ctx: &Context, root: ExprId) -> Classified {
         let flip = ((pol & POS) << 1) | ((pol & NEG) >> 1);
         match node {
             Node::True | Node::False | Node::Var(..) => {}
-            Node::Not(a) => work.push((*a, flip)),
+            Node::Not(a) => work.push((a, flip)),
             Node::And(xs) | Node::Or(xs) => {
                 for &x in xs.iter() {
                     work.push((x, pol));
                 }
             }
             Node::Ite(c, t, e) => {
-                work.push((*c, POS | NEG));
-                work.push((*t, pol));
-                work.push((*e, pol));
+                work.push((c, POS | NEG));
+                work.push((t, pol));
+                work.push((e, pol));
             }
             Node::Uf(_, args, _) => {
                 for &a in args.iter() {
@@ -185,17 +185,17 @@ fn classify(ctx: &Context, root: ExprId) -> Classified {
                 let m = eq_mask.entry(id).or_insert(0);
                 *m |= pol;
                 let m = *m;
-                work.push((*a, m));
-                work.push((*b, m));
+                work.push((a, m));
+                work.push((b, m));
             }
             Node::Read(m, a) => {
-                work.push((*m, pol));
-                work.push((*a, POS | NEG));
+                work.push((m, pol));
+                work.push((a, POS | NEG));
             }
             Node::Write(m, a, d) => {
-                work.push((*m, pol));
-                work.push((*a, POS | NEG));
-                work.push((*d, pol));
+                work.push((m, pol));
+                work.push((a, POS | NEG));
+                work.push((d, pol));
             }
         }
     }
@@ -209,16 +209,13 @@ fn classify(ctx: &Context, root: ExprId) -> Classified {
             continue; // positive-only equation
         }
         if let Some(Node::Eq(a, b)) = ctx.try_node(eq) {
-            for leaf in value_leaves(ctx, *a)
-                .into_iter()
-                .chain(value_leaves(ctx, *b))
-            {
+            for leaf in value_leaves(ctx, a).into_iter().chain(value_leaves(ctx, b)) {
                 match ctx.try_node(leaf) {
                     Some(Node::Var(_, Sort::Term)) | Some(Node::Var(_, Sort::Mem)) => {
                         out.gvars.insert(leaf);
                     }
                     Some(Node::Uf(sym, _, _)) => {
-                        out.gsymbols.insert(*sym);
+                        out.gsymbols.insert(sym);
                     }
                     _ => {}
                 }
@@ -239,8 +236,8 @@ fn value_leaves(ctx: &Context, root: ExprId) -> Vec<ExprId> {
         }
         match ctx.try_node(id) {
             Some(Node::Ite(_, t, e)) => {
-                stack.push(*t);
-                stack.push(*e);
+                stack.push(t);
+                stack.push(e);
             }
             Some(_) => out.push(id),
             None => {}
@@ -267,7 +264,7 @@ fn check_eij_coverage(ctx: &Context, input: &PeAuditInput<'_>, diags: &mut Diagn
     let mut reported: HashSet<(ExprId, ExprId)> = HashSet::new();
     for eq in ctx.reachable(&[input.encoded]) {
         let (a, b) = match ctx.try_node(eq) {
-            Some(Node::Eq(a, b)) => (*a, *b),
+            Some(Node::Eq(a, b)) => (a, b),
             _ => continue,
         };
         let mut stack = vec![(a, b)];
@@ -281,12 +278,12 @@ fn check_eij_coverage(ctx: &Context, input: &PeAuditInput<'_>, diags: &mut Diagn
             }
             match (ctx.try_node(a), ctx.try_node(b)) {
                 (Some(Node::Ite(_, t, e)), _) => {
-                    stack.push((*t, b));
-                    stack.push((*e, b));
+                    stack.push((t, b));
+                    stack.push((e, b));
                 }
                 (_, Some(Node::Ite(_, t, e))) => {
-                    stack.push((a, *t));
-                    stack.push((a, *e));
+                    stack.push((a, t));
+                    stack.push((a, e));
                 }
                 (Some(Node::Var(..)), Some(Node::Var(..)))
                     if input.gvars.contains(&key.0)

@@ -72,10 +72,7 @@ pub fn check_uf_free(ctx: &Context, root: ExprId, diags: &mut Diagnostics) {
             diags.emit_at(
                 Code::ResidualUf,
                 id,
-                format!(
-                    "application of `{}` survives UF elimination",
-                    ctx.name(*sym)
-                ),
+                format!("application of `{}` survives UF elimination", ctx.name(sym)),
             );
         }
     }

@@ -74,7 +74,7 @@ pub fn check(ctx: &Context, roots: &[ExprId], diags: &mut Diagnostics) {
             }
         }
         // hash-consing integrity
-        if let Some(&prev) = live.get(node) {
+        if let Some(&prev) = live.get(&node) {
             diags.emit_at(
                 Code::HashConsViolation,
                 id,
@@ -86,10 +86,10 @@ pub fn check(ctx: &Context, roots: &[ExprId], diags: &mut Diagnostics) {
                 ),
             );
         } else {
-            live.insert(node.clone(), id);
+            live.insert(node, id);
         }
         if !dangling_child {
-            check_sorts(ctx, id, node, diags);
+            check_sorts(ctx, id, &node, diags);
         }
     }
 }
@@ -290,7 +290,7 @@ mod tests {
         let b = ctx.tvar("b");
         let eq = ctx.eq(a, b);
         let dup = ctx.insert_unchecked(Node::Eq(a, b), Sort::Bool);
-        let both = ctx.insert_unchecked(Node::And(vec![eq, dup].into_boxed_slice()), Sort::Bool);
+        let both = ctx.insert_unchecked(Node::And(&[eq, dup]), Sort::Bool);
         let diags = run(&ctx, &[both]);
         assert!(diags.iter().any(|d| d.code == Code::HashConsViolation));
     }
@@ -300,7 +300,7 @@ mod tests {
         let mut ctx = Context::new();
         let a = ctx.tvar("a");
         let bad = ctx.insert_unchecked(Node::Not(Context::TRUE), Sort::Term);
-        let root = ctx.insert_unchecked(Node::And(vec![bad].into_boxed_slice()), Sort::Bool);
+        let root = ctx.insert_unchecked(Node::And(&[bad]), Sort::Bool);
         let _ = a;
         let diags = run(&ctx, &[root]);
         assert!(diags.iter().any(|d| d.code == Code::SortTableMismatch));

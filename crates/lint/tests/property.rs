@@ -152,10 +152,7 @@ proptest! {
         let mut ctx = Context::new();
         let f = build_formula(&mut ctx, &ops);
         let ghost = ExprId::from_index(ctx.len() + offset);
-        let bad = ctx.insert_unchecked(
-            Node::And(vec![f, ghost].into_boxed_slice()),
-            Sort::Bool,
-        );
+        let bad = ctx.insert_unchecked(Node::And(&[f, ghost]), Sort::Bool);
         let mut diags = Diagnostics::new();
         wf::check(&ctx, &[bad], &mut diags);
         let codes = error_codes(&diags.finish());
@@ -279,7 +276,7 @@ fn honest_classification(
     let mut gsymbols: std::collections::HashSet<eufm::Symbol> = std::collections::HashSet::new();
     for &gt in &analysis.gterms {
         if let Node::Uf(sym, _, _) = ctx.node(gt) {
-            gsymbols.insert(*sym);
+            gsymbols.insert(sym);
         }
     }
     for (&var, sym) in &elim.fresh_vars {

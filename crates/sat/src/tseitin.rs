@@ -130,16 +130,16 @@ pub fn translate(
             let flip = |p: u8| ((p & POS) << 1) | ((p & NEG) >> 1);
             match ctx.node(id) {
                 Node::True | Node::False | Node::Var(_, Sort::Bool) => {}
-                Node::Not(a) => work.push((*a, flip(pol))),
+                Node::Not(a) => work.push((a, flip(pol))),
                 Node::And(xs) | Node::Or(xs) => {
                     for &x in xs.iter() {
                         work.push((x, pol));
                     }
                 }
                 Node::Ite(c, t, e) if ctx.sort(id) == Sort::Bool => {
-                    work.push((*c, POS | NEG));
-                    work.push((*t, pol));
-                    work.push((*e, pol));
+                    work.push((c, POS | NEG));
+                    work.push((t, pol));
+                    work.push((e, pol));
                 }
                 other => {
                     return Err(TranslateError {
@@ -180,7 +180,7 @@ pub fn translate(
                 var_map.insert(id, v);
                 Lit::pos(v)
             }
-            Node::Not(a) => !lit_map[a],
+            Node::Not(a) => !lit_map[&a],
             Node::And(xs) => {
                 let v = cnf.new_var();
                 gate_map.insert(v, id);
@@ -219,7 +219,7 @@ pub fn translate(
                 let v = cnf.new_var();
                 gate_map.insert(v, id);
                 let t = Lit::pos(v);
-                let (c, a, b) = (lit_map[c], lit_map[a], lit_map[b]);
+                let (c, a, b) = (lit_map[&c], lit_map[&a], lit_map[&b]);
                 if want_pos {
                     cnf.add_clause([!t, !c, a]);
                     cnf.add_clause([!t, c, b]);

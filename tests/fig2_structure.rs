@@ -20,23 +20,23 @@ fn spec_side_chain_matches_fig2a() {
         // context: the Valid_i propositional variable
         match ctx.node(u.guard) {
             Node::Var(sym, _) => {
-                assert_eq!(ctx.name(*sym), format!("Valid_{}", i + 1));
+                assert_eq!(ctx.name(sym), format!("Valid_{}", i + 1));
             }
             other => panic!("guard of spec update {} is {other:?}", i + 1),
         }
         // address: the Dest_i term variable
         match ctx.node(u.addr) {
             Node::Var(sym, _) => {
-                assert_eq!(ctx.name(*sym), format!("Dest_{}", i + 1));
+                assert_eq!(ctx.name(sym), format!("Dest_{}", i + 1));
             }
             other => panic!("address of spec update {} is {other:?}", i + 1),
         }
         // data: ITE(ValidResult_i, Result_i, ALU(..))
         match ctx.node(u.data) {
             Node::Ite(c, t, e) => {
-                assert!(matches!(ctx.node(*c), Node::Var(..)));
-                assert!(matches!(ctx.node(*t), Node::Var(..)));
-                assert!(matches!(ctx.node(*e), Node::Uf(..)));
+                assert!(matches!(ctx.node(c), Node::Var(..)));
+                assert!(matches!(ctx.node(t), Node::Var(..)));
+                assert!(matches!(ctx.node(e), Node::Uf(..)));
             }
             other => panic!("data of spec update {} is {other:?}", i + 1),
         }
@@ -58,8 +58,8 @@ fn impl_side_chain_matches_fig2a() {
         .updates
         .iter()
         .map(|u| match ctx.node(u.addr) {
-            Node::Var(sym, _) => ctx.name(*sym).to_owned(),
-            Node::Uf(sym, _, _) => format!("({})", ctx.name(*sym)),
+            Node::Var(sym, _) => ctx.name(sym).to_owned(),
+            Node::Uf(sym, _, _) => format!("({})", ctx.name(sym)),
             other => panic!("unexpected address {other:?}"),
         })
         .collect();
@@ -78,7 +78,7 @@ fn impl_side_chain_matches_fig2a() {
     // Retirement updates write the stored Result_i.
     for (i, u) in chain.updates[..2].iter().enumerate() {
         match ctx.node(u.data) {
-            Node::Var(sym, _) => assert_eq!(ctx.name(*sym), format!("Result_{}", i + 1)),
+            Node::Var(sym, _) => assert_eq!(ctx.name(sym), format!("Result_{}", i + 1)),
             other => panic!("retirement data is {other:?}"),
         }
     }
@@ -135,7 +135,7 @@ fn rewritten_chain_matches_fig2b() {
     let mut mentions_dest = false;
     bundle.ctx.visit_post_order(&[outcome.formula], |id| {
         if let Node::Var(sym, _) = bundle.ctx.node(id) {
-            if bundle.ctx.name(*sym).starts_with("Dest_") {
+            if bundle.ctx.name(sym).starts_with("Dest_") {
                 mentions_dest = true;
             }
         }
