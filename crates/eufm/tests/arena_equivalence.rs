@@ -1,0 +1,573 @@
+//! Differential equivalence suite for the arena-interned term core.
+//!
+//! The flat arena (POD records + contiguous child slab + id-keyed intern
+//! table) must be observationally identical to the naive representation it
+//! replaced: a `Vec` of owned nodes deduplicated through a `HashMap`. This
+//! suite keeps that naive interner alive as a *reference implementation*
+//! and checks the real [`Context`] against it in lockstep:
+//!
+//! - every context built through the smart constructors mirrors into the
+//!   reference interner with **exactly the same dense ids** (no structural
+//!   duplicates, no gaps, `TRUE = 0` / `FALSE = 1`);
+//! - re-running a construction recipe — in a fresh context, or in a context
+//!   pre-polluted with unrelated nodes so every record lands at different
+//!   offsets — yields identical structure and identical digests, because
+//!   digests and cache keys are layout-independent by construction;
+//! - `reachable` yields the same post-order as an independently written
+//!   traversal over `children()`;
+//! - substitution results agree across independently built contexts;
+//! - `print` → `parse` → `print` is a fixpoint and preserves digests.
+//!
+//! The digest golden vectors pinned here duplicate the unit-test vectors in
+//! `eufm::digest` on purpose: the memo store and the `JobKey` cache persist
+//! digests to disk, so any drift must fail loudly in more than one place.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use eufm::digest::{digest_hex, Digester};
+use eufm::subst::{substitute, Substitution};
+use eufm::{Context, ExprId, Node, Sort, Symbol};
+
+// ---------------------------------------------------------------------------
+// The naive reference interner
+// ---------------------------------------------------------------------------
+
+/// An owned deep-copy of a [`Node`] view, usable as a `HashMap` key — the
+/// exact shape the seed representation stored per node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum OwnedNode {
+    True,
+    False,
+    Var(Symbol, Sort),
+    Uf(Symbol, Vec<ExprId>, Sort),
+    Ite(ExprId, ExprId, ExprId),
+    Eq(ExprId, ExprId),
+    Not(ExprId),
+    And(Vec<ExprId>),
+    Or(Vec<ExprId>),
+    Read(ExprId, ExprId),
+    Write(ExprId, ExprId, ExprId),
+}
+
+fn own(node: Node<'_>) -> OwnedNode {
+    match node {
+        Node::True => OwnedNode::True,
+        Node::False => OwnedNode::False,
+        Node::Var(sym, sort) => OwnedNode::Var(sym, sort),
+        Node::Uf(sym, args, sort) => OwnedNode::Uf(sym, args.to_vec(), sort),
+        Node::Ite(c, t, e) => OwnedNode::Ite(c, t, e),
+        Node::Eq(a, b) => OwnedNode::Eq(a, b),
+        Node::Not(a) => OwnedNode::Not(a),
+        Node::And(xs) => OwnedNode::And(xs.to_vec()),
+        Node::Or(xs) => OwnedNode::Or(xs.to_vec()),
+        Node::Read(m, a) => OwnedNode::Read(m, a),
+        Node::Write(m, a, d) => OwnedNode::Write(m, a, d),
+    }
+}
+
+/// The seed-representation interner: owned nodes in insertion order,
+/// deduplicated through a map keyed by the full node.
+#[derive(Default)]
+struct RefInterner {
+    nodes: Vec<OwnedNode>,
+    map: HashMap<OwnedNode, ExprId>,
+}
+
+impl RefInterner {
+    fn insert(&mut self, node: OwnedNode) -> (ExprId, bool) {
+        if let Some(&id) = self.map.get(&node) {
+            return (id, false);
+        }
+        let id = ExprId::from_index(self.nodes.len());
+        self.nodes.push(node.clone());
+        self.map.insert(node, id);
+        (id, true)
+    }
+}
+
+/// Replays every arena record through the reference interner, asserting the
+/// naive `HashMap` dedupe assigns the same dense id to every node. This is
+/// the core differential check: if the arena's intern table ever failed to
+/// find an existing entry (or found a wrong one), the replayed ids would
+/// diverge from the arena's.
+fn mirror(ctx: &Context) -> RefInterner {
+    let mut reference = RefInterner::default();
+    for index in 0..ctx.len() {
+        let id = ExprId::from_index(index);
+        let (ref_id, fresh) = reference.insert(own(ctx.node(id)));
+        assert!(
+            fresh,
+            "arena node {index} ({:?}) is a structural duplicate of {}",
+            ctx.node(id),
+            ref_id.index()
+        );
+        assert_eq!(ref_id, id, "reference interner disagrees on node {index}");
+    }
+    reference
+}
+
+// ---------------------------------------------------------------------------
+// Random construction recipes
+// ---------------------------------------------------------------------------
+
+/// A stack-machine recipe for building a formula. Replaying the same recipe
+/// in any context must produce structurally identical results.
+#[derive(Debug, Clone)]
+enum Op {
+    PropVar(u8),
+    EqVars(u8, u8),
+    EqUf(u8, u8),
+    EqBinUf(u8, u8),
+    ReadWrite(u8, u8),
+    Not,
+    And,
+    Or,
+    Ite,
+}
+
+fn recipes() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..4).prop_map(Op::PropVar),
+            (0u8..4, 0u8..4).prop_map(|(a, b)| Op::EqVars(a, b)),
+            (0u8..4, 0u8..4).prop_map(|(a, b)| Op::EqUf(a, b)),
+            (0u8..4, 0u8..4).prop_map(|(a, b)| Op::EqBinUf(a, b)),
+            (0u8..4, 0u8..4).prop_map(|(a, b)| Op::ReadWrite(a, b)),
+            Just(Op::Not),
+            Just(Op::And),
+            Just(Op::Or),
+            Just(Op::Ite),
+        ],
+        1..50,
+    )
+}
+
+/// Replays a recipe, always leaving one formula on the stack.
+fn build(ctx: &mut Context, ops: &[Op]) -> ExprId {
+    let tvars: Vec<ExprId> = (0..4).map(|i| ctx.tvar(&format!("t{i}"))).collect();
+    let mem = ctx.mvar("m");
+    let mut stack: Vec<ExprId> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::PropVar(i) => stack.push(ctx.pvar(&format!("p{i}"))),
+            Op::EqVars(a, b) => {
+                let e = ctx.eq(tvars[a as usize], tvars[b as usize]);
+                stack.push(e);
+            }
+            Op::EqUf(a, b) => {
+                let fa = ctx.uf("f", vec![tvars[a as usize]]);
+                let fb = ctx.uf("f", vec![tvars[b as usize]]);
+                let e = ctx.eq(fa, fb);
+                stack.push(e);
+            }
+            Op::EqBinUf(a, b) => {
+                let g = ctx.uf("g", vec![tvars[a as usize], tvars[b as usize]]);
+                let e = ctx.eq(g, tvars[a as usize]);
+                stack.push(e);
+            }
+            Op::ReadWrite(a, d) => {
+                let w = ctx.write(mem, tvars[a as usize], tvars[d as usize]);
+                let r = ctx.read(w, tvars[d as usize]);
+                let e = ctx.eq(r, tvars[a as usize]);
+                stack.push(e);
+            }
+            Op::Not => {
+                if let Some(x) = stack.pop() {
+                    let n = ctx.not(x);
+                    stack.push(n);
+                }
+            }
+            Op::And => {
+                if stack.len() >= 2 {
+                    let (b, a) = (stack.pop().unwrap(), stack.pop().unwrap());
+                    let r = ctx.and2(a, b);
+                    stack.push(r);
+                }
+            }
+            Op::Or => {
+                if stack.len() >= 2 {
+                    let (b, a) = (stack.pop().unwrap(), stack.pop().unwrap());
+                    let r = ctx.or2(a, b);
+                    stack.push(r);
+                }
+            }
+            Op::Ite => {
+                if stack.len() >= 3 {
+                    let e = stack.pop().unwrap();
+                    let t = stack.pop().unwrap();
+                    let c = stack.pop().unwrap();
+                    let r = ctx.ite(c, t, e);
+                    stack.push(r);
+                }
+            }
+        }
+    }
+    let fallback = ctx.pvar("p0");
+    stack.pop().unwrap_or(fallback)
+}
+
+/// A context-independent structural fingerprint: symbols are hashed by
+/// *name* (symbol numbering differs across contexts) and the operands of
+/// the canonically-id-ordered connectives (`and`/`or`/`eq`) are combined
+/// commutatively, so two contexts holding the same formula modulo operand
+/// reordering fingerprint identically. This is the reference equivalence
+/// for cross-context checks where `Digester` is (correctly) id-order
+/// sensitive.
+fn fingerprint(ctx: &Context, root: ExprId) -> u64 {
+    fn combine(kind: u64, parts: &[u64]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ kind;
+        for &p in parts {
+            h = (h ^ p).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    fn name_hash(name: &str) -> u64 {
+        combine(
+            0x5a5a,
+            &[name
+                .bytes()
+                .map(u64::from)
+                .fold(7, |a, b| a.wrapping_mul(31).wrapping_add(b))],
+        )
+    }
+    let mut memo: HashMap<ExprId, u64> = HashMap::new();
+    for id in ctx.reachable(&[root]) {
+        let f = |c: ExprId| memo[&c];
+        let commutative = |xs: &[ExprId]| xs.iter().map(|&x| f(x)).fold(0u64, u64::wrapping_add);
+        let h = match ctx.node(id) {
+            Node::True => combine(1, &[]),
+            Node::False => combine(2, &[]),
+            Node::Var(sym, sort) => combine(3, &[name_hash(ctx.name(sym)), sort as u64]),
+            Node::Uf(sym, args, sort) => {
+                let mut parts = vec![name_hash(ctx.name(sym)), sort as u64];
+                parts.extend(args.iter().map(|&a| f(a)));
+                combine(4, &parts)
+            }
+            Node::Ite(c, t, e) => combine(5, &[f(c), f(t), f(e)]),
+            Node::Eq(a, b) => combine(6, &[f(a).wrapping_add(f(b))]),
+            Node::Not(a) => combine(7, &[f(a)]),
+            Node::And(xs) => combine(8, &[commutative(xs)]),
+            Node::Or(xs) => combine(9, &[commutative(xs)]),
+            Node::Read(m, a) => combine(10, &[f(m), f(a)]),
+            Node::Write(m, a, d) => combine(11, &[f(m), f(a), f(d)]),
+        };
+        memo.insert(id, h);
+    }
+    memo[&root]
+}
+
+/// Independently written post-order over `children()`, mirroring the
+/// documented contract of [`Context::reachable`] (each node once, children
+/// strictly before parents, last child explored first).
+fn reference_postorder(ctx: &Context, roots: &[ExprId]) -> Vec<ExprId> {
+    let mut seen: HashSet<ExprId> = HashSet::new();
+    let mut out = Vec::new();
+    let mut stack: Vec<(ExprId, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
+    while let Some((id, expanded)) = stack.pop() {
+        if expanded {
+            out.push(id);
+            continue;
+        }
+        if !seen.insert(id) {
+            continue;
+        }
+        stack.push((id, true));
+        for &c in ctx.children(id) {
+            stack.push((c, false));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Differential proptests
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every context built through the smart constructors replays cleanly
+    /// through the naive reference interner with identical dense ids.
+    #[test]
+    fn arena_ids_match_reference_interner(ops in recipes()) {
+        let mut ctx = Context::new();
+        let root = build(&mut ctx, &ops);
+        let reference = mirror(&ctx);
+        prop_assert_eq!(reference.nodes.len(), ctx.len());
+        prop_assert!(root.index() < ctx.len());
+    }
+
+    /// Replaying a recipe in a fresh context reproduces the same ids, the
+    /// same arena length, and the same digest: construction is a pure
+    /// function of the recipe.
+    #[test]
+    fn construction_is_deterministic(ops in recipes()) {
+        let mut ctx_a = Context::new();
+        let root_a = build(&mut ctx_a, &ops);
+        let mut ctx_b = Context::new();
+        let root_b = build(&mut ctx_b, &ops);
+        prop_assert_eq!(root_a, root_b);
+        prop_assert_eq!(ctx_a.len(), ctx_b.len());
+        let da = Digester::new().digest(&ctx_a, root_a);
+        let db = Digester::new().digest(&ctx_b, root_b);
+        prop_assert_eq!(da, db);
+    }
+
+    /// Re-interning every reachable node from its (already interned)
+    /// children returns the original id: the intern table finds what the
+    /// reference `HashMap` would find.
+    #[test]
+    fn reinterning_is_idempotent(ops in recipes()) {
+        let mut ctx = Context::new();
+        let root = build(&mut ctx, &ops);
+        let reachable: Vec<ExprId> = ctx.reachable(&[root]).collect();
+        for id in reachable {
+            let redone = match own(ctx.node(id)) {
+                OwnedNode::True => Context::TRUE,
+                OwnedNode::False => Context::FALSE,
+                OwnedNode::Var(sym, sort) => {
+                    let name = ctx.name(sym).to_owned();
+                    ctx.var(&name, sort)
+                }
+                OwnedNode::Uf(sym, args, sort) => ctx.apply_sym(sym, args, sort),
+                OwnedNode::Ite(c, t, e) => ctx.ite(c, t, e),
+                OwnedNode::Eq(a, b) => ctx.eq(a, b),
+                OwnedNode::Not(a) => ctx.not(a),
+                OwnedNode::And(xs) => ctx.and(xs),
+                OwnedNode::Or(xs) => ctx.or(xs),
+                OwnedNode::Read(m, a) => ctx.read(m, a),
+                OwnedNode::Write(m, a, d) => ctx.write(m, a, d),
+            };
+            prop_assert_eq!(redone, id, "re-interning node {} diverged", id.index());
+        }
+    }
+
+    /// `reachable` agrees with the independently written post-order.
+    #[test]
+    fn reachable_matches_reference_postorder(ops in recipes()) {
+        let mut ctx = Context::new();
+        let root = build(&mut ctx, &ops);
+        let via_iter: Vec<ExprId> = ctx.reachable(&[root]).collect();
+        let via_reference = reference_postorder(&ctx, &[root]);
+        prop_assert_eq!(via_iter, via_reference);
+        // multi-root traversal too (root twice must not duplicate)
+        let twice: Vec<ExprId> = ctx.reachable(&[root, root]).collect();
+        let twice_reference = reference_postorder(&ctx, &[root, root]);
+        prop_assert_eq!(twice, twice_reference);
+    }
+
+    /// Substitution commutes with context identity: substituting in two
+    /// independently built contexts yields digest-identical results, and
+    /// the identity substitution is a no-op.
+    #[test]
+    fn substitution_is_context_independent(ops in recipes()) {
+        let mut ctx_a = Context::new();
+        let root_a = build(&mut ctx_a, &ops);
+        let mut ctx_b = Context::new();
+        let root_b = build(&mut ctx_b, &ops);
+
+        let identity = Substitution::new();
+        prop_assert_eq!(substitute(&mut ctx_a, root_a, &identity), root_a);
+
+        // swap two term variables (sort-preserving by construction)
+        let (t0_a, t1_a) = (ctx_a.tvar("t0"), ctx_a.tvar("t1"));
+        let mut swap_a = Substitution::new();
+        swap_a.insert(t0_a, t1_a);
+        swap_a.insert(t1_a, t0_a);
+        let sub_a = substitute(&mut ctx_a, root_a, &swap_a);
+
+        let (t0_b, t1_b) = (ctx_b.tvar("t0"), ctx_b.tvar("t1"));
+        let mut swap_b = Substitution::new();
+        swap_b.insert(t0_b, t1_b);
+        swap_b.insert(t1_b, t0_b);
+        let sub_b = substitute(&mut ctx_b, root_b, &swap_b);
+
+        let da = Digester::new().digest(&ctx_a, sub_a);
+        let db = Digester::new().digest(&ctx_b, sub_b);
+        prop_assert_eq!(da, db);
+        // and the substituted contexts still mirror cleanly
+        mirror(&ctx_a);
+    }
+
+    /// Digests are layout-independent: building the same formula in a
+    /// context pre-polluted with unrelated nodes (different ids, different
+    /// slab offsets) yields the identical digest. The memo store and the
+    /// `JobKey` cache persist these digests, so this is load-bearing.
+    #[test]
+    fn digest_is_layout_independent(ops in recipes(), junk in 1usize..40) {
+        let mut clean = Context::new();
+        let root_clean = build(&mut clean, &ops);
+
+        let mut polluted = Context::new();
+        for i in 0..junk {
+            let v = polluted.tvar(&format!("junk{i}"));
+            let u = polluted.uf("junkfn", vec![v]);
+            polluted.eq(u, v);
+        }
+        let root_polluted = build(&mut polluted, &ops);
+
+        let dc = Digester::new().digest(&clean, root_clean);
+        let dp = Digester::new().digest(&polluted, root_polluted);
+        prop_assert_eq!(dc, dp);
+    }
+
+    /// `print` → `parse` → `print` reaches a fixpoint after one round trip.
+    ///
+    /// (The *first* reprint may reorder `and`/`or` operands: n-ary
+    /// connectives canonicalize children by id, and a fresh context assigns
+    /// ids in text order rather than recipe order. That normalization is
+    /// seed semantics, unchanged by the arena. From the first reprint on,
+    /// the text, the ids, and the digest are all stable.)
+    #[test]
+    fn print_parse_print_fixpoint(ops in recipes()) {
+        let mut ctx = Context::new();
+        let root = build(&mut ctx, &ops);
+        let text = eufm::print::to_sexpr(&ctx, root);
+
+        // round-tripping into the *same* context hits the intern table and
+        // comes back as the very same id
+        let replayed = eufm::parse::from_sexpr(&mut ctx, &text).expect("reparse in place");
+        prop_assert_eq!(replayed, root);
+
+        let mut fresh_a = Context::new();
+        let root_a = eufm::parse::from_sexpr(&mut fresh_a, &text).expect("reparse");
+        let normalized = eufm::print::to_sexpr(&fresh_a, root_a);
+
+        let mut fresh_b = Context::new();
+        let root_b = eufm::parse::from_sexpr(&mut fresh_b, &normalized).expect("reparse normalized");
+        prop_assert_eq!(eufm::print::to_sexpr(&fresh_b, root_b), normalized);
+
+        let da = Digester::new().digest(&fresh_a, root_a);
+        let db = Digester::new().digest(&fresh_b, root_b);
+        prop_assert_eq!(da, db);
+        // and modulo operand order, the reparsed formula IS the original
+        prop_assert_eq!(fingerprint(&ctx, root), fingerprint(&fresh_a, root_a));
+        mirror(&fresh_a);
+    }
+
+    /// `extract` compacts a sub-DAG into a fresh context that mirrors
+    /// cleanly through the reference interner and carries exactly the same
+    /// formula (same fingerprint, same node count).
+    #[test]
+    fn extract_preserves_structure(ops in recipes()) {
+        let mut ctx = Context::new();
+        let root = build(&mut ctx, &ops);
+        let (compact, roots) = ctx.extract(&[root]);
+        prop_assert_eq!(roots.len(), 1);
+        prop_assert!(compact.len() <= ctx.len());
+        prop_assert_eq!(fingerprint(&ctx, root), fingerprint(&compact, roots[0]));
+        mirror(&compact);
+
+        let (compact2, roots2) = compact.extract(&[roots[0]]);
+        prop_assert_eq!(compact2.len(), compact.len());
+        prop_assert_eq!(
+            fingerprint(&compact, roots[0]),
+            fingerprint(&compact2, roots2[0])
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned vectors and arena-growth coverage
+// ---------------------------------------------------------------------------
+
+/// Golden digest vectors — the exact values the memo store and `JobKey`
+/// cache persist. Duplicated from `eufm::digest`'s unit test so drift
+/// breaks an integration surface too, not only the crate-local test.
+#[test]
+fn golden_digest_vectors_are_pinned() {
+    let mut ctx = Context::new();
+    let mut d = Digester::new();
+    assert_eq!(
+        digest_hex(d.digest(&ctx, Context::TRUE)),
+        "ca3282ea3b83d94f70816a0a3978e7b3"
+    );
+    assert_eq!(
+        digest_hex(d.digest(&ctx, Context::FALSE)),
+        "29bb76e55583d94f7081428ced83b319"
+    );
+    let a = ctx.tvar("a");
+    let b = ctx.tvar("b");
+    let eq = ctx.eq(a, b);
+    assert_eq!(
+        digest_hex(d.digest(&ctx, eq)),
+        "76655c22dae82425e54e4006f9ffe1cf"
+    );
+    let fa = ctx.uf("f", vec![a]);
+    let fb = ctx.uf("f", vec![b]);
+    let concl = ctx.eq(fa, fb);
+    let prop = ctx.implies(eq, concl);
+    assert_eq!(
+        digest_hex(d.digest(&ctx, prop)),
+        "4e8c5a2e3616a0d4f8af719a8e619009"
+    );
+}
+
+/// The intern table starts at 16 buckets and rehashes as the arena grows;
+/// dedupe must survive every resize. 4000 distinct equations force ~8
+/// doublings; looking all of them up again afterwards must return the
+/// original ids with zero new nodes.
+#[test]
+fn dedupe_survives_intern_table_growth() {
+    let mut ctx = Context::new();
+    let mut ids = Vec::new();
+    for i in 0..2000 {
+        let x = ctx.tvar(&format!("x{i}"));
+        let fx = ctx.uf("f", vec![x]);
+        ids.push((i, ctx.eq(fx, x)));
+    }
+    let len_before = ctx.len();
+    for &(i, expected) in &ids {
+        let x = ctx.tvar(&format!("x{i}"));
+        let fx = ctx.uf("f", vec![x]);
+        assert_eq!(ctx.eq(fx, x), expected, "lookup of eq #{i} after growth");
+    }
+    assert_eq!(ctx.len(), len_before, "replay must intern nothing new");
+    mirror(&ctx);
+}
+
+/// Out-of-range ids are rejected gracefully — `try_node`/`try_sort` return
+/// `None` instead of indexing past the arena, which is what lets the lint
+/// passes traverse corrupted DAGs. (The u32 id-space overflow itself is
+/// guarded by an explicit capacity check in the arena; exhausting 2^32
+/// nodes is not reachable in a test.)
+#[test]
+fn out_of_range_ids_are_rejected() {
+    let mut ctx = Context::new();
+    let a = ctx.pvar("a");
+    assert!(ctx.try_node(a).is_some());
+    let beyond = ExprId::from_index(ctx.len());
+    assert!(ctx.try_node(beyond).is_none());
+    assert!(ctx.try_sort(beyond).is_none());
+    let far = ExprId::from_index(usize::try_from(u32::MAX - 1).expect("fits"));
+    assert!(ctx.try_node(far).is_none());
+}
+
+/// `insert_unchecked` bypasses the intern table: the malformed duplicate it
+/// creates must NOT be found by later constructor calls (so hash-consing
+/// of checked nodes is unaffected), and the reference-interner mirror must
+/// flag it as the structural duplicate it is.
+#[test]
+fn insert_unchecked_stays_out_of_the_intern_table() {
+    let mut ctx = Context::new();
+    let a = ctx.tvar("a");
+    let b = ctx.tvar("b");
+    let eq = ctx.eq(a, b);
+    let dup = ctx.insert_unchecked(Node::Eq(a, b), Sort::Bool);
+    assert_ne!(eq, dup, "unchecked insertion must create a fresh node");
+    // the constructor still finds the *original* interned node
+    assert_eq!(ctx.eq(a, b), eq);
+    // and the naive mirror detects the duplicate
+    let mut reference = RefInterner::default();
+    let mut duplicate_at = None;
+    for index in 0..ctx.len() {
+        let id = ExprId::from_index(index);
+        let (prev, fresh) = reference.insert(own(ctx.node(id)));
+        if !fresh {
+            duplicate_at = Some((prev, id));
+        }
+    }
+    assert_eq!(duplicate_at, Some((eq, dup)));
+}

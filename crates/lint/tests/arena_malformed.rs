@@ -1,0 +1,144 @@
+//! `insert_unchecked` × arena interplay: the L0001-family well-formedness
+//! passes must keep firing on malformed DAGs now that nodes live in a flat
+//! arena.
+//!
+//! `Context::insert_unchecked` deliberately bypasses both the smart
+//! constructors and the intern table — it is the supported way to
+//! manufacture corrupted DAGs for testing the analyzers. These tests pin
+//! the contract the arena must uphold for that to work: unchecked records
+//! are reachable (`node`/`children` serve them like any other id), they
+//! never enter the intern table (so L0007 can observe real duplicates),
+//! and out-of-arena child ids are reported rather than dereferenced.
+
+use eufm::{Context, ExprId, Node, Sort};
+use lint::{wf, Code, Diagnostics};
+
+fn run(ctx: &Context, roots: &[ExprId]) -> Vec<lint::Diagnostic> {
+    let mut diags = Diagnostics::new();
+    wf::check(ctx, roots, &mut diags);
+    diags.finish()
+}
+
+fn codes(diags: &[lint::Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// L0001: a term-sorted ITE control, injected straight into the arena.
+#[test]
+fn l0001_ite_mismatch_fires_on_unchecked_arena_node() {
+    let mut ctx = Context::new();
+    let t = ctx.tvar("t");
+    let x = ctx.tvar("x");
+    let y = ctx.tvar("y");
+    let bad = ctx.insert_unchecked(Node::Ite(t, x, y), Sort::Term);
+    assert!(codes(&run(&ctx, &[bad])).contains(&Code::IteSortMismatch));
+}
+
+/// L0002: an equation between a formula and a term.
+#[test]
+fn l0002_eq_mismatch_fires_on_unchecked_arena_node() {
+    let mut ctx = Context::new();
+    let p = ctx.pvar("p");
+    let x = ctx.tvar("x");
+    let bad = ctx.insert_unchecked(Node::Eq(p, x), Sort::Bool);
+    assert!(codes(&run(&ctx, &[bad])).contains(&Code::EqSortMismatch));
+}
+
+/// L0003: `read` applied to a non-memory.
+#[test]
+fn l0003_mem_mismatch_fires_on_unchecked_arena_node() {
+    let mut ctx = Context::new();
+    let x = ctx.tvar("x");
+    let y = ctx.tvar("y");
+    let bad = ctx.insert_unchecked(Node::Read(x, y), Sort::Term);
+    assert!(codes(&run(&ctx, &[bad])).contains(&Code::MemSortMismatch));
+}
+
+/// L0004: an `and` over term-sorted operands — the operands land in the
+/// child slab, and the checker must read them back through `children`.
+#[test]
+fn l0004_bool_mismatch_fires_on_unchecked_slab_children() {
+    let mut ctx = Context::new();
+    let x = ctx.tvar("x");
+    let y = ctx.tvar("y");
+    let z = ctx.tvar("z");
+    let bad = ctx.insert_unchecked(Node::And(&[x, y, z]), Sort::Bool);
+    let diags = run(&ctx, &[bad]);
+    let found = codes(&diags)
+        .iter()
+        .filter(|&&c| c == Code::BoolSortMismatch)
+        .count();
+    assert_eq!(found, 3, "one finding per slab operand: {diags:?}");
+}
+
+/// L0005: child ids pointing past the end of the arena are reported, not
+/// dereferenced — on both the record path (`Not`) and the slab path
+/// (`Or`).
+#[test]
+fn l0005_dangling_fires_for_record_and_slab_children() {
+    let mut ctx = Context::new();
+    let p = ctx.pvar("p");
+    let beyond = ExprId::from_index(ctx.len() + 7);
+    let bad_not = ctx.insert_unchecked(Node::Not(beyond), Sort::Bool);
+    let bad_or = ctx.insert_unchecked(Node::Or(&[p, beyond]), Sort::Bool);
+    for root in [bad_not, bad_or] {
+        assert!(
+            codes(&run(&ctx, &[root])).contains(&Code::DanglingExprId),
+            "root {} must report its dangling child",
+            root.index()
+        );
+    }
+}
+
+/// L0007: a duplicate built through `insert_unchecked` is flagged, which
+/// requires the unchecked record to have stayed *out* of the intern table
+/// (otherwise the duplicate could never exist) while staying *in* the
+/// reachable arena.
+#[test]
+fn l0007_hash_cons_violation_fires_on_unchecked_duplicate() {
+    let mut ctx = Context::new();
+    let a = ctx.tvar("a");
+    let b = ctx.tvar("b");
+    let eq = ctx.eq(a, b);
+    let dup = ctx.insert_unchecked(Node::Eq(a, b), Sort::Bool);
+    assert_ne!(eq, dup);
+    // interning afterwards still finds the original, not the forgery
+    assert_eq!(ctx.eq(a, b), eq);
+    let root = ctx.insert_unchecked(Node::And(&[eq, dup]), Sort::Bool);
+    assert!(codes(&run(&ctx, &[root])).contains(&Code::HashConsViolation));
+}
+
+/// L0008: `insert_unchecked` records the caller's sort in the sort table;
+/// when that lies about the node's structural sort the mismatch is
+/// reported.
+#[test]
+fn l0008_sort_table_mismatch_fires_on_unchecked_lie() {
+    let mut ctx = Context::new();
+    let p = ctx.pvar("p");
+    let bad = ctx.insert_unchecked(Node::Not(p), Sort::Term);
+    assert!(codes(&run(&ctx, &[bad])).contains(&Code::SortTableMismatch));
+}
+
+/// A context carrying unchecked garbage stays navigable: the checker walks
+/// a mixed well-formed/malformed DAG without panicking and reports only
+/// the malformed region.
+#[test]
+fn mixed_dag_reports_only_the_malformed_region() {
+    let mut ctx = Context::new();
+    // a perfectly fine sub-formula
+    let a = ctx.tvar("a");
+    let b = ctx.tvar("b");
+    let fine = ctx.eq(a, b);
+    // a malformed sibling
+    let t = ctx.tvar("t");
+    let bad = ctx.insert_unchecked(Node::Not(t), Sort::Bool);
+    let root = ctx.insert_unchecked(Node::And(&[fine, bad]), Sort::Bool);
+    let diags = run(&ctx, &[root]);
+    assert!(codes(&diags).contains(&Code::BoolSortMismatch));
+    assert!(
+        !codes(&diags).contains(&Code::EqSortMismatch),
+        "the well-formed equation must not be flagged: {diags:?}"
+    );
+    // and the well-formed sub-DAG alone is clean
+    assert_eq!(lint::error_count(&run(&ctx, &[fine])), 0);
+}
