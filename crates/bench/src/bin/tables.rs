@@ -85,7 +85,7 @@ fn main() {
         "table5" => print!("{}", render_markdown(&table5(&opts))),
         "bug" => run_bug(&opts),
         "profile" => {
-            let runs = profile_sweep(&opts);
+            let runs = profile_sweep(&opts, iterations.max(1));
             for run in &runs {
                 println!("{}", render_profile(run));
             }

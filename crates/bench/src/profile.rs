@@ -43,40 +43,56 @@ pub struct ProfiledRun {
 
 /// Traces one configuration end to end. Returns `None` when the
 /// configuration is infeasible (width exceeds size) or the run errors.
+///
+/// The committed cells finish in milliseconds, where a single cold run
+/// is dominated by first-touch effects (page faults, allocator warm-up,
+/// symbol interning). One untraced warm-up run precedes measurement, and
+/// the reported run is the one with the **median traced total** of
+/// `repeats` samples, so committed `BENCH_*.json` artifacts compare
+/// steady-state numbers rather than cold-start noise.
 pub fn profile_run(
     size: usize,
     width: usize,
     strategy: Strategy,
     opts: &SweepOptions,
+    repeats: usize,
 ) -> Option<ProfiledRun> {
     let config = Config::new(size, width).ok()?;
     let verifier = Verifier::new(config).strategy(strategy).sat_limits(Limits {
         max_seconds: Some(opts.sat_budget),
         ..Limits::none()
     });
-    let (verification, tree) = verifier.run_traced().ok()?;
-    Some(ProfiledRun {
-        rob_size: size,
-        issue_width: width,
-        strategy,
-        phases: tree.rollup(),
-        total: tree.total(),
-        flamegraph: tree.flamegraph(),
-        verification,
-    })
+    verifier.run().ok()?; // warm-up, untraced
+    let mut samples: Vec<ProfiledRun> = Vec::new();
+    for _ in 0..repeats.max(1) {
+        let (verification, tree) = verifier.run_traced().ok()?;
+        samples.push(ProfiledRun {
+            rob_size: size,
+            issue_width: width,
+            strategy,
+            phases: tree.rollup(),
+            total: tree.total(),
+            flamegraph: tree.flamegraph(),
+            verification,
+        });
+    }
+    samples.sort_by_key(|a| a.total);
+    let median = samples.swap_remove(samples.len() / 2);
+    Some(median)
 }
 
 /// Profiles every Table 1 configuration within the sweep bounds,
 /// serially (profiling is about timing; parallel cells would share
-/// cores and skew the per-phase numbers).
-pub fn profile_sweep(opts: &SweepOptions) -> Vec<ProfiledRun> {
+/// cores and skew the per-phase numbers). `repeats` samples are taken
+/// per cell and the median-total run is reported.
+pub fn profile_sweep(opts: &SweepOptions, repeats: usize) -> Vec<ProfiledRun> {
     let mut runs = Vec::new();
     for size in size_ladder(opts) {
         for width in width_ladder(opts) {
             if width > size {
                 continue;
             }
-            if let Some(run) = profile_run(size, width, Strategy::default(), opts) {
+            if let Some(run) = profile_run(size, width, Strategy::default(), opts, repeats) {
                 runs.push(run);
             }
         }
@@ -226,7 +242,7 @@ mod tests {
             max_width: 2,
             ..SweepOptions::default()
         };
-        let run = profile_run(4, 2, Strategy::default(), &opts).expect("profile");
+        let run = profile_run(4, 2, Strategy::default(), &opts, 1).expect("profile");
         assert!(run.verification.is_verified());
         let names: Vec<&str> = run.phases.iter().map(|p| p.name).collect();
         for expected in [
@@ -251,7 +267,7 @@ mod tests {
             max_width: 1,
             ..SweepOptions::default()
         };
-        let runs = profile_sweep(&opts);
+        let runs = profile_sweep(&opts, 1);
         assert!(!runs.is_empty());
         let text = bench5_json(&runs).to_string();
         let doc = campaign::json::parse(&text).expect("valid JSON");

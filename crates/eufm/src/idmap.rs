@@ -1,0 +1,109 @@
+//! Dense per-node side tables keyed by [`ExprId`].
+//!
+//! Expression ids are dense arena indices, so a per-traversal memo keyed
+//! by `ExprId` does not need a hash table at all: a flat `Vec` indexed by
+//! `id.index()` replaces the `HashMap<ExprId, V>` the passes used before
+//! the arena, turning every memo hit from a SipHash computation plus
+//! probe sequence into a bounds-checked load. The translation passes
+//! (substitution, memory elimination, UF elimination, Positive Equality,
+//! Tseitin) all keep one of these per walk; they are the constant factor
+//! behind the rewrite/translate phase times in `BENCH_*.json`.
+//!
+//! The table grows lazily to the highest inserted id, so a walk over a
+//! small sub-DAG of a large context stays proportional to the ids it
+//! actually touches (which, for post-order rebuilds over fresh contexts,
+//! are clustered at the low end of the arena).
+
+use crate::node::ExprId;
+
+/// A map from [`ExprId`] to `V`, stored as a flat slot vector.
+///
+/// Semantically equivalent to `HashMap<ExprId, V>` for dense arena ids;
+/// `get`/`insert`/`contains` are O(1) with no hashing.
+#[derive(Debug, Clone, Default)]
+pub struct IdMap<V> {
+    slots: Vec<Option<V>>,
+}
+
+impl<V: Copy> IdMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        IdMap { slots: Vec::new() }
+    }
+
+    /// An empty map with room for ids below `capacity` preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IdMap {
+            slots: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The value stored for `id`, if any.
+    #[inline]
+    pub fn get(&self, id: ExprId) -> Option<V> {
+        self.slots.get(id.index()).copied().flatten()
+    }
+
+    /// Whether `id` has a stored value.
+    #[inline]
+    pub fn contains(&self, id: ExprId) -> bool {
+        matches!(self.slots.get(id.index()), Some(Some(_)))
+    }
+
+    /// Stores `value` for `id`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, id: ExprId, value: V) -> Option<V> {
+        let index = id.index();
+        if self.slots.len() <= index {
+            self.slots.resize(index + 1, None);
+        }
+        self.slots[index].replace(value)
+    }
+
+    /// Removes and returns the value stored for `id`.
+    #[inline]
+    pub fn remove(&mut self, id: ExprId) -> Option<V> {
+        self.slots.get_mut(id.index()).and_then(Option::take)
+    }
+
+    /// Drops all entries, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(index: usize) -> ExprId {
+        ExprId::from_index(index)
+    }
+
+    #[test]
+    fn insert_get_contains_remove() {
+        let mut m: IdMap<u32> = IdMap::new();
+        assert_eq!(m.get(id(3)), None);
+        assert!(!m.contains(id(3)));
+        assert_eq!(m.insert(id(3), 7), None);
+        assert_eq!(m.get(id(3)), Some(7));
+        assert!(m.contains(id(3)));
+        assert_eq!(m.insert(id(3), 9), Some(7));
+        assert_eq!(m.get(id(3)), Some(9));
+        // ids below the high-water mark stay empty
+        assert_eq!(m.get(id(0)), None);
+        assert_eq!(m.remove(id(3)), Some(9));
+        assert_eq!(m.get(id(3)), None);
+        assert_eq!(m.remove(id(1000)), None);
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut m: IdMap<u8> = IdMap::with_capacity(8);
+        m.insert(id(5), 1);
+        m.clear();
+        assert!(!m.contains(id(5)));
+        m.insert(id(2), 2);
+        assert_eq!(m.get(id(2)), Some(2));
+    }
+}

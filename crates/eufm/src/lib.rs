@@ -50,6 +50,7 @@ mod symbol;
 pub mod cancel;
 pub mod digest;
 pub mod eval;
+pub mod idmap;
 pub mod oracle;
 pub mod parse;
 pub mod polarity;
@@ -59,6 +60,7 @@ pub mod subst;
 
 pub use cancel::CancelToken;
 pub use context::{Context, Reachable};
+pub use idmap::IdMap;
 pub use node::{ExprId, Node, Sort};
 pub use symbol::Symbol;
 

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use crate::context::Context;
+use crate::idmap::IdMap;
 use crate::node::{ExprId, Node};
 
 /// A substitution mapping expression ids to replacement ids.
@@ -31,25 +32,36 @@ pub type Substitution = HashMap<ExprId, ExprId>;
 /// Panics if a replacement's sort differs from the sort of the expression it
 /// replaces.
 pub fn substitute(ctx: &mut Context, root: ExprId, subst: &Substitution) -> ExprId {
-    let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
-    substitute_memo(ctx, root, subst, &mut memo)
+    let mut memo = seeded_memo(ctx, subst);
+    substitute_memo(ctx, root, &mut memo)
 }
 
 /// Applies `subst` to several roots, sharing the traversal memo.
 pub fn substitute_all(ctx: &mut Context, roots: &[ExprId], subst: &Substitution) -> Vec<ExprId> {
-    let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
+    let mut memo = seeded_memo(ctx, subst);
     roots
         .iter()
-        .map(|&r| substitute_memo(ctx, r, subst, &mut memo))
+        .map(|&r| substitute_memo(ctx, r, &mut memo))
         .collect()
 }
 
-fn substitute_memo(
-    ctx: &mut Context,
-    root: ExprId,
-    subst: &Substitution,
-    memo: &mut HashMap<ExprId, ExprId>,
-) -> ExprId {
+/// Seeds the traversal memo with the substitution pairs, so the walk
+/// itself never consults the (hashed) substitution map: a key hit is an
+/// ordinary memo hit, one dense load per node.
+fn seeded_memo(ctx: &Context, subst: &Substitution) -> IdMap<ExprId> {
+    let mut memo: IdMap<ExprId> = IdMap::new();
+    for (&id, &img) in subst {
+        assert_eq!(
+            ctx.sort(id),
+            ctx.sort(img),
+            "substitution must preserve sorts"
+        );
+        memo.insert(id, img);
+    }
+    memo
+}
+
+fn substitute_memo(ctx: &mut Context, root: ExprId, memo: &mut IdMap<ExprId>) -> ExprId {
     // Iterative post-order rebuild to avoid stack overflow on deep chains.
     enum Frame {
         Enter(ExprId),
@@ -59,16 +71,7 @@ fn substitute_memo(
     while let Some(frame) = stack.pop() {
         match frame {
             Frame::Enter(id) => {
-                if memo.contains_key(&id) {
-                    continue;
-                }
-                if let Some(&img) = subst.get(&id) {
-                    assert_eq!(
-                        ctx.sort(id),
-                        ctx.sort(img),
-                        "substitution must preserve sorts"
-                    );
-                    memo.insert(id, img);
+                if memo.contains(id) {
                     continue;
                 }
                 if ctx.node(id).child_count() == 0 {
@@ -84,11 +87,11 @@ fn substitute_memo(
             }
         }
     }
-    memo[&root]
+    memo.get(root).expect("root rebuilt by traversal")
 }
 
-fn rebuild(ctx: &mut Context, id: ExprId, memo: &HashMap<ExprId, ExprId>) -> ExprId {
-    let m = |id: ExprId| memo[&id];
+fn rebuild(ctx: &mut Context, id: ExprId, memo: &IdMap<ExprId>) -> ExprId {
+    let m = |id: ExprId| memo.get(id).expect("child rebuilt before parent");
     match ctx.node(id) {
         Node::True | Node::False | Node::Var(..) => unreachable!("leaves are memoized directly"),
         Node::Uf(sym, args, sort) => {

@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 
-use eufm::{Context, ExprId, Node, Sort};
+use eufm::{Context, ExprId, IdMap, Node, Sort};
 
 /// How memory operations are eliminated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,7 +58,7 @@ pub fn eliminate(ctx: &mut Context, root: ExprId, model: MemoryModel) -> ExprId 
     // Pass 1: memory equations -> reads at a shared fresh address.
     let root = {
         let mut pass = MemEqPass {
-            memo: HashMap::new(),
+            memo: IdMap::new(),
             addr: None,
         };
         pass.rebuild(ctx, root)
@@ -67,15 +67,13 @@ pub fn eliminate(ctx: &mut Context, root: ExprId, model: MemoryModel) -> ExprId 
     match model {
         MemoryModel::Forwarding => {
             let mut pass = ForwardPass {
-                memo: HashMap::new(),
+                memo: IdMap::new(),
                 read_memo: HashMap::new(),
             };
             pass.rebuild(ctx, root)
         }
         MemoryModel::Conservative => {
-            let mut pass = ConservativePass {
-                memo: HashMap::new(),
-            };
+            let mut pass = ConservativePass { memo: IdMap::new() };
             pass.rebuild(ctx, root)
         }
     }
@@ -84,7 +82,7 @@ pub fn eliminate(ctx: &mut Context, root: ExprId, model: MemoryModel) -> ExprId 
 /// Replaces `Eq(mem1, mem2)` with `Eq(read(mem1, addr), read(mem2, addr))`
 /// for one shared fresh address variable.
 struct MemEqPass {
-    memo: HashMap<ExprId, ExprId>,
+    memo: IdMap<ExprId>,
     addr: Option<ExprId>,
 }
 
@@ -94,7 +92,7 @@ impl MemEqPass {
     }
 
     fn rebuild(&mut self, ctx: &mut Context, id: ExprId) -> ExprId {
-        if let Some(&v) = self.memo.get(&id) {
+        if let Some(v) = self.memo.get(id) {
             return v;
         }
         let result = match ctx.node(id) {
@@ -115,14 +113,14 @@ impl MemEqPass {
 
 /// Exact read-over-write elimination.
 struct ForwardPass {
-    memo: HashMap<ExprId, ExprId>,
+    memo: IdMap<ExprId>,
     /// Memo for resolved reads keyed on (memory expression, address).
     read_memo: HashMap<(ExprId, ExprId), ExprId>,
 }
 
 impl ForwardPass {
     fn rebuild(&mut self, ctx: &mut Context, id: ExprId) -> ExprId {
-        if let Some(&v) = self.memo.get(&id) {
+        if let Some(v) = self.memo.get(id) {
             return v;
         }
         let result = match ctx.node(id) {
@@ -184,12 +182,12 @@ impl ForwardPass {
 
 /// Conservative abstraction: `read`/`write` become general UFs.
 struct ConservativePass {
-    memo: HashMap<ExprId, ExprId>,
+    memo: IdMap<ExprId>,
 }
 
 impl ConservativePass {
     fn rebuild(&mut self, ctx: &mut Context, id: ExprId) -> ExprId {
-        if let Some(&v) = self.memo.get(&id) {
+        if let Some(v) = self.memo.get(id) {
             return v;
         }
         let result = match ctx.node(id) {

@@ -20,7 +20,7 @@
 use std::collections::{HashMap, HashSet};
 
 use eufm::stats::EIJ_PREFIX;
-use eufm::{CancelToken, Context, ExprId, Node, Sort};
+use eufm::{CancelToken, Context, ExprId, IdMap, Node, Sort};
 
 /// Classification of variables for the maximally diverse interpretation.
 ///
@@ -107,7 +107,7 @@ pub fn encode_cancellable(
 ) -> Result<Encoding, EncodeError> {
     let mut enc = Encoder {
         classes,
-        formula_memo: HashMap::new(),
+        formula_memo: IdMap::new(),
         eq_memo: HashMap::new(),
         eij_vars: HashMap::new(),
         max_nodes: if max_nodes == 0 {
@@ -126,7 +126,7 @@ pub fn encode_cancellable(
 
 struct Encoder<'a> {
     classes: &'a Classification,
-    formula_memo: HashMap<ExprId, ExprId>,
+    formula_memo: IdMap<ExprId>,
     eq_memo: HashMap<(ExprId, ExprId), ExprId>,
     eij_vars: HashMap<(ExprId, ExprId), ExprId>,
     max_nodes: usize,
@@ -145,7 +145,7 @@ impl Encoder<'_> {
     }
 
     fn formula(&mut self, ctx: &mut Context, id: ExprId) -> Result<ExprId, EncodeError> {
-        if let Some(&v) = self.formula_memo.get(&id) {
+        if let Some(v) = self.formula_memo.get(id) {
             return Ok(v);
         }
         self.check_budget(ctx)?;

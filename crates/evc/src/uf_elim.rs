@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use eufm::{Context, ExprId, Node, Sort, Symbol};
+use eufm::{Context, ExprId, IdMap, Node, Sort, Symbol};
 
 /// The result of uninterpreted-symbol elimination.
 #[derive(Debug, Clone)]
@@ -42,7 +42,7 @@ pub fn eliminate(ctx: &mut Context, root: ExprId) -> Elimination {
         "uf elimination expects a formula"
     );
     let mut pass = Pass {
-        memo: HashMap::new(),
+        memo: IdMap::new(),
         prior: HashMap::new(),
         fresh_vars: HashMap::new(),
         app_counts: HashMap::new(),
@@ -56,7 +56,7 @@ pub fn eliminate(ctx: &mut Context, root: ExprId) -> Elimination {
 }
 
 struct Pass {
-    memo: HashMap<ExprId, ExprId>,
+    memo: IdMap<ExprId>,
     /// Previous applications per symbol: (rebuilt argument lists, the fresh
     /// variable standing for that application).
     prior: HashMap<Symbol, Vec<(Vec<ExprId>, ExprId)>>,
@@ -66,7 +66,7 @@ struct Pass {
 
 impl Pass {
     fn rebuild(&mut self, ctx: &mut Context, id: ExprId) -> ExprId {
-        if let Some(&v) = self.memo.get(&id) {
+        if let Some(v) = self.memo.get(id) {
             return v;
         }
         let result = match ctx.node(id) {
@@ -185,7 +185,7 @@ pub fn eliminate_ackermann(ctx: &mut Context, root: ExprId) -> Elimination {
         "uf elimination expects a formula"
     );
     // First rebuild bottom-up replacing every application by a fresh var.
-    let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
+    let mut memo: IdMap<ExprId> = IdMap::new();
     let mut apps: HashMap<Symbol, Vec<(Vec<ExprId>, ExprId)>> = HashMap::new();
     let mut fresh_vars: HashMap<ExprId, Symbol> = HashMap::new();
     let mut app_counts: HashMap<Symbol, usize> = HashMap::new();
@@ -234,12 +234,12 @@ pub fn eliminate_ackermann(ctx: &mut Context, root: ExprId) -> Elimination {
 fn ackermann_rebuild(
     ctx: &mut Context,
     id: ExprId,
-    memo: &mut HashMap<ExprId, ExprId>,
+    memo: &mut IdMap<ExprId>,
     apps: &mut HashMap<Symbol, Vec<(Vec<ExprId>, ExprId)>>,
     fresh_vars: &mut HashMap<ExprId, Symbol>,
     app_counts: &mut HashMap<Symbol, usize>,
 ) -> ExprId {
-    if let Some(&v) = memo.get(&id) {
+    if let Some(v) = memo.get(id) {
         return v;
     }
     let result = match ctx.node(id) {

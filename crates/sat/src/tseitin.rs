@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use eufm::{Context, ExprId, Node, Sort};
+use eufm::{Context, ExprId, IdMap, Node, Sort};
 
 use crate::cnf::{Cnf, Lit, Var};
 
@@ -94,6 +94,12 @@ impl Translation {
 const POS: u8 = 0b01;
 const NEG: u8 = 0b10;
 
+/// Literal already assigned to `id`; post-order guarantees children
+/// are translated before their parents.
+fn lit(map: &IdMap<Lit>, id: ExprId) -> Lit {
+    map.get(id).expect("child translated before parent")
+}
+
 /// Translates the propositional formula `root` to CNF.
 ///
 /// # Errors
@@ -118,15 +124,15 @@ pub fn translate(
         Phase::Both => POS | NEG,
     };
     // Polarity pre-pass (also validates the DAG is propositional).
-    let mut polarity: HashMap<ExprId, u8> = HashMap::new();
+    let mut polarity: IdMap<u8> = IdMap::new();
     {
         let mut work: Vec<(ExprId, u8)> = vec![(root, root_pol)];
         while let Some((id, pol)) = work.pop() {
-            let entry = polarity.entry(id).or_insert(0);
-            if *entry & pol == pol {
+            let seen = polarity.get(id).unwrap_or(0);
+            if seen & pol == pol {
                 continue;
             }
-            *entry |= pol;
+            polarity.insert(id, seen | pol);
             let flip = |p: u8| ((p & POS) << 1) | ((p & NEG) >> 1);
             match ctx.node(id) {
                 Node::True | Node::False | Node::Var(_, Sort::Bool) => {}
@@ -156,14 +162,14 @@ pub fn translate(
     let mut cnf = Cnf::new();
     let mut var_map: HashMap<ExprId, Var> = HashMap::new();
     let mut gate_map: HashMap<Var, ExprId> = HashMap::new();
-    let mut lit_map: HashMap<ExprId, Lit> = HashMap::new();
+    let mut lit_map: IdMap<Lit> = IdMap::new();
     let mut const_true: Option<Var> = None;
 
     let mut order: Vec<ExprId> = Vec::new();
     ctx.visit_post_order(&[root], |id| order.push(id));
 
     for id in order {
-        let pol = polarity.get(&id).copied().unwrap_or(POS | NEG);
+        let pol = polarity.get(id).unwrap_or(POS | NEG);
         let want_pos = mode == Mode::Full || pol & POS != 0;
         let want_neg = mode == Mode::Full || pol & NEG != 0;
         let lit = match ctx.node(id) {
@@ -180,12 +186,12 @@ pub fn translate(
                 var_map.insert(id, v);
                 Lit::pos(v)
             }
-            Node::Not(a) => !lit_map[&a],
+            Node::Not(a) => !lit(&lit_map, a),
             Node::And(xs) => {
                 let v = cnf.new_var();
                 gate_map.insert(v, id);
                 let t = Lit::pos(v);
-                let kids: Vec<Lit> = xs.iter().map(|x| lit_map[x]).collect();
+                let kids: Vec<Lit> = xs.iter().map(|&x| lit(&lit_map, x)).collect();
                 if want_pos {
                     for &k in &kids {
                         cnf.add_clause([!t, k]);
@@ -202,7 +208,7 @@ pub fn translate(
                 let v = cnf.new_var();
                 gate_map.insert(v, id);
                 let t = Lit::pos(v);
-                let kids: Vec<Lit> = xs.iter().map(|x| lit_map[x]).collect();
+                let kids: Vec<Lit> = xs.iter().map(|&x| lit(&lit_map, x)).collect();
                 if want_pos {
                     let mut clause = kids.clone();
                     clause.push(!t);
@@ -219,7 +225,7 @@ pub fn translate(
                 let v = cnf.new_var();
                 gate_map.insert(v, id);
                 let t = Lit::pos(v);
-                let (c, a, b) = (lit_map[&c], lit_map[&a], lit_map[&b]);
+                let (c, a, b) = (lit(&lit_map, c), lit(&lit_map, a), lit(&lit_map, b));
                 if want_pos {
                     cnf.add_clause([!t, !c, a]);
                     cnf.add_clause([!t, c, b]);
@@ -251,7 +257,7 @@ pub fn translate(
         var_map,
         gate_map,
         const_var: const_true,
-        root: lit_map[&root],
+        root: lit(&lit_map, root),
     })
 }
 
